@@ -1,0 +1,213 @@
+// Package partitionjoin's root benchmark suite regenerates every table and
+// figure of the paper's evaluation section through testing.B entry points.
+// Each benchmark logs the experiment's text rendering (run with -v to see
+// it) and reports the primary throughput metric so `go test -bench=.`
+// doubles as the reproduction harness. The cmd/joinbench and cmd/tpchbench
+// binaries run the same experiments with tunable scales.
+//
+// Scales default small enough for CI hardware; the *Scale constants are the
+// single place to raise them on a larger machine.
+package main
+
+import (
+	"testing"
+
+	"partitionjoin/internal/bench"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/tpch"
+)
+
+const (
+	// microScale scales Balkesen et al.'s workloads (1 = 16M x 256M).
+	microScale = 1.0 / 128
+	// tpchScale is the TPC-H scale factor for the benchmark harness.
+	tpchScale = 0.02
+)
+
+var benchDB *tpch.DB
+
+func tpchDB() *tpch.DB {
+	if benchDB == nil {
+		benchDB = tpch.Generate(tpchScale, 1)
+	}
+	return benchDB
+}
+
+func logTable(b *testing.B, t *bench.Table) {
+	b.Helper()
+	t.Print(func(format string, args ...any) { b.Logf(format, args...) })
+}
+
+func singleRun(b *testing.B) {
+	b.Helper()
+	bench.Runs = 1
+}
+
+// BenchmarkTable1WorkloadsAB reports the prior-work workload shapes
+// (paper Table 1).
+func BenchmarkTable1WorkloadsAB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Table1(microScale))
+	}
+}
+
+// BenchmarkFig2WorkloadStats reproduces the tuple-size and join-partner
+// histograms of Figure 2 over the TPC-H joins.
+func BenchmarkFig2WorkloadStats(b *testing.B) {
+	db := tpchDB()
+	for i := 0; i < b.N; i++ {
+		logTable(b, tpch.Fig2(db, 0))
+	}
+}
+
+// BenchmarkFig8Scalability sweeps thread counts for workloads A and B over
+// NPJ, PRJ, BHJ and RJ (Figures 8 and 9 share the harness).
+func BenchmarkFig8Scalability(b *testing.B) {
+	singleRun(b)
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Fig8(microScale/2, []int{1, 2}, core.DefaultConfig()))
+	}
+}
+
+// BenchmarkFig10Bandwidth reports the per-phase memory traffic of the RJ
+// (Figure 10, PCM substitute).
+func BenchmarkFig10Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Fig10(microScale/2, core.DefaultConfig()))
+	}
+}
+
+// BenchmarkFig11TPCH runs every TPC-H join query under BHJ, BRJ and RJ
+// with and without late materialization (Figure 11).
+func BenchmarkFig11TPCH(b *testing.B) {
+	db := tpchDB()
+	for i := 0; i < b.N; i++ {
+		logTable(b, tpch.Fig11(db, 0, 1))
+	}
+}
+
+// BenchmarkFig1JoinScatter measures the per-join BRJ-vs-BHJ swap for every
+// join of every query with its build/probe volumes (Figure 1).
+func BenchmarkFig1JoinScatter(b *testing.B) {
+	db := tpchDB()
+	for i := 0; i < b.N; i++ {
+		logTable(b, tpch.Fig1Table(tpch.Fig1(db, 0, 1), db.SF))
+	}
+}
+
+// BenchmarkFig12PerJoin reproduces the per-join impact plots for the
+// paper's selected queries (Figure 12).
+func BenchmarkFig12PerJoin(b *testing.B) {
+	db := tpchDB()
+	for i := 0; i < b.N; i++ {
+		logTable(b, tpch.Fig12(db, 0, 1, []int{5, 7, 8, 9, 21, 22}))
+	}
+}
+
+// BenchmarkFig13Q21Tree prints Q21's join tree annotated with measured
+// build/probe volumes (Figure 13).
+func BenchmarkFig13Q21Tree(b *testing.B) {
+	db := tpchDB()
+	for i := 0; i < b.N; i++ {
+		logTable(b, tpch.Fig13(db, 0))
+	}
+}
+
+// BenchmarkFig14Selectivity sweeps foreign-key selectivity (Figure 14).
+func BenchmarkFig14Selectivity(b *testing.B) {
+	singleRun(b)
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Fig14(microScale, []float64{0, 0.05, 0.25, 0.5, 1}, core.DefaultConfig()))
+	}
+}
+
+// BenchmarkFig15Payload sweeps the probe payload width with and without
+// late materialization (Figure 15).
+func BenchmarkFig15Payload(b *testing.B) {
+	singleRun(b)
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Fig15(microScale, []int{0, 2, 4, 8}, core.DefaultConfig()))
+	}
+}
+
+// BenchmarkFig16PipelineDepth sweeps chained joins over a star schema
+// (Figure 16).
+func BenchmarkFig16PipelineDepth(b *testing.B) {
+	singleRun(b)
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Fig16(microScale/4, []int{1, 3, 5, 7}, core.DefaultConfig()))
+	}
+}
+
+// BenchmarkFig17Skew sweeps Zipf skew for both workloads (Figure 17).
+func BenchmarkFig17Skew(b *testing.B) {
+	singleRun(b)
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Fig17(microScale/2, []float64{0, 0.5, 1, 1.5, 2}, core.DefaultConfig()))
+	}
+}
+
+// BenchmarkFig18Speedup reports the speedups of BRJ and BHJ over the RJ on
+// the microbenchmark and TPC-H (Figure 18).
+func BenchmarkFig18Speedup(b *testing.B) {
+	singleRun(b)
+	db := tpchDB()
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Fig18Micro(microScale, core.DefaultConfig()))
+		logTable(b, tpch.Fig18TPCH(db, 0, 1))
+	}
+}
+
+// BenchmarkTable3LateMaterialization measures the combined selectivity and
+// payload effect of late materialization (Table 3).
+func BenchmarkTable3LateMaterialization(b *testing.B) {
+	singleRun(b)
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Table3(microScale, core.DefaultConfig()))
+	}
+}
+
+// BenchmarkTable4WorkableRanges synthesizes the workable/beneficial ranges
+// (Table 4) from quick sweeps.
+func BenchmarkTable4WorkableRanges(b *testing.B) {
+	singleRun(b)
+	for i := 0; i < b.N; i++ {
+		logTable(b, bench.Table4(microScale, core.DefaultConfig()))
+	}
+}
+
+// BenchmarkTable5WorkloadProperties contrasts TPC-H with prior work
+// (Table 5).
+func BenchmarkTable5WorkloadProperties(b *testing.B) {
+	db := tpchDB()
+	for i := 0; i < b.N; i++ {
+		logTable(b, tpch.Table5(db, 0))
+	}
+}
+
+// --- raw join micro-benchmarks: per-algorithm throughput on workload A ---
+
+func benchJoin(b *testing.B, algo plan.JoinAlgo) {
+	spec := bench.WorkloadA(microScale / 2)
+	build, probe := spec.Tables()
+	tuples := int64(build.NumRows() + probe.NumRows())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Runs = 1
+		res := bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: algo, Core: core.DefaultConfig()})
+		if res.Checksum == 0 {
+			b.Fatal("empty join result")
+		}
+	}
+	b.SetBytes(tuples * 16)
+}
+
+// BenchmarkJoinBHJ measures the buffered non-partitioned hash join alone.
+func BenchmarkJoinBHJ(b *testing.B) { benchJoin(b, plan.BHJ) }
+
+// BenchmarkJoinRJ measures the radix join alone.
+func BenchmarkJoinRJ(b *testing.B) { benchJoin(b, plan.RJ) }
+
+// BenchmarkJoinBRJ measures the Bloom-filtered radix join alone.
+func BenchmarkJoinBRJ(b *testing.B) { benchJoin(b, plan.BRJ) }

@@ -1,0 +1,20 @@
+// Command bandwidth reproduces Figure 10: the per-phase memory traffic of
+// the radix join on the Section 5.4.2 payload query (24 B materialized
+// tuples), using the byte-accounting meter as the PCM substitute.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"partitionjoin/internal/bench"
+	"partitionjoin/internal/core"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper")
+	flag.Parse()
+	bench.Fig10(*scale, core.DefaultConfig()).Print(func(format string, args ...any) {
+		fmt.Printf(format, args...)
+	})
+}

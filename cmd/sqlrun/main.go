@@ -1,0 +1,87 @@
+// Command sqlrun executes ad-hoc SQL (the supported subset) against a
+// generated TPC-H database, with the join algorithm selectable per run —
+// handy for poking at individual joins:
+//
+//	sqlrun -sf 0.05 -algo rj "SELECT count(*) FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/sql"
+	"partitionjoin/internal/storage"
+	"partitionjoin/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	algo := flag.String("algo", "bhj", "join algorithm: bhj, rj, brj")
+	workers := flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: sqlrun [flags] \"SELECT ...\"")
+		os.Exit(2)
+	}
+	query := strings.Join(flag.Args(), " ")
+
+	opts := plan.DefaultOptions()
+	opts.Workers = *workers
+	switch strings.ToLower(*algo) {
+	case "bhj":
+		opts.Algo = plan.BHJ
+	case "rj":
+		opts.Algo = plan.RJ
+	case "brj":
+		opts.Algo = plan.BRJ
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	db := tpch.Generate(*sf, 1)
+	cat := sql.Catalog{}
+	for _, t := range db.Tables() {
+		cat[t.Name] = t
+	}
+
+	res, err := sql.Run(cat, query, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printResult(res)
+	fmt.Printf("\n%d rows in %v (%.1fM source tuples/s, %v)\n",
+		res.Result.NumRows(), res.Duration.Round(1000), res.Throughput()/1e6, opts.Algo)
+}
+
+func printResult(res *plan.ExecResult) {
+	for _, c := range res.Cols {
+		fmt.Printf("%s\t", c.Name)
+	}
+	fmt.Println()
+	n := res.Result.NumRows()
+	if n > 50 {
+		n = 50
+	}
+	for i := 0; i < n; i++ {
+		for c := range res.Result.Vecs {
+			v := &res.Result.Vecs[c]
+			switch v.T {
+			case storage.Float64:
+				fmt.Printf("%.4f\t", v.F64[i])
+			case storage.String:
+				fmt.Printf("%s\t", v.Str[i])
+			default:
+				fmt.Printf("%d\t", v.I64[i])
+			}
+		}
+		fmt.Println()
+	}
+	if res.Result.NumRows() > n {
+		fmt.Printf("... (%d more rows)\n", res.Result.NumRows()-n)
+	}
+}

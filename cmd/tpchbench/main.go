@@ -1,0 +1,68 @@
+// Command tpchbench runs the TPC-H side of the paper's evaluation:
+// Figure 1 (per-join BRJ-vs-BHJ scatter), Figure 2 (workload histograms),
+// Figure 11 (throughput per query and scale factor under BHJ/BRJ/RJ with
+// and without late materialization), Figure 12 (per-join impact for
+// selected queries), Figure 13 (Q21's annotated join tree), Figure 18
+// (speedups over the RJ), and Table 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"partitionjoin/internal/tpch"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig1,fig2,fig11,fig12,fig13,fig18,table5,all")
+	sfs := flag.String("sf", "0.05", "comma-separated scale factors")
+	workers := flag.Int("workers", 0, "query workers (0 = GOMAXPROCS)")
+	runs := flag.Int("runs", 3, "repetitions per measurement (median reported)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	printf := func(format string, args ...any) { fmt.Printf(format, args...) }
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	for _, sfStr := range strings.Split(*sfs, ",") {
+		sf, err := strconv.ParseFloat(strings.TrimSpace(sfStr), 64)
+		if err != nil {
+			fmt.Printf("bad scale factor %q: %v\n", sfStr, err)
+			return
+		}
+		fmt.Printf("== TPC-H SF %g ==\n", sf)
+		db := tpch.Generate(sf, *seed)
+
+		if want("fig2") {
+			tpch.Fig2(db, *workers).Print(printf)
+			fmt.Println()
+		}
+		if want("fig11") {
+			tpch.Fig11(db, *workers, *runs).Print(printf)
+			fmt.Println()
+		}
+		if want("fig1") {
+			points := tpch.Fig1(db, *workers, *runs)
+			tpch.Fig1Table(points, sf).Print(printf)
+			fmt.Println()
+		}
+		if want("fig12") {
+			tpch.Fig12(db, *workers, *runs, []int{5, 7, 8, 9, 21, 22}).Print(printf)
+			fmt.Println()
+		}
+		if want("fig13") {
+			tpch.Fig13(db, *workers).Print(printf)
+			fmt.Println()
+		}
+		if want("fig18") {
+			tpch.Fig18TPCH(db, *workers, *runs).Print(printf)
+			fmt.Println()
+		}
+		if want("table5") {
+			tpch.Table5(db, *workers).Print(printf)
+			fmt.Println()
+		}
+	}
+}

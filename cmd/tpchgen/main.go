@@ -1,0 +1,38 @@
+// Command tpchgen generates the TPC-H database at a given scale factor and
+// prints table statistics; with -stats it also runs the workload-property
+// analyses behind Figure 2 and Table 5 of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"partitionjoin/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "scale factor")
+	seed := flag.Int64("seed", 1, "generator seed")
+	stats := flag.Bool("stats", false, "run the Figure 2 / Table 5 workload analyses")
+	workers := flag.Int("workers", 0, "query workers for -stats (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	start := time.Now()
+	db := tpch.Generate(*sf, *seed)
+	fmt.Printf("generated TPC-H SF %g in %v\n\n", *sf, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %-10s %12s %14s\n", "table", "rows", "bytes")
+	fmt.Printf("  %-10s %12s %14s\n", "-----", "----", "-----")
+	for _, t := range db.Tables() {
+		fmt.Printf("  %-10s %12d %14d\n", t.Name, t.NumRows(), t.ByteSize())
+	}
+
+	if *stats {
+		fmt.Println()
+		tpch.Fig2(db, *workers).Print(printf)
+		fmt.Println()
+		tpch.Table5(db, *workers).Print(printf)
+	}
+}
+
+func printf(format string, args ...any) { fmt.Printf(format, args...) }

@@ -1,0 +1,3 @@
+module partitionjoin
+
+go 1.22

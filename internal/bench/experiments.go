@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/meter"
+	"partitionjoin/internal/plan"
+)
+
+// Table is a printable experiment result: a header row plus data rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a data row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func mt(v float64) string  { return fmt.Sprintf("%.1fM T/s", v/1e6) }
+func mb(v int64) string    { return fmt.Sprintf("%.1f MiB", float64(v)/(1<<20)) }
+func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func i64toa(v int64) string { return fmt.Sprintf("%d", v) }
+
+// Table1 reports the prior-work workloads (paper Table 1) at the given
+// scale.
+func Table1(scale float64) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Table 1: workloads from prior work (scale %g)", scale),
+		Header: []string{"workload", "key/pay [B]", "build tuples", "probe tuples", "build size", "probe size"},
+	}
+	for _, s := range []Spec{WorkloadA(scale), WorkloadB(scale)} {
+		t.Add(s.Name, fmt.Sprintf("%d/%d", s.keyWidth(), s.keyWidth()),
+			itoa(s.BuildTuples), itoa(s.ProbeTuples), mb(s.BuildBytes()), mb(s.ProbeBytes()))
+	}
+	return t
+}
+
+// Fig8 sweeps thread counts for both workloads across the four join
+// implementations (paper Figure 8; Figure 9 is the same sweep on another
+// host, so the harness is shared).
+func Fig8(scale float64, threads []int, cfg core.Config) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 8/9: scalability, workloads A and B (scale %g)", scale),
+		Header: []string{"workload", "threads", "NPJ", "PRJ", "BHJ", "RJ"},
+	}
+	for _, spec := range []Spec{WorkloadA(scale), WorkloadB(scale)} {
+		build, probe := spec.Tables()
+		sbuild, sprobe := spec.Relations()
+		for _, th := range threads {
+			npj := RunStandalone(sbuild, sprobe, false, th, cfg.CacheBudget)
+			prj := RunStandalone(sbuild, sprobe, true, th, cfg.CacheBudget)
+			bhj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: th, Core: cfg})
+			rj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: th, Core: cfg})
+			if npj.Checksum != prj.Checksum || bhj.Checksum != rj.Checksum {
+				panic("bench: join implementations disagree on match count")
+			}
+			t.Add(spec.Name, itoa(th), mt(npj.Throughput), mt(prj.Throughput),
+				mt(bhj.Throughput), mt(rj.Throughput))
+		}
+	}
+	return t
+}
+
+// Fig10 runs the Section 5.4.2 payload query under the radix join with the
+// traffic meter attached and reports the per-phase read/write volume and
+// bandwidth timeline (paper Figure 10, PCM substitute).
+func Fig10(scale float64, cfg core.Config) *Table {
+	spec := WorkloadA(scale)
+	spec.PayloadCols = 1 // 24 B materialized rows before padding
+	build, probe := spec.Tables()
+	m := meter.New()
+	opts := plan.Options{Workers: 0, Algo: plan.RJ, Core: cfg, Meter: m}
+	plan.Execute(opts, joinQuery(build, probe, spec.PayNames(), false))
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 10: memory traffic per RJ phase (scale %g, 24 B tuples)", scale),
+		Header: []string{"phase", "start [ms]", "dur [ms]", "read", "written", "read BW", "write BW"},
+	}
+	for _, p := range m.Phases() {
+		t.Add(p.Name,
+			f1(float64(p.Start.Microseconds())/1000),
+			f1(float64(p.Duration.Microseconds())/1000),
+			mb(p.Read), mb(p.Written),
+			fmt.Sprintf("%.2f GB/s", p.ReadBW/1e9),
+			fmt.Sprintf("%.2f GB/s", p.WriteBW/1e9))
+	}
+	return t
+}
+
+// Fig14 sweeps foreign-key selectivity (paper Figure 14): the Bloom
+// reducer wins at low selectivity, loses past ~50%, and the adaptive
+// variant switches itself off.
+func Fig14(scale float64, sels []float64, cfg core.Config) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 14: impact of foreign-key selectivity, workload A4 (scale %g)", scale),
+		Header: []string{"join partners [%]", "BRJ", "BHJ", "RJ", "BRJ (adaptive)"},
+	}
+	for _, sel := range sels {
+		spec := WorkloadA(scale)
+		spec.Selectivity = sel
+		build, probe := spec.Tables()
+		brj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BRJ, Threads: 0, Core: cfg})
+		bhj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+		rj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+		acfg := cfg
+		acfg.AdaptiveBloom = true
+		abrj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BRJ, Threads: 0, Core: acfg})
+		if brj.Checksum != bhj.Checksum || rj.Checksum != abrj.Checksum || brj.Checksum != rj.Checksum {
+			panic("bench: selectivity sweep checksum mismatch")
+		}
+		t.Add(f1(sel*100), mt(brj.Throughput), mt(bhj.Throughput), mt(rj.Throughput), mt(abrj.Throughput))
+	}
+	return t
+}
+
+// Fig15 sweeps the probe payload width (paper Figure 15) with and without
+// late materialization at 100% selectivity.
+func Fig15(scale float64, payloadCols []int, cfg core.Config) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 15: impact of payload size, workload A2 (scale %g)", scale),
+		Header: []string{"probe tuple [B]", "BHJ", "BHJ (LM)", "RJ", "RJ (LM)"},
+	}
+	for _, pc := range payloadCols {
+		spec := WorkloadA(scale)
+		spec.PayloadCols = pc
+		build, probe := spec.Tables()
+		names := spec.PayNames()
+		bhj := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+		bhjLM := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg, LM: true})
+		rj := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+		rjLM := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg, LM: true})
+		if bhj.Checksum != rj.Checksum || bhjLM.Checksum != rjLM.Checksum {
+			panic("bench: payload sweep checksum mismatch")
+		}
+		// Materialized probe row: hash + key + payload columns.
+		width := 16 + 8*pc
+		t.Add(itoa(width), mt(bhj.Throughput), mt(bhjLM.Throughput), mt(rj.Throughput), mt(rjLM.Throughput))
+	}
+	return t
+}
+
+// Fig16 sweeps the pipeline depth over a star schema (paper Figure 16).
+func Fig16(scale float64, depths []int, cfg core.Config) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 16: impact of pipeline depth, workload A3 (scale %g)", scale),
+		Header: []string{"pipeline depth", "BHJ [T/s per join]", "RJ [T/s per join]"},
+	}
+	maxDepth := 0
+	for _, d := range depths {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	spec := WorkloadA(scale)
+	dims, fact := StarTables(spec, maxDepth)
+	for _, d := range depths {
+		bhj := RunStar(dims, fact, d, plan.BHJ, 0, cfg)
+		rj := RunStar(dims, fact, d, plan.RJ, 0, cfg)
+		if bhj.Checksum != rj.Checksum {
+			panic("bench: star schema checksum mismatch")
+		}
+		t.Add(itoa(d), mt(bhj.Throughput), mt(rj.Throughput))
+	}
+	return t
+}
+
+// Fig17 sweeps Zipf skew for both workloads across all four
+// implementations (paper Figure 17).
+func Fig17(scale float64, zipfs []float64, cfg core.Config) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 17: impact of skew (scale %g)", scale),
+		Header: []string{"workload", "zipf", "NPJ", "PRJ", "BHJ", "RJ"},
+	}
+	for _, base := range []Spec{WorkloadA(scale), WorkloadB(scale)} {
+		for _, z := range zipfs {
+			spec := base
+			spec.Zipf = z
+			build, probe := spec.Tables()
+			sbuild, sprobe := spec.Relations()
+			npj := RunStandalone(sbuild, sprobe, false, benchThreads(), cfg.CacheBudget)
+			prj := RunStandalone(sbuild, sprobe, true, benchThreads(), cfg.CacheBudget)
+			bhj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+			rj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+			if bhj.Checksum != rj.Checksum {
+				panic("bench: skew sweep checksum mismatch")
+			}
+			t.Add(spec.Name, f2(z), mt(npj.Throughput), mt(prj.Throughput),
+				mt(bhj.Throughput), mt(rj.Throughput))
+		}
+	}
+	return t
+}
+
+// Table3 measures the combined selectivity+payload effect of late
+// materialization (paper Table 3: 5% selectivity, four payload columns).
+func Table3(scale float64, cfg core.Config) *Table {
+	spec := WorkloadA(scale)
+	spec.Selectivity = 0.05
+	spec.PayloadCols = 4
+	build, probe := spec.Tables()
+	names := spec.PayNames()
+	t := &Table{
+		Title:  fmt.Sprintf("Table 3: throughput with and without late materialization (scale %g)", scale),
+		Header: []string{"join", "LM", "no LM", "benefit"},
+	}
+	for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.BRJ, plan.RJ} {
+		lm := RunDBMS(build, probe, names, DBMSOpts{Algo: algo, Threads: 0, Core: cfg, LM: true})
+		no := RunDBMS(build, probe, names, DBMSOpts{Algo: algo, Threads: 0, Core: cfg})
+		if lm.Checksum != no.Checksum {
+			panic("bench: LM changed the result")
+		}
+		benefit := (lm.Throughput/no.Throughput - 1) * 100
+		t.Add(algo.String(), mt(lm.Throughput), mt(no.Throughput), fmt.Sprintf("%+.0f%%", benefit))
+	}
+	return t
+}
+
+// Fig18Micro reports the workload-A speedup of BRJ and BHJ over the RJ
+// (left half of paper Figure 18; the TPC-H half lives in cmd/tpchbench).
+func Fig18Micro(scale float64, cfg core.Config) *Table {
+	spec := WorkloadA(scale)
+	build, probe := spec.Tables()
+	rj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+	brj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BRJ, Threads: 0, Core: cfg})
+	bhj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 18 (left): speedup over optimized RJ, workload A (scale %g)", scale),
+		Header: []string{"join", "speedup vs RJ"},
+	}
+	t.Add("BRJ", fmt.Sprintf("%+.0f%%", (brj.Throughput/rj.Throughput-1)*100))
+	t.Add("BHJ", fmt.Sprintf("%+.0f%%", (bhj.Throughput/rj.Throughput-1)*100))
+	return t
+}
+
+// Table4 synthesizes the workable/beneficial ranges (paper Table 4) from
+// quick parameter sweeps: "workable" is where the RJ stays within 20% of
+// the BHJ, "beneficial" where it is at least 10% faster.
+func Table4(scale float64, cfg core.Config) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Table 4: workload characteristics for partitioned joins (scale %g, measured)", scale),
+		Header: []string{"factor", "workable (RJ >= 0.8x BHJ)", "beneficial (RJ >= 1.1x BHJ)"},
+	}
+	ratio := func(spec Spec, payload bool) float64 {
+		build, probe := spec.Tables()
+		var names []string
+		if payload {
+			names = spec.PayNames()
+		}
+		rj := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+		bhj := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+		return rj.Throughput / bhj.Throughput
+	}
+	boundary := func(xs []float64, mk func(x float64) Spec, payload bool, threshold float64) string {
+		last := "none"
+		for _, x := range xs {
+			if ratio(mk(x), payload) >= threshold {
+				last = fmt.Sprintf("<= %g", x)
+			}
+		}
+		return last
+	}
+	payXs := []float64{0, 1, 2, 4, 8}
+	t.Add("payload columns (8 B each)",
+		boundary(payXs, func(x float64) Spec {
+			s := WorkloadA(scale)
+			s.PayloadCols = int(x)
+			return s
+		}, true, 0.8),
+		boundary(payXs, func(x float64) Spec {
+			s := WorkloadA(scale)
+			s.PayloadCols = int(x)
+			return s
+		}, true, 1.1))
+	zipXs := []float64{0, 0.5, 1, 1.5, 2}
+	t.Add("skew (zipf)",
+		boundary(zipXs, func(x float64) Spec {
+			s := WorkloadA(scale)
+			s.Zipf = x
+			return s
+		}, false, 0.8),
+		boundary(zipXs, func(x float64) Spec {
+			s := WorkloadA(scale)
+			s.Zipf = x
+			return s
+		}, false, 1.1))
+	return t
+}
+
+// Print renders a table with aligned columns through the given printf-like
+// function.
+func (t *Table) Print(printf func(format string, args ...any)) {
+	printf("%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, r := range rows {
+		for c, cell := range r {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, r := range rows {
+		line := "  "
+		for c, cell := range r {
+			line += fmt.Sprintf("%-*s  ", widths[c], cell)
+		}
+		printf("%s\n", line)
+		if ri == 0 {
+			sep := "  "
+			for _, w := range widths {
+				for i := 0; i < w; i++ {
+					sep += "-"
+				}
+				sep += "  "
+			}
+			printf("%s\n", sep)
+		}
+	}
+}
+
+// benchThreads is the parallelism for standalone baselines when the DBMS
+// side runs at GOMAXPROCS (Threads: 0).
+func benchThreads() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/standalone"
+	"partitionjoin/internal/storage"
+)
+
+// Result is one measured join execution.
+type Result struct {
+	Algo       string
+	Threads    int
+	Seconds    float64
+	Tuples     int64 // build + probe cardinality
+	Throughput float64
+	Checksum   int64
+}
+
+// Runs is the number of repetitions per measurement; the median is
+// reported, as in the paper ("at least five times and reported median").
+// The harness exposes it so quick runs can lower it.
+var Runs = 3
+
+// median runs f Runs times and returns the run with median duration.
+func median(f func() Result) Result {
+	rs := make([]Result, 0, Runs)
+	for i := 0; i < Runs; i++ {
+		rs = append(rs, f())
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Seconds < rs[j].Seconds })
+	return rs[len(rs)/2]
+}
+
+// DBMSOpts configures a DBMS-integrated join run.
+type DBMSOpts struct {
+	Algo    plan.JoinAlgo
+	Threads int
+	LM      bool
+	Core    core.Config
+}
+
+// joinQuery builds the microbenchmark query: the paper's
+// "SELECT count(*) FROM probe r, build s WHERE r.k = s.k" for zero payload
+// columns, or "SELECT sum(p1), ..." carrying every payload column when the
+// sweep widens the probe tuples.
+func joinQuery(build, probe *storage.Table, payNames []string, lm bool) plan.Node {
+	var probeScan plan.Node
+	probePay := payNames
+	if lm && len(payNames) > 0 {
+		probeScan = plan.ScanRowID(probe, "rid", "fk")
+		probePay = []string{"rid"}
+	} else {
+		probeScan = plan.Scan(probe, append([]string{"fk"}, payNames...)...)
+	}
+	j := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build:     plan.Scan(build, "key"),
+		Probe:     probeScan,
+		BuildKeys: []string{"key"}, ProbeKeys: []string{"fk"},
+		ProbePay: probePay,
+	}
+	var joined plan.Node = j
+	if lm && len(payNames) > 0 {
+		joined = plan.LateLoad(j, probe, "rid", payNames...)
+	}
+	var aggs []plan.AggExpr
+	if len(payNames) == 0 {
+		aggs = []plan.AggExpr{{Kind: exec.AggCount, As: "n"}}
+	} else {
+		for _, p := range payNames {
+			aggs = append(aggs, plan.AggExpr{Kind: exec.AggSumI, Col: p, As: "sum_" + p})
+		}
+	}
+	return plan.GroupBy(joined, nil, aggs...)
+}
+
+// RunDBMS measures one DBMS-integrated join over pre-built tables.
+func RunDBMS(build, probe *storage.Table, payNames []string, o DBMSOpts) Result {
+	return median(func() Result {
+		opts := plan.Options{Workers: o.Threads, Algo: o.Algo, Core: o.Core}
+		root := joinQuery(build, probe, payNames, o.LM)
+		start := time.Now()
+		res := plan.Execute(opts, root)
+		secs := time.Since(start).Seconds()
+		tuples := int64(build.NumRows() + probe.NumRows())
+		return Result{
+			Algo:       o.Algo.String(),
+			Threads:    o.Threads,
+			Seconds:    secs,
+			Tuples:     tuples,
+			Throughput: float64(tuples) / secs,
+			Checksum:   res.Result.Vecs[0].I64[0],
+		}
+	})
+}
+
+// RunStandalone measures a Balkesen-style baseline over pre-built arrays.
+func RunStandalone(build, probe *standalone.Relation, prj bool, threads int, cacheBudget int) Result {
+	name := "NPJ"
+	if prj {
+		name = "PRJ"
+	}
+	return median(func() Result {
+		start := time.Now()
+		var matches int64
+		if prj {
+			matches = standalone.PRJ(build, probe, threads, cacheBudget)
+		} else {
+			matches = standalone.NPJ(build, probe, threads)
+		}
+		secs := time.Since(start).Seconds()
+		tuples := int64(build.N + probe.N)
+		return Result{
+			Algo:       name,
+			Threads:    threads,
+			Seconds:    secs,
+			Tuples:     tuples,
+			Throughput: float64(tuples) / secs,
+			Checksum:   matches,
+		}
+	})
+}
+
+// StarTables builds the Figure 16 star schema: one fact table whose fk_i
+// columns each reference a full copy of the build relation ("we added
+// multiple copies of our build side table containing randomly permutated
+// rows", 100% selectivity).
+func StarTables(spec Spec, depth int) (dims []*storage.Table, fact *storage.Table) {
+	base, _ := spec.Tables()
+	dims = make([]*storage.Table, depth)
+	for d := range dims {
+		dims[d] = base
+	}
+	cols := make([]storage.ColumnDef, depth)
+	for d := 0; d < depth; d++ {
+		cols[d] = storage.ColumnDef{Name: fkName(d), Type: storage.Int64}
+	}
+	fact = storage.NewTable("fact", storage.NewSchema(cols...), spec.ProbeTuples)
+	rng := newSplitRand(spec.Seed + 99)
+	for d := 0; d < depth; d++ {
+		col := fact.Cols[d].(*storage.Int64Column)
+		for i := 0; i < spec.ProbeTuples; i++ {
+			col.Values = append(col.Values, int64(rng.next()%uint64(spec.BuildTuples)))
+		}
+	}
+	return dims, fact
+}
+
+func fkName(d int) string { return "fk" + string(rune('1'+d)) }
+
+// splitRand is a tiny splitmix64 stream for bulk column fills.
+type splitRand struct{ s uint64 }
+
+func newSplitRand(seed int64) *splitRand { return &splitRand{s: uint64(seed)} }
+
+func (r *splitRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// StarPlan chains depth joins through one pipeline (Figure 16): each join's
+// build side is a dimension copy; payloads accumulate so radix joins have
+// to materialize ever-wider tuples while the BHJ streams them.
+func StarPlan(dims []*storage.Table, fact *storage.Table, depth int) plan.Node {
+	var node plan.Node
+	fks := make([]string, depth)
+	for d := 0; d < depth; d++ {
+		fks[d] = fkName(d)
+	}
+	node = plan.Scan(fact, fks...)
+	var carried []string
+	for d := 0; d < depth; d++ {
+		vname := "v" + string(rune('1'+d))
+		probePay := append(append([]string{}, fks[d+1:]...), carried...)
+		node = &plan.JoinNode{
+			ID: d + 1, Kind: core.Inner,
+			Build:     plan.Rename(plan.Scan(dims[d], "key", "pay"), "key", "k"+vname, "pay", vname),
+			Probe:     node,
+			BuildKeys: []string{"k" + vname}, ProbeKeys: []string{fks[d]},
+			BuildPay: []string{vname},
+			ProbePay: probePay,
+		}
+		carried = append(carried, vname)
+	}
+	var aggs []plan.AggExpr
+	for _, v := range carried {
+		aggs = append(aggs, plan.AggExpr{Kind: exec.AggSumI, Col: v, As: "sum_" + v})
+	}
+	return plan.GroupBy(node, nil, aggs...)
+}
+
+// RunStar measures the pipeline-depth workload and reports per-join
+// throughput.
+func RunStar(dims []*storage.Table, fact *storage.Table, depth int, algo plan.JoinAlgo, threads int, cfg core.Config) Result {
+	return median(func() Result {
+		opts := plan.Options{Workers: threads, Algo: algo, Core: cfg}
+		start := time.Now()
+		res := plan.Execute(opts, StarPlan(dims, fact, depth))
+		secs := time.Since(start).Seconds()
+		// Per-join throughput: every join processes the fact stream plus
+		// one dimension, and the chain takes secs/depth per join. A
+		// pipeline-friendly join keeps this constant as depth grows
+		// (Figure 16's y-axis).
+		perJoin := int64(fact.NumRows() + dims[0].NumRows())
+		return Result{
+			Algo:       algo.String(),
+			Threads:    threads,
+			Seconds:    secs,
+			Tuples:     perJoin * int64(depth),
+			Throughput: float64(perJoin) * float64(depth) / secs,
+			Checksum:   res.Result.Vecs[0].I64[0],
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package bench builds the microbenchmark workloads of the evaluation
+// (Section 5.1.2, Table 1) and runs the parameter sweeps behind every
+// figure and table of the paper. Workloads derive from Balkesen et al.'s A
+// (8 B/8 B, 16M ⋈ 256M) and B (4 B/4 B, 128M ⋈ 128M), altered one factor at
+// a time: foreign-key selectivity (Fig. 14), payload width (Fig. 15),
+// pipeline depth (Fig. 16), and Zipf skew (Fig. 17).
+package bench
+
+import (
+	"math/rand"
+
+	"partitionjoin/internal/standalone"
+	"partitionjoin/internal/storage"
+	"partitionjoin/internal/zipf"
+)
+
+// Spec describes one microbenchmark workload instance.
+type Spec struct {
+	Name        string
+	BuildTuples int
+	ProbeTuples int
+	// KeyType is Int64 (8 B, workload A) or Int32 (4 B, workload B).
+	KeyType storage.Type
+	// PayloadCols is the number of extra 8 B integer columns on the
+	// probe side (Section 5.4.2's payload sweep).
+	PayloadCols int
+	// Selectivity is the fraction of probe tuples with a build partner;
+	// non-matching tuples get keys outside the build domain so the probe
+	// cardinality is preserved (Section 5.4.1).
+	Selectivity float64
+	// Zipf skews the matching probe keys over the build domain
+	// (Section 5.4.5); 0 is uniform.
+	Zipf float64
+	Seed int64
+}
+
+// WorkloadA returns Balkesen et al.'s workload A scaled by scale
+// (16M ⋈ 256M tuples at scale 1).
+func WorkloadA(scale float64) Spec {
+	return Spec{
+		Name:        "A",
+		BuildTuples: scaledTuples(16*1024*1024, scale),
+		ProbeTuples: scaledTuples(256*1024*1024, scale),
+		KeyType:     storage.Int64,
+		Selectivity: 1,
+		Seed:        1,
+	}
+}
+
+// WorkloadB returns workload B scaled by scale (128M ⋈ 128M 4-byte tuples
+// at scale 1).
+func WorkloadB(scale float64) Spec {
+	return Spec{
+		Name:        "B",
+		BuildTuples: scaledTuples(128_000_000, scale),
+		ProbeTuples: scaledTuples(128_000_000, scale),
+		KeyType:     storage.Int32,
+		Selectivity: 1,
+		Seed:        2,
+	}
+}
+
+func scaledTuples(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1024 {
+		v = 1024
+	}
+	return v
+}
+
+// BuildBytes returns the build relation's key+payload volume.
+func (s Spec) BuildBytes() int64 {
+	return int64(s.BuildTuples) * int64(2*s.keyWidth())
+}
+
+// ProbeBytes returns the probe relation's volume including payload columns.
+func (s Spec) ProbeBytes() int64 {
+	return int64(s.ProbeTuples) * int64(2*s.keyWidth()+8*s.PayloadCols)
+}
+
+func (s Spec) keyWidth() int {
+	if s.KeyType == storage.Int32 {
+		return 4
+	}
+	return 8
+}
+
+// Tables materializes the workload as stored relations, reproducing the
+// paper's setup ("CREATE TABLE b(key BIGINT NOT NULL, pay BIGINT NOT
+// NULL)", INT for workload B): a dense unique build side and a probe side
+// drawn per Selectivity and Zipf.
+func (s Spec) Tables() (build, probe *storage.Table) {
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	bcols := []storage.ColumnDef{
+		{Name: "key", Type: s.KeyType},
+		{Name: "pay", Type: s.KeyType},
+	}
+	build = storage.NewTable("build", storage.NewSchema(bcols...), s.BuildTuples)
+	appendKV(build, 0, s.BuildTuples, func(i int) (int64, int64) {
+		return int64(i), int64(i)
+	})
+
+	pcols := []storage.ColumnDef{
+		{Name: "fk", Type: s.KeyType},
+		{Name: "pay", Type: s.KeyType},
+	}
+	for p := 0; p < s.PayloadCols; p++ {
+		pcols = append(pcols, storage.ColumnDef{Name: payName(p), Type: storage.Int64})
+	}
+	probe = storage.NewTable("probe", storage.NewSchema(pcols...), s.ProbeTuples)
+
+	var zg *zipf.Generator
+	if s.Zipf > 0 {
+		zg = zipf.New(s.BuildTuples, s.Zipf, s.Seed+7)
+	}
+	matchEvery := 1.0
+	if s.Selectivity < 1 {
+		matchEvery = s.Selectivity
+	}
+	acc := 0.0
+	appendKV(probe, 0, s.ProbeTuples, func(i int) (int64, int64) {
+		acc += matchEvery
+		var k int64
+		if acc >= 1 {
+			acc -= 1
+			if zg != nil {
+				k = int64(zg.Next())
+			} else {
+				k = int64(rng.Intn(s.BuildTuples))
+			}
+		} else {
+			// Outside the build domain: never matches, same width.
+			k = int64(s.BuildTuples + rng.Intn(s.BuildTuples))
+		}
+		return k, int64(i)
+	})
+	for p := 0; p < s.PayloadCols; p++ {
+		col := probe.ColByName(payName(p)).(*storage.Int64Column)
+		for i := 0; i < s.ProbeTuples; i++ {
+			col.Values = append(col.Values, rng.Int63())
+		}
+	}
+	return build, probe
+}
+
+func payName(p int) string { return "p" + string(rune('1'+p)) }
+
+// PayNames returns the payload column names of the spec.
+func (s Spec) PayNames() []string {
+	out := make([]string, s.PayloadCols)
+	for p := range out {
+		out[p] = payName(p)
+	}
+	return out
+}
+
+// appendKV fills the first two columns of a two-plus-column table.
+func appendKV(t *storage.Table, lo, hi int, f func(i int) (int64, int64)) {
+	switch kc := t.Cols[0].(type) {
+	case *storage.Int64Column:
+		pc := t.Cols[1].(*storage.Int64Column)
+		for i := lo; i < hi; i++ {
+			k, v := f(i)
+			kc.Values = append(kc.Values, k)
+			pc.Values = append(pc.Values, v)
+		}
+	case *storage.Int32Column:
+		pc := t.Cols[1].(*storage.Int32Column)
+		for i := lo; i < hi; i++ {
+			k, v := f(i)
+			kc.Values = append(kc.Values, int32(k))
+			pc.Values = append(pc.Values, int32(v))
+		}
+	}
+}
+
+// Relations materializes the workload as standalone row arrays for the
+// Balkesen baselines (PRJ/NPJ).
+func (s Spec) Relations() (build, probe *standalone.Relation) {
+	ts := 16
+	if s.KeyType == storage.Int32 {
+		ts = 8
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	build = standalone.NewRelation(s.BuildTuples, ts)
+	for i := 0; i < s.BuildTuples; i++ {
+		build.SetTuple(i, uint64(i), uint64(i))
+	}
+	probe = standalone.NewRelation(s.ProbeTuples, ts)
+	var zg *zipf.Generator
+	if s.Zipf > 0 {
+		zg = zipf.New(s.BuildTuples, s.Zipf, s.Seed+7)
+	}
+	matchEvery := s.Selectivity
+	acc := 0.0
+	for i := 0; i < s.ProbeTuples; i++ {
+		acc += matchEvery
+		var k uint64
+		if acc >= 1 {
+			acc -= 1
+			if zg != nil {
+				k = uint64(zg.Next())
+			} else {
+				k = uint64(rng.Intn(s.BuildTuples))
+			}
+		} else {
+			k = uint64(s.BuildTuples + rng.Intn(s.BuildTuples))
+		}
+		probe.SetTuple(i, k, uint64(i))
+	}
+	return build, probe
+}

@@ -1,0 +1,105 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partitionjoin/internal/hashx"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000, 1)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = hashx.U64(rng.Uint64())
+		f.Insert(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for inserted key %x", k)
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	check := func(seeds []uint64) bool {
+		f := New(len(seeds), 1)
+		for _, s := range seeds {
+			f.Insert(hashx.U64(s))
+		}
+		for _, s := range seeds {
+			if !f.MayContain(hashx.U64(s)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	const n = 1 << 16
+	f := New(n, 1)
+	for i := uint64(0); i < n; i++ {
+		f.Insert(hashx.U64(i))
+	}
+	fp := 0
+	const probes = 1 << 16
+	for i := uint64(n); i < n+probes; i++ {
+		if f.MayContain(hashx.U64(i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Register-blocked filters trade some precision for single-block
+	// probes; at 8 bits/key the rate should still be low single digits.
+	if rate > 0.08 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestMinBlocksRespected(t *testing.T) {
+	f := New(1, 64)
+	if f.Blocks() < 64 {
+		t.Fatalf("got %d blocks, want >= 64", f.Blocks())
+	}
+	if f.Blocks()&(f.Blocks()-1) != 0 {
+		t.Fatalf("block count %d not a power of two", f.Blocks())
+	}
+}
+
+func TestPartitionDisjointBlocks(t *testing.T) {
+	// The BRJ writes the filter from concurrent pass-2 tasks, one per
+	// pre-partition p1 = h & (F1-1). Verify the block index preserves
+	// that: keys of different pre-partitions map to different blocks.
+	const f1 = 64
+	f := New(1<<16, f1)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := hashx.U64(i)
+		block := h & uint64(f.Blocks()-1)
+		if block&(f1-1) != h&(f1-1) {
+			t.Fatalf("block %d of hash %x not aligned with pre-partition %d",
+				block, h, h&(f1-1))
+		}
+	}
+}
+
+func TestEmptyFilterContainsNothingMuch(t *testing.T) {
+	f := New(1024, 1)
+	hits := 0
+	for i := uint64(0); i < 1024; i++ {
+		if f.MayContain(hashx.U64(i)) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("empty filter reported %d hits", hits)
+	}
+	if f.FillRatio() != 0 {
+		t.Fatalf("empty filter fill ratio %f", f.FillRatio())
+	}
+}

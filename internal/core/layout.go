@@ -1,0 +1,272 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/hashx"
+	"partitionjoin/internal/storage"
+)
+
+// Layout describes the packed row format a join materializes tuples into:
+//
+//	[ hash u64 | col0 | col1 | ... | padding ]
+//
+// Numeric columns occupy their declared width (4 or 8 bytes), strings an
+// inline slot of one length byte plus their declared capacity. The row is
+// padded to the next power of two when that keeps it within the write-
+// combine buffer, exactly the padding trade-off Figure 10 discusses; wider
+// rows are padded to 8 bytes and written unbuffered.
+type Layout struct {
+	Types  []storage.Type
+	Widths []int // materialized width per column
+	Offs   []int // byte offset per column (after the 8-byte hash)
+	// KeyCols are the columns forming the join key, in key order.
+	KeyCols []int
+	// Size is the padded row size; Buffered reports whether rows go
+	// through SWWCBs.
+	Size     int
+	Buffered bool
+	// AllI64 marks layouts whose columns are all 8-byte integer-lane
+	// values; packing and unpacking take tight fast paths then.
+	AllI64 bool
+	// KeyI64 marks single-column 8-byte integer join keys.
+	KeyI64 bool
+}
+
+// maxBufferedRow is the largest padded row that still uses write-combine
+// buffers (Section 5.4.2: "We do not use buffers for tuples larger than
+// 64 B").
+const maxBufferedRow = 64
+
+// NewLayout builds a layout for the given column shapes and key columns.
+func NewLayout(types []storage.Type, widths []int, keyCols []int) *Layout {
+	l := &Layout{Types: types, Widths: widths, KeyCols: keyCols}
+	off := 8 // hash
+	l.Offs = make([]int, len(types))
+	for i, w := range widths {
+		l.Offs[i] = off
+		off += w
+	}
+	size := (off + 7) &^ 7
+	// Pad to the next power of two while that keeps the row buffered.
+	p2 := 8
+	for p2 < size {
+		p2 <<= 1
+	}
+	if p2 <= maxBufferedRow {
+		l.Size = p2
+		l.Buffered = true
+	} else {
+		l.Size = size
+		l.Buffered = false
+	}
+	l.AllI64 = true
+	for i, t := range types {
+		if t == storage.String || t == storage.Float64 || widths[i] != 8 {
+			l.AllI64 = false
+			break
+		}
+	}
+	l.KeyI64 = len(keyCols) == 1 && keyCols[0] < len(types) &&
+		types[keyCols[0]] != storage.String && types[keyCols[0]] != storage.Float64 &&
+		widths[keyCols[0]] == 8
+	return l
+}
+
+// LayoutFor derives a layout from batch vectors: cols selects the vectors
+// to materialize, keyCols indexes into cols.
+func LayoutFor(b *exec.Batch, cols []int, keyCols []int) *Layout {
+	types := make([]storage.Type, len(cols))
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		types[i] = b.Vecs[c].T
+		widths[i] = b.Vecs[c].Width
+	}
+	return NewLayout(types, widths, keyCols)
+}
+
+// Hash returns the row's stored hash.
+func (l *Layout) Hash(row []byte) uint64 {
+	return binary.LittleEndian.Uint64(row)
+}
+
+// PackRow serializes row i of the selected batch vectors into dst
+// (len >= l.Size), including the hash. Padding bytes are left untouched:
+// key comparison extracts column values, never raw row bytes.
+func (l *Layout) PackRow(dst []byte, h uint64, b *exec.Batch, cols []int, i int) {
+	binary.LittleEndian.PutUint64(dst, h)
+	for c, src := range cols {
+		v := &b.Vecs[src]
+		off := l.Offs[c]
+		switch {
+		case v.T == storage.Float64:
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v.F64[i]))
+		case v.T == storage.String:
+			s := v.Str[i]
+			if len(s) > l.Widths[c]-1 {
+				s = s[:l.Widths[c]-1]
+			}
+			dst[off] = byte(len(s))
+			copy(dst[off+1:], s)
+		case l.Widths[c] == 4:
+			binary.LittleEndian.PutUint32(dst[off:], uint32(v.I64[i]))
+		default:
+			binary.LittleEndian.PutUint64(dst[off:], uint64(v.I64[i]))
+		}
+	}
+}
+
+// AppendCol appends the value of column c in row to the vector.
+func (l *Layout) AppendCol(v *exec.Vector, row []byte, c int) {
+	off := l.Offs[c]
+	switch {
+	case l.Types[c] == storage.Float64:
+		v.F64 = append(v.F64, math.Float64frombits(binary.LittleEndian.Uint64(row[off:])))
+	case l.Types[c] == storage.String:
+		n := int(row[off])
+		v.Str = append(v.Str, row[off+1:off+1+n])
+	case l.Widths[c] == 4:
+		v.I64 = append(v.I64, int64(int32(binary.LittleEndian.Uint32(row[off:]))))
+	default:
+		v.I64 = append(v.I64, int64(binary.LittleEndian.Uint64(row[off:])))
+	}
+}
+
+// AppendZeroCol appends a zero/empty value of column c's type (outer-join
+// padding).
+func (l *Layout) AppendZeroCol(v *exec.Vector, c int) {
+	switch l.Types[c] {
+	case storage.Float64:
+		v.F64 = append(v.F64, 0)
+	case storage.String:
+		v.Str = append(v.Str, nil)
+	default:
+		v.I64 = append(v.I64, 0)
+	}
+}
+
+// KeyEqual compares the join keys of a row in this layout against a row in
+// layout other. Both layouts list their key columns in the same key order.
+func (l *Layout) KeyEqual(row []byte, other *Layout, orow []byte) bool {
+	if l.KeyI64 && other.KeyI64 {
+		return binary.LittleEndian.Uint64(row[l.Offs[l.KeyCols[0]]:]) ==
+			binary.LittleEndian.Uint64(orow[other.Offs[other.KeyCols[0]]:])
+	}
+	for k, c := range l.KeyCols {
+		oc := other.KeyCols[k]
+		off, ooff := l.Offs[c], other.Offs[oc]
+		if l.Types[c] == storage.String {
+			n, on := int(row[off]), int(orow[ooff])
+			if n != on || string(row[off+1:off+1+n]) != string(orow[ooff+1:ooff+1+on]) {
+				return false
+			}
+			continue
+		}
+		var a, b int64
+		if l.Widths[c] == 4 {
+			a = int64(int32(binary.LittleEndian.Uint32(row[off:])))
+		} else {
+			a = int64(binary.LittleEndian.Uint64(row[off:]))
+		}
+		if other.Widths[oc] == 4 {
+			b = int64(int32(binary.LittleEndian.Uint32(orow[ooff:])))
+		} else {
+			b = int64(binary.LittleEndian.Uint64(orow[ooff:]))
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// GetI64 extracts column c of a packed row as int64 (residual predicates).
+func (l *Layout) GetI64(row []byte, c int) int64 {
+	off := l.Offs[c]
+	if l.Widths[c] == 4 {
+		return int64(int32(binary.LittleEndian.Uint32(row[off:])))
+	}
+	return int64(binary.LittleEndian.Uint64(row[off:]))
+}
+
+// KeyEqualBatch compares the join key of a packed row against row i of a
+// batch whose key vector indices are keyCols (the BHJ's in-pipeline probe:
+// the probe side is never packed).
+func (l *Layout) KeyEqualBatch(row []byte, b *exec.Batch, keyCols []int, i int) bool {
+	for k, c := range l.KeyCols {
+		v := &b.Vecs[keyCols[k]]
+		off := l.Offs[c]
+		switch {
+		case l.Types[c] == storage.String:
+			n := int(row[off])
+			if string(row[off+1:off+1+n]) != string(v.Str[i]) {
+				return false
+			}
+		case l.Types[c] == storage.Float64:
+			if binary.LittleEndian.Uint64(row[off:]) != math.Float64bits(v.F64[i]) {
+				return false
+			}
+		case l.Widths[c] == 4:
+			if int64(int32(binary.LittleEndian.Uint32(row[off:]))) != v.I64[i] {
+				return false
+			}
+		default:
+			if int64(binary.LittleEndian.Uint64(row[off:])) != v.I64[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HashKeys computes the join hash for row i of a batch given the key vector
+// indices; multi-column keys are combined.
+func HashKeys(b *exec.Batch, keyCols []int, i int) uint64 {
+	var h uint64
+	for k, kc := range keyCols {
+		v := &b.Vecs[kc]
+		var hk uint64
+		switch v.T {
+		case storage.Float64:
+			hk = hashx.U64(math.Float64bits(v.F64[i]))
+		case storage.String:
+			hk = hashx.Bytes(v.Str[i])
+		default:
+			hk = hashx.I64(v.I64[i])
+		}
+		if k == 0 {
+			h = hk
+		} else {
+			h = hashx.Combine(h, hk)
+		}
+	}
+	return h
+}
+
+// HashOp appends a hash vector computed over the key columns to each batch,
+// so the Bloom filter probe and the partitioner share one hash computation
+// (the paper stores the hash with each tuple for the same reason).
+type HashOp struct {
+	Next    exec.Operator
+	KeyCols []int
+	vec     exec.Vector
+}
+
+// Process implements exec.Operator.
+func (h *HashOp) Process(ctx *exec.Ctx, b *exec.Batch) {
+	h.vec.T = storage.Int64
+	h.vec.Width = 8
+	h.vec.I64 = h.vec.I64[:0]
+	for i := 0; i < b.N; i++ {
+		h.vec.I64 = append(h.vec.I64, int64(HashKeys(b, h.KeyCols, i)))
+	}
+	b.Vecs = append(b.Vecs, h.vec)
+	h.Next.Process(ctx, b)
+	h.vec = b.Vecs[len(b.Vecs)-1]
+	b.Vecs = b.Vecs[:len(b.Vecs)-1]
+}
+
+// Flush implements exec.Operator.
+func (h *HashOp) Flush(ctx *exec.Ctx) { h.Next.Flush(ctx) }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pagedPart is one temporary partition of the first pass: a linked list of
+// pages owned by a single worker (Section 4.5: "each temporary partition is
+// implemented as a linked list of pages. Whenever a page is full, a larger
+// page is prepended"). Pages hold whole packed rows only.
+type pagedPart struct {
+	pages [][]byte // len = bytes used; cap = allocated
+	rows  int64
+}
+
+// maxPageBytes caps the geometric page growth.
+const maxPageBytes = 4 << 20
+
+// write appends packed rows (len(data) is a multiple of rowSize), splitting
+// across page boundaries on row boundaries.
+func (p *pagedPart) write(data []byte, rowSize, firstPageBytes int) {
+	p.rows += int64(len(data) / rowSize)
+	for len(data) > 0 {
+		if len(p.pages) == 0 || len(p.last())+rowSize > cap(p.last()) {
+			p.grow(rowSize, firstPageBytes)
+		}
+		pg := p.last()
+		space := (cap(pg) - len(pg)) / rowSize * rowSize
+		n := len(data)
+		if n > space {
+			n = space
+		}
+		p.pages[len(p.pages)-1] = append(pg, data[:n]...)
+		data = data[n:]
+	}
+}
+
+func (p *pagedPart) last() []byte { return p.pages[len(p.pages)-1] }
+
+func (p *pagedPart) grow(rowSize, firstPageBytes int) {
+	size := firstPageBytes
+	if n := len(p.pages); n > 0 {
+		size = cap(p.pages[n-1]) * 2
+		if size > maxPageBytes {
+			size = maxPageBytes
+		}
+	}
+	if size < rowSize {
+		size = rowSize
+	}
+	// Keep capacity a multiple of the row size so rows never split.
+	size = size / rowSize * rowSize
+	p.pages = append(p.pages, make([]byte, 0, size))
+}
+
+// swwcbSet is a worker-local set of software write-combine buffers, one per
+// output partition (Section 3.3). Rows are staged in a buffer and flushed
+// in one contiguous write when it fills, reducing the number of distinct
+// write streams from the fan-out to one.
+type swwcbSet struct {
+	buf      []byte
+	used     []int32
+	capBytes int
+	rowSize  int
+	fanout   int
+}
+
+// newSWWCBSet sizes buffers to bufBytes rounded down to whole rows; if a
+// row exceeds bufBytes the set degenerates to one-row buffers, i.e. direct
+// writes, matching the paper's unbuffered mode for wide tuples.
+func newSWWCBSet(fanout, bufBytes, rowSize int) *swwcbSet {
+	capBytes := bufBytes / rowSize * rowSize
+	if capBytes < rowSize {
+		capBytes = rowSize
+	}
+	return &swwcbSet{
+		buf:      make([]byte, fanout*capBytes),
+		used:     make([]int32, fanout),
+		capBytes: capBytes,
+		rowSize:  rowSize,
+		fanout:   fanout,
+	}
+}
+
+// slot returns the staging area for the next row of partition p, flushing
+// through flush(p, data) when the buffer is full. The caller packs the row
+// directly into the returned slice.
+func (s *swwcbSet) slot(p int, flush func(p int, data []byte)) []byte {
+	u := s.used[p]
+	if int(u)+s.rowSize > s.capBytes {
+		base := p * s.capBytes
+		flush(p, s.buf[base:base+int(u)])
+		u = 0
+	}
+	s.used[p] = u + int32(s.rowSize)
+	base := p*s.capBytes + int(u)
+	return s.buf[base : base+s.rowSize]
+}
+
+// drain flushes every non-empty buffer.
+func (s *swwcbSet) drain(flush func(p int, data []byte)) {
+	for p := 0; p < s.fanout; p++ {
+		if u := s.used[p]; u > 0 {
+			base := p * s.capBytes
+			flush(p, s.buf[base:base+int(u)])
+			s.used[p] = 0
+		}
+	}
+}
+
+// parallelFor runs fn(task) for tasks [0,n) on up to workers goroutines,
+// handing out tasks through an atomic cursor — the same work-stealing
+// discipline the morsel driver uses, reused for the partitioning passes
+// and the in-sink scans.
+func parallelFor(n, workers int, fn func(task int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			fn(t)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(cursor.Add(1)) - 1
+				if t >= n {
+					return
+				}
+				fn(t)
+			}
+		}()
+	}
+	wg.Wait()
+}

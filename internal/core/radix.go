@@ -1,0 +1,299 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/hashx"
+	"partitionjoin/internal/meter"
+	"partitionjoin/internal/storage"
+)
+
+// Partitions is the contiguous output of the two partitioning passes: one
+// byte buffer holding all packed rows, with per-partition offset fences.
+// Partition id of a row is (hash & (F1*F2-1)): the first pass splits on the
+// low B1 bits, the second on the next B2 bits.
+type Partitions struct {
+	Layout *Layout
+	Data   []byte
+	Off    []int64 // len NumParts()+1, byte offsets into Data
+	B1, B2 int
+	Rows   int64
+}
+
+// NumParts returns the final fan-out.
+func (p *Partitions) NumParts() int { return 1 << (p.B1 + p.B2) }
+
+// Part returns the packed rows of partition pid.
+func (p *Partitions) Part(pid int) []byte { return p.Data[p.Off[pid]:p.Off[pid+1]] }
+
+// Count returns the number of rows in partition pid.
+func (p *Partitions) Count(pid int) int {
+	return int(p.Off[pid+1]-p.Off[pid]) / p.Layout.Size
+}
+
+// pass1Worker is one worker's private partitioning state: a set of
+// write-combine buffers and one paged temporary partition per first-pass
+// output. No other worker ever touches it (Section 4.5: "all workers are
+// writing to either local or dedicated memory areas").
+type pass1Worker struct {
+	swwcb *swwcbSet
+	parts []pagedPart
+	cols  [][]int64
+}
+
+// RadixSink is the pipeline breaker that materializes one join side into
+// radix partitions. Consume runs partitioning pass 1 morsel-wise; Close
+// runs the histogram scan, the exchange step, and partitioning pass 2
+// (Figure 6), leaving the final contiguous partitions in Out.
+type RadixSink struct {
+	Cfg     Config
+	Layout  *Layout
+	Cols    []int // batch vector indices to materialize, layout order
+	KeyCols []int // batch vector indices of the join key
+	HashCol int   // batch vector index of a precomputed hash, or -1
+	Side    string
+	Join    *RadixJoin
+	Meter   *meter.Meter
+
+	workers []*pass1Worker
+	Out     *Partitions
+}
+
+// Open implements exec.Sink.
+func (s *RadixSink) Open(workers int) {
+	s.workers = make([]*pass1Worker, workers)
+	s.Out = nil
+	s.Meter.BeginPhase("partition pass 1 (" + s.Side + ")")
+}
+
+func (s *RadixSink) worker(ctx *exec.Ctx) *pass1Worker {
+	w := s.workers[ctx.Worker]
+	if w == nil {
+		w = &pass1Worker{
+			swwcb: newSWWCBSet(1<<s.Cfg.Pass1Bits, s.swwcbBytes(), s.Layout.Size),
+			parts: make([]pagedPart, 1<<s.Cfg.Pass1Bits),
+		}
+		s.workers[ctx.Worker] = w
+	}
+	return w
+}
+
+// swwcbBytes returns the effective write-combine buffer size: wide rows
+// bypass buffering (buffer of exactly one row).
+func (s *RadixSink) swwcbBytes() int {
+	if !s.Layout.Buffered {
+		return s.Layout.Size
+	}
+	return s.Cfg.SWWCBBytes
+}
+
+// Consume implements exec.Sink: partitioning pass 1. Each tuple is hashed,
+// packed into the write-combine buffer of partition (hash & (F1-1)), and
+// streamed to the worker-local paged partition when the buffer fills.
+func (s *RadixSink) Consume(ctx *exec.Ctx, b *exec.Batch) {
+	w := s.worker(ctx)
+	mask := uint64(1)<<s.Cfg.Pass1Bits - 1
+	rowSize := s.Layout.Size
+	pageBytes := s.Cfg.PageBytes
+	flush := func(p int, data []byte) {
+		w.parts[p].write(data, rowSize, pageBytes)
+	}
+	var hcol []int64
+	if s.HashCol >= 0 {
+		hcol = b.Vecs[s.HashCol].I64
+	}
+	// Fast path: all-integer layouts with a single 8-byte key — the
+	// common case (every TPC-H key, both prior-work workloads) packs in
+	// one tight loop without per-column dispatch.
+	if s.Layout.AllI64 {
+		var keys []int64
+		if hcol == nil && s.Layout.KeyI64 {
+			kv := &b.Vecs[s.KeyCols[0]]
+			if kv.T != storage.Float64 && kv.T != storage.String {
+				keys = kv.I64
+			}
+		}
+		if hcol != nil || keys != nil {
+			cols := w.cols[:0]
+			for _, src := range s.Cols {
+				cols = append(cols, b.Vecs[src].I64)
+			}
+			w.cols = cols
+			for i := 0; i < b.N; i++ {
+				var h uint64
+				if hcol != nil {
+					h = uint64(hcol[i])
+				} else {
+					h = hashx.I64(keys[i])
+				}
+				p := int(h & mask)
+				dst := w.swwcb.slot(p, flush)
+				binary.LittleEndian.PutUint64(dst, h)
+				off := 8
+				for _, cv := range cols {
+					binary.LittleEndian.PutUint64(dst[off:], uint64(cv[i]))
+					off += 8
+				}
+			}
+			s.Meter.AddWrite(int64(b.N) * int64(rowSize))
+			return
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		var h uint64
+		if hcol != nil {
+			h = uint64(hcol[i])
+		} else {
+			h = HashKeys(b, s.KeyCols, i)
+		}
+		p := int(h & mask)
+		dst := w.swwcb.slot(p, flush)
+		s.Layout.PackRow(dst, h, b, s.Cols, i)
+	}
+	s.Meter.AddWrite(int64(b.N) * int64(rowSize))
+}
+
+// Close implements exec.Sink: drains the buffers, builds the histograms
+// (the "scan" phase of Figure 10), computes the exchange prefix sums, and
+// runs partitioning pass 2 into the final contiguous buffer. The build side
+// additionally decides the second-pass fan-out from its materialized size
+// and, for the BRJ, fills the Bloom filter while scattering.
+func (s *RadixSink) Close() {
+	cfg := s.Cfg
+	f1 := 1 << cfg.Pass1Bits
+	rowSize := s.Layout.Size
+
+	// Drain pass-1 buffers and count rows.
+	var totalRows int64
+	live := s.workers[:0]
+	for _, w := range s.workers {
+		if w == nil {
+			continue
+		}
+		wp := w.parts
+		w.swwcb.drain(func(p int, data []byte) {
+			wp[p].write(data, rowSize, cfg.PageBytes)
+		})
+		for p := range wp {
+			totalRows += wp[p].rows
+		}
+		live = append(live, w)
+	}
+	s.Meter.EndPhase()
+
+	b2 := s.Join.decideBits(s, totalRows)
+	f2 := 1 << b2
+	maskF1 := uint64(f1 - 1)
+	maskF2 := uint64(f2 - 1)
+	shift := uint(cfg.Pass1Bits)
+
+	// Histogram scan: per pre-partition, count rows per second-pass
+	// target. One task per pre-partition keeps the counters private.
+	hist := make([][]int64, f1)
+	if f2 > 1 {
+		s.Meter.BeginPhase("scan (" + s.Side + ")")
+		workers := len(live)
+		parallelFor(f1, maxInt(workers, 1), func(p1 int) {
+			h := make([]int64, f2)
+			for _, w := range live {
+				for _, pg := range w.parts[p1].pages {
+					for off := 0; off < len(pg); off += rowSize {
+						hv := s.Layout.Hash(pg[off:])
+						h[(hv>>shift)&maskF2]++
+					}
+				}
+			}
+			hist[p1] = h
+		})
+		s.Meter.AddRead(totalRows * 8)
+		s.Meter.EndPhase()
+	} else {
+		for p1 := 0; p1 < f1; p1++ {
+			h := make([]int64, 1)
+			for _, w := range live {
+				h[0] += w.parts[p1].rows
+			}
+			hist[p1] = h
+		}
+	}
+
+	// Exchange: prefix sums over the histograms fence the final buffer.
+	nparts := f1 * f2
+	out := &Partitions{Layout: s.Layout, B1: cfg.Pass1Bits, B2: b2, Rows: totalRows}
+	out.Off = make([]int64, nparts+1)
+	var acc int64
+	for pid := 0; pid < nparts; pid++ {
+		out.Off[pid] = acc
+		p1 := pid & int(maskF1)
+		p2 := pid >> shift
+		acc += hist[p1][p2] * int64(rowSize)
+	}
+	out.Off[nparts] = acc
+	out.Data = make([]byte, acc)
+
+	// Pass 2: one task per pre-partition; every final partition is
+	// written by exactly one task, so no synchronization is needed. The
+	// BRJ fills the Bloom filter here: the filter's block index shares
+	// the partition's low bits, so tasks touch disjoint blocks.
+	s.Meter.BeginPhase("partition pass 2 (" + s.Side + ")")
+	filter := s.Join.buildFilter(s, totalRows)
+	parallelFor(f1, maxInt(len(live), 1), func(p1 int) {
+		cursors := make([]int64, f2)
+		for p2 := 0; p2 < f2; p2++ {
+			cursors[p2] = out.Off[p1|p2<<shift]
+		}
+		flush := func(p2 int, data []byte) {
+			copy(out.Data[cursors[p2]:], data)
+			cursors[p2] += int64(len(data))
+		}
+		sw := newSWWCBSet(f2, s.swwcbBytes(), rowSize)
+		for _, w := range live {
+			for _, pg := range w.parts[p1].pages {
+				for off := 0; off < len(pg); off += rowSize {
+					row := pg[off : off+rowSize]
+					hv := s.Layout.Hash(row)
+					if filter != nil {
+						filter.Insert(hv)
+					}
+					p2 := int((hv >> shift) & maskF2)
+					copy(sw.slot(p2, flush), row)
+				}
+			}
+			// Pages of this pre-partition are dead after the scan.
+			w.parts[p1] = pagedPart{}
+		}
+		sw.drain(flush)
+	})
+	s.Meter.AddRead(totalRows * int64(rowSize))
+	s.Meter.AddWrite(totalRows * int64(rowSize))
+	s.Meter.EndPhase()
+
+	s.Out = out
+	s.workers = nil
+}
+
+// totalBitsFor sizes the fan-out so one build partition fits the cache
+// budget: ceil(log2(buildBytes / CacheBudget)), floored and capped.
+func totalBitsFor(cfg Config, buildBytes int64) int {
+	total := cfg.MinTotalBits
+	if buildBytes > int64(cfg.CacheBudget) {
+		need := (buildBytes + int64(cfg.CacheBudget) - 1) / int64(cfg.CacheBudget)
+		b := bits.Len64(uint64(need - 1))
+		if b > total {
+			total = b
+		}
+	}
+	if maxTotal := cfg.Pass1Bits + cfg.MaxPass2Bits; total > maxTotal {
+		total = maxTotal
+	}
+	return total
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

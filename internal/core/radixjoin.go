@@ -1,0 +1,420 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"partitionjoin/internal/bloom"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/meter"
+	"partitionjoin/internal/storage"
+)
+
+// RadixJoin couples the two radix sinks of a partitioned join with the
+// final join phase (Algorithm 1): the plan runs the build pipeline into
+// BuildSink, then the probe pipeline into ProbeSink (optionally through a
+// BloomProbeOp), then the join pipeline from JoinSource. The join is a full
+// pipeline breaker and a pipeline starter (Figure 4).
+type RadixJoin struct {
+	Cfg  Config
+	Kind JoinKind
+
+	BuildSink *RadixSink
+	ProbeSink *RadixSink
+
+	// BuildOut / ProbeOut are the layout column indices each side
+	// contributes to the join result, in output order (build columns
+	// first, as in t_build ∘ t_probe of Algorithm 2).
+	BuildOut []int
+	ProbeOut []int
+
+	// Residual, when non-nil, must also hold for a key-equal pair to
+	// match (e.g. Q21's l2.l_suppkey <> l1.l_suppkey).
+	Residual func(brow, prow []byte) bool
+
+	Meter *meter.Meter
+
+	// StatProbeRows and StatMatches count probe tuples entering the
+	// join phase and key-matched pairs, for the per-join analysis
+	// (Figures 1, 2 and 13).
+	StatProbeRows atomic.Int64
+	StatMatches   atomic.Int64
+
+	filter        *bloom.Filter
+	bloomDisabled atomic.Bool
+	b2            int
+	b2Decided     bool
+}
+
+// NewRadixJoin wires a radix join. buildLayout/probeLayout describe the
+// materialized rows of each side; buildCols/probeCols map layout columns to
+// batch vector indices of the respective input pipelines; keyCols give the
+// key vector indices, hashCol an optional precomputed-hash vector (-1 to
+// hash in the sink).
+func NewRadixJoin(cfg Config, kind JoinKind, m *meter.Meter,
+	buildLayout *Layout, buildCols, buildKeyCols []int, buildHashCol int,
+	probeLayout *Layout, probeCols, probeKeyCols []int, probeHashCol int,
+	buildOut, probeOut []int,
+) *RadixJoin {
+	j := &RadixJoin{Cfg: cfg, Kind: kind, Meter: m, BuildOut: buildOut, ProbeOut: probeOut}
+	j.BuildSink = &RadixSink{Cfg: cfg, Layout: buildLayout, Cols: buildCols,
+		KeyCols: buildKeyCols, HashCol: buildHashCol, Side: "build", Join: j, Meter: m}
+	j.ProbeSink = &RadixSink{Cfg: cfg, Layout: probeLayout, Cols: probeCols,
+		KeyCols: probeKeyCols, HashCol: probeHashCol, Side: "probe", Join: j, Meter: m}
+	return j
+}
+
+// decideBits fixes the second-pass fan-out. The build side decides from its
+// own materialized size (the partition-fits-in-cache invariant); the probe
+// side reuses the build's decision so partition pairs line up.
+func (j *RadixJoin) decideBits(s *RadixSink, totalRows int64) int {
+	if s == j.BuildSink {
+		total := totalBitsFor(j.Cfg, totalRows*int64(s.Layout.Size))
+		b2 := total - j.Cfg.Pass1Bits
+		if b2 < 0 {
+			b2 = 0
+		}
+		if b2 > j.Cfg.MaxPass2Bits {
+			b2 = j.Cfg.MaxPass2Bits
+		}
+		j.b2 = b2
+		j.b2Decided = true
+		return b2
+	}
+	if !j.b2Decided {
+		panic("core: probe side partitioned before build side")
+	}
+	return j.b2
+}
+
+// buildFilter allocates the Bloom filter when this is the build side of a
+// BRJ; pass 2 fills it. Blocks >= fan-out guarantees partition-disjoint
+// writes.
+func (j *RadixJoin) buildFilter(s *RadixSink, totalRows int64) *bloom.Filter {
+	if !j.Cfg.Bloom || s != j.BuildSink {
+		return nil
+	}
+	j.filter = bloom.New(int(totalRows), 1<<(j.Cfg.Pass1Bits+j.b2))
+	return j.filter
+}
+
+// Filter exposes the built Bloom filter (nil before the build side closed
+// or when Bloom is off).
+func (j *RadixJoin) Filter() *bloom.Filter { return j.filter }
+
+// BloomDisabled reports whether the adaptive logic switched the filter off.
+func (j *RadixJoin) BloomDisabled() bool { return j.bloomDisabled.Load() }
+
+// BloomProbeOp is the semi-join reducer in the probe pipeline: it drops
+// tuples whose hash cannot be in the build side before they are
+// materialized into partitions (Figure 7). With AdaptiveBloom it samples
+// the pass rate and disables itself when almost every tuple passes, since
+// then the extra block load cannot pay for itself (Section 5.4.1).
+type BloomProbeOp struct {
+	Next    exec.Operator
+	Join    *RadixJoin
+	HashCol int
+
+	sampled int
+	passed  int
+}
+
+// Process implements exec.Operator.
+func (o *BloomProbeOp) Process(ctx *exec.Ctx, b *exec.Batch) {
+	j := o.Join
+	f := j.filter
+	if f == nil || j.bloomDisabled.Load() {
+		o.Next.Process(ctx, b)
+		return
+	}
+	keep := ctx.KeepBuf(b.N)
+	h := b.Vecs[o.HashCol].I64
+	pass := 0
+	for i := 0; i < b.N; i++ {
+		ok := f.MayContain(uint64(h[i]))
+		keep[i] = ok
+		if ok {
+			pass++
+		}
+	}
+	if j.Cfg.AdaptiveBloom && o.sampled < j.Cfg.BloomSample {
+		o.sampled += b.N
+		o.passed += pass
+		if o.sampled >= j.Cfg.BloomSample &&
+			float64(o.passed) >= j.Cfg.BloomDisableRate*float64(o.sampled) {
+			j.bloomDisabled.Store(true)
+		}
+	}
+	b.Compact(keep)
+	if b.N > 0 {
+		o.Next.Process(ctx, b)
+	}
+}
+
+// Flush implements exec.Operator.
+func (o *BloomProbeOp) Flush(ctx *exec.Ctx) { o.Next.Flush(ctx) }
+
+// HasBuildCols reports whether the join kind emits build-side columns.
+func (k JoinKind) HasBuildCols() bool {
+	switch k {
+	case Inner, LeftOuter, RightOuter, LeftSemi, LeftAnti:
+		return true
+	}
+	return false
+}
+
+// HasProbeCols reports whether the join kind emits probe-side columns.
+func (k JoinKind) HasProbeCols() bool {
+	switch k {
+	case Inner, LeftOuter, RightOuter, Semi, Anti, Mark:
+		return true
+	}
+	return false
+}
+
+// needsMatchedFlags reports whether the kind tracks per-build-row matches.
+func (k JoinKind) needsMatchedFlags() bool {
+	return k == LeftOuter || k == LeftSemi || k == LeftAnti
+}
+
+// OutTypes returns the vector types and widths of the join's output
+// batches: build columns, then probe columns, then the mark flag if any.
+func (j *RadixJoin) OutTypes() ([]storage.Type, []int) {
+	var ts []storage.Type
+	var caps []int
+	bl, pl := j.BuildSink.Layout, j.ProbeSink.Layout
+	if j.Kind.HasBuildCols() {
+		for _, c := range j.BuildOut {
+			ts = append(ts, bl.Types[c])
+			caps = append(caps, bl.Widths[c])
+		}
+	}
+	if j.Kind.HasProbeCols() {
+		for _, c := range j.ProbeOut {
+			ts = append(ts, pl.Types[c])
+			caps = append(caps, pl.Widths[c])
+		}
+	}
+	if j.Kind == Mark {
+		ts = append(ts, storage.Bool)
+		caps = append(caps, 0)
+	}
+	return ts, caps
+}
+
+// JoinSource returns the source of the join pipeline: one task per final
+// partition pair, claimed through the driver's work-stealing cursor so
+// skewed partitions balance across workers (Section 4.5, step 8).
+func (j *RadixJoin) JoinSource() *PartitionJoinSource {
+	return &PartitionJoinSource{J: j}
+}
+
+// PartitionJoinSource joins partition pairs and emits result batches
+// (Algorithm 2). Per-worker state (hash table, output batch) lives in the
+// Ctx-indexed scratch so partitions can be processed without locks.
+type PartitionJoinSource struct {
+	J       *RadixJoin
+	once    sync.Once
+	scratch []*joinScratch
+}
+
+type joinScratch struct {
+	ht      rhTable
+	out     *exec.Batch
+	matched []bool
+}
+
+// Tasks implements exec.Source.
+func (s *PartitionJoinSource) Tasks() int { return s.J.BuildSink.Out.NumParts() }
+
+func (s *PartitionJoinSource) worker(ctx *exec.Ctx) *joinScratch {
+	s.once.Do(func() { s.scratch = make([]*joinScratch, ctx.Workers) })
+	w := s.scratch[ctx.Worker]
+	if w == nil {
+		ts, widths := s.J.OutTypes()
+		b := exec.NewBatch(ts, nil)
+		// Width metadata must survive into downstream materialization.
+		for i := range b.Vecs {
+			if widths[i] > 0 {
+				b.Vecs[i].Width = widths[i]
+			}
+		}
+		w = &joinScratch{out: b}
+		s.scratch[ctx.Worker] = w
+	}
+	return w
+}
+
+// Emit implements exec.Source: joins one partition pair.
+func (s *PartitionJoinSource) Emit(ctx *exec.Ctx, pid int, out exec.Operator) {
+	j := s.J
+	w := s.worker(ctx)
+	bl, pl := j.BuildSink.Layout, j.ProbeSink.Layout
+	bpart := j.BuildSink.Out.Part(pid)
+	ppart := j.ProbeSink.Out.Part(pid)
+	nb := len(bpart) / bl.Size
+	np := len(ppart) / pl.Size
+	ctx.Meter.AddRead(int64(len(bpart) + len(ppart)))
+
+	// Build the per-partition hash table on the fly.
+	w.ht.reset(nb)
+	for i := 0; i < nb; i++ {
+		row := bpart[i*bl.Size:]
+		w.ht.insert(bl.Hash(row), int32(i))
+	}
+
+	withBuildCols := j.Kind.HasBuildCols()
+	withProbeCols := j.Kind.HasProbeCols()
+	if j.Kind.needsMatchedFlags() {
+		if cap(w.matched) < nb {
+			w.matched = make([]bool, nb)
+		}
+		w.matched = w.matched[:nb]
+		for i := range w.matched {
+			w.matched[i] = false
+		}
+	}
+
+	flush := func() {
+		if w.out.N > 0 {
+			out.Process(ctx, w.out)
+			w.out.Reset()
+		}
+	}
+	emitPair := func(brow, prow []byte) {
+		v := 0
+		if withBuildCols {
+			for _, c := range j.BuildOut {
+				if brow != nil {
+					bl.AppendCol(&w.out.Vecs[v], brow, c)
+				} else {
+					bl.AppendZeroCol(&w.out.Vecs[v], c)
+				}
+				v++
+			}
+		}
+		if withProbeCols {
+			for _, c := range j.ProbeOut {
+				if prow != nil {
+					pl.AppendCol(&w.out.Vecs[v], prow, c)
+				} else {
+					pl.AppendZeroCol(&w.out.Vecs[v], c)
+				}
+				v++
+			}
+		}
+		w.out.N++
+		if w.out.N >= exec.BatchSize {
+			flush()
+		}
+	}
+	emitMark := func(prow []byte, hit bool) {
+		v := 0
+		for _, c := range j.ProbeOut {
+			pl.AppendCol(&w.out.Vecs[v], prow, c)
+			v++
+		}
+		flag := int64(0)
+		if hit {
+			flag = 1
+		}
+		w.out.Vecs[v].I64 = append(w.out.Vecs[v].I64, flag)
+		w.out.N++
+		if w.out.N >= exec.BatchSize {
+			flush()
+		}
+	}
+
+	j.StatProbeRows.Add(int64(np))
+	var matches int64
+	ht := &w.ht
+	entries := ht.entries
+	mask := ht.mask
+	// Single 8-byte integer keys (every TPC-H and prior-work key) compare
+	// with two direct loads instead of the generic per-column path.
+	fastKey := bl.KeyI64 && pl.KeyI64 && j.Residual == nil
+	bKeyOff := bl.Offs[bl.KeyCols[0]]
+	pKeyOff := pl.Offs[pl.KeyCols[0]]
+	for i := 0; i < np; i++ {
+		prow := ppart[i*pl.Size : (i+1)*pl.Size]
+		h := pl.Hash(prow)
+		hit := false
+		// Inlined robin-hood probe: the displacement invariant bounds
+		// the scan (see rhTable.probe); candidates verify key and
+		// residual before counting as matches.
+		slot := rhSlot(h) & mask
+		dist := uint32(0)
+		for {
+			e := &entries[slot]
+			idx := e.idx
+			if idx < 0 {
+				break
+			}
+			occDist := (slot - rhSlot(e.hash)) & mask
+			if occDist < dist {
+				break
+			}
+			if e.hash == h {
+				brow := bpart[int(idx)*bl.Size : (int(idx)+1)*bl.Size]
+				var ok bool
+				if fastKey {
+					ok = binary.LittleEndian.Uint64(brow[bKeyOff:]) ==
+						binary.LittleEndian.Uint64(prow[pKeyOff:])
+				} else {
+					ok = bl.KeyEqual(brow, pl, prow) &&
+						(j.Residual == nil || j.Residual(brow, prow))
+				}
+				if ok {
+					hit = true
+					matches++
+					switch j.Kind {
+					case Inner, RightOuter:
+						emitPair(brow, prow)
+					case LeftOuter:
+						w.matched[idx] = true
+						emitPair(brow, prow)
+					case LeftSemi, LeftAnti:
+						w.matched[idx] = true
+					case Semi, Anti, Mark:
+						// Presence is all that matters.
+					}
+				}
+			}
+			slot = (slot + 1) & mask
+			dist++
+		}
+		switch j.Kind {
+		case Semi:
+			if hit {
+				emitPair(nil, prow)
+			}
+		case Anti:
+			if !hit {
+				emitPair(nil, prow)
+			}
+		case Mark:
+			emitMark(prow, hit)
+		case RightOuter:
+			if !hit {
+				emitPair(nil, prow)
+			}
+		}
+	}
+	switch j.Kind {
+	case LeftOuter, LeftAnti:
+		for i := 0; i < nb; i++ {
+			if !w.matched[i] {
+				emitPair(bpart[i*bl.Size:(i+1)*bl.Size], nil)
+			}
+		}
+	case LeftSemi:
+		for i := 0; i < nb; i++ {
+			if w.matched[i] {
+				emitPair(bpart[i*bl.Size:(i+1)*bl.Size], nil)
+			}
+		}
+	}
+	j.StatMatches.Add(matches)
+	flush()
+}

@@ -1,0 +1,185 @@
+// Package exec implements the vectorized pipeline engine of the DBMS
+// substrate: push-based operator chains over column batches, driven
+// morsel-wise by a worker pool with work stealing (Sections 4.1-4.5 of the
+// paper). Where Umbra compiles each pipeline to machine code, we build the
+// fused operator chain as a per-worker object graph whose Process methods
+// run tight per-batch loops — the relaxed-operator-fusion staging points of
+// Menon et al. are batches, exactly as in the paper's BHJ.
+package exec
+
+import "partitionjoin/internal/storage"
+
+// BatchSize is the number of tuples per vector batch. It matches the ROF
+// staging buffer: large enough to amortize per-batch overhead, small enough
+// that a batch of a few wide columns stays cache-resident.
+const BatchSize = 1024
+
+// Vector is one column's worth of a batch. All numeric logical types
+// (Int64, Int32, Date, Bool) travel widened in the I64 lane; Float64 in
+// F64; strings as byte-slice views into storage arenas. Width preserves the
+// declared materialization width so a join packs Int32 columns into 4 bytes
+// even though they travel as int64.
+type Vector struct {
+	T     storage.Type
+	Width int // bytes when materialized into a row
+	I64   []int64
+	F64   []float64
+	Str   [][]byte
+}
+
+// NewVector allocates a vector of logical type t with capacity BatchSize.
+func NewVector(t storage.Type, strCap int) Vector {
+	v := Vector{T: t, Width: t.Width(strCap)}
+	switch t {
+	case storage.Float64:
+		v.F64 = make([]float64, 0, BatchSize)
+	case storage.String:
+		v.Str = make([][]byte, 0, BatchSize)
+	default:
+		v.I64 = make([]int64, 0, BatchSize)
+	}
+	return v
+}
+
+// Reset truncates the vector to length 0.
+func (v *Vector) Reset() {
+	v.I64 = v.I64[:0]
+	v.F64 = v.F64[:0]
+	v.Str = v.Str[:0]
+}
+
+// Resize sets the vector's length to n, growing capacity if needed.
+func (v *Vector) Resize(n int) {
+	switch v.T {
+	case storage.Float64:
+		if cap(v.F64) < n {
+			v.F64 = make([]float64, n)
+		}
+		v.F64 = v.F64[:n]
+	case storage.String:
+		if cap(v.Str) < n {
+			v.Str = make([][]byte, n)
+		}
+		v.Str = v.Str[:n]
+	default:
+		if cap(v.I64) < n {
+			v.I64 = make([]int64, n)
+		}
+		v.I64 = v.I64[:n]
+	}
+}
+
+// Len returns the vector's current length.
+func (v *Vector) Len() int {
+	switch v.T {
+	case storage.Float64:
+		return len(v.F64)
+	case storage.String:
+		return len(v.Str)
+	default:
+		return len(v.I64)
+	}
+}
+
+// Compact keeps only the rows whose keep flag is set, preserving order.
+// Filters compact batches in place rather than carrying selection vectors,
+// which keeps every downstream kernel a dense loop.
+func (v *Vector) Compact(keep []bool) {
+	switch v.T {
+	case storage.Float64:
+		out := v.F64[:0]
+		for i, k := range keep {
+			if k {
+				out = append(out, v.F64[i])
+			}
+		}
+		v.F64 = out
+	case storage.String:
+		out := v.Str[:0]
+		for i, k := range keep {
+			if k {
+				out = append(out, v.Str[i])
+			}
+		}
+		v.Str = out
+	default:
+		out := v.I64[:0]
+		for i, k := range keep {
+			if k {
+				out = append(out, v.I64[i])
+			}
+		}
+		v.I64 = out
+	}
+}
+
+// Gather appends src[idx[i]] for each index to the vector.
+func (v *Vector) Gather(src *Vector, idx []int32) {
+	switch v.T {
+	case storage.Float64:
+		for _, i := range idx {
+			v.F64 = append(v.F64, src.F64[i])
+		}
+	case storage.String:
+		for _, i := range idx {
+			v.Str = append(v.Str, src.Str[i])
+		}
+	default:
+		for _, i := range idx {
+			v.I64 = append(v.I64, src.I64[i])
+		}
+	}
+}
+
+// Batch is a set of equal-length vectors flowing through a pipeline.
+type Batch struct {
+	Vecs []Vector
+	N    int
+}
+
+// NewBatch allocates a batch with one vector per type.
+func NewBatch(types []storage.Type, strCaps []int) *Batch {
+	b := &Batch{Vecs: make([]Vector, len(types))}
+	for i, t := range types {
+		sc := 0
+		if strCaps != nil {
+			sc = strCaps[i]
+		}
+		b.Vecs[i] = NewVector(t, sc)
+	}
+	return b
+}
+
+// Reset truncates all vectors and the row count.
+func (b *Batch) Reset() {
+	for i := range b.Vecs {
+		b.Vecs[i].Reset()
+	}
+	b.N = 0
+}
+
+// Compact keeps only the rows whose keep flag is set and fixes N.
+func (b *Batch) Compact(keep []bool) {
+	n := 0
+	for _, k := range keep[:b.N] {
+		if k {
+			n++
+		}
+	}
+	if n == b.N {
+		return
+	}
+	for i := range b.Vecs {
+		b.Vecs[i].Compact(keep[:b.N])
+	}
+	b.N = n
+}
+
+// Types returns the logical types of the batch's vectors.
+func (b *Batch) Types() []storage.Type {
+	ts := make([]storage.Type, len(b.Vecs))
+	for i := range b.Vecs {
+		ts[i] = b.Vecs[i].T
+	}
+	return ts
+}

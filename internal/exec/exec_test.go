@@ -1,0 +1,446 @@
+package exec
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"partitionjoin/internal/storage"
+)
+
+// --- batch / vector ---
+
+func TestVectorCompact(t *testing.T) {
+	v := NewVector(storage.Int64, 0)
+	v.I64 = append(v.I64, 1, 2, 3, 4, 5)
+	v.Compact([]bool{true, false, true, false, true})
+	if len(v.I64) != 3 || v.I64[0] != 1 || v.I64[1] != 3 || v.I64[2] != 5 {
+		t.Fatalf("compact: %v", v.I64)
+	}
+	s := NewVector(storage.String, 8)
+	s.Str = append(s.Str, []byte("a"), []byte("b"), []byte("c"))
+	s.Compact([]bool{false, true, false})
+	if len(s.Str) != 1 || string(s.Str[0]) != "b" {
+		t.Fatalf("string compact: %v", s.Str)
+	}
+}
+
+func TestBatchCompactProperty(t *testing.T) {
+	check := func(vals []int64, keepBits []bool) bool {
+		n := len(vals)
+		if len(keepBits) < n {
+			return true // skip mismatched generations
+		}
+		b := NewBatch([]storage.Type{storage.Int64, storage.Float64}, nil)
+		for _, v := range vals {
+			b.Vecs[0].I64 = append(b.Vecs[0].I64, v)
+			b.Vecs[1].F64 = append(b.Vecs[1].F64, float64(v)/2)
+		}
+		b.N = n
+		var want []int64
+		for i := 0; i < n; i++ {
+			if keepBits[i] {
+				want = append(want, vals[i])
+			}
+		}
+		b.Compact(keepBits[:n])
+		if b.N != len(want) {
+			return false
+		}
+		for i, w := range want {
+			if b.Vecs[0].I64[i] != w || b.Vecs[1].F64[i] != float64(w)/2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorGather(t *testing.T) {
+	src := NewVector(storage.Int64, 0)
+	src.I64 = append(src.I64, 10, 20, 30)
+	dst := NewVector(storage.Int64, 0)
+	dst.Gather(&src, []int32{2, 0, 2})
+	if dst.I64[0] != 30 || dst.I64[1] != 10 || dst.I64[2] != 30 {
+		t.Fatalf("gather: %v", dst.I64)
+	}
+}
+
+// --- scan source ---
+
+func makeTestTable(n int) *storage.Table {
+	s := storage.NewSchema(
+		storage.ColumnDef{Name: "a", Type: storage.Int64},
+		storage.ColumnDef{Name: "b", Type: storage.Int32},
+		storage.ColumnDef{Name: "s", Type: storage.String, StrCap: 8},
+	)
+	tb := storage.NewTable("t", s, n)
+	ac := tb.Cols[0].(*storage.Int64Column)
+	bc := tb.Cols[1].(*storage.Int32Column)
+	sc := tb.Cols[2].(*storage.StringColumn)
+	for i := 0; i < n; i++ {
+		ac.Values = append(ac.Values, int64(i))
+		bc.Values = append(bc.Values, int32(-i))
+		if i%2 == 0 {
+			sc.AppendString("even")
+		} else {
+			sc.AppendString("odd")
+		}
+	}
+	return tb
+}
+
+// collectOp records everything pushed into it.
+type collectOp struct {
+	sumA  int64
+	sumB  int64
+	evens int64
+	rows  int64
+}
+
+func (c *collectOp) Process(ctx *Ctx, b *Batch) {
+	c.rows += int64(b.N)
+	for i := 0; i < b.N; i++ {
+		c.sumA += b.Vecs[0].I64[i]
+		c.sumB += b.Vecs[1].I64[i]
+		if string(b.Vecs[2].Str[i]) == "even" {
+			c.evens++
+		}
+	}
+}
+func (c *collectOp) Flush(ctx *Ctx) {}
+
+func TestTableSourceScansEverythingOnce(t *testing.T) {
+	const n = 150000 // multiple morsels
+	tb := makeTestTable(n)
+	src := NewTableSource(tb, "a", "b", "s")
+	if src.Tasks() < 2 {
+		t.Fatalf("expected multiple morsels, got %d", src.Tasks())
+	}
+	var rows atomic.Int64
+	ctx := &Ctx{Worker: 0, Workers: 1, SourceRows: &rows}
+	sink := &collectOp{}
+	for task := 0; task < src.Tasks(); task++ {
+		src.Emit(ctx, task, sink)
+	}
+	if sink.rows != n {
+		t.Fatalf("scanned %d rows", sink.rows)
+	}
+	wantA := int64(n) * int64(n-1) / 2
+	if sink.sumA != wantA || sink.sumB != -wantA {
+		t.Fatalf("sums: %d %d (int32 widening broken?)", sink.sumA, sink.sumB)
+	}
+	if sink.evens != (n+1)/2 {
+		t.Fatalf("string scan: %d evens", sink.evens)
+	}
+	if rows.Load() != n {
+		t.Fatalf("SourceRows = %d", rows.Load())
+	}
+}
+
+func TestTableSourceWithRowID(t *testing.T) {
+	tb := makeTestTable(1000)
+	src := NewTableSourceWithRowID(tb, "a")
+	ctx := &Ctx{Worker: 0, Workers: 1}
+	ok := true
+	sink := &funcOp{fn: func(b *Batch) {
+		for i := 0; i < b.N; i++ {
+			if b.Vecs[0].I64[i] != b.Vecs[1].I64[i] {
+				ok = false // column a equals the row index by construction
+			}
+		}
+	}}
+	for task := 0; task < src.Tasks(); task++ {
+		src.Emit(ctx, task, sink)
+	}
+	if !ok {
+		t.Fatal("rowid does not match row index")
+	}
+}
+
+type funcOp struct{ fn func(b *Batch) }
+
+func (f *funcOp) Process(ctx *Ctx, b *Batch) { f.fn(b) }
+func (f *funcOp) Flush(ctx *Ctx)             {}
+
+// --- group by ---
+
+func TestGroupByMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sink := &GroupBySink{
+		Keys:     []int{0},
+		KeyTypes: []storage.Type{storage.Int64},
+		KeyCaps:  []int{0},
+		Aggs: []AggSpec{
+			{Kind: AggCount},
+			{Kind: AggSumI, Col: 1},
+			{Kind: AggMinI, Col: 1},
+			{Kind: AggMaxI, Col: 1},
+			{Kind: AggAvgF, Col: 1},
+			{Kind: AggCountDistinctI, Col: 2},
+		},
+	}
+	sink.Open(3)
+	type ref struct {
+		count, sum, min, max int64
+		distinct             map[int64]struct{}
+	}
+	refs := map[int64]*ref{}
+	for w := 0; w < 3; w++ {
+		ctx := &Ctx{Worker: w, Workers: 3}
+		b := NewBatch([]storage.Type{storage.Int64, storage.Int64, storage.Int64}, nil)
+		for i := 0; i < 5000; i++ {
+			k := rng.Int63n(20)
+			v := rng.Int63n(1000) - 500
+			d := rng.Int63n(7)
+			b.Vecs[0].I64 = append(b.Vecs[0].I64, k)
+			b.Vecs[1].I64 = append(b.Vecs[1].I64, v)
+			b.Vecs[2].I64 = append(b.Vecs[2].I64, d)
+			r := refs[k]
+			if r == nil {
+				r = &ref{min: 1 << 60, max: -(1 << 60), distinct: map[int64]struct{}{}}
+				refs[k] = r
+			}
+			r.count++
+			r.sum += v
+			if v < r.min {
+				r.min = v
+			}
+			if v > r.max {
+				r.max = v
+			}
+			r.distinct[d] = struct{}{}
+			if i%777 == 0 {
+				b.N = len(b.Vecs[0].I64)
+				sink.Consume(ctx, b)
+				b.Reset()
+			}
+		}
+		b.N = len(b.Vecs[0].I64)
+		if b.N > 0 {
+			sink.Consume(ctx, b)
+		}
+	}
+	sink.Close()
+	if sink.NumGroups() != len(refs) {
+		t.Fatalf("groups: %d, want %d", sink.NumGroups(), len(refs))
+	}
+	// Drain the source and verify each group.
+	src := sink.Source()
+	ctx := &Ctx{Worker: 0, Workers: 1}
+	checked := 0
+	sinkOp := &funcOp{fn: func(b *Batch) {
+		for i := 0; i < b.N; i++ {
+			k := b.Vecs[0].I64[i]
+			r := refs[k]
+			if r == nil {
+				t.Fatalf("phantom group %d", k)
+			}
+			if b.Vecs[1].I64[i] != r.count || b.Vecs[2].I64[i] != r.sum ||
+				b.Vecs[3].I64[i] != r.min || b.Vecs[4].I64[i] != r.max {
+				t.Fatalf("group %d aggregates wrong", k)
+			}
+			wantAvg := float64(r.sum) / float64(r.count)
+			if diff := b.Vecs[5].F64[i] - wantAvg; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("group %d avg %f want %f", k, b.Vecs[5].F64[i], wantAvg)
+			}
+			if b.Vecs[6].I64[i] != int64(len(r.distinct)) {
+				t.Fatalf("group %d distinct %d want %d", k, b.Vecs[6].I64[i], len(r.distinct))
+			}
+			checked++
+		}
+	}}
+	for task := 0; task < src.Tasks(); task++ {
+		src.Emit(ctx, task, sinkOp)
+	}
+	if checked != len(refs) {
+		t.Fatalf("checked %d groups", checked)
+	}
+}
+
+func TestGlobalAggregateOverEmptyInput(t *testing.T) {
+	sink := &GroupBySink{Aggs: []AggSpec{{Kind: AggCount}, {Kind: AggSumI, Col: 0}}}
+	sink.Open(1)
+	sink.Close()
+	if sink.NumGroups() != 1 {
+		t.Fatalf("empty global aggregate produced %d rows", sink.NumGroups())
+	}
+	src := sink.Source()
+	ctx := &Ctx{Worker: 0, Workers: 1}
+	src.Emit(ctx, 0, &funcOp{fn: func(b *Batch) {
+		if b.Vecs[0].I64[0] != 0 || b.Vecs[1].I64[0] != 0 {
+			t.Fatal("defaults not zero")
+		}
+	}})
+}
+
+func TestGlobalFastPathMatchesGeneric(t *testing.T) {
+	// Same data through the keyless fast path and the keyed path with a
+	// constant key must agree.
+	mk := func(keys []int) *GroupBySink {
+		s := &GroupBySink{Aggs: []AggSpec{
+			{Kind: AggCount}, {Kind: AggSumI, Col: 1}, {Kind: AggMinI, Col: 1}, {Kind: AggMaxI, Col: 1},
+		}}
+		if keys != nil {
+			s.Keys = keys
+			s.KeyTypes = []storage.Type{storage.Int64}
+			s.KeyCaps = []int{0}
+		}
+		return s
+	}
+	fast := mk(nil)
+	slow := mk([]int{0})
+	fast.Open(1)
+	slow.Open(1)
+	ctx := &Ctx{Worker: 0, Workers: 1}
+	b := NewBatch([]storage.Type{storage.Int64, storage.Int64}, nil)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		b.Vecs[0].I64 = append(b.Vecs[0].I64, 7) // constant key
+		b.Vecs[1].I64 = append(b.Vecs[1].I64, rng.Int63n(100)-50)
+	}
+	b.N = 3000
+	fast.Consume(ctx, b)
+	slow.Consume(ctx, b)
+	fast.Close()
+	slow.Close()
+	for ai := 0; ai < 4; ai++ {
+		if fast.merged.aggI[ai][0] != slow.merged.aggI[ai][0] {
+			t.Fatalf("agg %d: fast %d vs slow %d", ai, fast.merged.aggI[ai][0], slow.merged.aggI[ai][0])
+		}
+	}
+}
+
+// --- sort / collect ---
+
+func TestSortSinkOrdersAndLimits(t *testing.T) {
+	sink := &SortSink{
+		Keys:  []SortKey{{Col: 0, Desc: true}, {Col: 1}},
+		Limit: 5,
+		Types: []storage.Type{storage.Int64, storage.String},
+		Caps:  []int{0, 8},
+	}
+	sink.Open(2)
+	rng := rand.New(rand.NewSource(5))
+	for w := 0; w < 2; w++ {
+		ctx := &Ctx{Worker: w, Workers: 2}
+		b := NewBatch([]storage.Type{storage.Int64, storage.String}, []int{0, 8})
+		for i := 0; i < 100; i++ {
+			b.Vecs[0].I64 = append(b.Vecs[0].I64, rng.Int63n(10))
+			b.Vecs[1].Str = append(b.Vecs[1].Str, []byte{byte('a' + rng.Intn(26))})
+		}
+		b.N = 100
+		sink.Consume(ctx, b)
+	}
+	sink.Close()
+	r := sink.Result()
+	if r.NumRows() != 5 {
+		t.Fatalf("limit: %d rows", r.NumRows())
+	}
+	for i := 1; i < 5; i++ {
+		if r.Vecs[0].I64[i] > r.Vecs[0].I64[i-1] {
+			t.Fatal("not descending on key 0")
+		}
+		if r.Vecs[0].I64[i] == r.Vecs[0].I64[i-1] &&
+			string(r.Vecs[1].Str[i]) < string(r.Vecs[1].Str[i-1]) {
+			t.Fatal("tie not broken ascending on key 1")
+		}
+	}
+}
+
+func TestResultSourceRoundTrip(t *testing.T) {
+	r := NewResult([]storage.Type{storage.Int64}, nil)
+	b := NewBatch([]storage.Type{storage.Int64}, nil)
+	for i := 0; i < 2500; i++ {
+		b.Vecs[0].I64 = append(b.Vecs[0].I64, int64(i))
+	}
+	b.N = 2500
+	r.AppendBatch(b)
+	src := &ResultSource{R: r, Ordered: true}
+	var got []int64
+	ctx := &Ctx{Worker: 0, Workers: 1}
+	src.Emit(ctx, 0, &funcOp{fn: func(b *Batch) {
+		got = append(got, b.Vecs[0].I64[:b.N]...)
+	}})
+	if len(got) != 2500 {
+		t.Fatalf("round trip lost rows: %d", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+// --- late load ---
+
+func TestLateLoadGathers(t *testing.T) {
+	tb := makeTestTable(100)
+	got := map[int64]string{}
+	sink := &funcOp{fn: func(b *Batch) {
+		for i := 0; i < b.N; i++ {
+			got[b.Vecs[0].I64[i]] = string(b.Vecs[1].Str[i])
+		}
+	}}
+	op := NewLateLoadOp(sink, tb, 0, "s")
+	ctx := &Ctx{Worker: 0, Workers: 1}
+	b := NewBatch([]storage.Type{storage.Int64}, nil)
+	b.Vecs[0].I64 = append(b.Vecs[0].I64, 4, 7, 4)
+	b.N = 3
+	op.Process(ctx, b)
+	if len(b.Vecs) != 1 {
+		t.Fatal("late load leaked vectors into the batch")
+	}
+	if got[4] != "even" || got[7] != "odd" {
+		t.Fatalf("late load fetched %v", got)
+	}
+}
+
+// --- driver ---
+
+// countSource emits one batch per task.
+type countSource struct {
+	tasks int
+	seen  []atomic.Int32
+}
+
+func (s *countSource) Tasks() int { return s.tasks }
+func (s *countSource) Emit(ctx *Ctx, task int, out Operator) {
+	s.seen[task].Add(1)
+	b := ctx.ScratchBatch([]storage.Type{storage.Int64}, nil)
+	b.Reset()
+	b.Vecs[0].I64 = append(b.Vecs[0].I64, int64(task))
+	b.N = 1
+	out.Process(ctx, b)
+}
+
+type countSink struct {
+	total atomic.Int64
+}
+
+func (c *countSink) Open(workers int)          {}
+func (c *countSink) Consume(ctx *Ctx, b *Batch) { c.total.Add(int64(b.N)) }
+func (c *countSink) Close()                     {}
+
+func TestDriverProcessesEveryTaskExactlyOnce(t *testing.T) {
+	src := &countSource{tasks: 1000, seen: make([]atomic.Int32, 1000)}
+	sink := &countSink{}
+	d := NewDriver(4)
+	d.Run(&Pipeline{
+		Source:   src,
+		NewChain: func(ctx *Ctx) Operator { return &SinkOp{S: sink} },
+		Sink:     sink,
+	})
+	for i := range src.seen {
+		if got := src.seen[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+	if sink.total.Load() != 1000 {
+		t.Fatalf("sink saw %d rows", sink.total.Load())
+	}
+}

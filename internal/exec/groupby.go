@@ -1,0 +1,526 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"partitionjoin/internal/storage"
+)
+
+// AggKind enumerates the aggregate functions of the substrate.
+type AggKind uint8
+
+const (
+	// AggCount counts tuples (COUNT(*)).
+	AggCount AggKind = iota
+	// AggSumI sums an int64 column (exact, order-independent — decimals
+	// are scaled integers so parallel merge order cannot change results).
+	AggSumI
+	// AggSumF sums a float64 column.
+	AggSumF
+	// AggMinI / AggMaxI extremize an int64 column.
+	AggMinI
+	AggMaxI
+	// AggMinF / AggMaxF extremize a float64 column.
+	AggMinF
+	AggMaxF
+	// AggAvgF averages an int64 or float64 column into a float64.
+	AggAvgF
+	// AggCountDistinctI counts distinct int64 values.
+	AggCountDistinctI
+	// AggMinStr keeps the lexicographically smallest string.
+	AggMinStr
+)
+
+// AggSpec names one aggregate over a batch vector (Col = vector index;
+// -1 for AggCount).
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+// OutType returns the output type of the aggregate.
+func (a AggSpec) OutType() storage.Type {
+	switch a.Kind {
+	case AggCount, AggSumI, AggMinI, AggMaxI, AggCountDistinctI:
+		return storage.Int64
+	case AggMinStr:
+		return storage.String
+	default:
+		return storage.Float64
+	}
+}
+
+// groupTable is one worker's (or the merged) aggregation hash table.
+// Groups are keyed by their packed key bytes; states live in flat arrays
+// indexed by group id.
+type groupTable struct {
+	idx     map[string]int32
+	rawKeys []string
+	keyVecs []Vector
+	aggI    [][]int64
+	aggF    [][]float64
+	aggStr  [][][]byte
+	dist    []map[int64]struct{} // flattened: aggIdx*groups would waste; see distFor
+	distOf  map[int64]map[int64]struct{}
+	n       int32
+}
+
+// GroupBySink hash-aggregates its input. Workers aggregate into private
+// tables (no synchronization on the hot path) that Close merges; the result
+// is exposed through Source, which emits key columns followed by one output
+// column per aggregate.
+type GroupBySink struct {
+	Keys []int // vector indices of the grouping keys
+	Aggs []AggSpec
+
+	// KeyTypes / KeyCaps describe the grouping key vectors (needed to
+	// rebuild output vectors); set by the plan layer from the input shape.
+	KeyTypes []storage.Type
+	KeyCaps  []int
+
+	mu     sync.Mutex
+	locals []*groupTable
+	merged *groupTable
+}
+
+func (g *GroupBySink) newTable() *groupTable {
+	t := &groupTable{idx: make(map[string]int32), distOf: make(map[int64]map[int64]struct{})}
+	t.keyVecs = make([]Vector, len(g.Keys))
+	for i := range t.keyVecs {
+		t.keyVecs[i] = NewVector(g.KeyTypes[i], g.KeyCaps[i])
+	}
+	t.aggI = make([][]int64, len(g.Aggs))
+	t.aggF = make([][]float64, len(g.Aggs))
+	t.aggStr = make([][][]byte, len(g.Aggs))
+	return t
+}
+
+// Open implements Sink.
+func (g *GroupBySink) Open(workers int) {
+	g.locals = make([]*groupTable, workers)
+	g.merged = nil
+}
+
+func (g *GroupBySink) local(ctx *Ctx) *groupTable {
+	t := g.locals[ctx.Worker]
+	if t == nil {
+		t = g.newTable()
+		g.locals[ctx.Worker] = t
+	}
+	return t
+}
+
+// packKey serializes the grouping key of row i into buf.
+func (g *GroupBySink) packKey(b *Batch, i int, buf []byte) []byte {
+	for _, ki := range g.Keys {
+		v := &b.Vecs[ki]
+		if v.T == storage.String {
+			var lenb [4]byte
+			binary.LittleEndian.PutUint32(lenb[:], uint32(len(v.Str[i])))
+			buf = append(buf, lenb[:]...)
+			buf = append(buf, v.Str[i]...)
+		} else if v.T == storage.Float64 {
+			var xb [8]byte
+			binary.LittleEndian.PutUint64(xb[:], math.Float64bits(v.F64[i]))
+			buf = append(buf, xb[:]...)
+		} else {
+			var xb [8]byte
+			binary.LittleEndian.PutUint64(xb[:], uint64(v.I64[i]))
+			buf = append(buf, xb[:]...)
+		}
+	}
+	return buf
+}
+
+// group finds or creates the group of row i and returns its id.
+func (g *GroupBySink) group(t *groupTable, b *Batch, i int, scratch []byte) (int32, []byte) {
+	scratch = g.packKey(b, i, scratch[:0])
+	gid, ok := t.idx[string(scratch)]
+	if !ok {
+		gid = t.n
+		t.n++
+		key := string(scratch)
+		t.idx[key] = gid
+		t.rawKeys = append(t.rawKeys, key)
+		for k, ki := range g.Keys {
+			v := &b.Vecs[ki]
+			kv := &t.keyVecs[k]
+			switch kv.T {
+			case storage.String:
+				kv.Str = append(kv.Str, append([]byte(nil), v.Str[i]...))
+			case storage.Float64:
+				kv.F64 = append(kv.F64, v.F64[i])
+			default:
+				kv.I64 = append(kv.I64, v.I64[i])
+			}
+		}
+		for ai, a := range g.Aggs {
+			switch a.Kind {
+			case AggCount, AggSumI, AggCountDistinctI:
+				t.aggI[ai] = append(t.aggI[ai], 0)
+			case AggMinI:
+				t.aggI[ai] = append(t.aggI[ai], math.MaxInt64)
+			case AggMaxI:
+				t.aggI[ai] = append(t.aggI[ai], math.MinInt64)
+			case AggSumF, AggAvgF:
+				t.aggF[ai] = append(t.aggF[ai], 0)
+				if a.Kind == AggAvgF {
+					t.aggI[ai] = append(t.aggI[ai], 0) // count slot
+				}
+			case AggMinF:
+				t.aggF[ai] = append(t.aggF[ai], math.Inf(1))
+			case AggMaxF:
+				t.aggF[ai] = append(t.aggF[ai], math.Inf(-1))
+			case AggMinStr:
+				t.aggStr[ai] = append(t.aggStr[ai], nil)
+			}
+		}
+	}
+	return gid, scratch
+}
+
+// update folds row i of the batch into group gid.
+func (g *GroupBySink) update(t *groupTable, b *Batch, i int, gid int32) {
+	for ai, a := range g.Aggs {
+		switch a.Kind {
+		case AggCount:
+			t.aggI[ai][gid]++
+		case AggSumI:
+			t.aggI[ai][gid] += b.Vecs[a.Col].I64[i]
+		case AggSumF:
+			t.aggF[ai][gid] += numF(&b.Vecs[a.Col], i)
+		case AggMinI:
+			if x := b.Vecs[a.Col].I64[i]; x < t.aggI[ai][gid] {
+				t.aggI[ai][gid] = x
+			}
+		case AggMaxI:
+			if x := b.Vecs[a.Col].I64[i]; x > t.aggI[ai][gid] {
+				t.aggI[ai][gid] = x
+			}
+		case AggMinF:
+			if x := numF(&b.Vecs[a.Col], i); x < t.aggF[ai][gid] {
+				t.aggF[ai][gid] = x
+			}
+		case AggMaxF:
+			if x := numF(&b.Vecs[a.Col], i); x > t.aggF[ai][gid] {
+				t.aggF[ai][gid] = x
+			}
+		case AggAvgF:
+			t.aggF[ai][gid] += numF(&b.Vecs[a.Col], i)
+			t.aggI[ai][gid]++
+		case AggCountDistinctI:
+			key := int64(ai)<<32 | int64(gid)
+			set := t.distOf[key]
+			if set == nil {
+				set = make(map[int64]struct{})
+				t.distOf[key] = set
+			}
+			set[b.Vecs[a.Col].I64[i]] = struct{}{}
+		case AggMinStr:
+			s := b.Vecs[a.Col].Str[i]
+			cur := t.aggStr[ai][gid]
+			if cur == nil || string(s) < string(cur) {
+				t.aggStr[ai][gid] = append([]byte(nil), s...)
+			}
+		}
+	}
+}
+
+// numF reads a numeric vector value as float64.
+func numF(v *Vector, i int) float64 {
+	if v.T == storage.Float64 {
+		return v.F64[i]
+	}
+	return float64(v.I64[i])
+}
+
+// Consume implements Sink.
+func (g *GroupBySink) Consume(ctx *Ctx, b *Batch) {
+	t := g.local(ctx)
+	if len(g.Keys) == 0 {
+		g.consumeGlobal(t, b)
+		return
+	}
+	scratch := make([]byte, 0, 64)
+	var gid int32
+	for i := 0; i < b.N; i++ {
+		gid, scratch = g.group(t, b, i, scratch)
+		g.update(t, b, i, gid)
+	}
+}
+
+// consumeGlobal is the keyless fast path: a single accumulator per worker,
+// updated with one tight loop per aggregate instead of a per-row hash
+// lookup — the shape generated code would have for a global aggregate.
+func (g *GroupBySink) consumeGlobal(t *groupTable, b *Batch) {
+	if t.n == 0 {
+		var scratch []byte
+		_, _ = g.group(t, b, 0, scratch)
+	}
+	for _, a := range g.Aggs {
+		switch a.Kind {
+		case AggCount, AggSumI, AggSumF, AggMinI, AggMaxI:
+		default:
+			// A non-vectorizable aggregate: fall back to the generic
+			// per-row update for the whole batch.
+			for i := 0; i < b.N; i++ {
+				g.update(t, b, i, 0)
+			}
+			return
+		}
+	}
+	for ai, a := range g.Aggs {
+		switch a.Kind {
+		case AggCount:
+			t.aggI[ai][0] += int64(b.N)
+		case AggSumI:
+			var s int64
+			for _, v := range b.Vecs[a.Col].I64[:b.N] {
+				s += v
+			}
+			t.aggI[ai][0] += s
+		case AggSumF:
+			v := &b.Vecs[a.Col]
+			if v.T == storage.Float64 {
+				var s float64
+				for _, x := range v.F64[:b.N] {
+					s += x
+				}
+				t.aggF[ai][0] += s
+			} else {
+				var s float64
+				for _, x := range v.I64[:b.N] {
+					s += float64(x)
+				}
+				t.aggF[ai][0] += s
+			}
+		case AggMinI:
+			m := t.aggI[ai][0]
+			for _, v := range b.Vecs[a.Col].I64[:b.N] {
+				if v < m {
+					m = v
+				}
+			}
+			t.aggI[ai][0] = m
+		case AggMaxI:
+			m := t.aggI[ai][0]
+			for _, v := range b.Vecs[a.Col].I64[:b.N] {
+				if v > m {
+					m = v
+				}
+			}
+			t.aggI[ai][0] = m
+		}
+	}
+}
+
+// Close implements Sink: merges the worker tables.
+func (g *GroupBySink) Close() {
+	m := g.newTable()
+	for _, t := range g.locals {
+		if t == nil {
+			continue
+		}
+		for gid := int32(0); gid < t.n; gid++ {
+			key := t.rawKeys[gid]
+			mid, ok := m.idx[key]
+			if !ok {
+				mid = m.n
+				m.n++
+				m.idx[key] = mid
+				m.rawKeys = append(m.rawKeys, key)
+				for k := range m.keyVecs {
+					kv := &m.keyVecs[k]
+					sv := &t.keyVecs[k]
+					switch kv.T {
+					case storage.String:
+						kv.Str = append(kv.Str, sv.Str[gid])
+					case storage.Float64:
+						kv.F64 = append(kv.F64, sv.F64[gid])
+					default:
+						kv.I64 = append(kv.I64, sv.I64[gid])
+					}
+				}
+				for ai, a := range g.Aggs {
+					switch a.Kind {
+					case AggCount, AggSumI, AggMinI, AggMaxI, AggCountDistinctI:
+						m.aggI[ai] = append(m.aggI[ai], t.aggI[ai][gid])
+					case AggSumF, AggMinF, AggMaxF:
+						m.aggF[ai] = append(m.aggF[ai], t.aggF[ai][gid])
+					case AggAvgF:
+						m.aggF[ai] = append(m.aggF[ai], t.aggF[ai][gid])
+						m.aggI[ai] = append(m.aggI[ai], t.aggI[ai][gid])
+					case AggMinStr:
+						m.aggStr[ai] = append(m.aggStr[ai], t.aggStr[ai][gid])
+					}
+					if a.Kind == AggCountDistinctI {
+						src := t.distOf[int64(ai)<<32|int64(gid)]
+						dst := make(map[int64]struct{}, len(src))
+						for v := range src {
+							dst[v] = struct{}{}
+						}
+						m.distOf[int64(ai)<<32|int64(mid)] = dst
+					}
+				}
+			} else {
+				for ai, a := range g.Aggs {
+					switch a.Kind {
+					case AggCount, AggSumI:
+						m.aggI[ai][mid] += t.aggI[ai][gid]
+					case AggSumF:
+						m.aggF[ai][mid] += t.aggF[ai][gid]
+					case AggMinI:
+						if t.aggI[ai][gid] < m.aggI[ai][mid] {
+							m.aggI[ai][mid] = t.aggI[ai][gid]
+						}
+					case AggMaxI:
+						if t.aggI[ai][gid] > m.aggI[ai][mid] {
+							m.aggI[ai][mid] = t.aggI[ai][gid]
+						}
+					case AggMinF:
+						if t.aggF[ai][gid] < m.aggF[ai][mid] {
+							m.aggF[ai][mid] = t.aggF[ai][gid]
+						}
+					case AggMaxF:
+						if t.aggF[ai][gid] > m.aggF[ai][mid] {
+							m.aggF[ai][mid] = t.aggF[ai][gid]
+						}
+					case AggAvgF:
+						m.aggF[ai][mid] += t.aggF[ai][gid]
+						m.aggI[ai][mid] += t.aggI[ai][gid]
+					case AggCountDistinctI:
+						dst := m.distOf[int64(ai)<<32|int64(mid)]
+						for v := range t.distOf[int64(ai)<<32|int64(gid)] {
+							dst[v] = struct{}{}
+						}
+					case AggMinStr:
+						s := t.aggStr[ai][gid]
+						cur := m.aggStr[ai][mid]
+						if s != nil && (cur == nil || string(s) < string(cur)) {
+							m.aggStr[ai][mid] = s
+						}
+					}
+				}
+			}
+		}
+	}
+	// SQL semantics: a global aggregate (no GROUP BY keys) over an empty
+	// input still yields one row of default values (COUNT = 0).
+	if len(g.Keys) == 0 && m.n == 0 {
+		m.n = 1
+		m.rawKeys = append(m.rawKeys, "")
+		m.idx[""] = 0
+		for ai, a := range g.Aggs {
+			switch a.Kind {
+			case AggCount, AggSumI, AggCountDistinctI:
+				m.aggI[ai] = append(m.aggI[ai], 0)
+			case AggMinI:
+				m.aggI[ai] = append(m.aggI[ai], math.MaxInt64)
+			case AggMaxI:
+				m.aggI[ai] = append(m.aggI[ai], math.MinInt64)
+			case AggSumF:
+				m.aggF[ai] = append(m.aggF[ai], 0)
+			case AggAvgF:
+				m.aggF[ai] = append(m.aggF[ai], 0)
+				m.aggI[ai] = append(m.aggI[ai], 0)
+			case AggMinF:
+				m.aggF[ai] = append(m.aggF[ai], math.Inf(1))
+			case AggMaxF:
+				m.aggF[ai] = append(m.aggF[ai], math.Inf(-1))
+			case AggMinStr:
+				m.aggStr[ai] = append(m.aggStr[ai], nil)
+			}
+		}
+	}
+	g.merged = m
+	g.locals = nil
+}
+
+// NumGroups returns the number of result groups after Close.
+func (g *GroupBySink) NumGroups() int { return int(g.merged.n) }
+
+// Source returns a Source emitting the aggregation result: key columns in
+// Keys order followed by one column per aggregate.
+func (g *GroupBySink) Source() *GroupSource { return &GroupSource{g: g} }
+
+// OutTypes returns the logical types of the result columns.
+func (g *GroupBySink) OutTypes() ([]storage.Type, []int) {
+	ts := make([]storage.Type, 0, len(g.Keys)+len(g.Aggs))
+	caps := make([]int, 0, len(g.Keys)+len(g.Aggs))
+	ts = append(ts, g.KeyTypes...)
+	caps = append(caps, g.KeyCaps...)
+	for _, a := range g.Aggs {
+		ts = append(ts, a.OutType())
+		caps = append(caps, 64)
+	}
+	return ts, caps
+}
+
+// GroupSource emits the merged aggregation result batch-wise, split into
+// morsel-sized chunks for parallel post-processing (having, ordering).
+type GroupSource struct {
+	g *GroupBySink
+}
+
+// Tasks implements Source.
+func (s *GroupSource) Tasks() int {
+	return (int(s.g.merged.n) + BatchSize - 1) / BatchSize
+}
+
+// Emit implements Source.
+func (s *GroupSource) Emit(ctx *Ctx, task int, out Operator) {
+	g := s.g
+	m := g.merged
+	start := task * BatchSize
+	end := start + BatchSize
+	if end > int(m.n) {
+		end = int(m.n)
+	}
+	ts, caps := g.OutTypes()
+	if ctx.scanBatch == nil {
+		ctx.scanBatch = NewBatch(ts, caps)
+	}
+	b := ctx.scanBatch
+	b.Reset()
+	for k := range g.Keys {
+		v := &b.Vecs[k]
+		sv := &m.keyVecs[k]
+		switch v.T {
+		case storage.String:
+			v.Str = append(v.Str, sv.Str[start:end]...)
+		case storage.Float64:
+			v.F64 = append(v.F64, sv.F64[start:end]...)
+		default:
+			v.I64 = append(v.I64, sv.I64[start:end]...)
+		}
+	}
+	for ai, a := range g.Aggs {
+		v := &b.Vecs[len(g.Keys)+ai]
+		for gid := start; gid < end; gid++ {
+			switch a.Kind {
+			case AggCount, AggSumI, AggMinI, AggMaxI:
+				v.I64 = append(v.I64, m.aggI[ai][gid])
+			case AggSumF, AggMinF, AggMaxF:
+				v.F64 = append(v.F64, m.aggF[ai][gid])
+			case AggAvgF:
+				cnt := m.aggI[ai][gid]
+				if cnt == 0 {
+					v.F64 = append(v.F64, 0)
+				} else {
+					v.F64 = append(v.F64, m.aggF[ai][gid]/float64(cnt))
+				}
+			case AggCountDistinctI:
+				v.I64 = append(v.I64, int64(len(m.distOf[int64(ai)<<32|int64(gid)])))
+			case AggMinStr:
+				v.Str = append(v.Str, m.aggStr[ai][gid])
+			}
+		}
+	}
+	b.N = end - start
+	if ctx.SourceRows != nil {
+		ctx.SourceRows.Add(int64(b.N))
+	}
+	out.Process(ctx, b)
+}

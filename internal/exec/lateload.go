@@ -1,0 +1,78 @@
+package exec
+
+import "partitionjoin/internal/storage"
+
+// LateLoadOp implements late materialization (Section 4.2): a pipeline that
+// carried only a tuple id (the @rowid pseudo-column) fetches the deferred
+// columns by random access once the tuples survived the join. The fetch is
+// a vectorized gather over the base table's columns.
+type LateLoadOp struct {
+	Next     Operator
+	Table    *storage.Table
+	Cols     []int // storage column indices to fetch
+	RowIDVec int   // batch vector index holding tuple ids
+
+	vecs []Vector
+}
+
+// NewLateLoadOp builds a late-load operator fetching the named columns.
+func NewLateLoadOp(next Operator, t *storage.Table, rowIDVec int, cols ...string) *LateLoadOp {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = t.Schema.MustCol(c)
+	}
+	return &LateLoadOp{Next: next, Table: t, Cols: idx, RowIDVec: rowIDVec}
+}
+
+// Process implements Operator: appends one fetched vector per deferred
+// column to the batch.
+func (o *LateLoadOp) Process(ctx *Ctx, b *Batch) {
+	if b.N == 0 {
+		return
+	}
+	if o.vecs == nil {
+		o.vecs = make([]Vector, len(o.Cols))
+		for i, ci := range o.Cols {
+			def := o.Table.Schema.Cols[ci]
+			o.vecs[i] = NewVector(def.Type, def.StrCap)
+		}
+	}
+	ids := b.Vecs[o.RowIDVec].I64
+	var bytesRead int64
+	for i, ci := range o.Cols {
+		v := &o.vecs[i]
+		v.Reset()
+		switch col := o.Table.Cols[ci].(type) {
+		case *storage.Int64Column:
+			for _, id := range ids[:b.N] {
+				v.I64 = append(v.I64, col.Values[id])
+			}
+			bytesRead += int64(b.N) * 8
+		case *storage.Int32Column:
+			for _, id := range ids[:b.N] {
+				v.I64 = append(v.I64, int64(col.Values[id]))
+			}
+			bytesRead += int64(b.N) * 4
+		case *storage.Float64Column:
+			for _, id := range ids[:b.N] {
+				v.F64 = append(v.F64, col.Values[id])
+			}
+			bytesRead += int64(b.N) * 8
+		case *storage.StringColumn:
+			for _, id := range ids[:b.N] {
+				s := col.Value(int(id))
+				v.Str = append(v.Str, s)
+				bytesRead += int64(len(s))
+			}
+		}
+	}
+	ctx.Meter.AddRead(bytesRead)
+	n := len(b.Vecs)
+	b.Vecs = append(b.Vecs, o.vecs...)
+	o.Next.Process(ctx, b)
+	copy(o.vecs, b.Vecs[n:])
+	b.Vecs = b.Vecs[:n]
+}
+
+// Flush implements Operator.
+func (o *LateLoadOp) Flush(ctx *Ctx) { o.Next.Flush(ctx) }

@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"partitionjoin/internal/meter"
+)
+
+// Pipeline is one source-to-breaker dataflow of a query plan. NewChain
+// builds the worker-local fused operator chain; the chain's terminal
+// operator must feed Sink (usually via SinkOp). The driver executes the
+// pipelines of a plan in order: a pipeline only starts after the pipelines
+// producing its inputs (hash tables, partitions) have closed, mirroring the
+// produce/consume compilation of Algorithm 1.
+type Pipeline struct {
+	Name     string
+	Source   Source
+	NewChain func(ctx *Ctx) Operator
+	Sink     Sink
+}
+
+// Driver runs pipelines with a fixed worker count.
+type Driver struct {
+	Workers int
+	Meter   *meter.Meter
+
+	// SourceRows accumulates tuples emitted at sources across all
+	// pipelines run by this driver (the paper's throughput denominator).
+	SourceRows atomic.Int64
+}
+
+// NewDriver returns a driver with the given parallelism; workers <= 0 uses
+// GOMAXPROCS.
+func NewDriver(workers int) *Driver {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Driver{Workers: workers}
+}
+
+// Run executes one pipeline to completion: opens the sink, spawns workers
+// that claim source tasks through an atomic cursor (work stealing across
+// morsels), flushes each worker's chain, and closes the sink.
+func (d *Driver) Run(p *Pipeline) {
+	tasks := p.Source.Tasks()
+	if p.Sink != nil {
+		p.Sink.Open(d.Workers)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	workers := d.Workers
+	if workers > tasks && tasks > 0 {
+		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := &Ctx{Worker: w, Workers: d.Workers, Meter: d.Meter, SourceRows: &d.SourceRows}
+			chain := p.NewChain(ctx)
+			for {
+				t := int(cursor.Add(1)) - 1
+				if t >= tasks {
+					break
+				}
+				p.Source.Emit(ctx, t, chain)
+			}
+			chain.Flush(ctx)
+		}(w)
+	}
+	wg.Wait()
+	if p.Sink != nil {
+		p.Sink.Close()
+	}
+}
+
+// RunAll executes pipelines in order.
+func (d *Driver) RunAll(ps []*Pipeline) {
+	for _, p := range ps {
+		if d.Meter != nil && p.Name != "" {
+			d.Meter.BeginPhase(p.Name)
+		}
+		d.Run(p)
+		if d.Meter != nil && p.Name != "" {
+			d.Meter.EndPhase()
+		}
+	}
+}

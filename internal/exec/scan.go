@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"partitionjoin/internal/storage"
+)
+
+// TableSource scans a stored table morsel-wise, reading only the requested
+// columns (early materialization, Section 4.2): each emitted batch holds
+// one vector per requested column, numeric types widened into the I64 lane
+// with their declared materialization width preserved.
+type TableSource struct {
+	Table   *storage.Table
+	Cols    []int
+	morsels []storage.Morsel
+}
+
+// NewTableSource builds a scan source over the named columns.
+func NewTableSource(t *storage.Table, cols ...string) *TableSource {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = t.Schema.MustCol(c)
+	}
+	return &TableSource{Table: t, Cols: idx, morsels: storage.Morsels(t.NumRows(), 0)}
+}
+
+// Tasks implements Source: one task per morsel.
+func (s *TableSource) Tasks() int { return len(s.morsels) }
+
+// BatchTypes returns the logical types and string caps of emitted batches.
+func (s *TableSource) BatchTypes() ([]storage.Type, []int) {
+	ts := make([]storage.Type, len(s.Cols))
+	caps := make([]int, len(s.Cols))
+	for i, c := range s.Cols {
+		def := s.Table.Schema.Cols[c]
+		ts[i] = def.Type
+		caps[i] = def.StrCap
+	}
+	return ts, caps
+}
+
+// Emit implements Source: slices the morsel into batches and pushes them.
+func (s *TableSource) Emit(ctx *Ctx, task int, out Operator) {
+	m := s.morsels[task]
+	b := ctx.srcBatch(s)
+	var bytesRead int64
+	for start := m.Start; start < m.End; start += BatchSize {
+		end := start + BatchSize
+		if end > m.End {
+			end = m.End
+		}
+		n := end - start
+		b.Reset()
+		for vi, ci := range s.Cols {
+			v := &b.Vecs[vi]
+			switch col := s.Table.Cols[ci].(type) {
+			case *storage.Int64Column:
+				v.I64 = append(v.I64, col.Values[start:end]...)
+				bytesRead += int64(n) * 8
+			case *storage.Int32Column:
+				for _, x := range col.Values[start:end] {
+					v.I64 = append(v.I64, int64(x))
+				}
+				bytesRead += int64(n) * 4
+			case *storage.Float64Column:
+				v.F64 = append(v.F64, col.Values[start:end]...)
+				bytesRead += int64(n) * 8
+			case *storage.StringColumn:
+				for i := start; i < end; i++ {
+					v.Str = append(v.Str, col.Value(i))
+					bytesRead += int64(col.Offsets[i+1] - col.Offsets[i])
+				}
+			}
+		}
+		b.N = n
+		out.Process(ctx, b)
+	}
+	rows := int64(m.End - m.Start)
+	if ctx.SourceRows != nil {
+		ctx.SourceRows.Add(rows)
+	}
+	ctx.Meter.AddRead(bytesRead)
+}
+
+// srcBatch returns the per-worker reusable batch for this source.
+func (c *Ctx) srcBatch(s *TableSource) *Batch {
+	if c.scanBatch == nil {
+		ts, caps := s.BatchTypes()
+		c.scanBatch = NewBatch(ts, caps)
+	}
+	return c.scanBatch
+}
+
+// RowIDSourceCol is a pseudo-column name understood by plan-level scans to
+// request the tuple id (row index) as an extra Int64 vector; the late
+// materialization path joins on it after the join phase.
+const RowIDSourceCol = "@rowid"
+
+// TableSourceWithRowID scans like TableSource but appends a tuple-id vector.
+type TableSourceWithRowID struct {
+	TableSource
+}
+
+// NewTableSourceWithRowID builds a scan that also emits row ids.
+func NewTableSourceWithRowID(t *storage.Table, cols ...string) *TableSourceWithRowID {
+	return &TableSourceWithRowID{TableSource: *NewTableSource(t, cols...)}
+}
+
+// BatchTypes implements the batch-shape contract including the rowid vector.
+func (s *TableSourceWithRowID) BatchTypes() ([]storage.Type, []int) {
+	ts, caps := s.TableSource.BatchTypes()
+	return append(ts, storage.Int64), append(caps, 0)
+}
+
+// Emit implements Source.
+func (s *TableSourceWithRowID) Emit(ctx *Ctx, task int, out Operator) {
+	m := s.morsels[task]
+	if ctx.scanBatch == nil {
+		ts, caps := s.BatchTypes()
+		ctx.scanBatch = NewBatch(ts, caps)
+	}
+	b := ctx.scanBatch
+	var bytesRead int64
+	for start := m.Start; start < m.End; start += BatchSize {
+		end := start + BatchSize
+		if end > m.End {
+			end = m.End
+		}
+		n := end - start
+		b.Reset()
+		for vi, ci := range s.Cols {
+			v := &b.Vecs[vi]
+			switch col := s.Table.Cols[ci].(type) {
+			case *storage.Int64Column:
+				v.I64 = append(v.I64, col.Values[start:end]...)
+				bytesRead += int64(n) * 8
+			case *storage.Int32Column:
+				for _, x := range col.Values[start:end] {
+					v.I64 = append(v.I64, int64(x))
+				}
+				bytesRead += int64(n) * 4
+			case *storage.Float64Column:
+				v.F64 = append(v.F64, col.Values[start:end]...)
+				bytesRead += int64(n) * 8
+			case *storage.StringColumn:
+				for i := start; i < end; i++ {
+					v.Str = append(v.Str, col.Value(i))
+					bytesRead += int64(col.Offsets[i+1] - col.Offsets[i])
+				}
+			}
+		}
+		rid := &b.Vecs[len(s.Cols)]
+		for i := start; i < end; i++ {
+			rid.I64 = append(rid.I64, int64(i))
+		}
+		b.N = n
+		out.Process(ctx, b)
+	}
+	if ctx.SourceRows != nil {
+		ctx.SourceRows.Add(int64(m.End - m.Start))
+	}
+	ctx.Meter.AddRead(bytesRead)
+}

@@ -1,0 +1,317 @@
+package exec
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"partitionjoin/internal/storage"
+)
+
+// SortKey orders by one column, ascending unless Desc.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// SortSink is the ORDER BY [LIMIT] pipeline breaker: it collects all input
+// rows, sorts them at Close, and exposes the (optionally truncated) result
+// as a Source and as a Result.
+type SortSink struct {
+	Keys  []SortKey
+	Limit int // 0 = unlimited
+
+	Types []storage.Type
+	Caps  []int
+
+	mu     sync.Mutex
+	locals []*Result
+	out    *Result
+}
+
+// Open implements Sink.
+func (s *SortSink) Open(workers int) {
+	s.locals = make([]*Result, workers)
+	s.out = nil
+}
+
+// Consume implements Sink.
+func (s *SortSink) Consume(ctx *Ctx, b *Batch) {
+	r := s.locals[ctx.Worker]
+	if r == nil {
+		r = NewResult(s.Types, s.Caps)
+		s.locals[ctx.Worker] = r
+	}
+	r.AppendBatch(b)
+}
+
+// Close implements Sink: concatenates, sorts, truncates.
+func (s *SortSink) Close() {
+	all := NewResult(s.Types, s.Caps)
+	for _, r := range s.locals {
+		if r != nil {
+			all.AppendResult(r)
+		}
+	}
+	n := all.NumRows()
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return all.rowLess(int(idx[a]), int(idx[b]), s.Keys)
+	})
+	if s.Limit > 0 && s.Limit < n {
+		idx = idx[:s.Limit]
+	}
+	out := NewResult(s.Types, s.Caps)
+	out.AppendGather(all, idx)
+	s.out = out
+	s.locals = nil
+}
+
+// Result returns the sorted rows after Close.
+func (s *SortSink) Result() *Result { return s.out }
+
+// Source returns a source over the sorted result (single task to preserve
+// order). The result is resolved lazily because the sink closes only after
+// plan compilation.
+func (s *SortSink) Source() *SortSource { return &SortSource{S: s} }
+
+// SortSource replays a SortSink's output in order.
+type SortSource struct {
+	S *SortSink
+}
+
+// Tasks implements Source: one task, to preserve the sort order.
+func (s *SortSource) Tasks() int { return 1 }
+
+// Emit implements Source.
+func (s *SortSource) Emit(ctx *Ctx, task int, out Operator) {
+	rs := &ResultSource{R: s.S.Result(), Ordered: true}
+	rs.Emit(ctx, 0, out)
+}
+
+// Result is a materialized row set: one vector per column, grown without
+// bound. It backs sort sinks, collect sinks, and test assertions.
+type Result struct {
+	Vecs []Vector
+	n    int
+}
+
+// NewResult allocates an empty result with the given column shape.
+func NewResult(types []storage.Type, caps []int) *Result {
+	r := &Result{Vecs: make([]Vector, len(types))}
+	for i, t := range types {
+		c := 0
+		if caps != nil {
+			c = caps[i]
+		}
+		r.Vecs[i] = NewVector(t, c)
+	}
+	return r
+}
+
+// NumRows returns the number of rows collected.
+func (r *Result) NumRows() int { return r.n }
+
+// AppendBatch copies a batch into the result. String bytes are copied since
+// batch strings alias transient arenas.
+func (r *Result) AppendBatch(b *Batch) {
+	for i := range r.Vecs {
+		v := &r.Vecs[i]
+		sv := &b.Vecs[i]
+		switch v.T {
+		case storage.Float64:
+			v.F64 = append(v.F64, sv.F64[:b.N]...)
+		case storage.String:
+			for _, s := range sv.Str[:b.N] {
+				v.Str = append(v.Str, append([]byte(nil), s...))
+			}
+		default:
+			v.I64 = append(v.I64, sv.I64[:b.N]...)
+		}
+	}
+	r.n += b.N
+}
+
+// AppendResult concatenates another result of the same shape.
+func (r *Result) AppendResult(o *Result) {
+	for i := range r.Vecs {
+		v := &r.Vecs[i]
+		sv := &o.Vecs[i]
+		switch v.T {
+		case storage.Float64:
+			v.F64 = append(v.F64, sv.F64...)
+		case storage.String:
+			v.Str = append(v.Str, sv.Str...)
+		default:
+			v.I64 = append(v.I64, sv.I64...)
+		}
+	}
+	r.n += o.n
+}
+
+// AppendGather appends the rows of src selected by idx.
+func (r *Result) AppendGather(src *Result, idx []int32) {
+	for i := range r.Vecs {
+		r.Vecs[i].Gather(&src.Vecs[i], idx)
+	}
+	r.n += len(idx)
+}
+
+// rowLess compares two rows under the sort keys.
+func (r *Result) rowLess(a, b int, keys []SortKey) bool {
+	for _, k := range keys {
+		v := &r.Vecs[k.Col]
+		var c int
+		switch v.T {
+		case storage.Float64:
+			switch {
+			case v.F64[a] < v.F64[b]:
+				c = -1
+			case v.F64[a] > v.F64[b]:
+				c = 1
+			}
+		case storage.String:
+			c = bytes.Compare(v.Str[a], v.Str[b])
+		default:
+			switch {
+			case v.I64[a] < v.I64[b]:
+				c = -1
+			case v.I64[a] > v.I64[b]:
+				c = 1
+			}
+		}
+		if c != 0 {
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return false
+}
+
+// SortRows orders the entire result lexicographically by all columns;
+// tests use it to compare parallel (unordered) results deterministically.
+func (r *Result) SortRows() {
+	keys := make([]SortKey, len(r.Vecs))
+	for i := range keys {
+		keys[i] = SortKey{Col: i}
+	}
+	idx := make([]int32, r.n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return r.rowLess(int(idx[a]), int(idx[b]), keys) })
+	out := NewResult(r.types(), nil)
+	out.AppendGather(r, idx)
+	*r = *out
+}
+
+func (r *Result) types() []storage.Type {
+	ts := make([]storage.Type, len(r.Vecs))
+	for i := range r.Vecs {
+		ts[i] = r.Vecs[i].T
+	}
+	return ts
+}
+
+// CollectSink gathers all rows of a pipeline into a Result (the final
+// materialization point of a query).
+type CollectSink struct {
+	Types []storage.Type
+	Caps  []int
+
+	locals []*Result
+	out    *Result
+}
+
+// Open implements Sink.
+func (c *CollectSink) Open(workers int) {
+	c.locals = make([]*Result, workers)
+	c.out = nil
+}
+
+// Consume implements Sink.
+func (c *CollectSink) Consume(ctx *Ctx, b *Batch) {
+	r := c.locals[ctx.Worker]
+	if r == nil {
+		r = NewResult(c.Types, c.Caps)
+		c.locals[ctx.Worker] = r
+	}
+	r.AppendBatch(b)
+	ctx.Meter.AddWrite(int64(b.N) * 8 * int64(len(b.Vecs)))
+}
+
+// Close implements Sink.
+func (c *CollectSink) Close() {
+	out := NewResult(c.Types, c.Caps)
+	for _, r := range c.locals {
+		if r != nil {
+			out.AppendResult(r)
+		}
+	}
+	c.out = out
+	c.locals = nil
+}
+
+// Result returns the collected rows after Close.
+func (c *CollectSink) Result() *Result { return c.out }
+
+// ResultSource replays a Result as a pipeline source. Ordered sources use a
+// single task to preserve row order; unordered ones split into chunks.
+type ResultSource struct {
+	R       *Result
+	Ordered bool
+}
+
+// Tasks implements Source.
+func (s *ResultSource) Tasks() int {
+	if s.Ordered {
+		return 1
+	}
+	return (s.R.NumRows() + storage.MorselSize - 1) / storage.MorselSize
+}
+
+// Emit implements Source.
+func (s *ResultSource) Emit(ctx *Ctx, task int, out Operator) {
+	start := task * storage.MorselSize
+	end := start + storage.MorselSize
+	if s.Ordered {
+		start, end = 0, s.R.NumRows()
+	}
+	if end > s.R.NumRows() {
+		end = s.R.NumRows()
+	}
+	ts := s.R.types()
+	if ctx.scanBatch == nil {
+		ctx.scanBatch = NewBatch(ts, nil)
+	}
+	b := ctx.scanBatch
+	for cur := start; cur < end; cur += BatchSize {
+		stop := cur + BatchSize
+		if stop > end {
+			stop = end
+		}
+		b.Reset()
+		for i := range b.Vecs {
+			v := &b.Vecs[i]
+			sv := &s.R.Vecs[i]
+			switch v.T {
+			case storage.Float64:
+				v.F64 = append(v.F64, sv.F64[cur:stop]...)
+			case storage.String:
+				v.Str = append(v.Str, sv.Str[cur:stop]...)
+			default:
+				v.I64 = append(v.I64, sv.I64[cur:stop]...)
+			}
+		}
+		b.N = stop - cur
+		out.Process(ctx, b)
+	}
+	if ctx.SourceRows != nil {
+		ctx.SourceRows.Add(int64(end - start))
+	}
+}

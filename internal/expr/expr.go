@@ -1,0 +1,313 @@
+// Package expr provides the scalar expression layer of the DBMS substrate.
+// Expressions are declared against column names and compiled, once the plan
+// layer has resolved names to batch vector positions, into closures that run
+// tight per-batch loops — the interpreted stand-in for Umbra's generated
+// code. Predicates fill keep-flag arrays consumed by exec.FilterOp; scalars
+// fill an output vector appended by exec.MapOp.
+package expr
+
+import (
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/storage"
+)
+
+// PredFn is a compiled predicate: fills keep[0:b.N].
+type PredFn func(ctx *exec.Ctx, b *exec.Batch, keep []bool)
+
+// Pred is a named predicate over columns; Make receives the resolved vector
+// index of each column in Cols order.
+type Pred struct {
+	Cols []string
+	Make func(ix []int) PredFn
+}
+
+// Scalar is a named computed column.
+type Scalar struct {
+	Name   string
+	Type   storage.Type
+	StrCap int
+	Cols   []string
+	Make   func(ix []int) func(b *exec.Batch, out *exec.Vector)
+}
+
+// --- integer predicates (Int64 lane: ints, dates, bools, scaled decimals) ---
+
+func cmpI(col string, f func(v int64) bool) Pred {
+	return Pred{Cols: []string{col}, Make: func(ix []int) PredFn {
+		c := ix[0]
+		return func(ctx *exec.Ctx, b *exec.Batch, keep []bool) {
+			v := b.Vecs[c].I64
+			for i := 0; i < b.N; i++ {
+				keep[i] = f(v[i])
+			}
+		}
+	}}
+}
+
+// EqI keeps rows where col == x.
+func EqI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v == x }) }
+
+// NeI keeps rows where col != x.
+func NeI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v != x }) }
+
+// LtI keeps rows where col < x.
+func LtI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v < x }) }
+
+// LeI keeps rows where col <= x.
+func LeI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v <= x }) }
+
+// GtI keeps rows where col > x.
+func GtI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v > x }) }
+
+// GeI keeps rows where col >= x.
+func GeI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v >= x }) }
+
+// BetweenI keeps rows where lo <= col <= hi.
+func BetweenI(col string, lo, hi int64) Pred {
+	return cmpI(col, func(v int64) bool { return v >= lo && v <= hi })
+}
+
+// InI keeps rows whose col value is one of xs.
+func InI(col string, xs ...int64) Pred {
+	set := make(map[int64]struct{}, len(xs))
+	for _, x := range xs {
+		set[x] = struct{}{}
+	}
+	return cmpI(col, func(v int64) bool { _, ok := set[v]; return ok })
+}
+
+// EqCols keeps rows where a == b (both Int64-lane columns).
+func EqCols(a, b string) Pred {
+	return Pred{Cols: []string{a, b}, Make: func(ix []int) PredFn {
+		ca, cb := ix[0], ix[1]
+		return func(ctx *exec.Ctx, batch *exec.Batch, keep []bool) {
+			va, vb := batch.Vecs[ca].I64, batch.Vecs[cb].I64
+			for i := 0; i < batch.N; i++ {
+				keep[i] = va[i] == vb[i]
+			}
+		}
+	}}
+}
+
+// GtCols keeps rows where a > b (both Int64-lane columns).
+func GtCols(a, b string) Pred {
+	return Pred{Cols: []string{a, b}, Make: func(ix []int) PredFn {
+		ca, cb := ix[0], ix[1]
+		return func(ctx *exec.Ctx, batch *exec.Batch, keep []bool) {
+			va, vb := batch.Vecs[ca].I64, batch.Vecs[cb].I64
+			for i := 0; i < batch.N; i++ {
+				keep[i] = va[i] > vb[i]
+			}
+		}
+	}}
+}
+
+// LtCols keeps rows where a < b.
+func LtCols(a, b string) Pred {
+	return Pred{Cols: []string{a, b}, Make: func(ix []int) PredFn {
+		ca, cb := ix[0], ix[1]
+		return func(ctx *exec.Ctx, batch *exec.Batch, keep []bool) {
+			va, vb := batch.Vecs[ca].I64, batch.Vecs[cb].I64
+			for i := 0; i < batch.N; i++ {
+				keep[i] = va[i] < vb[i]
+			}
+		}
+	}}
+}
+
+// NeCols keeps rows where a != b.
+func NeCols(a, b string) Pred {
+	return Pred{Cols: []string{a, b}, Make: func(ix []int) PredFn {
+		ca, cb := ix[0], ix[1]
+		return func(ctx *exec.Ctx, batch *exec.Batch, keep []bool) {
+			va, vb := batch.Vecs[ca].I64, batch.Vecs[cb].I64
+			for i := 0; i < batch.N; i++ {
+				keep[i] = va[i] != vb[i]
+			}
+		}
+	}}
+}
+
+// GtFConst keeps rows where a float64 column exceeds x.
+func GtFConst(col string, x float64) Pred {
+	return Pred{Cols: []string{col}, Make: func(ix []int) PredFn {
+		c := ix[0]
+		return func(ctx *exec.Ctx, b *exec.Batch, keep []bool) {
+			v := b.Vecs[c].F64
+			for i := 0; i < b.N; i++ {
+				keep[i] = v[i] > x
+			}
+		}
+	}}
+}
+
+// --- string predicates ---
+
+func cmpStr(col string, f func(v []byte) bool) Pred {
+	return Pred{Cols: []string{col}, Make: func(ix []int) PredFn {
+		c := ix[0]
+		return func(ctx *exec.Ctx, b *exec.Batch, keep []bool) {
+			v := b.Vecs[c].Str
+			for i := 0; i < b.N; i++ {
+				keep[i] = f(v[i])
+			}
+		}
+	}}
+}
+
+// EqStr keeps rows where col == s.
+func EqStr(col, s string) Pred { return cmpStr(col, func(v []byte) bool { return string(v) == s }) }
+
+// NeStr keeps rows where col != s.
+func NeStr(col, s string) Pred { return cmpStr(col, func(v []byte) bool { return string(v) != s }) }
+
+// InStr keeps rows whose col value is one of ss.
+func InStr(col string, ss ...string) Pred {
+	set := make(map[string]struct{}, len(ss))
+	for _, s := range ss {
+		set[s] = struct{}{}
+	}
+	return cmpStr(col, func(v []byte) bool { _, ok := set[string(v)]; return ok })
+}
+
+// PrefixStr keeps rows where col starts with p.
+func PrefixStr(col, p string) Pred {
+	return cmpStr(col, func(v []byte) bool {
+		return len(v) >= len(p) && string(v[:len(p)]) == p
+	})
+}
+
+// SuffixStr keeps rows where col ends with p.
+func SuffixStr(col, p string) Pred {
+	return cmpStr(col, func(v []byte) bool {
+		return len(v) >= len(p) && string(v[len(v)-len(p):]) == p
+	})
+}
+
+// Like keeps rows matching a SQL LIKE pattern with % and _.
+func Like(col, pattern string) Pred {
+	return cmpStr(col, func(v []byte) bool { return LikeMatch(v, pattern) })
+}
+
+// NotLike keeps rows not matching the pattern.
+func NotLike(col, pattern string) Pred {
+	return cmpStr(col, func(v []byte) bool { return !LikeMatch(v, pattern) })
+}
+
+// LikeMatch implements SQL LIKE semantics: '%' matches any run, '_' any
+// single byte (TPC-H text is ASCII, so byte and character positions
+// coincide). Iterative two-pointer algorithm with backtracking to the
+// last '%'.
+func LikeMatch(s []byte, pattern string) bool {
+	var si, pi int
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		// The wildcard case must precede the literal case: an input byte
+		// that happens to be '%' must not consume the pattern wildcard.
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// --- combinators ---
+
+// And conjoins predicates.
+func And(ps ...Pred) Pred {
+	var cols []string
+	for _, p := range ps {
+		cols = append(cols, p.Cols...)
+	}
+	return Pred{Cols: cols, Make: func(ix []int) PredFn {
+		fns := make([]PredFn, len(ps))
+		off := 0
+		for i, p := range ps {
+			fns[i] = p.Make(ix[off : off+len(p.Cols)])
+			off += len(p.Cols)
+		}
+		var scratch []bool
+		return func(ctx *exec.Ctx, b *exec.Batch, keep []bool) {
+			fns[0](ctx, b, keep)
+			if cap(scratch) < b.N {
+				scratch = make([]bool, b.N)
+			}
+			s := scratch[:b.N]
+			for _, f := range fns[1:] {
+				f(ctx, b, s)
+				for i := 0; i < b.N; i++ {
+					keep[i] = keep[i] && s[i]
+				}
+			}
+		}
+	}}
+}
+
+// Or disjoins predicates.
+func Or(ps ...Pred) Pred {
+	var cols []string
+	for _, p := range ps {
+		cols = append(cols, p.Cols...)
+	}
+	return Pred{Cols: cols, Make: func(ix []int) PredFn {
+		fns := make([]PredFn, len(ps))
+		off := 0
+		for i, p := range ps {
+			fns[i] = p.Make(ix[off : off+len(p.Cols)])
+			off += len(p.Cols)
+		}
+		var scratch []bool
+		return func(ctx *exec.Ctx, b *exec.Batch, keep []bool) {
+			fns[0](ctx, b, keep)
+			if cap(scratch) < b.N {
+				scratch = make([]bool, b.N)
+			}
+			s := scratch[:b.N]
+			for _, f := range fns[1:] {
+				f(ctx, b, s)
+				for i := 0; i < b.N; i++ {
+					keep[i] = keep[i] || s[i]
+				}
+			}
+		}
+	}}
+}
+
+// Not negates a predicate.
+func Not(p Pred) Pred {
+	return Pred{Cols: p.Cols, Make: func(ix []int) PredFn {
+		f := p.Make(ix)
+		return func(ctx *exec.Ctx, b *exec.Batch, keep []bool) {
+			f(ctx, b, keep)
+			for i := 0; i < b.N; i++ {
+				keep[i] = !keep[i]
+			}
+		}
+	}}
+}
+
+// True keeps everything (placeholder for unfiltered scans in generic code).
+func True() Pred {
+	return Pred{Make: func(ix []int) PredFn {
+		return func(ctx *exec.Ctx, b *exec.Batch, keep []bool) {
+			for i := 0; i < b.N; i++ {
+				keep[i] = true
+			}
+		}
+	}}
+}

@@ -1,0 +1,208 @@
+package expr
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/storage"
+)
+
+// makeBatch builds a batch with an int64 column "v" and a string column "s".
+func makeBatch(ints []int64, strs []string) *exec.Batch {
+	b := exec.NewBatch([]storage.Type{storage.Int64, storage.String}, []int{0, 32})
+	b.Vecs[0].I64 = append(b.Vecs[0].I64, ints...)
+	for _, s := range strs {
+		b.Vecs[1].Str = append(b.Vecs[1].Str, []byte(s))
+	}
+	b.N = len(ints)
+	return b
+}
+
+// eval runs a predicate over the batch with the given column index binding.
+func eval(p Pred, b *exec.Batch, binding map[string]int) []bool {
+	ix := make([]int, len(p.Cols))
+	for i, c := range p.Cols {
+		ix[i] = binding[c]
+	}
+	keep := make([]bool, b.N)
+	p.Make(ix)(nil, b, keep)
+	return keep
+}
+
+var binding = map[string]int{"v": 0, "s": 1}
+
+func TestIntPredicates(t *testing.T) {
+	b := makeBatch([]int64{1, 5, 10, -3}, []string{"a", "b", "c", "d"})
+	cases := []struct {
+		name string
+		p    Pred
+		want []bool
+	}{
+		{"EqI", EqI("v", 5), []bool{false, true, false, false}},
+		{"NeI", NeI("v", 5), []bool{true, false, true, true}},
+		{"LtI", LtI("v", 5), []bool{true, false, false, true}},
+		{"LeI", LeI("v", 5), []bool{true, true, false, true}},
+		{"GtI", GtI("v", 1), []bool{false, true, true, false}},
+		{"GeI", GeI("v", 1), []bool{true, true, true, false}},
+		{"BetweenI", BetweenI("v", 1, 5), []bool{true, true, false, false}},
+		{"InI", InI("v", 1, 10), []bool{true, false, true, false}},
+	}
+	for _, c := range cases {
+		got := eval(c.p, b, binding)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%s row %d: got %v, want %v", c.name, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestStringPredicates(t *testing.T) {
+	b := makeBatch([]int64{0, 0, 0}, []string{"BRASS", "STEEL BRASS", "steel"})
+	if got := eval(EqStr("s", "BRASS"), b, binding); !got[0] || got[1] || got[2] {
+		t.Fatalf("EqStr: %v", got)
+	}
+	if got := eval(SuffixStr("s", "BRASS"), b, binding); !got[0] || !got[1] || got[2] {
+		t.Fatalf("SuffixStr: %v", got)
+	}
+	if got := eval(PrefixStr("s", "STEEL"), b, binding); got[0] || !got[1] || got[2] {
+		t.Fatalf("PrefixStr: %v", got)
+	}
+	if got := eval(InStr("s", "steel", "BRASS"), b, binding); !got[0] || got[1] || !got[2] {
+		t.Fatalf("InStr: %v", got)
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	b := makeBatch([]int64{1, 2, 3, 4}, []string{"x", "y", "x", "y"})
+	and := eval(And(GtI("v", 1), EqStr("s", "x")), b, binding)
+	if and[0] || and[1] || !and[2] || and[3] {
+		t.Fatalf("And: %v", and)
+	}
+	or := eval(Or(EqI("v", 1), EqStr("s", "y")), b, binding)
+	if !or[0] || !or[1] || or[2] || !or[3] {
+		t.Fatalf("Or: %v", or)
+	}
+	not := eval(Not(EqI("v", 1)), b, binding)
+	if not[0] || !not[1] {
+		t.Fatalf("Not: %v", not)
+	}
+}
+
+// TestLikeMatchesRegexp checks LIKE semantics against a regexp translation
+// on random inputs.
+func TestLikeMatchesRegexp(t *testing.T) {
+	patterns := []string{"%green%", "PROMO%", "%BRASS", "a_c", "%Customer%Complaints%", "", "%", "__", "a%b%c"}
+	for _, pat := range patterns {
+		re := likeToRegexp(pat)
+		// '_' matches one byte (TPC-H text is ASCII), regexp '.' one
+		// rune — constrain the property to ASCII inputs.
+		check := func(raw []byte) bool {
+			s := make([]byte, len(raw))
+			for i, c := range raw {
+				s[i] = c & 0x7f
+			}
+			return LikeMatch(s, pat) == re.MatchString(string(s))
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("pattern %q: %v", pat, err)
+		}
+		// Plus targeted inputs built from pattern fragments.
+		for _, s := range []string{"", "green", "a green one", "PROMO X", "xBRASS", "abc", "aXc",
+			"Customer something Complaints here", "ab", "a1b2c"} {
+			if LikeMatch([]byte(s), pat) != re.MatchString(s) {
+				t.Fatalf("pattern %q input %q: like=%v regexp=%v",
+					pat, s, LikeMatch([]byte(s), pat), re.MatchString(s))
+			}
+		}
+	}
+}
+
+func likeToRegexp(pat string) *regexp.Regexp {
+	var sb strings.Builder
+	sb.WriteString("^")
+	for _, r := range pat {
+		switch r {
+		case '%':
+			sb.WriteString("(?s).*")
+		case '_':
+			sb.WriteString("(?s).")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	return regexp.MustCompile(sb.String())
+}
+
+func TestScalars(t *testing.T) {
+	b := makeBatch([]int64{2, 3}, []string{"PROMO A", "STANDARD"})
+	run := func(s Scalar) *exec.Vector {
+		ix := make([]int, len(s.Cols))
+		for i, c := range s.Cols {
+			ix[i] = binding[c]
+		}
+		out := exec.NewVector(s.Type, s.StrCap)
+		s.Make(ix)(b, &out)
+		return &out
+	}
+	if v := run(MulConstI("x", "v", 10)); v.I64[0] != 20 || v.I64[1] != 30 {
+		t.Fatalf("MulConstI: %v", v.I64)
+	}
+	if v := run(CaseI("x", PrefixStr("s", "PROMO"), "v")); v.I64[0] != 2 || v.I64[1] != 0 {
+		t.Fatalf("CaseI: %v", v.I64)
+	}
+	if v := run(PredI("x", GtI("v", 2))); v.I64[0] != 0 || v.I64[1] != 1 {
+		t.Fatalf("PredI: %v", v.I64)
+	}
+	if v := run(SubStrI("x", "s", 1, 5)); string(v.Str[0]) != "PROMO" {
+		t.Fatalf("SubStrI: %q", v.Str[0])
+	}
+}
+
+func TestRevenueIExact(t *testing.T) {
+	b := exec.NewBatch([]storage.Type{storage.Int64, storage.Int64}, nil)
+	b.Vecs[0].I64 = append(b.Vecs[0].I64, 10000) // $100.00
+	b.Vecs[1].I64 = append(b.Vecs[1].I64, 5)     // 5%
+	b.N = 1
+	out := exec.NewVector(storage.Int64, 0)
+	RevenueI("r", "p", "d").Make([]int{0, 1})(b, &out)
+	if out.I64[0] != 10000*95 {
+		t.Fatalf("revenue = %d", out.I64[0])
+	}
+}
+
+// TestYearOfDaysMatchesTimePackage cross-checks the civil-year extraction
+// against the standard library over a wide date range.
+func TestYearOfDaysMatchesTimePackage(t *testing.T) {
+	for days := int64(-20000); days < 30000; days += 17 {
+		want := time.Unix(days*86400, 0).UTC().Year()
+		if got := YearOfDays(days); got != int64(want) {
+			t.Fatalf("YearOfDays(%d) = %d, want %d", days, got, want)
+		}
+	}
+}
+
+func TestRatioAndScale(t *testing.T) {
+	b := exec.NewBatch([]storage.Type{storage.Int64, storage.Int64}, nil)
+	b.Vecs[0].I64 = append(b.Vecs[0].I64, 1, 0)
+	b.Vecs[1].I64 = append(b.Vecs[1].I64, 4, 0)
+	b.N = 2
+	out := exec.NewVector(storage.Float64, 0)
+	RatioF("r", "n", "d", 100).Make([]int{0, 1})(b, &out)
+	if out.F64[0] != 25 {
+		t.Fatalf("ratio = %v", out.F64[0])
+	}
+	if out.F64[1] != 0 {
+		t.Fatalf("zero denominator should yield 0, got %v", out.F64[1])
+	}
+	out2 := exec.NewVector(storage.Float64, 0)
+	ScaleF("s", "n", 0.5).Make([]int{0})(b, &out2)
+	if out2.F64[0] != 0.5 {
+		t.Fatalf("scale = %v", out2.F64[0])
+	}
+}

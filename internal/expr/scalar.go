@@ -1,0 +1,215 @@
+package expr
+
+import (
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/storage"
+)
+
+// ConstI produces a constant int64 column.
+func ConstI(name string, x int64) Scalar {
+	return Scalar{Name: name, Type: storage.Int64, Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+		return func(b *exec.Batch, out *exec.Vector) {
+			for i := 0; i < b.N; i++ {
+				out.I64 = append(out.I64, x)
+			}
+		}
+	}}
+}
+
+// MulI computes a*b over two Int64-lane columns.
+func MulI(name, a, b string) Scalar {
+	return Scalar{Name: name, Type: storage.Int64, Cols: []string{a, b},
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			ca, cb := ix[0], ix[1]
+			return func(batch *exec.Batch, out *exec.Vector) {
+				va, vb := batch.Vecs[ca].I64, batch.Vecs[cb].I64
+				for i := 0; i < batch.N; i++ {
+					out.I64 = append(out.I64, va[i]*vb[i])
+				}
+			}
+		}}
+}
+
+// SubI computes a-b.
+func SubI(name, a, b string) Scalar {
+	return Scalar{Name: name, Type: storage.Int64, Cols: []string{a, b},
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			ca, cb := ix[0], ix[1]
+			return func(batch *exec.Batch, out *exec.Vector) {
+				va, vb := batch.Vecs[ca].I64, batch.Vecs[cb].I64
+				for i := 0; i < batch.N; i++ {
+					out.I64 = append(out.I64, va[i]-vb[i])
+				}
+			}
+		}}
+}
+
+// MulConstI computes col*c.
+func MulConstI(name, col string, c int64) Scalar {
+	return Scalar{Name: name, Type: storage.Int64, Cols: []string{col},
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			cc := ix[0]
+			return func(batch *exec.Batch, out *exec.Vector) {
+				v := batch.Vecs[cc].I64
+				for i := 0; i < batch.N; i++ {
+					out.I64 = append(out.I64, v[i]*c)
+				}
+			}
+		}}
+}
+
+// RevenueI computes the TPC-H revenue term price*(100-disc) where price is
+// in cents and disc in hundredths; the result is exact in 10^-4 dollars, so
+// parallel summation order cannot perturb results.
+func RevenueI(name, price, disc string) Scalar {
+	return Scalar{Name: name, Type: storage.Int64, Cols: []string{price, disc},
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			cp, cd := ix[0], ix[1]
+			return func(batch *exec.Batch, out *exec.Vector) {
+				vp, vd := batch.Vecs[cp].I64, batch.Vecs[cd].I64
+				for i := 0; i < batch.N; i++ {
+					out.I64 = append(out.I64, vp[i]*(100-vd[i]))
+				}
+			}
+		}}
+}
+
+// CaseI computes CASE WHEN pred THEN thenCol ELSE 0 END.
+func CaseI(name string, pred Pred, thenCol string) Scalar {
+	cols := append(append([]string{}, pred.Cols...), thenCol)
+	return Scalar{Name: name, Type: storage.Int64, Cols: cols,
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			f := pred.Make(ix[:len(ix)-1])
+			ct := ix[len(ix)-1]
+			var keep []bool
+			return func(batch *exec.Batch, out *exec.Vector) {
+				if cap(keep) < batch.N {
+					keep = make([]bool, batch.N)
+				}
+				k := keep[:batch.N]
+				f(nil, batch, k)
+				v := batch.Vecs[ct].I64
+				for i := 0; i < batch.N; i++ {
+					if k[i] {
+						out.I64 = append(out.I64, v[i])
+					} else {
+						out.I64 = append(out.I64, 0)
+					}
+				}
+			}
+		}}
+}
+
+// PredI computes CASE WHEN pred THEN 1 ELSE 0 END.
+func PredI(name string, pred Pred) Scalar {
+	return Scalar{Name: name, Type: storage.Int64, Cols: pred.Cols,
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			f := pred.Make(ix)
+			var keep []bool
+			return func(batch *exec.Batch, out *exec.Vector) {
+				if cap(keep) < batch.N {
+					keep = make([]bool, batch.N)
+				}
+				k := keep[:batch.N]
+				f(nil, batch, k)
+				for i := 0; i < batch.N; i++ {
+					if k[i] {
+						out.I64 = append(out.I64, 1)
+					} else {
+						out.I64 = append(out.I64, 0)
+					}
+				}
+			}
+		}}
+}
+
+// YearI extracts the civil year from a date column (days since the Unix
+// epoch), using the days-from-civil inverse of Howard Hinnant's algorithm.
+func YearI(name, col string) Scalar {
+	return Scalar{Name: name, Type: storage.Int64, Cols: []string{col},
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			c := ix[0]
+			return func(batch *exec.Batch, out *exec.Vector) {
+				v := batch.Vecs[c].I64
+				for i := 0; i < batch.N; i++ {
+					out.I64 = append(out.I64, YearOfDays(v[i]))
+				}
+			}
+		}}
+}
+
+// YearOfDays converts days-since-epoch to the civil year.
+func YearOfDays(days int64) int64 {
+	z := days + 719468
+	era := z / 146097
+	if z < 0 {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	if mp >= 10 {
+		y++
+	}
+	return y
+}
+
+// RatioF divides two Int64-lane columns into a float64 (report-time shares
+// like Q8's market share or Q14's promo percentage).
+func RatioF(name, num, den string, scale float64) Scalar {
+	return Scalar{Name: name, Type: storage.Float64, Cols: []string{num, den},
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			cn, cd := ix[0], ix[1]
+			return func(batch *exec.Batch, out *exec.Vector) {
+				vn, vd := batch.Vecs[cn].I64, batch.Vecs[cd].I64
+				for i := 0; i < batch.N; i++ {
+					if vd[i] == 0 {
+						out.F64 = append(out.F64, 0)
+						continue
+					}
+					out.F64 = append(out.F64, scale*float64(vn[i])/float64(vd[i]))
+				}
+			}
+		}}
+}
+
+// ScaleF converts an Int64-lane column to float64 times a factor (e.g.
+// cents to dollars, or Q17's sum/7.0).
+func ScaleF(name, col string, factor float64) Scalar {
+	return Scalar{Name: name, Type: storage.Float64, Cols: []string{col},
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			c := ix[0]
+			return func(batch *exec.Batch, out *exec.Vector) {
+				v := batch.Vecs[c].I64
+				for i := 0; i < batch.N; i++ {
+					out.F64 = append(out.F64, float64(v[i])*factor)
+				}
+			}
+		}}
+}
+
+// SubStrI extracts a fixed byte range [from, from+n) of a string column as
+// a small string (TPC-H Q22's substring(c_phone, 1, 2)).
+func SubStrI(name, col string, from, n int) Scalar {
+	return Scalar{Name: name, Type: storage.String, StrCap: n, Cols: []string{col},
+		Make: func(ix []int) func(*exec.Batch, *exec.Vector) {
+			c := ix[0]
+			return func(batch *exec.Batch, out *exec.Vector) {
+				v := batch.Vecs[c].Str
+				for i := 0; i < batch.N; i++ {
+					s := v[i]
+					lo := from - 1
+					hi := lo + n
+					if lo > len(s) {
+						lo = len(s)
+					}
+					if hi > len(s) {
+						hi = len(s)
+					}
+					out.Str = append(out.Str, s[lo:hi])
+				}
+			}
+		}}
+}

@@ -1,0 +1,46 @@
+// Package hashx provides the 64-bit hash functions used throughout the join
+// implementations. The paper stores an equally sized hash value with each
+// tuple (Section 5.2); every component that partitions, builds hash tables,
+// or probes Bloom filters derives its bits from the same hash so that radix
+// bits, directory bits, and filter blocks stay consistent.
+package hashx
+
+import "math/bits"
+
+// U64 mixes a 64-bit key into a well-distributed 64-bit hash. It is the
+// finalizer of splitmix64, which passes the usual avalanche tests and is
+// cheap enough to be recomputed per tuple like a code-generated hash.
+func U64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// I64 hashes a signed 64-bit key.
+func I64(x int64) uint64 { return U64(uint64(x)) }
+
+// Combine folds a second hash into an existing one, for multi-column join
+// keys. It is a Boost-style combiner strengthened with a rotation so that
+// Combine(a, b) != Combine(b, a).
+func Combine(h, h2 uint64) uint64 {
+	h ^= h2 + 0x9e3779b97f4a7c15 + bits.RotateLeft64(h, 23) + (h >> 2)
+	return U64(h)
+}
+
+// Bytes hashes a byte slice (FNV-1a core with a splitmix finalizer). String
+// join keys and LIKE-filtered text columns use this path.
+func Bytes(b []byte) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x00000100000001b3
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return U64(h)
+}

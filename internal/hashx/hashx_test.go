@@ -1,0 +1,94 @@
+package hashx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestU64Deterministic(t *testing.T) {
+	if U64(42) != U64(42) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestU64NoTrivialCollisions(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := U64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: U64(%d) == U64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestU64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip a substantial number of output
+	// bits on average; a weak mixer here would skew every radix
+	// partition histogram in the join.
+	var totalFlips, samples int
+	for i := uint64(1); i < 1024; i++ {
+		base := U64(i)
+		for b := 0; b < 64; b++ {
+			diff := base ^ U64(i^(1<<b))
+			totalFlips += popcount(diff)
+			samples++
+		}
+	}
+	avg := float64(totalFlips) / float64(samples)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average %.2f bits, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestCombineOrderSensitive(t *testing.T) {
+	a, b := U64(1), U64(2)
+	if Combine(a, b) == Combine(b, a) {
+		t.Fatal("Combine is symmetric; multi-column keys (x,y) and (y,x) would collide")
+	}
+}
+
+func TestBytesMatchesContent(t *testing.T) {
+	if Bytes([]byte("hello")) != Bytes([]byte("hello")) {
+		t.Fatal("Bytes not deterministic")
+	}
+	if Bytes([]byte("hello")) == Bytes([]byte("hellp")) {
+		t.Fatal("unexpected collision on near-identical strings")
+	}
+	if Bytes(nil) != Bytes([]byte{}) {
+		t.Fatal("nil and empty slice should hash equally")
+	}
+}
+
+func TestI64MatchesU64Property(t *testing.T) {
+	f := func(x int64) bool { return I64(x) == U64(uint64(x)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU64LowBitsUniform(t *testing.T) {
+	// The radix partitioner uses the low 6 bits; sequential keys (the
+	// TPC-H primary keys) must spread uniformly.
+	const fanout = 64
+	counts := make([]int, fanout)
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		counts[U64(i)&(fanout-1)]++
+	}
+	want := n / fanout
+	for p, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("partition %d has %d of expected %d", p, c, want)
+		}
+	}
+}

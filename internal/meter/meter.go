@@ -1,0 +1,116 @@
+// Package meter accounts memory traffic per execution phase. It stands in
+// for the Intel PCM counters the paper uses for Figure 10: every partition,
+// build, scan, and join phase reports how many bytes it read and wrote, and
+// the meter keeps a timeline of phase transitions so the harness can print
+// the same read/write bandwidth-over-time series the paper plots.
+package meter
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter accumulates read/write byte counts and phase boundaries. A nil
+// *Meter is valid and records nothing, so hot paths guard with one nil check.
+type Meter struct {
+	read    atomic.Int64
+	written atomic.Int64
+
+	mu     sync.Mutex
+	start  time.Time
+	phases []Phase
+}
+
+// Phase is one closed interval of execution with its byte counts.
+type Phase struct {
+	Name     string
+	Start    time.Duration // offset from meter start
+	End      time.Duration
+	Read     int64
+	Written  int64
+	ReadBW   float64 // bytes/second
+	WriteBW  float64
+	TotalBW  float64
+	Duration time.Duration
+}
+
+// New returns a running meter with its clock started.
+func New() *Meter {
+	return &Meter{start: time.Now()}
+}
+
+// AddRead records n bytes read.
+func (m *Meter) AddRead(n int64) {
+	if m == nil {
+		return
+	}
+	m.read.Add(n)
+}
+
+// AddWrite records n bytes written.
+func (m *Meter) AddWrite(n int64) {
+	if m == nil {
+		return
+	}
+	m.written.Add(n)
+}
+
+// BeginPhase opens a named phase; EndPhase closes it and snapshots the byte
+// deltas attributed to it. Phases are coarse (one per join stage) and are
+// opened from the coordinating goroutine only.
+func (m *Meter) BeginPhase(name string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.phases = append(m.phases, Phase{
+		Name:    name,
+		Start:   time.Since(m.start),
+		Read:    m.read.Load(),
+		Written: m.written.Load(),
+	})
+}
+
+// EndPhase closes the most recently opened phase.
+func (m *Meter) EndPhase() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.phases) == 0 {
+		return
+	}
+	p := &m.phases[len(m.phases)-1]
+	p.End = time.Since(m.start)
+	p.Read = m.read.Load() - p.Read
+	p.Written = m.written.Load() - p.Written
+	p.Duration = p.End - p.Start
+	if secs := p.Duration.Seconds(); secs > 0 {
+		p.ReadBW = float64(p.Read) / secs
+		p.WriteBW = float64(p.Written) / secs
+		p.TotalBW = p.ReadBW + p.WriteBW
+	}
+}
+
+// Phases returns the closed phases recorded so far.
+func (m *Meter) Phases() []Phase {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Phase, len(m.phases))
+	copy(out, m.phases)
+	return out
+}
+
+// Totals returns cumulative read and written bytes.
+func (m *Meter) Totals() (read, written int64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.read.Load(), m.written.Load()
+}

@@ -1,0 +1,81 @@
+package meter
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.AddRead(10)
+	m.AddWrite(10)
+	m.BeginPhase("x")
+	m.EndPhase()
+	if ph := m.Phases(); ph != nil {
+		t.Fatal("nil meter returned phases")
+	}
+	if r, w := m.Totals(); r != 0 || w != 0 {
+		t.Fatal("nil meter returned totals")
+	}
+}
+
+func TestPhaseAttribution(t *testing.T) {
+	m := New()
+	m.BeginPhase("a")
+	m.AddRead(100)
+	m.AddWrite(50)
+	time.Sleep(time.Millisecond)
+	m.EndPhase()
+	m.BeginPhase("b")
+	m.AddRead(7)
+	time.Sleep(time.Millisecond)
+	m.EndPhase()
+
+	ph := m.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("phases = %d", len(ph))
+	}
+	if ph[0].Name != "a" || ph[0].Read != 100 || ph[0].Written != 50 {
+		t.Fatalf("phase a: %+v", ph[0])
+	}
+	if ph[1].Read != 7 || ph[1].Written != 0 {
+		t.Fatalf("phase b: %+v", ph[1])
+	}
+	if ph[0].Duration <= 0 || ph[0].ReadBW <= 0 {
+		t.Fatalf("phase a bandwidth: %+v", ph[0])
+	}
+	if ph[1].Start < ph[0].End {
+		t.Fatal("phases overlap")
+	}
+	if r, w := m.Totals(); r != 107 || w != 50 {
+		t.Fatalf("totals = %d/%d", r, w)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.AddRead(1)
+				m.AddWrite(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if r, w := m.Totals(); r != 8000 || w != 16000 {
+		t.Fatalf("totals = %d/%d", r, w)
+	}
+}
+
+func TestEndPhaseWithoutBegin(t *testing.T) {
+	m := New()
+	m.EndPhase() // must not panic
+	if len(m.Phases()) != 0 {
+		t.Fatal("phantom phase recorded")
+	}
+}

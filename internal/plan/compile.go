@@ -1,0 +1,290 @@
+package plan
+
+import (
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/meter"
+	"partitionjoin/internal/storage"
+)
+
+// Options configures plan execution.
+type Options struct {
+	// Workers is the pipeline parallelism; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Algo is the default join implementation; PerJoin overrides it for
+	// individual join IDs (the per-join swap of Section 5.3.2).
+	Algo    JoinAlgo
+	PerJoin map[int]JoinAlgo
+	// Core tunes the radix joins.
+	Core core.Config
+	// Meter, when set, records per-phase memory traffic.
+	Meter *meter.Meter
+	// Stats, when set, collects per-join cardinalities and widths.
+	Stats *StatsCollector
+}
+
+// DefaultOptions runs everything through the BHJ at full parallelism.
+func DefaultOptions() Options {
+	return Options{Algo: BHJ, Core: core.DefaultConfig()}
+}
+
+func (o Options) algoFor(id int) JoinAlgo {
+	if a, ok := o.PerJoin[id]; ok {
+		return a
+	}
+	return o.Algo
+}
+
+// opBuilder creates one per-worker operator feeding next.
+type opBuilder func(ctx *exec.Ctx, next exec.Operator) exec.Operator
+
+// sweep records a pending left-outer build sweep: the unmatched build rows
+// must flow through the chain suffix starting at opIdx into the pipeline's
+// final sink.
+type sweep struct {
+	join        *core.HashJoin
+	opIdx       int
+	probeTypes  []storage.Type
+	wantMatched bool
+}
+
+// pipe is a pipeline under construction.
+type pipe struct {
+	source exec.Source
+	ops    []opBuilder
+	cols   []ColRef
+	sweeps []sweep
+}
+
+type compiler struct {
+	opts      Options
+	pipelines []*exec.Pipeline
+	harvests  []func()
+}
+
+// terminate closes a pipe with a breaker sink, emitting its pipeline and
+// any pending left-outer sweep pipelines that share the same sink.
+func (c *compiler) terminate(p *pipe, sink exec.Sink, name string) {
+	if _, ok := p.source.(*core.PartitionJoinSource); ok && name != "" {
+		// The radix join phase runs fused with this pipeline; label it
+		// so the Figure 10 phase breakdown shows it as the join.
+		name = "join+" + name
+	}
+	shared := &sharedSink{S: sink, expected: 1 + len(p.sweeps)}
+	mk := func(ops []opBuilder) func(ctx *exec.Ctx) exec.Operator {
+		return func(ctx *exec.Ctx) exec.Operator {
+			var op exec.Operator = &exec.SinkOp{S: shared}
+			for i := len(ops) - 1; i >= 0; i-- {
+				op = ops[i](ctx, op)
+			}
+			return op
+		}
+	}
+	c.pipelines = append(c.pipelines, &exec.Pipeline{
+		Name:     name,
+		Source:   p.source,
+		NewChain: mk(p.ops),
+		Sink:     shared,
+	})
+	for _, s := range p.sweeps {
+		c.pipelines = append(c.pipelines, &exec.Pipeline{
+			Source: &core.UnmatchedBuildSource{
+				J: s.join, ProbeTypes: s.probeTypes, WantMatched: s.wantMatched,
+			},
+			NewChain: mk(p.ops[s.opIdx:]),
+			Sink:     shared,
+		})
+	}
+}
+
+// sharedSink lets several pipelines feed one sink: the underlying sink
+// opens on the first Open and closes on the last Close.
+type sharedSink struct {
+	S        exec.Sink
+	expected int
+	opens    int
+	closes   int
+}
+
+// Open implements exec.Sink.
+func (s *sharedSink) Open(workers int) {
+	s.opens++
+	if s.opens == 1 {
+		s.S.Open(workers)
+	}
+}
+
+// Consume implements exec.Sink.
+func (s *sharedSink) Consume(ctx *exec.Ctx, b *exec.Batch) { s.S.Consume(ctx, b) }
+
+// Close implements exec.Sink.
+func (s *sharedSink) Close() {
+	s.closes++
+	if s.closes == s.expected {
+		s.S.Close()
+	}
+}
+
+// vecTypes converts refs to vector type/cap slices.
+func vecTypes(cols []ColRef) ([]storage.Type, []int) {
+	ts := make([]storage.Type, len(cols))
+	caps := make([]int, len(cols))
+	for i, c := range cols {
+		ts[i] = c.Type
+		caps[i] = c.StrCap
+	}
+	return ts, caps
+}
+
+// compile lowers a node to a pipe, appending finished pipelines on the way.
+func (c *compiler) compile(n Node) *pipe {
+	switch n := n.(type) {
+	case *ScanNode:
+		var src exec.Source
+		if n.RowID != "" {
+			src = exec.NewTableSourceWithRowID(n.Table, n.Cols...)
+		} else {
+			src = exec.NewTableSource(n.Table, n.Cols...)
+		}
+		return &pipe{source: src, cols: n.Columns()}
+
+	case *FilterNode:
+		p := c.compile(n.Child)
+		ix := resolveAll(p.cols, n.Pred.Cols)
+		pred := n.Pred
+		p.ops = append(p.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+			return &exec.FilterOp{Next: next, Pred: pred.Make(ix)}
+		})
+		return p
+
+	case *MapNode:
+		p := c.compile(n.Child)
+		type compiled struct {
+			ix []int
+			e  int
+		}
+		// Expressions resolve sequentially: each sees the outputs of the
+		// ones before it (the runtime appends vectors in the same order).
+		var specs []compiled
+		cols := append([]ColRef{}, p.cols...)
+		for ei, e := range n.Exprs {
+			specs = append(specs, compiled{ix: resolveAll(cols, e.Cols), e: ei})
+			cols = append(cols, ColRef{Name: e.Name, Type: e.Type, StrCap: e.StrCap})
+		}
+		exprs := n.Exprs
+		p.ops = append(p.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+			op := &scalarOp{next: next}
+			for _, s := range specs {
+				e := exprs[s.e]
+				op.fns = append(op.fns, e.Make(s.ix))
+				op.vecs = append(op.vecs, exec.NewVector(e.Type, e.StrCap))
+			}
+			return op
+		})
+		p.cols = n.Columns()
+		return p
+
+	case *RenameNode:
+		p := c.compile(n.Child)
+		p.cols = renameCols(p.cols, n.From, n.To)
+		return p
+
+	case *ProjectNode:
+		p := c.compile(n.Child)
+		idx := resolveAll(p.cols, n.Cols)
+		p.ops = append(p.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+			return &exec.ProjectOp{Next: next, Idx: idx}
+		})
+		p.cols = n.Columns()
+		return p
+
+	case *LateLoadNode:
+		p := c.compile(n.Child)
+		rid := mustIdx(p.cols, n.RowID)
+		tbl, colNames := n.Table, n.Cols
+		p.ops = append(p.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+			return exec.NewLateLoadOp(next, tbl, rid, colNames...)
+		})
+		p.cols = n.Columns()
+		return p
+
+	case *JoinNode:
+		return c.compileJoin(n)
+
+	case *GroupByNode:
+		p := c.compile(n.Child)
+		sink := &exec.GroupBySink{}
+		kt := make([]storage.Type, len(n.Keys))
+		kc := make([]int, len(n.Keys))
+		for i, k := range n.Keys {
+			ref := mustRef(p.cols, k)
+			kt[i] = ref.Type
+			kc[i] = ref.StrCap
+			sink.Keys = append(sink.Keys, mustIdx(p.cols, k))
+		}
+		sink.KeyTypes, sink.KeyCaps = kt, kc
+		for _, a := range n.Aggs {
+			col := -1
+			if a.Col != "" {
+				col = mustIdx(p.cols, a.Col)
+			}
+			sink.Aggs = append(sink.Aggs, exec.AggSpec{Kind: a.Kind, Col: col})
+		}
+		c.terminate(p, sink, "aggregate")
+		return &pipe{source: sink.Source(), cols: n.Columns()}
+
+	case *OrderByNode:
+		p := c.compile(n.Child)
+		ts, caps := vecTypes(p.cols)
+		sink := &exec.SortSink{Limit: n.Limit, Types: ts, Caps: caps}
+		for _, k := range n.Keys {
+			sink.Keys = append(sink.Keys, exec.SortKey{Col: mustIdx(p.cols, k.Col), Desc: k.Desc})
+		}
+		c.terminate(p, sink, "sort")
+		return &pipe{source: sink.Source(), cols: n.Columns()}
+	}
+	panic("plan: unknown node type")
+}
+
+// scalarOp evaluates compiled scalar expressions, temporarily extending the
+// batch with the computed vectors.
+type scalarOp struct {
+	next exec.Operator
+	fns  []func(b *exec.Batch, out *exec.Vector)
+	vecs []exec.Vector
+}
+
+// Process implements exec.Operator.
+func (o *scalarOp) Process(ctx *exec.Ctx, b *exec.Batch) {
+	if b.N == 0 {
+		return
+	}
+	n := len(b.Vecs)
+	for i, f := range o.fns {
+		o.vecs[i].Reset()
+		f(b, &o.vecs[i])
+		b.Vecs = append(b.Vecs, o.vecs[i])
+	}
+	o.next.Process(ctx, b)
+	copy(o.vecs, b.Vecs[n:])
+	b.Vecs = b.Vecs[:n]
+}
+
+// Flush implements exec.Operator.
+func (o *scalarOp) Flush(ctx *exec.Ctx) { o.next.Flush(ctx) }
+
+func resolveAll(cols []ColRef, names []string) []int {
+	ix := make([]int, len(names))
+	for i, n := range names {
+		ix[i] = mustIdx(cols, n)
+	}
+	return ix
+}
+
+func renameCols(cols []ColRef, from, to []string) []ColRef {
+	out := append([]ColRef{}, cols...)
+	for i, f := range from {
+		out[mustIdx(out, f)].Name = to[i]
+	}
+	return out
+}

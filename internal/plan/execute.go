@@ -1,0 +1,91 @@
+package plan
+
+import (
+	"time"
+
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/storage"
+)
+
+// ExecResult is the outcome of executing a plan.
+type ExecResult struct {
+	Result *exec.Result
+	Cols   []ColRef
+	// SourceRows is the number of tuples emitted at pipeline sources;
+	// the TPC-H throughput metric divides it by Duration (Section 5.3).
+	SourceRows int64
+	Duration   time.Duration
+}
+
+// Throughput returns source tuples per second.
+func (r *ExecResult) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.SourceRows) / r.Duration.Seconds()
+}
+
+// Execute compiles and runs a plan tree, collecting the root's output.
+func Execute(opts Options, root Node) *ExecResult {
+	c := &compiler{opts: opts}
+	p := c.compile(root)
+	ts, caps := vecTypes(p.cols)
+	sink := &exec.CollectSink{Types: ts, Caps: caps}
+	c.terminate(p, sink, "collect")
+
+	d := exec.NewDriver(opts.Workers)
+	d.Meter = opts.Meter
+	start := time.Now()
+	d.RunAll(c.pipelines)
+	for _, h := range c.harvests {
+		h()
+	}
+	return &ExecResult{
+		Result:     sink.Result(),
+		Cols:       p.cols,
+		SourceRows: d.SourceRows.Load(),
+		Duration:   time.Since(start),
+	}
+}
+
+// TableFromResult materializes an executed result as a stored table so a
+// later stage of a multi-stage query (scalar subqueries, HAVING thresholds)
+// can scan and join it.
+func TableFromResult(name string, cols []ColRef, r *exec.Result) *storage.Table {
+	defs := make([]storage.ColumnDef, len(cols))
+	for i, c := range cols {
+		defs[i] = storage.ColumnDef{Name: c.Name, Type: c.Type, StrCap: c.StrCap}
+	}
+	t := storage.NewTable(name, storage.NewSchema(defs...), r.NumRows())
+	for ci := range cols {
+		v := &r.Vecs[ci]
+		switch col := t.Cols[ci].(type) {
+		case *storage.Int64Column:
+			col.Values = append(col.Values, v.I64...)
+		case *storage.Float64Column:
+			col.Values = append(col.Values, v.F64...)
+		case *storage.StringColumn:
+			for _, s := range v.Str {
+				col.Append(s)
+			}
+		}
+	}
+	return t
+}
+
+// ScalarI64 returns the single int64 value of a 1x1 result (scalar
+// subqueries of the TPC-H rewrites).
+func (r *ExecResult) ScalarI64() int64 {
+	if r.Result.NumRows() != 1 {
+		panic("plan: scalar result does not have exactly one row")
+	}
+	return r.Result.Vecs[0].I64[0]
+}
+
+// ScalarF64 returns the single float64 value of a 1x1 result.
+func (r *ExecResult) ScalarF64() float64 {
+	if r.Result.NumRows() != 1 {
+		panic("plan: scalar result does not have exactly one row")
+	}
+	return r.Result.Vecs[0].F64[0]
+}

@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/storage"
+)
+
+// matList assembles the materialization list of one join side: keys first
+// (so layout key columns are 0..len(keys)-1), then payload, then residual
+// columns, deduplicated.
+func matList(keys, payload []string, residual []string) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, k := range keys {
+		add(k)
+	}
+	for _, p := range payload {
+		add(p)
+	}
+	for _, r := range residual {
+		add(r)
+	}
+	return out
+}
+
+// layoutFor builds the packed-row layout of a side from its column refs.
+func layoutFor(cols []ColRef, mat []string, nkeys int) *core.Layout {
+	types := make([]storage.Type, len(mat))
+	widths := make([]int, len(mat))
+	for i, name := range mat {
+		ref := mustRef(cols, name)
+		types[i] = ref.Type
+		widths[i] = ref.Type.Width(ref.StrCap)
+	}
+	keyCols := make([]int, nkeys)
+	for i := range keyCols {
+		keyCols[i] = i
+	}
+	return core.NewLayout(types, widths, keyCols)
+}
+
+// positions maps names to their position within mat.
+func positions(mat []string, names []string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		for j, m := range mat {
+			if m == n {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (c *compiler) compileJoin(n *JoinNode) *pipe {
+	algo := c.opts.algoFor(n.ID)
+	if n.HasAlgo {
+		algo = n.Algo
+	}
+	bp := c.compile(n.Build)
+	pp := c.compile(n.Probe)
+
+	var resBuild, resProbe []string
+	for _, r := range n.ResidualNe {
+		resBuild = append(resBuild, r[0])
+		resProbe = append(resProbe, r[1])
+	}
+
+	buildMat := matList(n.BuildKeys, n.BuildPay, resBuild)
+	buildLayout := layoutFor(bp.cols, buildMat, len(n.BuildKeys))
+	buildCols := resolveAll(bp.cols, buildMat)
+	buildKeyBatch := resolveAll(bp.cols, n.BuildKeys)
+	buildOut := positions(buildMat, n.BuildPay)
+	resBuildPos := positions(buildMat, resBuild)
+
+	probeKeyBatch := resolveAll(pp.cols, n.ProbeKeys)
+
+	// Probe-side materialization width, whether or not this algorithm
+	// materializes it (the BHJ streams the probe side; stats report what
+	// a radix join would write).
+	probeMatAll := matList(n.ProbeKeys, n.ProbePay, resProbe)
+	probeLayoutStat := layoutFor(pp.cols, probeMatAll, len(n.ProbeKeys))
+
+	if algo == BHJ {
+		j := &core.HashJoin{
+			Kind:         n.Kind,
+			Layout:       buildLayout,
+			BuildCols:    buildCols,
+			BuildKeyCols: buildKeyBatch,
+			BuildHashCol: -1,
+			ProbeKeyCols: probeKeyBatch,
+			ProbeHashCol: -1,
+			ProbeOut:     resolveAll(pp.cols, n.ProbePay),
+			BuildOut:     buildOut,
+			Meter:        c.opts.Meter,
+		}
+		if len(n.ResidualNe) > 0 {
+			probeVecs := resolveAll(pp.cols, resProbe)
+			bl := buildLayout
+			bpos := resBuildPos
+			j.Residual = func(brow []byte, b *exec.Batch, i int) bool {
+				for k, bc := range bpos {
+					if bl.GetI64(brow, bc) == b.Vecs[probeVecs[k]].I64[i] {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		c.terminate(bp, j.BuildSink(), "build")
+		opIdx := len(pp.ops)
+		pp.ops = append(pp.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+			return j.ProbeOp(next)
+		})
+		switch n.Kind {
+		case core.LeftOuter:
+			var pts []storage.Type
+			for _, name := range n.ProbePay {
+				pts = append(pts, mustRef(pp.cols, name).Type)
+			}
+			pp.sweeps = append(pp.sweeps, sweep{join: j, opIdx: opIdx + 1, probeTypes: pts})
+		case core.LeftSemi:
+			pp.sweeps = append(pp.sweeps, sweep{join: j, opIdx: opIdx + 1, wantMatched: true})
+		case core.LeftAnti:
+			pp.sweeps = append(pp.sweeps, sweep{join: j, opIdx: opIdx + 1})
+		}
+		if c.opts.Stats != nil {
+			stat := &JoinStat{ID: n.ID, Algo: BHJ, Kind: n.Kind.String(),
+				BuildTupleBytes: buildLayout.Size, ProbeTupleBytes: probeLayoutStat.Size}
+			c.harvests = append(c.harvests, func() {
+				stat.BuildRows = int64(j.NumBuildRows())
+				stat.ProbeRows = j.StatProbeRows.Load()
+				stat.Matches = j.StatMatches.Load()
+				c.opts.Stats.add(stat)
+			})
+		}
+		pp.cols = n.Columns()
+		return pp
+	}
+
+	// Radix joins: both sides are materialized into partitions.
+	probeMat := probeMatAll
+	probeLayout := probeLayoutStat
+	probeCols := resolveAll(pp.cols, probeMat)
+	probeOut := positions(probeMat, n.ProbePay)
+	resProbePos := positions(probeMat, resProbe)
+
+	cfg := c.opts.Core
+	cfg.Bloom = algo == BRJ
+	probeHash := -1
+	j := core.NewRadixJoin(cfg, n.Kind, c.opts.Meter,
+		buildLayout, buildCols, buildKeyBatch, -1,
+		probeLayout, probeCols, probeKeyBatch, -1,
+		buildOut, probeOut)
+	if len(n.ResidualNe) > 0 {
+		bl, pl := buildLayout, probeLayout
+		bpos, ppos := resBuildPos, resProbePos
+		j.Residual = func(brow, prow []byte) bool {
+			for k, bc := range bpos {
+				if bl.GetI64(brow, bc) == pl.GetI64(prow, ppos[k]) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	c.terminate(bp, j.BuildSink, "")
+
+	// The Bloom semi-join reducer may only drop probe tuples whose
+	// absence cannot change the result: every kind except probe-side
+	// anti/mark/right-outer, which must see unmatched probe tuples.
+	bloomOK := n.Kind != core.Anti && n.Kind != core.Mark && n.Kind != core.RightOuter
+	if algo == BRJ && !bloomOK {
+		j.Cfg.Bloom = false
+		j.BuildSink.Cfg.Bloom = false
+		j.ProbeSink.Cfg.Bloom = false
+	} else if algo == BRJ {
+		// One shared hash computation feeds the pushed-down Bloom
+		// reducer and the partitioner (Section 4.7).
+		probeHash = len(pp.cols)
+		keyCols := probeKeyBatch
+		pp.ops = append(pp.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+			return &core.HashOp{Next: next, KeyCols: keyCols}
+		})
+		pp.ops = append(pp.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+			return &core.BloomProbeOp{Next: next, Join: j, HashCol: probeHash}
+		})
+		j.ProbeSink.HashCol = probeHash
+	}
+	c.terminate(pp, j.ProbeSink, "")
+
+	if c.opts.Stats != nil {
+		stat := &JoinStat{ID: n.ID, Algo: algo, Kind: n.Kind.String(),
+			BuildTupleBytes: buildLayout.Size, ProbeTupleBytes: probeLayout.Size}
+		c.harvests = append(c.harvests, func() {
+			stat.BuildRows = j.BuildSink.Out.Rows
+			stat.ProbeRows = j.StatProbeRows.Load()
+			stat.Matches = j.StatMatches.Load()
+			c.opts.Stats.add(stat)
+		})
+	}
+	return &pipe{source: j.JoinSource(), cols: n.Columns()}
+}

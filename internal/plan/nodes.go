@@ -1,0 +1,319 @@
+// Package plan provides the physical plan layer of the DBMS substrate: a
+// tree of relational operators compiled into exec pipelines following the
+// produce/consume model (Section 4.1). Joins are full pipeline breakers
+// when radix-partitioned and in-pipeline operators when non-partitioned,
+// reproducing Figure 4; the compiler also implements the semi-join-reducer
+// placement and the late-materialization rewrite hooks of Section 4.2.
+package plan
+
+import (
+	"fmt"
+
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/expr"
+	"partitionjoin/internal/storage"
+)
+
+// JoinAlgo selects the join implementation under test (Section 5.1.1).
+type JoinAlgo uint8
+
+const (
+	// BHJ is the buffered non-partitioned hash join.
+	BHJ JoinAlgo = iota
+	// RJ is the radix-partitioned join.
+	RJ
+	// BRJ is the Bloom-filtered radix-partitioned join.
+	BRJ
+)
+
+// String implements fmt.Stringer.
+func (a JoinAlgo) String() string {
+	switch a {
+	case BHJ:
+		return "BHJ"
+	case RJ:
+		return "RJ"
+	case BRJ:
+		return "BRJ"
+	}
+	return "algo?"
+}
+
+// ColRef names one column of a dataflow edge.
+type ColRef struct {
+	Name   string
+	Type   storage.Type
+	StrCap int
+}
+
+// Node is a physical plan operator.
+type Node interface {
+	// Columns returns the output schema of the node.
+	Columns() []ColRef
+}
+
+// ScanNode reads a stored table (early materialization). If RowID is
+// non-empty an Int64 tuple-id column of that name is appended — the handle
+// late materialization joins carry instead of payload (Section 4.2).
+type ScanNode struct {
+	Table *storage.Table
+	Cols  []string
+	RowID string
+}
+
+// Scan builds a table scan over the named columns.
+func Scan(t *storage.Table, cols ...string) *ScanNode {
+	return &ScanNode{Table: t, Cols: cols}
+}
+
+// ScanRowID builds a scan that additionally emits tuple ids named rowID.
+func ScanRowID(t *storage.Table, rowID string, cols ...string) *ScanNode {
+	return &ScanNode{Table: t, Cols: cols, RowID: rowID}
+}
+
+// Columns implements Node.
+func (n *ScanNode) Columns() []ColRef {
+	out := make([]ColRef, 0, len(n.Cols)+1)
+	for _, c := range n.Cols {
+		def := n.Table.Schema.Cols[n.Table.Schema.MustCol(c)]
+		out = append(out, ColRef{Name: c, Type: def.Type, StrCap: def.StrCap})
+	}
+	if n.RowID != "" {
+		out = append(out, ColRef{Name: n.RowID, Type: storage.Int64})
+	}
+	return out
+}
+
+// FilterNode applies a predicate.
+type FilterNode struct {
+	Child Node
+	Pred  expr.Pred
+}
+
+// Filter builds a selection.
+func Filter(child Node, pred expr.Pred) *FilterNode { return &FilterNode{Child: child, Pred: pred} }
+
+// Columns implements Node.
+func (n *FilterNode) Columns() []ColRef { return n.Child.Columns() }
+
+// MapNode appends computed columns.
+type MapNode struct {
+	Child Node
+	Exprs []expr.Scalar
+}
+
+// Map builds a projection extension.
+func Map(child Node, exprs ...expr.Scalar) *MapNode { return &MapNode{Child: child, Exprs: exprs} }
+
+// Columns implements Node.
+func (n *MapNode) Columns() []ColRef {
+	out := append([]ColRef{}, n.Child.Columns()...)
+	for _, e := range n.Exprs {
+		out = append(out, ColRef{Name: e.Name, Type: e.Type, StrCap: e.StrCap})
+	}
+	return out
+}
+
+// RenameNode renames columns (no runtime cost; resolves self-join
+// ambiguity).
+type RenameNode struct {
+	Child Node
+	From  []string
+	To    []string
+}
+
+// Rename builds a renaming: pairs of from, to.
+func Rename(child Node, fromTo ...string) *RenameNode {
+	n := &RenameNode{Child: child}
+	for i := 0; i+1 < len(fromTo); i += 2 {
+		n.From = append(n.From, fromTo[i])
+		n.To = append(n.To, fromTo[i+1])
+	}
+	return n
+}
+
+// Columns implements Node.
+func (n *RenameNode) Columns() []ColRef {
+	out := append([]ColRef{}, n.Child.Columns()...)
+	for i, f := range n.From {
+		found := false
+		for j := range out {
+			if out[j].Name == f {
+				out[j].Name = n.To[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("plan: rename of unknown column %q", f))
+		}
+	}
+	return out
+}
+
+// JoinNode is an equi-join. Build is the left/materialized side, Probe the
+// right/streamed side. Payload lists name the columns each side contributes
+// to the output (keys are materialized implicitly but only output when
+// listed). ID identifies the join for per-join algorithm swaps (Fig. 12);
+// Algo < 0 defers to the executor's default.
+type JoinNode struct {
+	ID         int
+	Kind       core.JoinKind
+	Algo       JoinAlgo
+	HasAlgo    bool
+	Build      Node
+	Probe      Node
+	BuildKeys  []string
+	ProbeKeys  []string
+	BuildPay   []string
+	ProbePay   []string
+	MarkName   string
+	ResidualNe [][2]string // (buildCol, probeCol) pairs that must differ
+}
+
+// Columns implements Node.
+func (n *JoinNode) Columns() []ColRef {
+	var out []ColRef
+	if n.Kind.HasBuildCols() {
+		bcols := n.Build.Columns()
+		for _, name := range n.BuildPay {
+			out = append(out, mustRef(bcols, name))
+		}
+	}
+	if n.Kind.HasProbeCols() {
+		pcols := n.Probe.Columns()
+		for _, name := range n.ProbePay {
+			out = append(out, mustRef(pcols, name))
+		}
+	}
+	if n.Kind == core.Mark {
+		out = append(out, ColRef{Name: n.MarkName, Type: storage.Bool})
+	}
+	return out
+}
+
+// LateLoadNode fetches deferred columns of a base table by tuple id.
+type LateLoadNode struct {
+	Child Node
+	Table *storage.Table
+	RowID string
+	Cols  []string
+}
+
+// LateLoad builds a late materialization fetch.
+func LateLoad(child Node, t *storage.Table, rowID string, cols ...string) *LateLoadNode {
+	return &LateLoadNode{Child: child, Table: t, RowID: rowID, Cols: cols}
+}
+
+// Columns implements Node.
+func (n *LateLoadNode) Columns() []ColRef {
+	out := append([]ColRef{}, n.Child.Columns()...)
+	for _, c := range n.Cols {
+		def := n.Table.Schema.Cols[n.Table.Schema.MustCol(c)]
+		out = append(out, ColRef{Name: c, Type: def.Type, StrCap: def.StrCap})
+	}
+	return out
+}
+
+// ProjectNode narrows/reorders the output columns.
+type ProjectNode struct {
+	Child Node
+	Cols  []string
+}
+
+// Project builds a projection to the named columns, in order.
+func Project(child Node, cols ...string) *ProjectNode {
+	return &ProjectNode{Child: child, Cols: cols}
+}
+
+// Columns implements Node.
+func (n *ProjectNode) Columns() []ColRef {
+	ccols := n.Child.Columns()
+	out := make([]ColRef, len(n.Cols))
+	for i, c := range n.Cols {
+		out[i] = mustRef(ccols, c)
+	}
+	return out
+}
+
+// AggExpr is one aggregate of a GroupByNode.
+type AggExpr struct {
+	Kind exec.AggKind
+	Col  string // "" for COUNT(*)
+	As   string
+}
+
+// GroupByNode hash-aggregates.
+type GroupByNode struct {
+	Child Node
+	Keys  []string
+	Aggs  []AggExpr
+}
+
+// GroupBy builds an aggregation.
+func GroupBy(child Node, keys []string, aggs ...AggExpr) *GroupByNode {
+	return &GroupByNode{Child: child, Keys: keys, Aggs: aggs}
+}
+
+// Columns implements Node.
+func (n *GroupByNode) Columns() []ColRef {
+	ccols := n.Child.Columns()
+	var out []ColRef
+	for _, k := range n.Keys {
+		out = append(out, mustRef(ccols, k))
+	}
+	for _, a := range n.Aggs {
+		spec := exec.AggSpec{Kind: a.Kind}
+		out = append(out, ColRef{Name: a.As, Type: spec.OutType(), StrCap: 64})
+	}
+	return out
+}
+
+// OrderKey orders by one column.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// OrderByNode sorts (and optionally truncates) the result.
+type OrderByNode struct {
+	Child Node
+	Keys  []OrderKey
+	Limit int
+}
+
+// OrderBy builds a sort.
+func OrderBy(child Node, limit int, keys ...OrderKey) *OrderByNode {
+	return &OrderByNode{Child: child, Keys: keys, Limit: limit}
+}
+
+// Columns implements Node.
+func (n *OrderByNode) Columns() []ColRef { return n.Child.Columns() }
+
+// mustRef finds a column by name.
+func mustRef(cols []ColRef, name string) ColRef {
+	for _, c := range cols {
+		if c.Name == name {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("plan: unknown column %q (have %v)", name, names(cols)))
+}
+
+func names(cols []ColRef) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func mustIdx(cols []ColRef, name string) int {
+	for i, c := range cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("plan: unknown column %q (have %v)", name, names(cols)))
+}

@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"sort"
+	"sync"
+)
+
+// JoinStat describes one executed join for the per-join analysis: build and
+// probe cardinalities and materialized tuple widths give the axes of
+// Figure 1, the probe width and match rate feed the workload histograms of
+// Figure 2, and Q21's annotated tree (Figure 13) prints straight from it.
+type JoinStat struct {
+	ID   int
+	Algo JoinAlgo
+	Kind string
+
+	BuildRows int64
+	ProbeRows int64
+	Matches   int64
+
+	// Tuple widths of the materialized row layouts (the BHJ streams its
+	// probe side, so ProbeTupleBytes reports what a radix join would
+	// have to materialize).
+	BuildTupleBytes int
+	ProbeTupleBytes int
+}
+
+// BuildBytes returns the materialized build-side volume.
+func (s *JoinStat) BuildBytes() int64 { return s.BuildRows * int64(s.BuildTupleBytes) }
+
+// ProbeBytes returns the probe-side volume at the join's tuple width.
+func (s *JoinStat) ProbeBytes() int64 { return s.ProbeRows * int64(s.ProbeTupleBytes) }
+
+// MatchRate returns matches per probe tuple (the "join partner %" of
+// Figure 2, capped at 1 for many-to-many joins).
+func (s *JoinStat) MatchRate() float64 {
+	if s.ProbeRows == 0 {
+		return 0
+	}
+	r := float64(s.Matches) / float64(s.ProbeRows)
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// StatsCollector gathers JoinStats across the (possibly multi-stage)
+// execution of a query. Safe for concurrent use.
+type StatsCollector struct {
+	mu    sync.Mutex
+	stats []*JoinStat
+}
+
+// NewStatsCollector returns an empty collector; attach it via Options.Stats.
+func NewStatsCollector() *StatsCollector { return &StatsCollector{} }
+
+func (c *StatsCollector) add(s *JoinStat) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = append(c.stats, s)
+}
+
+// Joins returns the collected stats ordered by join ID.
+func (c *StatsCollector) Joins() []*JoinStat {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]*JoinStat{}, c.stats...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

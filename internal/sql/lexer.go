@@ -1,0 +1,138 @@
+// Package sql implements the SQL frontend subset of the DBMS substrate:
+// enough of SELECT-FROM-WHERE-GROUP BY-ORDER BY-LIMIT to express the
+// paper's microbenchmark statements ("SELECT count(*) FROM probe r, build s
+// WHERE r.k = s.k", the payload-sum variants, and simple analytics). The
+// planner lowers parsed queries onto the plan layer: filters are pushed
+// into scans, cross-table equalities become hash-join keys with the later
+// relation as build side, and aggregates map onto the vectorized sinks.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single punctuation: , ( ) * .
+	tokOp    // = < > <= >= <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input; keywords stay as idents (the parser matches
+// case-insensitively).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' ||
+				l.src[l.pos] == '.' || l.src[l.pos] == '-' && l.pos == start) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case c == '\'':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sql: unterminated string at %d", start)
+			}
+			l.toks = append(l.toks, token{tokString, l.src[start:l.pos], start})
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case strings.ContainsRune(",()*.", rune(c)):
+			l.emit(tokPunct, string(c))
+			l.pos++
+		case c == '=':
+			l.emit(tokOp, "=")
+			l.pos++
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit(tokOp, "<=")
+				l.pos += 2
+			} else if l.peek(1) == '>' {
+				l.emit(tokOp, "<>")
+				l.pos += 2
+			} else {
+				l.emit(tokOp, "<")
+				l.pos++
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit(tokOp, ">=")
+				l.pos += 2
+			} else {
+				l.emit(tokOp, ">")
+				l.pos++
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{k, text, l.pos})
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r', ';':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '@'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }

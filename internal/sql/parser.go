@@ -1,0 +1,393 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AST types for the supported subset.
+
+// SelectStmt is a parsed SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   []Cond
+	GroupBy []ColRefAST
+	OrderBy []OrderItem
+	Limit   int // 0 = none
+}
+
+// SelectItem is one output expression.
+type SelectItem struct {
+	Agg  string    // "", "count", "sum", "min", "max", "avg"
+	Star bool      // count(*)
+	Col  ColRefAST // aggregate argument or plain column
+	As   string
+}
+
+// TableRef names a relation with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// ColRefAST is a possibly-qualified column reference.
+type ColRefAST struct {
+	Qualifier string
+	Column    string
+}
+
+func (c ColRefAST) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Column
+	}
+	return c.Column
+}
+
+// Cond is one conjunct of the WHERE clause.
+type Cond struct {
+	Left  ColRefAST
+	Op    string // = < > <= >= <> like between in
+	Right ColRefAST
+	// IsJoin marks column-to-column conditions.
+	IsJoin bool
+	// Literal operands for filters.
+	Num     int64
+	Str     string
+	IsStr   bool
+	Num2    int64 // BETWEEN upper bound
+	StrList []string
+	NumList []int64
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColRefAST
+	Desc bool
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("") && p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %q", strings.ToUpper(kw), p.cur().text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.atKeyword("where") {
+		p.pos++
+		for {
+			c, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, c)
+			if !p.atKeyword("and") {
+				break
+			}
+			p.pos++
+		}
+	}
+	if p.atKeyword("group") {
+		p.pos++
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, c)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.atKeyword("order") {
+		p.pos++
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: c}
+			if p.atKeyword("desc") {
+				item.Desc = true
+				p.pos++
+			} else if p.atKeyword("asc") {
+				p.pos++
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.atKeyword("limit") {
+		p.pos++
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: LIMIT needs a number, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return SelectItem{}, fmt.Errorf("sql: expected select expression, got %q", t.text)
+	}
+	lower := strings.ToLower(t.text)
+	switch lower {
+	case "count", "sum", "min", "max", "avg":
+		p.pos++
+		if !p.acceptPunct("(") {
+			return SelectItem{}, fmt.Errorf("sql: expected ( after %s", lower)
+		}
+		item := SelectItem{Agg: lower}
+		if p.acceptPunct("*") {
+			if lower != "count" {
+				return SelectItem{}, fmt.Errorf("sql: %s(*) is not supported", lower)
+			}
+			item.Star = true
+		} else {
+			c, err := p.colRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Col = c
+		}
+		if !p.acceptPunct(")") {
+			return SelectItem{}, fmt.Errorf("sql: expected ) in aggregate")
+		}
+		item.As = p.alias(defaultAggName(item))
+		return item, nil
+	}
+	c, err := p.colRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: c, As: p.alias(c.Column)}, nil
+}
+
+func defaultAggName(item SelectItem) string {
+	if item.Star {
+		return "count"
+	}
+	return item.Agg + "_" + item.Col.Column
+}
+
+// alias handles an optional AS name (or bare trailing identifier that is
+// not a keyword).
+func (p *parser) alias(def string) string {
+	if p.atKeyword("as") {
+		p.pos++
+		return p.next().text
+	}
+	return def
+}
+
+func (p *parser) colRef() (ColRefAST, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return ColRefAST{}, fmt.Errorf("sql: expected column, got %q", t.text)
+	}
+	if p.acceptPunct(".") {
+		c := p.next()
+		if c.kind != tokIdent {
+			return ColRefAST{}, fmt.Errorf("sql: expected column after %s., got %q", t.text, c.text)
+		}
+		return ColRefAST{Qualifier: t.text, Column: c.text}, nil
+	}
+	return ColRefAST{Column: t.text}, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return TableRef{}, fmt.Errorf("sql: expected table name, got %q", t.text)
+	}
+	ref := TableRef{Table: t.text, Alias: t.text}
+	if p.cur().kind == tokIdent && !isClauseKeyword(p.cur().text) {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func isClauseKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "where", "group", "order", "limit", "and", "on", "as":
+		return true
+	}
+	return false
+}
+
+func (p *parser) cond() (Cond, error) {
+	left, err := p.colRef()
+	if err != nil {
+		return Cond{}, err
+	}
+	if p.atKeyword("like") || p.atKeyword("not") {
+		notLike := p.atKeyword("not")
+		p.pos++
+		if notLike {
+			if err := p.expectKeyword("like"); err != nil {
+				return Cond{}, err
+			}
+		}
+		t := p.next()
+		if t.kind != tokString {
+			return Cond{}, fmt.Errorf("sql: LIKE needs a string pattern")
+		}
+		op := "like"
+		if notLike {
+			op = "notlike"
+		}
+		return Cond{Left: left, Op: op, Str: t.text, IsStr: true}, nil
+	}
+	if p.atKeyword("between") {
+		p.pos++
+		lo := p.next()
+		if err := p.expectKeyword("and"); err != nil {
+			return Cond{}, err
+		}
+		hi := p.next()
+		nlo, err1 := strconv.ParseInt(lo.text, 10, 64)
+		nhi, err2 := strconv.ParseInt(hi.text, 10, 64)
+		if err1 != nil || err2 != nil {
+			return Cond{}, fmt.Errorf("sql: BETWEEN needs integer bounds")
+		}
+		return Cond{Left: left, Op: "between", Num: nlo, Num2: nhi}, nil
+	}
+	if p.atKeyword("in") {
+		p.pos++
+		if !p.acceptPunct("(") {
+			return Cond{}, fmt.Errorf("sql: IN needs a list")
+		}
+		c := Cond{Left: left, Op: "in"}
+		for {
+			t := p.next()
+			switch t.kind {
+			case tokString:
+				c.StrList = append(c.StrList, t.text)
+				c.IsStr = true
+			case tokNumber:
+				n, err := strconv.ParseInt(t.text, 10, 64)
+				if err != nil {
+					return Cond{}, err
+				}
+				c.NumList = append(c.NumList, n)
+			default:
+				return Cond{}, fmt.Errorf("sql: bad IN element %q", t.text)
+			}
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if !p.acceptPunct(")") {
+			return Cond{}, fmt.Errorf("sql: expected ) closing IN list")
+		}
+		return c, nil
+	}
+	opTok := p.next()
+	if opTok.kind != tokOp {
+		return Cond{}, fmt.Errorf("sql: expected operator, got %q", opTok.text)
+	}
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		right, err := p.colRef()
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Left: left, Op: opTok.text, Right: right, IsJoin: true}, nil
+	case tokNumber:
+		p.pos++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Cond{}, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return Cond{Left: left, Op: opTok.text, Num: n}, nil
+	case tokString:
+		p.pos++
+		return Cond{Left: left, Op: opTok.text, Str: t.text, IsStr: true}, nil
+	}
+	return Cond{}, fmt.Errorf("sql: bad right-hand side %q", t.text)
+}

@@ -1,0 +1,416 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/expr"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/storage"
+)
+
+// Catalog resolves table names for the planner.
+type Catalog map[string]*storage.Table
+
+// Plan lowers a parsed statement onto the plan layer. Tables join in FROM
+// order: the first relation streams through the pipeline and each further
+// relation becomes the build side of one hash join, connected by the
+// equality conditions of the WHERE clause — the shape the paper's
+// microbenchmark statements assume.
+func Plan(cat Catalog, stmt *SelectStmt) (plan.Node, error) {
+	pl := &planner{cat: cat, stmt: stmt}
+	return pl.plan()
+}
+
+// Run parses, plans, and executes a query.
+func Run(cat Catalog, query string, opts plan.Options) (*plan.ExecResult, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	root, err := Plan(cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Execute(opts, root), nil
+}
+
+type tableInfo struct {
+	ref   TableRef
+	table *storage.Table
+	// cols are the storage columns this query touches.
+	cols map[string]bool
+	// filters are the single-table conjuncts pushed into the scan.
+	filters []Cond
+	joined  bool
+}
+
+type planner struct {
+	cat    Catalog
+	stmt   *SelectStmt
+	tables []*tableInfo
+}
+
+// qname is the qualified internal column name "alias.col".
+func qname(alias, col string) string { return alias + "." + col }
+
+func (p *planner) plan() (plan.Node, error) {
+	// Resolve FROM.
+	for _, ref := range p.stmt.From {
+		t, ok := p.cat[strings.ToLower(ref.Table)]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", ref.Table)
+		}
+		p.tables = append(p.tables, &tableInfo{ref: ref, table: t, cols: map[string]bool{}})
+	}
+
+	// Resolve every column reference and collect per-table usage.
+	need := func(c ColRefAST) (string, error) {
+		ti, err := p.resolve(c)
+		if err != nil {
+			return "", err
+		}
+		ti.cols[c.Column] = true
+		return qname(ti.ref.Alias, c.Column), nil
+	}
+	type resolvedCond struct {
+		cond        Cond
+		left, right string
+		leftT       *tableInfo
+		rightT      *tableInfo
+	}
+	var joins []resolvedCond
+	for _, c := range p.stmt.Where {
+		lt, err := p.resolve(c.Left)
+		if err != nil {
+			return nil, err
+		}
+		if c.IsJoin {
+			rt, err := p.resolve(c.Right)
+			if err != nil {
+				return nil, err
+			}
+			if lt == rt {
+				// Same-table comparison: scan-level filter.
+				lt.cols[c.Left.Column] = true
+				lt.cols[c.Right.Column] = true
+				lt.filters = append(lt.filters, c)
+				continue
+			}
+			if c.Op != "=" {
+				return nil, fmt.Errorf("sql: only equality joins are supported, got %q", c.Op)
+			}
+			lt.cols[c.Left.Column] = true
+			rt.cols[c.Right.Column] = true
+			joins = append(joins, resolvedCond{cond: c,
+				left: qname(lt.ref.Alias, c.Left.Column), right: qname(rt.ref.Alias, c.Right.Column),
+				leftT: lt, rightT: rt})
+			continue
+		}
+		lt.cols[c.Left.Column] = true
+		lt.filters = append(lt.filters, c)
+	}
+	for _, it := range p.stmt.Items {
+		if it.Star {
+			continue
+		}
+		if _, err := need(it.Col); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range p.stmt.GroupBy {
+		if _, err := need(g); err != nil {
+			return nil, err
+		}
+	}
+
+	// Build one filtered, renamed scan per table.
+	scans := make([]plan.Node, len(p.tables))
+	for i, ti := range p.tables {
+		var cols, renames []string
+		for c := range ti.cols {
+			cols = append(cols, c)
+		}
+		// Deterministic order.
+		sortStrings(cols)
+		node := plan.Node(plan.Scan(ti.table, cols...))
+		for _, f := range ti.filters {
+			pred, err := condPred(ti, f)
+			if err != nil {
+				return nil, err
+			}
+			node = plan.Filter(node, pred)
+		}
+		for _, c := range cols {
+			renames = append(renames, c, qname(ti.ref.Alias, c))
+		}
+		node = plan.Rename(node, renames...)
+		scans[i] = node
+	}
+
+	// Join in FROM order.
+	cur := scans[0]
+	p.tables[0].joined = true
+	carried := colNames(cur.Columns())
+	for i := 1; i < len(p.tables); i++ {
+		ti := p.tables[i]
+		var buildKeys, probeKeys []string
+		for _, jc := range joins {
+			switch {
+			case jc.rightT == ti && jc.leftT.joined:
+				buildKeys = append(buildKeys, jc.right)
+				probeKeys = append(probeKeys, jc.left)
+			case jc.leftT == ti && jc.rightT.joined:
+				buildKeys = append(buildKeys, jc.left)
+				probeKeys = append(probeKeys, jc.right)
+			}
+		}
+		if len(buildKeys) == 0 {
+			return nil, fmt.Errorf("sql: no join condition connects %s; cross products are not supported",
+				ti.ref.Alias)
+		}
+		buildPay := remove(colNames(scans[i].Columns()), buildKeys)
+		j := &plan.JoinNode{
+			ID: i, Kind: core.Inner,
+			Build: scans[i], Probe: cur,
+			BuildKeys: buildKeys, ProbeKeys: probeKeys,
+			BuildPay: buildPay,
+			ProbePay: carried,
+		}
+		cur = j
+		ti.joined = true
+		carried = colNames(cur.Columns())
+	}
+
+	// Aggregation.
+	hasAgg := false
+	for _, it := range p.stmt.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	var outNames []string
+	if hasAgg || len(p.stmt.GroupBy) > 0 {
+		var keys []string
+		for _, g := range p.stmt.GroupBy {
+			ti, _ := p.resolve(g)
+			keys = append(keys, qname(ti.ref.Alias, g.Column))
+		}
+		var aggs []plan.AggExpr
+		for _, it := range p.stmt.Items {
+			if it.Agg == "" {
+				// Must be a grouping key; emitted via keys.
+				continue
+			}
+			spec := plan.AggExpr{As: it.As}
+			var colType storage.Type
+			if !it.Star {
+				ti, _ := p.resolve(it.Col)
+				spec.Col = qname(ti.ref.Alias, it.Col.Column)
+				colType = colTypeOf(ti.table, it.Col.Column)
+			}
+			switch {
+			case it.Agg == "count":
+				spec.Kind = exec.AggCount
+				spec.Col = ""
+			case it.Agg == "sum" && colType == storage.Float64:
+				spec.Kind = exec.AggSumF
+			case it.Agg == "sum":
+				spec.Kind = exec.AggSumI
+			case it.Agg == "min" && colType == storage.Float64:
+				spec.Kind = exec.AggMinF
+			case it.Agg == "min" && colType == storage.String:
+				spec.Kind = exec.AggMinStr
+			case it.Agg == "min":
+				spec.Kind = exec.AggMinI
+			case it.Agg == "max" && colType == storage.Float64:
+				spec.Kind = exec.AggMaxF
+			case it.Agg == "max":
+				spec.Kind = exec.AggMaxI
+			case it.Agg == "avg":
+				spec.Kind = exec.AggAvgF
+			default:
+				return nil, fmt.Errorf("sql: unsupported aggregate %s", it.Agg)
+			}
+			aggs = append(aggs, spec)
+		}
+		gb := plan.GroupBy(cur, keys, aggs...)
+		// Rename outputs to their aliases.
+		var renames []string
+		ai := 0
+		for _, it := range p.stmt.Items {
+			if it.Agg == "" {
+				ti, _ := p.resolve(it.Col)
+				outNames = append(outNames, qname(ti.ref.Alias, it.Col.Column))
+				continue
+			}
+			outNames = append(outNames, it.As)
+			ai++
+		}
+		_ = renames
+		cur = gb
+	} else {
+		for _, it := range p.stmt.Items {
+			ti, _ := p.resolve(it.Col)
+			outNames = append(outNames, qname(ti.ref.Alias, it.Col.Column))
+		}
+	}
+
+	// Ordering.
+	if len(p.stmt.OrderBy) > 0 || p.stmt.Limit > 0 {
+		var keys []plan.OrderKey
+		for _, o := range p.stmt.OrderBy {
+			name := o.Col.Column
+			if o.Col.Qualifier != "" {
+				name = qname(o.Col.Qualifier, o.Col.Column)
+			} else if !hasCol(cur.Columns(), name) {
+				ti, err := p.resolve(o.Col)
+				if err == nil {
+					name = qname(ti.ref.Alias, o.Col.Column)
+				}
+			}
+			keys = append(keys, plan.OrderKey{Col: name, Desc: o.Desc})
+		}
+		cur = plan.OrderBy(cur, p.stmt.Limit, keys...)
+	}
+	return plan.Project(cur, outNames...), nil
+}
+
+// resolve finds the table of a column reference.
+func (p *planner) resolve(c ColRefAST) (*tableInfo, error) {
+	if c.Qualifier != "" {
+		for _, ti := range p.tables {
+			if strings.EqualFold(ti.ref.Alias, c.Qualifier) {
+				if ti.table.Schema.ColIndex(c.Column) < 0 {
+					return nil, fmt.Errorf("sql: table %s has no column %q", ti.ref.Alias, c.Column)
+				}
+				return ti, nil
+			}
+		}
+		return nil, fmt.Errorf("sql: unknown table alias %q", c.Qualifier)
+	}
+	var found *tableInfo
+	for _, ti := range p.tables {
+		if ti.table.Schema.ColIndex(c.Column) >= 0 {
+			if found != nil {
+				return nil, fmt.Errorf("sql: column %q is ambiguous", c.Column)
+			}
+			found = ti
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("sql: unknown column %q", c.Column)
+	}
+	return found, nil
+}
+
+// condPred compiles a scan-level filter over unqualified column names.
+func condPred(ti *tableInfo, c Cond) (expr.Pred, error) {
+	col := c.Left.Column
+	t := colTypeOf(ti.table, col)
+	switch c.Op {
+	case "like":
+		return expr.Like(col, c.Str), nil
+	case "notlike":
+		return expr.NotLike(col, c.Str), nil
+	case "between":
+		return expr.BetweenI(col, c.Num, c.Num2), nil
+	case "in":
+		if c.IsStr {
+			return expr.InStr(col, c.StrList...), nil
+		}
+		return expr.InI(col, c.NumList...), nil
+	}
+	if c.IsJoin {
+		// Same-table column comparison.
+		switch c.Op {
+		case "=":
+			return expr.EqCols(col, c.Right.Column), nil
+		case "<":
+			return expr.LtCols(col, c.Right.Column), nil
+		case ">":
+			return expr.GtCols(col, c.Right.Column), nil
+		case "<>":
+			return expr.NeCols(col, c.Right.Column), nil
+		}
+		return expr.Pred{}, fmt.Errorf("sql: unsupported column comparison %q", c.Op)
+	}
+	if c.IsStr {
+		switch c.Op {
+		case "=":
+			return expr.EqStr(col, c.Str), nil
+		case "<>":
+			return expr.NeStr(col, c.Str), nil
+		}
+		return expr.Pred{}, fmt.Errorf("sql: unsupported string comparison %q", c.Op)
+	}
+	if t == storage.Float64 {
+		if c.Op == ">" {
+			return expr.GtFConst(col, float64(c.Num)), nil
+		}
+		return expr.Pred{}, fmt.Errorf("sql: unsupported float comparison %q", c.Op)
+	}
+	switch c.Op {
+	case "=":
+		return expr.EqI(col, c.Num), nil
+	case "<>":
+		return expr.NeI(col, c.Num), nil
+	case "<":
+		return expr.LtI(col, c.Num), nil
+	case "<=":
+		return expr.LeI(col, c.Num), nil
+	case ">":
+		return expr.GtI(col, c.Num), nil
+	case ">=":
+		return expr.GeI(col, c.Num), nil
+	}
+	return expr.Pred{}, fmt.Errorf("sql: unsupported operator %q", c.Op)
+}
+
+func colTypeOf(t *storage.Table, col string) storage.Type {
+	return t.Schema.Cols[t.Schema.MustCol(col)].Type
+}
+
+func colNames(cols []plan.ColRef) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func remove(all, drop []string) []string {
+	var out []string
+	for _, a := range all {
+		found := false
+		for _, d := range drop {
+			if a == d {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func hasCol(cols []plan.ColRef, name string) bool {
+	for _, c := range cols {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

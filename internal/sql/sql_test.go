@@ -1,0 +1,180 @@
+package sql
+
+import (
+	"testing"
+
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/storage"
+)
+
+func testCatalog() Catalog {
+	bs := storage.NewSchema(
+		storage.ColumnDef{Name: "k", Type: storage.Int64},
+		storage.ColumnDef{Name: "pay", Type: storage.Int64},
+		storage.ColumnDef{Name: "name", Type: storage.String, StrCap: 16},
+	)
+	build := storage.NewTable("build", bs, 100)
+	bk := build.Cols[0].(*storage.Int64Column)
+	bp := build.Cols[1].(*storage.Int64Column)
+	bn := build.Cols[2].(*storage.StringColumn)
+	for i := 0; i < 100; i++ {
+		bk.Values = append(bk.Values, int64(i))
+		bp.Values = append(bp.Values, int64(i)*10)
+		if i%2 == 0 {
+			bn.AppendString("even")
+		} else {
+			bn.AppendString("odd")
+		}
+	}
+	ps := storage.NewSchema(
+		storage.ColumnDef{Name: "k", Type: storage.Int64},
+		storage.ColumnDef{Name: "v", Type: storage.Int64},
+	)
+	probe := storage.NewTable("probe", ps, 1000)
+	pk := probe.Cols[0].(*storage.Int64Column)
+	pv := probe.Cols[1].(*storage.Int64Column)
+	for i := 0; i < 1000; i++ {
+		pk.Values = append(pk.Values, int64(i%100))
+		pv.Values = append(pv.Values, int64(i))
+	}
+	return Catalog{"build": build, "probe": probe}
+}
+
+func run(t *testing.T, q string) *plan.ExecResult {
+	t.Helper()
+	res, err := Run(testCatalog(), q, plan.DefaultOptions())
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return res
+}
+
+func TestPaperCountQuery(t *testing.T) {
+	// The exact statement of Section 5.2 (modulo identifiers).
+	res := run(t, "SELECT count(*) FROM probe r, build s WHERE r.k = s.k")
+	if got := res.ScalarI64(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+}
+
+func TestPaperSumQuery(t *testing.T) {
+	res := run(t, "SELECT sum(s.pay) FROM probe r, build s WHERE r.k = s.k")
+	var want int64
+	for i := 0; i < 1000; i++ {
+		want += int64(i%100) * 10
+	}
+	if got := res.ScalarI64(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestFilterPushdown(t *testing.T) {
+	res := run(t, "SELECT count(*) FROM probe r, build s WHERE r.k = s.k AND s.pay < 100")
+	if got := res.ScalarI64(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+}
+
+func TestStringFilterAndLike(t *testing.T) {
+	res := run(t, "SELECT count(*) FROM build WHERE name = 'even'")
+	if got := res.ScalarI64(); got != 50 {
+		t.Fatalf("= filter: %d, want 50", got)
+	}
+	res = run(t, "SELECT count(*) FROM build WHERE name LIKE 'e%'")
+	if got := res.ScalarI64(); got != 50 {
+		t.Fatalf("like: %d, want 50", got)
+	}
+	res = run(t, "SELECT count(*) FROM build WHERE name NOT LIKE '%dd'")
+	if got := res.ScalarI64(); got != 50 {
+		t.Fatalf("not like: %d, want 50", got)
+	}
+}
+
+func TestGroupByOrderLimit(t *testing.T) {
+	res := run(t, "SELECT name, count(*) AS n, sum(pay) AS s FROM build GROUP BY name ORDER BY name LIMIT 1")
+	if res.Result.NumRows() != 1 {
+		t.Fatalf("rows = %d", res.Result.NumRows())
+	}
+	if string(res.Result.Vecs[0].Str[0]) != "even" {
+		t.Fatalf("first group = %q", res.Result.Vecs[0].Str[0])
+	}
+	if res.Result.Vecs[1].I64[0] != 50 {
+		t.Fatalf("n = %d", res.Result.Vecs[1].I64[0])
+	}
+}
+
+func TestBetweenAndIn(t *testing.T) {
+	res := run(t, "SELECT count(*) FROM build WHERE k BETWEEN 10 AND 19")
+	if got := res.ScalarI64(); got != 10 {
+		t.Fatalf("between: %d", got)
+	}
+	res = run(t, "SELECT count(*) FROM build WHERE k IN (1, 2, 3)")
+	if got := res.ScalarI64(); got != 3 {
+		t.Fatalf("in: %d", got)
+	}
+	res = run(t, "SELECT count(*) FROM build WHERE name IN ('even')")
+	if got := res.ScalarI64(); got != 50 {
+		t.Fatalf("in strings: %d", got)
+	}
+}
+
+func TestPlainProjection(t *testing.T) {
+	res := run(t, "SELECT pay, k FROM build WHERE k < 3 ORDER BY k")
+	if res.Result.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.Result.NumRows())
+	}
+	// Projection order: pay first.
+	if res.Result.Vecs[0].I64[1] != 10 || res.Result.Vecs[1].I64[1] != 1 {
+		t.Fatalf("row 1 = (%d,%d)", res.Result.Vecs[0].I64[1], res.Result.Vecs[1].I64[1])
+	}
+}
+
+func TestJoinAlgoSelectableViaOptions(t *testing.T) {
+	for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.RJ, plan.BRJ} {
+		opts := plan.DefaultOptions()
+		opts.Algo = algo
+		res, err := Run(testCatalog(), "SELECT count(*) FROM probe r, build s WHERE r.k = s.k", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ScalarI64() != 1000 {
+			t.Fatalf("%v: wrong count %d", algo, res.ScalarI64())
+		}
+	}
+}
+
+func TestErrorMessages(t *testing.T) {
+	cases := []string{
+		"SELECT count(*) FROM nosuch",
+		"SELECT count(*) FROM probe, build",          // no join condition
+		"SELECT count(*) FROM probe WHERE bogus = 1", // unknown column
+		"SELECT count(*) FROM probe r, build s WHERE r.k < s.k", // non-equi join
+		"SELECT nope(*) FROM probe",
+	}
+	for _, q := range cases {
+		if _, err := Run(testCatalog(), q, plan.DefaultOptions()); err == nil {
+			t.Errorf("query %q should have failed", q)
+		}
+	}
+}
+
+func TestParserAliases(t *testing.T) {
+	stmt, err := Parse("SELECT sum(v) AS total FROM probe p WHERE v > 5 GROUP BY k ORDER BY total DESC LIMIT 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Items[0].As != "total" || stmt.From[0].Alias != "p" || stmt.Limit != 7 {
+		t.Fatalf("parse: %+v", stmt)
+	}
+	if !stmt.OrderBy[0].Desc {
+		t.Fatal("DESC not parsed")
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	// k exists in both tables.
+	_, err := Run(testCatalog(), "SELECT count(*) FROM probe r, build s WHERE k = 1 AND r.k = s.k", plan.DefaultOptions())
+	if err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+}

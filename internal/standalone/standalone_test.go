@@ -1,0 +1,114 @@
+package standalone
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partitionjoin/internal/zipf"
+)
+
+// refCount joins with a map.
+func refCount(build, probe *Relation) int64 {
+	counts := map[uint64]int64{}
+	for i := 0; i < build.N; i++ {
+		counts[build.Key(i)]++
+	}
+	var total int64
+	for i := 0; i < probe.N; i++ {
+		total += counts[probe.Key(i)]
+	}
+	return total
+}
+
+func fkRelations(nBuild, nProbe, tupleSize int, seed int64) (*Relation, *Relation) {
+	rng := rand.New(rand.NewSource(seed))
+	build := NewRelation(nBuild, tupleSize)
+	for i := 0; i < nBuild; i++ {
+		build.SetTuple(i, uint64(i), rng.Uint64())
+	}
+	probe := NewRelation(nProbe, tupleSize)
+	for i := 0; i < nProbe; i++ {
+		probe.SetTuple(i, uint64(rng.Intn(nBuild)), rng.Uint64())
+	}
+	return build, probe
+}
+
+func TestNPJMatchesReference(t *testing.T) {
+	for _, ts := range []int{8, 16} {
+		for _, workers := range []int{1, 4} {
+			build, probe := fkRelations(1000, 8000, ts, 5)
+			want := refCount(build, probe)
+			if got := NPJ(build, probe, workers); got != want {
+				t.Fatalf("ts=%d w=%d: NPJ = %d, want %d", ts, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestPRJMatchesReference(t *testing.T) {
+	for _, ts := range []int{8, 16} {
+		for _, workers := range []int{1, 4} {
+			build, probe := fkRelations(1000, 8000, ts, 6)
+			want := refCount(build, probe)
+			if got := PRJ(build, probe, workers, 1<<12); got != want {
+				t.Fatalf("ts=%d w=%d: PRJ = %d, want %d", ts, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestPRJWithDuplicatesAndSkew(t *testing.T) {
+	for _, z := range []float64{0, 1, 2} {
+		g := zipf.New(500, z, 3)
+		build, _ := fkRelations(500, 0, 16, 7)
+		probe := NewRelation(20000, 16)
+		for i := 0; i < probe.N; i++ {
+			probe.SetTuple(i, uint64(g.Next()), 0)
+		}
+		want := refCount(build, probe)
+		if got := PRJ(build, probe, 4, 1<<12); got != want {
+			t.Fatalf("z=%v: PRJ = %d, want %d", z, got, want)
+		}
+		if got := NPJ(build, probe, 4); got != want {
+			t.Fatalf("z=%v: NPJ = %d, want %d", z, got, want)
+		}
+	}
+}
+
+func TestJoinsAgreeProperty(t *testing.T) {
+	check := func(buildKeys, probeKeys []uint16) bool {
+		if len(buildKeys) == 0 {
+			buildKeys = []uint16{1}
+		}
+		build := NewRelation(len(buildKeys), 16)
+		for i, k := range buildKeys {
+			build.SetTuple(i, uint64(k), 0)
+		}
+		probe := NewRelation(len(probeKeys), 16)
+		for i, k := range probeKeys {
+			probe.SetTuple(i, uint64(k), 0)
+		}
+		want := refCount(build, probe)
+		return NPJ(build, probe, 2) == want && PRJ(build, probe, 2, 1<<10) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationAccessorsRoundTrip(t *testing.T) {
+	r := NewRelation(10, 8)
+	r.SetTuple(3, 0xdeadbeef, 0x1234)
+	if r.Key(3) != 0xdeadbeef {
+		t.Fatalf("4-byte key round trip failed: %x", r.Key(3))
+	}
+	r16 := NewRelation(10, 16)
+	r16.SetTuple(9, 1<<40, 7)
+	if r16.Key(9) != 1<<40 {
+		t.Fatalf("8-byte key round trip failed: %x", r16.Key(9))
+	}
+	if r16.ByteSize() != 160 {
+		t.Fatalf("byte size %d", r16.ByteSize())
+	}
+}

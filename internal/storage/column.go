@@ -1,0 +1,109 @@
+package storage
+
+import "fmt"
+
+// Column is a typed value array. Concrete columns expose their backing
+// slices directly so scans and late loads are plain slice indexing.
+type Column interface {
+	Type() Type
+	Len() int
+	// AppendFrom appends row i of src (which must be the same concrete
+	// type) to this column. Used by result materialization and tests.
+	AppendFrom(src Column, i int)
+}
+
+// Int64Column backs Int64, Date and Bool columns.
+type Int64Column struct{ Values []int64 }
+
+// Type implements Column.
+func (c *Int64Column) Type() Type { return Int64 }
+
+// Len implements Column.
+func (c *Int64Column) Len() int { return len(c.Values) }
+
+// AppendFrom implements Column.
+func (c *Int64Column) AppendFrom(src Column, i int) {
+	c.Values = append(c.Values, src.(*Int64Column).Values[i])
+}
+
+// Int32Column backs Int32 columns.
+type Int32Column struct{ Values []int32 }
+
+// Type implements Column.
+func (c *Int32Column) Type() Type { return Int32 }
+
+// Len implements Column.
+func (c *Int32Column) Len() int { return len(c.Values) }
+
+// AppendFrom implements Column.
+func (c *Int32Column) AppendFrom(src Column, i int) {
+	c.Values = append(c.Values, src.(*Int32Column).Values[i])
+}
+
+// Float64Column backs Float64 columns.
+type Float64Column struct{ Values []float64 }
+
+// Type implements Column.
+func (c *Float64Column) Type() Type { return Float64 }
+
+// Len implements Column.
+func (c *Float64Column) Len() int { return len(c.Values) }
+
+// AppendFrom implements Column.
+func (c *Float64Column) AppendFrom(src Column, i int) {
+	c.Values = append(c.Values, src.(*Float64Column).Values[i])
+}
+
+// StringColumn stores strings as a shared byte arena plus offsets, the usual
+// columnar layout: value i is Bytes[Offsets[i]:Offsets[i+1]].
+type StringColumn struct {
+	Offsets []int32
+	Bytes   []byte
+}
+
+// NewStringColumn returns an empty string column ready for appends.
+func NewStringColumn() *StringColumn { return &StringColumn{Offsets: []int32{0}} }
+
+// Type implements Column.
+func (c *StringColumn) Type() Type { return String }
+
+// Len implements Column.
+func (c *StringColumn) Len() int { return len(c.Offsets) - 1 }
+
+// Value returns value i as a byte slice aliasing the arena.
+func (c *StringColumn) Value(i int) []byte {
+	return c.Bytes[c.Offsets[i]:c.Offsets[i+1]]
+}
+
+// Append adds one string value.
+func (c *StringColumn) Append(v []byte) {
+	c.Bytes = append(c.Bytes, v...)
+	c.Offsets = append(c.Offsets, int32(len(c.Bytes)))
+}
+
+// AppendString adds one string value given as a Go string.
+func (c *StringColumn) AppendString(v string) {
+	c.Bytes = append(c.Bytes, v...)
+	c.Offsets = append(c.Offsets, int32(len(c.Bytes)))
+}
+
+// AppendFrom implements Column.
+func (c *StringColumn) AppendFrom(src Column, i int) {
+	c.Append(src.(*StringColumn).Value(i))
+}
+
+// NewColumn allocates an empty column of the given type with capacity hint n.
+func NewColumn(t Type, n int) Column {
+	switch t {
+	case Int64, Date, Bool:
+		return &Int64Column{Values: make([]int64, 0, n)}
+	case Int32:
+		return &Int32Column{Values: make([]int32, 0, n)}
+	case Float64:
+		return &Float64Column{Values: make([]float64, 0, n)}
+	case String:
+		sc := &StringColumn{Offsets: make([]int32, 1, n+1)}
+		return sc
+	}
+	panic(fmt.Sprintf("storage: cannot allocate column of type %v", t))
+}

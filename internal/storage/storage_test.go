@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeWidths(t *testing.T) {
+	cases := []struct {
+		typ    Type
+		strCap int
+		want   int
+	}{
+		{Int64, 0, 8},
+		{Int32, 0, 4},
+		{Float64, 0, 8},
+		{Date, 0, 8},
+		{Bool, 0, 8},
+		{String, 1, 4},  // 1 length byte + 1 cap, rounded to 4
+		{String, 3, 4},  // 1 + 3 = 4
+		{String, 4, 8},  // 1 + 4 = 5 -> 8
+		{String, 25, 28},
+	}
+	for _, c := range cases {
+		if got := c.typ.Width(c.strCap); got != c.want {
+			t.Errorf("%v.Width(%d) = %d, want %d", c.typ, c.strCap, got, c.want)
+		}
+	}
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	s := NewSchema(
+		ColumnDef{Name: "a", Type: Int64},
+		ColumnDef{Name: "b", Type: Int32},
+		ColumnDef{Name: "c", Type: Float64},
+		ColumnDef{Name: "d", Type: String, StrCap: 8},
+	)
+	tb := NewTable("t", s, 4)
+	tb.Int64Col("a")
+	tb.Cols[0].(*Int64Column).Values = append(tb.Cols[0].(*Int64Column).Values, 1, 2)
+	tb.Cols[1].(*Int32Column).Values = append(tb.Cols[1].(*Int32Column).Values, 3, 4)
+	tb.Cols[2].(*Float64Column).Values = append(tb.Cols[2].(*Float64Column).Values, 0.5, 1.5)
+	sc := tb.Cols[3].(*StringColumn)
+	sc.AppendString("x")
+	sc.AppendString("hello")
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if string(tb.StringCol("d").Value(1)) != "hello" {
+		t.Fatalf("string round trip failed: %q", tb.StringCol("d").Value(1))
+	}
+	if tb.Int32Col("b")[1] != 4 {
+		t.Fatal("int32 round trip failed")
+	}
+}
+
+func TestValidateCatchesRaggedColumns(t *testing.T) {
+	s := NewSchema(ColumnDef{Name: "a", Type: Int64}, ColumnDef{Name: "b", Type: Int64})
+	tb := NewTable("t", s, 2)
+	tb.Cols[0].(*Int64Column).Values = append(tb.Cols[0].(*Int64Column).Values, 1, 2)
+	tb.Cols[1].(*Int64Column).Values = append(tb.Cols[1].(*Int64Column).Values, 1)
+	if err := tb.Validate(); err == nil {
+		t.Fatal("ragged table passed validation")
+	}
+}
+
+func TestAppendFrom(t *testing.T) {
+	src := &StringColumn{Offsets: []int32{0}}
+	src.AppendString("alpha")
+	src.AppendString("beta")
+	dst := NewStringColumn()
+	dst.AppendFrom(src, 1)
+	if string(dst.Value(0)) != "beta" {
+		t.Fatalf("AppendFrom copied %q", dst.Value(0))
+	}
+}
+
+func TestMorselsCoverAllRows(t *testing.T) {
+	check := func(n uint16, size uint8) bool {
+		rows := int(n)
+		ms := Morsels(rows, int(size))
+		covered := 0
+		prevEnd := 0
+		for _, m := range ms {
+			if m.Start != prevEnd || m.End <= m.Start {
+				return false
+			}
+			covered += m.End - m.Start
+			prevEnd = m.End
+		}
+		return covered == rows
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMorselsEmptyTable(t *testing.T) {
+	if got := Morsels(0, 0); len(got) != 0 {
+		t.Fatalf("empty table produced %d morsels", len(got))
+	}
+}
+
+func TestByteSizeAccountsEverything(t *testing.T) {
+	s := NewSchema(ColumnDef{Name: "a", Type: Int64}, ColumnDef{Name: "s", Type: String, StrCap: 10})
+	tb := NewTable("t", s, 2)
+	tb.Cols[0].(*Int64Column).Values = append(tb.Cols[0].(*Int64Column).Values, 1, 2)
+	sc := tb.Cols[1].(*StringColumn)
+	sc.AppendString("ab")
+	sc.AppendString("cde")
+	// 2*8 bytes ints + 5 string bytes + 3 offsets * 4.
+	if got := tb.ByteSize(); got != 16+5+12 {
+		t.Fatalf("ByteSize = %d", got)
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := NewSchema(ColumnDef{Name: "x", Type: Int64})
+	if s.ColIndex("x") != 0 || s.ColIndex("y") != -1 {
+		t.Fatal("ColIndex broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCol on missing column did not panic")
+		}
+	}()
+	s.MustCol("missing")
+}

@@ -1,0 +1,128 @@
+package storage
+
+import "fmt"
+
+// Table is a named relation: a schema plus one column per definition. All
+// columns have equal length.
+type Table struct {
+	Name   string
+	Schema Schema
+	Cols   []Column
+}
+
+// NewTable allocates an empty table for the schema with capacity hint n rows.
+func NewTable(name string, schema Schema, n int) *Table {
+	t := &Table{Name: name, Schema: schema, Cols: make([]Column, len(schema.Cols))}
+	for i, c := range schema.Cols {
+		t.Cols[i] = NewColumn(physical(c.Type), n)
+	}
+	return t
+}
+
+// physical maps logical types to the backing column kind.
+func physical(t Type) Type {
+	switch t {
+	case Date, Bool:
+		return Int64
+	default:
+		return t
+	}
+}
+
+// NumRows returns the number of rows in the table.
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// Col returns the column at position i.
+func (t *Table) Col(i int) Column { return t.Cols[i] }
+
+// ColByName returns the named column or panics; table wiring is static.
+func (t *Table) ColByName(name string) Column {
+	return t.Cols[t.Schema.MustCol(name)]
+}
+
+// Int64Col returns the named column's int64 values.
+func (t *Table) Int64Col(name string) []int64 {
+	return t.ColByName(name).(*Int64Column).Values
+}
+
+// Int32Col returns the named column's int32 values.
+func (t *Table) Int32Col(name string) []int32 {
+	return t.ColByName(name).(*Int32Column).Values
+}
+
+// Float64Col returns the named column's float64 values.
+func (t *Table) Float64Col(name string) []float64 {
+	return t.ColByName(name).(*Float64Column).Values
+}
+
+// StringCol returns the named string column.
+func (t *Table) StringCol(name string) *StringColumn {
+	return t.ColByName(name).(*StringColumn)
+}
+
+// Validate checks that all columns have the same length and compatible types.
+func (t *Table) Validate() error {
+	n := t.NumRows()
+	for i, c := range t.Cols {
+		if c.Len() != n {
+			return fmt.Errorf("table %s: column %s has %d rows, want %d",
+				t.Name, t.Schema.Cols[i].Name, c.Len(), n)
+		}
+		if c.Type() != physical(t.Schema.Cols[i].Type) {
+			return fmt.Errorf("table %s: column %s is %v, schema says %v",
+				t.Name, t.Schema.Cols[i].Name, c.Type(), t.Schema.Cols[i].Type)
+		}
+	}
+	return nil
+}
+
+// ByteSize estimates the in-memory payload size of the table: the sum of the
+// value arrays, which is what scans and joins actually move.
+func (t *Table) ByteSize() int64 {
+	var total int64
+	for _, c := range t.Cols {
+		switch col := c.(type) {
+		case *Int64Column:
+			total += int64(len(col.Values)) * 8
+		case *Int32Column:
+			total += int64(len(col.Values)) * 4
+		case *Float64Column:
+			total += int64(len(col.Values)) * 8
+		case *StringColumn:
+			total += int64(len(col.Bytes)) + int64(len(col.Offsets))*4
+		}
+	}
+	return total
+}
+
+// Morsel is a contiguous row range [Start, End) of a table; the unit of
+// work distribution in morsel-driven parallelism (Leis et al.).
+type Morsel struct {
+	Start, End int
+}
+
+// MorselSize is the default number of rows per morsel. The paper's system
+// uses morsels sized to keep scheduling overhead negligible while enabling
+// work stealing; 64Ki rows keeps the same balance here.
+const MorselSize = 1 << 16
+
+// Morsels splits n rows into morsels of the given size (0 = MorselSize).
+func Morsels(n, size int) []Morsel {
+	if size <= 0 {
+		size = MorselSize
+	}
+	ms := make([]Morsel, 0, n/size+1)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		ms = append(ms, Morsel{Start: start, End: end})
+	}
+	return ms
+}

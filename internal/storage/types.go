@@ -1,0 +1,105 @@
+// Package storage implements the column-wise main-memory table storage of the
+// DBMS substrate. Relations are stored one typed array per column (Section
+// 4.2 of the paper: "Umbra stores relations column-wise in main memory");
+// scans read only the required columns and stitch them into tuples that flow
+// through the pipelines.
+package storage
+
+import "fmt"
+
+// Type is the physical type of a column.
+type Type uint8
+
+const (
+	// Int64 is an 8-byte signed integer. Decimals are stored as scaled
+	// int64 (cents), dates as days since 1970-01-01, booleans as 0/1.
+	Int64 Type = iota
+	// Int32 is a 4-byte signed integer, used by workload B of Balkesen et
+	// al. where key and payload are 4 bytes each (Table 1).
+	Int32
+	// Float64 is an 8-byte IEEE float.
+	Float64
+	// String is a variable-length byte string with a declared maximum
+	// width; joins materialize it inline at its declared capacity so that
+	// wide payloads cost what they cost in the paper.
+	String
+	// Date is an Int64 in days since the Unix epoch; kept as a separate
+	// logical type for schema readability.
+	Date
+	// Bool is an Int64 restricted to 0/1 (mark-join output).
+	Bool
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "INT64"
+	case Int32:
+		return "INT32"
+	case Float64:
+		return "FLOAT64"
+	case String:
+		return "STRING"
+	case Date:
+		return "DATE"
+	case Bool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Width reports the number of bytes one value of this type occupies when a
+// join materializes it into a row. strCap is the declared string capacity.
+func (t Type) Width(strCap int) int {
+	switch t {
+	case Int32:
+		return 4
+	case String:
+		// Length byte plus capacity, rounded up to 4-byte slots.
+		return (strCap + 1 + 3) &^ 3
+	default:
+		return 8
+	}
+}
+
+// IsNumeric reports whether values of the type flow through the I64/F64
+// lanes of a vector.
+func (t Type) IsNumeric() bool { return t != String }
+
+// ColumnDef describes one column of a schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+	// StrCap is the declared maximum byte length for String columns
+	// (e.g. 25 for CHAR(25)); ignored for other types.
+	StrCap int
+}
+
+// Schema is an ordered list of column definitions.
+type Schema struct {
+	Cols []ColumnDef
+}
+
+// NewSchema builds a schema from column definitions.
+func NewSchema(cols ...ColumnDef) Schema { return Schema{Cols: cols} }
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustCol returns the position of the named column and panics if absent.
+// Plan construction is programmer-driven, so a missing column is a bug.
+func (s Schema) MustCol(name string) int {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic("storage: unknown column " + name)
+	}
+	return i
+}

@@ -1,0 +1,42 @@
+// Package tpch implements the TPC-H substrate of the evaluation: a
+// deterministic, scale-factor-parameterized data generator equivalent to
+// dbgen (Section 5.1.2) and hand-built physical plans for the 19 TPC-H
+// queries that contain joins, mirroring the plan shapes the paper reports
+// (e.g. the Q21 join tree of Figure 13). Monetary values are stored as
+// int64 cents and percentages as int64 hundredths so aggregates are exact
+// and identical across join algorithms and worker counts.
+package tpch
+
+// Date returns days since the Unix epoch for a civil date, the storage
+// representation of all TPC-H date columns (Howard Hinnant's
+// days-from-civil).
+func Date(y, m, d int) int64 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	era := yy / 400
+	if yy < 0 {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400
+	var doy int64
+	if m > 2 {
+		doy = (153*int64(m-3) + 2) / 5
+	} else {
+		doy = (153*int64(m+9) + 2) / 5
+	}
+	doy += int64(d) - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return era*146097 + doe - 719468
+}
+
+// TPC-H date constants.
+var (
+	// StartDate / EndDate bound o_orderdate per the specification.
+	StartDate = Date(1992, 1, 1)
+	EndDate   = Date(1998, 12, 31)
+	// CurrentDate is the specification's "current date" 1995-06-17 that
+	// determines return flags and line status.
+	CurrentDate = Date(1995, 6, 17)
+)

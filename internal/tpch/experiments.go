@@ -1,0 +1,290 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+
+	"partitionjoin/internal/bench"
+	"partitionjoin/internal/plan"
+)
+
+// RunOpts configures a TPC-H experiment run.
+type RunOpts struct {
+	Workers int
+	Opts    plan.Options
+}
+
+func baseOptions(workers int, algo plan.JoinAlgo) plan.Options {
+	o := plan.DefaultOptions()
+	o.Workers = workers
+	o.Algo = algo
+	return o
+}
+
+// RunQuery executes one query and returns its runner (throughput metric)
+// and result.
+func RunQuery(db *DB, q int, opts plan.Options, lm bool) (*Runner, *plan.ExecResult) {
+	r := &Runner{Opts: opts, LM: lm}
+	res := Queries[q](db, r)
+	return r, res
+}
+
+// medianThroughput runs a query `runs` times and returns the median
+// throughput (tuples at pipeline sources per second) and median duration
+// in seconds.
+func medianThroughput(db *DB, q int, opts plan.Options, lm bool, runs int) (tput, secs float64) {
+	var ts, ds []float64
+	for i := 0; i < runs; i++ {
+		r, _ := RunQuery(db, q, opts, lm)
+		ts = append(ts, r.Throughput())
+		ds = append(ds, r.Dur.Seconds())
+	}
+	sort.Float64s(ts)
+	sort.Float64s(ds)
+	return ts[len(ts)/2], ds[len(ds)/2]
+}
+
+// Fig11 measures every query under BHJ, BRJ and RJ, with and without late
+// materialization (paper Figure 11, one scale factor per call).
+func Fig11(db *DB, workers, runs int) *bench.Table {
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Figure 11: TPC-H throughput at SF %g [tuples/s at sources]", db.SF),
+		Header: []string{"query", "BHJ", "BRJ", "RJ", "BHJ (LM)", "BRJ (LM)", "RJ (LM)"},
+	}
+	for _, q := range QueryNumbers {
+		row := []string{fmt.Sprintf("Q%d", q)}
+		for _, lm := range []bool{false, true} {
+			for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.BRJ, plan.RJ} {
+				tput, _ := medianThroughput(db, q, baseOptions(workers, algo), lm, runs)
+				row = append(row, fmt.Sprintf("%.1fM", tput/1e6))
+			}
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// JoinPoint is one join of Figure 1's scatter: its build/probe volumes and
+// the relative BRJ-vs-BHJ performance when only this join is swapped.
+type JoinPoint struct {
+	Query      int
+	JoinID     int
+	BuildBytes int64
+	ProbeBytes int64
+	// RelPerf is (t_BHJ / t_BRJ - 1): positive means the BRJ is faster.
+	RelPerf   float64
+	MatchRate float64
+	ProbeWid  int
+}
+
+// Fig1 produces the per-join scatter of Figure 1: for every join of every
+// query, the end-to-end query time with all joins BHJ versus the same plan
+// with exactly that join swapped to BRJ, plus the join's build/probe
+// volumes from the stats collector.
+func Fig1(db *DB, workers, runs int) []JoinPoint {
+	var points []JoinPoint
+	for _, q := range QueryNumbers {
+		// One stats run to size every join.
+		stats := plan.NewStatsCollector()
+		opts := baseOptions(workers, plan.BHJ)
+		opts.Stats = stats
+		RunQuery(db, q, opts, false)
+		statByID := map[int]*plan.JoinStat{}
+		for _, s := range stats.Joins() {
+			statByID[s.ID] = s
+		}
+		_, base := medianThroughput(db, q, baseOptions(workers, plan.BHJ), false, runs)
+		for j := 1; j <= JoinCounts[q]; j++ {
+			s := statByID[j]
+			if s == nil {
+				continue
+			}
+			opts := baseOptions(workers, plan.BHJ)
+			opts.PerJoin = map[int]plan.JoinAlgo{j: plan.BRJ}
+			_, swapped := medianThroughput(db, q, opts, false, runs)
+			rel := 0.0
+			if swapped > 0 {
+				rel = base/swapped - 1
+			}
+			points = append(points, JoinPoint{
+				Query: q, JoinID: j,
+				BuildBytes: s.BuildBytes(), ProbeBytes: s.ProbeBytes(),
+				RelPerf: rel, MatchRate: s.MatchRate(), ProbeWid: s.ProbeTupleBytes,
+			})
+		}
+	}
+	return points
+}
+
+// Fig1Table renders Figure 1's points as text.
+func Fig1Table(points []JoinPoint, sf float64) *bench.Table {
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Figure 1: BRJ vs BHJ per join, TPC-H SF %g (positive = BRJ faster)", sf),
+		Header: []string{"join", "build side", "probe side", "BRJ vs BHJ", "partners"},
+	}
+	for _, p := range points {
+		t.Add(fmt.Sprintf("Q%d-J%d", p.Query, p.JoinID),
+			fmtBytes(p.BuildBytes), fmtBytes(p.ProbeBytes),
+			fmt.Sprintf("%+.0f%%", p.RelPerf*100),
+			fmt.Sprintf("%.0f%%", p.MatchRate*100))
+	}
+	return t
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+// Fig2 computes the workload histograms of Figure 2: probe tuple widths
+// and join-partner percentages over all TPC-H joins, next to the
+// prior-work microbenchmark values (8-16 B tuples, 100% partners).
+func Fig2(db *DB, workers int) *bench.Table {
+	stats := plan.NewStatsCollector()
+	opts := baseOptions(workers, plan.BHJ)
+	opts.Stats = stats
+	for _, q := range QueryNumbers {
+		RunQuery(db, q, opts, false)
+	}
+	joins := stats.Joins()
+	widthBuckets := map[int]int{}
+	partnerBuckets := map[int]int{}
+	for _, s := range joins {
+		wb := s.ProbeTupleBytes / 16 * 16
+		if wb > 96 {
+			wb = 96
+		}
+		widthBuckets[wb]++
+		pb := int(s.MatchRate()*100) / 20 * 20
+		partnerBuckets[pb]++
+	}
+	t := &bench.Table{
+		Title: fmt.Sprintf("Figure 2: tuple size and join partners, TPC-H SF %g vs prior work (%d joins)",
+			db.SF, len(joins)),
+		Header: []string{"bucket", "TPC-H payload size", "TPC-H join partners", "prior work"},
+	}
+	for b := 0; b <= 96; b += 16 {
+		pw := "-"
+		if b == 0 || b == 16 {
+			pw = "payload 8-16 B"
+		}
+		t.Add(fmt.Sprintf("%d-%d B / %d-%d%%", b, b+15, b, b+19),
+			fmt.Sprintf("%d joins", widthBuckets[b]),
+			fmt.Sprintf("%d joins", partnerBuckets[min100(b)]),
+			pw)
+	}
+	t.Add("100%", "-", fmt.Sprintf("%d joins", partnerBuckets[100]), "partners 100%")
+	return t
+}
+
+func min100(b int) int {
+	if b > 100 {
+		return 100
+	}
+	return b
+}
+
+// Fig12 reports the per-join BHJ-vs-BRJ impact for the paper's selected
+// queries (Figure 12): fixing all joins to BHJ and swapping one at a time.
+func Fig12(db *DB, workers, runs int, queries []int) *bench.Table {
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Figure 12: relative per-join impact, BHJ vs BRJ, SF %g (negative = BRJ slower)", db.SF),
+		Header: []string{"query", "join", "BHJ vs BRJ"},
+	}
+	for _, q := range queries {
+		_, base := medianThroughput(db, q, baseOptions(workers, plan.BHJ), false, runs)
+		for j := 1; j <= JoinCounts[q]; j++ {
+			opts := baseOptions(workers, plan.BHJ)
+			opts.PerJoin = map[int]plan.JoinAlgo{j: plan.BRJ}
+			_, swapped := medianThroughput(db, q, opts, false, runs)
+			rel := base/swapped - 1
+			t.Add(fmt.Sprintf("Q%d", q), fmt.Sprintf("%d", j), fmt.Sprintf("%+.0f%%", rel*100))
+		}
+	}
+	return t
+}
+
+// Fig13 prints Q21's join tree annotated with measured build and probe
+// volumes (paper Figure 13).
+func Fig13(db *DB, workers int) *bench.Table {
+	stats := plan.NewStatsCollector()
+	opts := baseOptions(workers, plan.BHJ)
+	opts.Stats = stats
+	RunQuery(db, 21, opts, false)
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Figure 13: Q21 join tree with build and probe sizes, SF %g", db.SF),
+		Header: []string{"join", "kind", "build rows", "build size", "probe rows", "probe size"},
+	}
+	for _, s := range stats.Joins() {
+		t.Add(fmt.Sprintf("%d", s.ID), s.Kind,
+			fmt.Sprintf("%d", s.BuildRows), fmtBytes(s.BuildBytes()),
+			fmt.Sprintf("%d", s.ProbeRows), fmtBytes(s.ProbeBytes()))
+	}
+	return t
+}
+
+// Fig18TPCH reports the TPC-H half of Figure 18: per-query speedup of BRJ
+// and BHJ over the RJ, and the medians.
+func Fig18TPCH(db *DB, workers, runs int) *bench.Table {
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Figure 18 (right): speedup over RJ across TPC-H, SF %g", db.SF),
+		Header: []string{"query", "BRJ vs RJ", "BHJ vs RJ"},
+	}
+	var brjs, bhjs []float64
+	for _, q := range QueryNumbers {
+		_, rj := medianThroughput(db, q, baseOptions(workers, plan.RJ), false, runs)
+		_, brj := medianThroughput(db, q, baseOptions(workers, plan.BRJ), false, runs)
+		_, bhj := medianThroughput(db, q, baseOptions(workers, plan.BHJ), false, runs)
+		sbrj := rj/brj - 1
+		sbhj := rj/bhj - 1
+		brjs = append(brjs, sbrj)
+		bhjs = append(bhjs, sbhj)
+		t.Add(fmt.Sprintf("Q%d", q), fmt.Sprintf("%+.0f%%", sbrj*100), fmt.Sprintf("%+.0f%%", sbhj*100))
+	}
+	sort.Float64s(brjs)
+	sort.Float64s(bhjs)
+	t.Add("median", fmt.Sprintf("%+.0f%%", brjs[len(brjs)/2]*100),
+		fmt.Sprintf("%+.0f%%", bhjs[len(bhjs)/2]*100))
+	return t
+}
+
+// Table5 contrasts workload properties (paper Table 5) using measured
+// TPC-H join statistics.
+func Table5(db *DB, workers int) *bench.Table {
+	stats := plan.NewStatsCollector()
+	opts := baseOptions(workers, plan.BHJ)
+	opts.Stats = stats
+	for _, q := range QueryNumbers {
+		RunQuery(db, q, opts, false)
+	}
+	joins := stats.Joins()
+	var widths, rates []float64
+	small := 0
+	llc := int64(opts.Core.CacheBudget) * 32 // a typical LLC versus our partition budget
+	for _, s := range joins {
+		widths = append(widths, float64(s.ProbeTupleBytes))
+		rates = append(rates, s.MatchRate())
+		if s.BuildBytes() < llc {
+			small++
+		}
+	}
+	sort.Float64s(widths)
+	sort.Float64s(rates)
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Table 5: workload properties, measured over %d TPC-H joins at SF %g", len(joins), db.SF),
+		Header: []string{"factor", "prior work", "TPC-H (measured)"},
+	}
+	t.Add("payload size", "8-16 B", fmt.Sprintf("median %.0f B", widths[len(widths)/2]))
+	t.Add("selectivity", "100%", fmt.Sprintf("median %.0f%% partners", rates[len(rates)/2]*100))
+	t.Add("skew (zipf)", "0-2", "none")
+	t.Add("build size", ">> LLC", fmt.Sprintf("%d/%d builds below LLC", small, len(joins)))
+	t.Add("pipeline depth", "1 join", "1-8 joins")
+	return t
+}

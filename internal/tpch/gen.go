@@ -1,0 +1,466 @@
+package tpch
+
+import (
+	"math/rand"
+	"sync"
+
+	"partitionjoin/internal/storage"
+)
+
+// DB holds the eight generated TPC-H relations.
+type DB struct {
+	SF       float64
+	Region   *storage.Table
+	Nation   *storage.Table
+	Supplier *storage.Table
+	Customer *storage.Table
+	Part     *storage.Table
+	PartSupp *storage.Table
+	Orders   *storage.Table
+	Lineitem *storage.Table
+}
+
+// scaled returns the row count of a base cardinality at scale factor sf.
+func scaled(n int, sf float64) int {
+	v := int(float64(n) * sf)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func col(name string, t storage.Type, cap int) storage.ColumnDef {
+	return storage.ColumnDef{Name: name, Type: t, StrCap: cap}
+}
+
+// retailPriceCents implements the specification's price formula in cents.
+func retailPriceCents(pk int64) int64 {
+	return 90000 + (pk/10)%20001 + 100*(pk%1000)
+}
+
+// partSupplier returns the i-th (0..3) supplier of part pk among s
+// suppliers, the specification's formula; lineitem reuses it so every
+// (l_partkey, l_suppkey) pair exists in partsupp.
+func partSupplier(pk int64, i int64, s int64) int64 {
+	return (pk + i*(s/4+(pk-1)/s))%s + 1
+}
+
+// Generate builds a deterministic TPC-H database at the given scale factor.
+// Tables are generated concurrently, each from its own seeded generator, so
+// the data is identical for a (sf, seed) pair regardless of parallelism.
+func Generate(sf float64, seed int64) *DB {
+	db := &DB{SF: sf}
+	nSupp := scaled(10000, sf)
+	nCust := scaled(150000, sf)
+	nPart := scaled(200000, sf)
+	nOrders := scaled(1500000, sf)
+
+	var wg sync.WaitGroup
+	run := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	run(func() { db.Region = genRegion() })
+	run(func() { db.Nation = genNation() })
+	run(func() { db.Supplier = genSupplier(nSupp, seed+1) })
+	run(func() { db.Customer = genCustomer(nCust, seed+2) })
+	run(func() { db.Part = genPart(nPart, seed+3) })
+	run(func() { db.PartSupp = genPartSupp(nPart, nSupp, seed+4) })
+	run(func() { db.Orders, db.Lineitem = genOrdersLineitem(nOrders, nCust, nPart, nSupp, seed+5) })
+	wg.Wait()
+	return db
+}
+
+// Tables returns all relations for iteration (stats, validation).
+func (db *DB) Tables() []*storage.Table {
+	return []*storage.Table{
+		db.Region, db.Nation, db.Supplier, db.Customer,
+		db.Part, db.PartSupp, db.Orders, db.Lineitem,
+	}
+}
+
+func genRegion() *storage.Table {
+	t := storage.NewTable("region", storage.NewSchema(
+		col("r_regionkey", storage.Int64, 0),
+		col("r_name", storage.String, 12),
+		col("r_comment", storage.String, 80),
+	), len(regions))
+	rng := rand.New(rand.NewSource(77))
+	key := t.Cols[0].(*storage.Int64Column)
+	name := t.Cols[1].(*storage.StringColumn)
+	cmt := t.Cols[2].(*storage.StringColumn)
+	var buf []byte
+	for i, r := range regions {
+		key.Values = append(key.Values, int64(i))
+		name.AppendString(r)
+		buf = comment(buf[:0], rng, 30, 80)
+		cmt.Append(buf)
+	}
+	return t
+}
+
+func genNation() *storage.Table {
+	t := storage.NewTable("nation", storage.NewSchema(
+		col("n_nationkey", storage.Int64, 0),
+		col("n_name", storage.String, 25),
+		col("n_regionkey", storage.Int64, 0),
+		col("n_comment", storage.String, 80),
+	), len(nations))
+	rng := rand.New(rand.NewSource(78))
+	key := t.Cols[0].(*storage.Int64Column)
+	name := t.Cols[1].(*storage.StringColumn)
+	region := t.Cols[2].(*storage.Int64Column)
+	cmt := t.Cols[3].(*storage.StringColumn)
+	var buf []byte
+	for i, n := range nations {
+		key.Values = append(key.Values, int64(i))
+		name.AppendString(n.Name)
+		region.Values = append(region.Values, n.RegionKey)
+		buf = comment(buf[:0], rng, 30, 80)
+		cmt.Append(buf)
+	}
+	return t
+}
+
+func genSupplier(n int, seed int64) *storage.Table {
+	t := storage.NewTable("supplier", storage.NewSchema(
+		col("s_suppkey", storage.Int64, 0),
+		col("s_name", storage.String, 25),
+		col("s_address", storage.String, 40),
+		col("s_nationkey", storage.Int64, 0),
+		col("s_phone", storage.String, 15),
+		col("s_acctbal", storage.Int64, 0), // cents
+		col("s_comment", storage.String, 101),
+	), n)
+	rng := rand.New(rand.NewSource(seed))
+	key := t.Int64Col("s_suppkey")[:0]
+	name := t.StringCol("s_name")
+	addr := t.StringCol("s_address")
+	nat := t.Int64Col("s_nationkey")[:0]
+	ph := t.StringCol("s_phone")
+	bal := t.Int64Col("s_acctbal")[:0]
+	cmt := t.StringCol("s_comment")
+	var buf []byte
+	for i := 1; i <= n; i++ {
+		key = append(key, int64(i))
+		buf = append(buf[:0], "Supplier#"...)
+		buf = appendInt(buf, int64(i), 9)
+		name.Append(buf)
+		buf = comment(buf[:0], rng, 10, 40)
+		addr.Append(buf)
+		nk := int64(rng.Intn(len(nations)))
+		nat = append(nat, nk)
+		buf = phone(buf[:0], rng, nk)
+		ph.Append(buf)
+		bal = append(bal, int64(rng.Intn(1099998))-99999) // -999.99 .. 9999.99
+		buf = comment(buf[:0], rng, 25, 100)
+		// The specification plants "Customer Complaints" into ~5
+		// supplier comments per 10000 for Q16's NOT LIKE filter.
+		if i%1987 == 0 {
+			buf = append(buf[:0], "sly Customer frets Complaints sleep"...)
+		}
+		cmt.Append(buf)
+	}
+	t.ColByName("s_suppkey").(*storage.Int64Column).Values = key
+	t.ColByName("s_nationkey").(*storage.Int64Column).Values = nat
+	t.ColByName("s_acctbal").(*storage.Int64Column).Values = bal
+	return t
+}
+
+func genCustomer(n int, seed int64) *storage.Table {
+	t := storage.NewTable("customer", storage.NewSchema(
+		col("c_custkey", storage.Int64, 0),
+		col("c_name", storage.String, 25),
+		col("c_address", storage.String, 40),
+		col("c_nationkey", storage.Int64, 0),
+		col("c_phone", storage.String, 15),
+		col("c_acctbal", storage.Int64, 0),
+		col("c_mktsegment", storage.String, 10),
+		col("c_comment", storage.String, 117),
+	), n)
+	rng := rand.New(rand.NewSource(seed))
+	key := t.Int64Col("c_custkey")[:0]
+	name := t.StringCol("c_name")
+	addr := t.StringCol("c_address")
+	nat := t.Int64Col("c_nationkey")[:0]
+	ph := t.StringCol("c_phone")
+	bal := t.Int64Col("c_acctbal")[:0]
+	seg := t.StringCol("c_mktsegment")
+	cmt := t.StringCol("c_comment")
+	var buf []byte
+	for i := 1; i <= n; i++ {
+		key = append(key, int64(i))
+		buf = append(buf[:0], "Customer#"...)
+		buf = appendInt(buf, int64(i), 9)
+		name.Append(buf)
+		buf = comment(buf[:0], rng, 10, 40)
+		addr.Append(buf)
+		nk := int64(rng.Intn(len(nations)))
+		nat = append(nat, nk)
+		buf = phone(buf[:0], rng, nk)
+		ph.Append(buf)
+		bal = append(bal, int64(rng.Intn(1099998))-99999)
+		seg.AppendString(segments[rng.Intn(len(segments))])
+		buf = comment(buf[:0], rng, 29, 116)
+		cmt.Append(buf)
+	}
+	t.ColByName("c_custkey").(*storage.Int64Column).Values = key
+	t.ColByName("c_nationkey").(*storage.Int64Column).Values = nat
+	t.ColByName("c_acctbal").(*storage.Int64Column).Values = bal
+	return t
+}
+
+func genPart(n int, seed int64) *storage.Table {
+	t := storage.NewTable("part", storage.NewSchema(
+		col("p_partkey", storage.Int64, 0),
+		col("p_name", storage.String, 55),
+		col("p_mfgr", storage.String, 25),
+		col("p_brand", storage.String, 10),
+		col("p_type", storage.String, 25),
+		col("p_size", storage.Int64, 0),
+		col("p_container", storage.String, 10),
+		col("p_retailprice", storage.Int64, 0),
+		col("p_comment", storage.String, 23),
+	), n)
+	rng := rand.New(rand.NewSource(seed))
+	key := t.Int64Col("p_partkey")[:0]
+	name := t.StringCol("p_name")
+	mfgr := t.StringCol("p_mfgr")
+	brand := t.StringCol("p_brand")
+	typ := t.StringCol("p_type")
+	size := t.Int64Col("p_size")[:0]
+	cont := t.StringCol("p_container")
+	price := t.Int64Col("p_retailprice")[:0]
+	cmt := t.StringCol("p_comment")
+	var buf []byte
+	for i := 1; i <= n; i++ {
+		key = append(key, int64(i))
+		// p_name: five distinct colors.
+		buf = buf[:0]
+		perm := rng.Perm(len(partNameWords))[:5]
+		for j, w := range perm {
+			if j > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = append(buf, partNameWords[w]...)
+		}
+		name.Append(buf)
+		m := 1 + rng.Intn(5)
+		buf = append(buf[:0], "Manufacturer#"...)
+		buf = appendInt(buf, int64(m), 1)
+		mfgr.Append(buf)
+		buf = append(buf[:0], "Brand#"...)
+		buf = appendInt(buf, int64(m), 1)
+		buf = appendInt(buf, int64(1+rng.Intn(5)), 1)
+		brand.Append(buf)
+		buf = append(buf[:0], typeSyllable1[rng.Intn(6)]...)
+		buf = append(buf, ' ')
+		buf = append(buf, typeSyllable2[rng.Intn(5)]...)
+		buf = append(buf, ' ')
+		buf = append(buf, typeSyllable3[rng.Intn(5)]...)
+		typ.Append(buf)
+		size = append(size, int64(1+rng.Intn(50)))
+		buf = append(buf[:0], containerSyllable1[rng.Intn(5)]...)
+		buf = append(buf, ' ')
+		buf = append(buf, containerSyllable2[rng.Intn(8)]...)
+		cont.Append(buf)
+		price = append(price, retailPriceCents(int64(i)))
+		buf = comment(buf[:0], rng, 5, 22)
+		cmt.Append(buf)
+	}
+	t.ColByName("p_partkey").(*storage.Int64Column).Values = key
+	t.ColByName("p_size").(*storage.Int64Column).Values = size
+	t.ColByName("p_retailprice").(*storage.Int64Column).Values = price
+	return t
+}
+
+func genPartSupp(nPart, nSupp int, seed int64) *storage.Table {
+	t := storage.NewTable("partsupp", storage.NewSchema(
+		col("ps_partkey", storage.Int64, 0),
+		col("ps_suppkey", storage.Int64, 0),
+		col("ps_availqty", storage.Int64, 0),
+		col("ps_supplycost", storage.Int64, 0), // cents
+		col("ps_comment", storage.String, 124),
+	), nPart*4)
+	rng := rand.New(rand.NewSource(seed))
+	pk := t.Int64Col("ps_partkey")[:0]
+	sk := t.Int64Col("ps_suppkey")[:0]
+	qty := t.Int64Col("ps_availqty")[:0]
+	cost := t.Int64Col("ps_supplycost")[:0]
+	cmt := t.StringCol("ps_comment")
+	var buf []byte
+	for p := int64(1); p <= int64(nPart); p++ {
+		for i := int64(0); i < 4; i++ {
+			pk = append(pk, p)
+			sk = append(sk, partSupplier(p, i, int64(nSupp)))
+			qty = append(qty, int64(1+rng.Intn(9999)))
+			cost = append(cost, int64(100+rng.Intn(99901)))
+			buf = comment(buf[:0], rng, 20, 123)
+			cmt.Append(buf)
+		}
+	}
+	t.ColByName("ps_partkey").(*storage.Int64Column).Values = pk
+	t.ColByName("ps_suppkey").(*storage.Int64Column).Values = sk
+	t.ColByName("ps_availqty").(*storage.Int64Column).Values = qty
+	t.ColByName("ps_supplycost").(*storage.Int64Column).Values = cost
+	return t
+}
+
+func genOrdersLineitem(nOrders, nCust, nPart, nSupp int, seed int64) (*storage.Table, *storage.Table) {
+	ot := storage.NewTable("orders", storage.NewSchema(
+		col("o_orderkey", storage.Int64, 0),
+		col("o_custkey", storage.Int64, 0),
+		col("o_orderstatus", storage.String, 1),
+		col("o_totalprice", storage.Int64, 0),
+		col("o_orderdate", storage.Date, 0),
+		col("o_orderpriority", storage.String, 15),
+		col("o_clerk", storage.String, 15),
+		col("o_shippriority", storage.Int64, 0),
+		col("o_comment", storage.String, 79),
+	), nOrders)
+	nLines := nOrders * 4
+	lt := storage.NewTable("lineitem", storage.NewSchema(
+		col("l_orderkey", storage.Int64, 0),
+		col("l_partkey", storage.Int64, 0),
+		col("l_suppkey", storage.Int64, 0),
+		col("l_linenumber", storage.Int64, 0),
+		col("l_quantity", storage.Int64, 0),
+		col("l_extendedprice", storage.Int64, 0), // cents
+		col("l_discount", storage.Int64, 0),      // hundredths
+		col("l_tax", storage.Int64, 0),           // hundredths
+		col("l_returnflag", storage.String, 1),
+		col("l_linestatus", storage.String, 1),
+		col("l_shipdate", storage.Date, 0),
+		col("l_commitdate", storage.Date, 0),
+		col("l_receiptdate", storage.Date, 0),
+		col("l_shipinstruct", storage.String, 25),
+		col("l_shipmode", storage.String, 10),
+		col("l_comment", storage.String, 44),
+	), nLines)
+
+	rng := rand.New(rand.NewSource(seed))
+	oKey := ot.Int64Col("o_orderkey")[:0]
+	oCust := ot.Int64Col("o_custkey")[:0]
+	oStatus := ot.StringCol("o_orderstatus")
+	oTotal := ot.Int64Col("o_totalprice")[:0]
+	oDate := ot.Int64Col("o_orderdate")[:0]
+	oPrio := ot.StringCol("o_orderpriority")
+	oClerk := ot.StringCol("o_clerk")
+	oShip := ot.Int64Col("o_shippriority")[:0]
+	oCmt := ot.StringCol("o_comment")
+
+	lOrder := lt.Int64Col("l_orderkey")[:0]
+	lPart := lt.Int64Col("l_partkey")[:0]
+	lSupp := lt.Int64Col("l_suppkey")[:0]
+	lNum := lt.Int64Col("l_linenumber")[:0]
+	lQty := lt.Int64Col("l_quantity")[:0]
+	lPrice := lt.Int64Col("l_extendedprice")[:0]
+	lDisc := lt.Int64Col("l_discount")[:0]
+	lTax := lt.Int64Col("l_tax")[:0]
+	lRet := lt.StringCol("l_returnflag")
+	lStat := lt.StringCol("l_linestatus")
+	lShipD := lt.Int64Col("l_shipdate")[:0]
+	lCommD := lt.Int64Col("l_commitdate")[:0]
+	lRecD := lt.Int64Col("l_receiptdate")[:0]
+	lInstr := lt.StringCol("l_shipinstruct")
+	lMode := lt.StringCol("l_shipmode")
+	lCmt := lt.StringCol("l_comment")
+
+	maxOrderDate := EndDate - 151
+	nClerks := nOrders/1500 + 1
+	var buf []byte
+	for o := 1; o <= nOrders; o++ {
+		oKey = append(oKey, int64(o))
+		// Only customers with custkey % 3 != 0 place orders.
+		c := int64(1 + rng.Intn(nCust))
+		for c%3 == 0 {
+			c = int64(1 + rng.Intn(nCust))
+		}
+		oCust = append(oCust, c)
+		od := StartDate + int64(rng.Intn(int(maxOrderDate-StartDate+1)))
+		oDate = append(oDate, od)
+		oPrio.AppendString(priorities[rng.Intn(len(priorities))])
+		buf = append(buf[:0], "Clerk#"...)
+		buf = appendInt(buf, int64(1+rng.Intn(nClerks)), 9)
+		oClerk.Append(buf)
+		oShip = append(oShip, 0)
+		buf = comment(buf[:0], rng, 19, 78)
+		oCmt.Append(buf)
+
+		lines := 1 + rng.Intn(7)
+		var total int64
+		allF, allO := true, true
+		for ln := 1; ln <= lines; ln++ {
+			pk := int64(1 + rng.Intn(nPart))
+			lOrder = append(lOrder, int64(o))
+			lPart = append(lPart, pk)
+			lSupp = append(lSupp, partSupplier(pk, int64(rng.Intn(4)), int64(nSupp)))
+			lNum = append(lNum, int64(ln))
+			qty := int64(1 + rng.Intn(50))
+			lQty = append(lQty, qty)
+			// The spec's magnitude: extendedprice = qty * partprice.
+			price := qty * retailPriceCents(pk)
+			lPrice = append(lPrice, price)
+			disc := int64(rng.Intn(11))
+			tax := int64(rng.Intn(9))
+			lDisc = append(lDisc, disc)
+			lTax = append(lTax, tax)
+			ship := od + 1 + int64(rng.Intn(121))
+			commit := od + 30 + int64(rng.Intn(61))
+			receipt := ship + 1 + int64(rng.Intn(30))
+			lShipD = append(lShipD, ship)
+			lCommD = append(lCommD, commit)
+			lRecD = append(lRecD, receipt)
+			if receipt <= CurrentDate {
+				if rng.Intn(2) == 0 {
+					lRet.AppendString("R")
+				} else {
+					lRet.AppendString("A")
+				}
+			} else {
+				lRet.AppendString("N")
+			}
+			if ship > CurrentDate {
+				lStat.AppendString("O")
+				allF = false
+			} else {
+				lStat.AppendString("F")
+				allO = false
+			}
+			lInstr.AppendString(shipInstructs[rng.Intn(len(shipInstructs))])
+			lMode.AppendString(shipModes[rng.Intn(len(shipModes))])
+			buf = comment(buf[:0], rng, 10, 43)
+			lCmt.Append(buf)
+			total += price * (100 - disc) * (100 + tax) / 10000
+		}
+		oTotal = append(oTotal, total)
+		switch {
+		case allF:
+			oStatus.AppendString("F")
+		case allO:
+			oStatus.AppendString("O")
+		default:
+			oStatus.AppendString("P")
+		}
+	}
+	ot.ColByName("o_orderkey").(*storage.Int64Column).Values = oKey
+	ot.ColByName("o_custkey").(*storage.Int64Column).Values = oCust
+	ot.ColByName("o_totalprice").(*storage.Int64Column).Values = oTotal
+	ot.ColByName("o_orderdate").(*storage.Int64Column).Values = oDate
+	ot.ColByName("o_shippriority").(*storage.Int64Column).Values = oShip
+	lt.ColByName("l_orderkey").(*storage.Int64Column).Values = lOrder
+	lt.ColByName("l_partkey").(*storage.Int64Column).Values = lPart
+	lt.ColByName("l_suppkey").(*storage.Int64Column).Values = lSupp
+	lt.ColByName("l_linenumber").(*storage.Int64Column).Values = lNum
+	lt.ColByName("l_quantity").(*storage.Int64Column).Values = lQty
+	lt.ColByName("l_extendedprice").(*storage.Int64Column).Values = lPrice
+	lt.ColByName("l_discount").(*storage.Int64Column).Values = lDisc
+	lt.ColByName("l_tax").(*storage.Int64Column).Values = lTax
+	lt.ColByName("l_shipdate").(*storage.Int64Column).Values = lShipD
+	lt.ColByName("l_commitdate").(*storage.Int64Column).Values = lCommD
+	lt.ColByName("l_receiptdate").(*storage.Int64Column).Values = lRecD
+	return ot, lt
+}

@@ -1,0 +1,594 @@
+package tpch
+
+import (
+	"time"
+
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/expr"
+	"partitionjoin/internal/plan"
+)
+
+// Runner executes the (possibly multi-stage) plans of one query run and
+// accumulates the throughput metric: source tuples and wall time summed
+// over all stages (Section 5.3's "sum of all tuples counted at the
+// pipeline sources").
+type Runner struct {
+	Opts plan.Options
+	// LM enables the late-materialization variant where the query
+	// supports one (Section 4.2).
+	LM bool
+
+	Rows int64
+	Dur  time.Duration
+}
+
+// Run executes one stage and accumulates its stats.
+func (r *Runner) Run(n plan.Node) *plan.ExecResult {
+	res := plan.Execute(r.Opts, n)
+	r.Rows += res.SourceRows
+	r.Dur += res.Duration
+	return res
+}
+
+// Throughput returns accumulated source tuples per second.
+func (r *Runner) Throughput() float64 {
+	if r.Dur <= 0 {
+		return 0
+	}
+	return float64(r.Rows) / r.Dur.Seconds()
+}
+
+// Query is one TPC-H query: it runs its stages through the Runner and
+// returns the final result.
+type Query func(db *DB, r *Runner) *plan.ExecResult
+
+// Queries maps query number to implementation for the 19 TPC-H queries
+// containing joins (1, 6 and 13 have none / use a groupjoin, as in the
+// paper's Figure 11).
+var Queries = map[int]Query{
+	2: Q2, 3: Q3, 4: Q4, 5: Q5, 7: Q7, 8: Q8, 9: Q9, 10: Q10,
+	11: Q11, 12: Q12, 14: Q14, 15: Q15, 16: Q16, 17: Q17, 18: Q18,
+	19: Q19, 20: Q20, 21: Q21, 22: Q22,
+}
+
+// QueryNumbers lists the implemented queries in order.
+var QueryNumbers = []int{2, 3, 4, 5, 7, 8, 9, 10, 11, 12, 14, 15, 16, 17, 18, 19, 20, 21, 22}
+
+// JoinCounts gives the number of swappable equi-joins per query (the join
+// IDs run 1..count), for the per-join analysis of Figure 12.
+var JoinCounts = map[int]int{
+	2: 8, 3: 2, 4: 1, 5: 5, 7: 5, 8: 7, 9: 5, 10: 3,
+	11: 4, 12: 1, 14: 1, 15: 1, 16: 2, 17: 2, 18: 2,
+	19: 1, 20: 4, 21: 5, 22: 1,
+}
+
+// rev is the revenue scalar used by most queries.
+func rev() expr.Scalar { return expr.RevenueI("rev", "l_extendedprice", "l_discount") }
+
+// euroSuppPS builds the region->nation->supplier->partsupp chain Q2 uses
+// twice (once per stage); ids are the three join IDs, pay the partsupp and
+// supplier payload carried up.
+func euroSuppPS(db *DB, baseID int, supPay []string) plan.Node {
+	j1 := &plan.JoinNode{
+		ID: baseID, Kind: core.Inner,
+		Build:     plan.Filter(plan.Scan(db.Region, "r_regionkey", "r_name"), expr.EqStr("r_name", "EUROPE")),
+		Probe:     plan.Scan(db.Nation, "n_nationkey", "n_name", "n_regionkey"),
+		BuildKeys: []string{"r_regionkey"}, ProbeKeys: []string{"n_regionkey"},
+		ProbePay: []string{"n_nationkey", "n_name"},
+	}
+	supCols := append([]string{"s_suppkey", "s_nationkey"}, supPay...)
+	j2 := &plan.JoinNode{
+		ID: baseID + 1, Kind: core.Inner,
+		Build:     j1,
+		Probe:     plan.Scan(db.Supplier, supCols...),
+		BuildKeys: []string{"n_nationkey"}, ProbeKeys: []string{"s_nationkey"},
+		BuildPay: []string{"n_name"},
+		ProbePay: append([]string{"s_suppkey"}, supPay...),
+	}
+	j3 := &plan.JoinNode{
+		ID: baseID + 2, Kind: core.Inner,
+		Build:     j2,
+		Probe:     plan.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_supplycost"),
+		BuildKeys: []string{"s_suppkey"}, ProbeKeys: []string{"ps_suppkey"},
+		BuildPay: append([]string{"n_name"}, supPay...),
+		ProbePay: []string{"ps_partkey", "ps_supplycost"},
+	}
+	return j3
+}
+
+// Q2 finds the minimum-cost European supplier per brass part.
+func Q2(db *DB, r *Runner) *plan.ExecResult {
+	// Stage 1: per-part minimum supply cost among European suppliers.
+	minStage := plan.GroupBy(euroSuppPS(db, 1, nil),
+		[]string{"ps_partkey"},
+		plan.AggExpr{Kind: exec.AggMinI, Col: "ps_supplycost", As: "min_cost"})
+	minRes := r.Run(minStage)
+	minTable := plan.TableFromResult("mincost", minRes.Cols, minRes.Result)
+
+	// Stage 2: the main join tree over the filtered part relation.
+	supPay := []string{"s_name", "s_acctbal", "s_address", "s_phone", "s_comment"}
+	ps := euroSuppPS(db, 4, supPay)
+	j7 := &plan.JoinNode{
+		ID: 7, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(db.Part, "p_partkey", "p_mfgr", "p_size", "p_type"),
+			expr.And(expr.EqI("p_size", 15), expr.Like("p_type", "%BRASS"))),
+		Probe:     ps,
+		BuildKeys: []string{"p_partkey"}, ProbeKeys: []string{"ps_partkey"},
+		BuildPay: []string{"p_partkey", "p_mfgr"},
+		ProbePay: append(append([]string{"n_name"}, supPay...), "ps_supplycost"),
+	}
+	j8 := &plan.JoinNode{
+		ID: 8, Kind: core.Inner,
+		Build:     plan.Scan(minTable, "ps_partkey", "min_cost"),
+		Probe:     j7,
+		BuildKeys: []string{"ps_partkey", "min_cost"},
+		ProbeKeys: []string{"p_partkey", "ps_supplycost"},
+		ProbePay: append([]string{"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr",
+			"s_address", "s_phone"}, "s_comment"),
+	}
+	root := plan.OrderBy(j8, 100,
+		plan.OrderKey{Col: "s_acctbal", Desc: true},
+		plan.OrderKey{Col: "n_name"},
+		plan.OrderKey{Col: "s_name"},
+		plan.OrderKey{Col: "p_partkey"})
+	return r.Run(root)
+}
+
+// Q3 reports unshipped high-revenue orders for one market segment.
+func Q3(db *DB, r *Runner) *plan.ExecResult {
+	cutoff := Date(1995, 3, 15)
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(db.Customer, "c_custkey", "c_mktsegment"),
+			expr.EqStr("c_mktsegment", "BUILDING")),
+		Probe: plan.Filter(plan.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"),
+			expr.LtI("o_orderdate", cutoff)),
+		BuildKeys: []string{"c_custkey"}, ProbeKeys: []string{"o_custkey"},
+		ProbePay: []string{"o_orderkey", "o_orderdate", "o_shippriority"},
+	}
+	var lineitem plan.Node
+	if r.LM {
+		lineitem = plan.Filter(plan.ScanRowID(db.Lineitem, "l_rid", "l_orderkey", "l_shipdate"),
+			expr.GtI("l_shipdate", cutoff))
+	} else {
+		lineitem = plan.Filter(
+			plan.Scan(db.Lineitem, "l_orderkey", "l_shipdate", "l_extendedprice", "l_discount"),
+			expr.GtI("l_shipdate", cutoff))
+	}
+	probePay := []string{"l_extendedprice", "l_discount"}
+	if r.LM {
+		probePay = []string{"l_rid"}
+	}
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build:     j1,
+		Probe:     lineitem,
+		BuildKeys: []string{"o_orderkey"}, ProbeKeys: []string{"l_orderkey"},
+		BuildPay: []string{"o_orderkey", "o_orderdate", "o_shippriority"},
+		ProbePay: probePay,
+	}
+	var withRev plan.Node = j2
+	if r.LM {
+		withRev = plan.LateLoad(j2, db.Lineitem, "l_rid", "l_extendedprice", "l_discount")
+	}
+	root := plan.OrderBy(
+		plan.GroupBy(plan.Map(withRev, rev()),
+			[]string{"o_orderkey", "o_orderdate", "o_shippriority"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "rev", As: "revenue"}),
+		10,
+		plan.OrderKey{Col: "revenue", Desc: true},
+		plan.OrderKey{Col: "o_orderdate"})
+	return r.Run(root)
+}
+
+// Q4 counts orders with at least one late lineitem, per priority: a
+// build-side semi join with the date-filtered orders as build (the paper's
+// Q4 discussion).
+func Q4(db *DB, r *Runner) *plan.ExecResult {
+	lo := Date(1993, 7, 1)
+	hi := Date(1993, 10, 1)
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.LeftSemi,
+		Build: plan.Filter(plan.Scan(db.Orders, "o_orderkey", "o_orderdate", "o_orderpriority"),
+			expr.And(expr.GeI("o_orderdate", lo), expr.LtI("o_orderdate", hi))),
+		Probe: plan.Filter(plan.Scan(db.Lineitem, "l_orderkey", "l_commitdate", "l_receiptdate"),
+			expr.LtCols("l_commitdate", "l_receiptdate")),
+		BuildKeys: []string{"o_orderkey"}, ProbeKeys: []string{"l_orderkey"},
+		BuildPay: []string{"o_orderpriority"},
+	}
+	root := plan.OrderBy(
+		plan.GroupBy(j1, []string{"o_orderpriority"},
+			plan.AggExpr{Kind: exec.AggCount, As: "order_count"}),
+		0, plan.OrderKey{Col: "o_orderpriority"})
+	return r.Run(root)
+}
+
+// Q5 computes local-supplier revenue per Asian nation. Join 4 probes the
+// unfiltered lineitem relation (the 1:117 size ratio the paper highlights).
+func Q5(db *DB, r *Runner) *plan.ExecResult {
+	lo := Date(1994, 1, 1)
+	hi := Date(1995, 1, 1)
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build:     plan.Filter(plan.Scan(db.Region, "r_regionkey", "r_name"), expr.EqStr("r_name", "ASIA")),
+		Probe:     plan.Scan(db.Nation, "n_nationkey", "n_name", "n_regionkey"),
+		BuildKeys: []string{"r_regionkey"}, ProbeKeys: []string{"n_regionkey"},
+		ProbePay: []string{"n_nationkey", "n_name"},
+	}
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build:     j1,
+		Probe:     plan.Scan(db.Customer, "c_custkey", "c_nationkey"),
+		BuildKeys: []string{"n_nationkey"}, ProbeKeys: []string{"c_nationkey"},
+		BuildPay: []string{"n_name"},
+		ProbePay: []string{"c_custkey", "c_nationkey"},
+	}
+	j3 := &plan.JoinNode{
+		ID: 3, Kind: core.Inner,
+		Build: j2,
+		Probe: plan.Filter(plan.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate"),
+			expr.And(expr.GeI("o_orderdate", lo), expr.LtI("o_orderdate", hi))),
+		BuildKeys: []string{"c_custkey"}, ProbeKeys: []string{"o_custkey"},
+		BuildPay: []string{"n_name", "c_nationkey"},
+		ProbePay: []string{"o_orderkey"},
+	}
+	var lineitem plan.Node
+	probePay := []string{"l_suppkey", "l_extendedprice", "l_discount"}
+	if r.LM {
+		lineitem = plan.ScanRowID(db.Lineitem, "l_rid", "l_orderkey", "l_suppkey")
+		probePay = []string{"l_suppkey", "l_rid"}
+	} else {
+		lineitem = plan.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount")
+	}
+	j4 := &plan.JoinNode{
+		ID: 4, Kind: core.Inner,
+		Build:     j3,
+		Probe:     lineitem,
+		BuildKeys: []string{"o_orderkey"}, ProbeKeys: []string{"l_orderkey"},
+		BuildPay: []string{"n_name", "c_nationkey"},
+		ProbePay: probePay,
+	}
+	j5Pay := []string{"n_name", "l_extendedprice", "l_discount"}
+	if r.LM {
+		j5Pay = []string{"n_name", "l_rid"}
+	}
+	j5 := &plan.JoinNode{
+		ID: 5, Kind: core.Inner,
+		Build:     plan.Scan(db.Supplier, "s_suppkey", "s_nationkey"),
+		Probe:     j4,
+		BuildKeys: []string{"s_suppkey", "s_nationkey"},
+		ProbeKeys: []string{"l_suppkey", "c_nationkey"},
+		ProbePay:  j5Pay,
+	}
+	var withRev plan.Node = j5
+	if r.LM {
+		withRev = plan.LateLoad(j5, db.Lineitem, "l_rid", "l_extendedprice", "l_discount")
+	}
+	root := plan.OrderBy(
+		plan.GroupBy(plan.Map(withRev, rev()),
+			[]string{"n_name"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "rev", As: "revenue"}),
+		0, plan.OrderKey{Col: "revenue", Desc: true})
+	return r.Run(root)
+}
+
+// Q7 computes shipping volume between France and Germany per year.
+func Q7(db *DB, r *Runner) *plan.ExecResult {
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build: plan.Rename(plan.Filter(plan.Scan(db.Nation, "n_nationkey", "n_name"),
+			expr.InStr("n_name", "FRANCE", "GERMANY")), "n_nationkey", "n1_key", "n_name", "supp_nation"),
+		Probe:     plan.Scan(db.Supplier, "s_suppkey", "s_nationkey"),
+		BuildKeys: []string{"n1_key"}, ProbeKeys: []string{"s_nationkey"},
+		BuildPay: []string{"supp_nation"},
+		ProbePay: []string{"s_suppkey"},
+	}
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build: plan.Rename(plan.Filter(plan.Scan(db.Nation, "n_nationkey", "n_name"),
+			expr.InStr("n_name", "FRANCE", "GERMANY")), "n_nationkey", "n2_key", "n_name", "cust_nation"),
+		Probe:     plan.Scan(db.Customer, "c_custkey", "c_nationkey"),
+		BuildKeys: []string{"n2_key"}, ProbeKeys: []string{"c_nationkey"},
+		BuildPay: []string{"cust_nation"},
+		ProbePay: []string{"c_custkey"},
+	}
+	j3 := &plan.JoinNode{
+		ID: 3, Kind: core.Inner,
+		Build:     j2,
+		Probe:     plan.Scan(db.Orders, "o_orderkey", "o_custkey"),
+		BuildKeys: []string{"c_custkey"}, ProbeKeys: []string{"o_custkey"},
+		BuildPay: []string{"cust_nation"},
+		ProbePay: []string{"o_orderkey"},
+	}
+	j4 := &plan.JoinNode{
+		ID: 4, Kind: core.Inner,
+		Build: j1,
+		Probe: plan.Filter(
+			plan.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"),
+			expr.BetweenI("l_shipdate", Date(1995, 1, 1), Date(1996, 12, 31))),
+		BuildKeys: []string{"s_suppkey"}, ProbeKeys: []string{"l_suppkey"},
+		BuildPay: []string{"supp_nation"},
+		ProbePay: []string{"l_orderkey", "l_shipdate", "l_extendedprice", "l_discount"},
+	}
+	j5 := &plan.JoinNode{
+		ID: 5, Kind: core.Inner,
+		Build:     j3,
+		Probe:     j4,
+		BuildKeys: []string{"o_orderkey"}, ProbeKeys: []string{"l_orderkey"},
+		BuildPay: []string{"cust_nation"},
+		ProbePay: []string{"supp_nation", "l_shipdate", "l_extendedprice", "l_discount"},
+	}
+	pairs := plan.Filter(j5, expr.Or(
+		expr.And(expr.EqStr("supp_nation", "FRANCE"), expr.EqStr("cust_nation", "GERMANY")),
+		expr.And(expr.EqStr("supp_nation", "GERMANY"), expr.EqStr("cust_nation", "FRANCE"))))
+	root := plan.OrderBy(
+		plan.GroupBy(plan.Map(pairs, expr.YearI("l_year", "l_shipdate"), rev()),
+			[]string{"supp_nation", "cust_nation", "l_year"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "rev", As: "revenue"}),
+		0,
+		plan.OrderKey{Col: "supp_nation"},
+		plan.OrderKey{Col: "cust_nation"},
+		plan.OrderKey{Col: "l_year"})
+	return r.Run(root)
+}
+
+// Q8 computes the Brazilian market share in America for one part type; its
+// J2 probes the unfiltered lineitem with a tiny filtered part build side
+// (the 60%-faster-BHJ case of Section 5.3.2).
+func Q8(db *DB, r *Runner) *plan.ExecResult {
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build:     plan.Filter(plan.Scan(db.Region, "r_regionkey", "r_name"), expr.EqStr("r_name", "AMERICA")),
+		Probe:     plan.Rename(plan.Scan(db.Nation, "n_nationkey", "n_regionkey"), "n_nationkey", "n1_key"),
+		BuildKeys: []string{"r_regionkey"}, ProbeKeys: []string{"n_regionkey"},
+		ProbePay: []string{"n1_key"},
+	}
+	var lineitem plan.Node
+	probePay := []string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}
+	if r.LM {
+		lineitem = plan.ScanRowID(db.Lineitem, "l_rid", "l_partkey", "l_orderkey", "l_suppkey")
+		probePay = []string{"l_orderkey", "l_suppkey", "l_rid"}
+	} else {
+		lineitem = plan.Scan(db.Lineitem, "l_partkey", "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount")
+	}
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(db.Part, "p_partkey", "p_type"),
+			expr.EqStr("p_type", "ECONOMY ANODIZED STEEL")),
+		Probe:     lineitem,
+		BuildKeys: []string{"p_partkey"}, ProbeKeys: []string{"l_partkey"},
+		ProbePay: probePay,
+	}
+	j3 := &plan.JoinNode{
+		ID: 3, Kind: core.Inner,
+		Build:     j1,
+		Probe:     plan.Scan(db.Customer, "c_custkey", "c_nationkey"),
+		BuildKeys: []string{"n1_key"}, ProbeKeys: []string{"c_nationkey"},
+		ProbePay: []string{"c_custkey"},
+	}
+	j4 := &plan.JoinNode{
+		ID: 4, Kind: core.Inner,
+		Build: j3,
+		Probe: plan.Filter(plan.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate"),
+			expr.BetweenI("o_orderdate", Date(1995, 1, 1), Date(1996, 12, 31))),
+		BuildKeys: []string{"c_custkey"}, ProbeKeys: []string{"o_custkey"},
+		ProbePay: []string{"o_orderkey", "o_orderdate"},
+	}
+	j5Pay := []string{"l_suppkey", "l_extendedprice", "l_discount"}
+	if r.LM {
+		j5Pay = []string{"l_suppkey", "l_rid"}
+	}
+	j5 := &plan.JoinNode{
+		ID: 5, Kind: core.Inner,
+		Build:     j4,
+		Probe:     j2,
+		BuildKeys: []string{"o_orderkey"}, ProbeKeys: []string{"l_orderkey"},
+		BuildPay: []string{"o_orderdate"},
+		ProbePay: j5Pay,
+	}
+	j6 := &plan.JoinNode{
+		ID: 6, Kind: core.Inner,
+		Build:     plan.Rename(plan.Scan(db.Nation, "n_nationkey", "n_name"), "n_nationkey", "n2_key", "n_name", "nation"),
+		Probe:     plan.Scan(db.Supplier, "s_suppkey", "s_nationkey"),
+		BuildKeys: []string{"n2_key"}, ProbeKeys: []string{"s_nationkey"},
+		BuildPay: []string{"nation"},
+		ProbePay: []string{"s_suppkey"},
+	}
+	j7Pay := []string{"o_orderdate", "l_extendedprice", "l_discount"}
+	if r.LM {
+		j7Pay = []string{"o_orderdate", "l_rid"}
+	}
+	j7 := &plan.JoinNode{
+		ID: 7, Kind: core.Inner,
+		Build:     j6,
+		Probe:     j5,
+		BuildKeys: []string{"s_suppkey"}, ProbeKeys: []string{"l_suppkey"},
+		BuildPay: []string{"nation"},
+		ProbePay: j7Pay,
+	}
+	var withRev plan.Node = j7
+	if r.LM {
+		withRev = plan.LateLoad(j7, db.Lineitem, "l_rid", "l_extendedprice", "l_discount")
+	}
+	grouped := plan.GroupBy(
+		plan.Map(withRev,
+			expr.YearI("o_year", "o_orderdate"),
+			rev(),
+			expr.CaseI("brazil_rev", expr.EqStr("nation", "BRAZIL"), "rev")),
+		[]string{"o_year"},
+		plan.AggExpr{Kind: exec.AggSumI, Col: "brazil_rev", As: "num"},
+		plan.AggExpr{Kind: exec.AggSumI, Col: "rev", As: "den"})
+	root := plan.OrderBy(
+		plan.Map(grouped, expr.RatioF("mkt_share", "num", "den", 1)),
+		0, plan.OrderKey{Col: "o_year"})
+	return r.Run(root)
+}
+
+// Q9 computes profit per nation and year over parts with green names.
+func Q9(db *DB, r *Runner) *plan.ExecResult {
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(db.Part, "p_partkey", "p_name"), expr.Like("p_name", "%green%")),
+		Probe: plan.Scan(db.Lineitem, "l_partkey", "l_suppkey", "l_orderkey",
+			"l_quantity", "l_extendedprice", "l_discount"),
+		BuildKeys: []string{"p_partkey"}, ProbeKeys: []string{"l_partkey"},
+		ProbePay: []string{"l_partkey", "l_suppkey", "l_orderkey", "l_quantity",
+			"l_extendedprice", "l_discount"},
+	}
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build:     plan.Scan(db.Supplier, "s_suppkey", "s_nationkey"),
+		Probe:     j1,
+		BuildKeys: []string{"s_suppkey"}, ProbeKeys: []string{"l_suppkey"},
+		BuildPay: []string{"s_nationkey"},
+		ProbePay: []string{"l_partkey", "l_suppkey", "l_orderkey", "l_quantity",
+			"l_extendedprice", "l_discount"},
+	}
+	j3 := &plan.JoinNode{
+		ID: 3, Kind: core.Inner,
+		Build:     plan.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_supplycost"),
+		Probe:     j2,
+		BuildKeys: []string{"ps_partkey", "ps_suppkey"}, ProbeKeys: []string{"l_partkey", "l_suppkey"},
+		BuildPay: []string{"ps_supplycost"},
+		ProbePay: []string{"s_nationkey", "l_orderkey", "l_quantity", "l_extendedprice", "l_discount"},
+	}
+	j4 := &plan.JoinNode{
+		ID: 4, Kind: core.Inner,
+		Build:     plan.Scan(db.Nation, "n_nationkey", "n_name"),
+		Probe:     j3,
+		BuildKeys: []string{"n_nationkey"}, ProbeKeys: []string{"s_nationkey"},
+		BuildPay: []string{"n_name"},
+		ProbePay: []string{"ps_supplycost", "l_orderkey", "l_quantity", "l_extendedprice", "l_discount"},
+	}
+	j5 := &plan.JoinNode{
+		ID: 5, Kind: core.Inner,
+		Build:     plan.Scan(db.Orders, "o_orderkey", "o_orderdate"),
+		Probe:     j4,
+		BuildKeys: []string{"o_orderkey"}, ProbeKeys: []string{"l_orderkey"},
+		BuildPay: []string{"o_orderdate"},
+		ProbePay: []string{"n_name", "ps_supplycost", "l_quantity", "l_extendedprice", "l_discount"},
+	}
+	// amount = price*(100-disc) - 100*supplycost*qty, in 1e-4 dollars.
+	amount := plan.Map(
+		plan.Map(j5,
+			rev(),
+			expr.MulI("cost_qty", "ps_supplycost", "l_quantity"),
+			expr.YearI("o_year", "o_orderdate")),
+		expr.MulConstI("cost_scaled", "cost_qty", 100))
+	profit := plan.Map(amount, expr.SubI("amount", "rev", "cost_scaled"))
+	root := plan.OrderBy(
+		plan.GroupBy(profit, []string{"n_name", "o_year"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "amount", As: "sum_profit"}),
+		0,
+		plan.OrderKey{Col: "n_name"},
+		plan.OrderKey{Col: "o_year", Desc: true})
+	return r.Run(root)
+}
+
+// Q10 reports customers who returned items in one quarter.
+func Q10(db *DB, r *Runner) *plan.ExecResult {
+	lo := Date(1993, 10, 1)
+	hi := Date(1994, 1, 1)
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate"),
+			expr.And(expr.GeI("o_orderdate", lo), expr.LtI("o_orderdate", hi))),
+		Probe: plan.Filter(
+			plan.Scan(db.Lineitem, "l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"),
+			expr.EqStr("l_returnflag", "R")),
+		BuildKeys: []string{"o_orderkey"}, ProbeKeys: []string{"l_orderkey"},
+		BuildPay: []string{"o_custkey"},
+		ProbePay: []string{"l_extendedprice", "l_discount"},
+	}
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build:     plan.Scan(db.Nation, "n_nationkey", "n_name"),
+		Probe: plan.Scan(db.Customer, "c_custkey", "c_name", "c_acctbal", "c_nationkey",
+			"c_address", "c_phone", "c_comment"),
+		BuildKeys: []string{"n_nationkey"}, ProbeKeys: []string{"c_nationkey"},
+		BuildPay: []string{"n_name"},
+		ProbePay: []string{"c_custkey", "c_name", "c_acctbal", "c_address", "c_phone", "c_comment"},
+	}
+	j3 := &plan.JoinNode{
+		ID: 3, Kind: core.Inner,
+		Build:     j2,
+		Probe:     j1,
+		BuildKeys: []string{"c_custkey"}, ProbeKeys: []string{"o_custkey"},
+		BuildPay: []string{"c_custkey", "c_name", "c_acctbal", "n_name", "c_address", "c_phone", "c_comment"},
+		ProbePay: []string{"l_extendedprice", "l_discount"},
+	}
+	root := plan.OrderBy(
+		plan.GroupBy(plan.Map(j3, rev()),
+			[]string{"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "rev", As: "revenue"}),
+		20, plan.OrderKey{Col: "revenue", Desc: true})
+	return r.Run(root)
+}
+
+// q11Chain is the nation->supplier->partsupp chain both Q11 stages share.
+func q11Chain(db *DB, baseID int) plan.Node {
+	j1 := &plan.JoinNode{
+		ID: baseID, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(db.Nation, "n_nationkey", "n_name"),
+			expr.EqStr("n_name", "GERMANY")),
+		Probe:     plan.Scan(db.Supplier, "s_suppkey", "s_nationkey"),
+		BuildKeys: []string{"n_nationkey"}, ProbeKeys: []string{"s_nationkey"},
+		ProbePay: []string{"s_suppkey"},
+	}
+	j2 := &plan.JoinNode{
+		ID: baseID + 1, Kind: core.Inner,
+		Build:     j1,
+		Probe:     plan.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"),
+		BuildKeys: []string{"s_suppkey"}, ProbeKeys: []string{"ps_suppkey"},
+		ProbePay: []string{"ps_partkey", "ps_availqty", "ps_supplycost"},
+	}
+	return plan.Map(j2, expr.MulI("value", "ps_supplycost", "ps_availqty"))
+}
+
+// Q11 lists the most valuable German stock positions above a global
+// threshold — a two-stage query whose both stages run the same join chain,
+// matching the paper's four Q11 joins (Figure 1's Q11-J2 and Q11-J4).
+func Q11(db *DB, r *Runner) *plan.ExecResult {
+	totalRes := r.Run(plan.GroupBy(q11Chain(db, 1), nil,
+		plan.AggExpr{Kind: exec.AggSumI, Col: "value", As: "total"}))
+	threshold := totalRes.ScalarI64() / 10000 // sum(value) * 0.0001
+
+	grouped := plan.GroupBy(q11Chain(db, 3), []string{"ps_partkey"},
+		plan.AggExpr{Kind: exec.AggSumI, Col: "value", As: "value"})
+	root := plan.OrderBy(
+		plan.Filter(grouped, expr.GtI("value", threshold)),
+		0, plan.OrderKey{Col: "value", Desc: true})
+	return r.Run(root)
+}
+
+// Q12 counts late shipments by mode; the filtered lineitem is the build
+// side (Section 5.3.1's Q12 discussion).
+func Q12(db *DB, r *Runner) *plan.ExecResult {
+	lo := Date(1994, 1, 1)
+	hi := Date(1995, 1, 1)
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build: plan.Filter(
+			plan.Scan(db.Lineitem, "l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate", "l_shipdate"),
+			expr.And(
+				expr.InStr("l_shipmode", "MAIL", "SHIP"),
+				expr.LtCols("l_commitdate", "l_receiptdate"),
+				expr.LtCols("l_shipdate", "l_commitdate"),
+				expr.GeI("l_receiptdate", lo),
+				expr.LtI("l_receiptdate", hi))),
+		Probe:     plan.Scan(db.Orders, "o_orderkey", "o_orderpriority"),
+		BuildKeys: []string{"l_orderkey"}, ProbeKeys: []string{"o_orderkey"},
+		BuildPay: []string{"l_shipmode"},
+		ProbePay: []string{"o_orderpriority"},
+	}
+	cased := plan.Map(j1,
+		expr.PredI("high", expr.InStr("o_orderpriority", "1-URGENT", "2-HIGH")),
+		expr.PredI("low", expr.Not(expr.InStr("o_orderpriority", "1-URGENT", "2-HIGH"))))
+	root := plan.OrderBy(
+		plan.GroupBy(cased, []string{"l_shipmode"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "high", As: "high_line_count"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "low", As: "low_line_count"}),
+		0, plan.OrderKey{Col: "l_shipmode"})
+	return r.Run(root)
+}

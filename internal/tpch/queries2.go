@@ -1,0 +1,389 @@
+package tpch
+
+import (
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/expr"
+	"partitionjoin/internal/plan"
+)
+
+// Q14 computes the promotional revenue share for one month; lineitem's 1%
+// filtered slice is the build side joined against the full part relation
+// (Section 5.3.1's Q14 discussion).
+func Q14(db *DB, r *Runner) *plan.ExecResult {
+	lo := Date(1995, 9, 1)
+	hi := Date(1995, 10, 1)
+	var lineitem plan.Node
+	buildPay := []string{"l_extendedprice", "l_discount"}
+	if r.LM {
+		// LM only trims 8 B off the build side here; the paper notes
+		// the post-join random access outweighs that.
+		lineitem = plan.Filter(
+			plan.ScanRowID(db.Lineitem, "l_rid", "l_partkey", "l_shipdate"),
+			expr.And(expr.GeI("l_shipdate", lo), expr.LtI("l_shipdate", hi)))
+		buildPay = []string{"l_rid"}
+	} else {
+		lineitem = plan.Filter(
+			plan.Scan(db.Lineitem, "l_partkey", "l_shipdate", "l_extendedprice", "l_discount"),
+			expr.And(expr.GeI("l_shipdate", lo), expr.LtI("l_shipdate", hi)))
+	}
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build:     lineitem,
+		Probe:     plan.Scan(db.Part, "p_partkey", "p_type"),
+		BuildKeys: []string{"l_partkey"}, ProbeKeys: []string{"p_partkey"},
+		BuildPay: buildPay,
+		ProbePay: []string{"p_type"},
+	}
+	var joined plan.Node = j1
+	if r.LM {
+		joined = plan.LateLoad(j1, db.Lineitem, "l_rid", "l_extendedprice", "l_discount")
+	}
+	grouped := plan.GroupBy(
+		plan.Map(joined, rev(), expr.CaseI("promo", expr.PrefixStr("p_type", "PROMO"), "rev")),
+		nil,
+		plan.AggExpr{Kind: exec.AggSumI, Col: "promo", As: "num"},
+		plan.AggExpr{Kind: exec.AggSumI, Col: "rev", As: "den"})
+	return r.Run(plan.Map(grouped, expr.RatioF("promo_revenue", "num", "den", 100)))
+}
+
+// Q15 finds the suppliers with the maximum quarterly revenue.
+func Q15(db *DB, r *Runner) *plan.ExecResult {
+	lo := Date(1996, 1, 1)
+	hi := Date(1996, 4, 1)
+	revenue := plan.GroupBy(
+		plan.Map(plan.Filter(
+			plan.Scan(db.Lineitem, "l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"),
+			expr.And(expr.GeI("l_shipdate", lo), expr.LtI("l_shipdate", hi))),
+			rev()),
+		[]string{"l_suppkey"},
+		plan.AggExpr{Kind: exec.AggSumI, Col: "rev", As: "total_revenue"})
+	revRes := r.Run(revenue)
+	revTable := plan.TableFromResult("revenue0", revRes.Cols, revRes.Result)
+
+	maxRes := r.Run(plan.GroupBy(plan.Scan(revTable, "total_revenue"), nil,
+		plan.AggExpr{Kind: exec.AggMaxI, Col: "total_revenue", As: "m"}))
+	maxRev := maxRes.ScalarI64()
+
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(revTable, "l_suppkey", "total_revenue"),
+			expr.EqI("total_revenue", maxRev)),
+		Probe:     plan.Scan(db.Supplier, "s_suppkey", "s_name", "s_address", "s_phone"),
+		BuildKeys: []string{"l_suppkey"}, ProbeKeys: []string{"s_suppkey"},
+		BuildPay: []string{"total_revenue"},
+		ProbePay: []string{"s_suppkey", "s_name", "s_address", "s_phone"},
+	}
+	return r.Run(plan.OrderBy(j1, 0, plan.OrderKey{Col: "s_suppkey"}))
+}
+
+// Q16 counts suppliers per part attribute triple, excluding complained-
+// about suppliers via a probe-side anti join.
+func Q16(db *DB, r *Runner) *plan.ExecResult {
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Anti,
+		Build: plan.Filter(plan.Scan(db.Supplier, "s_suppkey", "s_comment"),
+			expr.Like("s_comment", "%Customer%Complaints%")),
+		Probe:     plan.Scan(db.PartSupp, "ps_partkey", "ps_suppkey"),
+		BuildKeys: []string{"s_suppkey"}, ProbeKeys: []string{"ps_suppkey"},
+		ProbePay: []string{"ps_partkey", "ps_suppkey"},
+	}
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(db.Part, "p_partkey", "p_brand", "p_type", "p_size"),
+			expr.And(
+				expr.NeStr("p_brand", "Brand#45"),
+				expr.NotLike("p_type", "MEDIUM POLISHED%"),
+				expr.InI("p_size", 49, 14, 23, 45, 19, 3, 36, 9))),
+		Probe:     j1,
+		BuildKeys: []string{"p_partkey"}, ProbeKeys: []string{"ps_partkey"},
+		BuildPay: []string{"p_brand", "p_type", "p_size"},
+		ProbePay: []string{"ps_suppkey"},
+	}
+	root := plan.OrderBy(
+		plan.GroupBy(j2, []string{"p_brand", "p_type", "p_size"},
+			plan.AggExpr{Kind: exec.AggCountDistinctI, Col: "ps_suppkey", As: "supplier_cnt"}),
+		0,
+		plan.OrderKey{Col: "supplier_cnt", Desc: true},
+		plan.OrderKey{Col: "p_brand"},
+		plan.OrderKey{Col: "p_type"},
+		plan.OrderKey{Col: "p_size"})
+	return r.Run(root)
+}
+
+// Q17 averages the yearly revenue loss of small-quantity orders. The
+// correlated average is unnested into a per-part aggregate; the quantity
+// comparison 5*qty*cnt < sum(qty) stays in exact integers.
+func Q17(db *DB, r *Runner) *plan.ExecResult {
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Semi,
+		Build: plan.Filter(plan.Scan(db.Part, "p_partkey", "p_brand", "p_container"),
+			expr.And(expr.EqStr("p_brand", "Brand#23"), expr.EqStr("p_container", "MED BOX"))),
+		Probe:     plan.Scan(db.Lineitem, "l_partkey", "l_quantity", "l_extendedprice"),
+		BuildKeys: []string{"p_partkey"}, ProbeKeys: []string{"l_partkey"},
+		ProbePay: []string{"l_partkey", "l_quantity", "l_extendedprice"},
+	}
+	liRes := r.Run(j1)
+	li := plan.TableFromResult("q17li", liRes.Cols, liRes.Result)
+
+	agg := plan.GroupBy(plan.Scan(li, "l_partkey", "l_quantity"),
+		[]string{"l_partkey"},
+		plan.AggExpr{Kind: exec.AggSumI, Col: "l_quantity", As: "sumqty"},
+		plan.AggExpr{Kind: exec.AggCount, As: "cnt"})
+	aggRes := r.Run(agg)
+	aggTable := plan.TableFromResult("q17agg", aggRes.Cols, aggRes.Result)
+
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build:     plan.Scan(aggTable, "l_partkey", "sumqty", "cnt"),
+		Probe:     plan.Rename(plan.Scan(li, "l_partkey", "l_quantity", "l_extendedprice"), "l_partkey", "li_partkey"),
+		BuildKeys: []string{"l_partkey"}, ProbeKeys: []string{"li_partkey"},
+		BuildPay: []string{"sumqty", "cnt"},
+		ProbePay: []string{"l_quantity", "l_extendedprice"},
+	}
+	small := plan.Filter(
+		plan.Map(plan.Map(j2, expr.MulI("qc", "l_quantity", "cnt")),
+			expr.MulConstI("qc5", "qc", 5)),
+		expr.LtCols("qc5", "sumqty"))
+	grouped := plan.GroupBy(small, nil,
+		plan.AggExpr{Kind: exec.AggSumI, Col: "l_extendedprice", As: "total"})
+	// avg_yearly in dollars = sum(cents) / 7 / 100.
+	return r.Run(plan.Map(grouped, expr.ScaleF("avg_yearly", "total", 1.0/700)))
+}
+
+// Q18 lists customers with very large orders.
+func Q18(db *DB, r *Runner) *plan.ExecResult {
+	bigRes := r.Run(plan.Filter(
+		plan.GroupBy(plan.Scan(db.Lineitem, "l_orderkey", "l_quantity"),
+			[]string{"l_orderkey"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "l_quantity", As: "sumqty"}),
+		expr.GtI("sumqty", 300)))
+	big := plan.TableFromResult("q18big", bigRes.Cols, bigRes.Result)
+
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build:     plan.Scan(big, "l_orderkey", "sumqty"),
+		Probe:     plan.Scan(db.Orders, "o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"),
+		BuildKeys: []string{"l_orderkey"}, ProbeKeys: []string{"o_orderkey"},
+		BuildPay: []string{"sumqty"},
+		ProbePay: []string{"o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"},
+	}
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build:     j1,
+		Probe:     plan.Scan(db.Customer, "c_custkey", "c_name"),
+		BuildKeys: []string{"o_custkey"}, ProbeKeys: []string{"c_custkey"},
+		BuildPay: []string{"o_orderkey", "o_totalprice", "o_orderdate", "sumqty"},
+		ProbePay: []string{"c_name", "c_custkey"},
+	}
+	root := plan.OrderBy(
+		plan.GroupBy(j2,
+			[]string{"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "sumqty", As: "sum_qty"}),
+		100,
+		plan.OrderKey{Col: "o_totalprice", Desc: true},
+		plan.OrderKey{Col: "o_orderdate"})
+	return r.Run(root)
+}
+
+// Q19 sums discounted revenue under three disjunctive brand/container/
+// quantity branches; partial filters are pushed below the join and the
+// full disjunction is evaluated after it.
+func Q19(db *DB, r *Runner) *plan.ExecResult {
+	part := plan.Filter(plan.Scan(db.Part, "p_partkey", "p_brand", "p_size", "p_container"),
+		expr.And(
+			expr.InStr("p_brand", "Brand#12", "Brand#23", "Brand#34"),
+			expr.BetweenI("p_size", 1, 15)))
+	line := plan.Filter(
+		plan.Scan(db.Lineitem, "l_partkey", "l_quantity", "l_extendedprice", "l_discount",
+			"l_shipinstruct", "l_shipmode"),
+		expr.And(
+			expr.InStr("l_shipmode", "AIR", "AIR REG"),
+			expr.EqStr("l_shipinstruct", "DELIVER IN PERSON"),
+			expr.BetweenI("l_quantity", 1, 30)))
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build:     part,
+		Probe:     line,
+		BuildKeys: []string{"p_partkey"}, ProbeKeys: []string{"l_partkey"},
+		BuildPay: []string{"p_brand", "p_size", "p_container"},
+		ProbePay: []string{"l_quantity", "l_extendedprice", "l_discount"},
+	}
+	branch := func(brand string, conts []string, qlo, qhi, smax int64) expr.Pred {
+		return expr.And(
+			expr.EqStr("p_brand", brand),
+			expr.InStr("p_container", conts...),
+			expr.BetweenI("l_quantity", qlo, qhi),
+			expr.BetweenI("p_size", 1, smax))
+	}
+	filtered := plan.Filter(j1, expr.Or(
+		branch("Brand#12", []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5),
+		branch("Brand#23", []string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10),
+		branch("Brand#34", []string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15)))
+	return r.Run(plan.GroupBy(plan.Map(filtered, rev()), nil,
+		plan.AggExpr{Kind: exec.AggSumI, Col: "rev", As: "revenue"}))
+}
+
+// Q20 finds Canadian suppliers with excess stock of forest parts.
+func Q20(db *DB, r *Runner) *plan.ExecResult {
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Semi,
+		Build: plan.Filter(plan.Scan(db.Part, "p_partkey", "p_name"),
+			expr.PrefixStr("p_name", "forest")),
+		Probe:     plan.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_availqty"),
+		BuildKeys: []string{"p_partkey"}, ProbeKeys: []string{"ps_partkey"},
+		ProbePay: []string{"ps_partkey", "ps_suppkey", "ps_availqty"},
+	}
+	shipped := plan.GroupBy(
+		plan.Filter(plan.Scan(db.Lineitem, "l_partkey", "l_suppkey", "l_quantity", "l_shipdate"),
+			expr.And(expr.GeI("l_shipdate", Date(1994, 1, 1)), expr.LtI("l_shipdate", Date(1995, 1, 1)))),
+		[]string{"l_partkey", "l_suppkey"},
+		plan.AggExpr{Kind: exec.AggSumI, Col: "l_quantity", As: "sumqty"})
+	shippedRes := r.Run(shipped)
+	shippedTable := plan.TableFromResult("q20shipped", shippedRes.Cols, shippedRes.Result)
+
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build:     plan.Scan(shippedTable, "l_partkey", "l_suppkey", "sumqty"),
+		Probe:     j1,
+		BuildKeys: []string{"l_partkey", "l_suppkey"},
+		ProbeKeys: []string{"ps_partkey", "ps_suppkey"},
+		BuildPay:  []string{"sumqty"},
+		ProbePay:  []string{"ps_suppkey", "ps_availqty"},
+	}
+	excess := plan.Filter(plan.Map(j2, expr.MulConstI("avail2", "ps_availqty", 2)),
+		expr.GtCols("avail2", "sumqty"))
+	suppRes := r.Run(plan.GroupBy(excess, []string{"ps_suppkey"}))
+	suppTable := plan.TableFromResult("q20supp", suppRes.Cols, suppRes.Result)
+
+	var supplier plan.Node
+	suppPay := []string{"s_name", "s_address", "s_nationkey"}
+	if r.LM {
+		supplier = plan.ScanRowID(db.Supplier, "s_rid", "s_suppkey", "s_nationkey")
+		suppPay = []string{"s_rid", "s_nationkey"}
+	} else {
+		supplier = plan.Scan(db.Supplier, "s_suppkey", "s_name", "s_address", "s_nationkey")
+	}
+	j3 := &plan.JoinNode{
+		ID: 3, Kind: core.Semi,
+		Build:     plan.Scan(suppTable, "ps_suppkey"),
+		Probe:     supplier,
+		BuildKeys: []string{"ps_suppkey"}, ProbeKeys: []string{"s_suppkey"},
+		ProbePay: suppPay,
+	}
+	j4Pay := []string{"s_name", "s_address"}
+	if r.LM {
+		j4Pay = []string{"s_rid"}
+	}
+	j4 := &plan.JoinNode{
+		ID: 4, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(db.Nation, "n_nationkey", "n_name"),
+			expr.EqStr("n_name", "CANADA")),
+		Probe:     j3,
+		BuildKeys: []string{"n_nationkey"}, ProbeKeys: []string{"s_nationkey"},
+		ProbePay: j4Pay,
+	}
+	var final plan.Node = j4
+	if r.LM {
+		// The paper's Q20 LM case: the two result text columns are
+		// only touched after all joins, cutting the carried width.
+		final = plan.LateLoad(j4, db.Supplier, "s_rid", "s_name", "s_address")
+	}
+	return r.Run(plan.OrderBy(final, 0, plan.OrderKey{Col: "s_name"}))
+}
+
+// Q21 counts suppliers whose deliveries were the sole blockers of
+// multi-supplier orders — the left-deep five-join tree of Figure 13 with a
+// build-side semi (join 4) and a build-side anti join (join 5).
+func Q21(db *DB, r *Runner) *plan.ExecResult {
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build: plan.Filter(plan.Scan(db.Nation, "n_nationkey", "n_name"),
+			expr.EqStr("n_name", "SAUDI ARABIA")),
+		Probe:     plan.Scan(db.Supplier, "s_suppkey", "s_nationkey", "s_name"),
+		BuildKeys: []string{"n_nationkey"}, ProbeKeys: []string{"s_nationkey"},
+		ProbePay: []string{"s_suppkey", "s_name"},
+	}
+	j2 := &plan.JoinNode{
+		ID: 2, Kind: core.Inner,
+		Build: j1,
+		Probe: plan.Rename(plan.Filter(
+			plan.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"),
+			expr.GtCols("l_receiptdate", "l_commitdate")),
+			"l_orderkey", "l1_orderkey", "l_suppkey", "l1_suppkey"),
+		BuildKeys: []string{"s_suppkey"}, ProbeKeys: []string{"l1_suppkey"},
+		BuildPay: []string{"s_name"},
+		ProbePay: []string{"l1_orderkey", "l1_suppkey"},
+	}
+	j3 := &plan.JoinNode{
+		ID: 3, Kind: core.Semi,
+		Build: plan.Filter(plan.Scan(db.Orders, "o_orderkey", "o_orderstatus"),
+			expr.EqStr("o_orderstatus", "F")),
+		Probe:     j2,
+		BuildKeys: []string{"o_orderkey"}, ProbeKeys: []string{"l1_orderkey"},
+		ProbePay: []string{"s_name", "l1_orderkey", "l1_suppkey"},
+	}
+	j4 := &plan.JoinNode{
+		ID: 4, Kind: core.LeftSemi,
+		Build:     j3,
+		Probe:     plan.Scan(db.Lineitem, "l_orderkey", "l_suppkey"),
+		BuildKeys: []string{"l1_orderkey"}, ProbeKeys: []string{"l_orderkey"},
+		BuildPay:   []string{"s_name", "l1_orderkey", "l1_suppkey"},
+		ResidualNe: [][2]string{{"l1_suppkey", "l_suppkey"}},
+	}
+	j5 := &plan.JoinNode{
+		ID: 5, Kind: core.LeftAnti,
+		Build: j4,
+		Probe: plan.Filter(
+			plan.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"),
+			expr.GtCols("l_receiptdate", "l_commitdate")),
+		BuildKeys: []string{"l1_orderkey"}, ProbeKeys: []string{"l_orderkey"},
+		BuildPay:   []string{"s_name"},
+		ResidualNe: [][2]string{{"l1_suppkey", "l_suppkey"}},
+	}
+	root := plan.OrderBy(
+		plan.GroupBy(j5, []string{"s_name"},
+			plan.AggExpr{Kind: exec.AggCount, As: "numwait"}),
+		100,
+		plan.OrderKey{Col: "numwait", Desc: true},
+		plan.OrderKey{Col: "s_name"})
+	return r.Run(root)
+}
+
+// Q22 counts well-funded customers without orders per country code — the
+// build-side anti join (customer build, unfiltered orders probe) where the
+// BRJ achieves its single TPC-H win (Section 5.3.2).
+func Q22(db *DB, r *Runner) *plan.ExecResult {
+	codes := []string{"13", "31", "23", "29", "30", "18", "17"}
+	withCode := func(n plan.Node) plan.Node {
+		return plan.Filter(plan.Map(n, expr.SubStrI("cntrycode", "c_phone", 1, 2)),
+			expr.InStr("cntrycode", codes...))
+	}
+	avgRes := r.Run(plan.GroupBy(
+		plan.Filter(withCode(plan.Scan(db.Customer, "c_phone", "c_acctbal")),
+			expr.GtI("c_acctbal", 0)),
+		nil,
+		plan.AggExpr{Kind: exec.AggSumI, Col: "c_acctbal", As: "s"},
+		plan.AggExpr{Kind: exec.AggCount, As: "n"}))
+	sum := avgRes.Result.Vecs[0].I64[0]
+	cnt := avgRes.Result.Vecs[1].I64[0]
+
+	// c_acctbal > avg  <=>  c_acctbal * n > sum, exactly.
+	rich := plan.Filter(
+		plan.Map(withCode(plan.Scan(db.Customer, "c_custkey", "c_phone", "c_acctbal")),
+			expr.MulConstI("baln", "c_acctbal", cnt)),
+		expr.GtI("baln", sum))
+	j1 := &plan.JoinNode{
+		ID: 1, Kind: core.LeftAnti,
+		Build:     rich,
+		Probe:     plan.Scan(db.Orders, "o_custkey"),
+		BuildKeys: []string{"c_custkey"}, ProbeKeys: []string{"o_custkey"},
+		BuildPay: []string{"cntrycode", "c_acctbal"},
+	}
+	root := plan.OrderBy(
+		plan.GroupBy(j1, []string{"cntrycode"},
+			plan.AggExpr{Kind: exec.AggCount, As: "numcust"},
+			plan.AggExpr{Kind: exec.AggSumI, Col: "c_acctbal", As: "totacctbal"}),
+		0, plan.OrderKey{Col: "cntrycode"})
+	return r.Run(root)
+}

@@ -1,0 +1,277 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"partitionjoin/internal/plan"
+)
+
+// These tests validate selected queries against references computed
+// directly from the generated arrays with plain Go loops — independent of
+// the join, pipeline, and aggregation machinery.
+
+func runForTest(q int, algo plan.JoinAlgo) *plan.ExecResult {
+	opts := plan.DefaultOptions()
+	opts.Algo = algo
+	opts.Workers = 2
+	opts.Core.CacheBudget = 16 << 10
+	r := &Runner{Opts: opts}
+	return Queries[q](testDB, r)
+}
+
+func TestQ4AgainstDirectComputation(t *testing.T) {
+	lo, hi := Date(1993, 7, 1), Date(1993, 10, 1)
+	late := map[int64]bool{}
+	lOrder := testDB.Lineitem.Int64Col("l_orderkey")
+	lCommit := testDB.Lineitem.Int64Col("l_commitdate")
+	lReceipt := testDB.Lineitem.Int64Col("l_receiptdate")
+	for i := range lOrder {
+		if lCommit[i] < lReceipt[i] {
+			late[lOrder[i]] = true
+		}
+	}
+	want := map[string]int64{}
+	oKey := testDB.Orders.Int64Col("o_orderkey")
+	oDate := testDB.Orders.Int64Col("o_orderdate")
+	oPrio := testDB.Orders.StringCol("o_orderpriority")
+	for i := range oKey {
+		if oDate[i] >= lo && oDate[i] < hi && late[oKey[i]] {
+			want[string(oPrio.Value(i))]++
+		}
+	}
+	for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.RJ, plan.BRJ} {
+		res := runForTest(4, algo)
+		if res.Result.NumRows() != len(want) {
+			t.Fatalf("%v: %d priorities, want %d", algo, res.Result.NumRows(), len(want))
+		}
+		for i := 0; i < res.Result.NumRows(); i++ {
+			prio := string(res.Result.Vecs[0].Str[i])
+			if got := res.Result.Vecs[1].I64[i]; got != want[prio] {
+				t.Fatalf("%v: priority %s count %d, want %d", algo, prio, got, want[prio])
+			}
+		}
+	}
+}
+
+func TestQ12AgainstDirectComputation(t *testing.T) {
+	lo, hi := Date(1994, 1, 1), Date(1995, 1, 1)
+	li := testDB.Lineitem
+	lOrder := li.Int64Col("l_orderkey")
+	lShip := li.Int64Col("l_shipdate")
+	lCommit := li.Int64Col("l_commitdate")
+	lReceipt := li.Int64Col("l_receiptdate")
+	lMode := li.StringCol("l_shipmode")
+	prioOf := map[int64]string{}
+	oKey := testDB.Orders.Int64Col("o_orderkey")
+	oPrio := testDB.Orders.StringCol("o_orderpriority")
+	for i := range oKey {
+		prioOf[oKey[i]] = string(oPrio.Value(i))
+	}
+	type counts struct{ high, low int64 }
+	want := map[string]*counts{}
+	for i := range lOrder {
+		mode := string(lMode.Value(i))
+		if mode != "MAIL" && mode != "SHIP" {
+			continue
+		}
+		if !(lShip[i] < lCommit[i] && lCommit[i] < lReceipt[i] &&
+			lReceipt[i] >= lo && lReceipt[i] < hi) {
+			continue
+		}
+		p := prioOf[lOrder[i]]
+		c := want[mode]
+		if c == nil {
+			c = &counts{}
+			want[mode] = c
+		}
+		if p == "1-URGENT" || p == "2-HIGH" {
+			c.high++
+		} else {
+			c.low++
+		}
+	}
+	res := runForTest(12, plan.RJ)
+	if res.Result.NumRows() != len(want) {
+		t.Fatalf("%d ship modes, want %d", res.Result.NumRows(), len(want))
+	}
+	for i := 0; i < res.Result.NumRows(); i++ {
+		mode := string(res.Result.Vecs[0].Str[i])
+		w := want[mode]
+		if res.Result.Vecs[1].I64[i] != w.high || res.Result.Vecs[2].I64[i] != w.low {
+			t.Fatalf("mode %s: got (%d,%d), want (%d,%d)", mode,
+				res.Result.Vecs[1].I64[i], res.Result.Vecs[2].I64[i], w.high, w.low)
+		}
+	}
+}
+
+func TestQ22AgainstDirectComputation(t *testing.T) {
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true,
+		"30": true, "18": true, "17": true}
+	cKey := testDB.Customer.Int64Col("c_custkey")
+	cPhone := testDB.Customer.StringCol("c_phone")
+	cBal := testDB.Customer.Int64Col("c_acctbal")
+	hasOrder := map[int64]bool{}
+	for _, c := range testDB.Orders.Int64Col("o_custkey") {
+		hasOrder[c] = true
+	}
+	var sum, cnt int64
+	for i := range cKey {
+		code := string(cPhone.Value(i)[:2])
+		if codes[code] && cBal[i] > 0 {
+			sum += cBal[i]
+			cnt++
+		}
+	}
+	type agg struct{ n, bal int64 }
+	want := map[string]*agg{}
+	for i := range cKey {
+		code := string(cPhone.Value(i)[:2])
+		if !codes[code] || hasOrder[cKey[i]] {
+			continue
+		}
+		// c_acctbal > avg  <=>  c_acctbal * cnt > sum.
+		if cBal[i]*cnt <= sum {
+			continue
+		}
+		a := want[code]
+		if a == nil {
+			a = &agg{}
+			want[code] = a
+		}
+		a.n++
+		a.bal += cBal[i]
+	}
+	for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.BRJ} {
+		res := runForTest(22, algo)
+		if res.Result.NumRows() != len(want) {
+			t.Fatalf("%v: %d country codes, want %d", algo, res.Result.NumRows(), len(want))
+		}
+		for i := 0; i < res.Result.NumRows(); i++ {
+			code := string(res.Result.Vecs[0].Str[i])
+			w := want[code]
+			if w == nil || res.Result.Vecs[1].I64[i] != w.n || res.Result.Vecs[2].I64[i] != w.bal {
+				t.Fatalf("%v code %s: got (%d,%d)", algo, code,
+					res.Result.Vecs[1].I64[i], res.Result.Vecs[2].I64[i])
+			}
+		}
+	}
+}
+
+func TestQ14AgainstDirectComputation(t *testing.T) {
+	lo, hi := Date(1995, 9, 1), Date(1995, 10, 1)
+	li := testDB.Lineitem
+	lPart := li.Int64Col("l_partkey")
+	lShip := li.Int64Col("l_shipdate")
+	lPrice := li.Int64Col("l_extendedprice")
+	lDisc := li.Int64Col("l_discount")
+	pType := testDB.Part.StringCol("p_type")
+	var num, den int64
+	for i := range lPart {
+		if lShip[i] < lo || lShip[i] >= hi {
+			continue
+		}
+		rev := lPrice[i] * (100 - lDisc[i])
+		den += rev
+		typ := pType.Value(int(lPart[i] - 1)) // partkeys are dense from 1
+		if len(typ) >= 5 && string(typ[:5]) == "PROMO" {
+			num += rev
+		}
+	}
+	want := 100 * float64(num) / float64(den)
+	res := runForTest(14, plan.BRJ)
+	// Output columns: num, den, promo_revenue.
+	got := res.Result.Vecs[2].F64[0]
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("promo revenue %.9f, want %.9f", got, want)
+	}
+}
+
+func TestQ11ThresholdSemantics(t *testing.T) {
+	// Every returned value must exceed 0.0001 * total value.
+	res := runForTest(11, plan.RJ)
+	st := plan.NewStatsCollector()
+	_ = st
+	var total int64
+	psCost := testDB.PartSupp.Int64Col("ps_supplycost")
+	psQty := testDB.PartSupp.Int64Col("ps_availqty")
+	psSupp := testDB.PartSupp.Int64Col("ps_suppkey")
+	german := map[int64]bool{}
+	sKey := testDB.Supplier.Int64Col("s_suppkey")
+	sNat := testDB.Supplier.Int64Col("s_nationkey")
+	nName := testDB.Nation.StringCol("n_name")
+	for i := range sKey {
+		if string(nName.Value(int(sNat[i]))) == "GERMANY" {
+			german[sKey[i]] = true
+		}
+	}
+	for i := range psCost {
+		if german[psSupp[i]] {
+			total += psCost[i] * psQty[i]
+		}
+	}
+	threshold := total / 10000
+	for i := 0; i < res.Result.NumRows(); i++ {
+		if v := res.Result.Vecs[1].I64[i]; v <= threshold {
+			t.Fatalf("row %d value %d below threshold %d", i, v, threshold)
+		}
+	}
+	// Descending order.
+	for i := 1; i < res.Result.NumRows(); i++ {
+		if res.Result.Vecs[1].I64[i] > res.Result.Vecs[1].I64[i-1] {
+			t.Fatal("values not descending")
+		}
+	}
+}
+
+func TestJoinStatsCollectedForEveryJoin(t *testing.T) {
+	for _, q := range QueryNumbers {
+		stats := plan.NewStatsCollector()
+		opts := plan.DefaultOptions()
+		opts.Stats = stats
+		r := &Runner{Opts: opts}
+		Queries[q](testDB, r)
+		joins := stats.Joins()
+		if len(joins) != JoinCounts[q] {
+			ids := make([]int, len(joins))
+			for i, s := range joins {
+				ids[i] = s.ID
+			}
+			t.Errorf("Q%d: collected %d join stats %v, JoinCounts says %d",
+				q, len(joins), ids, JoinCounts[q])
+		}
+		for _, s := range joins {
+			if s.BuildTupleBytes < 16 || s.ProbeTupleBytes < 16 {
+				t.Errorf("Q%d join %d: implausible tuple widths %d/%d",
+					q, s.ID, s.BuildTupleBytes, s.ProbeTupleBytes)
+			}
+		}
+	}
+}
+
+func TestFig13ReportsFiveJoins(t *testing.T) {
+	tab := Fig13(testDB, 2)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Q21 tree has %d joins, want 5", len(tab.Rows))
+	}
+	kinds := []string{"inner", "inner", "semi", "leftsemi", "leftanti"}
+	for i, row := range tab.Rows {
+		if row[1] != kinds[i] {
+			t.Fatalf("join %d kind %s, want %s (row %v)", i+1, row[1], kinds[i], row)
+		}
+	}
+}
+
+func TestRunnerAccumulatesStages(t *testing.T) {
+	opts := plan.DefaultOptions()
+	r := &Runner{Opts: opts}
+	Queries[11](testDB, r) // two-stage query
+	if r.Rows <= int64(testDB.PartSupp.NumRows()) {
+		t.Fatalf("multi-stage source rows %d too low", r.Rows)
+	}
+}
+
+func ExampleDate() {
+	fmt.Println(Date(1970, 1, 1), Date(1992, 1, 1)-Date(1991, 12, 31))
+	// Output: 0 1
+}

@@ -1,0 +1,109 @@
+package tpch
+
+import "math/rand"
+
+// Word pools for generated text. The part-name pool is the specification's
+// color list (p_name is five distinct colors), which keeps Q9's
+// "p_name LIKE '%green%'" filter meaningful.
+var partNameWords = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+	"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+	"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+	"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+	"hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+	"light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+	"mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+	"pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple",
+	"red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+	"sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle",
+	"tomato", "turquoise", "violet", "wheat", "white", "yellow",
+}
+
+// commentWords is a small corpus for comment columns; lengths are drawn
+// per the specification's ranges so payload-size statistics (Figure 2)
+// stay representative.
+var commentWords = []string{
+	"the", "furiously", "carefully", "express", "regular", "final", "ironic",
+	"pending", "bold", "special", "quickly", "slyly", "blithely", "even",
+	"requests", "deposits", "packages", "accounts", "instructions", "foxes",
+	"ideas", "theodolites", "pinto", "beans", "platelets", "dependencies",
+	"excuses", "asymptotes", "courts", "dolphins", "multipliers", "sauternes",
+	"warthogs", "frets", "dinos", "attainments", "somas", "sheaves",
+}
+
+var typeSyllable1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyllable2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyllable3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+var containerSyllable1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+var containerSyllable2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+// nations lists the specification's 25 nations with their region keys.
+var nations = []struct {
+	Name      string
+	RegionKey int64
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1}, {"EGYPT", 4},
+	{"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3}, {"INDIA", 2}, {"INDONESIA", 2},
+	{"IRAN", 4}, {"IRAQ", 4}, {"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0},
+	{"MOROCCO", 0}, {"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3}, {"UNITED KINGDOM", 3},
+	{"UNITED STATES", 1},
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// comment appends a random comment of length in [lo, hi] bytes to buf and
+// returns it; word-by-word so the text looks like dbgen's grammar output.
+func comment(buf []byte, rng *rand.Rand, lo, hi int) []byte {
+	want := lo + rng.Intn(hi-lo+1)
+	for len(buf) < want {
+		if len(buf) > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, commentWords[rng.Intn(len(commentWords))]...)
+	}
+	if len(buf) > want {
+		buf = buf[:want]
+	}
+	return buf
+}
+
+// phone renders the spec's phone format CC-nnn-nnn-nnnn for a nation key.
+func phone(buf []byte, rng *rand.Rand, nationKey int64) []byte {
+	cc := 10 + nationKey
+	buf = appendInt(buf, cc, 2)
+	buf = append(buf, '-')
+	buf = appendInt(buf, int64(100+rng.Intn(900)), 3)
+	buf = append(buf, '-')
+	buf = appendInt(buf, int64(100+rng.Intn(900)), 3)
+	buf = append(buf, '-')
+	buf = appendInt(buf, int64(1000+rng.Intn(9000)), 4)
+	return buf
+}
+
+// appendInt renders v zero-padded to width digits.
+func appendInt(buf []byte, v int64, width int) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	if v == 0 {
+		i--
+		tmp[i] = '0'
+	}
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	for len(tmp)-i < width {
+		i--
+		tmp[i] = '0'
+	}
+	return append(buf, tmp[i:]...)
+}

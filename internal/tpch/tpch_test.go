@@ -1,0 +1,226 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/storage"
+)
+
+const testSF = 0.01
+
+var testDB = Generate(testSF, 1)
+
+func TestGenerateCardinalities(t *testing.T) {
+	if got := testDB.Region.NumRows(); got != 5 {
+		t.Fatalf("region: %d rows", got)
+	}
+	if got := testDB.Nation.NumRows(); got != 25 {
+		t.Fatalf("nation: %d rows", got)
+	}
+	if got := testDB.Supplier.NumRows(); got != 100 {
+		t.Fatalf("supplier: %d rows, want 100", got)
+	}
+	if got := testDB.Customer.NumRows(); got != 1500 {
+		t.Fatalf("customer: %d rows, want 1500", got)
+	}
+	if got := testDB.Part.NumRows(); got != 2000 {
+		t.Fatalf("part: %d rows, want 2000", got)
+	}
+	if got := testDB.PartSupp.NumRows(); got != 8000 {
+		t.Fatalf("partsupp: %d rows, want 8000", got)
+	}
+	if got := testDB.Orders.NumRows(); got != 15000 {
+		t.Fatalf("orders: %d rows, want 15000", got)
+	}
+	lines := testDB.Lineitem.NumRows()
+	if lines < 15000 || lines > 15000*7 {
+		t.Fatalf("lineitem: %d rows, want ~60000", lines)
+	}
+	for _, tbl := range testDB.Tables() {
+		if err := tbl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	other := Generate(testSF, 1)
+	if other.Lineitem.NumRows() != testDB.Lineitem.NumRows() {
+		t.Fatal("lineitem cardinality differs between runs")
+	}
+	a := testDB.Lineitem.Int64Col("l_extendedprice")
+	b := other.Lineitem.Int64Col("l_extendedprice")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := testDB.Part.StringCol("p_name")
+	d := other.Part.StringCol("p_name")
+	for i := 0; i < c.Len(); i++ {
+		if string(c.Value(i)) != string(d.Value(i)) {
+			t.Fatalf("p_name %d differs", i)
+		}
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	// Every (l_partkey, l_suppkey) must exist in partsupp.
+	ps := map[[2]int64]bool{}
+	pk := testDB.PartSupp.Int64Col("ps_partkey")
+	sk := testDB.PartSupp.Int64Col("ps_suppkey")
+	for i := range pk {
+		ps[[2]int64{pk[i], sk[i]}] = true
+	}
+	lp := testDB.Lineitem.Int64Col("l_partkey")
+	ls := testDB.Lineitem.Int64Col("l_suppkey")
+	for i := range lp {
+		if !ps[[2]int64{lp[i], ls[i]}] {
+			t.Fatalf("lineitem %d references missing partsupp (%d,%d)", i, lp[i], ls[i])
+		}
+	}
+	// Customers divisible by 3 never place orders (Q22's anti join
+	// depends on a populated complement).
+	for i, c := range testDB.Orders.Int64Col("o_custkey") {
+		if c%3 == 0 {
+			t.Fatalf("order %d placed by custkey %d (divisible by 3)", i, c)
+		}
+		if c < 1 || c > int64(testDB.Customer.NumRows()) {
+			t.Fatalf("order %d has out-of-range custkey %d", i, c)
+		}
+	}
+	// Ship/commit/receipt ordering invariants.
+	sd := testDB.Lineitem.Int64Col("l_shipdate")
+	rd := testDB.Lineitem.Int64Col("l_receiptdate")
+	od := map[int64]int64{}
+	for i, k := range testDB.Orders.Int64Col("o_orderkey") {
+		od[k] = testDB.Orders.Int64Col("o_orderdate")[i]
+	}
+	for i, k := range testDB.Lineitem.Int64Col("l_orderkey") {
+		if sd[i] <= od[k] {
+			t.Fatalf("lineitem %d shipped before its order date", i)
+		}
+		if rd[i] <= sd[i] {
+			t.Fatalf("lineitem %d received before shipping", i)
+		}
+	}
+}
+
+// fingerprint renders a result as sorted text for cross-algorithm diffs.
+func fingerprint(r *exec.Result) string {
+	r.SortRows()
+	var sb strings.Builder
+	for i := 0; i < r.NumRows(); i++ {
+		for c := range r.Vecs {
+			v := &r.Vecs[c]
+			switch v.T {
+			case storage.Float64:
+				fmt.Fprintf(&sb, "%.6f|", v.F64[i])
+			case storage.String:
+				fmt.Fprintf(&sb, "%s|", v.Str[i])
+			default:
+				fmt.Fprintf(&sb, "%d|", v.I64[i])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func runQuery(q int, algo plan.JoinAlgo, workers int, lm bool) (string, int) {
+	opts := plan.DefaultOptions()
+	opts.Algo = algo
+	opts.Workers = workers
+	// Small cache budget so radix joins really partition at SF 0.01.
+	opts.Core.CacheBudget = 16 << 10
+	r := &Runner{Opts: opts, LM: lm}
+	res := Queries[q](testDB, r)
+	return fingerprint(res.Result), res.Result.NumRows()
+}
+
+func TestQueriesAgreeAcrossAlgorithms(t *testing.T) {
+	for _, q := range QueryNumbers {
+		q := q
+		t.Run(fmt.Sprintf("Q%d", q), func(t *testing.T) {
+			ref, rows := runQuery(q, plan.BHJ, 1, false)
+			for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.RJ, plan.BRJ} {
+				for _, workers := range []int{1, 4} {
+					got, grows := runQuery(q, algo, workers, false)
+					if got != ref {
+						t.Fatalf("Q%d %v w%d: result differs from BHJ/w1 (%d vs %d rows)",
+							q, algo, workers, grows, rows)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQueriesAgreeWithLateMaterialization(t *testing.T) {
+	// Queries with an LM variant must return identical results.
+	for _, q := range []int{3, 5, 8, 14, 20} {
+		q := q
+		t.Run(fmt.Sprintf("Q%d", q), func(t *testing.T) {
+			ref, _ := runQuery(q, plan.BHJ, 2, false)
+			for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.RJ, plan.BRJ} {
+				got, _ := runQuery(q, algo, 2, true)
+				if got != ref {
+					t.Fatalf("Q%d %v LM: result differs from early materialization", q, algo)
+				}
+			}
+		})
+	}
+}
+
+func TestQueriesAgreeAcrossPerJoinSwaps(t *testing.T) {
+	// The Figure 12 methodology: fix all joins to one algorithm, swap a
+	// single join, and verify results never change.
+	for _, q := range []int{5, 21, 22} {
+		ref, _ := runQuery(q, plan.BHJ, 2, false)
+		for j := 1; j <= JoinCounts[q]; j++ {
+			opts := plan.DefaultOptions()
+			opts.Algo = plan.BHJ
+			opts.Workers = 2
+			opts.Core.CacheBudget = 16 << 10
+			opts.PerJoin = map[int]plan.JoinAlgo{j: plan.BRJ}
+			r := &Runner{Opts: opts}
+			res := Queries[q](testDB, r)
+			if got := fingerprint(res.Result); got != ref {
+				t.Fatalf("Q%d with join %d swapped to BRJ changed the result", q, j)
+			}
+		}
+	}
+}
+
+func TestSelectedQueriesProduceRows(t *testing.T) {
+	// Sanity: these queries must be non-empty even at SF 0.01 (Q19's
+	// conjunctive selectivity ~1e-5 legitimately yields zero rows here).
+	for _, q := range []int{3, 4, 5, 10, 11, 12, 14, 16, 22} {
+		_, rows := runQuery(q, plan.BHJ, 2, false)
+		if rows == 0 {
+			t.Errorf("Q%d returned no rows at SF %v", q, testSF)
+		}
+	}
+}
+
+func TestThroughputMetricCountsSources(t *testing.T) {
+	opts := plan.DefaultOptions()
+	opts.Workers = 2
+	r := &Runner{Opts: opts}
+	Queries[14](testDB, r)
+	// Q14 scans lineitem and part at least once each.
+	min := int64(testDB.Lineitem.NumRows())
+	if r.Rows < min {
+		t.Fatalf("source rows %d below lineitem cardinality %d", r.Rows, min)
+	}
+	if r.Dur <= 0 {
+		t.Fatal("no duration recorded")
+	}
+	if r.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}

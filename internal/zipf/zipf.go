@@ -1,0 +1,63 @@
+// Package zipf generates Zipf-distributed keys for the skew experiments
+// (Section 5.4.5). The same construction Balkesen et al. use: draw rank r
+// from the Zipfian CDF over n items, so that with exponent z more than 50%
+// of the probes hit the first 20% of the build relation once z > 1.
+//
+// math/rand's Zipf requires s > 1; the paper sweeps z from 0 (uniform)
+// through 2, so we implement the classic inverse-CDF method that covers the
+// full range.
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Generator draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^z. z = 0 degenerates to the uniform distribution.
+type Generator struct {
+	n   int
+	z   float64
+	cdf []float64 // cumulative probability per rank; nil when z == 0
+	rng *rand.Rand
+}
+
+// New builds a generator over n items with exponent z, seeded with seed.
+// Building the CDF is O(n); drawing is O(log n).
+func New(n int, z float64, seed int64) *Generator {
+	g := &Generator{n: n, z: z, rng: rand.New(rand.NewSource(seed))}
+	if z != 0 {
+		g.cdf = make([]float64, n)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += 1.0 / math.Pow(float64(i+1), z)
+			g.cdf[i] = sum
+		}
+		inv := 1.0 / sum
+		for i := range g.cdf {
+			g.cdf[i] *= inv
+		}
+		g.cdf[n-1] = 1.0
+	}
+	return g
+}
+
+// N returns the domain size.
+func (g *Generator) N() int { return g.n }
+
+// Next draws one rank in [0, n).
+func (g *Generator) Next() int {
+	if g.cdf == nil {
+		return g.rng.Intn(g.n)
+	}
+	u := g.rng.Float64()
+	return sort.SearchFloat64s(g.cdf, u)
+}
+
+// Fill populates dst with draws.
+func (g *Generator) Fill(dst []int64) {
+	for i := range dst {
+		dst[i] = int64(g.Next())
+	}
+}

@@ -1,0 +1,108 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformWhenZZero(t *testing.T) {
+	g := New(100, 0, 1)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	for r, c := range counts {
+		if c < n/100/2 || c > n/100*2 {
+			t.Fatalf("rank %d count %d far from uniform %d", r, c, n/100)
+		}
+	}
+}
+
+func TestRanksInDomain(t *testing.T) {
+	for _, z := range []float64{0, 0.5, 1, 1.5, 2} {
+		g := New(1000, z, 7)
+		for i := 0; i < 10000; i++ {
+			r := g.Next()
+			if r < 0 || r >= 1000 {
+				t.Fatalf("z=%v: rank %d out of domain", z, r)
+			}
+		}
+	}
+}
+
+func TestSkewConcentratesMass(t *testing.T) {
+	// The paper's Section 5.4.5: with z > 1 more than 50% of tuples hit
+	// the first 20% of the build relation.
+	g := New(1000, 1.25, 3)
+	const n = 200000
+	inTop := 0
+	for i := 0; i < n; i++ {
+		if g.Next() < 200 {
+			inTop++
+		}
+	}
+	if frac := float64(inTop) / n; frac < 0.5 {
+		t.Fatalf("z=1.25: top-20%% mass %.3f, want > 0.5", frac)
+	}
+}
+
+func TestHigherZMoreSkew(t *testing.T) {
+	mass := func(z float64) float64 {
+		g := New(1000, z, 11)
+		hit := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if g.Next() == 0 {
+				hit++
+			}
+		}
+		return float64(hit) / n
+	}
+	m05, m20 := mass(0.5), mass(2.0)
+	if m20 <= m05 {
+		t.Fatalf("rank-0 mass should grow with z: z=0.5 -> %.4f, z=2 -> %.4f", m05, m20)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, b := New(500, 1, 42), New(500, 1, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestFill(t *testing.T) {
+	g := New(10, 1, 5)
+	dst := make([]int64, 256)
+	g.Fill(dst)
+	for _, v := range dst {
+		if v < 0 || v >= 10 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+}
+
+func TestTheoreticalFirstRankFrequency(t *testing.T) {
+	// For z=1, P(rank 0) = 1/H_n; check the empirical frequency.
+	n := 100
+	hn := 0.0
+	for i := 1; i <= n; i++ {
+		hn += 1.0 / float64(i)
+	}
+	g := New(n, 1, 9)
+	hits := 0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		if g.Next() == 0 {
+			hits++
+		}
+	}
+	want := 1.0 / hn
+	got := float64(hits) / draws
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("P(rank 0) = %.4f, theory %.4f", got, want)
+	}
+}
