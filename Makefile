@@ -1,0 +1,23 @@
+# Tier-1 gate: everything a change must pass before it lands. The fault
+# injection suite runs twice to catch armed-fault leakage across runs.
+.PHONY: check build test race faultinject vet bench
+
+check: vet build race faultinject
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+faultinject:
+	go test -run TestFaultInjection -count=2 ./...
+
+bench:
+	go test -bench=. -benchtime=1x -run '^$$' .

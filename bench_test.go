@@ -39,6 +39,18 @@ func logTable(b *testing.B, t *bench.Table) {
 	t.Print(func(format string, args ...any) { b.Logf(format, args...) })
 }
 
+// logT adapts logTable for the (Table, error) experiment harnesses:
+// logT(b)(bench.Fig8(...)) fails the benchmark on error and logs otherwise.
+func logT(b *testing.B) func(*bench.Table, error) {
+	return func(t *bench.Table, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, t)
+	}
+}
+
 func singleRun(b *testing.B) {
 	b.Helper()
 	bench.Runs = 1
@@ -57,7 +69,7 @@ func BenchmarkTable1WorkloadsAB(b *testing.B) {
 func BenchmarkFig2WorkloadStats(b *testing.B) {
 	db := tpchDB()
 	for i := 0; i < b.N; i++ {
-		logTable(b, tpch.Fig2(db, 0))
+		logT(b)(tpch.Fig2(db, 0))
 	}
 }
 
@@ -66,7 +78,7 @@ func BenchmarkFig2WorkloadStats(b *testing.B) {
 func BenchmarkFig8Scalability(b *testing.B) {
 	singleRun(b)
 	for i := 0; i < b.N; i++ {
-		logTable(b, bench.Fig8(microScale/2, []int{1, 2}, core.DefaultConfig()))
+		logT(b)(bench.Fig8(microScale/2, []int{1, 2}, core.DefaultConfig()))
 	}
 }
 
@@ -74,7 +86,7 @@ func BenchmarkFig8Scalability(b *testing.B) {
 // (Figure 10, PCM substitute).
 func BenchmarkFig10Bandwidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logTable(b, bench.Fig10(microScale/2, core.DefaultConfig()))
+		logT(b)(bench.Fig10(microScale/2, core.DefaultConfig()))
 	}
 }
 
@@ -83,7 +95,7 @@ func BenchmarkFig10Bandwidth(b *testing.B) {
 func BenchmarkFig11TPCH(b *testing.B) {
 	db := tpchDB()
 	for i := 0; i < b.N; i++ {
-		logTable(b, tpch.Fig11(db, 0, 1))
+		logT(b)(tpch.Fig11(db, 0, 1))
 	}
 }
 
@@ -92,7 +104,11 @@ func BenchmarkFig11TPCH(b *testing.B) {
 func BenchmarkFig1JoinScatter(b *testing.B) {
 	db := tpchDB()
 	for i := 0; i < b.N; i++ {
-		logTable(b, tpch.Fig1Table(tpch.Fig1(db, 0, 1), db.SF))
+		points, err := tpch.Fig1(db, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTable(b, tpch.Fig1Table(points, db.SF))
 	}
 }
 
@@ -101,7 +117,7 @@ func BenchmarkFig1JoinScatter(b *testing.B) {
 func BenchmarkFig12PerJoin(b *testing.B) {
 	db := tpchDB()
 	for i := 0; i < b.N; i++ {
-		logTable(b, tpch.Fig12(db, 0, 1, []int{5, 7, 8, 9, 21, 22}))
+		logT(b)(tpch.Fig12(db, 0, 1, []int{5, 7, 8, 9, 21, 22}))
 	}
 }
 
@@ -110,7 +126,7 @@ func BenchmarkFig12PerJoin(b *testing.B) {
 func BenchmarkFig13Q21Tree(b *testing.B) {
 	db := tpchDB()
 	for i := 0; i < b.N; i++ {
-		logTable(b, tpch.Fig13(db, 0))
+		logT(b)(tpch.Fig13(db, 0))
 	}
 }
 
@@ -118,7 +134,7 @@ func BenchmarkFig13Q21Tree(b *testing.B) {
 func BenchmarkFig14Selectivity(b *testing.B) {
 	singleRun(b)
 	for i := 0; i < b.N; i++ {
-		logTable(b, bench.Fig14(microScale, []float64{0, 0.05, 0.25, 0.5, 1}, core.DefaultConfig()))
+		logT(b)(bench.Fig14(microScale, []float64{0, 0.05, 0.25, 0.5, 1}, core.DefaultConfig()))
 	}
 }
 
@@ -127,7 +143,7 @@ func BenchmarkFig14Selectivity(b *testing.B) {
 func BenchmarkFig15Payload(b *testing.B) {
 	singleRun(b)
 	for i := 0; i < b.N; i++ {
-		logTable(b, bench.Fig15(microScale, []int{0, 2, 4, 8}, core.DefaultConfig()))
+		logT(b)(bench.Fig15(microScale, []int{0, 2, 4, 8}, core.DefaultConfig()))
 	}
 }
 
@@ -136,7 +152,7 @@ func BenchmarkFig15Payload(b *testing.B) {
 func BenchmarkFig16PipelineDepth(b *testing.B) {
 	singleRun(b)
 	for i := 0; i < b.N; i++ {
-		logTable(b, bench.Fig16(microScale/4, []int{1, 3, 5, 7}, core.DefaultConfig()))
+		logT(b)(bench.Fig16(microScale/4, []int{1, 3, 5, 7}, core.DefaultConfig()))
 	}
 }
 
@@ -144,7 +160,7 @@ func BenchmarkFig16PipelineDepth(b *testing.B) {
 func BenchmarkFig17Skew(b *testing.B) {
 	singleRun(b)
 	for i := 0; i < b.N; i++ {
-		logTable(b, bench.Fig17(microScale/2, []float64{0, 0.5, 1, 1.5, 2}, core.DefaultConfig()))
+		logT(b)(bench.Fig17(microScale/2, []float64{0, 0.5, 1, 1.5, 2}, core.DefaultConfig()))
 	}
 }
 
@@ -154,8 +170,8 @@ func BenchmarkFig18Speedup(b *testing.B) {
 	singleRun(b)
 	db := tpchDB()
 	for i := 0; i < b.N; i++ {
-		logTable(b, bench.Fig18Micro(microScale, core.DefaultConfig()))
-		logTable(b, tpch.Fig18TPCH(db, 0, 1))
+		logT(b)(bench.Fig18Micro(microScale, core.DefaultConfig()))
+		logT(b)(tpch.Fig18TPCH(db, 0, 1))
 	}
 }
 
@@ -164,7 +180,7 @@ func BenchmarkFig18Speedup(b *testing.B) {
 func BenchmarkTable3LateMaterialization(b *testing.B) {
 	singleRun(b)
 	for i := 0; i < b.N; i++ {
-		logTable(b, bench.Table3(microScale, core.DefaultConfig()))
+		logT(b)(bench.Table3(microScale, core.DefaultConfig()))
 	}
 }
 
@@ -173,7 +189,7 @@ func BenchmarkTable3LateMaterialization(b *testing.B) {
 func BenchmarkTable4WorkableRanges(b *testing.B) {
 	singleRun(b)
 	for i := 0; i < b.N; i++ {
-		logTable(b, bench.Table4(microScale, core.DefaultConfig()))
+		logT(b)(bench.Table4(microScale, core.DefaultConfig()))
 	}
 }
 
@@ -182,7 +198,7 @@ func BenchmarkTable4WorkableRanges(b *testing.B) {
 func BenchmarkTable5WorkloadProperties(b *testing.B) {
 	db := tpchDB()
 	for i := 0; i < b.N; i++ {
-		logTable(b, tpch.Table5(db, 0))
+		logT(b)(tpch.Table5(db, 0))
 	}
 }
 
@@ -195,7 +211,10 @@ func benchJoin(b *testing.B, algo plan.JoinAlgo) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bench.Runs = 1
-		res := bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: algo, Core: core.DefaultConfig()})
+		res, err := bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: algo, Core: core.DefaultConfig()})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.Checksum == 0 {
 			b.Fatal("empty join result")
 		}

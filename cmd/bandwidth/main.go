@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"partitionjoin/internal/bench"
 	"partitionjoin/internal/core"
@@ -14,7 +15,12 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper")
 	flag.Parse()
-	bench.Fig10(*scale, core.DefaultConfig()).Print(func(format string, args ...any) {
+	t, err := bench.Fig10(*scale, core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	t.Print(func(format string, args ...any) {
 		fmt.Printf(format, args...)
 	})
 }

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 
 	"partitionjoin/internal/bench"
@@ -25,28 +26,33 @@ func main() {
 	printf := func(format string, args ...any) { fmt.Printf(format, args...) }
 	threads := threadSteps()
 
-	run := func(name string, f func() *bench.Table) {
+	run := func(name string, f func() (*bench.Table, error)) {
 		if *exp != "all" && *exp != name && !(name == "fig8" && *exp == "fig9") {
 			return
 		}
-		f().Print(printf)
+		t, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		t.Print(printf)
 		fmt.Println()
 	}
 
-	run("table1", func() *bench.Table { return bench.Table1(*scale) })
-	run("fig8", func() *bench.Table { return bench.Fig8(*scale, threads, cfg) })
-	run("fig10", func() *bench.Table { return bench.Fig10(*scale, cfg) })
-	run("fig14", func() *bench.Table {
+	run("table1", func() (*bench.Table, error) { return bench.Table1(*scale), nil })
+	run("fig8", func() (*bench.Table, error) { return bench.Fig8(*scale, threads, cfg) })
+	run("fig10", func() (*bench.Table, error) { return bench.Fig10(*scale, cfg) })
+	run("fig14", func() (*bench.Table, error) {
 		return bench.Fig14(*scale, []float64{0, 0.05, 0.1, 0.25, 0.5, 0.75, 1}, cfg)
 	})
-	run("fig15", func() *bench.Table { return bench.Fig15(*scale, []int{0, 1, 2, 3, 4, 6, 8}, cfg) })
-	run("fig16", func() *bench.Table { return bench.Fig16(*scale, []int{1, 2, 3, 4, 5, 6, 7, 8, 9}, cfg) })
-	run("fig17", func() *bench.Table {
+	run("fig15", func() (*bench.Table, error) { return bench.Fig15(*scale, []int{0, 1, 2, 3, 4, 6, 8}, cfg) })
+	run("fig16", func() (*bench.Table, error) { return bench.Fig16(*scale, []int{1, 2, 3, 4, 5, 6, 7, 8, 9}, cfg) })
+	run("fig17", func() (*bench.Table, error) {
 		return bench.Fig17(*scale, []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75, 2}, cfg)
 	})
-	run("table3", func() *bench.Table { return bench.Table3(*scale, cfg) })
-	run("table4", func() *bench.Table { return bench.Table4(*scale, cfg) })
-	run("fig18", func() *bench.Table { return bench.Fig18Micro(*scale, cfg) })
+	run("table3", func() (*bench.Table, error) { return bench.Table3(*scale, cfg) })
+	run("table4", func() (*bench.Table, error) { return bench.Table4(*scale, cfg) })
+	run("fig18", func() (*bench.Table, error) { return bench.Fig18Micro(*scale, cfg) })
 }
 
 // threadSteps sweeps 1..GOMAXPROCS plus 2x for the hyper-threading point.
@@ -62,4 +68,3 @@ func threadSteps() []int {
 	out = append(out, 2*max)
 	return out
 }
-

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,8 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	algo := flag.String("algo", "bhj", "join algorithm: bhj, rj, brj")
 	workers := flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "query deadline (0 = none), e.g. 500ms, 10s")
+	memBudget := flag.Int64("mem-budget", 0, "memory budget in bytes (0 = unlimited); radix joins degrade to fit")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: sqlrun [flags] \"SELECT ...\"")
@@ -30,6 +33,7 @@ func main() {
 
 	opts := plan.DefaultOptions()
 	opts.Workers = *workers
+	opts.MemBudget = *memBudget
 	switch strings.ToLower(*algo) {
 	case "bhj":
 		opts.Algo = plan.BHJ
@@ -48,7 +52,13 @@ func main() {
 		cat[t.Name] = t
 	}
 
-	res, err := sql.Run(cat, query, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := sql.RunCtx(ctx, cat, query, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -56,6 +66,12 @@ func main() {
 	printResult(res)
 	fmt.Printf("\n%d rows in %v (%.1fM source tuples/s, %v)\n",
 		res.Result.NumRows(), res.Duration.Round(1000), res.Throughput()/1e6, opts.Algo)
+	for _, ev := range res.Degraded {
+		fmt.Printf("degraded: %s\n", ev)
+	}
+	if *memBudget > 0 {
+		fmt.Printf("memory: peak %d B of %d B budget\n", res.MemPeak, *memBudget)
+	}
 }
 
 func printResult(res *plan.ExecResult) {

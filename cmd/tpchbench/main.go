@@ -9,9 +9,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
+	"partitionjoin/internal/bench"
 	"partitionjoin/internal/tpch"
 )
 
@@ -25,6 +27,14 @@ func main() {
 
 	printf := func(format string, args ...any) { fmt.Printf(format, args...) }
 	want := func(name string) bool { return *exp == "all" || *exp == name }
+	show := func(name string, t *bench.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		t.Print(printf)
+		fmt.Println()
+	}
 
 	for _, sfStr := range strings.Split(*sfs, ",") {
 		sf, err := strconv.ParseFloat(strings.TrimSpace(sfStr), 64)
@@ -36,33 +46,37 @@ func main() {
 		db := tpch.Generate(sf, *seed)
 
 		if want("fig2") {
-			tpch.Fig2(db, *workers).Print(printf)
-			fmt.Println()
+			t, err := tpch.Fig2(db, *workers)
+			show("fig2", t, err)
 		}
 		if want("fig11") {
-			tpch.Fig11(db, *workers, *runs).Print(printf)
-			fmt.Println()
+			t, err := tpch.Fig11(db, *workers, *runs)
+			show("fig11", t, err)
 		}
 		if want("fig1") {
-			points := tpch.Fig1(db, *workers, *runs)
+			points, err := tpch.Fig1(db, *workers, *runs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fig1: %v\n", err)
+				os.Exit(1)
+			}
 			tpch.Fig1Table(points, sf).Print(printf)
 			fmt.Println()
 		}
 		if want("fig12") {
-			tpch.Fig12(db, *workers, *runs, []int{5, 7, 8, 9, 21, 22}).Print(printf)
-			fmt.Println()
+			t, err := tpch.Fig12(db, *workers, *runs, []int{5, 7, 8, 9, 21, 22})
+			show("fig12", t, err)
 		}
 		if want("fig13") {
-			tpch.Fig13(db, *workers).Print(printf)
-			fmt.Println()
+			t, err := tpch.Fig13(db, *workers)
+			show("fig13", t, err)
 		}
 		if want("fig18") {
-			tpch.Fig18TPCH(db, *workers, *runs).Print(printf)
-			fmt.Println()
+			t, err := tpch.Fig18TPCH(db, *workers, *runs)
+			show("fig18", t, err)
 		}
 		if want("table5") {
-			tpch.Table5(db, *workers).Print(printf)
-			fmt.Println()
+			t, err := tpch.Table5(db, *workers)
+			show("table5", t, err)
 		}
 	}
 }

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"partitionjoin/internal/tpch"
@@ -29,9 +30,19 @@ func main() {
 
 	if *stats {
 		fmt.Println()
-		tpch.Fig2(db, *workers).Print(printf)
+		fig2, err := tpch.Fig2(db, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig2: %v\n", err)
+			os.Exit(1)
+		}
+		fig2.Print(printf)
 		fmt.Println()
-		tpch.Table5(db, *workers).Print(printf)
+		tab5, err := tpch.Table5(db, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table5: %v\n", err)
+			os.Exit(1)
+		}
+		tab5.Print(printf)
 	}
 }
 

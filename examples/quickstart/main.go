@@ -33,7 +33,10 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		count := res.ScalarI64()
+		count, err := res.ScalarI64()
+		if err != nil {
+			panic(err)
+		}
 		if first == 0 {
 			first = count
 		} else if count != first {

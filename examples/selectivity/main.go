@@ -6,11 +6,20 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"partitionjoin/internal/bench"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/plan"
 )
+
+func must(r bench.Result, err error) bench.Result {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return r
+}
 
 func main() {
 	cfg := core.DefaultConfig()
@@ -21,12 +30,12 @@ func main() {
 		spec := bench.WorkloadA(1.0 / 256)
 		spec.Selectivity = sel
 		build, probe := spec.Tables()
-		brj := bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: plan.BRJ, Core: cfg})
-		rj := bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: plan.RJ, Core: cfg})
-		bhj := bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: plan.BHJ, Core: cfg})
+		brj := must(bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: plan.BRJ, Core: cfg}))
+		rj := must(bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: plan.RJ, Core: cfg}))
+		bhj := must(bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: plan.BHJ, Core: cfg}))
 		acfg := cfg
 		acfg.AdaptiveBloom = true
-		ad := bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: plan.BRJ, Core: acfg})
+		ad := must(bench.RunDBMS(build, probe, nil, bench.DBMSOpts{Algo: plan.BRJ, Core: acfg}))
 		if brj.Checksum != rj.Checksum || rj.Checksum != bhj.Checksum {
 			panic("checksum mismatch across joins")
 		}

@@ -6,11 +6,20 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"partitionjoin/internal/bench"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/plan"
 )
+
+func must(r bench.Result, err error) bench.Result {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return r
+}
 
 func main() {
 	cfg := core.DefaultConfig()
@@ -22,8 +31,8 @@ func main() {
 		fact.NumRows(), maxDepth, dims[0].NumRows())
 	fmt.Printf("%-6s %22s %22s\n", "depth", "BHJ [T/s per join]", "RJ [T/s per join]")
 	for depth := 1; depth <= maxDepth; depth++ {
-		bhj := bench.RunStar(dims, fact, depth, plan.BHJ, 0, cfg)
-		rj := bench.RunStar(dims, fact, depth, plan.RJ, 0, cfg)
+		bhj := must(bench.RunStar(dims, fact, depth, plan.BHJ, 0, cfg))
+		rj := must(bench.RunStar(dims, fact, depth, plan.RJ, 0, cfg))
 		if bhj.Checksum != rj.Checksum {
 			panic("checksum mismatch")
 		}

@@ -18,7 +18,11 @@ func main() {
 	fmt.Printf("TPC-H SF %g: %d lineitem rows\n\n", sf, db.Lineitem.NumRows())
 
 	// Annotated join tree (Figure 13).
-	tpch.Fig13(db, 0).Print(func(format string, args ...any) { fmt.Printf(format, args...) })
+	tree, err := tpch.Fig13(db, 0)
+	if err != nil {
+		panic(err)
+	}
+	tree.Print(func(format string, args ...any) { fmt.Printf(format, args...) })
 	fmt.Println()
 
 	var ref string
@@ -28,6 +32,9 @@ func main() {
 		r := &tpch.Runner{Opts: opts}
 		start := time.Now()
 		res := tpch.Q21(db, r)
+		if r.Err != nil {
+			panic(r.Err)
+		}
 		top := ""
 		if res.Result.NumRows() > 0 {
 			top = fmt.Sprintf("top supplier %q waits=%d",

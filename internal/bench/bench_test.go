@@ -72,7 +72,10 @@ func TestRelationsMatchTables(t *testing.T) {
 	// The random draws differ between Tables and Relations (independent
 	// streams), but the match totals must be statistically close and the
 	// DBMS joins must agree with the reference exactly.
-	dres := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 2, Core: core.DefaultConfig()})
+	dres, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 2, Core: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dres.Checksum != wantTables {
 		t.Fatalf("DBMS join count %d, reference %d", dres.Checksum, wantTables)
 	}
@@ -92,7 +95,10 @@ func TestAllAlgorithmsAgreeOnChecksum(t *testing.T) {
 	var ref int64
 	for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.RJ, plan.BRJ} {
 		for _, lm := range []bool{false, true} {
-			res := RunDBMS(build, probe, names, DBMSOpts{Algo: algo, Threads: 2, LM: lm, Core: core.DefaultConfig()})
+			res, err := RunDBMS(build, probe, names, DBMSOpts{Algo: algo, Threads: 2, LM: lm, Core: core.DefaultConfig()})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if ref == 0 {
 				ref = res.Checksum
 			} else if res.Checksum != ref {
@@ -119,7 +125,10 @@ func TestStarTablesAndPlanAgree(t *testing.T) {
 	var ref int64
 	for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.RJ} {
 		for depth := 1; depth <= 3; depth++ {
-			res := RunStar(dims, fact, depth, algo, 2, core.DefaultConfig())
+			res, err := RunStar(dims, fact, depth, algo, 2, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
 			if depth == 1 {
 				if algo == plan.BHJ {
 					ref = res.Checksum
@@ -147,7 +156,10 @@ func TestTable1Renders(t *testing.T) {
 }
 
 func TestFig10PhasesPresent(t *testing.T) {
-	tab := Fig10(1.0/8192, core.DefaultConfig())
+	tab, err := Fig10(1.0/8192, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := map[string]bool{}
 	for _, row := range tab.Rows {
 		found[row[0]] = true

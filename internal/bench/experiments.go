@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -19,11 +21,11 @@ type Table struct {
 // Add appends a data row.
 func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
-func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
-func mt(v float64) string  { return fmt.Sprintf("%.1fM T/s", v/1e6) }
-func mb(v int64) string    { return fmt.Sprintf("%.1f MiB", float64(v)/(1<<20)) }
-func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func f1(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func mt(v float64) string   { return fmt.Sprintf("%.1fM T/s", v/1e6) }
+func mb(v int64) string     { return fmt.Sprintf("%.1f MiB", float64(v)/(1<<20)) }
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
 func i64toa(v int64) string { return fmt.Sprintf("%d", v) }
 
 // Table1 reports the prior-work workloads (paper Table 1) at the given
@@ -43,7 +45,7 @@ func Table1(scale float64) *Table {
 // Fig8 sweeps thread counts for both workloads across the four join
 // implementations (paper Figure 8; Figure 9 is the same sweep on another
 // host, so the harness is shared).
-func Fig8(scale float64, threads []int, cfg core.Config) *Table {
+func Fig8(scale float64, threads []int, cfg core.Config) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 8/9: scalability, workloads A and B (scale %g)", scale),
 		Header: []string{"workload", "threads", "NPJ", "PRJ", "BHJ", "RJ"},
@@ -54,28 +56,36 @@ func Fig8(scale float64, threads []int, cfg core.Config) *Table {
 		for _, th := range threads {
 			npj := RunStandalone(sbuild, sprobe, false, th, cfg.CacheBudget)
 			prj := RunStandalone(sbuild, sprobe, true, th, cfg.CacheBudget)
-			bhj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: th, Core: cfg})
-			rj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: th, Core: cfg})
+			bhj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: th, Core: cfg})
+			if err != nil {
+				return nil, err
+			}
+			rj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: th, Core: cfg})
+			if err != nil {
+				return nil, err
+			}
 			if npj.Checksum != prj.Checksum || bhj.Checksum != rj.Checksum {
-				panic("bench: join implementations disagree on match count")
+				return nil, errors.New("bench: join implementations disagree on match count")
 			}
 			t.Add(spec.Name, itoa(th), mt(npj.Throughput), mt(prj.Throughput),
 				mt(bhj.Throughput), mt(rj.Throughput))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // Fig10 runs the Section 5.4.2 payload query under the radix join with the
 // traffic meter attached and reports the per-phase read/write volume and
 // bandwidth timeline (paper Figure 10, PCM substitute).
-func Fig10(scale float64, cfg core.Config) *Table {
+func Fig10(scale float64, cfg core.Config) (*Table, error) {
 	spec := WorkloadA(scale)
 	spec.PayloadCols = 1 // 24 B materialized rows before padding
 	build, probe := spec.Tables()
 	m := meter.New()
 	opts := plan.Options{Workers: 0, Algo: plan.RJ, Core: cfg, Meter: m}
-	plan.Execute(opts, joinQuery(build, probe, spec.PayNames(), false))
+	if _, err := plan.ExecuteErr(context.Background(), opts, joinQuery(build, probe, spec.PayNames(), false)); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 10: memory traffic per RJ phase (scale %g, 24 B tuples)", scale),
 		Header: []string{"phase", "start [ms]", "dur [ms]", "read", "written", "read BW", "write BW"},
@@ -88,13 +98,13 @@ func Fig10(scale float64, cfg core.Config) *Table {
 			fmt.Sprintf("%.2f GB/s", p.ReadBW/1e9),
 			fmt.Sprintf("%.2f GB/s", p.WriteBW/1e9))
 	}
-	return t
+	return t, nil
 }
 
 // Fig14 sweeps foreign-key selectivity (paper Figure 14): the Bloom
 // reducer wins at low selectivity, loses past ~50%, and the adaptive
 // variant switches itself off.
-func Fig14(scale float64, sels []float64, cfg core.Config) *Table {
+func Fig14(scale float64, sels []float64, cfg core.Config) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 14: impact of foreign-key selectivity, workload A4 (scale %g)", scale),
 		Header: []string{"join partners [%]", "BRJ", "BHJ", "RJ", "BRJ (adaptive)"},
@@ -103,23 +113,35 @@ func Fig14(scale float64, sels []float64, cfg core.Config) *Table {
 		spec := WorkloadA(scale)
 		spec.Selectivity = sel
 		build, probe := spec.Tables()
-		brj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BRJ, Threads: 0, Core: cfg})
-		bhj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
-		rj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+		brj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BRJ, Threads: 0, Core: cfg})
+		if err != nil {
+			return nil, err
+		}
+		bhj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+		if err != nil {
+			return nil, err
+		}
+		rj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+		if err != nil {
+			return nil, err
+		}
 		acfg := cfg
 		acfg.AdaptiveBloom = true
-		abrj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BRJ, Threads: 0, Core: acfg})
+		abrj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BRJ, Threads: 0, Core: acfg})
+		if err != nil {
+			return nil, err
+		}
 		if brj.Checksum != bhj.Checksum || rj.Checksum != abrj.Checksum || brj.Checksum != rj.Checksum {
-			panic("bench: selectivity sweep checksum mismatch")
+			return nil, fmt.Errorf("bench: selectivity sweep checksum mismatch at %g%% partners", sel*100)
 		}
 		t.Add(f1(sel*100), mt(brj.Throughput), mt(bhj.Throughput), mt(rj.Throughput), mt(abrj.Throughput))
 	}
-	return t
+	return t, nil
 }
 
 // Fig15 sweeps the probe payload width (paper Figure 15) with and without
 // late materialization at 100% selectivity.
-func Fig15(scale float64, payloadCols []int, cfg core.Config) *Table {
+func Fig15(scale float64, payloadCols []int, cfg core.Config) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 15: impact of payload size, workload A2 (scale %g)", scale),
 		Header: []string{"probe tuple [B]", "BHJ", "BHJ (LM)", "RJ", "RJ (LM)"},
@@ -129,22 +151,34 @@ func Fig15(scale float64, payloadCols []int, cfg core.Config) *Table {
 		spec.PayloadCols = pc
 		build, probe := spec.Tables()
 		names := spec.PayNames()
-		bhj := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
-		bhjLM := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg, LM: true})
-		rj := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
-		rjLM := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg, LM: true})
+		bhj, err := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+		if err != nil {
+			return nil, err
+		}
+		bhjLM, err := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg, LM: true})
+		if err != nil {
+			return nil, err
+		}
+		rj, err := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+		if err != nil {
+			return nil, err
+		}
+		rjLM, err := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg, LM: true})
+		if err != nil {
+			return nil, err
+		}
 		if bhj.Checksum != rj.Checksum || bhjLM.Checksum != rjLM.Checksum {
-			panic("bench: payload sweep checksum mismatch")
+			return nil, fmt.Errorf("bench: payload sweep checksum mismatch at %d payload columns", pc)
 		}
 		// Materialized probe row: hash + key + payload columns.
 		width := 16 + 8*pc
 		t.Add(itoa(width), mt(bhj.Throughput), mt(bhjLM.Throughput), mt(rj.Throughput), mt(rjLM.Throughput))
 	}
-	return t
+	return t, nil
 }
 
 // Fig16 sweeps the pipeline depth over a star schema (paper Figure 16).
-func Fig16(scale float64, depths []int, cfg core.Config) *Table {
+func Fig16(scale float64, depths []int, cfg core.Config) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 16: impact of pipeline depth, workload A3 (scale %g)", scale),
 		Header: []string{"pipeline depth", "BHJ [T/s per join]", "RJ [T/s per join]"},
@@ -158,19 +192,25 @@ func Fig16(scale float64, depths []int, cfg core.Config) *Table {
 	spec := WorkloadA(scale)
 	dims, fact := StarTables(spec, maxDepth)
 	for _, d := range depths {
-		bhj := RunStar(dims, fact, d, plan.BHJ, 0, cfg)
-		rj := RunStar(dims, fact, d, plan.RJ, 0, cfg)
+		bhj, err := RunStar(dims, fact, d, plan.BHJ, 0, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rj, err := RunStar(dims, fact, d, plan.RJ, 0, cfg)
+		if err != nil {
+			return nil, err
+		}
 		if bhj.Checksum != rj.Checksum {
-			panic("bench: star schema checksum mismatch")
+			return nil, fmt.Errorf("bench: star schema checksum mismatch at depth %d", d)
 		}
 		t.Add(itoa(d), mt(bhj.Throughput), mt(rj.Throughput))
 	}
-	return t
+	return t, nil
 }
 
 // Fig17 sweeps Zipf skew for both workloads across all four
 // implementations (paper Figure 17).
-func Fig17(scale float64, zipfs []float64, cfg core.Config) *Table {
+func Fig17(scale float64, zipfs []float64, cfg core.Config) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 17: impact of skew (scale %g)", scale),
 		Header: []string{"workload", "zipf", "NPJ", "PRJ", "BHJ", "RJ"},
@@ -183,21 +223,27 @@ func Fig17(scale float64, zipfs []float64, cfg core.Config) *Table {
 			sbuild, sprobe := spec.Relations()
 			npj := RunStandalone(sbuild, sprobe, false, benchThreads(), cfg.CacheBudget)
 			prj := RunStandalone(sbuild, sprobe, true, benchThreads(), cfg.CacheBudget)
-			bhj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
-			rj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+			bhj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+			if err != nil {
+				return nil, err
+			}
+			rj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+			if err != nil {
+				return nil, err
+			}
 			if bhj.Checksum != rj.Checksum {
-				panic("bench: skew sweep checksum mismatch")
+				return nil, fmt.Errorf("bench: skew sweep checksum mismatch at zipf %g", z)
 			}
 			t.Add(spec.Name, f2(z), mt(npj.Throughput), mt(prj.Throughput),
 				mt(bhj.Throughput), mt(rj.Throughput))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // Table3 measures the combined selectivity+payload effect of late
 // materialization (paper Table 3: 5% selectivity, four payload columns).
-func Table3(scale float64, cfg core.Config) *Table {
+func Table3(scale float64, cfg core.Config) (*Table, error) {
 	spec := WorkloadA(scale)
 	spec.Selectivity = 0.05
 	spec.PayloadCols = 4
@@ -208,56 +254,85 @@ func Table3(scale float64, cfg core.Config) *Table {
 		Header: []string{"join", "LM", "no LM", "benefit"},
 	}
 	for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.BRJ, plan.RJ} {
-		lm := RunDBMS(build, probe, names, DBMSOpts{Algo: algo, Threads: 0, Core: cfg, LM: true})
-		no := RunDBMS(build, probe, names, DBMSOpts{Algo: algo, Threads: 0, Core: cfg})
+		lm, err := RunDBMS(build, probe, names, DBMSOpts{Algo: algo, Threads: 0, Core: cfg, LM: true})
+		if err != nil {
+			return nil, err
+		}
+		no, err := RunDBMS(build, probe, names, DBMSOpts{Algo: algo, Threads: 0, Core: cfg})
+		if err != nil {
+			return nil, err
+		}
 		if lm.Checksum != no.Checksum {
-			panic("bench: LM changed the result")
+			return nil, fmt.Errorf("bench: late materialization changed the %v result", algo)
 		}
 		benefit := (lm.Throughput/no.Throughput - 1) * 100
 		t.Add(algo.String(), mt(lm.Throughput), mt(no.Throughput), fmt.Sprintf("%+.0f%%", benefit))
 	}
-	return t
+	return t, nil
 }
 
 // Fig18Micro reports the workload-A speedup of BRJ and BHJ over the RJ
 // (left half of paper Figure 18; the TPC-H half lives in cmd/tpchbench).
-func Fig18Micro(scale float64, cfg core.Config) *Table {
+func Fig18Micro(scale float64, cfg core.Config) (*Table, error) {
 	spec := WorkloadA(scale)
 	build, probe := spec.Tables()
-	rj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
-	brj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BRJ, Threads: 0, Core: cfg})
-	bhj := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+	rj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+	if err != nil {
+		return nil, err
+	}
+	brj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BRJ, Threads: 0, Core: cfg})
+	if err != nil {
+		return nil, err
+	}
+	bhj, err := RunDBMS(build, probe, nil, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 18 (left): speedup over optimized RJ, workload A (scale %g)", scale),
 		Header: []string{"join", "speedup vs RJ"},
 	}
 	t.Add("BRJ", fmt.Sprintf("%+.0f%%", (brj.Throughput/rj.Throughput-1)*100))
 	t.Add("BHJ", fmt.Sprintf("%+.0f%%", (bhj.Throughput/rj.Throughput-1)*100))
-	return t
+	return t, nil
 }
 
 // Table4 synthesizes the workable/beneficial ranges (paper Table 4) from
 // quick parameter sweeps: "workable" is where the RJ stays within 20% of
 // the BHJ, "beneficial" where it is at least 10% faster.
-func Table4(scale float64, cfg core.Config) *Table {
+func Table4(scale float64, cfg core.Config) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Table 4: workload characteristics for partitioned joins (scale %g, measured)", scale),
 		Header: []string{"factor", "workable (RJ >= 0.8x BHJ)", "beneficial (RJ >= 1.1x BHJ)"},
 	}
-	ratio := func(spec Spec, payload bool) float64 {
+	ratio := func(spec Spec, payload bool) (float64, error) {
 		build, probe := spec.Tables()
 		var names []string
 		if payload {
 			names = spec.PayNames()
 		}
-		rj := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
-		bhj := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
-		return rj.Throughput / bhj.Throughput
+		rj, err := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.RJ, Threads: 0, Core: cfg})
+		if err != nil {
+			return 0, err
+		}
+		bhj, err := RunDBMS(build, probe, names, DBMSOpts{Algo: plan.BHJ, Threads: 0, Core: cfg})
+		if err != nil {
+			return 0, err
+		}
+		return rj.Throughput / bhj.Throughput, nil
 	}
+	var sweepErr error
 	boundary := func(xs []float64, mk func(x float64) Spec, payload bool, threshold float64) string {
 		last := "none"
 		for _, x := range xs {
-			if ratio(mk(x), payload) >= threshold {
+			r, err := ratio(mk(x), payload)
+			if err != nil {
+				if sweepErr == nil {
+					sweepErr = err
+				}
+				return last
+			}
+			if r >= threshold {
 				last = fmt.Sprintf("<= %g", x)
 			}
 		}
@@ -287,7 +362,10 @@ func Table4(scale float64, cfg core.Config) *Table {
 			s.Zipf = x
 			return s
 		}, false, 1.1))
-	return t
+	if sweepErr != nil {
+		return nil, sweepErr
+	}
+	return t, nil
 }
 
 // Print renders a table with aligned columns through the given printf-like

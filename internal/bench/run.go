@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -26,14 +28,34 @@ type Result struct {
 // The harness exposes it so quick runs can lower it.
 var Runs = 3
 
-// median runs f Runs times and returns the run with median duration.
-func median(f func() Result) Result {
+// median runs f Runs times and returns the run with median duration; a
+// failing repetition aborts the measurement.
+func median(f func() (Result, error)) (Result, error) {
 	rs := make([]Result, 0, Runs)
 	for i := 0; i < Runs; i++ {
-		rs = append(rs, f())
+		r, err := f()
+		if err != nil {
+			return Result{}, err
+		}
+		rs = append(rs, r)
 	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Seconds < rs[j].Seconds })
-	return rs[len(rs)/2]
+	return rs[len(rs)/2], nil
+}
+
+// medianInfallible adapts median for measurements that cannot fail.
+func medianInfallible(f func() Result) Result {
+	r, _ := median(func() (Result, error) { return f(), nil })
+	return r
+}
+
+// checksum extracts the single aggregate row's first value, the
+// cross-implementation agreement probe.
+func checksum(res *plan.ExecResult) (int64, error) {
+	if res.Result.NumRows() != 1 || len(res.Result.Vecs) == 0 {
+		return 0, fmt.Errorf("bench: aggregate returned %d rows", res.Result.NumRows())
+	}
+	return res.Result.Vecs[0].I64[0], nil
 }
 
 // DBMSOpts configures a DBMS-integrated join run.
@@ -80,13 +102,20 @@ func joinQuery(build, probe *storage.Table, payNames []string, lm bool) plan.Nod
 }
 
 // RunDBMS measures one DBMS-integrated join over pre-built tables.
-func RunDBMS(build, probe *storage.Table, payNames []string, o DBMSOpts) Result {
-	return median(func() Result {
+func RunDBMS(build, probe *storage.Table, payNames []string, o DBMSOpts) (Result, error) {
+	return median(func() (Result, error) {
 		opts := plan.Options{Workers: o.Threads, Algo: o.Algo, Core: o.Core}
 		root := joinQuery(build, probe, payNames, o.LM)
 		start := time.Now()
-		res := plan.Execute(opts, root)
+		res, err := plan.ExecuteErr(context.Background(), opts, root)
+		if err != nil {
+			return Result{}, fmt.Errorf("bench %v: %w", o.Algo, err)
+		}
 		secs := time.Since(start).Seconds()
+		sum, err := checksum(res)
+		if err != nil {
+			return Result{}, err
+		}
 		tuples := int64(build.NumRows() + probe.NumRows())
 		return Result{
 			Algo:       o.Algo.String(),
@@ -94,8 +123,8 @@ func RunDBMS(build, probe *storage.Table, payNames []string, o DBMSOpts) Result 
 			Seconds:    secs,
 			Tuples:     tuples,
 			Throughput: float64(tuples) / secs,
-			Checksum:   res.Result.Vecs[0].I64[0],
-		}
+			Checksum:   sum,
+		}, nil
 	})
 }
 
@@ -105,7 +134,7 @@ func RunStandalone(build, probe *standalone.Relation, prj bool, threads int, cac
 	if prj {
 		name = "PRJ"
 	}
-	return median(func() Result {
+	return medianInfallible(func() Result {
 		start := time.Now()
 		var matches int64
 		if prj {
@@ -199,12 +228,19 @@ func StarPlan(dims []*storage.Table, fact *storage.Table, depth int) plan.Node {
 
 // RunStar measures the pipeline-depth workload and reports per-join
 // throughput.
-func RunStar(dims []*storage.Table, fact *storage.Table, depth int, algo plan.JoinAlgo, threads int, cfg core.Config) Result {
-	return median(func() Result {
+func RunStar(dims []*storage.Table, fact *storage.Table, depth int, algo plan.JoinAlgo, threads int, cfg core.Config) (Result, error) {
+	return median(func() (Result, error) {
 		opts := plan.Options{Workers: threads, Algo: algo, Core: cfg}
 		start := time.Now()
-		res := plan.Execute(opts, StarPlan(dims, fact, depth))
+		res, err := plan.ExecuteErr(context.Background(), opts, StarPlan(dims, fact, depth))
+		if err != nil {
+			return Result{}, fmt.Errorf("bench star %v: %w", algo, err)
+		}
 		secs := time.Since(start).Seconds()
+		sum, err := checksum(res)
+		if err != nil {
+			return Result{}, err
+		}
 		// Per-join throughput: every join processes the fact stream plus
 		// one dimension, and the chain takes secs/depth per join. A
 		// pipeline-friendly join keeps this constant as depth grows
@@ -216,7 +252,7 @@ func RunStar(dims []*storage.Table, fact *storage.Table, depth int, algo plan.Jo
 			Seconds:    secs,
 			Tuples:     perJoin * int64(depth),
 			Throughput: float64(perJoin) * float64(depth) / secs,
-			Checksum:   res.Result.Vecs[0].I64[0],
-		}
+			Checksum:   sum,
+		}, nil
 	})
 }

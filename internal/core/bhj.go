@@ -4,9 +4,15 @@ import (
 	"sync/atomic"
 
 	"partitionjoin/internal/exec"
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/govern"
 	"partitionjoin/internal/meter"
 	"partitionjoin/internal/storage"
 )
+
+// BuildSite is the fault-injection site visited once per batch consumed by
+// the BHJ build sink.
+const BuildSite = "core.bhj.build"
 
 // HashJoin is the buffered non-partitioned hash join (BHJ, Section 4.3): a
 // global chaining hash table over the materialized build side, probed
@@ -39,6 +45,10 @@ type HashJoin struct {
 	Residual func(brow []byte, b *exec.Batch, i int) bool
 
 	Meter *meter.Meter
+
+	// Gov is the query's memory governor; build arenas, the directory,
+	// and the entry array are accounted against it. Nil means ungoverned.
+	Gov *govern.Governor
 
 	// StatProbeRows and StatMatches count probe tuples and key matches
 	// for the per-join analysis (Figures 1, 2 and 13).
@@ -88,6 +98,7 @@ func (s *HashBuildSink) Consume(ctx *exec.Ctx, b *exec.Batch) {
 	if j.BuildHashCol >= 0 {
 		hcol = b.Vecs[j.BuildHashCol].I64
 	}
+	faultinject.Hit(BuildSite)
 	for i := 0; i < b.N; i++ {
 		var h uint64
 		if hcol != nil {
@@ -97,7 +108,9 @@ func (s *HashBuildSink) Consume(ctx *exec.Ctx, b *exec.Batch) {
 		}
 		off := len(a)
 		if cap(a) < off+size {
-			grown := make([]byte, off, maxInt(2*cap(a), 64*size))
+			newCap := maxInt(2*cap(a), 64*size)
+			j.Gov.MustGrant(int64(newCap - cap(a)))
+			grown := make([]byte, off, newCap)
 			copy(grown, a)
 			a = grown
 		}
@@ -121,10 +134,15 @@ func (s *HashBuildSink) Close() {
 		total += len(a)
 	}
 	offs[len(s.arenas)] = total
+	j.Gov.MustGrant(int64(total))
 	j.rows = make([]byte, total)
 	parallelFor(len(s.arenas), len(s.arenas), func(i int) {
 		copy(j.rows[offs[i]:], s.arenas[i])
 	})
+	// The worker arenas die here; return their capacity to the governor.
+	for _, a := range s.arenas {
+		j.Gov.Release(int64(cap(a)))
+	}
 	j.n = total / size
 	j.Meter.AddWrite(int64(total))
 
@@ -132,6 +150,7 @@ func (s *HashBuildSink) Close() {
 	for dirSize < 2*j.n {
 		dirSize <<= 1
 	}
+	j.Gov.MustGrant(int64(dirSize)*8 + int64(j.n)*16)
 	j.dir = make([]uint64, dirSize)
 	j.entries = make([]bhjEntry, j.n)
 	mask := uint64(dirSize - 1)

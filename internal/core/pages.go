@@ -112,7 +112,9 @@ func (s *swwcbSet) drain(flush func(p int, data []byte)) {
 // parallelFor runs fn(task) for tasks [0,n) on up to workers goroutines,
 // handing out tasks through an atomic cursor — the same work-stealing
 // discipline the morsel driver uses, reused for the partitioning passes
-// and the in-sink scans.
+// and the in-sink scans. A panic in any task stops the remaining workers
+// and is re-raised on the calling goroutine, so sink-internal parallelism
+// stays inside the driver's containment instead of killing the process.
 func parallelFor(n, workers int, fn func(task int)) {
 	if workers > n {
 		workers = n
@@ -125,11 +127,17 @@ func parallelFor(n, workers int, fn func(task int)) {
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	var firstPanic atomic.Pointer[any]
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			defer func() {
+				if r := recover(); r != nil {
+					firstPanic.CompareAndSwap(nil, &r)
+				}
+			}()
+			for firstPanic.Load() == nil {
 				t := int(cursor.Add(1)) - 1
 				if t >= n {
 					return
@@ -139,4 +147,7 @@ func parallelFor(n, workers int, fn func(task int)) {
 		}()
 	}
 	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(*p)
+	}
 }

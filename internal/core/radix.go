@@ -5,9 +5,17 @@ import (
 	"math/bits"
 
 	"partitionjoin/internal/exec"
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/govern"
 	"partitionjoin/internal/hashx"
 	"partitionjoin/internal/meter"
 	"partitionjoin/internal/storage"
+)
+
+// Fault-injection sites of the radix partitioning passes.
+const (
+	Pass1Site = "core.radix.pass1"
+	Pass2Site = "core.radix.pass2"
 )
 
 // Partitions is the contiguous output of the two partitioning passes: one
@@ -61,6 +69,14 @@ type RadixSink struct {
 	Out     *Partitions
 }
 
+// gov returns the owning join's memory governor (nil-safe).
+func (s *RadixSink) gov() *govern.Governor {
+	if s.Join == nil {
+		return nil
+	}
+	return s.Join.Gov
+}
+
 // Open implements exec.Sink.
 func (s *RadixSink) Open(workers int) {
 	s.workers = make([]*pass1Worker, workers)
@@ -75,6 +91,7 @@ func (s *RadixSink) worker(ctx *exec.Ctx) *pass1Worker {
 			swwcb: newSWWCBSet(1<<s.Cfg.Pass1Bits, s.swwcbBytes(), s.Layout.Size),
 			parts: make([]pagedPart, 1<<s.Cfg.Pass1Bits),
 		}
+		s.gov().MustGrant(int64(len(w.swwcb.buf)))
 		s.workers[ctx.Worker] = w
 	}
 	return w
@@ -93,11 +110,14 @@ func (s *RadixSink) swwcbBytes() int {
 // packed into the write-combine buffer of partition (hash & (F1-1)), and
 // streamed to the worker-local paged partition when the buffer fills.
 func (s *RadixSink) Consume(ctx *exec.Ctx, b *exec.Batch) {
+	faultinject.Hit(Pass1Site)
 	w := s.worker(ctx)
+	gov := s.gov()
 	mask := uint64(1)<<s.Cfg.Pass1Bits - 1
 	rowSize := s.Layout.Size
 	pageBytes := s.Cfg.PageBytes
 	flush := func(p int, data []byte) {
+		gov.MustGrant(int64(len(data)))
 		w.parts[p].write(data, rowSize, pageBytes)
 	}
 	var hcol []int64
@@ -166,6 +186,7 @@ func (s *RadixSink) Close() {
 	rowSize := s.Layout.Size
 
 	// Drain pass-1 buffers and count rows.
+	gov := s.gov()
 	var totalRows int64
 	live := s.workers[:0]
 	for _, w := range s.workers {
@@ -174,6 +195,7 @@ func (s *RadixSink) Close() {
 		}
 		wp := w.parts
 		w.swwcb.drain(func(p int, data []byte) {
+			gov.MustGrant(int64(len(data)))
 			wp[p].write(data, rowSize, cfg.PageBytes)
 		})
 		for p := range wp {
@@ -183,7 +205,7 @@ func (s *RadixSink) Close() {
 	}
 	s.Meter.EndPhase()
 
-	b2 := s.Join.decideBits(s, totalRows)
+	b2 := s.Join.decideBits(s, totalRows, maxInt(len(live), 1))
 	f2 := 1 << b2
 	maskF1 := uint64(f1 - 1)
 	maskF2 := uint64(f2 - 1)
@@ -231,6 +253,7 @@ func (s *RadixSink) Close() {
 		acc += hist[p1][p2] * int64(rowSize)
 	}
 	out.Off[nparts] = acc
+	gov.MustGrant(acc)
 	out.Data = make([]byte, acc)
 
 	// Pass 2: one task per pre-partition; every final partition is
@@ -240,6 +263,7 @@ func (s *RadixSink) Close() {
 	s.Meter.BeginPhase("partition pass 2 (" + s.Side + ")")
 	filter := s.Join.buildFilter(s, totalRows)
 	parallelFor(f1, maxInt(len(live), 1), func(p1 int) {
+		faultinject.Hit(Pass2Site)
 		cursors := make([]int64, f2)
 		for p2 := 0; p2 < f2; p2++ {
 			cursors[p2] = out.Off[p1|p2<<shift]
@@ -249,6 +273,8 @@ func (s *RadixSink) Close() {
 			cursors[p2] += int64(len(data))
 		}
 		sw := newSWWCBSet(f2, s.swwcbBytes(), rowSize)
+		gov.MustGrant(int64(len(sw.buf)))
+		defer gov.Release(int64(len(sw.buf)))
 		for _, w := range live {
 			for _, pg := range w.parts[p1].pages {
 				for off := 0; off < len(pg); off += rowSize {
@@ -262,6 +288,7 @@ func (s *RadixSink) Close() {
 				}
 			}
 			// Pages of this pre-partition are dead after the scan.
+			gov.Release(w.parts[p1].rows * int64(rowSize))
 			w.parts[p1] = pagedPart{}
 		}
 		sw.drain(flush)
@@ -270,6 +297,9 @@ func (s *RadixSink) Close() {
 	s.Meter.AddWrite(totalRows * int64(rowSize))
 	s.Meter.EndPhase()
 
+	for _, w := range live {
+		gov.Release(int64(len(w.swwcb.buf)))
+	}
 	s.Out = out
 	s.workers = nil
 }

@@ -7,9 +7,15 @@ import (
 
 	"partitionjoin/internal/bloom"
 	"partitionjoin/internal/exec"
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/govern"
 	"partitionjoin/internal/meter"
 	"partitionjoin/internal/storage"
 )
+
+// JoinEmitSite is the fault-injection site visited once per partition pair
+// in the join phase.
+const JoinEmitSite = "core.join.emit"
 
 // RadixJoin couples the two radix sinks of a partitioned join with the
 // final join phase (Algorithm 1): the plan runs the build pipeline into
@@ -35,11 +41,21 @@ type RadixJoin struct {
 
 	Meter *meter.Meter
 
+	// Gov is the query's memory governor; partition pages, write-combine
+	// buffers, and the final partition buffers are accounted against it,
+	// and decideBits consults it to shed fan-out bits under pressure.
+	// Nil means ungoverned. Set before the build pipeline runs.
+	Gov *govern.Governor
+
 	// StatProbeRows and StatMatches count probe tuples entering the
 	// join phase and key-matched pairs, for the per-join analysis
 	// (Figures 1, 2 and 13).
 	StatProbeRows atomic.Int64
 	StatMatches   atomic.Int64
+
+	// DegradedBits reports how many second-pass fan-out bits the memory
+	// governor shed relative to the cache-optimal choice (0 = none).
+	DegradedBits int
 
 	filter        *bloom.Filter
 	bloomDisabled atomic.Bool
@@ -67,8 +83,20 @@ func NewRadixJoin(cfg Config, kind JoinKind, m *meter.Meter,
 
 // decideBits fixes the second-pass fan-out. The build side decides from its
 // own materialized size (the partition-fits-in-cache invariant); the probe
-// side reuses the build's decision so partition pairs line up.
-func (j *RadixJoin) decideBits(s *RadixSink, totalRows int64) int {
+// side reuses the build's decision so partition pairs line up. workers is
+// the number of workers that materialized the side (it scales the projected
+// write-combine overhead of pass 2).
+//
+// When a memory budget is set, the cache-optimal fan-out is walked down one
+// bit at a time while the projected pass-2 footprint — the contiguous
+// output buffer plus per-worker write-combine buffers plus the histogram —
+// still exceeds what remains of the budget. This is the first rung of the
+// degradation ladder; the planner's BHJ fallback (plan.compileJoin) is the
+// second. A reduced fan-out trades cache locality for memory, which the
+// paper's sensitivity results show is the right direction: a slightly
+// coarser partitioning degrades throughput gently, while an OOM kill does
+// not degrade at all.
+func (j *RadixJoin) decideBits(s *RadixSink, totalRows int64, workers int) int {
 	if s == j.BuildSink {
 		total := totalBitsFor(j.Cfg, totalRows*int64(s.Layout.Size))
 		b2 := total - j.Cfg.Pass1Bits
@@ -77,6 +105,24 @@ func (j *RadixJoin) decideBits(s *RadixSink, totalRows int64) int {
 		}
 		if b2 > j.Cfg.MaxPass2Bits {
 			b2 = j.Cfg.MaxPass2Bits
+		}
+		if g := j.Gov; g.Budgeted() {
+			rowBytes := totalRows * int64(s.Layout.Size)
+			overhead := func(b2 int) int64 {
+				f2 := int64(1) << b2
+				swwcb := int64(workers) * f2 * int64(s.swwcbBytes())
+				hist := int64(1) << uint(j.Cfg.Pass1Bits+b2) * 8
+				return rowBytes + swwcb + hist
+			}
+			want := b2
+			for b2 > 0 && g.WouldExceed(overhead(b2)) {
+				b2--
+			}
+			if b2 < want {
+				j.DegradedBits = want - b2
+				g.Note("radix join: fan-out reduced from %d to %d second-pass bits (budget %d B, used %d B)",
+					want, b2, g.Budget(), g.Used())
+			}
 		}
 		j.b2 = b2
 		j.b2Decided = true
@@ -248,6 +294,7 @@ func (s *PartitionJoinSource) worker(ctx *exec.Ctx) *joinScratch {
 
 // Emit implements exec.Source: joins one partition pair.
 func (s *PartitionJoinSource) Emit(ctx *exec.Ctx, pid int, out exec.Operator) {
+	faultinject.Hit(JoinEmitSite)
 	j := s.J
 	w := s.worker(ctx)
 	bl, pl := j.BuildSink.Layout, j.ProbeSink.Layout
@@ -337,6 +384,11 @@ func (s *PartitionJoinSource) Emit(ctx *exec.Ctx, pid int, out exec.Operator) {
 	bKeyOff := bl.Offs[bl.KeyCols[0]]
 	pKeyOff := pl.Offs[pl.KeyCols[0]]
 	for i := 0; i < np; i++ {
+		// Poll cancellation between blocks of probe rows so a huge
+		// skewed partition cannot pin a worker past a deadline.
+		if i&8191 == 8191 && ctx.Err() != nil {
+			return
+		}
 		prow := ppart[i*pl.Size : (i+1)*pl.Size]
 		h := pl.Hash(prow)
 		hit := false

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -422,7 +423,7 @@ type countSink struct {
 	total atomic.Int64
 }
 
-func (c *countSink) Open(workers int)          {}
+func (c *countSink) Open(workers int)           {}
 func (c *countSink) Consume(ctx *Ctx, b *Batch) { c.total.Add(int64(b.N)) }
 func (c *countSink) Close()                     {}
 
@@ -430,11 +431,13 @@ func TestDriverProcessesEveryTaskExactlyOnce(t *testing.T) {
 	src := &countSource{tasks: 1000, seen: make([]atomic.Int32, 1000)}
 	sink := &countSink{}
 	d := NewDriver(4)
-	d.Run(&Pipeline{
+	if err := d.Run(context.Background(), &Pipeline{
 		Source:   src,
 		NewChain: func(ctx *Ctx) Operator { return &SinkOp{S: sink} },
 		Sink:     sink,
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	for i := range src.seen {
 		if got := src.seen[i].Load(); got != 1 {
 			t.Fatalf("task %d ran %d times", i, got)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"partitionjoin/internal/govern"
 	"partitionjoin/internal/storage"
 )
 
@@ -80,6 +81,11 @@ type GroupBySink struct {
 	KeyTypes []storage.Type
 	KeyCaps  []int
 
+	// Gov accounts the table's growth with the query's memory governor
+	// (coarsely: key bytes plus fixed state per aggregate, charged once
+	// per new group). Nil records nothing.
+	Gov *govern.Governor
+
 	mu     sync.Mutex
 	locals []*groupTable
 	merged *groupTable
@@ -141,6 +147,7 @@ func (g *GroupBySink) group(t *groupTable, b *Batch, i int, scratch []byte) (int
 	if !ok {
 		gid = t.n
 		t.n++
+		g.Gov.MustGrant(int64(len(scratch)) + 16*int64(len(g.Aggs)))
 		key := string(scratch)
 		t.idx[key] = gid
 		t.rawKeys = append(t.rawKeys, key)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync/atomic"
 
 	"partitionjoin/internal/meter"
@@ -17,6 +18,13 @@ type Ctx struct {
 	Workers int
 	Meter   *meter.Meter
 
+	// Query is the query-scoped context carrying cancellation and
+	// deadlines into operators; long-running sources poll Err between
+	// batches so a cancelled query stops mid-morsel, not just at the
+	// next claim. Nil means "never cancelled" (tests building a Ctx by
+	// hand).
+	Query context.Context
+
 	// SourceRows counts the tuples emitted at pipeline sources; the
 	// TPC-H throughput metric of Section 5.3 is the sum of these counts
 	// divided by the wall time.
@@ -29,6 +37,15 @@ type Ctx struct {
 	// scanBatch is the worker's reusable source batch; a Ctx belongs to
 	// exactly one pipeline, and a pipeline has exactly one source.
 	scanBatch *Batch
+}
+
+// Err reports the query context's cancellation state; nil-context Ctxs are
+// never cancelled.
+func (c *Ctx) Err() error {
+	if c.Query == nil {
+		return nil
+	}
+	return c.Query.Err()
 }
 
 // KeepBuf returns the scratch keep buffer resized to n.

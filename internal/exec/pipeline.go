@@ -1,10 +1,14 @@
 package exec
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"partitionjoin/internal/faultinject"
 	"partitionjoin/internal/meter"
 )
 
@@ -19,6 +23,13 @@ type Pipeline struct {
 	Source   Source
 	NewChain func(ctx *Ctx) Operator
 	Sink     Sink
+
+	// SinkWorkers, when > 0, overrides the worker count passed to
+	// Sink.Open. Sinks shared across pipelines with different task counts
+	// (sweep pipelines reusing the main pipeline's terminal sink) must be
+	// opened with the maximum concurrency any sharing pipeline can reach,
+	// even if this pipeline's own worker count is clamped lower.
+	SinkWorkers int
 }
 
 // Driver runs pipelines with a fixed worker count.
@@ -40,16 +51,33 @@ func NewDriver(workers int) *Driver {
 	return &Driver{Workers: workers}
 }
 
+// MorselSite is the fault-injection site visited once per claimed morsel by
+// every worker.
+const MorselSite = "exec.morsel"
+
+// panicErr converts a recovered panic value into an error tagged with the
+// pipeline name and worker id. Error values are wrapped so errors.Is/As see
+// through to the cause (injected faults, governor failures); other values
+// get the stack attached since they indicate a real bug.
+func panicErr(pipeline string, worker int, r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("exec: pipeline %q worker %d panicked: %w", pipeline, worker, err)
+	}
+	return fmt.Errorf("exec: pipeline %q worker %d panicked: %v\n%s", pipeline, worker, r, debug.Stack())
+}
+
 // Run executes one pipeline to completion: opens the sink, spawns workers
 // that claim source tasks through an atomic cursor (work stealing across
 // morsels), flushes each worker's chain, and closes the sink.
-func (d *Driver) Run(p *Pipeline) {
+//
+// ctx cancellation (or deadline expiry) stops workers at the next
+// morsel-claim boundary and is returned as the context's cause. A panic in
+// any worker is recovered, converted to an error naming the pipeline and
+// worker, and cancels the sibling workers; the first cause wins. The sink
+// is always closed exactly once, even on failure, so pipeline-breaker state
+// never leaks goroutines or leaves shared sinks half-open.
+func (d *Driver) Run(ctx context.Context, p *Pipeline) error {
 	tasks := p.Source.Tasks()
-	if p.Sink != nil {
-		p.Sink.Open(d.Workers)
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
 	workers := d.Workers
 	if workers > tasks && tasks > 0 {
 		workers = tasks
@@ -57,37 +85,93 @@ func (d *Driver) Run(p *Pipeline) {
 	if workers < 1 {
 		workers = 1
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ctx := &Ctx{Worker: w, Workers: d.Workers, Meter: d.Meter, SourceRows: &d.SourceRows}
-			chain := p.NewChain(ctx)
-			for {
-				t := int(cursor.Add(1)) - 1
-				if t >= tasks {
-					break
-				}
-				p.Source.Emit(ctx, t, chain)
+	sinkWorkers := workers
+	if p.SinkWorkers > 0 {
+		sinkWorkers = p.SinkWorkers
+	}
+
+	var firstErr error
+	var once sync.Once
+	wctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel(err)
+		})
+	}
+
+	// guard runs fn with panic containment, reporting a recovered panic
+	// as the pipeline's failure without letting it escape the driver.
+	guard := func(worker int, fn func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(panicErr(p.Name, worker, r))
 			}
-			chain.Flush(ctx)
-		}(w)
+		}()
+		fn()
 	}
-	wg.Wait()
+
+	opened := false
 	if p.Sink != nil {
-		p.Sink.Close()
+		guard(-1, func() { p.Sink.Open(sinkWorkers); opened = true })
 	}
+	if firstErr == nil {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				guard(w, func() {
+					ctx := &Ctx{
+						Worker: w, Workers: workers,
+						Query: wctx, Meter: d.Meter, SourceRows: &d.SourceRows,
+					}
+					chain := p.NewChain(ctx)
+					for wctx.Err() == nil {
+						t := int(cursor.Add(1)) - 1
+						if t >= tasks {
+							break
+						}
+						faultinject.Hit(MorselSite)
+						p.Source.Emit(ctx, t, chain)
+					}
+					if wctx.Err() == nil {
+						chain.Flush(ctx)
+					}
+				})
+			}(w)
+		}
+		wg.Wait()
+	}
+	if opened {
+		// Close exactly once even on failure; a worker error set first
+		// keeps precedence over a close panic via the once in fail.
+		guard(-1, func() { p.Sink.Close() })
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
-// RunAll executes pipelines in order.
-func (d *Driver) RunAll(ps []*Pipeline) {
+// RunAll executes pipelines in order, stopping at the first failure.
+func (d *Driver) RunAll(ctx context.Context, ps []*Pipeline) error {
 	for _, p := range ps {
 		if d.Meter != nil && p.Name != "" {
 			d.Meter.BeginPhase(p.Name)
 		}
-		d.Run(p)
+		err := d.Run(ctx, p)
 		if d.Meter != nil && p.Name != "" {
 			d.Meter.EndPhase()
 		}
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -1,0 +1,285 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/storage"
+)
+
+// trackSink counts Open/Close calls and the worker count it was opened with.
+type trackSink struct {
+	opens      atomic.Int32
+	closes     atomic.Int32
+	openedWith int
+	maxWorker  atomic.Int32
+	rows       atomic.Int64
+}
+
+func (s *trackSink) Open(workers int) {
+	s.opens.Add(1)
+	s.openedWith = workers
+}
+
+func (s *trackSink) Consume(ctx *Ctx, b *Batch) {
+	for {
+		m := s.maxWorker.Load()
+		if int32(ctx.Worker) <= m || s.maxWorker.CompareAndSwap(m, int32(ctx.Worker)) {
+			break
+		}
+	}
+	if ctx.Worker >= ctx.Workers {
+		panic("ctx.Worker out of range of ctx.Workers")
+	}
+	s.rows.Add(int64(b.N))
+}
+
+func (s *trackSink) Close() { s.closes.Add(1) }
+
+// waitForGoroutines retries until the goroutine count drops back to within
+// slack of base (the runtime needs a moment to reap exited goroutines).
+func waitForGoroutines(t *testing.T, base int, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, started with %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDriverClampedWorkersFlowToSinkAndCtx covers the worker/context
+// mismatch: with fewer tasks than driver workers, the clamped count must be
+// what Sink.Open receives and what Ctx.Workers reports.
+func TestDriverClampedWorkersFlowToSinkAndCtx(t *testing.T) {
+	src := &countSource{tasks: 2, seen: make([]atomic.Int32, 2)}
+	sink := &trackSink{}
+	d := NewDriver(16)
+	err := d.Run(context.Background(), &Pipeline{
+		Name:     "clamp",
+		Source:   src,
+		NewChain: func(ctx *Ctx) Operator { return &SinkOp{S: sink} },
+		Sink:     sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.openedWith != 2 {
+		t.Fatalf("sink opened with %d workers, want clamped 2", sink.openedWith)
+	}
+	if m := sink.maxWorker.Load(); m > 1 {
+		t.Fatalf("worker id %d seen with only 2 tasks", m)
+	}
+	if sink.rows.Load() != 2 {
+		t.Fatalf("rows = %d", sink.rows.Load())
+	}
+}
+
+// TestDriverSinkWorkersOverride covers shared sinks: a pipeline whose own
+// worker count clamps low must still open the sink at the configured
+// capacity so sibling pipelines' workers fit.
+func TestDriverSinkWorkersOverride(t *testing.T) {
+	src := &countSource{tasks: 1, seen: make([]atomic.Int32, 1)}
+	sink := &trackSink{}
+	d := NewDriver(8)
+	err := d.Run(context.Background(), &Pipeline{
+		Source:      src,
+		NewChain:    func(ctx *Ctx) Operator { return &SinkOp{S: sink} },
+		Sink:        sink,
+		SinkWorkers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.openedWith != 8 {
+		t.Fatalf("sink opened with %d, want SinkWorkers=8", sink.openedWith)
+	}
+}
+
+// panicSource panics while emitting a chosen task.
+type panicSource struct {
+	tasks   int
+	panicAt int
+	payload any
+	emitted atomic.Int64
+}
+
+func (s *panicSource) Tasks() int { return s.tasks }
+func (s *panicSource) Emit(ctx *Ctx, task int, out Operator) {
+	s.emitted.Add(1)
+	if task == s.panicAt {
+		panic(s.payload)
+	}
+	b := ctx.ScratchBatch([]storage.Type{storage.Int64}, nil)
+	b.Reset()
+	b.Vecs[0].I64 = append(b.Vecs[0].I64, int64(task))
+	b.N = 1
+	out.Process(ctx, b)
+}
+
+// TestDriverContainsWorkerPanic is the satellite table test: a panic in one
+// worker mid-morsel must come back as an error naming the pipeline, every
+// goroutine must exit, and the sink must be closed exactly once.
+func TestDriverContainsWorkerPanic(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	cases := []struct {
+		name    string
+		payload any
+		workers int
+		wantIs  error // optional errors.Is target
+	}{
+		{name: "string panic single worker", payload: "kaboom", workers: 1},
+		{name: "string panic many workers", payload: "kaboom", workers: 8},
+		{name: "error panic wraps cause", payload: sentinel, workers: 4, wantIs: sentinel},
+		{name: "non-error value", payload: 42, workers: 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			src := &panicSource{tasks: 64, panicAt: 17, payload: tc.payload}
+			sink := &trackSink{}
+			d := NewDriver(tc.workers)
+			err := d.Run(context.Background(), &Pipeline{
+				Name:     "probe",
+				Source:   src,
+				NewChain: func(ctx *Ctx) Operator { return &SinkOp{S: sink} },
+				Sink:     sink,
+			})
+			if err == nil {
+				t.Fatal("worker panic did not surface as an error")
+			}
+			if !strings.Contains(err.Error(), `pipeline "probe"`) {
+				t.Fatalf("error does not name the pipeline: %v", err)
+			}
+			if tc.wantIs != nil && !errors.Is(err, tc.wantIs) {
+				t.Fatalf("error chain lost the cause: %v", err)
+			}
+			if got := sink.opens.Load(); got != 1 {
+				t.Fatalf("sink opened %d times", got)
+			}
+			if got := sink.closes.Load(); got != 1 {
+				t.Fatalf("sink closed %d times, want exactly once", got)
+			}
+			waitForGoroutines(t, base, 2)
+		})
+	}
+}
+
+// TestDriverPanicCancelsSiblings checks that after one worker dies the
+// remaining workers stop claiming morsels instead of draining the source.
+func TestDriverPanicCancelsSiblings(t *testing.T) {
+	src := &panicSource{tasks: 100000, panicAt: 0, payload: "die early"}
+	sink := &trackSink{}
+	d := NewDriver(4)
+	err := d.Run(context.Background(), &Pipeline{
+		Name:     "cancel-siblings",
+		Source:   src,
+		NewChain: func(ctx *Ctx) Operator { return &SinkOp{S: sink} },
+		Sink:     sink,
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := src.emitted.Load(); n >= int64(src.tasks) {
+		t.Fatalf("siblings drained the whole source (%d tasks) after panic", n)
+	}
+}
+
+// TestDriverPreCancelledContext verifies an already-cancelled query context
+// returns its cause before any task runs.
+func TestDriverPreCancelledContext(t *testing.T) {
+	cause := errors.New("client went away")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	src := &countSource{tasks: 1000, seen: make([]atomic.Int32, 1000)}
+	sink := &trackSink{}
+	d := NewDriver(4)
+	err := d.Run(ctx, &Pipeline{
+		Source:   src,
+		NewChain: func(ctx *Ctx) Operator { return &SinkOp{S: sink} },
+		Sink:     sink,
+	})
+	if !errors.Is(err, cause) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want cancellation cause", err)
+	}
+	var ran int
+	for i := range src.seen {
+		ran += int(src.seen[i].Load())
+	}
+	if ran != 0 {
+		t.Fatalf("%d tasks ran under a pre-cancelled context", ran)
+	}
+	if sink.closes.Load() != 1 {
+		t.Fatalf("sink closed %d times", sink.closes.Load())
+	}
+}
+
+// TestFaultInjectionMorselPanicContained arms the driver's own fault site
+// and checks containment end to end under concurrency and -count=2 reruns.
+func TestFaultInjectionMorselPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Enable(MorselSite, faultinject.Fault{
+		Kind: faultinject.Panic, After: 10, Message: "injected morsel fault", Once: true,
+	})
+	base := runtime.NumGoroutine()
+	src := &countSource{tasks: 500, seen: make([]atomic.Int32, 500)}
+	sink := &trackSink{}
+	d := NewDriver(4)
+	err := d.Run(context.Background(), &Pipeline{
+		Name:     "faulted",
+		Source:   src,
+		NewChain: func(ctx *Ctx) Operator { return &SinkOp{S: sink} },
+		Sink:     sink,
+	})
+	if err == nil {
+		t.Fatal("injected panic did not surface")
+	}
+	var inj *faultinject.Injected
+	if !errors.As(err, &inj) || inj.Site != MorselSite {
+		t.Fatalf("error %v does not carry the injected fault", err)
+	}
+	if !strings.Contains(err.Error(), `pipeline "faulted"`) {
+		t.Fatalf("error does not name the pipeline: %v", err)
+	}
+	if sink.closes.Load() != 1 {
+		t.Fatalf("sink closed %d times", sink.closes.Load())
+	}
+	waitForGoroutines(t, base, 2)
+}
+
+// TestFaultInjectionStallObeysDeadline stalls every morsel and checks a
+// short deadline still terminates the run promptly via the claim boundary.
+func TestFaultInjectionStallObeysDeadline(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Enable(MorselSite, faultinject.Fault{
+		Kind: faultinject.Stall, Stall: 2 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	src := &countSource{tasks: 100000, seen: make([]atomic.Int32, 100000)}
+	sink := &trackSink{}
+	d := NewDriver(2)
+	start := time.Now()
+	err := d.Run(ctx, &Pipeline{
+		Source:   src,
+		NewChain: func(ctx *Ctx) Operator { return &SinkOp{S: sink} },
+		Sink:     sink,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline ignored for %v", d)
+	}
+}

@@ -44,6 +44,9 @@ func (s *TableSource) Emit(ctx *Ctx, task int, out Operator) {
 	b := ctx.srcBatch(s)
 	var bytesRead int64
 	for start := m.Start; start < m.End; start += BatchSize {
+		if ctx.Err() != nil {
+			return
+		}
 		end := start + BatchSize
 		if end > m.End {
 			end = m.End
@@ -121,6 +124,9 @@ func (s *TableSourceWithRowID) Emit(ctx *Ctx, task int, out Operator) {
 	b := ctx.scanBatch
 	var bytesRead int64
 	for start := m.Start; start < m.End; start += BatchSize {
+		if ctx.Err() != nil {
+			return
+		}
 		end := start + BatchSize
 		if end > m.End {
 			end = m.End

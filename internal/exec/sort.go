@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"partitionjoin/internal/govern"
 	"partitionjoin/internal/storage"
 )
 
@@ -24,6 +25,9 @@ type SortSink struct {
 	Types []storage.Type
 	Caps  []int
 
+	// Gov accounts collected bytes with the query's memory governor.
+	Gov *govern.Governor
+
 	mu     sync.Mutex
 	locals []*Result
 	out    *Result
@@ -42,6 +46,7 @@ func (s *SortSink) Consume(ctx *Ctx, b *Batch) {
 		r = NewResult(s.Types, s.Caps)
 		s.locals[ctx.Worker] = r
 	}
+	s.Gov.MustGrant(int64(b.N) * 8 * int64(len(b.Vecs)))
 	r.AppendBatch(b)
 }
 
@@ -224,6 +229,9 @@ type CollectSink struct {
 	Types []storage.Type
 	Caps  []int
 
+	// Gov accounts collected bytes with the query's memory governor.
+	Gov *govern.Governor
+
 	locals []*Result
 	out    *Result
 }
@@ -241,6 +249,7 @@ func (c *CollectSink) Consume(ctx *Ctx, b *Batch) {
 		r = NewResult(c.Types, c.Caps)
 		c.locals[ctx.Worker] = r
 	}
+	c.Gov.MustGrant(int64(b.N) * 8 * int64(len(b.Vecs)))
 	r.AppendBatch(b)
 	ctx.Meter.AddWrite(int64(b.N) * 8 * int64(len(b.Vecs)))
 }

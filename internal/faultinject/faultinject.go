@@ -1,0 +1,198 @@
+// Package faultinject provides build-tag-free fault injection for the
+// execution engine. Hot paths call Hit(site) or ErrAt(site); with no faults
+// armed both compile down to one atomic load and return immediately, so the
+// hooks can stay in production code. Tests arm faults against named call
+// sites to provoke panics, allocation failures, and artificial stalls under
+// real concurrent load, proving that cancellation, panic containment, and
+// memory-governor degradation behave as designed.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed fault does when it triggers.
+type Kind int
+
+const (
+	// Panic makes Hit panic with an *Injected value.
+	Panic Kind = iota
+	// Stall makes Hit sleep for the configured duration, simulating a
+	// stuck worker (used to exercise deadlines and cancellation).
+	Stall
+	// Fail makes ErrAt return an *Injected error, simulating an
+	// allocation or resource failure at the site.
+	Fail
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Fail:
+		return "fail"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault describes one armed fault. The zero value triggers on the first
+// visit to the site.
+type Fault struct {
+	Kind Kind
+	// After skips the first After visits to the site before triggering,
+	// giving deterministic mid-stream faults ("panic on the 3rd morsel").
+	After int64
+	// Prob, when > 0, triggers each visit independently with the given
+	// probability instead of using the After counter.
+	Prob float64
+	// Stall is the sleep duration for Kind == Stall.
+	Stall time.Duration
+	// Message is carried inside the Injected value.
+	Message string
+	// Once disarms the fault after its first trigger.
+	Once bool
+
+	// visits and triggers are guarded by the package mutex; keeping them
+	// non-atomic keeps Fault copyable for Enable's by-value API.
+	visits   int64
+	triggers int64
+}
+
+// Injected is the value Hit panics with and ErrAt returns. Containment
+// layers can detect injected faults with errors.As.
+type Injected struct {
+	Site    string
+	Message string
+}
+
+// Error implements error.
+func (e *Injected) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("faultinject: injected fault at %s: %s", e.Site, e.Message)
+	}
+	return fmt.Sprintf("faultinject: injected fault at %s", e.Site)
+}
+
+var (
+	// enabled is the fast-path guard: false means no faults are armed
+	// anywhere and every hook returns after a single atomic load.
+	enabled atomic.Bool
+
+	mu    sync.Mutex
+	sites map[string]*Fault
+	rng   = rand.New(rand.NewSource(1))
+)
+
+// Enable arms a fault at the named call site, replacing any existing fault
+// for that site.
+func Enable(site string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = make(map[string]*Fault)
+	}
+	ff := f // private copy; counters start at zero
+	sites[site] = &ff
+	enabled.Store(true)
+}
+
+// Disable disarms the named site.
+func Disable(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sites, site)
+	if len(sites) == 0 {
+		enabled.Store(false)
+	}
+}
+
+// Reset disarms every site. Tests defer this so armed faults never leak
+// into later tests (or later -count runs).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = nil
+	enabled.Store(false)
+	rng = rand.New(rand.NewSource(1))
+}
+
+// Triggers reports how many times the named site has fired.
+func Triggers(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if f := sites[site]; f != nil {
+		return f.triggers
+	}
+	return 0
+}
+
+// lookup returns the armed fault for site if its trigger condition holds on
+// this visit.
+func lookup(site string) *Fault {
+	mu.Lock()
+	f := sites[site]
+	if f == nil {
+		mu.Unlock()
+		return nil
+	}
+	fire := false
+	if f.Prob > 0 {
+		fire = rng.Float64() < f.Prob
+	} else {
+		f.visits++
+		fire = f.visits > f.After
+	}
+	if fire {
+		f.triggers++
+		if f.Once {
+			delete(sites, site)
+			if len(sites) == 0 {
+				enabled.Store(false)
+			}
+		}
+	}
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	return f
+}
+
+// Hit is the hook for panic and stall faults. With nothing armed it costs
+// one atomic load. If a Panic fault triggers, Hit panics with *Injected; a
+// Stall fault sleeps; a Fail fault is ignored here (use ErrAt).
+func Hit(site string) {
+	if !enabled.Load() {
+		return
+	}
+	f := lookup(site)
+	if f == nil {
+		return
+	}
+	switch f.Kind {
+	case Panic:
+		panic(&Injected{Site: site, Message: f.Message})
+	case Stall:
+		time.Sleep(f.Stall)
+	}
+}
+
+// ErrAt is the hook for allocation-failure faults: it returns an *Injected
+// error when a Fail fault triggers at the site, else nil.
+func ErrAt(site string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	f := lookup(site)
+	if f == nil || f.Kind != Fail {
+		return nil
+	}
+	return &Injected{Site: site, Message: f.Message}
+}

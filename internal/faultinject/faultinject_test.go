@@ -1,0 +1,101 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultInjectionPanicAfterN(t *testing.T) {
+	defer Reset()
+	Enable("site.a", Fault{Kind: Panic, After: 2, Message: "boom"})
+	Hit("site.a")
+	Hit("site.a")
+	panicked := func() (p any) {
+		defer func() { p = recover() }()
+		Hit("site.a")
+		return nil
+	}()
+	inj, ok := panicked.(*Injected)
+	if !ok {
+		t.Fatalf("expected *Injected panic on 3rd visit, got %v", panicked)
+	}
+	if inj.Site != "site.a" || inj.Message != "boom" {
+		t.Fatalf("wrong payload: %+v", inj)
+	}
+	if got := Triggers("site.a"); got != 1 {
+		t.Fatalf("triggers = %d, want 1", got)
+	}
+}
+
+func TestFaultInjectionOnceDisarms(t *testing.T) {
+	defer Reset()
+	Enable("site.once", Fault{Kind: Fail, Once: true})
+	if err := ErrAt("site.once"); err == nil {
+		t.Fatal("first visit should fail")
+	}
+	if err := ErrAt("site.once"); err != nil {
+		t.Fatalf("Once fault fired twice: %v", err)
+	}
+	if enabled.Load() {
+		t.Fatal("fast-path flag still set after last fault disarmed")
+	}
+}
+
+func TestFaultInjectionErrAtMatchesErrorsAs(t *testing.T) {
+	defer Reset()
+	Enable("site.fail", Fault{Kind: Fail, Message: "no memory"})
+	err := ErrAt("site.fail")
+	var inj *Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+	if inj.Site != "site.fail" {
+		t.Fatalf("wrong site %q", inj.Site)
+	}
+	// Panic faults must not leak through the error hook.
+	Enable("site.fail", Fault{Kind: Panic})
+	if err := ErrAt("site.fail"); err != nil {
+		t.Fatalf("panic fault returned error: %v", err)
+	}
+}
+
+func TestFaultInjectionStallSleeps(t *testing.T) {
+	defer Reset()
+	Enable("site.stall", Fault{Kind: Stall, Stall: 20 * time.Millisecond})
+	start := time.Now()
+	Hit("site.stall")
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("stall returned after %v", d)
+	}
+}
+
+func TestFaultInjectionDisableAndReset(t *testing.T) {
+	defer Reset()
+	Enable("site.x", Fault{Kind: Fail})
+	Enable("site.y", Fault{Kind: Fail})
+	Disable("site.x")
+	if err := ErrAt("site.x"); err != nil {
+		t.Fatal("disabled site still fires")
+	}
+	if err := ErrAt("site.y"); err == nil {
+		t.Fatal("unrelated site disarmed by Disable")
+	}
+	Reset()
+	if err := ErrAt("site.y"); err != nil {
+		t.Fatal("Reset left site armed")
+	}
+	if enabled.Load() {
+		t.Fatal("fast-path flag set after Reset")
+	}
+}
+
+func TestFaultInjectionUnarmedIsFree(t *testing.T) {
+	defer Reset()
+	// No faults armed: hooks must be no-ops (this also guards -count=2
+	// determinism — earlier tests Reset on exit).
+	Hit("never.armed")
+	if err := ErrAt("never.armed"); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

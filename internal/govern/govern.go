@@ -1,0 +1,139 @@
+// Package govern implements the per-query memory governor: an atomic
+// allocation accountant with a configurable budget. Operators Grant bytes
+// before materializing partition pages, hash-table arenas, or group tables
+// and Release them when the memory is dropped; planners consult the live
+// account (WouldExceed) to degrade gracefully — the radix join sheds
+// fan-out bits and, past a floor, the planner falls back to the
+// non-partitioned BHJ, which is the paper's "do not partition" answer made
+// operational.
+//
+// The budget steers decisions; it is deliberately not a hard kill switch.
+// A query that degrades all the way to BHJ still runs to completion even
+// if the budget was set below its working set — aborting would trade a
+// correct (slower) answer for an error. Grant only fails when fault
+// injection arms the "govern.grant" site, which is how tests simulate real
+// allocation failure. A nil *Governor is valid, records nothing, and never
+// degrades, following the meter.Meter convention.
+package govern
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"partitionjoin/internal/faultinject"
+)
+
+// GrantSite is the fault-injection site checked by Grant; arming a Fail
+// fault there simulates allocation failure.
+const GrantSite = "govern.grant"
+
+// Governor tracks one query's materialized bytes against a budget.
+type Governor struct {
+	budget int64
+	used   atomic.Int64
+	peak   atomic.Int64
+
+	mu     sync.Mutex
+	events []string
+}
+
+// New returns a governor with the given budget in bytes; budget <= 0 means
+// "account but never constrain" (WouldExceed always false).
+func New(budget int64) *Governor {
+	return &Governor{budget: budget}
+}
+
+// Budgeted reports whether a finite budget is set.
+func (g *Governor) Budgeted() bool { return g != nil && g.budget > 0 }
+
+// Budget returns the configured budget (0 when unbudgeted or nil).
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// Grant accounts n bytes about to be materialized. It fails only under
+// injected allocation faults; see the package comment for why the budget
+// itself never rejects a grant.
+func (g *Governor) Grant(n int64) error {
+	if g == nil {
+		return nil
+	}
+	if err := faultinject.ErrAt(GrantSite); err != nil {
+		return fmt.Errorf("govern: allocation of %d bytes failed: %w", n, err)
+	}
+	used := g.used.Add(n)
+	for {
+		peak := g.peak.Load()
+		if used <= peak || g.peak.CompareAndSwap(peak, used) {
+			return nil
+		}
+	}
+}
+
+// MustGrant is Grant for call sites with no error path; an injected failure
+// panics and is converted back to an error by the driver's containment.
+func (g *Governor) MustGrant(n int64) {
+	if err := g.Grant(n); err != nil {
+		panic(err)
+	}
+}
+
+// Release returns n bytes to the account.
+func (g *Governor) Release(n int64) {
+	if g == nil {
+		return
+	}
+	g.used.Add(-n)
+}
+
+// Used returns the live accounted bytes.
+func (g *Governor) Used() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.used.Load()
+}
+
+// Peak returns the high-water mark of accounted bytes.
+func (g *Governor) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
+}
+
+// WouldExceed reports whether materializing extra more bytes would push the
+// account past the budget. Unbudgeted (or nil) governors never constrain.
+func (g *Governor) WouldExceed(extra int64) bool {
+	if !g.Budgeted() {
+		return false
+	}
+	return g.used.Load()+extra > g.budget
+}
+
+// Note records a degradation decision (BHJ fallback, fan-out reduction) so
+// explain output and tests can see what the governor did.
+func (g *Governor) Note(format string, args ...any) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.events = append(g.events, fmt.Sprintf(format, args...))
+	g.mu.Unlock()
+}
+
+// Events returns the recorded degradation decisions in order.
+func (g *Governor) Events() []string {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.events))
+	copy(out, g.events)
+	return out
+}

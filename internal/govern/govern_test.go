@@ -1,0 +1,102 @@
+package govern
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"partitionjoin/internal/faultinject"
+)
+
+func TestNilGovernorIsSafe(t *testing.T) {
+	var g *Governor
+	if err := g.Grant(100); err != nil {
+		t.Fatal(err)
+	}
+	g.MustGrant(100)
+	g.Release(100)
+	g.Note("x %d", 1)
+	if g.Used() != 0 || g.Peak() != 0 || g.Budgeted() || g.WouldExceed(1) || g.Events() != nil {
+		t.Fatal("nil governor should record nothing and never constrain")
+	}
+}
+
+func TestAccountingAndPeak(t *testing.T) {
+	g := New(1000)
+	g.MustGrant(400)
+	g.MustGrant(400)
+	g.Release(300)
+	if g.Used() != 500 {
+		t.Fatalf("used = %d, want 500", g.Used())
+	}
+	if g.Peak() != 800 {
+		t.Fatalf("peak = %d, want 800", g.Peak())
+	}
+	if g.WouldExceed(500) {
+		t.Fatal("500 more fits exactly in budget")
+	}
+	if !g.WouldExceed(501) {
+		t.Fatal("501 more exceeds budget")
+	}
+}
+
+func TestUnbudgetedNeverConstrains(t *testing.T) {
+	g := New(0)
+	g.MustGrant(1 << 40)
+	if g.Budgeted() || g.WouldExceed(1<<40) {
+		t.Fatal("unbudgeted governor must not constrain")
+	}
+}
+
+func TestConcurrentGrantRelease(t *testing.T) {
+	g := New(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.MustGrant(7)
+				g.Release(7)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Used() != 0 {
+		t.Fatalf("used = %d after balanced grant/release", g.Used())
+	}
+	if g.Peak() < 7 {
+		t.Fatalf("peak = %d, want >= 7", g.Peak())
+	}
+}
+
+func TestNotesAndEvents(t *testing.T) {
+	g := New(10)
+	g.Note("join %s: fallback to BHJ", "j1")
+	g.Note("join %s: fan-out reduced", "j2")
+	ev := g.Events()
+	if len(ev) != 2 || ev[0] != "join j1: fallback to BHJ" {
+		t.Fatalf("events = %v", ev)
+	}
+}
+
+func TestFaultInjectionGrantFails(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Enable(GrantSite, faultinject.Fault{Kind: faultinject.Fail, Message: "oom"})
+	g := New(1 << 20)
+	err := g.Grant(64)
+	if err == nil {
+		t.Fatal("expected injected allocation failure")
+	}
+	var inj *faultinject.Injected
+	if !errors.As(err, &inj) || inj.Site != GrantSite {
+		t.Fatalf("error %v does not carry the injected fault", err)
+	}
+	// MustGrant must panic with the same error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGrant did not panic under injected failure")
+		}
+	}()
+	g.MustGrant(64)
+}

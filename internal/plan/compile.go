@@ -3,6 +3,7 @@ package plan
 import (
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
+	"partitionjoin/internal/govern"
 	"partitionjoin/internal/meter"
 	"partitionjoin/internal/storage"
 )
@@ -21,6 +22,11 @@ type Options struct {
 	Meter *meter.Meter
 	// Stats, when set, collects per-join cardinalities and widths.
 	Stats *StatsCollector
+	// MemBudget, when > 0, is the query's memory budget in bytes. The
+	// governor steers radix joins to degrade (reduced fan-out, BHJ
+	// fallback) when their projected footprint would exceed it; it never
+	// aborts a query. Degradations are reported in ExecResult.Degraded.
+	MemBudget int64
 }
 
 // DefaultOptions runs everything through the BHJ at full parallelism.
@@ -58,6 +64,8 @@ type pipe struct {
 
 type compiler struct {
 	opts      Options
+	gov       *govern.Governor
+	workers   int // resolved driver parallelism (never <= 0)
 	pipelines []*exec.Pipeline
 	harvests  []func()
 }
@@ -80,19 +88,25 @@ func (c *compiler) terminate(p *pipe, sink exec.Sink, name string) {
 			return op
 		}
 	}
+	// Pipelines sharing one sink can have different clamped worker counts
+	// (a sweep pipeline may have more tasks than the main pipeline); the
+	// sink opens once at full driver capacity so every sharer's worker
+	// ids fit its per-worker slots.
 	c.pipelines = append(c.pipelines, &exec.Pipeline{
-		Name:     name,
-		Source:   p.source,
-		NewChain: mk(p.ops),
-		Sink:     shared,
+		Name:        name,
+		Source:      p.source,
+		NewChain:    mk(p.ops),
+		Sink:        shared,
+		SinkWorkers: c.workers,
 	})
 	for _, s := range p.sweeps {
 		c.pipelines = append(c.pipelines, &exec.Pipeline{
 			Source: &core.UnmatchedBuildSource{
 				J: s.join, ProbeTypes: s.probeTypes, WantMatched: s.wantMatched,
 			},
-			NewChain: mk(p.ops[s.opIdx:]),
-			Sink:     shared,
+			NewChain:    mk(p.ops[s.opIdx:]),
+			Sink:        shared,
+			SinkWorkers: c.workers,
 		})
 	}
 }
@@ -213,7 +227,7 @@ func (c *compiler) compile(n Node) *pipe {
 
 	case *GroupByNode:
 		p := c.compile(n.Child)
-		sink := &exec.GroupBySink{}
+		sink := &exec.GroupBySink{Gov: c.gov}
 		kt := make([]storage.Type, len(n.Keys))
 		kc := make([]int, len(n.Keys))
 		for i, k := range n.Keys {
@@ -236,7 +250,7 @@ func (c *compiler) compile(n Node) *pipe {
 	case *OrderByNode:
 		p := c.compile(n.Child)
 		ts, caps := vecTypes(p.cols)
-		sink := &exec.SortSink{Limit: n.Limit, Types: ts, Caps: caps}
+		sink := &exec.SortSink{Limit: n.Limit, Types: ts, Caps: caps, Gov: c.gov}
 		for _, k := range n.Keys {
 			sink.Keys = append(sink.Keys, exec.SortKey{Col: mustIdx(p.cols, k.Col), Desc: k.Desc})
 		}

@@ -36,8 +36,8 @@ func TestTableFromResultRoundTrip(t *testing.T) {
 	for _, v := range build.Int64Col("bval") {
 		want += v
 	}
-	if res2.ScalarI64() != want {
-		t.Fatalf("round-tripped sum %d, want %d", res2.ScalarI64(), want)
+	if res2.MustScalarI64() != want {
+		t.Fatalf("round-tripped sum %d, want %d", res2.MustScalarI64(), want)
 	}
 }
 
@@ -77,9 +77,9 @@ func TestSharedSinkOpensOnceClosesOnce(t *testing.T) {
 
 type countingSink struct{ opens, closes int }
 
-func (c *countingSink) Open(workers int)                    { c.opens++ }
+func (c *countingSink) Open(workers int)                     { c.opens++ }
 func (c *countingSink) Consume(ctx *exec.Ctx, b *exec.Batch) {}
-func (c *countingSink) Close()                              { c.closes++ }
+func (c *countingSink) Close()                               { c.closes++ }
 
 func TestStatsCollector(t *testing.T) {
 	build, probe := makeTables(300, 2000, 400, 33)

@@ -1,0 +1,38 @@
+package plan
+
+// estimateRows gives an upper-bound cardinality estimate for a plan subtree,
+// used by the governor's plan-time partition-or-not decision: the radix
+// join's projected footprint is both sides' estimated rows times their
+// packed-row widths. Filters and joins are treated as selectivity 1 — the
+// governor wants a conservative ceiling, not a precise optimizer estimate,
+// because under-estimating footprint defeats the budget. Returns -1 when
+// the cardinality cannot be bounded.
+func estimateRows(n Node) int64 {
+	switch n := n.(type) {
+	case *ScanNode:
+		return int64(n.Table.NumRows())
+	case *FilterNode:
+		return estimateRows(n.Child)
+	case *MapNode:
+		return estimateRows(n.Child)
+	case *RenameNode:
+		return estimateRows(n.Child)
+	case *ProjectNode:
+		return estimateRows(n.Child)
+	case *LateLoadNode:
+		return estimateRows(n.Child)
+	case *GroupByNode:
+		return estimateRows(n.Child)
+	case *OrderByNode:
+		if r := estimateRows(n.Child); n.Limit > 0 && (r < 0 || int64(n.Limit) < r) {
+			return int64(n.Limit)
+		} else {
+			return r
+		}
+	case *JoinNode:
+		// For key/foreign-key joins (every join in the paper's workloads)
+		// the output is bounded by the probe side.
+		return estimateRows(n.Probe)
+	}
+	return -1
+}

@@ -1,9 +1,13 @@
 package plan
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"time"
 
 	"partitionjoin/internal/exec"
+	"partitionjoin/internal/govern"
 	"partitionjoin/internal/storage"
 )
 
@@ -15,6 +19,11 @@ type ExecResult struct {
 	// the TPC-H throughput metric divides it by Duration (Section 5.3).
 	SourceRows int64
 	Duration   time.Duration
+	// Degraded lists the memory governor's degradation decisions (BHJ
+	// fallbacks, fan-out reductions) taken while executing this plan.
+	Degraded []string
+	// MemPeak is the high-water mark of governor-accounted bytes.
+	MemPeak int64
 }
 
 // Throughput returns source tuples per second.
@@ -25,18 +34,41 @@ func (r *ExecResult) Throughput() float64 {
 	return float64(r.SourceRows) / r.Duration.Seconds()
 }
 
-// Execute compiles and runs a plan tree, collecting the root's output.
-func Execute(opts Options, root Node) *ExecResult {
-	c := &compiler{opts: opts}
+// ExecuteErr compiles and runs a plan tree under the given context,
+// collecting the root's output. Cancellation and deadline expiry surface as
+// the context's error; worker panics are contained by the driver and
+// surface as errors naming the pipeline; compile-time panics (unknown
+// columns, malformed trees) are converted to errors too. A positive
+// Options.MemBudget arms the memory governor, which degrades radix joins
+// rather than failing the query (see internal/govern).
+func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("plan: %w", e)
+			} else {
+				err = fmt.Errorf("plan: %v", r)
+			}
+		}
+	}()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	gov := govern.New(opts.MemBudget)
+	c := &compiler{opts: opts, gov: gov, workers: workers}
 	p := c.compile(root)
 	ts, caps := vecTypes(p.cols)
-	sink := &exec.CollectSink{Types: ts, Caps: caps}
+	sink := &exec.CollectSink{Types: ts, Caps: caps, Gov: gov}
 	c.terminate(p, sink, "collect")
 
-	d := exec.NewDriver(opts.Workers)
+	d := exec.NewDriver(workers)
 	d.Meter = opts.Meter
 	start := time.Now()
-	d.RunAll(c.pipelines)
+	if err := d.RunAll(ctx, c.pipelines); err != nil {
+		return nil, err
+	}
 	for _, h := range c.harvests {
 		h()
 	}
@@ -45,7 +77,19 @@ func Execute(opts Options, root Node) *ExecResult {
 		Cols:       p.cols,
 		SourceRows: d.SourceRows.Load(),
 		Duration:   time.Since(start),
+		Degraded:   gov.Events(),
+		MemPeak:    gov.Peak(),
+	}, nil
+}
+
+// Execute is the historical API: ExecuteErr with a background context,
+// panicking on failure.
+func Execute(opts Options, root Node) *ExecResult {
+	res, err := ExecuteErr(context.Background(), opts, root)
+	if err != nil {
+		panic(err)
 	}
+	return res
 }
 
 // TableFromResult materializes an executed result as a stored table so a
@@ -75,17 +119,35 @@ func TableFromResult(name string, cols []ColRef, r *exec.Result) *storage.Table 
 
 // ScalarI64 returns the single int64 value of a 1x1 result (scalar
 // subqueries of the TPC-H rewrites).
-func (r *ExecResult) ScalarI64() int64 {
-	if r.Result.NumRows() != 1 {
-		panic("plan: scalar result does not have exactly one row")
+func (r *ExecResult) ScalarI64() (int64, error) {
+	if n := r.Result.NumRows(); n != 1 {
+		return 0, fmt.Errorf("plan: scalar result has %d rows, want exactly 1", n)
 	}
-	return r.Result.Vecs[0].I64[0]
+	return r.Result.Vecs[0].I64[0], nil
 }
 
 // ScalarF64 returns the single float64 value of a 1x1 result.
-func (r *ExecResult) ScalarF64() float64 {
-	if r.Result.NumRows() != 1 {
-		panic("plan: scalar result does not have exactly one row")
+func (r *ExecResult) ScalarF64() (float64, error) {
+	if n := r.Result.NumRows(); n != 1 {
+		return 0, fmt.Errorf("plan: scalar result has %d rows, want exactly 1", n)
 	}
-	return r.Result.Vecs[0].F64[0]
+	return r.Result.Vecs[0].F64[0], nil
+}
+
+// MustScalarI64 is ScalarI64 panicking on malformed results (tests).
+func (r *ExecResult) MustScalarI64() int64 {
+	v, err := r.ScalarI64()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustScalarF64 is ScalarF64 panicking on malformed results (tests).
+func (r *ExecResult) MustScalarF64() float64 {
+	v, err := r.ScalarF64()
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

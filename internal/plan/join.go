@@ -89,6 +89,23 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 	probeMatAll := matList(n.ProbeKeys, n.ProbePay, resProbe)
 	probeLayoutStat := layoutFor(pp.cols, probeMatAll, len(n.ProbeKeys))
 
+	// Plan-time rung of the degradation ladder: when a budget is set and
+	// the radix join's projected partition footprint (both sides fully
+	// materialized into partitions, the paper's Section 4.5 memory shape)
+	// cannot fit, answer the paper's question with "do not partition" and
+	// fall back to the BHJ, which materializes only the build side.
+	if algo != BHJ && c.gov.Budgeted() {
+		bRows, pRows := estimateRows(n.Build), estimateRows(n.Probe)
+		if bRows >= 0 && pRows >= 0 {
+			projected := bRows*int64(buildLayout.Size) + pRows*int64(probeLayoutStat.Size)
+			if c.gov.WouldExceed(projected) {
+				c.gov.Note("join %d: projected radix footprint %d B exceeds budget %d B; falling back to BHJ",
+					n.ID, projected, c.gov.Budget())
+				algo = BHJ
+			}
+		}
+	}
+
 	if algo == BHJ {
 		j := &core.HashJoin{
 			Kind:         n.Kind,
@@ -101,6 +118,7 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 			ProbeOut:     resolveAll(pp.cols, n.ProbePay),
 			BuildOut:     buildOut,
 			Meter:        c.opts.Meter,
+			Gov:          c.gov,
 		}
 		if len(n.ResidualNe) > 0 {
 			probeVecs := resolveAll(pp.cols, resProbe)
@@ -160,6 +178,7 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 		buildLayout, buildCols, buildKeyBatch, -1,
 		probeLayout, probeCols, probeKeyBatch, -1,
 		buildOut, probeOut)
+	j.Gov = c.gov
 	if len(n.ResidualNe) > 0 {
 		bl, pl := buildLayout, probeLayout
 		bpos, ppos := resBuildPos, resProbePos

@@ -430,7 +430,7 @@ func TestMapAndRename(t *testing.T) {
 	for _, v := range build.Int64Col("bval") {
 		want += 2 * v
 	}
-	if got := res.ScalarI64(); got != want {
+	if got := res.MustScalarI64(); got != want {
 		t.Fatalf("sum = %d, want %d", got, want)
 	}
 }

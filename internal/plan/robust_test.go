@@ -1,0 +1,170 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/govern"
+)
+
+// expectGoroutines waits until the live goroutine count falls back to the
+// baseline captured before a cancelled or failed query, proving the driver
+// does not leak workers.
+func expectGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d live, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestExecutePreCancelledContext(t *testing.T) {
+	build, probe := makeTables(50000, 200000, 60000, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	base := runtime.NumGoroutine()
+	start := time.Now()
+	res, err := ExecuteErr(ctx, DefaultOptions(), joinPlan(build, probe, core.Inner))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("pre-cancelled context: got result with %d rows, want error", res.Result.NumRows())
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled query still took %v", elapsed)
+	}
+	expectGoroutines(t, base)
+}
+
+func TestExecuteDeadlineExpiry(t *testing.T) {
+	// A join large enough to outlive a 1ms deadline by a wide margin; the
+	// workers must stop at a morsel boundary and return the deadline error
+	// without leaking goroutines.
+	build, probe := makeTables(100000, 800000, 120000, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+
+	base := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := ExecuteErr(ctx, DefaultOptions(), joinPlan(build, probe, core.Inner))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadlined query still took %v", elapsed)
+	}
+	expectGoroutines(t, base)
+}
+
+func TestMemBudgetDegradesRadixToBHJ(t *testing.T) {
+	build, probe := makeTables(4000, 20000, 5000, 7)
+	node := joinPlan(build, probe, core.Inner)
+
+	ref := Execute(optsWith(RJ), node)
+	want := resultRows(ref.Result)
+	sortRows(want)
+	if len(ref.Degraded) != 0 {
+		t.Fatalf("unbudgeted run recorded degradations: %v", ref.Degraded)
+	}
+
+	// A budget far below the projected two-sided partition footprint: the
+	// planner must answer "do not partition" and fall back to the BHJ,
+	// recording the decision, while the result stays exact.
+	opts := optsWith(RJ)
+	opts.MemBudget = 64 << 10
+	res, err := ExecuteErr(context.Background(), opts, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degraded) == 0 {
+		t.Fatal("budgeted run recorded no degradation events")
+	}
+	found := false
+	for _, ev := range res.Degraded {
+		if strings.Contains(ev, "BHJ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no BHJ fallback among degradations: %v", res.Degraded)
+	}
+	if res.MemPeak <= 0 {
+		t.Fatalf("governor recorded no peak usage (peak=%d)", res.MemPeak)
+	}
+	got := resultRows(res.Result)
+	sortRows(got)
+	if !rowsEqual(got, want) {
+		t.Fatalf("degraded plan wrong: %d rows, want %d", len(got), len(want))
+	}
+}
+
+// optsWith is a test shorthand: DefaultOptions with the algorithm set.
+func optsWith(algo JoinAlgo) Options {
+	o := DefaultOptions()
+	o.Algo = algo
+	return o
+}
+
+func TestFaultInjectionPanicNamesPipeline(t *testing.T) {
+	defer faultinject.Reset()
+	// Probe spans several 64Ki-row morsels so an After-skip lands the panic
+	// mid-stream in the probe pipeline, not on the first claimed morsel.
+	build, probe := makeTables(2000, 200000, 3000, 9)
+
+	for _, algo := range []JoinAlgo{BHJ, RJ} {
+		faultinject.Reset()
+		faultinject.Enable(exec.MorselSite, faultinject.Fault{
+			Kind: faultinject.Panic, After: 1, Message: "injected mid-query", Once: true,
+		})
+		_, err := ExecuteErr(context.Background(), optsWith(algo), joinPlan(build, probe, core.Inner))
+		if err == nil {
+			t.Fatalf("%v: injected panic did not surface", algo)
+		}
+		var inj *faultinject.Injected
+		if !errors.As(err, &inj) {
+			t.Fatalf("%v: error %v does not wrap the injected fault", algo, err)
+		}
+		if !strings.Contains(err.Error(), `pipeline "`) || !strings.Contains(err.Error(), "worker") {
+			t.Fatalf("%v: error does not name pipeline and worker: %v", algo, err)
+		}
+	}
+}
+
+func TestFaultInjectionGrantFailureIsContained(t *testing.T) {
+	defer faultinject.Reset()
+	build, probe := makeTables(2000, 10000, 3000, 11)
+
+	faultinject.Enable(govern.GrantSite, faultinject.Fault{
+		Kind: faultinject.Fail, Message: "allocation refused", Once: true,
+	})
+	opts := optsWith(RJ)
+	opts.MemBudget = 1 << 30
+	_, err := ExecuteErr(context.Background(), opts, joinPlan(build, probe, core.Inner))
+	if err == nil {
+		t.Fatal("injected grant failure did not surface")
+	}
+	var inj *faultinject.Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("error %v does not wrap the injected fault", err)
+	}
+}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,6 +27,12 @@ func Plan(cat Catalog, stmt *SelectStmt) (plan.Node, error) {
 
 // Run parses, plans, and executes a query.
 func Run(cat Catalog, query string, opts plan.Options) (*plan.ExecResult, error) {
+	return RunCtx(context.Background(), cat, query, opts)
+}
+
+// RunCtx is Run with a caller-supplied context, so queries can be cancelled
+// or given deadlines (cmd/sqlrun's -timeout flag).
+func RunCtx(ctx context.Context, cat Catalog, query string, opts plan.Options) (*plan.ExecResult, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -34,7 +41,7 @@ func Run(cat Catalog, query string, opts plan.Options) (*plan.ExecResult, error)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Execute(opts, root), nil
+	return plan.ExecuteErr(ctx, opts, root)
 }
 
 type tableInfo struct {

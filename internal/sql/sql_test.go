@@ -52,7 +52,7 @@ func run(t *testing.T, q string) *plan.ExecResult {
 func TestPaperCountQuery(t *testing.T) {
 	// The exact statement of Section 5.2 (modulo identifiers).
 	res := run(t, "SELECT count(*) FROM probe r, build s WHERE r.k = s.k")
-	if got := res.ScalarI64(); got != 1000 {
+	if got := res.MustScalarI64(); got != 1000 {
 		t.Fatalf("count = %d, want 1000", got)
 	}
 }
@@ -63,29 +63,29 @@ func TestPaperSumQuery(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		want += int64(i%100) * 10
 	}
-	if got := res.ScalarI64(); got != want {
+	if got := res.MustScalarI64(); got != want {
 		t.Fatalf("sum = %d, want %d", got, want)
 	}
 }
 
 func TestFilterPushdown(t *testing.T) {
 	res := run(t, "SELECT count(*) FROM probe r, build s WHERE r.k = s.k AND s.pay < 100")
-	if got := res.ScalarI64(); got != 100 {
+	if got := res.MustScalarI64(); got != 100 {
 		t.Fatalf("count = %d, want 100", got)
 	}
 }
 
 func TestStringFilterAndLike(t *testing.T) {
 	res := run(t, "SELECT count(*) FROM build WHERE name = 'even'")
-	if got := res.ScalarI64(); got != 50 {
+	if got := res.MustScalarI64(); got != 50 {
 		t.Fatalf("= filter: %d, want 50", got)
 	}
 	res = run(t, "SELECT count(*) FROM build WHERE name LIKE 'e%'")
-	if got := res.ScalarI64(); got != 50 {
+	if got := res.MustScalarI64(); got != 50 {
 		t.Fatalf("like: %d, want 50", got)
 	}
 	res = run(t, "SELECT count(*) FROM build WHERE name NOT LIKE '%dd'")
-	if got := res.ScalarI64(); got != 50 {
+	if got := res.MustScalarI64(); got != 50 {
 		t.Fatalf("not like: %d, want 50", got)
 	}
 }
@@ -105,15 +105,15 @@ func TestGroupByOrderLimit(t *testing.T) {
 
 func TestBetweenAndIn(t *testing.T) {
 	res := run(t, "SELECT count(*) FROM build WHERE k BETWEEN 10 AND 19")
-	if got := res.ScalarI64(); got != 10 {
+	if got := res.MustScalarI64(); got != 10 {
 		t.Fatalf("between: %d", got)
 	}
 	res = run(t, "SELECT count(*) FROM build WHERE k IN (1, 2, 3)")
-	if got := res.ScalarI64(); got != 3 {
+	if got := res.MustScalarI64(); got != 3 {
 		t.Fatalf("in: %d", got)
 	}
 	res = run(t, "SELECT count(*) FROM build WHERE name IN ('even')")
-	if got := res.ScalarI64(); got != 50 {
+	if got := res.MustScalarI64(); got != 50 {
 		t.Fatalf("in strings: %d", got)
 	}
 }
@@ -137,8 +137,8 @@ func TestJoinAlgoSelectableViaOptions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.ScalarI64() != 1000 {
-			t.Fatalf("%v: wrong count %d", algo, res.ScalarI64())
+		if res.MustScalarI64() != 1000 {
+			t.Fatalf("%v: wrong count %d", algo, res.MustScalarI64())
 		}
 	}
 }
@@ -146,8 +146,8 @@ func TestJoinAlgoSelectableViaOptions(t *testing.T) {
 func TestErrorMessages(t *testing.T) {
 	cases := []string{
 		"SELECT count(*) FROM nosuch",
-		"SELECT count(*) FROM probe, build",          // no join condition
-		"SELECT count(*) FROM probe WHERE bogus = 1", // unknown column
+		"SELECT count(*) FROM probe, build",                     // no join condition
+		"SELECT count(*) FROM probe WHERE bogus = 1",            // unknown column
 		"SELECT count(*) FROM probe r, build s WHERE r.k < s.k", // non-equi join
 		"SELECT nope(*) FROM probe",
 	}

@@ -16,9 +16,9 @@ func TestTypeWidths(t *testing.T) {
 		{Float64, 0, 8},
 		{Date, 0, 8},
 		{Bool, 0, 8},
-		{String, 1, 4},  // 1 length byte + 1 cap, rounded to 4
-		{String, 3, 4},  // 1 + 3 = 4
-		{String, 4, 8},  // 1 + 4 = 5 -> 8
+		{String, 1, 4}, // 1 length byte + 1 cap, rounded to 4
+		{String, 3, 4}, // 1 + 3 = 4
+		{String, 4, 8}, // 1 + 4 = 5 -> 8
 		{String, 25, 28},
 	}
 	for _, c := range cases {

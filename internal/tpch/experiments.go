@@ -21,32 +21,38 @@ func baseOptions(workers int, algo plan.JoinAlgo) plan.Options {
 	return o
 }
 
-// RunQuery executes one query and returns its runner (throughput metric)
-// and result.
-func RunQuery(db *DB, q int, opts plan.Options, lm bool) (*Runner, *plan.ExecResult) {
+// RunQuery executes one query and returns its runner (throughput metric),
+// result, and the first stage error, if any.
+func RunQuery(db *DB, q int, opts plan.Options, lm bool) (*Runner, *plan.ExecResult, error) {
 	r := &Runner{Opts: opts, LM: lm}
 	res := Queries[q](db, r)
-	return r, res
+	if r.Err != nil {
+		return r, res, fmt.Errorf("tpch q%d: %w", q, r.Err)
+	}
+	return r, res, nil
 }
 
 // medianThroughput runs a query `runs` times and returns the median
 // throughput (tuples at pipeline sources per second) and median duration
 // in seconds.
-func medianThroughput(db *DB, q int, opts plan.Options, lm bool, runs int) (tput, secs float64) {
+func medianThroughput(db *DB, q int, opts plan.Options, lm bool, runs int) (tput, secs float64, err error) {
 	var ts, ds []float64
 	for i := 0; i < runs; i++ {
-		r, _ := RunQuery(db, q, opts, lm)
+		r, _, err := RunQuery(db, q, opts, lm)
+		if err != nil {
+			return 0, 0, err
+		}
 		ts = append(ts, r.Throughput())
 		ds = append(ds, r.Dur.Seconds())
 	}
 	sort.Float64s(ts)
 	sort.Float64s(ds)
-	return ts[len(ts)/2], ds[len(ds)/2]
+	return ts[len(ts)/2], ds[len(ds)/2], nil
 }
 
 // Fig11 measures every query under BHJ, BRJ and RJ, with and without late
 // materialization (paper Figure 11, one scale factor per call).
-func Fig11(db *DB, workers, runs int) *bench.Table {
+func Fig11(db *DB, workers, runs int) (*bench.Table, error) {
 	t := &bench.Table{
 		Title:  fmt.Sprintf("Figure 11: TPC-H throughput at SF %g [tuples/s at sources]", db.SF),
 		Header: []string{"query", "BHJ", "BRJ", "RJ", "BHJ (LM)", "BRJ (LM)", "RJ (LM)"},
@@ -55,13 +61,16 @@ func Fig11(db *DB, workers, runs int) *bench.Table {
 		row := []string{fmt.Sprintf("Q%d", q)}
 		for _, lm := range []bool{false, true} {
 			for _, algo := range []plan.JoinAlgo{plan.BHJ, plan.BRJ, plan.RJ} {
-				tput, _ := medianThroughput(db, q, baseOptions(workers, algo), lm, runs)
+				tput, _, err := medianThroughput(db, q, baseOptions(workers, algo), lm, runs)
+				if err != nil {
+					return nil, err
+				}
 				row = append(row, fmt.Sprintf("%.1fM", tput/1e6))
 			}
 		}
 		t.Add(row...)
 	}
-	return t
+	return t, nil
 }
 
 // JoinPoint is one join of Figure 1's scatter: its build/probe volumes and
@@ -81,19 +90,24 @@ type JoinPoint struct {
 // query, the end-to-end query time with all joins BHJ versus the same plan
 // with exactly that join swapped to BRJ, plus the join's build/probe
 // volumes from the stats collector.
-func Fig1(db *DB, workers, runs int) []JoinPoint {
+func Fig1(db *DB, workers, runs int) ([]JoinPoint, error) {
 	var points []JoinPoint
 	for _, q := range QueryNumbers {
 		// One stats run to size every join.
 		stats := plan.NewStatsCollector()
 		opts := baseOptions(workers, plan.BHJ)
 		opts.Stats = stats
-		RunQuery(db, q, opts, false)
+		if _, _, err := RunQuery(db, q, opts, false); err != nil {
+			return nil, err
+		}
 		statByID := map[int]*plan.JoinStat{}
 		for _, s := range stats.Joins() {
 			statByID[s.ID] = s
 		}
-		_, base := medianThroughput(db, q, baseOptions(workers, plan.BHJ), false, runs)
+		_, base, err := medianThroughput(db, q, baseOptions(workers, plan.BHJ), false, runs)
+		if err != nil {
+			return nil, err
+		}
 		for j := 1; j <= JoinCounts[q]; j++ {
 			s := statByID[j]
 			if s == nil {
@@ -101,7 +115,10 @@ func Fig1(db *DB, workers, runs int) []JoinPoint {
 			}
 			opts := baseOptions(workers, plan.BHJ)
 			opts.PerJoin = map[int]plan.JoinAlgo{j: plan.BRJ}
-			_, swapped := medianThroughput(db, q, opts, false, runs)
+			_, swapped, err := medianThroughput(db, q, opts, false, runs)
+			if err != nil {
+				return nil, err
+			}
 			rel := 0.0
 			if swapped > 0 {
 				rel = base/swapped - 1
@@ -113,7 +130,7 @@ func Fig1(db *DB, workers, runs int) []JoinPoint {
 			})
 		}
 	}
-	return points
+	return points, nil
 }
 
 // Fig1Table renders Figure 1's points as text.
@@ -146,12 +163,14 @@ func fmtBytes(b int64) string {
 // Fig2 computes the workload histograms of Figure 2: probe tuple widths
 // and join-partner percentages over all TPC-H joins, next to the
 // prior-work microbenchmark values (8-16 B tuples, 100% partners).
-func Fig2(db *DB, workers int) *bench.Table {
+func Fig2(db *DB, workers int) (*bench.Table, error) {
 	stats := plan.NewStatsCollector()
 	opts := baseOptions(workers, plan.BHJ)
 	opts.Stats = stats
 	for _, q := range QueryNumbers {
-		RunQuery(db, q, opts, false)
+		if _, _, err := RunQuery(db, q, opts, false); err != nil {
+			return nil, err
+		}
 	}
 	joins := stats.Joins()
 	widthBuckets := map[int]int{}
@@ -181,7 +200,7 @@ func Fig2(db *DB, workers int) *bench.Table {
 			pw)
 	}
 	t.Add("100%", "-", fmt.Sprintf("%d joins", partnerBuckets[100]), "partners 100%")
-	return t
+	return t, nil
 }
 
 func min100(b int) int {
@@ -193,31 +212,39 @@ func min100(b int) int {
 
 // Fig12 reports the per-join BHJ-vs-BRJ impact for the paper's selected
 // queries (Figure 12): fixing all joins to BHJ and swapping one at a time.
-func Fig12(db *DB, workers, runs int, queries []int) *bench.Table {
+func Fig12(db *DB, workers, runs int, queries []int) (*bench.Table, error) {
 	t := &bench.Table{
 		Title:  fmt.Sprintf("Figure 12: relative per-join impact, BHJ vs BRJ, SF %g (negative = BRJ slower)", db.SF),
 		Header: []string{"query", "join", "BHJ vs BRJ"},
 	}
 	for _, q := range queries {
-		_, base := medianThroughput(db, q, baseOptions(workers, plan.BHJ), false, runs)
+		_, base, err := medianThroughput(db, q, baseOptions(workers, plan.BHJ), false, runs)
+		if err != nil {
+			return nil, err
+		}
 		for j := 1; j <= JoinCounts[q]; j++ {
 			opts := baseOptions(workers, plan.BHJ)
 			opts.PerJoin = map[int]plan.JoinAlgo{j: plan.BRJ}
-			_, swapped := medianThroughput(db, q, opts, false, runs)
+			_, swapped, err := medianThroughput(db, q, opts, false, runs)
+			if err != nil {
+				return nil, err
+			}
 			rel := base/swapped - 1
 			t.Add(fmt.Sprintf("Q%d", q), fmt.Sprintf("%d", j), fmt.Sprintf("%+.0f%%", rel*100))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // Fig13 prints Q21's join tree annotated with measured build and probe
 // volumes (paper Figure 13).
-func Fig13(db *DB, workers int) *bench.Table {
+func Fig13(db *DB, workers int) (*bench.Table, error) {
 	stats := plan.NewStatsCollector()
 	opts := baseOptions(workers, plan.BHJ)
 	opts.Stats = stats
-	RunQuery(db, 21, opts, false)
+	if _, _, err := RunQuery(db, 21, opts, false); err != nil {
+		return nil, err
+	}
 	t := &bench.Table{
 		Title:  fmt.Sprintf("Figure 13: Q21 join tree with build and probe sizes, SF %g", db.SF),
 		Header: []string{"join", "kind", "build rows", "build size", "probe rows", "probe size"},
@@ -227,21 +254,30 @@ func Fig13(db *DB, workers int) *bench.Table {
 			fmt.Sprintf("%d", s.BuildRows), fmtBytes(s.BuildBytes()),
 			fmt.Sprintf("%d", s.ProbeRows), fmtBytes(s.ProbeBytes()))
 	}
-	return t
+	return t, nil
 }
 
 // Fig18TPCH reports the TPC-H half of Figure 18: per-query speedup of BRJ
 // and BHJ over the RJ, and the medians.
-func Fig18TPCH(db *DB, workers, runs int) *bench.Table {
+func Fig18TPCH(db *DB, workers, runs int) (*bench.Table, error) {
 	t := &bench.Table{
 		Title:  fmt.Sprintf("Figure 18 (right): speedup over RJ across TPC-H, SF %g", db.SF),
 		Header: []string{"query", "BRJ vs RJ", "BHJ vs RJ"},
 	}
 	var brjs, bhjs []float64
 	for _, q := range QueryNumbers {
-		_, rj := medianThroughput(db, q, baseOptions(workers, plan.RJ), false, runs)
-		_, brj := medianThroughput(db, q, baseOptions(workers, plan.BRJ), false, runs)
-		_, bhj := medianThroughput(db, q, baseOptions(workers, plan.BHJ), false, runs)
+		_, rj, err := medianThroughput(db, q, baseOptions(workers, plan.RJ), false, runs)
+		if err != nil {
+			return nil, err
+		}
+		_, brj, err := medianThroughput(db, q, baseOptions(workers, plan.BRJ), false, runs)
+		if err != nil {
+			return nil, err
+		}
+		_, bhj, err := medianThroughput(db, q, baseOptions(workers, plan.BHJ), false, runs)
+		if err != nil {
+			return nil, err
+		}
 		sbrj := rj/brj - 1
 		sbhj := rj/bhj - 1
 		brjs = append(brjs, sbrj)
@@ -252,17 +288,19 @@ func Fig18TPCH(db *DB, workers, runs int) *bench.Table {
 	sort.Float64s(bhjs)
 	t.Add("median", fmt.Sprintf("%+.0f%%", brjs[len(brjs)/2]*100),
 		fmt.Sprintf("%+.0f%%", bhjs[len(bhjs)/2]*100))
-	return t
+	return t, nil
 }
 
 // Table5 contrasts workload properties (paper Table 5) using measured
 // TPC-H join statistics.
-func Table5(db *DB, workers int) *bench.Table {
+func Table5(db *DB, workers int) (*bench.Table, error) {
 	stats := plan.NewStatsCollector()
 	opts := baseOptions(workers, plan.BHJ)
 	opts.Stats = stats
 	for _, q := range QueryNumbers {
-		RunQuery(db, q, opts, false)
+		if _, _, err := RunQuery(db, q, opts, false); err != nil {
+			return nil, err
+		}
 	}
 	joins := stats.Joins()
 	var widths, rates []float64
@@ -286,5 +324,5 @@ func Table5(db *DB, workers int) *bench.Table {
 	t.Add("skew (zipf)", "0-2", "none")
 	t.Add("build size", ">> LLC", fmt.Sprintf("%d/%d builds below LLC", small, len(joins)))
 	t.Add("pipeline depth", "1 join", "1-8 joins")
-	return t
+	return t, nil
 }

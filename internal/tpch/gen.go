@@ -42,7 +42,7 @@ func retailPriceCents(pk int64) int64 {
 // suppliers, the specification's formula; lineitem reuses it so every
 // (l_partkey, l_suppkey) pair exists in partsupp.
 func partSupplier(pk int64, i int64, s int64) int64 {
-	return (pk + i*(s/4+(pk-1)/s))%s + 1
+	return (pk+i*(s/4+(pk-1)/s))%s + 1
 }
 
 // Generate builds a deterministic TPC-H database at the given scale factor.

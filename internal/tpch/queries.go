@@ -1,6 +1,8 @@
 package tpch
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"partitionjoin/internal/core"
@@ -18,14 +20,50 @@ type Runner struct {
 	// LM enables the late-materialization variant where the query
 	// supports one (Section 4.2).
 	LM bool
+	// Ctx, when set, bounds every stage (cancellation / deadline).
+	Ctx context.Context
 
 	Rows int64
 	Dur  time.Duration
+	// Err holds the first stage error. It is sticky, like
+	// bufio.Scanner: once set, Run becomes a no-op returning an empty
+	// result, so multi-stage queries fall through without executing
+	// further stages and the caller checks Err (or uses RunQuery's
+	// error return) once at the end.
+	Err error
 }
 
-// Run executes one stage and accumulates its stats.
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// fail records the first error of the run.
+func (r *Runner) fail(err error) {
+	if r.Err == nil {
+		r.Err = err
+	}
+}
+
+// emptyResult is what a failed or skipped stage returns: zero rows, but
+// safe to pass to TableFromResult and NumRows.
+func emptyResult() *plan.ExecResult {
+	return &plan.ExecResult{Result: &exec.Result{}}
+}
+
+// Run executes one stage and accumulates its stats. After a stage error
+// it short-circuits and returns an empty result.
 func (r *Runner) Run(n plan.Node) *plan.ExecResult {
-	res := plan.Execute(r.Opts, n)
+	if r.Err != nil {
+		return emptyResult()
+	}
+	res, err := plan.ExecuteErr(r.ctx(), r.Opts, n)
+	if err != nil {
+		r.fail(err)
+		return emptyResult()
+	}
 	r.Rows += res.SourceRows
 	r.Dur += res.Duration
 	return res
@@ -503,7 +541,7 @@ func Q10(db *DB, r *Runner) *plan.ExecResult {
 	}
 	j2 := &plan.JoinNode{
 		ID: 2, Kind: core.Inner,
-		Build:     plan.Scan(db.Nation, "n_nationkey", "n_name"),
+		Build: plan.Scan(db.Nation, "n_nationkey", "n_name"),
 		Probe: plan.Scan(db.Customer, "c_custkey", "c_name", "c_acctbal", "c_nationkey",
 			"c_address", "c_phone", "c_comment"),
 		BuildKeys: []string{"n_nationkey"}, ProbeKeys: []string{"c_nationkey"},
@@ -552,7 +590,12 @@ func q11Chain(db *DB, baseID int) plan.Node {
 func Q11(db *DB, r *Runner) *plan.ExecResult {
 	totalRes := r.Run(plan.GroupBy(q11Chain(db, 1), nil,
 		plan.AggExpr{Kind: exec.AggSumI, Col: "value", As: "total"}))
-	threshold := totalRes.ScalarI64() / 10000 // sum(value) * 0.0001
+	total, err := totalRes.ScalarI64()
+	if err != nil {
+		r.fail(fmt.Errorf("q11 stage 1: %w", err))
+		return emptyResult()
+	}
+	threshold := total / 10000 // sum(value) * 0.0001
 
 	grouped := plan.GroupBy(q11Chain(db, 3), []string{"ps_partkey"},
 		plan.AggExpr{Kind: exec.AggSumI, Col: "value", As: "value"})

@@ -1,6 +1,8 @@
 package tpch
 
 import (
+	"fmt"
+
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/expr"
@@ -63,7 +65,11 @@ func Q15(db *DB, r *Runner) *plan.ExecResult {
 
 	maxRes := r.Run(plan.GroupBy(plan.Scan(revTable, "total_revenue"), nil,
 		plan.AggExpr{Kind: exec.AggMaxI, Col: "total_revenue", As: "m"}))
-	maxRev := maxRes.ScalarI64()
+	maxRev, err := maxRes.ScalarI64()
+	if err != nil {
+		r.fail(fmt.Errorf("q15 stage 2: %w", err))
+		return emptyResult()
+	}
 
 	j1 := &plan.JoinNode{
 		ID: 1, Kind: core.Inner,
@@ -365,6 +371,9 @@ func Q22(db *DB, r *Runner) *plan.ExecResult {
 		nil,
 		plan.AggExpr{Kind: exec.AggSumI, Col: "c_acctbal", As: "s"},
 		plan.AggExpr{Kind: exec.AggCount, As: "n"}))
+	if r.Err != nil {
+		return emptyResult()
+	}
 	sum := avgRes.Result.Vecs[0].I64[0]
 	cnt := avgRes.Result.Vecs[1].I64[0]
 

@@ -17,7 +17,11 @@ func runForTest(q int, algo plan.JoinAlgo) *plan.ExecResult {
 	opts.Workers = 2
 	opts.Core.CacheBudget = 16 << 10
 	r := &Runner{Opts: opts}
-	return Queries[q](testDB, r)
+	res := Queries[q](testDB, r)
+	if r.Err != nil {
+		panic(r.Err)
+	}
+	return res
 }
 
 func TestQ4AgainstDirectComputation(t *testing.T) {
@@ -231,6 +235,9 @@ func TestJoinStatsCollectedForEveryJoin(t *testing.T) {
 		opts.Stats = stats
 		r := &Runner{Opts: opts}
 		Queries[q](testDB, r)
+		if r.Err != nil {
+			t.Fatalf("Q%d: %v", q, r.Err)
+		}
 		joins := stats.Joins()
 		if len(joins) != JoinCounts[q] {
 			ids := make([]int, len(joins))
@@ -250,7 +257,10 @@ func TestJoinStatsCollectedForEveryJoin(t *testing.T) {
 }
 
 func TestFig13ReportsFiveJoins(t *testing.T) {
-	tab := Fig13(testDB, 2)
+	tab, err := Fig13(testDB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 5 {
 		t.Fatalf("Q21 tree has %d joins, want 5", len(tab.Rows))
 	}
@@ -266,6 +276,9 @@ func TestRunnerAccumulatesStages(t *testing.T) {
 	opts := plan.DefaultOptions()
 	r := &Runner{Opts: opts}
 	Queries[11](testDB, r) // two-stage query
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
 	if r.Rows <= int64(testDB.PartSupp.NumRows()) {
 		t.Fatalf("multi-stage source rows %d too low", r.Rows)
 	}

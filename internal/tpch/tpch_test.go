@@ -139,6 +139,9 @@ func runQuery(q int, algo plan.JoinAlgo, workers int, lm bool) (string, int) {
 	opts.Core.CacheBudget = 16 << 10
 	r := &Runner{Opts: opts, LM: lm}
 	res := Queries[q](testDB, r)
+	if r.Err != nil {
+		panic(r.Err)
+	}
 	return fingerprint(res.Result), res.Result.NumRows()
 }
 
