@@ -1,8 +1,10 @@
 # Tier-1 gate: everything a change must pass before it lands. The fault
-# injection suite runs twice to catch armed-fault leakage across runs.
-.PHONY: check build test race faultinject vet bench
+# injection suite runs twice to catch armed-fault leakage across runs, and
+# the stress target hammers the spill and fault paths under the race
+# detector.
+.PHONY: check build test race faultinject vet bench stress fmtcheck
 
-check: vet build race faultinject
+check: vet build race faultinject stress
 
 vet:
 	go vet ./...
@@ -21,3 +23,15 @@ faultinject:
 
 bench:
 	go test -bench=. -benchtime=1x -run '^$$' .
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# stress repeats the spill and fault-injection suites under the race
+# detector: disk-backed degradation must stay exact and leak-free across
+# reruns, not just on a lucky first pass.
+stress: fmtcheck
+	go test -race -count=3 ./internal/spill/ ./internal/faultinject/
+	go test -race -count=3 -run 'Spill|FaultInjection' \
+		./internal/plan/ ./internal/exec/

@@ -16,9 +16,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,all")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper (1 = 16M x 256M tuples)")
 	runs := flag.Int("runs", 3, "repetitions per measurement (median reported)")
+	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
 	flag.Parse()
 
 	bench.Runs = *runs
@@ -35,7 +36,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		t.Print(printf)
+		if *jsonOut {
+			b, err := t.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(b))
+		} else {
+			t.Print(printf)
+		}
 		fmt.Println()
 	}
 
@@ -53,6 +63,9 @@ func main() {
 	run("table3", func() (*bench.Table, error) { return bench.Table3(*scale, cfg) })
 	run("table4", func() (*bench.Table, error) { return bench.Table4(*scale, cfg) })
 	run("fig18", func() (*bench.Table, error) { return bench.Fig18Micro(*scale, cfg) })
+	run("memladder", func() (*bench.Table, error) {
+		return bench.MemLadder(*scale, []int64{0, 8 << 20, 2 << 20, 512 << 10}, cfg)
+	})
 }
 
 // threadSteps sweeps 1..GOMAXPROCS plus 2x for the hyper-threading point.

@@ -24,6 +24,7 @@ func main() {
 	workers := flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "query deadline (0 = none), e.g. 500ms, 10s")
 	memBudget := flag.Int64("mem-budget", 0, "memory budget in bytes (0 = unlimited); radix joins degrade to fit")
+	spillDir := flag.String("spill-dir", "", "directory for spill files; with -mem-budget, joins too large for the budget spill to disk instead of falling back to BHJ")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: sqlrun [flags] \"SELECT ...\"")
@@ -34,6 +35,7 @@ func main() {
 	opts := plan.DefaultOptions()
 	opts.Workers = *workers
 	opts.MemBudget = *memBudget
+	opts.SpillDir = *spillDir
 	switch strings.ToLower(*algo) {
 	case "bhj":
 		opts.Algo = plan.BHJ
@@ -71,6 +73,11 @@ func main() {
 	}
 	if *memBudget > 0 {
 		fmt.Printf("memory: peak %d B of %d B budget\n", res.MemPeak, *memBudget)
+	}
+	if res.Spill.Partitions > 0 {
+		fmt.Printf("spill: %d partitions, %d B written, %d B reloaded (max working set %d B, %d recursive splits)\n",
+			res.Spill.Partitions, res.Spill.SpilledBytes, res.Spill.ReloadedBytes,
+			res.Spill.MaxReloadBytes, res.Spill.Recursed)
 	}
 }
 

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"partitionjoin/internal/core"
@@ -180,5 +182,56 @@ func TestFig10PhasesPresent(t *testing.T) {
 	}
 	if !joinSeen {
 		t.Fatal("join phase missing")
+	}
+}
+
+func TestDegradedEventsReachResultAndTable(t *testing.T) {
+	Runs = 1
+	spec := WorkloadA(1.0 / 1024)
+	build, probe := spec.Tables()
+	// A budget far below the build side forces the spill rung; the
+	// degradation events must travel Result -> Table.Notes -> JSON.
+	res, err := RunDBMS(build, probe, nil, DBMSOpts{
+		Algo: plan.RJ, Threads: 2, Core: core.DefaultConfig(),
+		MemBudget: 32 << 10, SpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degraded) == 0 {
+		t.Fatal("budgeted run recorded no degradation events")
+	}
+	spilled := false
+	for _, ev := range res.Degraded {
+		if strings.Contains(ev, "spill") {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Fatalf("no spill event among degradations: %v", res.Degraded)
+	}
+	tab := &Table{Title: "t", Header: []string{"a"}}
+	tab.Add("row")
+	tab.NoteDegraded("RJ", res)
+	if len(tab.Notes) == 0 {
+		t.Fatal("NoteDegraded added nothing")
+	}
+	lines := 0
+	tab.Print(func(format string, args ...any) { lines++ })
+	if lines != 4+len(tab.Notes) { // title, header, separator, row + notes
+		t.Fatalf("printed %d lines with %d notes", lines, len(tab.Notes))
+	}
+	b, err := tab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Notes) != len(tab.Notes) {
+		t.Fatalf("JSON carries %d notes, want %d", len(decoded.Notes), len(tab.Notes))
 	}
 }

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 
 	"partitionjoin/internal/core"
@@ -11,15 +13,32 @@ import (
 	"partitionjoin/internal/plan"
 )
 
-// Table is a printable experiment result: a header row plus data rows.
+// Table is a printable experiment result: a header row plus data rows, and
+// optional notes carrying non-tabular context such as the memory governor's
+// degradation events.
 type Table struct {
 	Title  string
 	Header []string
 	Rows   [][]string
+	Notes  []string
 }
 
 // Add appends a data row.
 func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// NoteDegraded appends a result's degradation events (fan-out bits shed,
+// BHJ fallbacks, partitions spilled and reloaded) to the table's notes,
+// prefixed with the row they belong to. Long event lists are truncated.
+func (t *Table) NoteDegraded(label string, r Result) {
+	const max = 8
+	for i, ev := range r.Degraded {
+		if i == max {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: ... (%d more events)", label, len(r.Degraded)-max))
+			break
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", label, ev))
+	}
+}
 
 func f1(v float64) string   { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
@@ -398,6 +417,54 @@ func (t *Table) Print(printf func(format string, args ...any)) {
 			printf("%s\n", sep)
 		}
 	}
+	for _, n := range t.Notes {
+		printf("  note: %s\n", n)
+	}
+}
+
+// JSON renders the table as an indented JSON object (title, header, rows,
+// notes) for machine-readable benchmark output.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.Title, t.Header, t.Rows, t.Notes}, "", "  ")
+}
+
+// MemLadder sweeps the radix join of workload A down a shrinking memory
+// budget, showing the degradation ladder in action: unconstrained, shed
+// fan-out bits, BHJ fallback, and — once even the build side alone exceeds
+// the budget — spill-to-disk. The table's notes carry the governor's
+// degradation events for each rung; budget 0 means unbounded.
+func MemLadder(scale float64, budgets []int64, cfg core.Config) (*Table, error) {
+	spec := WorkloadA(scale)
+	build, probe := spec.Tables()
+	t := &Table{
+		Title:  fmt.Sprintf("Memory ladder: RJ under shrinking budgets, workload A (scale %g)", scale),
+		Header: []string{"budget", "throughput", "degradation events"},
+	}
+	spillDir, err := os.MkdirTemp("", "bench-spill-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillDir)
+	for _, b := range budgets {
+		label := "unbounded"
+		if b > 0 {
+			label = mb(b)
+		}
+		r, err := RunDBMS(build, probe, nil, DBMSOpts{
+			Algo: plan.RJ, Threads: 0, Core: cfg, MemBudget: b, SpillDir: spillDir,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(label, mt(r.Throughput), itoa(len(r.Degraded)))
+		t.NoteDegraded("RJ @ "+label, r)
+	}
+	return t, nil
 }
 
 // benchThreads is the parallelism for standalone baselines when the DBMS

@@ -21,6 +21,10 @@ type Result struct {
 	Tuples     int64 // build + probe cardinality
 	Throughput float64
 	Checksum   int64
+	// Degraded carries the memory governor's degradation events of the
+	// reported (median) run: fan-out bits shed, BHJ fallbacks, partitions
+	// spilled and reloaded. Empty for unbudgeted runs.
+	Degraded []string
 }
 
 // Runs is the number of repetitions per measurement; the median is
@@ -64,6 +68,11 @@ type DBMSOpts struct {
 	Threads int
 	LM      bool
 	Core    core.Config
+	// MemBudget and SpillDir forward to plan.Options: a positive budget
+	// arms the memory governor, and a spill directory arms the
+	// spill-to-disk rung of the degradation ladder.
+	MemBudget int64
+	SpillDir  string
 }
 
 // joinQuery builds the microbenchmark query: the paper's
@@ -104,7 +113,8 @@ func joinQuery(build, probe *storage.Table, payNames []string, lm bool) plan.Nod
 // RunDBMS measures one DBMS-integrated join over pre-built tables.
 func RunDBMS(build, probe *storage.Table, payNames []string, o DBMSOpts) (Result, error) {
 	return median(func() (Result, error) {
-		opts := plan.Options{Workers: o.Threads, Algo: o.Algo, Core: o.Core}
+		opts := plan.Options{Workers: o.Threads, Algo: o.Algo, Core: o.Core,
+			MemBudget: o.MemBudget, SpillDir: o.SpillDir}
 		root := joinQuery(build, probe, payNames, o.LM)
 		start := time.Now()
 		res, err := plan.ExecuteErr(context.Background(), opts, root)
@@ -124,6 +134,7 @@ func RunDBMS(build, probe *storage.Table, payNames []string, o DBMSOpts) (Result
 			Tuples:     tuples,
 			Throughput: float64(tuples) / secs,
 			Checksum:   sum,
+			Degraded:   res.Degraded,
 		}, nil
 	})
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math/bits"
 
 	"partitionjoin/internal/exec"
@@ -22,6 +23,10 @@ const (
 // byte buffer holding all packed rows, with per-partition offset fences.
 // Partition id of a row is (hash & (F1*F2-1)): the first pass splits on the
 // low B1 bits, the second on the next B2 bits.
+//
+// Rows counts every row the sink consumed, including rows evicted to spill
+// files; Data holds only the resident ones (they are equal unless the
+// memory governor forced a spill).
 type Partitions struct {
 	Layout *Layout
 	Data   []byte
@@ -77,6 +82,85 @@ func (s *RadixSink) gov() *govern.Governor {
 	return s.Join.Gov
 }
 
+// spillState returns the owning join's spill coordinator (nil when the
+// query has no spill directory).
+func (s *RadixSink) spillState() *JoinSpill {
+	if s.Join == nil {
+		return nil
+	}
+	return s.Join.Spill
+}
+
+// maybeEvict is the spill rung of the degradation ladder during
+// partitioning: called before a worker grants need more bytes, it evicts
+// the worker's own partitions' pages to spill runs until the grant fits the
+// budget (largest first, preferring partitions that already spilled so the
+// spilled set stays small). Without a spill directory it does nothing and
+// the governor's account simply runs past the budget as before.
+func (s *RadixSink) maybeEvict(w *pass1Worker, need int64) {
+	sp := s.spillState()
+	if sp == nil {
+		return
+	}
+	gov := s.gov()
+	for gov.WouldExceed(need) {
+		p1 := s.pickVictim(w)
+		if p1 < 0 {
+			return
+		}
+		s.spillPartition(w, p1)
+	}
+}
+
+// pickVictim chooses the worker-local partition to evict: any partition
+// that is already (globally) spilled beats one that is not, then more
+// resident bytes beat fewer. Returns -1 when the worker holds no pages.
+func (s *RadixSink) pickVictim(w *pass1Worker) int {
+	sp := s.spillState()
+	best, bestBytes := -1, int64(0)
+	bestSpilled := false
+	for p1 := range w.parts {
+		b := w.parts[p1].rows * int64(s.Layout.Size)
+		if b == 0 {
+			continue
+		}
+		spd := sp.isSpilled(p1)
+		if (spd && !bestSpilled) || (spd == bestSpilled && b > bestBytes) {
+			best, bestBytes, bestSpilled = p1, b, spd
+		}
+	}
+	return best
+}
+
+// spillPartition appends one worker's resident pages of pass-1 partition p1
+// to the partition's spill run and releases their budget. A write failure
+// panics and is converted to a query error by the driver's containment.
+func (s *RadixSink) spillPartition(w *pass1Worker, p1 int) {
+	part := &w.parts[p1]
+	if part.rows == 0 {
+		return
+	}
+	sp := s.spillState()
+	f, err := sp.file(p1, s.Side)
+	if err != nil {
+		panic(fmt.Errorf("core: spill of partition %d (%s): %w", p1, s.Side, err))
+	}
+	rowSize := s.Layout.Size
+	var bytes int64
+	for _, pg := range part.pages {
+		if len(pg) == 0 {
+			continue
+		}
+		if err := f.Append(pg, len(pg)/rowSize); err != nil {
+			panic(fmt.Errorf("core: spill of partition %d (%s): %w", p1, s.Side, err))
+		}
+		bytes += int64(len(pg))
+	}
+	sp.recordSpill(p1, s.Side, part.rows, bytes)
+	s.gov().Release(bytes)
+	*part = pagedPart{}
+}
+
 // Open implements exec.Sink.
 func (s *RadixSink) Open(workers int) {
 	s.workers = make([]*pass1Worker, workers)
@@ -117,6 +201,7 @@ func (s *RadixSink) Consume(ctx *exec.Ctx, b *exec.Batch) {
 	rowSize := s.Layout.Size
 	pageBytes := s.Cfg.PageBytes
 	flush := func(p int, data []byte) {
+		s.maybeEvict(w, int64(len(data)))
 		gov.MustGrant(int64(len(data)))
 		w.parts[p].write(data, rowSize, pageBytes)
 	}
@@ -185,9 +270,8 @@ func (s *RadixSink) Close() {
 	f1 := 1 << cfg.Pass1Bits
 	rowSize := s.Layout.Size
 
-	// Drain pass-1 buffers and count rows.
+	// Drain pass-1 buffers.
 	gov := s.gov()
-	var totalRows int64
 	live := s.workers[:0]
 	for _, w := range s.workers {
 		if w == nil {
@@ -198,14 +282,30 @@ func (s *RadixSink) Close() {
 			gov.MustGrant(int64(len(data)))
 			wp[p].write(data, rowSize, cfg.PageBytes)
 		})
-		for p := range wp {
-			totalRows += wp[p].rows
-		}
 		live = append(live, w)
 	}
 	s.Meter.EndPhase()
 
-	b2 := s.Join.decideBits(s, totalRows, maxInt(len(live), 1))
+	// Spilled pre-partitions flush their remaining resident pages before
+	// the histogram so they contribute nothing to pass 2: a partition is
+	// joined either fully resident or fully through its spill run, never
+	// half and half (a split would lose matches).
+	sp := s.spillState()
+	if sp != nil {
+		for _, p1 := range sp.spilledList() {
+			for _, w := range live {
+				s.spillPartition(w, p1)
+			}
+		}
+	}
+	var residentRows int64
+	for _, w := range live {
+		for p := range w.parts {
+			residentRows += w.parts[p].rows
+		}
+	}
+
+	b2 := s.Join.decideBits(s, residentRows, maxInt(len(live), 1))
 	f2 := 1 << b2
 	maskF1 := uint64(f1 - 1)
 	maskF2 := uint64(f2 - 1)
@@ -229,7 +329,7 @@ func (s *RadixSink) Close() {
 			}
 			hist[p1] = h
 		})
-		s.Meter.AddRead(totalRows * 8)
+		s.Meter.AddRead(residentRows * 8)
 		s.Meter.EndPhase()
 	} else {
 		for p1 := 0; p1 < f1; p1++ {
@@ -241,27 +341,64 @@ func (s *RadixSink) Close() {
 		}
 	}
 
+	// Close-time eviction: pass 2 briefly holds the pages and the final
+	// contiguous buffer at once, so this is the last moment partitions can
+	// still go to disk page by page. Evict the largest resident
+	// pre-partitions until granting the buffer fits the budget.
+	bytesP1 := make([]int64, f1)
+	var acc int64
+	for p1 := 0; p1 < f1; p1++ {
+		var n int64
+		for _, c := range hist[p1] {
+			n += c
+		}
+		bytesP1[p1] = n * int64(rowSize)
+		acc += bytesP1[p1]
+	}
+	if sp != nil {
+		for gov.WouldExceed(acc) {
+			victim := -1
+			for p1, b := range bytesP1 {
+				if b > 0 && (victim < 0 || b > bytesP1[victim]) {
+					victim = p1
+				}
+			}
+			if victim < 0 {
+				break
+			}
+			for _, w := range live {
+				s.spillPartition(w, victim)
+			}
+			acc -= bytesP1[victim]
+			bytesP1[victim] = 0
+			for p2 := range hist[victim] {
+				hist[victim][p2] = 0
+			}
+			residentRows = acc / int64(rowSize)
+		}
+	}
+
 	// Exchange: prefix sums over the histograms fence the final buffer.
 	nparts := f1 * f2
-	out := &Partitions{Layout: s.Layout, B1: cfg.Pass1Bits, B2: b2, Rows: totalRows}
+	out := &Partitions{Layout: s.Layout, B1: cfg.Pass1Bits, B2: b2, Rows: residentRows}
 	out.Off = make([]int64, nparts+1)
-	var acc int64
+	var off int64
 	for pid := 0; pid < nparts; pid++ {
-		out.Off[pid] = acc
+		out.Off[pid] = off
 		p1 := pid & int(maskF1)
 		p2 := pid >> shift
-		acc += hist[p1][p2] * int64(rowSize)
+		off += hist[p1][p2] * int64(rowSize)
 	}
-	out.Off[nparts] = acc
-	gov.MustGrant(acc)
-	out.Data = make([]byte, acc)
+	out.Off[nparts] = off
+	gov.MustGrant(off)
+	out.Data = make([]byte, off)
 
 	// Pass 2: one task per pre-partition; every final partition is
 	// written by exactly one task, so no synchronization is needed. The
 	// BRJ fills the Bloom filter here: the filter's block index shares
 	// the partition's low bits, so tasks touch disjoint blocks.
 	s.Meter.BeginPhase("partition pass 2 (" + s.Side + ")")
-	filter := s.Join.buildFilter(s, totalRows)
+	filter := s.Join.buildFilter(s, residentRows)
 	parallelFor(f1, maxInt(len(live), 1), func(p1 int) {
 		faultinject.Hit(Pass2Site)
 		cursors := make([]int64, f2)
@@ -293,12 +430,15 @@ func (s *RadixSink) Close() {
 		}
 		sw.drain(flush)
 	})
-	s.Meter.AddRead(totalRows * int64(rowSize))
-	s.Meter.AddWrite(totalRows * int64(rowSize))
+	s.Meter.AddRead(residentRows * int64(rowSize))
+	s.Meter.AddWrite(residentRows * int64(rowSize))
 	s.Meter.EndPhase()
 
 	for _, w := range live {
 		gov.Release(int64(len(w.swwcb.buf)))
+	}
+	if sp != nil {
+		out.Rows += sp.spilledRowsTotal(s.Side)
 	}
 	s.Out = out
 	s.workers = nil

@@ -47,6 +47,12 @@ type RadixJoin struct {
 	// Nil means ungoverned. Set before the build pipeline runs.
 	Gov *govern.Governor
 
+	// Spill, when non-nil, arms the grace-hash escape hatch: partitions
+	// evict to checksummed run files when a grant would exceed the budget,
+	// and the join phase reloads them pair by pair. Set with Gov before the
+	// build pipeline runs; nil keeps the in-memory-only behavior.
+	Spill *JoinSpill
+
 	// StatProbeRows and StatMatches count probe tuples entering the
 	// join phase and key-matched pairs, for the per-join analysis
 	// (Figures 1, 2 and 13).
@@ -136,9 +142,16 @@ func (j *RadixJoin) decideBits(s *RadixSink, totalRows int64, workers int) int {
 
 // buildFilter allocates the Bloom filter when this is the build side of a
 // BRJ; pass 2 fills it. Blocks >= fan-out guarantees partition-disjoint
-// writes.
+// writes. When any build rows spilled, the filter is disabled: spilled keys
+// would be absent from it and the probe reducer would wrongly drop their
+// matches.
 func (j *RadixJoin) buildFilter(s *RadixSink, totalRows int64) *bloom.Filter {
 	if !j.Cfg.Bloom || s != j.BuildSink {
+		return nil
+	}
+	if sp := j.Spill; sp != nil && sp.spilledRowsTotal(s.Side) > 0 {
+		j.bloomDisabled.Store(true)
+		j.Gov.Note("radix join: Bloom filter disabled, build side spilled")
 		return nil
 	}
 	j.filter = bloom.New(int(totalRows), 1<<(j.Cfg.Pass1Bits+j.b2))
@@ -271,8 +284,11 @@ type joinScratch struct {
 	matched []bool
 }
 
-// Tasks implements exec.Source.
-func (s *PartitionJoinSource) Tasks() int { return s.J.BuildSink.Out.NumParts() }
+// Tasks implements exec.Source: one task per resident partition pair plus
+// one per spilled pass-1 partition (processed serially under reloadMu).
+func (s *PartitionJoinSource) Tasks() int {
+	return s.J.BuildSink.Out.NumParts() + s.J.Spill.numSpilled()
+}
 
 func (s *PartitionJoinSource) worker(ctx *exec.Ctx) *joinScratch {
 	s.once.Do(func() { s.scratch = make([]*joinScratch, ctx.Workers) })
@@ -292,17 +308,40 @@ func (s *PartitionJoinSource) worker(ctx *exec.Ctx) *joinScratch {
 	return w
 }
 
-// Emit implements exec.Source: joins one partition pair.
+// Emit implements exec.Source: joins one partition pair. Task ids past the
+// resident partitions index into the spilled-partition list; a resident
+// task whose pass-1 partition spilled is a no-op (its rows — both sides —
+// are joined by the spilled task so each build row is seen exactly once).
 func (s *PartitionJoinSource) Emit(ctx *exec.Ctx, pid int, out exec.Operator) {
 	faultinject.Hit(JoinEmitSite)
 	j := s.J
-	w := s.worker(ctx)
-	bl, pl := j.BuildSink.Layout, j.ProbeSink.Layout
+	nres := j.BuildSink.Out.NumParts()
+	if pid >= nres {
+		s.emitSpilled(ctx, j.Spill.spilledList()[pid-nres], out)
+		return
+	}
+	if j.Spill.isSpilled(pid & (1<<j.Cfg.Pass1Bits - 1)) {
+		return
+	}
 	bpart := j.BuildSink.Out.Part(pid)
 	ppart := j.ProbeSink.Out.Part(pid)
+	s.joinPartition(ctx, out, bpart, func(yield func(ppart []byte)) {
+		if len(ppart) > 0 {
+			yield(ppart)
+		}
+	})
+}
+
+// joinPartition builds the hash table over one contiguous build partition
+// and probes it with the chunks the probe callback yields — a single
+// resident partition, or a stream of reloaded spill frames (Algorithm 2
+// either way). Chunks must hold whole packed probe rows.
+func (s *PartitionJoinSource) joinPartition(ctx *exec.Ctx, out exec.Operator, bpart []byte, probe func(yield func(ppart []byte))) {
+	j := s.J
+	w := s.worker(ctx)
+	bl, pl := j.BuildSink.Layout, j.ProbeSink.Layout
 	nb := len(bpart) / bl.Size
-	np := len(ppart) / pl.Size
-	ctx.Meter.AddRead(int64(len(bpart) + len(ppart)))
+	ctx.Meter.AddRead(int64(len(bpart)))
 
 	// Build the per-partition hash table on the fly.
 	w.ht.reset(nb)
@@ -373,7 +412,6 @@ func (s *PartitionJoinSource) Emit(ctx *exec.Ctx, pid int, out exec.Operator) {
 		}
 	}
 
-	j.StatProbeRows.Add(int64(np))
 	var matches int64
 	ht := &w.ht
 	entries := ht.entries
@@ -383,75 +421,88 @@ func (s *PartitionJoinSource) Emit(ctx *exec.Ctx, pid int, out exec.Operator) {
 	fastKey := bl.KeyI64 && pl.KeyI64 && j.Residual == nil
 	bKeyOff := bl.Offs[bl.KeyCols[0]]
 	pKeyOff := pl.Offs[pl.KeyCols[0]]
-	for i := 0; i < np; i++ {
-		// Poll cancellation between blocks of probe rows so a huge
-		// skewed partition cannot pin a worker past a deadline.
-		if i&8191 == 8191 && ctx.Err() != nil {
+	cancelled := false
+	probe(func(ppart []byte) {
+		if cancelled {
 			return
 		}
-		prow := ppart[i*pl.Size : (i+1)*pl.Size]
-		h := pl.Hash(prow)
-		hit := false
-		// Inlined robin-hood probe: the displacement invariant bounds
-		// the scan (see rhTable.probe); candidates verify key and
-		// residual before counting as matches.
-		slot := rhSlot(h) & mask
-		dist := uint32(0)
-		for {
-			e := &entries[slot]
-			idx := e.idx
-			if idx < 0 {
-				break
+		np := len(ppart) / pl.Size
+		j.StatProbeRows.Add(int64(np))
+		ctx.Meter.AddRead(int64(len(ppart)))
+		for i := 0; i < np; i++ {
+			// Poll cancellation between blocks of probe rows so a huge
+			// skewed partition cannot pin a worker past a deadline.
+			if i&8191 == 8191 && ctx.Err() != nil {
+				cancelled = true
+				return
 			}
-			occDist := (slot - rhSlot(e.hash)) & mask
-			if occDist < dist {
-				break
-			}
-			if e.hash == h {
-				brow := bpart[int(idx)*bl.Size : (int(idx)+1)*bl.Size]
-				var ok bool
-				if fastKey {
-					ok = binary.LittleEndian.Uint64(brow[bKeyOff:]) ==
-						binary.LittleEndian.Uint64(prow[pKeyOff:])
-				} else {
-					ok = bl.KeyEqual(brow, pl, prow) &&
-						(j.Residual == nil || j.Residual(brow, prow))
+			prow := ppart[i*pl.Size : (i+1)*pl.Size]
+			h := pl.Hash(prow)
+			hit := false
+			// Inlined robin-hood probe: the displacement invariant bounds
+			// the scan (see rhTable.probe); candidates verify key and
+			// residual before counting as matches.
+			slot := rhSlot(h) & mask
+			dist := uint32(0)
+			for {
+				e := &entries[slot]
+				idx := e.idx
+				if idx < 0 {
+					break
 				}
-				if ok {
-					hit = true
-					matches++
-					switch j.Kind {
-					case Inner, RightOuter:
-						emitPair(brow, prow)
-					case LeftOuter:
-						w.matched[idx] = true
-						emitPair(brow, prow)
-					case LeftSemi, LeftAnti:
-						w.matched[idx] = true
-					case Semi, Anti, Mark:
-						// Presence is all that matters.
+				occDist := (slot - rhSlot(e.hash)) & mask
+				if occDist < dist {
+					break
+				}
+				if e.hash == h {
+					brow := bpart[int(idx)*bl.Size : (int(idx)+1)*bl.Size]
+					var ok bool
+					if fastKey {
+						ok = binary.LittleEndian.Uint64(brow[bKeyOff:]) ==
+							binary.LittleEndian.Uint64(prow[pKeyOff:])
+					} else {
+						ok = bl.KeyEqual(brow, pl, prow) &&
+							(j.Residual == nil || j.Residual(brow, prow))
+					}
+					if ok {
+						hit = true
+						matches++
+						switch j.Kind {
+						case Inner, RightOuter:
+							emitPair(brow, prow)
+						case LeftOuter:
+							w.matched[idx] = true
+							emitPair(brow, prow)
+						case LeftSemi, LeftAnti:
+							w.matched[idx] = true
+						case Semi, Anti, Mark:
+							// Presence is all that matters.
+						}
 					}
 				}
+				slot = (slot + 1) & mask
+				dist++
 			}
-			slot = (slot + 1) & mask
-			dist++
+			switch j.Kind {
+			case Semi:
+				if hit {
+					emitPair(nil, prow)
+				}
+			case Anti:
+				if !hit {
+					emitPair(nil, prow)
+				}
+			case Mark:
+				emitMark(prow, hit)
+			case RightOuter:
+				if !hit {
+					emitPair(nil, prow)
+				}
+			}
 		}
-		switch j.Kind {
-		case Semi:
-			if hit {
-				emitPair(nil, prow)
-			}
-		case Anti:
-			if !hit {
-				emitPair(nil, prow)
-			}
-		case Mark:
-			emitMark(prow, hit)
-		case RightOuter:
-			if !hit {
-				emitPair(nil, prow)
-			}
-		}
+	})
+	if cancelled {
+		return
 	}
 	switch j.Kind {
 	case LeftOuter, LeftAnti:

@@ -228,8 +228,8 @@ func TestDriverPreCancelledContext(t *testing.T) {
 // TestFaultInjectionMorselPanicContained arms the driver's own fault site
 // and checks containment end to end under concurrency and -count=2 reruns.
 func TestFaultInjectionMorselPanicContained(t *testing.T) {
-	defer faultinject.Reset()
-	faultinject.Enable(MorselSite, faultinject.Fault{
+	faultinject.FailOnLeak(t)
+	faultinject.Arm(t, MorselSite, faultinject.Fault{
 		Kind: faultinject.Panic, After: 10, Message: "injected morsel fault", Once: true,
 	})
 	base := runtime.NumGoroutine()
@@ -261,8 +261,8 @@ func TestFaultInjectionMorselPanicContained(t *testing.T) {
 // TestFaultInjectionStallObeysDeadline stalls every morsel and checks a
 // short deadline still terminates the run promptly via the claim boundary.
 func TestFaultInjectionStallObeysDeadline(t *testing.T) {
-	defer faultinject.Reset()
-	faultinject.Enable(MorselSite, faultinject.Fault{
+	faultinject.FailOnLeak(t)
+	faultinject.Arm(t, MorselSite, faultinject.Fault{
 		Kind: faultinject.Stall, Stall: 2 * time.Millisecond,
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)

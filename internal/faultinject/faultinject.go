@@ -10,6 +10,7 @@ package faultinject
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -121,6 +122,49 @@ func Reset() {
 	sites = nil
 	enabled.Store(false)
 	rng = rand.New(rand.NewSource(1))
+}
+
+// Armed returns the names of currently armed sites, sorted. An empty slice
+// means every hook is on its single-atomic-load fast path.
+func Armed() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TB is the subset of testing.TB the test helpers need; an interface keeps
+// package testing out of production imports.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Arm is Enable for tests: it arms the fault and registers a t.Cleanup that
+// disarms the site again, so a failing (or early-returning) test can never
+// leak an armed fault into later tests.
+func Arm(t TB, site string, f Fault) {
+	t.Helper()
+	Enable(site, f)
+	t.Cleanup(func() { Disable(site) })
+}
+
+// FailOnLeak registers a cleanup that fails the test if any site is still
+// armed when it ends, then resets the registry so the leak cannot spread to
+// later tests or -count repetitions.
+func FailOnLeak(t TB) {
+	t.Helper()
+	t.Cleanup(func() {
+		if armed := Armed(); len(armed) != 0 {
+			t.Errorf("faultinject: test left faults armed at %v", armed)
+			Reset()
+		}
+	})
 }
 
 // Triggers reports how many times the named site has fired.

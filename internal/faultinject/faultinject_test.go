@@ -7,8 +7,8 @@ import (
 )
 
 func TestFaultInjectionPanicAfterN(t *testing.T) {
-	defer Reset()
-	Enable("site.a", Fault{Kind: Panic, After: 2, Message: "boom"})
+	FailOnLeak(t)
+	Arm(t, "site.a", Fault{Kind: Panic, After: 2, Message: "boom"})
 	Hit("site.a")
 	Hit("site.a")
 	panicked := func() (p any) {
@@ -29,8 +29,8 @@ func TestFaultInjectionPanicAfterN(t *testing.T) {
 }
 
 func TestFaultInjectionOnceDisarms(t *testing.T) {
-	defer Reset()
-	Enable("site.once", Fault{Kind: Fail, Once: true})
+	FailOnLeak(t)
+	Arm(t, "site.once", Fault{Kind: Fail, Once: true})
 	if err := ErrAt("site.once"); err == nil {
 		t.Fatal("first visit should fail")
 	}
@@ -43,8 +43,8 @@ func TestFaultInjectionOnceDisarms(t *testing.T) {
 }
 
 func TestFaultInjectionErrAtMatchesErrorsAs(t *testing.T) {
-	defer Reset()
-	Enable("site.fail", Fault{Kind: Fail, Message: "no memory"})
+	FailOnLeak(t)
+	Arm(t, "site.fail", Fault{Kind: Fail, Message: "no memory"})
 	err := ErrAt("site.fail")
 	var inj *Injected
 	if !errors.As(err, &inj) {
@@ -54,15 +54,15 @@ func TestFaultInjectionErrAtMatchesErrorsAs(t *testing.T) {
 		t.Fatalf("wrong site %q", inj.Site)
 	}
 	// Panic faults must not leak through the error hook.
-	Enable("site.fail", Fault{Kind: Panic})
+	Arm(t, "site.fail", Fault{Kind: Panic})
 	if err := ErrAt("site.fail"); err != nil {
 		t.Fatalf("panic fault returned error: %v", err)
 	}
 }
 
 func TestFaultInjectionStallSleeps(t *testing.T) {
-	defer Reset()
-	Enable("site.stall", Fault{Kind: Stall, Stall: 20 * time.Millisecond})
+	FailOnLeak(t)
+	Arm(t, "site.stall", Fault{Kind: Stall, Stall: 20 * time.Millisecond})
 	start := time.Now()
 	Hit("site.stall")
 	if d := time.Since(start); d < 15*time.Millisecond {
@@ -91,11 +91,66 @@ func TestFaultInjectionDisableAndReset(t *testing.T) {
 }
 
 func TestFaultInjectionUnarmedIsFree(t *testing.T) {
-	defer Reset()
+	FailOnLeak(t)
 	// No faults armed: hooks must be no-ops (this also guards -count=2
-	// determinism — earlier tests Reset on exit).
+	// determinism — earlier tests disarm on exit).
 	Hit("never.armed")
 	if err := ErrAt("never.armed"); err != nil {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestArmAutoDisarms(t *testing.T) {
+	FailOnLeak(t)
+	t.Run("inner", func(t *testing.T) {
+		Arm(t, "site.scoped", Fault{Kind: Fail})
+		if err := ErrAt("site.scoped"); err == nil {
+			t.Fatal("armed fault did not fire")
+		}
+	})
+	// The subtest's cleanup must have disarmed the site.
+	if err := ErrAt("site.scoped"); err != nil {
+		t.Fatalf("Arm leaked past its test scope: %v", err)
+	}
+	if got := Armed(); len(got) != 0 {
+		t.Fatalf("armed sites after subtest: %v", got)
+	}
+}
+
+// fakeTB records Errorf calls and runs cleanups on demand, standing in for
+// a *testing.T that is ending.
+type fakeTB struct {
+	errors   []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper()                           {}
+func (f *fakeTB) Cleanup(fn func())                 { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Errorf(format string, args ...any) { f.errors = append(f.errors, format) }
+func (f *fakeTB) finish() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestFailOnLeakCatchesArmedFault(t *testing.T) {
+	defer Reset()
+	tb := &fakeTB{}
+	FailOnLeak(tb)
+	Enable("site.leak", Fault{Kind: Fail}) // deliberately not via Arm
+	tb.finish()
+	if len(tb.errors) == 0 {
+		t.Fatal("FailOnLeak did not flag the armed fault")
+	}
+	if len(Armed()) != 0 {
+		t.Fatal("FailOnLeak did not reset the leaked fault")
+	}
+
+	// A clean test must pass the leak check silently.
+	tb = &fakeTB{}
+	FailOnLeak(tb)
+	tb.finish()
+	if len(tb.errors) != 0 {
+		t.Fatalf("leak check failed a clean test: %v", tb.errors)
 	}
 }

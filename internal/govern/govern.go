@@ -28,14 +28,27 @@ import (
 // fault there simulates allocation failure.
 const GrantSite = "govern.grant"
 
+// EventsHead and EventsTail bound the governor's own degradation log: the
+// first EventsHead and last EventsTail events are kept verbatim, anything
+// between is dropped and counted. A long spilling query can emit one event
+// per evicted and reloaded partition; without the bound the governor — the
+// component policing memory — would itself grow without limit.
+const (
+	EventsHead = 256
+	EventsTail = 256
+)
+
 // Governor tracks one query's materialized bytes against a budget.
 type Governor struct {
 	budget int64
 	used   atomic.Int64
 	peak   atomic.Int64
 
-	mu     sync.Mutex
-	events []string
+	mu      sync.Mutex
+	head    []string // first EventsHead events
+	tail    []string // ring of the last EventsTail events past the head
+	tailPos int      // next overwrite position in tail once saturated
+	dropped int64    // events evicted from the ring
 }
 
 // New returns a governor with the given budget in bytes; budget <= 0 means
@@ -115,25 +128,53 @@ func (g *Governor) WouldExceed(extra int64) bool {
 	return g.used.Load()+extra > g.budget
 }
 
-// Note records a degradation decision (BHJ fallback, fan-out reduction) so
-// explain output and tests can see what the governor did.
+// Note records a degradation decision (BHJ fallback, fan-out reduction,
+// partition spill/reload) so explain output and tests can see what the
+// governor did. The log is bounded: see EventsHead/EventsTail.
 func (g *Governor) Note(format string, args ...any) {
 	if g == nil {
 		return
 	}
+	ev := fmt.Sprintf(format, args...)
 	g.mu.Lock()
-	g.events = append(g.events, fmt.Sprintf(format, args...))
+	switch {
+	case len(g.head) < EventsHead:
+		g.head = append(g.head, ev)
+	case len(g.tail) < EventsTail:
+		g.tail = append(g.tail, ev)
+	default:
+		g.tail[g.tailPos] = ev
+		g.tailPos = (g.tailPos + 1) % EventsTail
+		g.dropped++
+	}
 	g.mu.Unlock()
 }
 
-// Events returns the recorded degradation decisions in order.
+// Dropped returns how many events the bounded log evicted.
+func (g *Governor) Dropped() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.dropped
+}
+
+// Events returns the recorded degradation decisions in order. When the
+// bounded log overflowed, a synthetic marker line reports how many events
+// between the kept head and tail were dropped.
 func (g *Governor) Events() []string {
 	if g == nil {
 		return nil
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	out := make([]string, len(g.events))
-	copy(out, g.events)
+	out := make([]string, 0, len(g.head)+len(g.tail)+1)
+	out = append(out, g.head...)
+	if g.dropped > 0 {
+		out = append(out, fmt.Sprintf("... (%d earlier events dropped by the bounded log)", g.dropped))
+	}
+	out = append(out, g.tail[g.tailPos:]...)
+	out = append(out, g.tail[:g.tailPos]...)
 	return out
 }

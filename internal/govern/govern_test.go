@@ -2,6 +2,8 @@ package govern
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -80,9 +82,56 @@ func TestNotesAndEvents(t *testing.T) {
 	}
 }
 
+func TestEventsRingBoundsMemory(t *testing.T) {
+	g := New(10)
+	total := EventsHead + EventsTail + 100
+	for i := 0; i < total; i++ {
+		g.Note("event %d", i)
+	}
+	ev := g.Events()
+	wantLen := EventsHead + EventsTail + 1 // head + marker + tail
+	if len(ev) != wantLen {
+		t.Fatalf("len(events) = %d, want %d", len(ev), wantLen)
+	}
+	if g.Dropped() != 100 {
+		t.Fatalf("dropped = %d, want 100", g.Dropped())
+	}
+	if ev[0] != "event 0" || ev[EventsHead-1] != fmt.Sprintf("event %d", EventsHead-1) {
+		t.Fatalf("head not preserved: first=%q last=%q", ev[0], ev[EventsHead-1])
+	}
+	if !strings.Contains(ev[EventsHead], "100 earlier events dropped") {
+		t.Fatalf("no drop marker after head: %q", ev[EventsHead])
+	}
+	if got, want := ev[len(ev)-1], fmt.Sprintf("event %d", total-1); got != want {
+		t.Fatalf("last event = %q, want %q", got, want)
+	}
+	// The tail must be the contiguous most-recent window, in order.
+	for i, e := range ev[EventsHead+1:] {
+		if want := fmt.Sprintf("event %d", total-EventsTail+i); e != want {
+			t.Fatalf("tail[%d] = %q, want %q", i, e, want)
+		}
+	}
+}
+
+func TestEventsBelowBoundKeptVerbatim(t *testing.T) {
+	g := New(10)
+	for i := 0; i < EventsHead+10; i++ {
+		g.Note("event %d", i)
+	}
+	ev := g.Events()
+	if len(ev) != EventsHead+10 || g.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want %d and 0", len(ev), g.Dropped(), EventsHead+10)
+	}
+	for i, e := range ev {
+		if want := fmt.Sprintf("event %d", i); e != want {
+			t.Fatalf("event[%d] = %q, want %q", i, e, want)
+		}
+	}
+}
+
 func TestFaultInjectionGrantFails(t *testing.T) {
-	defer faultinject.Reset()
-	faultinject.Enable(GrantSite, faultinject.Fault{Kind: faultinject.Fail, Message: "oom"})
+	faultinject.FailOnLeak(t)
+	faultinject.Arm(t, GrantSite, faultinject.Fault{Kind: faultinject.Fail, Message: "oom"})
 	g := New(1 << 20)
 	err := g.Grant(64)
 	if err == nil {

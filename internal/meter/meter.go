@@ -17,6 +17,13 @@ type Meter struct {
 	read    atomic.Int64
 	written atomic.Int64
 
+	// Spill traffic is counted separately from memory traffic: disk frames
+	// written during partition eviction and read back during reload. The
+	// bandwidth timeline keeps showing memory bytes only, as the paper's
+	// PCM counters would.
+	spillRead    atomic.Int64
+	spillWritten atomic.Int64
+
 	mu     sync.Mutex
 	start  time.Time
 	phases []Phase
@@ -54,6 +61,30 @@ func (m *Meter) AddWrite(n int64) {
 		return
 	}
 	m.written.Add(n)
+}
+
+// AddSpillWrite records n bytes of partition data written to spill files.
+func (m *Meter) AddSpillWrite(n int64) {
+	if m == nil {
+		return
+	}
+	m.spillWritten.Add(n)
+}
+
+// AddSpillRead records n bytes of partition data reloaded from spill files.
+func (m *Meter) AddSpillRead(n int64) {
+	if m == nil {
+		return
+	}
+	m.spillRead.Add(n)
+}
+
+// SpillTotals returns cumulative spill-file read and written bytes.
+func (m *Meter) SpillTotals() (read, written int64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.spillRead.Load(), m.spillWritten.Load()
 }
 
 // BeginPhase opens a named phase; EndPhase closes it and snapshots the byte

@@ -79,3 +79,24 @@ func TestEndPhaseWithoutBegin(t *testing.T) {
 		t.Fatal("phantom phase recorded")
 	}
 }
+
+func TestSpillCountersSeparateFromMemory(t *testing.T) {
+	m := New()
+	m.AddRead(100)
+	m.AddWrite(200)
+	m.AddSpillWrite(50)
+	m.AddSpillWrite(25)
+	m.AddSpillRead(75)
+	if r, w := m.Totals(); r != 100 || w != 200 {
+		t.Fatalf("memory totals polluted by spill: %d/%d", r, w)
+	}
+	if r, w := m.SpillTotals(); r != 75 || w != 50+25 {
+		t.Fatalf("spill totals = %d/%d, want 75/75", r, w)
+	}
+	var nilM *Meter
+	nilM.AddSpillRead(1)
+	nilM.AddSpillWrite(1)
+	if r, w := nilM.SpillTotals(); r != 0 || w != 0 {
+		t.Fatal("nil meter recorded spill bytes")
+	}
+}

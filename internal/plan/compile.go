@@ -5,6 +5,7 @@ import (
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/govern"
 	"partitionjoin/internal/meter"
+	"partitionjoin/internal/spill"
 	"partitionjoin/internal/storage"
 )
 
@@ -27,6 +28,13 @@ type Options struct {
 	// fallback) when their projected footprint would exceed it; it never
 	// aborts a query. Degradations are reported in ExecResult.Degraded.
 	MemBudget int64
+	// SpillDir, when non-empty, arms the last rung of the degradation
+	// ladder: radix joins may evict partitions to checksummed run files in
+	// a query-private temp directory under this path, and reload them one
+	// pair at a time in the join phase. The directory is removed when the
+	// query ends, is cancelled, or panics. Only effective together with
+	// MemBudget — without a budget nothing ever spills.
+	SpillDir string
 }
 
 // DefaultOptions runs everything through the BHJ at full parallelism.
@@ -65,6 +73,8 @@ type pipe struct {
 type compiler struct {
 	opts      Options
 	gov       *govern.Governor
+	spillDir  *spill.Dir // non-nil when Options.SpillDir is set
+	spills    []*core.JoinSpill
 	workers   int // resolved driver parallelism (never <= 0)
 	pipelines []*exec.Pipeline
 	harvests  []func()

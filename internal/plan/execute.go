@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"time"
 
+	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/govern"
+	"partitionjoin/internal/spill"
 	"partitionjoin/internal/storage"
 )
 
@@ -20,10 +22,14 @@ type ExecResult struct {
 	SourceRows int64
 	Duration   time.Duration
 	// Degraded lists the memory governor's degradation decisions (BHJ
-	// fallbacks, fan-out reductions) taken while executing this plan.
+	// fallbacks, fan-out reductions, partition spills and reloads) taken
+	// while executing this plan.
 	Degraded []string
 	// MemPeak is the high-water mark of governor-accounted bytes.
 	MemPeak int64
+	// Spill aggregates the spill-to-disk activity of all joins (zero when
+	// nothing spilled or no spill directory was configured).
+	Spill core.SpillStats
 }
 
 // Throughput returns source tuples per second.
@@ -58,6 +64,16 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 	}
 	gov := govern.New(opts.MemBudget)
 	c := &compiler{opts: opts, gov: gov, workers: workers}
+	if opts.SpillDir != "" {
+		dir, derr := spill.NewDir(opts.SpillDir)
+		if derr != nil {
+			return nil, fmt.Errorf("plan: %w", derr)
+		}
+		// Deferred cleanup runs on success, error, cancellation, and panic
+		// alike: no spill file survives the query.
+		defer dir.Cleanup()
+		c.spillDir = dir
+	}
 	p := c.compile(root)
 	ts, caps := vecTypes(p.cols)
 	sink := &exec.CollectSink{Types: ts, Caps: caps, Gov: gov}
@@ -72,6 +88,10 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 	for _, h := range c.harvests {
 		h()
 	}
+	var spst core.SpillStats
+	for _, sp := range c.spills {
+		spst.Add(sp.Stats())
+	}
 	return &ExecResult{
 		Result:     sink.Result(),
 		Cols:       p.cols,
@@ -79,6 +99,7 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 		Duration:   time.Since(start),
 		Degraded:   gov.Events(),
 		MemPeak:    gov.Peak(),
+		Spill:      spst,
 	}, nil
 }
 

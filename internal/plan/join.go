@@ -93,15 +93,24 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 	// the radix join's projected partition footprint (both sides fully
 	// materialized into partitions, the paper's Section 4.5 memory shape)
 	// cannot fit, answer the paper's question with "do not partition" and
-	// fall back to the BHJ, which materializes only the build side.
+	// fall back to the BHJ, which materializes only the build side. When
+	// even the build side alone exceeds the budget the BHJ would blow it
+	// too; with a spill directory configured, keep the radix join and let
+	// it spill partitions to disk instead (the last rung).
 	if algo != BHJ && c.gov.Budgeted() {
 		bRows, pRows := estimateRows(n.Build), estimateRows(n.Probe)
 		if bRows >= 0 && pRows >= 0 {
 			projected := bRows*int64(buildLayout.Size) + pRows*int64(probeLayoutStat.Size)
+			buildOnly := bRows * int64(buildLayout.Size)
 			if c.gov.WouldExceed(projected) {
-				c.gov.Note("join %d: projected radix footprint %d B exceeds budget %d B; falling back to BHJ",
-					n.ID, projected, c.gov.Budget())
-				algo = BHJ
+				if c.spillDir != nil && c.gov.WouldExceed(buildOnly) {
+					c.gov.Note("join %d: build side alone (%d B) exceeds budget %d B; keeping radix join, spilling to disk",
+						n.ID, buildOnly, c.gov.Budget())
+				} else {
+					c.gov.Note("join %d: projected radix footprint %d B exceeds budget %d B; falling back to BHJ",
+						n.ID, projected, c.gov.Budget())
+					algo = BHJ
+				}
 			}
 		}
 	}
@@ -179,6 +188,10 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 		probeLayout, probeCols, probeKeyBatch, -1,
 		buildOut, probeOut)
 	j.Gov = c.gov
+	if c.spillDir != nil {
+		j.Spill = core.NewJoinSpill(c.spillDir, c.gov, c.opts.Meter, n.ID)
+		c.spills = append(c.spills, j.Spill)
+	}
 	if len(n.ResidualNe) > 0 {
 		bl, pl := buildLayout, probeLayout
 		bpos, ppos := resBuildPos, resProbePos

@@ -126,35 +126,36 @@ func optsWith(algo JoinAlgo) Options {
 }
 
 func TestFaultInjectionPanicNamesPipeline(t *testing.T) {
-	defer faultinject.Reset()
+	faultinject.FailOnLeak(t)
 	// Probe spans several 64Ki-row morsels so an After-skip lands the panic
 	// mid-stream in the probe pipeline, not on the first claimed morsel.
 	build, probe := makeTables(2000, 200000, 3000, 9)
 
 	for _, algo := range []JoinAlgo{BHJ, RJ} {
-		faultinject.Reset()
-		faultinject.Enable(exec.MorselSite, faultinject.Fault{
-			Kind: faultinject.Panic, After: 1, Message: "injected mid-query", Once: true,
+		t.Run(algo.String(), func(t *testing.T) {
+			faultinject.Arm(t, exec.MorselSite, faultinject.Fault{
+				Kind: faultinject.Panic, After: 1, Message: "injected mid-query", Once: true,
+			})
+			_, err := ExecuteErr(context.Background(), optsWith(algo), joinPlan(build, probe, core.Inner))
+			if err == nil {
+				t.Fatal("injected panic did not surface")
+			}
+			var inj *faultinject.Injected
+			if !errors.As(err, &inj) {
+				t.Fatalf("error %v does not wrap the injected fault", err)
+			}
+			if !strings.Contains(err.Error(), `pipeline "`) || !strings.Contains(err.Error(), "worker") {
+				t.Fatalf("error does not name pipeline and worker: %v", err)
+			}
 		})
-		_, err := ExecuteErr(context.Background(), optsWith(algo), joinPlan(build, probe, core.Inner))
-		if err == nil {
-			t.Fatalf("%v: injected panic did not surface", algo)
-		}
-		var inj *faultinject.Injected
-		if !errors.As(err, &inj) {
-			t.Fatalf("%v: error %v does not wrap the injected fault", algo, err)
-		}
-		if !strings.Contains(err.Error(), `pipeline "`) || !strings.Contains(err.Error(), "worker") {
-			t.Fatalf("%v: error does not name pipeline and worker: %v", algo, err)
-		}
 	}
 }
 
 func TestFaultInjectionGrantFailureIsContained(t *testing.T) {
-	defer faultinject.Reset()
+	faultinject.FailOnLeak(t)
 	build, probe := makeTables(2000, 10000, 3000, 11)
 
-	faultinject.Enable(govern.GrantSite, faultinject.Fault{
+	faultinject.Arm(t, govern.GrantSite, faultinject.Fault{
 		Kind: faultinject.Fail, Message: "allocation refused", Once: true,
 	})
 	opts := optsWith(RJ)

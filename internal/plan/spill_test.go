@@ -1,0 +1,261 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/hashx"
+	"partitionjoin/internal/spill"
+	"partitionjoin/internal/storage"
+)
+
+// spillOpts arms the spill rung: radix join, a small budget, and a spill
+// directory under parent.
+func spillOpts(budget int64, parent string) Options {
+	o := optsWith(RJ)
+	o.Workers = 4
+	o.MemBudget = budget
+	o.SpillDir = parent
+	return o
+}
+
+func requireEmptyDir(t *testing.T, parent string) {
+	t.Helper()
+	ents, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill parent dir not empty: %v", ents)
+	}
+}
+
+// The acceptance test of the spill rung: a join whose build side alone is
+// several times the budget completes with the exact in-memory answer, the
+// governor's peak stays within budget plus one reload working set, and no
+// spill file survives the query.
+func TestSpillJoinBeyondBudgetIsExact(t *testing.T) {
+	// 60000 build rows x 24 B/row ≈ 1.4 MiB ≈ 5.6x the 256 KiB budget;
+	// the probe side is ~2.8 MiB. keyRange keeps the join result small so
+	// the collected output does not dominate the governor's account.
+	build, probe := makeTables(60000, 120000, 2_000_000, 21)
+	node := joinPlan(build, probe, core.Inner)
+
+	ref := Execute(optsWith(RJ), node)
+	want := resultRows(ref.Result)
+	sortRows(want)
+	if len(want) == 0 {
+		t.Fatal("reference join is empty; the correctness check would be vacuous")
+	}
+
+	parent := t.TempDir()
+	const budget = 256 << 10
+	res, err := ExecuteErr(context.Background(), spillOpts(budget, parent), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resultRows(res.Result)
+	sortRows(got)
+	if !rowsEqual(got, want) {
+		t.Fatalf("spilled join wrong: %d rows, want %d", len(got), len(want))
+	}
+
+	if res.Spill.Partitions == 0 {
+		t.Fatal("nothing spilled although the build side exceeds the budget several times over")
+	}
+	if res.Spill.SpilledBytes == 0 || res.Spill.ReloadedBytes == 0 {
+		t.Fatalf("spill byte counters empty: %+v", res.Spill)
+	}
+	if res.Spill.MaxReloadBytes > budget {
+		t.Fatalf("a single reload working set (%d B) exceeded the budget (%d B)",
+			res.Spill.MaxReloadBytes, budget)
+	}
+	// Peak bound: budget + one reload working set + slack for per-worker
+	// write-combine buffers and the collected result rows.
+	slack := int64(256 << 10)
+	if limit := budget + res.Spill.MaxReloadBytes + slack; res.MemPeak > limit {
+		t.Fatalf("governor peak %d B exceeds budget+reload+slack %d B (reload %d B)",
+			res.MemPeak, limit, res.Spill.MaxReloadBytes)
+	}
+	spilled := false
+	for _, ev := range res.Degraded {
+		if strings.Contains(ev, "spilled to disk") {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Fatalf("no spill event among degradations: %v", res.Degraded)
+	}
+	requireEmptyDir(t, parent)
+}
+
+// skewTables builds a pathological pair: every key lands in one pass-1
+// partition (its low 6 hash bits are zero), so that single partition holds
+// the whole build side and must recursively re-partition on reload.
+func skewTables(t *testing.T, nKeys, nProbe int) (*storage.Table, *storage.Table) {
+	t.Helper()
+	keys := make([]int64, 0, nKeys)
+	for k := int64(0); len(keys) < nKeys; k++ {
+		if hashx.I64(k)&63 == 0 {
+			keys = append(keys, k)
+		}
+	}
+	bs := storage.NewSchema(
+		storage.ColumnDef{Name: "key", Type: storage.Int64},
+		storage.ColumnDef{Name: "bval", Type: storage.Int64},
+	)
+	build := storage.NewTable("build", bs, nKeys)
+	bkey := build.Cols[0].(*storage.Int64Column)
+	bval := build.Cols[1].(*storage.Int64Column)
+	for i, k := range keys {
+		bkey.Values = append(bkey.Values, k)
+		bval.Values = append(bval.Values, int64(i))
+	}
+	ps := storage.NewSchema(
+		storage.ColumnDef{Name: "fkey", Type: storage.Int64},
+		storage.ColumnDef{Name: "pval", Type: storage.Int64},
+	)
+	probe := storage.NewTable("probe", ps, nProbe)
+	pkey := probe.Cols[0].(*storage.Int64Column)
+	pval := probe.Cols[1].(*storage.Int64Column)
+	for i := 0; i < nProbe; i++ {
+		pkey.Values = append(pkey.Values, keys[i%len(keys)])
+		pval.Values = append(pval.Values, int64(i)*7)
+	}
+	return build, probe
+}
+
+// A spilled partition that alone exceeds the budget must recursively
+// re-partition on finer hash bits instead of blowing the budget on reload.
+func TestSpillRecursesOnSkewedPartition(t *testing.T) {
+	build, probe := skewTables(t, 8000, 16000)
+	node := joinPlan(build, probe, core.Inner)
+
+	ref := Execute(optsWith(RJ), node)
+	want := resultRows(ref.Result)
+	sortRows(want)
+
+	parent := t.TempDir()
+	res, err := ExecuteErr(context.Background(), spillOpts(96<<10, parent), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resultRows(res.Result)
+	sortRows(got)
+	if !rowsEqual(got, want) {
+		t.Fatalf("skewed spilled join wrong: %d rows, want %d", len(got), len(want))
+	}
+	if res.Spill.Partitions == 0 {
+		t.Fatal("the hot partition never spilled")
+	}
+	if res.Spill.Recursed == 0 {
+		t.Fatalf("over-budget partition was not re-partitioned: %+v", res.Spill)
+	}
+	requireEmptyDir(t, parent)
+}
+
+// Injected disk faults on the spill path must fail the query with an error
+// naming the damage — never return a wrong answer — and must leave no spill
+// files behind.
+func TestSpillInjectedFaultsFailCleanly(t *testing.T) {
+	build, probe := makeTables(60000, 120000, 2_000_000, 23)
+	node := joinPlan(build, probe, core.Inner)
+
+	cases := []struct {
+		name     string
+		site     string
+		fault    faultinject.Fault
+		contains []string
+		injected bool
+	}{
+		{
+			name:     "write failure",
+			site:     spill.WriteSite,
+			fault:    faultinject.Fault{Kind: faultinject.Fail, Message: "disk full"},
+			contains: []string{"spill: write", "disk full"},
+			injected: true,
+		},
+		{
+			name:     "short read",
+			site:     spill.ReadSite,
+			fault:    faultinject.Fault{Kind: faultinject.Fail, Message: "io error", Once: true},
+			contains: []string{"short read", "frame"},
+			injected: true,
+		},
+		{
+			name:     "frame corruption",
+			site:     spill.CorruptSite,
+			fault:    faultinject.Fault{Kind: faultinject.Fail, Once: true},
+			contains: []string{"checksum mismatch", "frame"},
+		},
+		{
+			name:     "panic during reload",
+			site:     core.ReloadSite,
+			fault:    faultinject.Fault{Kind: faultinject.Panic, Message: "reload blew up", Once: true},
+			contains: []string{"reload blew up"},
+			injected: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			faultinject.FailOnLeak(t)
+			faultinject.Arm(t, tc.site, tc.fault)
+			parent := t.TempDir()
+			res, err := ExecuteErr(context.Background(), spillOpts(256<<10, parent), node)
+			if err == nil {
+				t.Fatalf("query succeeded (%d rows) despite injected %s",
+					res.Result.NumRows(), tc.name)
+			}
+			for _, want := range tc.contains {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q does not contain %q", err, want)
+				}
+			}
+			if tc.injected {
+				var inj *faultinject.Injected
+				if !errors.As(err, &inj) || inj.Site != tc.site {
+					t.Fatalf("error %v does not carry the injected fault at %s", err, tc.site)
+				}
+			}
+			requireEmptyDir(t, parent)
+		})
+	}
+}
+
+// A deadline expiring mid-spill must surface the context error promptly and
+// leave the spill directory empty: the reload path polls cancellation and
+// the executor's deferred cleanup removes the files.
+func TestSpillCancellationMidReload(t *testing.T) {
+	faultinject.FailOnLeak(t)
+	build, probe := makeTables(60000, 120000, 2_000_000, 29)
+	node := joinPlan(build, probe, core.Inner)
+
+	// Stall the first reload long enough for the deadline to expire while
+	// spill files exist on disk.
+	faultinject.Arm(t, core.ReloadSite, faultinject.Fault{
+		Kind: faultinject.Stall, Stall: 300 * time.Millisecond, Once: true,
+	})
+	parent := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+
+	base := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := ExecuteErr(ctx, spillOpts(256<<10, parent), node)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled spilling query still took %v", elapsed)
+	}
+	requireEmptyDir(t, parent)
+	expectGoroutines(t, base)
+}

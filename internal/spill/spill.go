@@ -1,0 +1,297 @@
+// Package spill implements the disk layer of the join engine's degradation
+// ladder: checksummed, page-framed run files that radix partitions are
+// evicted into when a query's working set exceeds its memory budget, and
+// read back from one partition at a time during the join phase.
+//
+// A Dir owns one query's spill files as a private temp directory; Cleanup
+// is idempotent and is deferred by the executor so the directory is removed
+// on query end, cancellation, and panic alike. A File is an append-only
+// sequence of frames, each a length-prefixed, CRC32-checksummed payload of
+// whole packed rows. Corruption (bit rot, short writes, truncation) is
+// detected on read and surfaced as an error naming the file and frame —
+// a damaged spill file can fail a query but can never produce a wrong
+// answer.
+//
+// Fault-injection sites cover the three disk failure modes: WriteSite fails
+// an append, ReadSite simulates a short read, and CorruptSite flips a bit
+// in a frame as it is written so the reader's checksum verification trips.
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"partitionjoin/internal/faultinject"
+)
+
+// Fault-injection sites of the spill layer.
+const (
+	// WriteSite fails File.Append with the injected error.
+	WriteSite = "spill.write"
+	// ReadSite makes Reader.Next report an injected short read.
+	ReadSite = "spill.read"
+	// CorruptSite flips one bit of a frame payload as it is written, so
+	// the next read of that frame fails checksum verification.
+	CorruptSite = "spill.corrupt"
+)
+
+// frameHeaderSize is the per-frame overhead: payload length u32, CRC32 u32.
+const frameHeaderSize = 8
+
+// Dir owns the spill files of one query inside a private temp directory.
+type Dir struct {
+	path string
+
+	mu      sync.Mutex
+	files   map[string]*File
+	removed bool
+}
+
+// NewDir creates a fresh spill directory under parent ("" uses the system
+// temp directory).
+func NewDir(parent string) (*Dir, error) {
+	if parent != "" {
+		if err := os.MkdirAll(parent, 0o755); err != nil {
+			return nil, fmt.Errorf("spill: create parent %s: %w", parent, err)
+		}
+	}
+	path, err := os.MkdirTemp(parent, "spill-")
+	if err != nil {
+		return nil, fmt.Errorf("spill: create spill dir: %w", err)
+	}
+	return &Dir{path: path, files: make(map[string]*File)}, nil
+}
+
+// Path returns the directory's filesystem path.
+func (d *Dir) Path() string { return d.path }
+
+// File returns the named run file, creating it on first use. Names must be
+// bare file names (no separators).
+func (d *Dir) File(name string) (*File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.removed {
+		return nil, fmt.Errorf("spill: dir %s already cleaned up", d.path)
+	}
+	if f, ok := d.files[name]; ok {
+		return f, nil
+	}
+	path := d.path + string(os.PathSeparator) + name
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("spill: create %s: %w", name, err)
+	}
+	f := &File{dir: d, name: name, f: osf}
+	d.files[name] = f
+	return f, nil
+}
+
+// NumFiles returns the number of live run files.
+func (d *Dir) NumFiles() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files)
+}
+
+// Cleanup closes every file and removes the directory tree. It is
+// idempotent and safe to defer alongside error and panic paths; a nil *Dir
+// cleans up nothing.
+func (d *Dir) Cleanup() error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.removed {
+		return nil
+	}
+	d.removed = true
+	for _, f := range d.files {
+		f.closeFile()
+	}
+	d.files = nil
+	if err := os.RemoveAll(d.path); err != nil {
+		return fmt.Errorf("spill: remove %s: %w", d.path, err)
+	}
+	return nil
+}
+
+// File is one append-only run of checksummed frames. Appends are serialized
+// by an internal mutex; reads (via Reader) use ReadAt and may run
+// concurrently once writing is finished.
+type File struct {
+	dir  *Dir
+	name string
+
+	mu       sync.Mutex
+	f        *os.File
+	woff     int64 // bytes written (headers + payloads)
+	frames   int
+	bytes    int64 // payload bytes
+	rows     int64
+	maxFrame int
+}
+
+// Name returns the file's name within its Dir.
+func (f *File) Name() string { return f.name }
+
+// Frames returns the number of appended frames.
+func (f *File) Frames() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.frames
+}
+
+// Bytes returns the total payload bytes appended.
+func (f *File) Bytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytes
+}
+
+// Rows returns the total rows appended.
+func (f *File) Rows() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rows
+}
+
+// MaxFrame returns the largest payload appended, the buffer size a reader
+// needs.
+func (f *File) MaxFrame() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxFrame
+}
+
+// Append writes one frame holding rows whole packed rows. The payload is
+// checksummed so any later damage is detected at read time.
+func (f *File) Append(payload []byte, rows int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.f == nil {
+		return fmt.Errorf("spill: %s: append after close", f.name)
+	}
+	if err := faultinject.ErrAt(WriteSite); err != nil {
+		return fmt.Errorf("spill: write %s frame %d: %w", f.name, f.frames, err)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if err := faultinject.ErrAt(CorruptSite); err != nil && len(payload) > 0 {
+		// Injected bit rot: write a damaged copy under the clean payload's
+		// checksum; the caller's buffer stays intact.
+		bad := append([]byte(nil), payload...)
+		bad[len(bad)/2] ^= 0x40
+		payload = bad
+	}
+	if _, err := f.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("spill: write %s frame %d: %w", f.name, f.frames, err)
+	}
+	if _, err := f.f.Write(payload); err != nil {
+		return fmt.Errorf("spill: write %s frame %d: %w", f.name, f.frames, err)
+	}
+	f.woff += frameHeaderSize + int64(len(payload))
+	f.frames++
+	f.bytes += int64(len(payload))
+	f.rows += int64(rows)
+	if len(payload) > f.maxFrame {
+		f.maxFrame = len(payload)
+	}
+	return nil
+}
+
+// Remove closes and deletes the file, detaching it from its Dir (used when
+// a recursive re-partition has fully drained a parent run).
+func (f *File) Remove() error {
+	f.dir.mu.Lock()
+	delete(f.dir.files, f.name)
+	path := f.dir.path + string(os.PathSeparator) + f.name
+	f.dir.mu.Unlock()
+	f.mu.Lock()
+	f.closeFileLocked()
+	f.mu.Unlock()
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("spill: remove %s: %w", f.name, err)
+	}
+	return nil
+}
+
+func (f *File) closeFile() {
+	f.mu.Lock()
+	f.closeFileLocked()
+	f.mu.Unlock()
+}
+
+func (f *File) closeFileLocked() {
+	if f.f != nil {
+		f.f.Close()
+		f.f = nil
+	}
+}
+
+// Reader iterates a file's frames in append order, verifying each frame's
+// length and checksum. Readers are independent; each keeps its own cursor.
+type Reader struct {
+	f     *File
+	off   int64
+	frame int
+	buf   []byte
+}
+
+// NewReader returns a reader positioned at the first frame.
+func (f *File) NewReader() *Reader { return &Reader{f: f} }
+
+// Next returns the payload of the next frame, valid until the following
+// call. It returns io.EOF after the last frame; a truncated or corrupted
+// frame is an error naming the file and frame index.
+func (r *Reader) Next() ([]byte, error) {
+	f := r.f
+	f.mu.Lock()
+	osf, end := f.f, f.woff
+	f.mu.Unlock()
+	if r.off == end {
+		return nil, io.EOF
+	}
+	if osf == nil {
+		return nil, fmt.Errorf("spill: read %s frame %d: file closed", f.name, r.frame)
+	}
+	if err := faultinject.ErrAt(ReadSite); err != nil {
+		return nil, fmt.Errorf("spill: read %s frame %d: short read: %w", f.name, r.frame, err)
+	}
+	var hdr [frameHeaderSize]byte
+	if r.off+frameHeaderSize > end {
+		return nil, fmt.Errorf("spill: read %s frame %d: truncated header (%d bytes past offset %d)",
+			f.name, r.frame, end-r.off, r.off)
+	}
+	if _, err := osf.ReadAt(hdr[:], r.off); err != nil {
+		return nil, fmt.Errorf("spill: read %s frame %d: %w", f.name, r.frame, err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:]))
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if r.off+frameHeaderSize+int64(n) > end {
+		return nil, fmt.Errorf("spill: read %s frame %d: truncated payload (%d of %d bytes)",
+			f.name, r.frame, end-r.off-frameHeaderSize, n)
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	buf := r.buf[:n]
+	if _, err := osf.ReadAt(buf, r.off+frameHeaderSize); err != nil {
+		return nil, fmt.Errorf("spill: read %s frame %d: %w", f.name, r.frame, err)
+	}
+	if got := crc32.ChecksumIEEE(buf); got != want {
+		return nil, fmt.Errorf("spill: read %s frame %d: checksum mismatch (stored %08x, computed %08x)",
+			f.name, r.frame, want, got)
+	}
+	r.off += frameHeaderSize + int64(n)
+	r.frame++
+	return buf, nil
+}

@@ -1,0 +1,272 @@
+package spill
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"partitionjoin/internal/faultinject"
+)
+
+func newTestDir(t *testing.T) *Dir {
+	t.Helper()
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Cleanup() })
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := newTestDir(t)
+	f, err := d.File("run.build")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{
+		[]byte("hello spill"),
+		make([]byte, 4096),
+		[]byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	for i := range frames[1] {
+		frames[1][i] = byte(i * 7)
+	}
+	var rows int64
+	for i, p := range frames {
+		if err := f.Append(p, i+1); err != nil {
+			t.Fatal(err)
+		}
+		rows += int64(i + 1)
+	}
+	if f.Frames() != len(frames) || f.Rows() != rows {
+		t.Fatalf("frames=%d rows=%d, want %d and %d", f.Frames(), f.Rows(), len(frames), rows)
+	}
+	if f.MaxFrame() != 4096 {
+		t.Fatalf("max frame = %d, want 4096", f.MaxFrame())
+	}
+	rd := f.NewReader()
+	for i, want := range frames {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+	}
+	if _, err := rd.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("past last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestIndependentReaders(t *testing.T) {
+	d := newTestDir(t)
+	f, _ := d.File("run")
+	for i := 0; i < 4; i++ {
+		if err := f.Append([]byte{byte(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := func(r *Reader) byte {
+		p, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p[0]
+	}
+	a, b := f.NewReader(), f.NewReader()
+	pa, pa2 := next(a), next(a)
+	pb := next(b)
+	if pa != 0 || pa2 != 1 || pb != 0 {
+		t.Fatalf("readers share a cursor: a=%d,%d b=%d", pa, pa2, pb)
+	}
+}
+
+// On-disk damage after a clean write must be detected by the checksum and
+// surface as an error naming file and frame — never as silent wrong data.
+func TestOnDiskCorruptionDetected(t *testing.T) {
+	d := newTestDir(t)
+	f, _ := d.File("victim")
+	if err := f.Append([]byte("first frame ok"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("second frame gets damaged"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit of frame 1 directly on disk.
+	path := filepath.Join(d.Path(), "victim")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := frameHeaderSize + len("first frame ok") + frameHeaderSize + 3
+	raw[off] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	rd := f.NewReader()
+	if _, err := rd.Next(); err != nil {
+		t.Fatalf("undamaged frame 0 failed: %v", err)
+	}
+	_, err = rd.Next()
+	if err == nil {
+		t.Fatal("corrupted frame read succeeded")
+	}
+	if !strings.Contains(err.Error(), "victim") || !strings.Contains(err.Error(), "frame 1") ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("error does not name file and frame: %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	d := newTestDir(t)
+	f, _ := d.File("torn")
+	if err := f.Append(make([]byte, 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(make([]byte, 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the second frame's payload off on disk (a torn write).
+	if err := os.Truncate(filepath.Join(d.Path(), "torn"), frameHeaderSize+100+frameHeaderSize+40); err != nil {
+		t.Fatal(err)
+	}
+	rd := f.NewReader()
+	if _, err := rd.Next(); err != nil {
+		t.Fatalf("intact frame: %v", err)
+	}
+	_, err := rd.Next()
+	if err == nil {
+		t.Fatal("torn tail read succeeded")
+	}
+	if !strings.Contains(err.Error(), "torn frame 1") {
+		t.Fatalf("error does not name file and frame: %v", err)
+	}
+}
+
+func TestCleanupRemovesDirAndIsIdempotent(t *testing.T) {
+	parent := t.TempDir()
+	d, err := NewDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := d.File("a")
+	if err := f.Append([]byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	path := d.Path()
+	if err := d.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("spill dir %s survived cleanup", path)
+	}
+	if err := d.Cleanup(); err != nil {
+		t.Fatalf("second cleanup: %v", err)
+	}
+	if _, err := d.File("b"); err == nil {
+		t.Fatal("File succeeded after cleanup")
+	}
+	ents, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("parent dir not empty after cleanup: %v", ents)
+	}
+	var nd *Dir
+	if err := nd.Cleanup(); err != nil {
+		t.Fatalf("nil dir cleanup: %v", err)
+	}
+}
+
+func TestRemoveDetachesFile(t *testing.T) {
+	d := newTestDir(t)
+	f, _ := d.File("gone")
+	if err := f.Append([]byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFiles() != 0 {
+		t.Fatalf("file still tracked after Remove")
+	}
+	if _, err := os.Stat(filepath.Join(d.Path(), "gone")); !os.IsNotExist(err) {
+		t.Fatal("file still on disk after Remove")
+	}
+	// The name can be reused for a fresh run.
+	if _, err := d.File("gone"); err != nil {
+		t.Fatalf("recreate after remove: %v", err)
+	}
+}
+
+func TestInjectedWriteFailure(t *testing.T) {
+	faultinject.FailOnLeak(t)
+	d := newTestDir(t)
+	f, _ := d.File("w")
+	faultinject.Arm(t, WriteSite, faultinject.Fault{Kind: faultinject.Fail, Message: "disk full"})
+	err := f.Append([]byte("x"), 1)
+	if err == nil {
+		t.Fatal("append succeeded under injected write failure")
+	}
+	var inj *faultinject.Injected
+	if !errors.As(err, &inj) || inj.Site != WriteSite {
+		t.Fatalf("error %v does not carry the injected fault", err)
+	}
+	if !strings.Contains(err.Error(), "w frame 0") {
+		t.Fatalf("error does not name file and frame: %v", err)
+	}
+}
+
+func TestInjectedShortRead(t *testing.T) {
+	faultinject.FailOnLeak(t)
+	d := newTestDir(t)
+	f, _ := d.File("r")
+	if err := f.Append([]byte("payload"), 1); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(t, ReadSite, faultinject.Fault{Kind: faultinject.Fail, Message: "io error"})
+	_, err := f.NewReader().Next()
+	if err == nil || !strings.Contains(err.Error(), "short read") {
+		t.Fatalf("want short-read error, got %v", err)
+	}
+	var inj *faultinject.Injected
+	if !errors.As(err, &inj) || inj.Site != ReadSite {
+		t.Fatalf("error %v does not carry the injected fault", err)
+	}
+}
+
+func TestInjectedCorruptionCaughtByChecksum(t *testing.T) {
+	faultinject.FailOnLeak(t)
+	d := newTestDir(t)
+	f, _ := d.File("c")
+	payload := []byte("this frame is silently damaged on the way to disk")
+	keep := append([]byte(nil), payload...)
+	faultinject.Arm(t, CorruptSite, faultinject.Fault{Kind: faultinject.Fail, Once: true})
+	if err := f.Append(payload, 1); err != nil {
+		t.Fatalf("corruption must be silent at write time: %v", err)
+	}
+	if string(payload) != string(keep) {
+		t.Fatal("caller's buffer was modified by the injected corruption")
+	}
+	_, err := f.NewReader().Next()
+	if err == nil {
+		t.Fatal("corrupted frame passed checksum verification")
+	}
+	if !strings.Contains(err.Error(), "checksum mismatch") || !strings.Contains(err.Error(), "frame 0") {
+		t.Fatalf("error does not report the checksum failure: %v", err)
+	}
+	// A frame written after the Once fault expired reads back clean.
+	if err := f.Append([]byte("clean"), 1); err != nil {
+		t.Fatal(err)
+	}
+	rd := f.NewReader()
+	if _, err := rd.Next(); err == nil {
+		t.Fatal("frame 0 should still be damaged")
+	}
+}
