@@ -2,9 +2,9 @@
 # injection suite runs twice to catch armed-fault leakage across runs, and
 # the stress target hammers the spill and fault paths under the race
 # detector.
-.PHONY: check build test race faultinject vet bench stress fmtcheck
+.PHONY: check build test race faultinject vet bench stress soak fmtcheck
 
-check: vet build race faultinject stress
+check: vet build race faultinject stress soak
 
 vet:
 	go vet ./...
@@ -35,3 +35,10 @@ stress: fmtcheck
 	go test -race -count=3 ./internal/spill/ ./internal/faultinject/
 	go test -race -count=3 -run 'Spill|FaultInjection' \
 		./internal/plan/ ./internal/exec/
+
+# soak repeats the multi-query admission suite under the race detector:
+# concurrent queries contending for one broker must end correct, shed, or
+# watchdog-killed — never wrong, leaked, or deadlocked.
+soak:
+	go test -race -count=2 -run 'Soak|Broker|Watchdog|ConcurrencySoak' \
+		./internal/admit/ ./internal/plan/ ./internal/bench/

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,soak,all")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper (1 = 16M x 256M tuples)")
 	runs := flag.Int("runs", 3, "repetitions per measurement (median reported)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
@@ -65,6 +65,9 @@ func main() {
 	run("fig18", func() (*bench.Table, error) { return bench.Fig18Micro(*scale, cfg) })
 	run("memladder", func() (*bench.Table, error) {
 		return bench.MemLadder(*scale, []int64{0, 8 << 20, 2 << 20, 512 << 10}, cfg)
+	})
+	run("soak", func() (*bench.Table, error) {
+		return bench.Soak(*scale, 4*runtime.GOMAXPROCS(0), 2, cfg)
 	})
 }
 

@@ -7,12 +7,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"partitionjoin/internal/admit"
 	"partitionjoin/internal/plan"
+	"partitionjoin/internal/spill"
 	"partitionjoin/internal/sql"
 	"partitionjoin/internal/storage"
 	"partitionjoin/internal/tpch"
@@ -25,7 +29,32 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "query deadline (0 = none), e.g. 500ms, 10s")
 	memBudget := flag.Int64("mem-budget", 0, "memory budget in bytes (0 = unlimited); radix joins degrade to fit")
 	spillDir := flag.String("spill-dir", "", "directory for spill files; with -mem-budget, joins too large for the budget spill to disk instead of falling back to BHJ")
+	globalMem := flag.Int64("global-mem", 0, "process-wide memory pool in bytes (0 = no admission control); queries reserve budgets from it and queue when it is exhausted")
+	maxConc := flag.Int("max-concurrency", 0, "maximum queries running at once under admission control (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue length before arrivals are shed with an overload error (0 = default)")
+	stallWindow := flag.Duration("stall-window", 0, "watchdog: cancel an admitted query that makes no progress for this long (0 = watchdog off)")
+	cleanSpill := flag.Bool("clean-spill", false, "sweep stale spill directories under -spill-dir and exit")
 	flag.Parse()
+
+	// Janitor: reclaim spill directories abandoned by dead processes
+	// before this run creates its own.
+	if *spillDir != "" {
+		removed, err := spill.Sweep(*spillDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spill janitor: %v\n", err)
+			os.Exit(1)
+		}
+		for _, d := range removed {
+			fmt.Fprintf(os.Stderr, "spill janitor: removed stale %s\n", d)
+		}
+	}
+	if *cleanSpill {
+		if *spillDir == "" {
+			fmt.Fprintln(os.Stderr, "-clean-spill requires -spill-dir")
+			os.Exit(2)
+		}
+		return
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: sqlrun [flags] \"SELECT ...\"")
 		os.Exit(2)
@@ -48,6 +77,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	var broker *admit.Broker
+	if *globalMem > 0 || *maxConc > 0 || *queueDepth > 0 {
+		broker = admit.NewBroker(admit.Config{
+			GlobalMem:      *globalMem,
+			MaxConcurrency: *maxConc,
+			QueueDepth:     *queueDepth,
+			StallWindow:    *stallWindow,
+		})
+		defer broker.Close()
+		opts.Broker = broker
+	}
+
 	db := tpch.Generate(*sf, 1)
 	cat := sql.Catalog{}
 	for _, t := range db.Tables() {
@@ -63,6 +104,11 @@ func main() {
 	res, err := sql.RunCtx(ctx, cat, query, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		var oe *admit.OverloadError
+		if errors.As(err, &oe) {
+			fmt.Fprintf(os.Stderr, "overloaded: retry after %v\n", oe.RetryAfter.Round(time.Millisecond))
+			os.Exit(75) // EX_TEMPFAIL: the query is retryable
+		}
 		os.Exit(1)
 	}
 	printResult(res)
@@ -71,8 +117,20 @@ func main() {
 	for _, ev := range res.Degraded {
 		fmt.Printf("degraded: %s\n", ev)
 	}
-	if *memBudget > 0 {
-		fmt.Printf("memory: peak %d B of %d B budget\n", res.MemPeak, *memBudget)
+	if *memBudget > 0 || res.Reserved > 0 {
+		line := fmt.Sprintf("memory: peak %d B of %d B budget", res.MemPeak, *memBudget)
+		if res.Reserved > 0 {
+			line = fmt.Sprintf("memory: peak %d B of %d B reserved", res.MemPeak, res.Reserved)
+		}
+		if res.DroppedEvents > 0 {
+			line += fmt.Sprintf(" (%d degradation events dropped from the log)", res.DroppedEvents)
+		}
+		fmt.Println(line)
+	}
+	if broker != nil {
+		fmt.Printf("admission: reserved %d B of %d B pool, waited %v (%d admitted, %d shed, %d stall kills)\n",
+			res.Reserved, broker.Pool(), res.AdmitWait.Round(time.Millisecond),
+			broker.Admits(), broker.Sheds(), broker.StallKills())
 	}
 	if res.Spill.Partitions > 0 {
 		fmt.Printf("spill: %d partitions, %d B written, %d B reloaded (max working set %d B, %d recursive splits)\n",

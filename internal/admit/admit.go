@@ -1,0 +1,594 @@
+// Package admit is the process-wide admission layer above the per-query
+// memory governor: one Broker arbitrates a global memory pool and a bounded
+// admission queue across every concurrently executing query. An arriving
+// query asks for a budget reservation; when the pool (or a concurrency
+// limit) is exhausted it waits in FIFO order with deadline-aware
+// backpressure, and past the queue-depth or wait-time threshold it is shed
+// with a typed, retryable overload error carrying a suggested backoff —
+// refusing a few queries cleanly beats degrading every query to
+// uselessness.
+//
+// The ladder a query descends under pressure is therefore: queue (wait for
+// memory) → shed (ErrOverloaded, retry later) → degrade (the governor sheds
+// radix fan-out, falls back to BHJ) → spill (disk). Admission hands each
+// query a Reservation; the governor treats it as a live, growable budget
+// (govern.Backing), so degradation decisions consult the reservation — and
+// the pool behind it — rather than a static number, and a finishing query's
+// released bytes immediately admit the next queued one.
+//
+// A watchdog samples each admitted query's morsel progress; a query that
+// makes no progress for a configurable window is cancelled through the
+// query context's cancel-cause plumbing (the error wraps ErrStalled) and
+// its reservation is reclaimed into the pool at once, so one wedged query
+// cannot hold memory hostage.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/govern"
+)
+
+// Fault-injection sites of the admission layer.
+const (
+	// ReserveSite fails Admit before any state changes, simulating a
+	// reservation failure (e.g. the broker's own bookkeeping allocation).
+	ReserveSite = "admit.reserve"
+	// WatchdogSite makes the watchdog deem a healthy query stalled on its
+	// next sweep — the false-positive path.
+	WatchdogSite = "admit.watchdog"
+	// ReleaseSite makes a reservation release leak: the bytes are not
+	// returned to the pool, so leak detection (InUse != 0) can be tested.
+	ReleaseSite = "admit.release"
+)
+
+var _ = faultinject.Register(ReserveSite, WatchdogSite, ReleaseSite)
+
+// ErrOverloaded is the sentinel matched by errors.Is on every shed
+// admission. The concrete error is *OverloadError, which carries the
+// suggested backoff.
+var ErrOverloaded = errors.New("admit: overloaded")
+
+// ErrStalled is the sentinel matched by errors.Is when the watchdog
+// cancelled a query for making no progress; the concrete error is
+// *StallError.
+var ErrStalled = errors.New("admit: query stalled")
+
+// OverloadError is returned when a query is shed instead of admitted. It is
+// retryable by contract: the system was too busy, not wrong, and the caller
+// should back off for about RetryAfter before resubmitting.
+type OverloadError struct {
+	// Reason says which threshold shed the query ("admission queue full",
+	// "wait limit exceeded", "broker closed").
+	Reason string
+	// Queued is the queue depth observed at shed time.
+	Queued int
+	// Waited is how long the query sat in the queue before being shed.
+	Waited time.Duration
+	// RetryAfter is the broker's backoff suggestion, derived from the
+	// recent average reservation hold time and the current queue depth.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("admit: overloaded: %s (%d queued, waited %v; retry after %v)",
+		e.Reason, e.Queued, e.Waited.Round(time.Millisecond), e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for every shed admission.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// Retryable reports that resubmitting after RetryAfter is safe and
+// expected; overload says nothing about the query itself.
+func (e *OverloadError) Retryable() bool { return true }
+
+// StallError is the cancel cause installed by the watchdog.
+type StallError struct {
+	// Window is the no-progress window that expired.
+	Window time.Duration
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("admit: query made no progress for %v and was cancelled by the watchdog", e.Window)
+}
+
+// Is makes errors.Is(err, ErrStalled) true for watchdog cancellations.
+func (e *StallError) Is(target error) bool { return target == ErrStalled }
+
+// Config sizes a Broker.
+type Config struct {
+	// GlobalMem is the shared memory pool in bytes; <= 0 means memory is
+	// not arbitrated (reservations are accounted but never block).
+	GlobalMem int64
+	// MaxConcurrency caps the number of admitted (running) queries;
+	// <= 0 means unlimited.
+	MaxConcurrency int
+	// QueueDepth bounds the admission queue; an arrival finding the queue
+	// full is shed immediately. <= 0 uses 64.
+	QueueDepth int
+	// MaxWait bounds how long an arrival may queue before it is shed.
+	// 0 uses 2s; negative sheds immediately whenever the query cannot be
+	// admitted on arrival.
+	MaxWait time.Duration
+	// PerQueryDefault is the reservation granted to queries that do not
+	// name a budget; <= 0 uses GlobalMem/8 (0 when GlobalMem is 0, i.e.
+	// such queries run unbudgeted).
+	PerQueryDefault int64
+	// StallWindow arms the stuck-query watchdog: an admitted query whose
+	// morsel progress counter does not move for this long is cancelled
+	// with ErrStalled and its reservation reclaimed. 0 disables the
+	// watchdog. The window must comfortably exceed the longest single
+	// morsel (and pipeline-breaker close, e.g. a large sort) the workload
+	// can produce, since progress ticks at morsel claims.
+	StallWindow time.Duration
+	// WatchdogInterval is the sampling period; <= 0 uses StallWindow/4
+	// (min 10ms).
+	WatchdogInterval time.Duration
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	want  int64
+	since time.Time
+	ready chan struct{} // closed once res is set
+	res   *Reservation  // set under the broker lock before close(ready)
+}
+
+// Broker is the process-wide admission controller. The zero value is not
+// usable; construct with NewBroker and Close when done (Close stops the
+// watchdog and sheds any queued queries).
+type Broker struct {
+	cfg Config
+
+	mu       sync.Mutex
+	free     int64 // remaining pool bytes (tracked only when GlobalMem > 0)
+	inUse    int64 // bytes held by admitted reservations (always tracked)
+	running  int
+	queue    []*waiter
+	admitted map[*Reservation]struct{}
+	closed   bool
+
+	admits    int64
+	sheds     int64
+	stallKill int64
+	ewmaHold  time.Duration // smoothed reservation hold time (backoff basis)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewBroker builds a broker and starts its watchdog if cfg.StallWindow > 0.
+func NewBroker(cfg Config) *Broker {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = 2 * time.Second
+	}
+	if cfg.PerQueryDefault <= 0 && cfg.GlobalMem > 0 {
+		cfg.PerQueryDefault = cfg.GlobalMem / 8
+	}
+	if cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = cfg.StallWindow / 4
+		if cfg.WatchdogInterval < 10*time.Millisecond {
+			cfg.WatchdogInterval = 10 * time.Millisecond
+		}
+	}
+	b := &Broker{
+		cfg:      cfg,
+		free:     cfg.GlobalMem,
+		admitted: make(map[*Reservation]struct{}),
+		stop:     make(chan struct{}),
+	}
+	if cfg.StallWindow > 0 {
+		b.wg.Add(1)
+		go b.watchdog()
+	}
+	return b
+}
+
+// Close stops the watchdog and sheds every queued query with an overload
+// error naming the shutdown. Admitted queries keep their reservations;
+// their releases still balance the pool.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	queued := b.queue
+	b.queue = nil
+	close(b.stop)
+	b.mu.Unlock()
+	for _, w := range queued {
+		w.res = nil
+		close(w.ready)
+	}
+	b.wg.Wait()
+}
+
+// Reservation is one admitted query's claim on the pool. It doubles as the
+// query's live budget: the governor can grow it (TryGrow) while the pool
+// has headroom, and the watchdog tracks the query's progress through it.
+type Reservation struct {
+	b *Broker
+
+	mu       sync.Mutex
+	bytes    int64 // current size, grows included; kept after release for reporting
+	released bool
+
+	waited   time.Time // admit completion, for hold-time accounting
+	queuedIn time.Duration
+
+	progress atomic.Int64            // morsel claims; the watchdog's liveness signal
+	cancel   context.CancelCauseFunc // guarded by mu (set after admit, read by watchdog)
+
+	// watchdog bookkeeping, guarded by the broker lock
+	lastTick int64
+	lastMove time.Time
+}
+
+// Reservations back governors: growth draws from the shared pool.
+var _ govern.Backing = (*Reservation)(nil)
+
+// Bytes returns the reservation's current size (initial grant plus growth).
+// It stays readable after Release for summary reporting.
+func (r *Reservation) Bytes() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// Waited returns how long the query queued before admission.
+func (r *Reservation) Waited() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.queuedIn
+}
+
+// ProgressCounter exposes the liveness counter the executor ticks once per
+// claimed morsel; the watchdog samples it.
+func (r *Reservation) ProgressCounter() *atomic.Int64 {
+	if r == nil {
+		return nil
+	}
+	return &r.progress
+}
+
+// TryGrow implements govern.Backing: it attempts to draw n more bytes from
+// the pool, returning the bytes granted (all-or-nothing). Growth is denied
+// while queries queue — feeding an admitted query's appetite while others
+// wait would starve the queue — and after release or revocation.
+func (r *Reservation) TryGrow(n int64) int64 {
+	if r == nil || n <= 0 {
+		return 0
+	}
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.released || b.closed || len(b.queue) > 0 {
+		return 0
+	}
+	if b.cfg.GlobalMem > 0 {
+		if b.free < n {
+			return 0
+		}
+		b.free -= n
+	}
+	b.inUse += n
+	r.bytes += n
+	return n
+}
+
+// Release returns the reservation to the pool and wakes queued queries. It
+// is idempotent; the executor defers it so the pool balances on success,
+// error, cancellation, and panic alike. An armed ReleaseSite fault makes
+// the release leak (the bytes stay checked out) to exercise leak detection.
+func (r *Reservation) Release() {
+	if r == nil {
+		return
+	}
+	b := r.b
+	b.mu.Lock()
+	r.mu.Lock()
+	if r.released {
+		r.mu.Unlock()
+		b.mu.Unlock()
+		return
+	}
+	r.released = true
+	bytes := r.bytes
+	r.mu.Unlock()
+	if err := faultinject.ErrAt(ReleaseSite); err != nil {
+		// Injected leak: drop the bytes on the floor. InUse stays high,
+		// which is exactly what leak detection must notice.
+		delete(b.admitted, r)
+		b.running--
+		b.mu.Unlock()
+		return
+	}
+	if b.cfg.GlobalMem > 0 {
+		b.free += bytes
+	}
+	b.inUse -= bytes
+	b.running--
+	delete(b.admitted, r)
+	if hold := time.Since(r.waited); hold > 0 {
+		if b.ewmaHold == 0 {
+			b.ewmaHold = hold
+		} else {
+			b.ewmaHold = (3*b.ewmaHold + hold) / 4
+		}
+	}
+	b.pump()
+	b.mu.Unlock()
+	r.mu.Lock()
+	cancel := r.cancel
+	r.mu.Unlock()
+	if cancel != nil {
+		// The query is over; releasing the derived context is safe and
+		// keeps the cancel-cause chain from accumulating.
+		cancel(nil)
+	}
+}
+
+// Admit requests a reservation of want bytes (<= 0 uses the per-query
+// default). On success it returns the reservation and a context derived
+// from ctx that the watchdog can cancel; the caller must run the query
+// under that context and defer Release. On overload it returns an error
+// matching ErrOverloaded. A request larger than the whole pool is clamped
+// to the pool — the query will degrade or spill within it, which beats
+// refusing it forever.
+func (b *Broker) Admit(ctx context.Context, want int64) (*Reservation, context.Context, error) {
+	if err := faultinject.ErrAt(ReserveSite); err != nil {
+		return nil, nil, fmt.Errorf("admit: reservation failed: %w", err)
+	}
+	if want <= 0 {
+		want = b.cfg.PerQueryDefault
+	}
+	if b.cfg.GlobalMem > 0 && want > b.cfg.GlobalMem {
+		want = b.cfg.GlobalMem
+	}
+	start := time.Now()
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, nil, &OverloadError{Reason: "broker closed", RetryAfter: b.cfg.MaxWait}
+	}
+	if len(b.queue) == 0 && b.canAdmitLocked(want) {
+		res := b.admitLocked(want, 0)
+		b.mu.Unlock()
+		return res, res.runCtx(ctx), nil
+	}
+	if len(b.queue) >= b.cfg.QueueDepth || b.cfg.MaxWait < 0 {
+		err := b.shedLocked("admission queue full", 0)
+		b.mu.Unlock()
+		return nil, nil, err
+	}
+	w := &waiter{want: want, since: start, ready: make(chan struct{})}
+	b.queue = append(b.queue, w)
+	b.mu.Unlock()
+
+	timer := time.NewTimer(b.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		if w.res == nil { // broker closed while queued
+			return nil, nil, &OverloadError{Reason: "broker closed", Waited: time.Since(start), RetryAfter: b.cfg.MaxWait}
+		}
+		return w.res, w.res.runCtx(ctx), nil
+	case <-ctx.Done():
+		if res := b.abandon(w); res != nil {
+			res.Release()
+		}
+		return nil, nil, fmt.Errorf("admit: cancelled while queued: %w", context.Cause(ctx))
+	case <-timer.C:
+		if res := b.abandon(w); res != nil {
+			// Granted in the instant the timer fired: take the grant.
+			return res, res.runCtx(ctx), nil
+		}
+		b.mu.Lock()
+		err := b.shedLocked("wait limit exceeded", time.Since(start))
+		b.mu.Unlock()
+		return nil, nil, err
+	}
+}
+
+// runCtx derives the cancellable query context the watchdog acts on.
+func (r *Reservation) runCtx(ctx context.Context) context.Context {
+	wctx, cancel := context.WithCancelCause(ctx)
+	r.mu.Lock()
+	r.cancel = cancel
+	r.mu.Unlock()
+	return wctx
+}
+
+// abandon removes w from the queue; if the grant raced ahead it returns the
+// already-built reservation (queue removal is then impossible — the waiter
+// is gone from the queue already).
+func (b *Broker) abandon(w *waiter) *Reservation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, q := range b.queue {
+		if q == w {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return nil
+		}
+	}
+	select {
+	case <-w.ready:
+		return w.res
+	default:
+		return nil
+	}
+}
+
+// canAdmitLocked checks slots and pool headroom.
+func (b *Broker) canAdmitLocked(want int64) bool {
+	if b.cfg.MaxConcurrency > 0 && b.running >= b.cfg.MaxConcurrency {
+		return false
+	}
+	if b.cfg.GlobalMem > 0 && want > b.free {
+		return false
+	}
+	return true
+}
+
+// admitLocked checks out the reservation.
+func (b *Broker) admitLocked(want int64, queued time.Duration) *Reservation {
+	if b.cfg.GlobalMem > 0 {
+		b.free -= want
+	}
+	b.inUse += want
+	b.running++
+	b.admits++
+	now := time.Now()
+	res := &Reservation{b: b, bytes: want, waited: now, queuedIn: queued, lastMove: now}
+	b.admitted[res] = struct{}{}
+	return res
+}
+
+// pump grants queued waiters in FIFO order while resources allow. Strict
+// FIFO is deliberate: skipping a large waiting query in favour of small
+// later ones would starve it under sustained load.
+func (b *Broker) pump() {
+	for len(b.queue) > 0 {
+		w := b.queue[0]
+		if !b.canAdmitLocked(w.want) {
+			return
+		}
+		b.queue = b.queue[1:]
+		w.res = b.admitLocked(w.want, time.Since(w.since))
+		close(w.ready)
+	}
+}
+
+// shedLocked counts a shed and builds the overload error with a backoff
+// suggestion scaled by the observed hold time and queue depth.
+func (b *Broker) shedLocked(reason string, waited time.Duration) *OverloadError {
+	b.sheds++
+	retry := b.ewmaHold
+	if retry <= 0 {
+		retry = b.cfg.MaxWait
+		if retry <= 0 {
+			retry = 100 * time.Millisecond
+		}
+	}
+	retry *= time.Duration(len(b.queue) + 1)
+	if retry > 10*time.Second {
+		retry = 10 * time.Second
+	}
+	return &OverloadError{Reason: reason, Queued: len(b.queue), Waited: waited, RetryAfter: retry}
+}
+
+// watchdog periodically samples every admitted query's progress counter.
+// A query whose counter has not moved within StallWindow (or for which the
+// WatchdogSite fault is armed) is cancelled with a StallError and its
+// reservation reclaimed immediately — the pool must not wait for a wedged
+// query's goroutines to unwind.
+func (b *Broker) watchdog() {
+	defer b.wg.Done()
+	t := time.NewTicker(b.cfg.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var stalled []*Reservation
+		b.mu.Lock()
+		for r := range b.admitted {
+			tick := r.progress.Load()
+			if tick != r.lastTick {
+				r.lastTick = tick
+				r.lastMove = now
+				continue
+			}
+			if faultinject.ErrAt(WatchdogSite) != nil || now.Sub(r.lastMove) > b.cfg.StallWindow {
+				stalled = append(stalled, r)
+			}
+		}
+		b.stallKill += int64(len(stalled))
+		b.mu.Unlock()
+		for _, r := range stalled {
+			r.mu.Lock()
+			cancel := r.cancel
+			r.mu.Unlock()
+			if cancel != nil {
+				cancel(&StallError{Window: b.cfg.StallWindow})
+			}
+			r.Release()
+		}
+	}
+}
+
+// Free returns the pool bytes currently available (GlobalMem when idle).
+func (b *Broker) Free() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.free
+}
+
+// InUse returns the bytes held by admitted reservations. Zero after every
+// query has released means no reservation leaked.
+func (b *Broker) InUse() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// Running returns the number of currently admitted queries.
+func (b *Broker) Running() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.running
+}
+
+// Queued returns the current admission queue depth.
+func (b *Broker) Queued() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// Admits returns the number of admissions granted so far.
+func (b *Broker) Admits() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.admits
+}
+
+// Sheds returns the number of queries refused with ErrOverloaded.
+func (b *Broker) Sheds() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sheds
+}
+
+// StallKills returns the number of watchdog cancellations.
+func (b *Broker) StallKills() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stallKill
+}
+
+// Pool returns the configured pool size.
+func (b *Broker) Pool() int64 { return b.cfg.GlobalMem }

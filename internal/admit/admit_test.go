@@ -1,0 +1,404 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"partitionjoin/internal/faultinject"
+)
+
+// balanced asserts the broker pool is exactly back to its idle state: no
+// reservation leaked a byte.
+func balanced(t *testing.T, b *Broker) {
+	t.Helper()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("pool imbalance: %d bytes still checked out", got)
+	}
+	if b.Pool() > 0 && b.Free() != b.Pool() {
+		t.Fatalf("free %d != pool %d after all releases", b.Free(), b.Pool())
+	}
+	if got := b.Running(); got != 0 {
+		t.Fatalf("%d queries still counted running", got)
+	}
+}
+
+func TestAdmitReservesAndReleases(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 1000})
+	defer b.Close()
+	r, ctx, err := b.Admit(context.Background(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("fresh admission context already cancelled")
+	}
+	if r.Bytes() != 400 || b.Free() != 600 || b.InUse() != 400 {
+		t.Fatalf("accounting off: bytes=%d free=%d inUse=%d", r.Bytes(), b.Free(), b.InUse())
+	}
+	r.Release()
+	r.Release() // idempotent
+	balanced(t, b)
+}
+
+func TestAdmitDefaultAndClamp(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 800})
+	defer b.Close()
+	r1, _, err := b.Admit(context.Background(), 0) // default = pool/8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Bytes() != 100 {
+		t.Fatalf("default reservation = %d, want 100", r1.Bytes())
+	}
+	r1.Release()
+	r2, _, err := b.Admit(context.Background(), 1<<40) // clamped to pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Bytes() != 800 {
+		t.Fatalf("oversized request reserved %d, want clamp to 800", r2.Bytes())
+	}
+	r2.Release()
+	balanced(t, b)
+}
+
+func TestQueueAdmitsFIFOOnRelease(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 100, MaxWait: 5 * time.Second})
+	defer b.Close()
+	r1, _, err := b.Admit(context.Background(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	var r2 *Reservation
+	go func() {
+		var err error
+		r2, _, err = b.Admit(context.Background(), 80)
+		got <- err
+	}()
+	// The second query must queue, not fail and not sneak in.
+	deadline := time.Now().Add(time.Second)
+	for b.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q := b.Queued(); q != 1 {
+		t.Fatalf("queue depth %d, want 1", q)
+	}
+	select {
+	case err := <-got:
+		t.Fatalf("second query admitted while pool exhausted: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	r1.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued query not admitted on release: %v", err)
+	}
+	if r2.Waited() <= 0 {
+		t.Fatal("queued admission reports zero wait")
+	}
+	r2.Release()
+	balanced(t, b)
+}
+
+func TestShedsWhenQueueFull(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 100, QueueDepth: 1, MaxWait: 5 * time.Second})
+	defer b.Close()
+	r1, _, err := b.Admit(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Admit(context.Background(), 50) // fills the queue
+	deadline := time.Now().Add(time.Second)
+	for b.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	_, _, err = b.Admit(context.Background(), 50)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue returned %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %v is not *OverloadError", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("no backoff suggestion: %+v", oe)
+	}
+	if !oe.Retryable() {
+		t.Fatal("overload not marked retryable")
+	}
+	if b.Sheds() != 1 {
+		t.Fatalf("sheds = %d, want 1", b.Sheds())
+	}
+	r1.Release()
+	// Drain the queued admission so the pool balances.
+	deadline = time.Now().Add(time.Second)
+	for b.InUse() != 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestShedsAfterMaxWait(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 100, MaxWait: 30 * time.Millisecond})
+	defer b.Close()
+	r1, _, err := b.Admit(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Release()
+	start := time.Now()
+	_, _, err = b.Admit(context.Background(), 50)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("wait-limited admission returned %v, want ErrOverloaded", err)
+	}
+	if waited := time.Since(start); waited < 25*time.Millisecond {
+		t.Fatalf("shed after only %v, before the wait limit", waited)
+	}
+	if b.Queued() != 0 {
+		t.Fatal("shed waiter left in queue")
+	}
+}
+
+func TestCancelledWhileQueued(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 100, MaxWait: 5 * time.Second})
+	defer b.Close()
+	r1, _, err := b.Admit(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		deadline := time.Now().Add(time.Second)
+		for b.Queued() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	_, _, err = b.Admit(ctx, 50)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled wait returned %v, want context.Canceled", err)
+	}
+	if b.Queued() != 0 {
+		t.Fatal("cancelled waiter left in queue")
+	}
+}
+
+func TestMaxConcurrencyGates(t *testing.T) {
+	b := NewBroker(Config{MaxConcurrency: 1, MaxWait: -1})
+	defer b.Close()
+	r1, _, err := b.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Admit(context.Background(), 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second concurrent query returned %v, want immediate shed (MaxWait < 0)", err)
+	}
+	r1.Release()
+	if _, _, err := b.Admit(context.Background(), 0); err != nil {
+		t.Fatalf("slot not freed by release: %v", err)
+	}
+}
+
+func TestTryGrowDrawsFromPoolAndRespectsQueue(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 100, MaxWait: 5 * time.Second})
+	defer b.Close()
+	r1, _, err := b.Admit(context.Background(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.TryGrow(30); got != 30 {
+		t.Fatalf("TryGrow(30) = %d with 60 free", got)
+	}
+	if r1.Bytes() != 70 || b.Free() != 30 {
+		t.Fatalf("grow accounting off: bytes=%d free=%d", r1.Bytes(), b.Free())
+	}
+	if got := r1.TryGrow(31); got != 0 {
+		t.Fatalf("TryGrow(31) = %d with 30 free, want all-or-nothing 0", got)
+	}
+	// A queued query blocks further growth: backpressure outranks appetite.
+	go b.Admit(context.Background(), 80)
+	deadline := time.Now().Add(time.Second)
+	for b.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := r1.TryGrow(10); got != 0 {
+		t.Fatalf("TryGrow granted %d while a query was queued", got)
+	}
+	r1.Release()
+	deadline = time.Now().Add(time.Second)
+	for b.InUse() != 80 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := b.InUse(); got != 80 {
+		t.Fatalf("queued query not admitted after release: inUse=%d", got)
+	}
+}
+
+func TestReservationFailureSite(t *testing.T) {
+	faultinject.FailOnLeak(t)
+	b := NewBroker(Config{GlobalMem: 100})
+	defer b.Close()
+	faultinject.Arm(t, ReserveSite, faultinject.Fault{Kind: faultinject.Fail, Once: true})
+	_, _, err := b.Admit(context.Background(), 10)
+	var inj *faultinject.Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("injected reservation failure not surfaced: %v", err)
+	}
+	balanced(t, b)
+}
+
+func TestReleaseLeakSiteDetectable(t *testing.T) {
+	faultinject.FailOnLeak(t)
+	b := NewBroker(Config{GlobalMem: 100})
+	defer b.Close()
+	r, _, err := b.Admit(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(t, ReleaseSite, faultinject.Fault{Kind: faultinject.Fail, Once: true})
+	r.Release()
+	if got := b.InUse(); got != 60 {
+		t.Fatalf("injected leak not visible: InUse = %d, want 60", got)
+	}
+	if b.Running() != 0 {
+		t.Fatal("leaked reservation still counted running")
+	}
+}
+
+func TestWatchdogCancelsOnInjectedFalsePositive(t *testing.T) {
+	faultinject.FailOnLeak(t)
+	// The stall window is far longer than the test: only the armed
+	// WatchdogSite fault can trip the cancellation, proving the watchdog's
+	// cancel-and-reclaim path without real timing.
+	b := NewBroker(Config{GlobalMem: 100, StallWindow: time.Hour, WatchdogInterval: 5 * time.Millisecond})
+	defer b.Close()
+	faultinject.Arm(t, WatchdogSite, faultinject.Fault{Kind: faultinject.Fail, Once: true})
+	_, ctx, err := b.Admit(context.Background(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never cancelled the query")
+	}
+	if cause := context.Cause(ctx); !errors.Is(cause, ErrStalled) {
+		t.Fatalf("cancel cause %v does not wrap ErrStalled", cause)
+	}
+	var se *StallError
+	if !errors.As(context.Cause(ctx), &se) {
+		t.Fatal("cause is not *StallError")
+	}
+	// The watchdog reclaims the reservation itself — the pool balances
+	// even though the "query" never called Release.
+	balanced(t, b)
+	if b.StallKills() != 1 {
+		t.Fatalf("stall kills = %d, want 1", b.StallKills())
+	}
+}
+
+func TestWatchdogIgnoresProgressingQuery(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 100, StallWindow: 30 * time.Millisecond, WatchdogInterval: 5 * time.Millisecond})
+	defer b.Close()
+	r, ctx, err := b.Admit(context.Background(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := r.ProgressCounter()
+	for i := 0; i < 20; i++ {
+		tick.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		if ctx.Err() != nil {
+			t.Fatal("watchdog cancelled a progressing query")
+		}
+	}
+	r.Release()
+	balanced(t, b)
+}
+
+func TestWatchdogCancelsSilentQuery(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 100, StallWindow: 25 * time.Millisecond, WatchdogInterval: 5 * time.Millisecond})
+	defer b.Close()
+	_, ctx, err := b.Admit(context.Background(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled query never cancelled")
+	}
+	if !errors.Is(context.Cause(ctx), ErrStalled) {
+		t.Fatalf("cause %v does not wrap ErrStalled", context.Cause(ctx))
+	}
+	balanced(t, b)
+}
+
+func TestCloseShedsQueuedQueries(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 100, MaxWait: 5 * time.Second})
+	r1, _, err := b.Admit(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := b.Admit(context.Background(), 50)
+		got <- err
+	}()
+	deadline := time.Now().Add(time.Second)
+	for b.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	if err := <-got; !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued query at close returned %v, want ErrOverloaded", err)
+	}
+	r1.Release()
+	balanced(t, b)
+}
+
+// TestSoakBrokerRace hammers the broker from many goroutines: admissions,
+// growth, and releases must keep the pool exactly balanced under -race.
+func TestSoakBrokerRace(t *testing.T) {
+	b := NewBroker(Config{GlobalMem: 1 << 20, QueueDepth: 8, MaxWait: 50 * time.Millisecond,
+		StallWindow: time.Hour, WatchdogInterval: 5 * time.Millisecond})
+	defer b.Close()
+	var wg sync.WaitGroup
+	var admitted, shed int
+	var mu sync.Mutex
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, _, err := b.Admit(context.Background(), int64(1<<17+i*1000))
+			if errors.Is(err, ErrOverloaded) {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			if err != nil {
+				t.Errorf("admit: %v", err)
+				return
+			}
+			r.ProgressCounter().Add(1)
+			r.TryGrow(4096)
+			time.Sleep(time.Millisecond)
+			r.Release()
+			mu.Lock()
+			admitted++
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if admitted == 0 {
+		t.Fatal("soak admitted nothing")
+	}
+	if admitted+shed != 32 {
+		t.Fatalf("accounted %d+%d of 32 queries", admitted, shed)
+	}
+	balanced(t, b)
+}

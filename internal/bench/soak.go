@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"partitionjoin/internal/admit"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/plan"
+)
+
+// Soak runs the multi-query admission-control experiment: `queries`
+// concurrent radix joins of workload A, each with `workers` threads, share
+// one broker whose pool is deliberately smaller than the combined working
+// sets. The acceptance bar is binary — every query either completes with
+// the reference checksum or is shed with a retryable ErrOverloaded; a
+// wrong answer, an unexpected error, or a non-zero pool balance at exit
+// fails the experiment.
+func Soak(scale float64, queries, workers int, cfg core.Config) (*Table, error) {
+	spec := WorkloadA(scale)
+	build, probe := spec.Tables()
+	root := joinQuery(build, probe, nil, false)
+
+	// Reference run without a broker.
+	ref, err := plan.ExecuteErr(context.Background(), plan.Options{Workers: workers, Algo: plan.RJ, Core: cfg}, root)
+	if err != nil {
+		return nil, err
+	}
+	want, err := checksum(ref)
+	if err != nil {
+		return nil, err
+	}
+
+	// Size the pool below the combined demand: every query asks for the
+	// build side's bytes, the pool holds roughly a quarter of the total
+	// demand, so most of the fleet queues and the per-query governor has
+	// to degrade or spill once admitted.
+	perQuery := int64(spec.BuildBytes())
+	if perQuery < 1<<20 {
+		perQuery = 1 << 20
+	}
+	pool := perQuery * int64(queries) / 4
+	if pool < perQuery {
+		pool = perQuery
+	}
+	broker := admit.NewBroker(admit.Config{
+		GlobalMem:       pool,
+		QueueDepth:      queries / 2,
+		MaxWait:         30 * time.Second,
+		StallWindow:     30 * time.Second,
+		PerQueryDefault: perQuery,
+	})
+	defer broker.Close()
+
+	spillDir, err := os.MkdirTemp("", "bench-soak-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillDir)
+
+	type outcome struct {
+		err  error
+		sum  int64
+		wait time.Duration
+		secs float64
+	}
+	outcomes := make([]outcome, queries)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			opts := plan.Options{
+				Workers: workers, Algo: plan.RJ, Core: cfg,
+				MemBudget: perQuery, SpillDir: spillDir, Broker: broker,
+			}
+			qs := time.Now()
+			res, err := plan.ExecuteErr(context.Background(), opts, root)
+			o := outcome{err: err, secs: time.Since(qs).Seconds()}
+			if err == nil {
+				o.sum, o.err = checksum(res)
+				o.wait = res.AdmitWait
+			}
+			outcomes[q] = o
+		}(q)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	var done, shed int
+	var maxWait time.Duration
+	for q, o := range outcomes {
+		switch {
+		case o.err == nil && o.sum == want:
+			done++
+			if o.wait > maxWait {
+				maxWait = o.wait
+			}
+		case o.err == nil:
+			return nil, fmt.Errorf("bench soak: query %d returned checksum %d, want %d", q, o.sum, want)
+		case errors.Is(o.err, admit.ErrOverloaded):
+			shed++
+		default:
+			return nil, fmt.Errorf("bench soak: query %d failed: %w", q, o.err)
+		}
+	}
+	if done == 0 {
+		return nil, errors.New("bench soak: every query was shed; nothing completed")
+	}
+	if inUse := broker.InUse(); inUse != 0 {
+		return nil, fmt.Errorf("bench soak: broker leaked %d reserved bytes at exit", inUse)
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Concurrency soak: %d queries x %d workers, pool %s < demand %s (scale %g)",
+			queries, workers, mb(pool), mb(perQuery*int64(queries)), scale),
+		Header: []string{"metric", "value"},
+	}
+	t.Add("completed correctly", itoa(done))
+	t.Add("shed (ErrOverloaded)", itoa(shed))
+	t.Add("admissions", i64toa(broker.Admits()))
+	t.Add("watchdog kills", i64toa(broker.StallKills()))
+	t.Add("max admission wait", fmt.Sprintf("%.1f ms", float64(maxWait.Microseconds())/1000))
+	t.Add("wall clock", fmt.Sprintf("%.2f s", wall))
+	t.Add("pool balance at exit", mb(broker.InUse()))
+	return t, nil
+}

@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"testing"
+
+	"partitionjoin/internal/core"
+)
+
+// TestConcurrencySoak is the acceptance gate for multi-query admission:
+// a small-scale fleet against an undersized pool, every query correct or
+// shed, pool balanced at exit. Run under -race by the soak target.
+func TestConcurrencySoak(t *testing.T) {
+	saved := Runs
+	Runs = 1
+	defer func() { Runs = saved }()
+	tbl, err := Soak(1.0/256, 8, 2, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		t.Logf("%s: %s", row[0], row[1])
+	}
+}

@@ -1,0 +1,7 @@
+package core
+
+import "partitionjoin/internal/faultinject"
+
+// The join engine's fault-injection sites, declared with the registry so a
+// test arming a misspelled name fails instead of silently never firing.
+var _ = faultinject.Register(BuildSite, Pass1Site, Pass2Site, JoinEmitSite, ReloadSite)

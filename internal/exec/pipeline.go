@@ -40,6 +40,11 @@ type Driver struct {
 	// SourceRows accumulates tuples emitted at sources across all
 	// pipelines run by this driver (the paper's throughput denominator).
 	SourceRows atomic.Int64
+
+	// Progress, when set, is ticked once per claimed morsel across all
+	// pipelines — the liveness signal the admission watchdog samples to
+	// detect stuck queries. Nil costs nothing.
+	Progress *atomic.Int64
 }
 
 // NewDriver returns a driver with the given parallelism; workers <= 0 uses
@@ -54,6 +59,8 @@ func NewDriver(workers int) *Driver {
 // MorselSite is the fault-injection site visited once per claimed morsel by
 // every worker.
 const MorselSite = "exec.morsel"
+
+var _ = faultinject.Register(MorselSite)
 
 // panicErr converts a recovered panic value into an error tagged with the
 // pipeline name and worker id. Error values are wrapped so errors.Is/As see
@@ -133,6 +140,9 @@ func (d *Driver) Run(ctx context.Context, p *Pipeline) error {
 						t := int(cursor.Add(1)) - 1
 						if t >= tasks {
 							break
+						}
+						if d.Progress != nil {
+							d.Progress.Add(1)
 						}
 						faultinject.Hit(MorselSite)
 						p.Source.Emit(ctx, t, chain)

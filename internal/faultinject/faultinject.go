@@ -88,8 +88,35 @@ var (
 
 	mu    sync.Mutex
 	sites map[string]*Fault
-	rng   = rand.New(rand.NewSource(1))
+	// registry is the set of known site names, populated by the packages
+	// that define them (Register). Arm refuses unregistered names so a
+	// typo'd site fails the test instead of silently never firing.
+	registry map[string]bool
+	rng      = rand.New(rand.NewSource(1))
 )
+
+// Register declares site names that exist in production code. Packages
+// defining fault sites call it from a package-level var so every name a
+// test could arm is known before any test runs; Reset never clears the
+// registry. The bool return allows `var _ = faultinject.Register(...)`.
+func Register(names ...string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	if registry == nil {
+		registry = make(map[string]bool)
+	}
+	for _, n := range names {
+		registry[n] = true
+	}
+	return true
+}
+
+// Registered reports whether the site name was declared via Register.
+func Registered(site string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return registry[site]
+}
 
 // Enable arms a fault at the named call site, replacing any existing fault
 // for that site.
@@ -147,9 +174,16 @@ type TB interface {
 
 // Arm is Enable for tests: it arms the fault and registers a t.Cleanup that
 // disarms the site again, so a failing (or early-returning) test can never
-// leak an armed fault into later tests.
+// leak an armed fault into later tests. Arming an unregistered site name
+// fails the test without arming anything — a misspelled site would
+// otherwise just never fire and the test would silently stop testing what
+// it claims to.
 func Arm(t TB, site string, f Fault) {
 	t.Helper()
+	if !Registered(site) {
+		t.Errorf("faultinject: Arm of unregistered site %q; production sites declare themselves with faultinject.Register", site)
+		return
+	}
 	Enable(site, f)
 	t.Cleanup(func() { Disable(site) })
 }

@@ -6,6 +6,10 @@ import (
 	"time"
 )
 
+// The suite's synthetic sites, declared up front like production packages
+// declare theirs.
+var _ = Register("site.a", "site.once", "site.fail", "site.stall", "site.scoped")
+
 func TestFaultInjectionPanicAfterN(t *testing.T) {
 	FailOnLeak(t)
 	Arm(t, "site.a", Fault{Kind: Panic, After: 2, Message: "boom"})
@@ -130,6 +134,29 @@ func (f *fakeTB) Errorf(format string, args ...any) { f.errors = append(f.errors
 func (f *fakeTB) finish() {
 	for i := len(f.cleanups) - 1; i >= 0; i-- {
 		f.cleanups[i]()
+	}
+}
+
+func TestFaultInjectionArmRejectsUnregisteredSite(t *testing.T) {
+	FailOnLeak(t)
+	tb := &fakeTB{}
+	Arm(tb, "site.tpyo", Fault{Kind: Fail})
+	if len(tb.errors) == 0 {
+		t.Fatal("Arm accepted an unregistered site name")
+	}
+	if len(Armed()) != 0 {
+		t.Fatalf("unregistered site was armed anyway: %v", Armed())
+	}
+	if err := ErrAt("site.tpyo"); err != nil {
+		t.Fatalf("unregistered site fires: %v", err)
+	}
+	tb.finish()
+
+	// Registration survives Reset: production registrations are made once
+	// per process, but Reset runs between tests.
+	Reset()
+	if !Registered("site.a") {
+		t.Fatal("Reset cleared the site registry")
 	}
 }
 

@@ -28,6 +28,8 @@ import (
 // fault there simulates allocation failure.
 const GrantSite = "govern.grant"
 
+var _ = faultinject.Register(GrantSite)
+
 // EventsHead and EventsTail bound the governor's own degradation log: the
 // first EventsHead and last EventsTail events are kept verbatim, anything
 // between is dropped and counted. A long spilling query can emit one event
@@ -38,11 +40,25 @@ const (
 	EventsTail = 256
 )
 
-// Governor tracks one query's materialized bytes against a budget.
+// Backing is a shared resource pool the governor can draw additional
+// budget from before degrading. The admission broker's reservations
+// implement it: TryGrow attempts to draw n more bytes and returns the
+// bytes actually granted (zero when the pool has no headroom or other
+// queries are waiting). Implementations must be safe for concurrent use.
+type Backing interface {
+	TryGrow(n int64) int64
+}
+
+// Governor tracks one query's materialized bytes against a budget. The
+// budget is dynamic: when a Backing is attached (admission control), the
+// governor grows it from the shared pool before taking a degradation
+// decision, so those decisions consult the live reservation rather than a
+// static number.
 type Governor struct {
-	budget int64
-	used   atomic.Int64
-	peak   atomic.Int64
+	budget  atomic.Int64
+	used    atomic.Int64
+	peak    atomic.Int64
+	backing Backing // set once before execution, read-only afterwards
 
 	mu      sync.Mutex
 	head    []string // first EventsHead events
@@ -54,18 +70,30 @@ type Governor struct {
 // New returns a governor with the given budget in bytes; budget <= 0 means
 // "account but never constrain" (WouldExceed always false).
 func New(budget int64) *Governor {
-	return &Governor{budget: budget}
+	g := &Governor{}
+	g.budget.Store(budget)
+	return g
+}
+
+// SetBacking attaches the shared pool the governor may grow its budget
+// from. Must be called before execution starts; it is not synchronized
+// against concurrent WouldExceed.
+func (g *Governor) SetBacking(b Backing) {
+	if g != nil {
+		g.backing = b
+	}
 }
 
 // Budgeted reports whether a finite budget is set.
-func (g *Governor) Budgeted() bool { return g != nil && g.budget > 0 }
+func (g *Governor) Budgeted() bool { return g != nil && g.budget.Load() > 0 }
 
-// Budget returns the configured budget (0 when unbudgeted or nil).
+// Budget returns the current budget (0 when unbudgeted or nil). With a
+// backing attached it can grow during execution.
 func (g *Governor) Budget() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.budget
+	return g.budget.Load()
 }
 
 // Grant accounts n bytes about to be materialized. It fails only under
@@ -121,11 +149,26 @@ func (g *Governor) Peak() int64 {
 
 // WouldExceed reports whether materializing extra more bytes would push the
 // account past the budget. Unbudgeted (or nil) governors never constrain.
+// With a backing attached, a prospective overrun first tries to grow the
+// budget from the shared pool; only when the pool refuses does the caller
+// see true and degrade. This is what makes a finishing query's memory
+// immediately useful to its neighbours: the next WouldExceed draws it.
 func (g *Governor) WouldExceed(extra int64) bool {
 	if !g.Budgeted() {
 		return false
 	}
-	return g.used.Load()+extra > g.budget
+	over := g.used.Load() + extra - g.budget.Load()
+	if over <= 0 {
+		return false
+	}
+	if g.backing != nil {
+		if got := g.backing.TryGrow(over); got > 0 {
+			nb := g.budget.Add(got)
+			g.Note("budget grown by %d B from the shared pool (now %d B)", got, nb)
+			return g.used.Load()+extra > nb
+		}
+	}
+	return true
 }
 
 // Note records a degradation decision (BHJ fallback, fan-out reduction,

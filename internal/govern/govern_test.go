@@ -50,6 +50,68 @@ func TestUnbudgetedNeverConstrains(t *testing.T) {
 	}
 }
 
+// fakePool is a Backing with a fixed amount of spare bytes.
+type fakePool struct {
+	mu    sync.Mutex
+	spare int64
+	grown int64
+}
+
+func (p *fakePool) TryGrow(n int64) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n > p.spare {
+		return 0
+	}
+	p.spare -= n
+	p.grown += n
+	return n
+}
+
+func TestBackingGrowsBudgetBeforeDegrading(t *testing.T) {
+	g := New(1000)
+	pool := &fakePool{spare: 300}
+	g.SetBacking(pool)
+	g.MustGrant(900)
+	// 200 over budget: the governor must draw the deficit from the pool
+	// instead of reporting an overrun.
+	if g.WouldExceed(300) {
+		t.Fatal("governor degraded with pool headroom available")
+	}
+	if g.Budget() != 1200 {
+		t.Fatalf("budget = %d after grow, want 1200", g.Budget())
+	}
+	if pool.grown != 200 {
+		t.Fatalf("pool granted %d, want exactly the 200 B deficit", pool.grown)
+	}
+	var sawGrow bool
+	for _, ev := range g.Events() {
+		if strings.Contains(ev, "grown") {
+			sawGrow = true
+		}
+	}
+	if !sawGrow {
+		t.Fatal("growth not recorded as a degradation event")
+	}
+	// Pool exhausted (100 left): a 200 B deficit must now degrade.
+	if !g.WouldExceed(500) {
+		t.Fatal("governor did not constrain once the pool ran dry")
+	}
+}
+
+func TestBackingNotConsultedWithinBudget(t *testing.T) {
+	g := New(1000)
+	pool := &fakePool{spare: 1 << 30}
+	g.SetBacking(pool)
+	g.MustGrant(100)
+	if g.WouldExceed(900) {
+		t.Fatal("within-budget request constrained")
+	}
+	if pool.grown != 0 {
+		t.Fatalf("pool consulted for a within-budget request (%d B drawn)", pool.grown)
+	}
+}
+
 func TestConcurrentGrantRelease(t *testing.T) {
 	g := New(0)
 	var wg sync.WaitGroup

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"partitionjoin/internal/admit"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/govern"
@@ -35,6 +36,16 @@ type Options struct {
 	// query ends, is cancelled, or panics. Only effective together with
 	// MemBudget — without a budget nothing ever spills.
 	SpillDir string
+	// Broker, when set, routes the query through process-wide admission
+	// control: ExecuteErr reserves MemBudget bytes (or the broker's
+	// per-query default when MemBudget is 0) from the shared pool before
+	// running and releases the reservation when done. The query may queue
+	// for admission, be shed with admit.ErrOverloaded under overload, or
+	// be cancelled by the stuck-query watchdog (admit.ErrStalled). The
+	// governor's budget becomes the live reservation, growable from the
+	// pool, so degradation and spill decisions consult it rather than the
+	// static MemBudget.
+	Broker *admit.Broker
 }
 
 // DefaultOptions runs everything through the BHJ at full parallelism.

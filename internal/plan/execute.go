@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"partitionjoin/internal/admit"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/govern"
@@ -27,9 +28,17 @@ type ExecResult struct {
 	Degraded []string
 	// MemPeak is the high-water mark of governor-accounted bytes.
 	MemPeak int64
+	// DroppedEvents is how many degradation events the governor's bounded
+	// log evicted; Degraded holds head and tail, this is the gap.
+	DroppedEvents int64
 	// Spill aggregates the spill-to-disk activity of all joins (zero when
 	// nothing spilled or no spill directory was configured).
 	Spill core.SpillStats
+	// Reserved is the final admission reservation in bytes (initial grant
+	// plus pool growth); zero when no broker was configured.
+	Reserved int64
+	// AdmitWait is how long the query queued for admission.
+	AdmitWait time.Duration
 }
 
 // Throughput returns source tuples per second.
@@ -46,7 +55,11 @@ func (r *ExecResult) Throughput() float64 {
 // surface as errors naming the pipeline; compile-time panics (unknown
 // columns, malformed trees) are converted to errors too. A positive
 // Options.MemBudget arms the memory governor, which degrades radix joins
-// rather than failing the query (see internal/govern).
+// rather than failing the query (see internal/govern). With Options.Broker
+// set, the query first passes admission control: it may queue for pool
+// memory, be shed with admit.ErrOverloaded, or later be cancelled by the
+// stuck-query watchdog; the reservation is released when the query ends on
+// any path.
 func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -62,7 +75,23 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	gov := govern.New(opts.MemBudget)
+	var rsv *admit.Reservation
+	budget := opts.MemBudget
+	if opts.Broker != nil {
+		r, actx, aerr := opts.Broker.Admit(ctx, opts.MemBudget)
+		if aerr != nil {
+			return nil, fmt.Errorf("plan: %w", aerr)
+		}
+		// Released on success, error, cancellation, and contained panic
+		// alike — the pool must balance to zero whatever the query does.
+		defer r.Release()
+		rsv, ctx = r, actx
+		budget = r.Bytes()
+	}
+	gov := govern.New(budget)
+	if rsv != nil {
+		gov.SetBacking(rsv)
+	}
 	c := &compiler{opts: opts, gov: gov, workers: workers}
 	if opts.SpillDir != "" {
 		dir, derr := spill.NewDir(opts.SpillDir)
@@ -81,6 +110,7 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 
 	d := exec.NewDriver(workers)
 	d.Meter = opts.Meter
+	d.Progress = rsv.ProgressCounter()
 	start := time.Now()
 	if err := d.RunAll(ctx, c.pipelines); err != nil {
 		return nil, err
@@ -93,13 +123,16 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 		spst.Add(sp.Stats())
 	}
 	return &ExecResult{
-		Result:     sink.Result(),
-		Cols:       p.cols,
-		SourceRows: d.SourceRows.Load(),
-		Duration:   time.Since(start),
-		Degraded:   gov.Events(),
-		MemPeak:    gov.Peak(),
-		Spill:      spst,
+		Result:        sink.Result(),
+		Cols:          p.cols,
+		SourceRows:    d.SourceRows.Load(),
+		Duration:      time.Since(start),
+		Degraded:      gov.Events(),
+		MemPeak:       gov.Peak(),
+		DroppedEvents: gov.Dropped(),
+		Spill:         spst,
+		Reserved:      rsv.Bytes(),
+		AdmitWait:     rsv.Waited(),
 	}, nil
 }
 

@@ -19,11 +19,16 @@ package spill
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
+	"syscall"
 
 	"partitionjoin/internal/faultinject"
 )
@@ -39,6 +44,8 @@ const (
 	CorruptSite = "spill.corrupt"
 )
 
+var _ = faultinject.Register(WriteSite, ReadSite, CorruptSite)
+
 // frameHeaderSize is the per-frame overhead: payload length u32, CRC32 u32.
 const frameHeaderSize = 8
 
@@ -51,6 +58,15 @@ type Dir struct {
 	removed bool
 }
 
+// dirPrefix names every spill directory so the janitor can recognize them.
+const dirPrefix = "spill-"
+
+// ownerFile is the liveness marker inside each spill directory: the pid of
+// the owning process. The janitor (Sweep) only removes directories whose
+// owner is gone, so a crashed process's leftovers are reclaimed without
+// ever touching a live query's files.
+const ownerFile = "owner.pid"
+
 // NewDir creates a fresh spill directory under parent ("" uses the system
 // temp directory).
 func NewDir(parent string) (*Dir, error) {
@@ -59,11 +75,75 @@ func NewDir(parent string) (*Dir, error) {
 			return nil, fmt.Errorf("spill: create parent %s: %w", parent, err)
 		}
 	}
-	path, err := os.MkdirTemp(parent, "spill-")
+	path, err := os.MkdirTemp(parent, dirPrefix)
 	if err != nil {
 		return nil, fmt.Errorf("spill: create spill dir: %w", err)
 	}
+	pid := []byte(strconv.Itoa(os.Getpid()))
+	if err := os.WriteFile(filepath.Join(path, ownerFile), pid, 0o600); err != nil {
+		os.RemoveAll(path)
+		return nil, fmt.Errorf("spill: write owner marker: %w", err)
+	}
 	return &Dir{path: path, files: make(map[string]*File)}, nil
+}
+
+// Sweep is the stale-spill janitor: it scans parent for spill directories
+// whose owning process no longer exists — leftovers of a crash, which the
+// normal deferred Cleanup can never reach — and removes them. Directories
+// owned by live processes (including this one) are untouched. It returns
+// the paths removed; a missing parent is not an error (nothing to clean).
+func Sweep(parent string) ([]string, error) {
+	ents, err := os.ReadDir(parent)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spill: sweep %s: %w", parent, err)
+	}
+	var removed []string
+	var firstErr error
+	for _, ent := range ents {
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), dirPrefix) {
+			continue
+		}
+		dir := filepath.Join(parent, ent.Name())
+		if ownerAlive(dir) {
+			continue
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("spill: sweep %s: %w", dir, err)
+			}
+			continue
+		}
+		removed = append(removed, dir)
+	}
+	return removed, firstErr
+}
+
+// ownerAlive reports whether the directory's owner marker names a live
+// process. A missing or malformed marker means the owner crashed before
+// (or while) writing it, i.e. the directory is stale.
+func ownerAlive(dir string) bool {
+	b, err := os.ReadFile(filepath.Join(dir, ownerFile))
+	if err != nil {
+		return false
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || pid <= 0 {
+		return false
+	}
+	if pid == os.Getpid() {
+		return true
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	// Signal 0 probes existence without delivering anything; EPERM means
+	// the process exists but belongs to someone else — still alive.
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
 }
 
 // Path returns the directory's filesystem path.

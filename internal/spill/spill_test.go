@@ -184,6 +184,76 @@ func TestCleanupRemovesDirAndIsIdempotent(t *testing.T) {
 	}
 }
 
+func TestSweepRemovesStaleKeepsLive(t *testing.T) {
+	parent := t.TempDir()
+
+	// A live dir owned by this process: must survive the sweep.
+	live, err := NewDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Cleanup()
+
+	// A stale dir whose owner pid no longer exists (pids are far below
+	// 1<<22 on Linux, and PID_MAX_LIMIT is 4 million).
+	stale := filepath.Join(parent, "spill-stale1")
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stale, ownerFile), []byte("8388607"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stale, "run.0"), []byte("leftover"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash before the owner marker was written: no marker, also stale.
+	unmarked := filepath.Join(parent, "spill-unmarked")
+	if err := os.MkdirAll(unmarked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unrelated entries must be untouched.
+	other := filepath.Join(parent, "not-a-spill-dir")
+	if err := os.MkdirAll(other, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := Sweep(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want the two stale dirs", removed)
+	}
+	for _, dir := range []string{stale, unmarked} {
+		if _, err := os.Stat(dir); !os.IsNotExist(err) {
+			t.Fatalf("stale dir %s survived the sweep", dir)
+		}
+	}
+	for _, dir := range []string{live.Path(), other} {
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("sweep removed %s: %v", dir, err)
+		}
+	}
+
+	// The live dir must still work after the sweep.
+	f, err := live.File("post")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("ok"), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepMissingParentIsNoop(t *testing.T) {
+	removed, err := Sweep(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil || len(removed) != 0 {
+		t.Fatalf("sweep of missing parent: removed=%v err=%v", removed, err)
+	}
+}
+
 func TestRemoveDetachesFile(t *testing.T) {
 	d := newTestDir(t)
 	f, _ := d.File("gone")
