@@ -2,7 +2,7 @@
 # injection suite runs twice to catch armed-fault leakage across runs, and
 # the stress target hammers the spill and fault paths under the race
 # detector.
-.PHONY: check build test race faultinject vet bench stress soak fmtcheck
+.PHONY: check build test race faultinject vet bench bench-scan stress soak fmtcheck
 
 check: vet build race faultinject stress soak
 
@@ -23,6 +23,11 @@ faultinject:
 
 bench:
 	go test -bench=. -benchtime=1x -run '^$$' .
+
+# bench-scan smoke-tests the scan-layer microbenchmarks (zone-map pruning,
+# predicate pushdown) with a single iteration each.
+bench-scan:
+	go test -bench 'BenchmarkScan' -benchtime=1x -run '^$$' .
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"partitionjoin/internal/bench"
 	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/expr"
 	"partitionjoin/internal/plan"
+	"partitionjoin/internal/storage"
 	"partitionjoin/internal/tpch"
 )
 
@@ -230,3 +234,76 @@ func BenchmarkJoinRJ(b *testing.B) { benchJoin(b, plan.RJ) }
 
 // BenchmarkJoinBRJ measures the Bloom-filtered radix join alone.
 func BenchmarkJoinBRJ(b *testing.B) { benchJoin(b, plan.BRJ) }
+
+// benchScan measures SUM(v) over k < sel*n on a 2M-row clustered key
+// column, with the scan pushdown on or off. The pushed 1% scan rides
+// zone-map pruning (nearly every morsel skipped); the acceptance bar is
+// >= 3x over the unpushed FilterOp plan at 1% and no regression at 100%.
+func benchScan(b *testing.B, sel float64, pushdown bool) {
+	b.Helper()
+	const rows = 2 << 20
+	t := scanBenchTable(rows)
+	cutoff := int64(float64(rows) * sel)
+	opts := plan.DefaultOptions()
+	opts.NoScanPushdown = !pushdown
+	root := plan.GroupBy(
+		plan.Filter(plan.Scan(t, "k", "v"), expr.LtI("k", cutoff)),
+		nil,
+		plan.AggExpr{Kind: exec.AggSumI, Col: "v", As: "sum_v"},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := plan.ExecuteErr(context.Background(), opts, root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := res.Result.Vecs[0].I64[0]; got != scanBenchSum(cutoff) {
+			b.Fatalf("sum %d, want %d", got, scanBenchSum(cutoff))
+		}
+	}
+	b.SetBytes(rows * 16)
+}
+
+// scanBenchSum computes the expected SUM(v) for k < cutoff directly.
+func scanBenchSum(cutoff int64) int64 {
+	var sum int64
+	for i := int64(0); i < cutoff; i++ {
+		sum += i % 97
+	}
+	return sum
+}
+
+var scanBenchTbl *storage.Table
+
+func scanBenchTable(rows int) *storage.Table {
+	if scanBenchTbl == nil || scanBenchTbl.NumRows() != rows {
+		schema := storage.NewSchema(
+			storage.ColumnDef{Name: "k", Type: storage.Int64},
+			storage.ColumnDef{Name: "v", Type: storage.Int64},
+		)
+		t := storage.NewTable("scanbench", schema, rows)
+		kc := t.Cols[0].(*storage.Int64Column)
+		vc := t.Cols[1].(*storage.Int64Column)
+		for i := 0; i < rows; i++ {
+			kc.Values = append(kc.Values, int64(i))
+			vc.Values = append(vc.Values, int64(i%97))
+		}
+		scanBenchTbl = t
+	}
+	return scanBenchTbl
+}
+
+// BenchmarkScanPruned1pct is the 1%-selectivity range scan with pushdown:
+// zone maps skip nearly every morsel of the clustered key column.
+func BenchmarkScanPruned1pct(b *testing.B) { benchScan(b, 0.01, true) }
+
+// BenchmarkScanUnpruned1pct is the same scan through the unpushed FilterOp
+// plan — the before side of the 3x acceptance bar.
+func BenchmarkScanUnpruned1pct(b *testing.B) { benchScan(b, 0.01, false) }
+
+// BenchmarkScanPrunedFull is the 100%-selectivity scan with pushdown, which
+// must not regress: nothing prunes, the pushed predicate keeps every row.
+func BenchmarkScanPrunedFull(b *testing.B) { benchScan(b, 1, true) }
+
+// BenchmarkScanUnprunedFull is the 100%-selectivity baseline.
+func BenchmarkScanUnprunedFull(b *testing.B) { benchScan(b, 1, false) }

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,soak,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,soak,scanprune,all")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper (1 = 16M x 256M tuples)")
 	runs := flag.Int("runs", 3, "repetitions per measurement (median reported)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
@@ -68,6 +68,13 @@ func main() {
 	})
 	run("soak", func() (*bench.Table, error) {
 		return bench.Soak(*scale, 4*runtime.GOMAXPROCS(0), 2, cfg)
+	})
+	run("scanprune", func() (*bench.Table, error) {
+		rows := int(16e6 * *scale)
+		if rows < 1<<18 {
+			rows = 1 << 18
+		}
+		return bench.ScanPrune(rows, []float64{0.01, 0.1, 0.5, 1}, cfg)
 	})
 }
 

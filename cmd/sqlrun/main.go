@@ -132,6 +132,10 @@ func main() {
 			res.Reserved, broker.Pool(), res.AdmitWait.Round(time.Millisecond),
 			broker.Admits(), broker.Sheds(), broker.StallKills())
 	}
+	if s := res.Scan; s.MorselsPruned > 0 || s.BatchesPruned > 0 || s.RowsPrefiltered > 0 {
+		fmt.Printf("scan: %d morsels + %d batches pruned via zone maps, %d rows prefiltered by pushed predicates\n",
+			s.MorselsPruned, s.BatchesPruned, s.RowsPrefiltered)
+	}
 	if res.Spill.Partitions > 0 {
 		fmt.Printf("spill: %d partitions, %d B written, %d B reloaded (max working set %d B, %d recursive splits)\n",
 			res.Spill.Partitions, res.Spill.SpilledBytes, res.Spill.ReloadedBytes,

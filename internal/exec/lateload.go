@@ -64,6 +64,13 @@ func (o *LateLoadOp) Process(ctx *Ctx, b *Batch) {
 				v.Str = append(v.Str, s)
 				bytesRead += int64(len(s))
 			}
+		case *storage.DictColumn:
+			for _, id := range ids[:b.N] {
+				s := col.Value(int(id))
+				v.Str = append(v.Str, s)
+				bytesRead += int64(len(s))
+			}
+			bytesRead += int64(b.N) * 4
 		}
 	}
 	ctx.Meter.AddRead(bytesRead)

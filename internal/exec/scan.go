@@ -8,10 +8,23 @@ import (
 // columns (early materialization, Section 4.2): each emitted batch holds
 // one vector per requested column, numeric types widened into the I64 lane
 // with their declared materialization width preserved.
+//
+// With pushed predicates (SetPushed) the scan consults zone maps to skip
+// whole morsels and whole batches whose value ranges provably miss a
+// predicate, and evaluates the predicates on the raw storage slices before
+// widening, materializing only the surviving rows. Dictionary-encoded string
+// columns listed in codeCols are emitted as their int32 codes on the I64
+// lane instead of decoded bytes (SetCodeCols).
 type TableSource struct {
 	Table   *storage.Table
 	Cols    []int
 	morsels []storage.Morsel
+	// pushed are scan-evaluated predicate conjuncts; pruner holds their zone
+	// maps (nil when nothing is pushed).
+	pushed []ScanPred
+	pruner *scanPruner
+	// codeCols[i] means Cols[i] is a dictionary column emitted as codes.
+	codeCols []bool
 }
 
 // NewTableSource builds a scan source over the named columns.
@@ -23,10 +36,26 @@ func NewTableSource(t *storage.Table, cols ...string) *TableSource {
 	return &TableSource{Table: t, Cols: idx, morsels: storage.Morsels(t.NumRows(), 0)}
 }
 
+// SetPushed installs pushed predicates and builds their zone maps. Call
+// before the scan runs (plan compile time), never concurrently with Emit.
+func (s *TableSource) SetPushed(preds []ScanPred) {
+	s.pushed = preds
+	s.pruner = newScanPruner(s.Table, preds)
+}
+
+// Pushed returns the installed pushed predicates.
+func (s *TableSource) Pushed() []ScanPred { return s.pushed }
+
+// SetCodeCols marks which of the scanned columns (by position) are
+// dictionary columns to emit as int32 codes rather than decoded strings.
+func (s *TableSource) SetCodeCols(codeCols []bool) { s.codeCols = codeCols }
+
 // Tasks implements Source: one task per morsel.
 func (s *TableSource) Tasks() int { return len(s.morsels) }
 
 // BatchTypes returns the logical types and string caps of emitted batches.
+// Code-emitted dictionary columns surface as Int32 (4-byte values on the
+// I64 lane), which is also the width joins pack for them.
 func (s *TableSource) BatchTypes() ([]storage.Type, []int) {
 	ts := make([]storage.Type, len(s.Cols))
 	caps := make([]int, len(s.Cols))
@@ -34,54 +63,144 @@ func (s *TableSource) BatchTypes() ([]storage.Type, []int) {
 		def := s.Table.Schema.Cols[c]
 		ts[i] = def.Type
 		caps[i] = def.StrCap
+		if len(s.codeCols) > 0 && s.codeCols[i] {
+			ts[i] = storage.Int32
+			caps[i] = 0
+		}
 	}
 	return ts, caps
 }
 
 // Emit implements Source: slices the morsel into batches and pushes them.
 func (s *TableSource) Emit(ctx *Ctx, task int, out Operator) {
-	m := s.morsels[task]
 	b := ctx.srcBatch(s)
-	var bytesRead int64
+	s.emit(ctx, task, out, b, false)
+}
+
+// emit is the shared scan body; withRowID appends a tuple-id vector after
+// the column vectors. Pruned rows still count toward SourceRows — the
+// throughput metric divides source tuples by duration, and a scan that
+// skipped a morsel did process it, just without touching its bytes.
+func (s *TableSource) emit(ctx *Ctx, task int, out Operator, b *Batch, withRowID bool) {
+	m := s.morsels[task]
+	rows := int64(m.End - m.Start)
+	defer func() {
+		if ctx.SourceRows != nil {
+			ctx.SourceRows.Add(rows)
+		}
+	}()
+	if s.pruner != nil && s.pruner.rangePruned(m.Start, m.End) {
+		ctx.Meter.AddMorselsPruned(1)
+		return
+	}
+	var bytesRead, batchesPruned, prefiltered int64
 	for start := m.Start; start < m.End; start += BatchSize {
 		if ctx.Err() != nil {
-			return
+			break
 		}
 		end := start + BatchSize
 		if end > m.End {
 			end = m.End
 		}
 		n := end - start
+		if s.pruner != nil && s.pruner.rangePruned(start, end) {
+			batchesPruned++
+			continue
+		}
+		var keep []bool
+		kept := n
+		if len(s.pushed) > 0 {
+			keep = ctx.KeepBuf(n)
+			kept = evalPushed(s.Table, s.pushed, keep, start, end, &bytesRead)
+			prefiltered += int64(n - kept)
+			if kept == 0 {
+				continue
+			}
+			if kept == n {
+				keep = nil // batch fully kept: use the bulk copy path
+			}
+		}
 		b.Reset()
 		for vi, ci := range s.Cols {
-			v := &b.Vecs[vi]
-			switch col := s.Table.Cols[ci].(type) {
-			case *storage.Int64Column:
-				v.I64 = append(v.I64, col.Values[start:end]...)
-				bytesRead += int64(n) * 8
-			case *storage.Int32Column:
-				for _, x := range col.Values[start:end] {
-					v.I64 = append(v.I64, int64(x))
-				}
-				bytesRead += int64(n) * 4
-			case *storage.Float64Column:
-				v.F64 = append(v.F64, col.Values[start:end]...)
-				bytesRead += int64(n) * 8
-			case *storage.StringColumn:
-				for i := start; i < end; i++ {
-					v.Str = append(v.Str, col.Value(i))
-					bytesRead += int64(col.Offsets[i+1] - col.Offsets[i])
+			code := len(s.codeCols) > 0 && s.codeCols[vi]
+			s.appendCol(&b.Vecs[vi], ci, start, end, keep, code, &bytesRead)
+		}
+		if withRowID {
+			rid := &b.Vecs[len(s.Cols)]
+			for i := start; i < end; i++ {
+				if keep == nil || keep[i-start] {
+					rid.I64 = append(rid.I64, int64(i))
 				}
 			}
 		}
-		b.N = n
+		b.N = kept
 		out.Process(ctx, b)
 	}
-	rows := int64(m.End - m.Start)
-	if ctx.SourceRows != nil {
-		ctx.SourceRows.Add(rows)
-	}
 	ctx.Meter.AddRead(bytesRead)
+	ctx.Meter.AddBatchesPruned(batchesPruned)
+	ctx.Meter.AddRowsPrefiltered(prefiltered)
+}
+
+// appendCol widens rows [start, end) of storage column ci into v, keeping
+// only rows where keep is true (nil keep = all rows).
+func (s *TableSource) appendCol(v *Vector, ci, start, end int, keep []bool, code bool, bytesRead *int64) {
+	n := end - start
+	switch col := s.Table.Cols[ci].(type) {
+	case *storage.Int64Column:
+		if keep == nil {
+			v.I64 = append(v.I64, col.Values[start:end]...)
+		} else {
+			for i, x := range col.Values[start:end] {
+				if keep[i] {
+					v.I64 = append(v.I64, x)
+				}
+			}
+		}
+		*bytesRead += int64(n) * 8
+	case *storage.Int32Column:
+		for i, x := range col.Values[start:end] {
+			if keep == nil || keep[i] {
+				v.I64 = append(v.I64, int64(x))
+			}
+		}
+		*bytesRead += int64(n) * 4
+	case *storage.Float64Column:
+		if keep == nil {
+			v.F64 = append(v.F64, col.Values[start:end]...)
+		} else {
+			for i, x := range col.Values[start:end] {
+				if keep[i] {
+					v.F64 = append(v.F64, x)
+				}
+			}
+		}
+		*bytesRead += int64(n) * 8
+	case *storage.StringColumn:
+		for i := start; i < end; i++ {
+			if keep == nil || keep[i-start] {
+				v.Str = append(v.Str, col.Value(i))
+				*bytesRead += int64(col.Offsets[i+1] - col.Offsets[i])
+			}
+		}
+	case *storage.DictColumn:
+		if code {
+			for i, c := range col.Codes[start:end] {
+				if keep == nil || keep[i] {
+					v.I64 = append(v.I64, int64(c))
+				}
+			}
+			*bytesRead += int64(n) * 4
+		} else {
+			for i := start; i < end; i++ {
+				if keep == nil || keep[i-start] {
+					val := col.Value(i)
+					v.Str = append(v.Str, val)
+					*bytesRead += int64(len(val))
+				}
+			}
+			*bytesRead += int64(n) * 4 // the code array drove the lookups
+		}
+	}
 }
 
 // srcBatch returns the per-worker reusable batch for this source.
@@ -116,53 +235,9 @@ func (s *TableSourceWithRowID) BatchTypes() ([]storage.Type, []int) {
 
 // Emit implements Source.
 func (s *TableSourceWithRowID) Emit(ctx *Ctx, task int, out Operator) {
-	m := s.morsels[task]
 	if ctx.scanBatch == nil {
 		ts, caps := s.BatchTypes()
 		ctx.scanBatch = NewBatch(ts, caps)
 	}
-	b := ctx.scanBatch
-	var bytesRead int64
-	for start := m.Start; start < m.End; start += BatchSize {
-		if ctx.Err() != nil {
-			return
-		}
-		end := start + BatchSize
-		if end > m.End {
-			end = m.End
-		}
-		n := end - start
-		b.Reset()
-		for vi, ci := range s.Cols {
-			v := &b.Vecs[vi]
-			switch col := s.Table.Cols[ci].(type) {
-			case *storage.Int64Column:
-				v.I64 = append(v.I64, col.Values[start:end]...)
-				bytesRead += int64(n) * 8
-			case *storage.Int32Column:
-				for _, x := range col.Values[start:end] {
-					v.I64 = append(v.I64, int64(x))
-				}
-				bytesRead += int64(n) * 4
-			case *storage.Float64Column:
-				v.F64 = append(v.F64, col.Values[start:end]...)
-				bytesRead += int64(n) * 8
-			case *storage.StringColumn:
-				for i := start; i < end; i++ {
-					v.Str = append(v.Str, col.Value(i))
-					bytesRead += int64(col.Offsets[i+1] - col.Offsets[i])
-				}
-			}
-		}
-		rid := &b.Vecs[len(s.Cols)]
-		for i := start; i < end; i++ {
-			rid.I64 = append(rid.I64, int64(i))
-		}
-		b.N = n
-		out.Process(ctx, b)
-	}
-	if ctx.SourceRows != nil {
-		ctx.SourceRows.Add(int64(m.End - m.Start))
-	}
-	ctx.Meter.AddRead(bytesRead)
+	s.emit(ctx, task, out, ctx.scanBatch, true)
 }

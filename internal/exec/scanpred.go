@@ -1,0 +1,315 @@
+package exec
+
+import (
+	"bytes"
+
+	"partitionjoin/internal/storage"
+)
+
+// ScanPredKind enumerates the predicate shapes a scan can evaluate on raw
+// storage, before any widening into batch vectors.
+type ScanPredKind uint8
+
+const (
+	// ScanNever matches no rows: the planner proved the predicate empty
+	// (inverted range, dictionary miss). The scan skips every morsel.
+	ScanNever ScanPredKind = iota
+	// ScanRangeI keeps rows with Lo <= v <= Hi on the integer lane
+	// (Int64/Date/Bool values, Int32 values, dictionary codes).
+	ScanRangeI
+	// ScanInI keeps rows whose integer-lane value is in Set; Lo/Hi hold the
+	// set's envelope for zone-map checks.
+	ScanInI
+	// ScanRangeF keeps rows with FLo <= v <= FHi on a Float64 column;
+	// FLoOpen/FHiOpen make a bound strict.
+	ScanRangeF
+	// ScanEqStr keeps rows equal to any of Strs on a plain string column.
+	// (On dictionary columns the planner turns equality into a code range
+	// or set instead.)
+	ScanEqStr
+	// ScanRangeStr keeps rows within [StrLo, StrHi] on a plain string
+	// column; a nil bound is unbounded, the Open flags make a bound strict.
+	ScanRangeStr
+)
+
+// ScanPred is one pushed predicate conjunct over a single storage column,
+// already resolved to the physical representation by the planner.
+type ScanPred struct {
+	Kind ScanPredKind
+	// Col is the storage column index in the scanned table.
+	Col int
+
+	Lo, Hi int64
+	Set    map[int64]struct{}
+
+	FLo, FHi     float64
+	FLoOpen      bool
+	FHiOpen      bool
+	StrLo, StrHi []byte
+	StrLoOpen    bool
+	StrHiOpen    bool
+	Strs         [][]byte
+}
+
+// zonePrunable reports whether the predicate can skip blocks via a zone map,
+// and if so over which lane.
+func (p *ScanPred) zonePrunable() bool {
+	switch p.Kind {
+	case ScanRangeI, ScanInI, ScanRangeF, ScanNever:
+		return true
+	}
+	return false
+}
+
+// scanPruner holds the per-scan zone maps for the pushed predicates. Block
+// size equals BatchSize so batch-level and morsel-level pruning read the same
+// summaries.
+type scanPruner struct {
+	preds []ScanPred
+	zones []*storage.ZoneMap // parallel to preds; nil = no block skipping
+	never bool
+}
+
+func newScanPruner(t *storage.Table, preds []ScanPred) *scanPruner {
+	if len(preds) == 0 {
+		return nil
+	}
+	p := &scanPruner{preds: preds, zones: make([]*storage.ZoneMap, len(preds))}
+	for i := range preds {
+		if preds[i].Kind == ScanNever {
+			p.never = true
+			continue
+		}
+		if preds[i].zonePrunable() {
+			p.zones[i] = t.ZoneMap(preds[i].Col, BatchSize)
+		}
+	}
+	return p
+}
+
+// predPrunesBlock reports whether zone block b provably contains no row
+// matching pred i.
+func (p *scanPruner) predPrunesBlock(i, b int) bool {
+	z := p.zones[i]
+	if z == nil || b >= z.NumBlocks() {
+		return false
+	}
+	pr := &p.preds[i]
+	switch pr.Kind {
+	case ScanRangeI:
+		return !z.OverlapsI(b, pr.Lo, pr.Hi)
+	case ScanInI:
+		if !z.OverlapsI(b, pr.Lo, pr.Hi) {
+			return true
+		}
+		// Small sets: prune when no member falls inside the block's range.
+		if len(pr.Set) <= 16 {
+			for v := range pr.Set {
+				if z.MinI[b] <= v && v <= z.MaxI[b] {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case ScanRangeF:
+		return !z.OverlapsF(b, pr.FLo, pr.FHi, pr.FLoOpen, pr.FHiOpen)
+	}
+	return false
+}
+
+// rangePruned reports whether the row range [start, end) is provably empty:
+// some pushed predicate eliminates every zone block the range touches.
+func (p *scanPruner) rangePruned(start, end int) bool {
+	if p.never {
+		return true
+	}
+	for i := range p.preds {
+		if p.zones[i] == nil {
+			continue
+		}
+		block := p.zones[i].Block
+		pruned := true
+		for b := start / block; b*block < end; b++ {
+			if !p.predPrunesBlock(i, b) {
+				pruned = false
+				break
+			}
+		}
+		if pruned {
+			return true
+		}
+	}
+	return false
+}
+
+// PrunedRows returns the number of rows of t that the pushed predicates
+// provably eliminate via zone maps — a sound lower bound on filtered-out
+// rows, so NumRows - PrunedRows is a sound upper bound on scan output. The
+// planner uses it to tighten estimateRows without ever under-estimating.
+func PrunedRows(t *storage.Table, preds []ScanPred) int64 {
+	p := newScanPruner(t, preds)
+	if p == nil {
+		return 0
+	}
+	n := t.NumRows()
+	if p.never {
+		return int64(n)
+	}
+	var pruned int64
+	for start := 0; start < n; start += BatchSize {
+		end := start + BatchSize
+		if end > n {
+			end = n
+		}
+		if p.rangePruned(start, end) {
+			pruned += int64(end - start)
+		}
+	}
+	return pruned
+}
+
+// evalPushed applies every pushed predicate to rows [start, end) of the
+// table, writing per-row verdicts into keep (length end-start) and returning
+// the number of kept rows. bytesRead accumulates the storage bytes touched.
+func evalPushed(t *storage.Table, preds []ScanPred, keep []bool, start, end int, bytesRead *int64) int {
+	n := end - start
+	for i := range keep[:n] {
+		keep[i] = true
+	}
+	for pi := range preds {
+		p := &preds[pi]
+		if p.Kind == ScanNever {
+			for i := range keep[:n] {
+				keep[i] = false
+			}
+			return 0
+		}
+		switch col := t.Cols[p.Col].(type) {
+		case *storage.Int64Column:
+			vals := col.Values[start:end]
+			*bytesRead += int64(n) * 8
+			switch p.Kind {
+			case ScanRangeI:
+				for i, v := range vals {
+					keep[i] = keep[i] && v >= p.Lo && v <= p.Hi
+				}
+			case ScanInI:
+				for i, v := range vals {
+					if keep[i] {
+						_, ok := p.Set[v]
+						keep[i] = ok
+					}
+				}
+			default:
+				panic("exec: pushed predicate kind does not match int64 column")
+			}
+		case *storage.Int32Column:
+			vals := col.Values[start:end]
+			*bytesRead += int64(n) * 4
+			switch p.Kind {
+			case ScanRangeI:
+				for i, v := range vals {
+					keep[i] = keep[i] && int64(v) >= p.Lo && int64(v) <= p.Hi
+				}
+			case ScanInI:
+				for i, v := range vals {
+					if keep[i] {
+						_, ok := p.Set[int64(v)]
+						keep[i] = ok
+					}
+				}
+			default:
+				panic("exec: pushed predicate kind does not match int32 column")
+			}
+		case *storage.DictColumn:
+			codes := col.Codes[start:end]
+			*bytesRead += int64(n) * 4
+			switch p.Kind {
+			case ScanRangeI:
+				for i, c := range codes {
+					keep[i] = keep[i] && int64(c) >= p.Lo && int64(c) <= p.Hi
+				}
+			case ScanInI:
+				for i, c := range codes {
+					if keep[i] {
+						_, ok := p.Set[int64(c)]
+						keep[i] = ok
+					}
+				}
+			default:
+				panic("exec: pushed predicate kind does not match dictionary column")
+			}
+		case *storage.Float64Column:
+			vals := col.Values[start:end]
+			*bytesRead += int64(n) * 8
+			if p.Kind != ScanRangeF {
+				panic("exec: pushed predicate kind does not match float64 column")
+			}
+			for i, v := range vals {
+				if !keep[i] {
+					continue
+				}
+				if p.FLoOpen {
+					keep[i] = v > p.FLo
+				} else {
+					keep[i] = v >= p.FLo
+				}
+				if keep[i] {
+					if p.FHiOpen {
+						keep[i] = v < p.FHi
+					} else {
+						keep[i] = v <= p.FHi
+					}
+				}
+			}
+		case *storage.StringColumn:
+			*bytesRead += int64(col.Offsets[end]-col.Offsets[start]) + int64(n)*4
+			switch p.Kind {
+			case ScanEqStr:
+				for i := range keep[:n] {
+					if !keep[i] {
+						continue
+					}
+					v := col.Value(start + i)
+					hit := false
+					for _, s := range p.Strs {
+						if bytes.Equal(v, s) {
+							hit = true
+							break
+						}
+					}
+					keep[i] = hit
+				}
+			case ScanRangeStr:
+				for i := range keep[:n] {
+					if !keep[i] {
+						continue
+					}
+					v := col.Value(start + i)
+					ok := true
+					if p.StrLo != nil {
+						cmp := bytes.Compare(v, p.StrLo)
+						ok = cmp > 0 || (cmp == 0 && !p.StrLoOpen)
+					}
+					if ok && p.StrHi != nil {
+						cmp := bytes.Compare(v, p.StrHi)
+						ok = cmp < 0 || (cmp == 0 && !p.StrHiOpen)
+					}
+					keep[i] = ok
+				}
+			default:
+				panic("exec: pushed predicate kind does not match string column")
+			}
+		default:
+			panic("exec: pushed predicate on unsupported column type")
+		}
+	}
+	kept := 0
+	for _, k := range keep[:n] {
+		if k {
+			kept++
+		}
+	}
+	return kept
+}

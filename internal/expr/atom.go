@@ -1,0 +1,126 @@
+package expr
+
+import "math"
+
+// AtomKind enumerates the pushable predicate shapes the plan layer can move
+// from a FilterNode into the scan.
+type AtomKind uint8
+
+const (
+	// AtomRangeI is Lo <= col <= Hi on the integer lane (ints, dates,
+	// bools, scaled decimals). Lo > Hi encodes a provably empty range.
+	AtomRangeI AtomKind = iota
+	// AtomInI is col IN Set on the integer lane.
+	AtomInI
+	// AtomRangeF is a float64 interval with optionally strict bounds.
+	AtomRangeF
+	// AtomEqStr is col equal to any of Strs (one entry for =, several for IN).
+	AtomEqStr
+	// AtomRangeStr is a string interval; HasStrLo/HasStrHi mark which bounds
+	// exist (the empty string is a valid bound) and the Open flags make a
+	// bound strict.
+	AtomRangeStr
+)
+
+// Atom is the structural description of a single-column predicate leaf. The
+// closure in Pred.Make stays the source of truth for evaluation; the atom is
+// a parallel, declarative view that the plan layer's pushdown pass can
+// translate into a scan-level predicate. Predicates built from combinators
+// other than And, or comparing two columns, carry no atom and stay residual.
+type Atom struct {
+	Kind AtomKind
+	Col  string
+
+	Lo, Hi int64
+	Set    []int64
+
+	FLo, FHi float64
+	FLoOpen  bool
+	FHiOpen  bool
+
+	Strs         []string
+	StrLo, StrHi string
+	HasStrLo     bool
+	HasStrHi     bool
+	StrLoOpen    bool
+	StrHiOpen    bool
+}
+
+func withAtom(p Pred, a Atom) Pred {
+	p.Atom = &a
+	return p
+}
+
+func rangeAtom(col string, lo, hi int64) Atom {
+	return Atom{Kind: AtomRangeI, Col: col, Lo: lo, Hi: hi}
+}
+
+// emptyRangeAtom encodes a range no value satisfies (overflowed bound).
+func emptyRangeAtom(col string) Atom { return rangeAtom(col, 1, 0) }
+
+// --- string range predicates (lexicographic byte order) ---
+
+func cmpStrAtom(col string, f func(v []byte) bool, a Atom) Pred {
+	return withAtom(cmpStr(col, f), a)
+}
+
+// LtStr keeps rows where col < s.
+func LtStr(col, s string) Pred {
+	return cmpStrAtom(col, func(v []byte) bool { return string(v) < s },
+		Atom{Kind: AtomRangeStr, Col: col, StrHi: s, HasStrHi: true, StrHiOpen: true})
+}
+
+// LeStr keeps rows where col <= s.
+func LeStr(col, s string) Pred {
+	return cmpStrAtom(col, func(v []byte) bool { return string(v) <= s },
+		Atom{Kind: AtomRangeStr, Col: col, StrHi: s, HasStrHi: true})
+}
+
+// GtStr keeps rows where col > s.
+func GtStr(col, s string) Pred {
+	return cmpStrAtom(col, func(v []byte) bool { return string(v) > s },
+		Atom{Kind: AtomRangeStr, Col: col, StrLo: s, HasStrLo: true, StrLoOpen: true})
+}
+
+// GeStr keeps rows where col >= s.
+func GeStr(col, s string) Pred {
+	return cmpStrAtom(col, func(v []byte) bool { return string(v) >= s },
+		Atom{Kind: AtomRangeStr, Col: col, StrLo: s, HasStrLo: true})
+}
+
+// BetweenStr keeps rows where lo <= col <= hi.
+func BetweenStr(col, lo, hi string) Pred {
+	return cmpStrAtom(col, func(v []byte) bool { return string(v) >= lo && string(v) <= hi },
+		Atom{Kind: AtomRangeStr, Col: col,
+			StrLo: lo, HasStrLo: true, StrHi: hi, HasStrHi: true})
+}
+
+// Conjuncts returns the flattened conjunct list of a predicate: the And-tree
+// leaves in evaluation order, or the predicate itself when it is not an And.
+func (p Pred) Conjuncts() []Pred {
+	if len(p.Conj) == 0 {
+		return []Pred{p}
+	}
+	var out []Pred
+	for _, c := range p.Conj {
+		out = append(out, c.Conjuncts()...)
+	}
+	return out
+}
+
+// predAtom helpers used by the integer/float constructors in expr.go. Bounds
+// that would overflow int64 collapse to an empty range rather than wrapping.
+
+func ltAtom(col string, x int64) Atom {
+	if x == math.MinInt64 {
+		return emptyRangeAtom(col)
+	}
+	return rangeAtom(col, math.MinInt64, x-1)
+}
+
+func gtAtom(col string, x int64) Atom {
+	if x == math.MaxInt64 {
+		return emptyRangeAtom(col)
+	}
+	return rangeAtom(col, x+1, math.MaxInt64)
+}

@@ -7,6 +7,8 @@
 package expr
 
 import (
+	"math"
+
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/storage"
 )
@@ -19,6 +21,13 @@ type PredFn func(ctx *exec.Ctx, b *exec.Batch, keep []bool)
 type Pred struct {
 	Cols []string
 	Make func(ix []int) PredFn
+	// Atom, when non-nil, is the declarative single-column description of
+	// this predicate, enabling the plan layer to push it into the scan.
+	// Combinators other than And clear it.
+	Atom *Atom
+	// Conj lists the operands of an And; empty for leaves. Conjuncts()
+	// flattens nested Ands for the pushdown pass.
+	Conj []Pred
 }
 
 // Scalar is a named computed column.
@@ -45,26 +54,39 @@ func cmpI(col string, f func(v int64) bool) Pred {
 }
 
 // EqI keeps rows where col == x.
-func EqI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v == x }) }
+func EqI(col string, x int64) Pred {
+	return withAtom(cmpI(col, func(v int64) bool { return v == x }), rangeAtom(col, x, x))
+}
 
 // NeI keeps rows where col != x.
 func NeI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v != x }) }
 
 // LtI keeps rows where col < x.
-func LtI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v < x }) }
+func LtI(col string, x int64) Pred {
+	return withAtom(cmpI(col, func(v int64) bool { return v < x }), ltAtom(col, x))
+}
 
 // LeI keeps rows where col <= x.
-func LeI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v <= x }) }
+func LeI(col string, x int64) Pred {
+	return withAtom(cmpI(col, func(v int64) bool { return v <= x }),
+		rangeAtom(col, math.MinInt64, x))
+}
 
 // GtI keeps rows where col > x.
-func GtI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v > x }) }
+func GtI(col string, x int64) Pred {
+	return withAtom(cmpI(col, func(v int64) bool { return v > x }), gtAtom(col, x))
+}
 
 // GeI keeps rows where col >= x.
-func GeI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v >= x }) }
+func GeI(col string, x int64) Pred {
+	return withAtom(cmpI(col, func(v int64) bool { return v >= x }),
+		rangeAtom(col, x, math.MaxInt64))
+}
 
 // BetweenI keeps rows where lo <= col <= hi.
 func BetweenI(col string, lo, hi int64) Pred {
-	return cmpI(col, func(v int64) bool { return v >= lo && v <= hi })
+	return withAtom(cmpI(col, func(v int64) bool { return v >= lo && v <= hi }),
+		rangeAtom(col, lo, hi))
 }
 
 // InI keeps rows whose col value is one of xs.
@@ -73,7 +95,17 @@ func InI(col string, xs ...int64) Pred {
 	for _, x := range xs {
 		set[x] = struct{}{}
 	}
-	return cmpI(col, func(v int64) bool { _, ok := set[v]; return ok })
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return withAtom(cmpI(col, func(v int64) bool { _, ok := set[v]; return ok }),
+		Atom{Kind: AtomInI, Col: col, Set: append([]int64(nil), xs...), Lo: lo, Hi: hi})
 }
 
 // EqCols keeps rows where a == b (both Int64-lane columns).
@@ -130,6 +162,11 @@ func NeCols(a, b string) Pred {
 
 // GtFConst keeps rows where a float64 column exceeds x.
 func GtFConst(col string, x float64) Pred {
+	return withAtom(gtFConst(col, x),
+		Atom{Kind: AtomRangeF, Col: col, FLo: x, FLoOpen: true, FHi: math.Inf(1)})
+}
+
+func gtFConst(col string, x float64) Pred {
 	return Pred{Cols: []string{col}, Make: func(ix []int) PredFn {
 		c := ix[0]
 		return func(ctx *exec.Ctx, b *exec.Batch, keep []bool) {
@@ -156,7 +193,10 @@ func cmpStr(col string, f func(v []byte) bool) Pred {
 }
 
 // EqStr keeps rows where col == s.
-func EqStr(col, s string) Pred { return cmpStr(col, func(v []byte) bool { return string(v) == s }) }
+func EqStr(col, s string) Pred {
+	return withAtom(cmpStr(col, func(v []byte) bool { return string(v) == s }),
+		Atom{Kind: AtomEqStr, Col: col, Strs: []string{s}})
+}
 
 // NeStr keeps rows where col != s.
 func NeStr(col, s string) Pred { return cmpStr(col, func(v []byte) bool { return string(v) != s }) }
@@ -167,7 +207,8 @@ func InStr(col string, ss ...string) Pred {
 	for _, s := range ss {
 		set[s] = struct{}{}
 	}
-	return cmpStr(col, func(v []byte) bool { _, ok := set[string(v)]; return ok })
+	return withAtom(cmpStr(col, func(v []byte) bool { _, ok := set[string(v)]; return ok }),
+		Atom{Kind: AtomEqStr, Col: col, Strs: append([]string(nil), ss...)})
 }
 
 // PrefixStr keeps rows where col starts with p.
@@ -228,13 +269,14 @@ func LikeMatch(s []byte, pattern string) bool {
 
 // --- combinators ---
 
-// And conjoins predicates.
+// And conjoins predicates. The operands are retained in Conj so the
+// pushdown pass can split pushable conjuncts from the residual.
 func And(ps ...Pred) Pred {
 	var cols []string
 	for _, p := range ps {
 		cols = append(cols, p.Cols...)
 	}
-	return Pred{Cols: cols, Make: func(ix []int) PredFn {
+	return Pred{Cols: cols, Conj: append([]Pred(nil), ps...), Make: func(ix []int) PredFn {
 		fns := make([]PredFn, len(ps))
 		off := 0
 		for i, p := range ps {

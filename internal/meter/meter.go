@@ -24,6 +24,11 @@ type Meter struct {
 	spillRead    atomic.Int64
 	spillWritten atomic.Int64
 
+	// Scan pruning counters (see ScanStats).
+	morselsPruned   atomic.Int64
+	batchesPruned   atomic.Int64
+	rowsPrefiltered atomic.Int64
+
 	mu     sync.Mutex
 	start  time.Time
 	phases []Phase
@@ -144,4 +149,57 @@ func (m *Meter) Totals() (read, written int64) {
 		return 0, 0
 	}
 	return m.read.Load(), m.written.Load()
+}
+
+// ScanStats aggregates the scan layer's pruning counters: work the scans
+// avoided (skipped morsels/batches) and rows removed by pushed predicates
+// before widening into batch vectors.
+type ScanStats struct {
+	// MorselsPruned counts whole morsels skipped via zone maps.
+	MorselsPruned int64
+	// BatchesPruned counts batch-sized blocks skipped via zone maps inside
+	// morsels that were not skipped outright.
+	BatchesPruned int64
+	// RowsPrefiltered counts rows eliminated by pushed predicates evaluated
+	// on raw storage (rows in pruned morsels/batches are not included).
+	RowsPrefiltered int64
+}
+
+// Scan counters follow the read/write counters' pattern: nil-safe atomics
+// incremented from scan workers, read once when the query finishes.
+
+// AddMorselsPruned records n whole morsels skipped via zone maps.
+func (m *Meter) AddMorselsPruned(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.morselsPruned.Add(n)
+}
+
+// AddBatchesPruned records n batches skipped via zone maps.
+func (m *Meter) AddBatchesPruned(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.batchesPruned.Add(n)
+}
+
+// AddRowsPrefiltered records n rows removed by pushed predicates.
+func (m *Meter) AddRowsPrefiltered(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.rowsPrefiltered.Add(n)
+}
+
+// Scan returns the cumulative scan pruning counters.
+func (m *Meter) Scan() ScanStats {
+	if m == nil {
+		return ScanStats{}
+	}
+	return ScanStats{
+		MorselsPruned:   m.morselsPruned.Load(),
+		BatchesPruned:   m.batchesPruned.Load(),
+		RowsPrefiltered: m.rowsPrefiltered.Load(),
+	}
 }

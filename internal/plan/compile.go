@@ -46,6 +46,12 @@ type Options struct {
 	// pool, so degradation and spill decisions consult it rather than the
 	// static MemBudget.
 	Broker *admit.Broker
+	// NoScanPushdown disables the filter-into-scan rewrite (zone-map
+	// pruning and raw-storage prefiltering); used by differential tests and
+	// A/B benchmarks. NoDictCodes likewise disables the dictionary
+	// code-packing rewrite.
+	NoScanPushdown bool
+	NoDictCodes    bool
 }
 
 // DefaultOptions runs everything through the BHJ at full parallelism.
@@ -176,10 +182,23 @@ func (c *compiler) compile(n Node) *pipe {
 	switch n := n.(type) {
 	case *ScanNode:
 		var src exec.Source
+		var ts *exec.TableSource
 		if n.RowID != "" {
-			src = exec.NewTableSourceWithRowID(n.Table, n.Cols...)
+			s := exec.NewTableSourceWithRowID(n.Table, n.Cols...)
+			src, ts = s, &s.TableSource
 		} else {
-			src = exec.NewTableSource(n.Table, n.Cols...)
+			s := exec.NewTableSource(n.Table, n.Cols...)
+			src, ts = s, s
+		}
+		if len(n.Pushed) > 0 {
+			ts.SetPushed(n.Pushed)
+		}
+		if len(n.CodeCols) > 0 {
+			codes := make([]bool, len(n.Cols))
+			for i, c := range n.Cols {
+				codes[i] = n.CodeCols[c]
+			}
+			ts.SetCodeCols(codes)
 		}
 		return &pipe{source: src, cols: n.Columns()}
 
@@ -245,6 +264,36 @@ func (c *compiler) compile(n Node) *pipe {
 
 	case *JoinNode:
 		return c.compileJoin(n)
+
+	case *DecodeNode:
+		p := c.compile(n.Child)
+		type dspec struct {
+			idx  int
+			dict *storage.DictColumn
+			cap  int
+		}
+		var specs []dspec
+		decodeAll := len(n.Cols) == 0
+		for i, ref := range p.cols {
+			if ref.Dict != nil && (decodeAll || containsName(n.Cols, ref.Name)) {
+				specs = append(specs, dspec{idx: i, dict: ref.Dict, cap: ref.StrCap})
+			}
+		}
+		if len(specs) > 0 {
+			p.ops = append(p.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+				op := &decodeOp{next: next,
+					vecs:  make([]exec.Vector, len(specs)),
+					saved: make([]exec.Vector, len(specs))}
+				for i, s := range specs {
+					op.idx = append(op.idx, s.idx)
+					op.dicts = append(op.dicts, s.dict)
+					op.vecs[i] = exec.NewVector(storage.String, s.cap)
+				}
+				return op
+			})
+		}
+		p.cols = n.Columns()
+		return p
 
 	case *GroupByNode:
 		p := c.compile(n.Child)

@@ -1,0 +1,264 @@
+package plan
+
+import (
+	"sort"
+
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/storage"
+)
+
+// encodeDictCodes rewrites the plan so dictionary-encoded string columns
+// travel as their 4-byte codes wherever that is provably transparent, and
+// wraps the root in a DecodeNode restoring the bytes. Because the dictionary
+// is sorted, codes preserve equality (GROUP BY keys), order (ORDER BY keys)
+// and join-payload identity — so a column may stay encoded through those. It
+// must be decoded at the scan instead when anything looks at the bytes or
+// fabricates values the dictionary cannot explain:
+//
+//   - residual filter predicates and scalar expressions (they read Str),
+//   - aggregate inputs (min/max over strings read Str),
+//   - join KEYS (the other side's values are not codes of this dictionary),
+//   - any non-inner join (unmatched-row sweeps emit zero codes, which would
+//     decode to dictionary entry 0 instead of an empty string),
+//   - late loads (they fetch by rowid into plain Str vectors).
+//
+// The payoff is the paper's payload-size factor (Figure 10): join build rows
+// pack 4 bytes per dictionary column instead of the padded string width.
+func encodeDictCodes(root Node) Node {
+	a := &dictAnalysis{unsafe: map[dictOrigin]bool{}}
+	top := a.walk(root)
+	var decode []string
+	for name, o := range top {
+		if !a.unsafe[o] {
+			decode = append(decode, name)
+		}
+	}
+	if len(decode) == 0 {
+		return root
+	}
+	sort.Strings(decode)
+	return &DecodeNode{Child: a.rewrite(root), Cols: decode}
+}
+
+// dictOrigin identifies one dictionary column at its scan; tracking origins
+// (not names) survives renames and self-joins scanning the same table twice.
+type dictOrigin struct {
+	scan *ScanNode
+	col  string
+}
+
+type dictAnalysis struct {
+	unsafe map[dictOrigin]bool
+}
+
+func (a *dictAnalysis) mark(m map[string]dictOrigin, name string) {
+	if o, ok := m[name]; ok {
+		a.unsafe[o] = true
+	}
+}
+
+func (a *dictAnalysis) markAll(m map[string]dictOrigin) {
+	for _, o := range m {
+		a.unsafe[o] = true
+	}
+}
+
+// walk returns, for each output column name of n that traces back to a
+// dictionary column at a scan, its origin — marking origins unsafe where
+// the tree consumes string bytes.
+func (a *dictAnalysis) walk(n Node) map[string]dictOrigin {
+	switch n := n.(type) {
+	case *ScanNode:
+		m := map[string]dictOrigin{}
+		for _, c := range n.Cols {
+			if _, ok := n.Table.Cols[n.Table.Schema.MustCol(c)].(*storage.DictColumn); ok {
+				m[c] = dictOrigin{scan: n, col: c}
+			}
+		}
+		return m
+	case *FilterNode:
+		m := a.walk(n.Child)
+		// Residual predicates compare decoded bytes.
+		for _, c := range n.Pred.Cols {
+			a.mark(m, c)
+		}
+		return m
+	case *MapNode:
+		m := a.walk(n.Child)
+		for _, e := range n.Exprs {
+			for _, c := range e.Cols {
+				a.mark(m, c)
+			}
+			// A computed column shadowing a tracked name unlinks it.
+			delete(m, e.Name)
+		}
+		return m
+	case *RenameNode:
+		m := a.walk(n.Child)
+		for i, f := range n.From {
+			if o, ok := m[f]; ok {
+				delete(m, f)
+				m[n.To[i]] = o
+			}
+		}
+		return m
+	case *ProjectNode:
+		m := a.walk(n.Child)
+		out := map[string]dictOrigin{}
+		for _, c := range n.Cols {
+			if o, ok := m[c]; ok {
+				out[c] = o
+			}
+		}
+		return out
+	case *LateLoadNode:
+		// Late-loaded columns arrive decoded; pass the child's map through.
+		return a.walk(n.Child)
+	case *GroupByNode:
+		m := a.walk(n.Child)
+		for _, g := range n.Aggs {
+			if g.Col != "" {
+				a.mark(m, g.Col)
+			}
+		}
+		out := map[string]dictOrigin{}
+		for _, k := range n.Keys {
+			if o, ok := m[k]; ok {
+				out[k] = o
+			}
+		}
+		return out
+	case *OrderByNode:
+		// Sorted dictionary: ordering by codes equals ordering by bytes.
+		return a.walk(n.Child)
+	case *DecodeNode:
+		m := a.walk(n.Child)
+		a.markAll(m)
+		return m
+	case *JoinNode:
+		bm := a.walk(n.Build)
+		pm := a.walk(n.Probe)
+		if n.Kind != core.Inner {
+			// Outer/semi/anti/mark joins fabricate or drop rows; unmatched
+			// sweeps emit zeroed payloads that must not decode to entry 0.
+			a.markAll(bm)
+			a.markAll(pm)
+		}
+		for _, k := range n.BuildKeys {
+			a.mark(bm, k)
+		}
+		for _, k := range n.ProbeKeys {
+			a.mark(pm, k)
+		}
+		for _, r := range n.ResidualNe {
+			a.mark(bm, r[0])
+			a.mark(pm, r[1])
+		}
+		out := map[string]dictOrigin{}
+		if n.Kind.HasBuildCols() {
+			for _, name := range n.BuildPay {
+				if o, ok := bm[name]; ok {
+					out[name] = o
+				}
+			}
+		}
+		if n.Kind.HasProbeCols() {
+			for _, name := range n.ProbePay {
+				if o, ok := pm[name]; ok {
+					out[name] = o
+				}
+			}
+		}
+		return out
+	}
+	return map[string]dictOrigin{}
+}
+
+// rewrite copies the tree, adding CodeCols to scans whose dictionary columns
+// survived the analysis as safe.
+func (a *dictAnalysis) rewrite(n Node) Node {
+	switch n := n.(type) {
+	case *ScanNode:
+		var safe map[string]bool
+		for _, c := range n.Cols {
+			o := dictOrigin{scan: n, col: c}
+			if _, ok := n.Table.Cols[n.Table.Schema.MustCol(c)].(*storage.DictColumn); ok && !a.unsafe[o] {
+				if safe == nil {
+					safe = map[string]bool{}
+				}
+				safe[c] = true
+			}
+		}
+		if safe == nil {
+			return n
+		}
+		cp := *n
+		cp.CodeCols = safe
+		return &cp
+	case *FilterNode:
+		return rewrap(n, &n.Child, a.rewrite(n.Child), func() Node { cp := *n; return &cp })
+	case *MapNode:
+		return rewrap(n, &n.Child, a.rewrite(n.Child), func() Node { cp := *n; return &cp })
+	case *RenameNode:
+		return rewrap(n, &n.Child, a.rewrite(n.Child), func() Node { cp := *n; return &cp })
+	case *ProjectNode:
+		return rewrap(n, &n.Child, a.rewrite(n.Child), func() Node { cp := *n; return &cp })
+	case *LateLoadNode:
+		return rewrap(n, &n.Child, a.rewrite(n.Child), func() Node { cp := *n; return &cp })
+	case *GroupByNode:
+		return rewrap(n, &n.Child, a.rewrite(n.Child), func() Node { cp := *n; return &cp })
+	case *OrderByNode:
+		return rewrap(n, &n.Child, a.rewrite(n.Child), func() Node { cp := *n; return &cp })
+	case *DecodeNode:
+		return rewrap(n, &n.Child, a.rewrite(n.Child), func() Node { cp := *n; return &cp })
+	case *JoinNode:
+		build := a.rewrite(n.Build)
+		probe := a.rewrite(n.Probe)
+		if build == n.Build && probe == n.Probe {
+			return n
+		}
+		cp := *n
+		cp.Build, cp.Probe = build, probe
+		return &cp
+	}
+	return n
+}
+
+// rewrap in pushdown.go handles the single-child copies for both passes.
+
+// decodeOp swaps dictionary code vectors for decoded string vectors while
+// the batch flows to the next operator, then restores them — the same
+// borrow-and-return protocol scalarOp uses.
+type decodeOp struct {
+	next  exec.Operator
+	idx   []int
+	dicts []*storage.DictColumn
+	vecs  []exec.Vector
+	saved []exec.Vector
+}
+
+// Process implements exec.Operator.
+func (o *decodeOp) Process(ctx *exec.Ctx, b *exec.Batch) {
+	if b.N == 0 {
+		return
+	}
+	for i, vi := range o.idx {
+		codes := b.Vecs[vi].I64
+		v := &o.vecs[i]
+		v.Reset()
+		for _, c := range codes[:b.N] {
+			v.Str = append(v.Str, o.dicts[i].DictValue(int32(c)))
+		}
+		o.saved[i] = b.Vecs[vi]
+		b.Vecs[vi] = *v
+	}
+	o.next.Process(ctx, b)
+	for i, vi := range o.idx {
+		o.vecs[i] = b.Vecs[vi]
+		b.Vecs[vi] = o.saved[i]
+	}
+}
+
+// Flush implements exec.Operator.
+func (o *decodeOp) Flush(ctx *exec.Ctx) { o.next.Flush(ctx) }

@@ -1,5 +1,7 @@
 package plan
 
+import "partitionjoin/internal/exec"
+
 // estimateRows gives an upper-bound cardinality estimate for a plan subtree,
 // used by the governor's plan-time partition-or-not decision: the radix
 // join's projected footprint is both sides' estimated rows times their
@@ -7,10 +9,21 @@ package plan
 // governor wants a conservative ceiling, not a precise optimizer estimate,
 // because under-estimating footprint defeats the budget. Returns -1 when
 // the cardinality cannot be bounded.
+//
+// The one sharpening is zone-map pruning: for a scan with pushed predicates,
+// rows in blocks whose min/max range provably misses a pushed conjunct are
+// subtracted. This cannot under-estimate the radix footprint — a pruned
+// block's bounds exclude every one of its rows from a conjunct of the
+// predicate, so those rows cannot reach the join no matter what the data
+// looks like; all other rows still count at selectivity 1.
 func estimateRows(n Node) int64 {
 	switch n := n.(type) {
 	case *ScanNode:
-		return int64(n.Table.NumRows())
+		rows := int64(n.Table.NumRows())
+		if len(n.Pushed) > 0 {
+			rows -= exec.PrunedRows(n.Table, n.Pushed)
+		}
+		return rows
 	case *FilterNode:
 		return estimateRows(n.Child)
 	case *MapNode:
@@ -20,6 +33,8 @@ func estimateRows(n Node) int64 {
 	case *ProjectNode:
 		return estimateRows(n.Child)
 	case *LateLoadNode:
+		return estimateRows(n.Child)
+	case *DecodeNode:
 		return estimateRows(n.Child)
 	case *GroupByNode:
 		return estimateRows(n.Child)

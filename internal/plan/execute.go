@@ -10,6 +10,7 @@ import (
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/govern"
+	"partitionjoin/internal/meter"
 	"partitionjoin/internal/spill"
 	"partitionjoin/internal/storage"
 )
@@ -39,6 +40,9 @@ type ExecResult struct {
 	Reserved int64
 	// AdmitWait is how long the query queued for admission.
 	AdmitWait time.Duration
+	// Scan aggregates the scan layer's zone-map pruning and pushed-predicate
+	// prefiltering counters for this query.
+	Scan meter.ScanStats
 }
 
 // Throughput returns source tuples per second.
@@ -92,6 +96,21 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 	if rsv != nil {
 		gov.SetBacking(rsv)
 	}
+	// The scan counters live on the meter; give the query a private one when
+	// the caller didn't ask for metering so ExecResult.Scan is always real.
+	if opts.Meter == nil {
+		opts.Meter = meter.New()
+	}
+	// Plan rewrites run before compilation: move pushable filter conjuncts
+	// into the scans (zone-map pruning + raw-storage prefiltering), then
+	// pack dictionary columns as codes through the join layers where that
+	// is provably transparent.
+	if !opts.NoScanPushdown {
+		root = pushdownFilters(root)
+	}
+	if !opts.NoDictCodes {
+		root = encodeDictCodes(root)
+	}
 	c := &compiler{opts: opts, gov: gov, workers: workers}
 	if opts.SpillDir != "" {
 		dir, derr := spill.NewDir(opts.SpillDir)
@@ -133,6 +152,7 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 		Spill:         spst,
 		Reserved:      rsv.Bytes(),
 		AdmitWait:     rsv.Waited(),
+		Scan:          opts.Meter.Scan(),
 	}, nil
 }
 

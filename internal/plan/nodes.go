@@ -45,6 +45,10 @@ type ColRef struct {
 	Name   string
 	Type   storage.Type
 	StrCap int
+	// Dict, when non-nil, marks a dictionary-encoded string column
+	// travelling as its int32 code on the I64 lane (Type is Int32 then);
+	// DecodeNode turns it back into bytes. StrCap keeps the decoded cap.
+	Dict *storage.DictColumn
 }
 
 // Node is a physical plan operator.
@@ -60,6 +64,13 @@ type ScanNode struct {
 	Table *storage.Table
 	Cols  []string
 	RowID string
+	// Pushed holds predicate conjuncts moved into the scan by the pushdown
+	// pass: evaluated on raw storage with zone-map morsel/batch skipping.
+	Pushed []exec.ScanPred
+	// CodeCols names dictionary-encoded columns to emit as int32 codes
+	// rather than decoded strings (set by the dictionary code-packing
+	// pass; a DecodeNode above restores the bytes).
+	CodeCols map[string]bool
 }
 
 // Scan builds a table scan over the named columns.
@@ -76,8 +87,14 @@ func ScanRowID(t *storage.Table, rowID string, cols ...string) *ScanNode {
 func (n *ScanNode) Columns() []ColRef {
 	out := make([]ColRef, 0, len(n.Cols)+1)
 	for _, c := range n.Cols {
-		def := n.Table.Schema.Cols[n.Table.Schema.MustCol(c)]
-		out = append(out, ColRef{Name: c, Type: def.Type, StrCap: def.StrCap})
+		ci := n.Table.Schema.MustCol(c)
+		def := n.Table.Schema.Cols[ci]
+		ref := ColRef{Name: c, Type: def.Type, StrCap: def.StrCap}
+		if n.CodeCols[c] {
+			ref.Type = storage.Int32
+			ref.Dict = n.Table.Cols[ci].(*storage.DictColumn)
+		}
+		out = append(out, ref)
 	}
 	if n.RowID != "" {
 		out = append(out, ColRef{Name: n.RowID, Type: storage.Int64})
@@ -290,6 +307,42 @@ func OrderBy(child Node, limit int, keys ...OrderKey) *OrderByNode {
 
 // Columns implements Node.
 func (n *OrderByNode) Columns() []ColRef { return n.Child.Columns() }
+
+// DecodeNode restores dictionary code columns (ColRef.Dict != nil) to their
+// string values. The dictionary code-packing pass wraps the plan root with
+// one so results always surface decoded bytes; everything below it moved
+// 4-byte codes instead of string payloads.
+type DecodeNode struct {
+	Child Node
+	// Cols names the code columns to decode; empty means every code column
+	// in the child's output.
+	Cols []string
+}
+
+// Columns implements Node.
+func (n *DecodeNode) Columns() []ColRef {
+	out := append([]ColRef{}, n.Child.Columns()...)
+	decodeAll := len(n.Cols) == 0
+	for i := range out {
+		if out[i].Dict == nil {
+			continue
+		}
+		if decodeAll || containsName(n.Cols, out[i].Name) {
+			out[i].Type = storage.String
+			out[i].Dict = nil
+		}
+	}
+	return out
+}
+
+func containsName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 // mustRef finds a column by name.
 func mustRef(cols []ColRef, name string) ColRef {

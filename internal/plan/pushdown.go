@@ -1,0 +1,242 @@
+package plan
+
+import (
+	"math"
+
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/expr"
+	"partitionjoin/internal/storage"
+)
+
+// pushdownFilters rewrites the plan so that pushable predicate conjuncts of
+// FilterNodes sitting directly on ScanNodes move into the scan, where they
+// run on raw storage slices behind zone-map morsel/batch skipping. Conjuncts
+// that cannot be pushed (disjunctions, column-column comparisons, LIKE,
+// computed columns) stay behind as a residual FilterNode; when everything
+// pushes, the FilterNode disappears. The rewrite copies nodes — shared
+// subtrees are never mutated.
+func pushdownFilters(n Node) Node {
+	switch n := n.(type) {
+	case *ScanNode:
+		return n
+	case *FilterNode:
+		child := pushdownFilters(n.Child)
+		scan, ok := child.(*ScanNode)
+		if !ok {
+			if child == n.Child {
+				return n
+			}
+			return &FilterNode{Child: child, Pred: n.Pred}
+		}
+		var pushed []exec.ScanPred
+		var residual []expr.Pred
+		for _, conj := range n.Pred.Conjuncts() {
+			if sp, ok := translateAtom(scan.Table, conj.Atom); ok {
+				pushed = append(pushed, sp)
+			} else {
+				residual = append(residual, conj)
+			}
+		}
+		if len(pushed) == 0 {
+			if child == n.Child {
+				return n
+			}
+			return &FilterNode{Child: child, Pred: n.Pred}
+		}
+		sc := *scan
+		sc.Pushed = append(append([]exec.ScanPred{}, scan.Pushed...), pushed...)
+		var out Node = &sc
+		switch len(residual) {
+		case 0:
+		case 1:
+			out = &FilterNode{Child: out, Pred: residual[0]}
+		default:
+			out = &FilterNode{Child: out, Pred: expr.And(residual...)}
+		}
+		return out
+	case *MapNode:
+		return rewrap(n, &n.Child, pushdownFilters(n.Child), func() Node { cp := *n; return &cp })
+	case *RenameNode:
+		return rewrap(n, &n.Child, pushdownFilters(n.Child), func() Node { cp := *n; return &cp })
+	case *ProjectNode:
+		return rewrap(n, &n.Child, pushdownFilters(n.Child), func() Node { cp := *n; return &cp })
+	case *LateLoadNode:
+		return rewrap(n, &n.Child, pushdownFilters(n.Child), func() Node { cp := *n; return &cp })
+	case *GroupByNode:
+		return rewrap(n, &n.Child, pushdownFilters(n.Child), func() Node { cp := *n; return &cp })
+	case *OrderByNode:
+		return rewrap(n, &n.Child, pushdownFilters(n.Child), func() Node { cp := *n; return &cp })
+	case *DecodeNode:
+		return rewrap(n, &n.Child, pushdownFilters(n.Child), func() Node { cp := *n; return &cp })
+	case *JoinNode:
+		build := pushdownFilters(n.Build)
+		probe := pushdownFilters(n.Probe)
+		if build == n.Build && probe == n.Probe {
+			return n
+		}
+		cp := *n
+		cp.Build, cp.Probe = build, probe
+		return &cp
+	}
+	return n
+}
+
+// rewrap returns orig unchanged when its child did not change, otherwise a
+// copy (built by cp) with the child pointer swapped.
+func rewrap(orig Node, childField *Node, newChild Node, cp func() Node) Node {
+	if newChild == *childField {
+		return orig
+	}
+	out := cp()
+	switch out := out.(type) {
+	case *FilterNode:
+		out.Child = newChild
+	case *MapNode:
+		out.Child = newChild
+	case *RenameNode:
+		out.Child = newChild
+	case *ProjectNode:
+		out.Child = newChild
+	case *LateLoadNode:
+		out.Child = newChild
+	case *GroupByNode:
+		out.Child = newChild
+	case *OrderByNode:
+		out.Child = newChild
+	case *DecodeNode:
+		out.Child = newChild
+	default:
+		panic("plan: rewrap on unexpected node type")
+	}
+	return out
+}
+
+// translateAtom lowers a declarative predicate atom to a scan predicate
+// against the physical column representation, or reports it unpushable.
+// Dictionary columns turn string predicates into code predicates here —
+// equality via binary search, ranges via LowerBound — so the scan never
+// touches string bytes for them.
+func translateAtom(t *storage.Table, a *expr.Atom) (exec.ScanPred, bool) {
+	if a == nil {
+		return exec.ScanPred{}, false
+	}
+	ci := t.Schema.ColIndex(a.Col)
+	if ci < 0 {
+		// The filter references a renamed or computed column; not this
+		// table's storage.
+		return exec.ScanPred{}, false
+	}
+	col := t.Cols[ci]
+	switch a.Kind {
+	case expr.AtomRangeI:
+		switch col.(type) {
+		case *storage.Int64Column, *storage.Int32Column:
+		default:
+			return exec.ScanPred{}, false
+		}
+		if a.Lo > a.Hi {
+			return exec.ScanPred{Kind: exec.ScanNever, Col: ci}, true
+		}
+		return exec.ScanPred{Kind: exec.ScanRangeI, Col: ci, Lo: a.Lo, Hi: a.Hi}, true
+
+	case expr.AtomInI:
+		switch col.(type) {
+		case *storage.Int64Column, *storage.Int32Column:
+		default:
+			return exec.ScanPred{}, false
+		}
+		if len(a.Set) == 0 {
+			return exec.ScanPred{Kind: exec.ScanNever, Col: ci}, true
+		}
+		set := make(map[int64]struct{}, len(a.Set))
+		for _, v := range a.Set {
+			set[v] = struct{}{}
+		}
+		return exec.ScanPred{Kind: exec.ScanInI, Col: ci, Set: set, Lo: a.Lo, Hi: a.Hi}, true
+
+	case expr.AtomRangeF:
+		if _, ok := col.(*storage.Float64Column); !ok {
+			return exec.ScanPred{}, false
+		}
+		return exec.ScanPred{
+			Kind: exec.ScanRangeF, Col: ci,
+			FLo: a.FLo, FHi: a.FHi, FLoOpen: a.FLoOpen, FHiOpen: a.FHiOpen,
+		}, true
+
+	case expr.AtomEqStr:
+		switch col := col.(type) {
+		case *storage.StringColumn:
+			strs := make([][]byte, len(a.Strs))
+			for i, s := range a.Strs {
+				strs[i] = []byte(s)
+			}
+			return exec.ScanPred{Kind: exec.ScanEqStr, Col: ci, Strs: strs}, true
+		case *storage.DictColumn:
+			// Equality against the dictionary: values absent from the
+			// dictionary match nothing, so a full miss proves emptiness.
+			set := make(map[int64]struct{}, len(a.Strs))
+			lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+			for _, s := range a.Strs {
+				if code, ok := col.Code([]byte(s)); ok {
+					v := int64(code)
+					set[v] = struct{}{}
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+			}
+			if len(set) == 0 {
+				return exec.ScanPred{Kind: exec.ScanNever, Col: ci}, true
+			}
+			if len(set) == 1 {
+				return exec.ScanPred{Kind: exec.ScanRangeI, Col: ci, Lo: lo, Hi: hi}, true
+			}
+			return exec.ScanPred{Kind: exec.ScanInI, Col: ci, Set: set, Lo: lo, Hi: hi}, true
+		}
+		return exec.ScanPred{}, false
+
+	case expr.AtomRangeStr:
+		switch col := col.(type) {
+		case *storage.StringColumn:
+			sp := exec.ScanPred{Kind: exec.ScanRangeStr, Col: ci,
+				StrLoOpen: a.StrLoOpen, StrHiOpen: a.StrHiOpen}
+			if a.HasStrLo {
+				sp.StrLo = []byte(a.StrLo)
+			}
+			if a.HasStrHi {
+				sp.StrHi = []byte(a.StrHi)
+			}
+			return sp, true
+		case *storage.DictColumn:
+			// Sorted dictionary: a string interval maps to a code interval.
+			lo := int64(0)
+			if a.HasStrLo {
+				c := col.LowerBound([]byte(a.StrLo))
+				lo = int64(c)
+				if a.StrLoOpen && int(c) < col.Card() &&
+					string(col.DictValue(c)) == a.StrLo {
+					lo++
+				}
+			}
+			hi := int64(col.Card()) - 1
+			if a.HasStrHi {
+				c := col.LowerBound([]byte(a.StrHi))
+				if int(c) < col.Card() && !a.StrHiOpen &&
+					string(col.DictValue(c)) == a.StrHi {
+					hi = int64(c)
+				} else {
+					hi = int64(c) - 1
+				}
+			}
+			if lo > hi {
+				return exec.ScanPred{Kind: exec.ScanNever, Col: ci}, true
+			}
+			return exec.ScanPred{Kind: exec.ScanRangeI, Col: ci, Lo: lo, Hi: hi}, true
+		}
+		return exec.ScanPred{}, false
+	}
+	return exec.ScanPred{}, false
+}

@@ -1,0 +1,365 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/expr"
+	"partitionjoin/internal/storage"
+)
+
+// pushdownTable builds a multi-morsel table exercising every pushable
+// column kind: k (int64, clustered 0..n-1), d (int64, random in [0,1000)),
+// f (float64), m (low-cardinality string, dictionary-encoded), s (plain
+// high-cardinality string).
+func pushdownTable(t *testing.T, n int) *storage.Table {
+	t.Helper()
+	schema := storage.NewSchema(
+		storage.ColumnDef{Name: "k", Type: storage.Int64},
+		storage.ColumnDef{Name: "d", Type: storage.Int64},
+		storage.ColumnDef{Name: "f", Type: storage.Float64},
+		storage.ColumnDef{Name: "m", Type: storage.String, StrCap: 8},
+		storage.ColumnDef{Name: "s", Type: storage.String, StrCap: 8},
+	)
+	tb := storage.NewTable("pd", schema, n)
+	rng := rand.New(rand.NewSource(11))
+	modes := []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	kc := tb.Cols[0].(*storage.Int64Column)
+	dc := tb.Cols[1].(*storage.Int64Column)
+	fc := tb.Cols[2].(*storage.Float64Column)
+	for i := 0; i < n; i++ {
+		kc.Values = append(kc.Values, int64(i))
+		dc.Values = append(dc.Values, rng.Int63n(1000))
+		fc.Values = append(fc.Values, rng.Float64())
+		tb.StringCol("m").AppendString(modes[rng.Intn(len(modes))])
+		tb.StringCol("s").AppendString(fmt.Sprintf("s%04d", rng.Intn(5000)))
+	}
+	converted := tb.DictEncode(64)
+	if len(converted) != 1 || converted[0] != "m" {
+		t.Fatalf("DictEncode converted %v, want [m]", converted)
+	}
+	return tb
+}
+
+// renderRows flattens a result into printable rows for exact comparison.
+func renderRows(res *ExecResult) []string {
+	n := res.Result.NumRows()
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		for c := range res.Result.Vecs {
+			v := &res.Result.Vecs[c]
+			switch v.T {
+			case storage.Float64:
+				fmt.Fprintf(&sb, "%v|", v.F64[i])
+			case storage.String:
+				fmt.Fprintf(&sb, "%s|", v.Str[i])
+			default:
+				fmt.Fprintf(&sb, "%d|", v.I64[i])
+			}
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// runDifferential executes the plan built by mk twice — pushdown enabled and
+// disabled — single-threaded for deterministic row order, and requires
+// byte-identical results. It returns the pushed run's result for counter
+// assertions.
+func runDifferential(t *testing.T, name string, mk func() Node) *ExecResult {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Workers = 1
+	pushed, err := ExecuteErr(context.Background(), opts, mk())
+	if err != nil {
+		t.Fatalf("%s pushed: %v", name, err)
+	}
+	opts.NoScanPushdown = true
+	opts.NoDictCodes = true
+	plain, err := ExecuteErr(context.Background(), opts, mk())
+	if err != nil {
+		t.Fatalf("%s unpushed: %v", name, err)
+	}
+	pr, ur := renderRows(pushed), renderRows(plain)
+	if len(pr) != len(ur) {
+		t.Fatalf("%s: pushed %d rows, unpushed %d rows", name, len(pr), len(ur))
+	}
+	for i := range pr {
+		if pr[i] != ur[i] {
+			t.Fatalf("%s: row %d differs\npushed:   %s\nunpushed: %s", name, i, pr[i], ur[i])
+		}
+	}
+	return pushed
+}
+
+// TestPushdownDifferential covers every pushed predicate shape against the
+// unpushed FilterOp plan: integer range/equality/IN, float range, dictionary
+// equality/IN/range, plain-string equality/range, and a mix with an
+// unpushable residual.
+func TestPushdownDifferential(t *testing.T) {
+	const n = 3*storage.MorselSize + 1234
+	tb := pushdownTable(t, n)
+	scan := func() Node { return Scan(tb, "k", "d", "f", "m", "s") }
+	cases := []struct {
+		name string
+		pred func() expr.Pred
+	}{
+		{"range-1pct", func() expr.Pred { return expr.BetweenI("k", 1000, 1000+n/100) }},
+		{"range-open", func() expr.Pred { return expr.GtI("k", int64(n-5000)) }},
+		{"equality", func() expr.Pred { return expr.EqI("d", 5) }},
+		{"in", func() expr.Pred { return expr.InI("d", 3, 77, 999) }},
+		{"float-range", func() expr.Pred { return expr.GtFConst("f", 0.99) }},
+		{"dict-eq", func() expr.Pred { return expr.EqStr("m", "MAIL") }},
+		{"dict-in", func() expr.Pred { return expr.InStr("m", "AIR", "SHIP") }},
+		{"dict-range", func() expr.Pred { return expr.BetweenStr("m", "B", "T") }},
+		{"dict-range-open", func() expr.Pred { return expr.GtStr("m", "MAIL") }},
+		{"dict-miss", func() expr.Pred { return expr.EqStr("m", "NOPE") }},
+		{"str-eq", func() expr.Pred { return expr.EqStr("s", "s0123") }},
+		{"str-range", func() expr.Pred { return expr.GeStr("s", "s4990") }},
+		{"empty-range", func() expr.Pred { return expr.BetweenI("k", 100, 10) }},
+		{"residual-mix", func() expr.Pred {
+			return expr.And(
+				expr.BetweenI("k", 0, int64(n/2)),
+				expr.Or(expr.EqI("d", 1), expr.EqI("d", 2)),
+				expr.Like("s", "s12%"),
+			)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			runDifferential(t, c.name, func() Node {
+				return Filter(scan(), c.pred())
+			})
+		})
+	}
+}
+
+// TestPushdownPrunesClusteredRange checks that the clustered 1% range scan
+// actually skips morsels and that a dictionary miss prunes everything.
+func TestPushdownPrunesClusteredRange(t *testing.T) {
+	const n = 4 * storage.MorselSize
+	tb := pushdownTable(t, n)
+	res := runDifferential(t, "clustered-range", func() Node {
+		return Filter(Scan(tb, "k", "d"), expr.BetweenI("k", 10, 500))
+	})
+	if res.Scan.MorselsPruned < 3 {
+		t.Fatalf("clustered 1%% range pruned %d morsels, want >= 3", res.Scan.MorselsPruned)
+	}
+	res = runDifferential(t, "dict-miss", func() Node {
+		return Filter(Scan(tb, "k", "m"), expr.EqStr("m", "ABSENT"))
+	})
+	if res.Result.NumRows() != 0 {
+		t.Fatalf("dict miss returned %d rows", res.Result.NumRows())
+	}
+	if res.Scan.MorselsPruned != 4 {
+		t.Fatalf("dict miss pruned %d morsels, want all 4", res.Scan.MorselsPruned)
+	}
+}
+
+// TestPushdownWithRowIDScan exercises the pushed-predicate path through
+// TableSourceWithRowID: rowids of surviving rows must match the unpushed
+// plan's exactly.
+func TestPushdownWithRowIDScan(t *testing.T) {
+	const n = 2 * storage.MorselSize
+	tb := pushdownTable(t, n)
+	runDifferential(t, "rowid-scan", func() Node {
+		return Filter(ScanRowID(tb, "rid", "k", "d"), expr.BetweenI("k", 5000, 9000))
+	})
+}
+
+// TestPushdownAggregateConcurrent runs a Q6-style aggregate with full
+// parallelism — order-independent totals let the differential run at real
+// worker counts (the race detector sees the pruning paths under make race).
+func TestPushdownAggregateConcurrent(t *testing.T) {
+	const n = 3 * storage.MorselSize
+	tb := pushdownTable(t, n)
+	mk := func() Node {
+		return GroupBy(
+			Filter(Scan(tb, "k", "d", "f", "m"), expr.And(
+				expr.BetweenI("k", 0, int64(n/4)),
+				expr.InStr("m", "MAIL", "SHIP"),
+				expr.GtFConst("f", 0.5),
+			)),
+			nil,
+			AggExpr{Kind: exec.AggSumI, Col: "d", As: "sum_d"},
+			AggExpr{Kind: exec.AggCount, As: "cnt"},
+		)
+	}
+	opts := DefaultOptions()
+	pushed, err := ExecuteErr(context.Background(), opts, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.NoScanPushdown = true
+	opts.NoDictCodes = true
+	plain, err := ExecuteErr(context.Background(), opts, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps, us := pushed.MustScalarI64(), plain.MustScalarI64(); ps != us {
+		t.Fatalf("sum_d: pushed %d, unpushed %d", ps, us)
+	}
+	if pushed.Result.Vecs[1].I64[0] != plain.Result.Vecs[1].I64[0] {
+		t.Fatalf("count: pushed %d, unpushed %d",
+			pushed.Result.Vecs[1].I64[0], plain.Result.Vecs[1].I64[0])
+	}
+	if pushed.Scan.RowsPrefiltered == 0 {
+		t.Fatal("expected pushed predicates to prefilter rows")
+	}
+	if plain.Scan.MorselsPruned != 0 || plain.Scan.RowsPrefiltered != 0 {
+		t.Fatalf("unpushed plan recorded scan pruning: %+v", plain.Scan)
+	}
+}
+
+// TestDictCodeJoinPacking checks the dictionary code-packing rewrite: a join
+// carrying a dictionary payload through to a group-by must produce identical
+// results with codes packed (4 bytes) and with decoded strings, and the
+// packed build tuple must actually be narrower. The build payload carries an
+// extra int64 so the 8-byte string-to-code saving crosses the layout's
+// power-of-two padding boundary (hash+key+bval+mode: 36 B -> 64 B plain,
+// 28 B -> 32 B coded) and shows up in BuildTupleBytes.
+func TestDictCodeJoinPacking(t *testing.T) {
+	const nb, np = 20_000, 60_000
+	bs := storage.NewSchema(
+		storage.ColumnDef{Name: "key", Type: storage.Int64},
+		storage.ColumnDef{Name: "bval", Type: storage.Int64},
+		storage.ColumnDef{Name: "mode", Type: storage.String, StrCap: 8},
+	)
+	build := storage.NewTable("build", bs, nb)
+	modes := []string{"AIR", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"}
+	rng := rand.New(rand.NewSource(3))
+	bkey := build.Cols[0].(*storage.Int64Column)
+	bval := build.Cols[1].(*storage.Int64Column)
+	for i := 0; i < nb; i++ {
+		bkey.Values = append(bkey.Values, int64(i))
+		bval.Values = append(bval.Values, int64(i)*3)
+		build.StringCol("mode").AppendString(modes[rng.Intn(len(modes))])
+	}
+	if got := build.DictEncode(16); len(got) != 1 {
+		t.Fatalf("DictEncode: %v", got)
+	}
+	ps := storage.NewSchema(
+		storage.ColumnDef{Name: "fkey", Type: storage.Int64},
+		storage.ColumnDef{Name: "pval", Type: storage.Int64},
+	)
+	probe := storage.NewTable("probe", ps, np)
+	pkey := probe.Cols[0].(*storage.Int64Column)
+	pval := probe.Cols[1].(*storage.Int64Column)
+	for i := 0; i < np; i++ {
+		pkey.Values = append(pkey.Values, rng.Int63n(nb))
+		pval.Values = append(pval.Values, int64(i))
+	}
+	mk := func() Node {
+		join := &JoinNode{
+			Build: Scan(build, "key", "bval", "mode"), Probe: Scan(probe, "fkey", "pval"),
+			BuildKeys: []string{"key"}, ProbeKeys: []string{"fkey"},
+			BuildPay: []string{"bval", "mode"}, ProbePay: []string{"pval"},
+		}
+		return OrderBy(
+			GroupBy(join, []string{"mode"},
+				AggExpr{Kind: exec.AggSumI, Col: "pval", As: "sum"},
+				AggExpr{Kind: exec.AggSumI, Col: "bval", As: "sum_b"},
+				AggExpr{Kind: exec.AggCount, As: "cnt"}),
+			0, OrderKey{Col: "mode"})
+	}
+	for _, algo := range []JoinAlgo{BHJ, RJ} {
+		stats := NewStatsCollector()
+		opts := DefaultOptions()
+		opts.Algo = algo
+		opts.Stats = stats
+		coded, err := ExecuteErr(context.Background(), opts, mk())
+		if err != nil {
+			t.Fatalf("%v coded: %v", algo, err)
+		}
+		plainStats := NewStatsCollector()
+		opts.NoDictCodes = true
+		opts.Stats = plainStats
+		plain, err := ExecuteErr(context.Background(), opts, mk())
+		if err != nil {
+			t.Fatalf("%v plain: %v", algo, err)
+		}
+		cr, pr := renderRows(coded), renderRows(plain)
+		if len(cr) != len(pr) || len(cr) == 0 {
+			t.Fatalf("%v: coded %d rows, plain %d rows", algo, len(cr), len(pr))
+		}
+		for i := range cr {
+			if cr[i] != pr[i] {
+				t.Fatalf("%v row %d: coded %s, plain %s", algo, i, cr[i], pr[i])
+			}
+		}
+		cw := stats.Joins()[0].BuildTupleBytes
+		pw := plainStats.Joins()[0].BuildTupleBytes
+		if cw >= pw {
+			t.Fatalf("%v: coded build tuple %d B, plain %d B — codes should be narrower", algo, cw, pw)
+		}
+	}
+}
+
+// TestEstimateRowsPrunedScan checks the estimate sharpening is active and
+// sound: pushed scans estimate no more than the table and no fewer than the
+// true match count; unpushed scans keep the selectivity-1 ceiling.
+func TestEstimateRowsPrunedScan(t *testing.T) {
+	const n = 4 * storage.MorselSize
+	tb := pushdownTable(t, n)
+	lo, hi := int64(100), int64(2000)
+	root := pushdownFilters(Filter(Scan(tb, "k", "d"), expr.BetweenI("k", lo, hi)))
+	sc, ok := root.(*ScanNode)
+	if !ok {
+		t.Fatalf("fully pushable filter should collapse into the scan, got %T", root)
+	}
+	if len(sc.Pushed) != 1 {
+		t.Fatalf("pushed %d predicates, want 1", len(sc.Pushed))
+	}
+	est := estimateRows(sc)
+	truth := hi - lo + 1 // k is 0..n-1, so the range matches exactly
+	if est < truth {
+		t.Fatalf("estimate %d under-estimates true cardinality %d", est, truth)
+	}
+	if est >= int64(n) {
+		t.Fatalf("estimate %d not sharpened below table size %d", est, n)
+	}
+	if unpushed := estimateRows(Filter(Scan(tb, "k", "d"), expr.BetweenI("k", lo, hi))); unpushed != int64(n) {
+		t.Fatalf("unpushed estimate %d, want table size %d", unpushed, n)
+	}
+	// A provably empty predicate estimates zero.
+	if est := estimateRows(pushdownFilters(Filter(Scan(tb, "m"), expr.EqStr("m", "ABSENT")))); est != 0 {
+		t.Fatalf("dictionary-miss estimate %d, want 0", est)
+	}
+}
+
+// TestPushdownLeavesResidual checks the pass structure: partially pushable
+// conjunctions keep a residual FilterNode, unpushable predicates stay put,
+// and predicates above non-scan nodes are untouched.
+func TestPushdownLeavesResidual(t *testing.T) {
+	tb := pushdownTable(t, 1000)
+	mixed := pushdownFilters(Filter(Scan(tb, "k", "s"),
+		expr.And(expr.GtI("k", 10), expr.Like("s", "s1%"))))
+	f, ok := mixed.(*FilterNode)
+	if !ok {
+		t.Fatalf("residual missing, got %T", mixed)
+	}
+	sc, ok := f.Child.(*FilterNode)
+	if ok {
+		t.Fatalf("double filter after pushdown: %T over %T", f, sc)
+	}
+	if s, ok := f.Child.(*ScanNode); !ok || len(s.Pushed) != 1 {
+		t.Fatalf("expected scan with 1 pushed pred under residual, got %T", f.Child)
+	}
+	// Entirely unpushable: tree unchanged (same node pointers).
+	orig := Filter(Scan(tb, "s"), expr.Like("s", "s1%"))
+	if got := pushdownFilters(orig); got != Node(orig) {
+		t.Fatal("unpushable filter should be returned unchanged")
+	}
+	// Column-column comparisons carry no atom.
+	cc := pushdownFilters(Filter(Scan(tb, "k", "d"), expr.GtCols("k", "d")))
+	if f, ok := cc.(*FilterNode); !ok {
+		t.Fatalf("column comparison was pushed: %T", cc)
+	} else if s := f.Child.(*ScanNode); len(s.Pushed) != 0 {
+		t.Fatal("column comparison must not create scan predicates")
+	}
+}

@@ -350,6 +350,14 @@ func condPred(ti *tableInfo, c Cond) (expr.Pred, error) {
 			return expr.EqStr(col, c.Str), nil
 		case "<>":
 			return expr.NeStr(col, c.Str), nil
+		case "<":
+			return expr.LtStr(col, c.Str), nil
+		case "<=":
+			return expr.LeStr(col, c.Str), nil
+		case ">":
+			return expr.GtStr(col, c.Str), nil
+		case ">=":
+			return expr.GeStr(col, c.Str), nil
 		}
 		return expr.Pred{}, fmt.Errorf("sql: unsupported string comparison %q", c.Op)
 	}

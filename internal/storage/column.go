@@ -87,9 +87,10 @@ func (c *StringColumn) AppendString(v string) {
 	c.Offsets = append(c.Offsets, int32(len(c.Bytes)))
 }
 
-// AppendFrom implements Column.
+// AppendFrom implements Column. It accepts either string representation as
+// the source, so dictionary-encoded and plain columns mix freely.
 func (c *StringColumn) AppendFrom(src Column, i int) {
-	c.Append(src.(*StringColumn).Value(i))
+	c.Append(src.(StrCol).Value(i))
 }
 
 // NewColumn allocates an empty column of the given type with capacity hint n.

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"bytes"
+	"sort"
+)
+
+// StrCol is the read/append interface shared by the two string column
+// representations: the plain arena (StringColumn) and the dictionary-encoded
+// form (DictColumn). Callers that only read values or append rows work
+// against either; code that needs the representation (scans packing codes,
+// pushdown translating predicates) type-switches on the concrete type.
+type StrCol interface {
+	Column
+	Value(i int) []byte
+	Append(v []byte)
+	AppendString(v string)
+}
+
+// DictColumn stores a low-cardinality string column as an int32 code per row
+// plus a dictionary arena holding each distinct value once. The dictionary is
+// kept SORTED: code order is lexicographic byte order. That invariant is what
+// makes the column more than a compression trick — equality predicates become
+// one binary search at plan time, range predicates become code-range checks,
+// and sorting or grouping on the raw codes matches sorting or grouping on the
+// decoded strings.
+type DictColumn struct {
+	// Codes[i] indexes the dictionary entry for row i.
+	Codes []int32
+	// Offsets/Bytes is the dictionary arena in StringColumn layout: entry c
+	// is Bytes[Offsets[c]:Offsets[c+1]], and entries ascend lexicographically.
+	Offsets []int32
+	Bytes   []byte
+}
+
+// NewDictColumn returns an empty dictionary column ready for appends.
+func NewDictColumn() *DictColumn { return &DictColumn{Offsets: []int32{0}} }
+
+// Type implements Column. The logical type stays String; the encoding is a
+// storage-layer choice invisible to the schema.
+func (c *DictColumn) Type() Type { return String }
+
+// Len implements Column.
+func (c *DictColumn) Len() int { return len(c.Codes) }
+
+// Card returns the number of distinct dictionary entries.
+func (c *DictColumn) Card() int { return len(c.Offsets) - 1 }
+
+// DictValue returns dictionary entry code as a byte slice aliasing the arena.
+func (c *DictColumn) DictValue(code int32) []byte {
+	return c.Bytes[c.Offsets[code]:c.Offsets[code+1]]
+}
+
+// Value returns value i, decoded.
+func (c *DictColumn) Value(i int) []byte { return c.DictValue(c.Codes[i]) }
+
+// LowerBound returns the smallest code whose entry is >= v, or Card() when
+// every entry is smaller. Valid because the dictionary is sorted.
+func (c *DictColumn) LowerBound(v []byte) int32 {
+	return int32(sort.Search(c.Card(), func(i int) bool {
+		return bytes.Compare(c.DictValue(int32(i)), v) >= 0
+	}))
+}
+
+// Code returns the code for value v and whether it is present.
+func (c *DictColumn) Code(v []byte) (int32, bool) {
+	lb := c.LowerBound(v)
+	if int(lb) < c.Card() && bytes.Equal(c.DictValue(lb), v) {
+		return lb, true
+	}
+	return 0, false
+}
+
+// insert adds v to the dictionary at its sorted position and returns its
+// code, shifting arena bytes and re-numbering existing row codes at or above
+// the insertion point. O(rows) per new distinct value — acceptable because
+// dictionary columns are chosen exactly when distinct values are rare.
+func (c *DictColumn) insert(v []byte) int32 {
+	pos := c.LowerBound(v)
+	off := int(c.Offsets[pos])
+	old := len(c.Bytes)
+	c.Bytes = append(c.Bytes, v...) // grow, then shift the tail right
+	copy(c.Bytes[off+len(v):], c.Bytes[off:old])
+	copy(c.Bytes[off:], v)
+	c.Offsets = append(c.Offsets, 0)
+	copy(c.Offsets[pos+1:], c.Offsets[pos:])
+	for i := int(pos) + 1; i < len(c.Offsets); i++ {
+		c.Offsets[i] += int32(len(v))
+	}
+	for i, code := range c.Codes {
+		if code >= pos {
+			c.Codes[i] = code + 1
+		}
+	}
+	return pos
+}
+
+// Append adds one string value, extending the dictionary if it is new.
+func (c *DictColumn) Append(v []byte) {
+	code, ok := c.Code(v)
+	if !ok {
+		code = c.insert(v)
+	}
+	c.Codes = append(c.Codes, code)
+}
+
+// AppendString adds one string value given as a Go string.
+func (c *DictColumn) AppendString(v string) { c.Append([]byte(v)) }
+
+// AppendFrom implements Column. It accepts either string representation as
+// the source, so dictionary-encoded and plain columns mix freely.
+func (c *DictColumn) AppendFrom(src Column, i int) {
+	c.Append(src.(StrCol).Value(i))
+}
+
+// EncodeStrings builds a sorted-dictionary encoding of col if its distinct
+// count is at most maxCard, returning (nil, false) otherwise. The distinct
+// scan aborts as soon as the threshold is exceeded, so probing a
+// high-cardinality column costs one pass over at most maxCard+1 distinct
+// values' worth of map fills.
+func EncodeStrings(col *StringColumn, maxCard int) (*DictColumn, bool) {
+	distinct := make(map[string]struct{}, maxCard)
+	n := col.Len()
+	for i := 0; i < n; i++ {
+		v := col.Value(i)
+		if _, ok := distinct[string(v)]; !ok {
+			if len(distinct) == maxCard {
+				return nil, false
+			}
+			distinct[string(v)] = struct{}{}
+		}
+	}
+	vals := make([]string, 0, len(distinct))
+	for v := range distinct {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	d := &DictColumn{
+		Codes:   make([]int32, 0, n),
+		Offsets: make([]int32, 1, len(vals)+1),
+	}
+	codeOf := make(map[string]int32, len(vals))
+	for i, v := range vals {
+		d.Bytes = append(d.Bytes, v...)
+		d.Offsets = append(d.Offsets, int32(len(d.Bytes)))
+		codeOf[v] = int32(i)
+	}
+	for i := 0; i < n; i++ {
+		d.Codes = append(d.Codes, codeOf[string(col.Value(i))])
+	}
+	return d, true
+}
+
+// DictEncode replaces every plain string column whose distinct count is at
+// most maxCard with its dictionary encoding, returning the names of the
+// columns converted. Run it once after bulk load; appending afterwards still
+// works (the dictionary grows in place).
+func (t *Table) DictEncode(maxCard int) []string {
+	var converted []string
+	for i, c := range t.Cols {
+		sc, ok := c.(*StringColumn)
+		if !ok {
+			continue
+		}
+		if d, ok := EncodeStrings(sc, maxCard); ok {
+			t.Cols[i] = d
+			converted = append(converted, t.Schema.Cols[i].Name)
+		}
+	}
+	if len(converted) > 0 {
+		t.invalidateZones()
+	}
+	return converted
+}

@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDictColumnRoundTrip appends values through the dictionary column and
+// checks that decode matches, the dictionary stays sorted, and codes map
+// back through Code/LowerBound.
+func TestDictColumnRoundTrip(t *testing.T) {
+	vals := []string{"MAIL", "AIR", "TRUCK", "AIR", "SHIP", "MAIL", "AIR", "RAIL", "FOB"}
+	d := NewDictColumn()
+	for _, v := range vals {
+		d.AppendString(v)
+	}
+	if d.Len() != len(vals) {
+		t.Fatalf("len %d, want %d", d.Len(), len(vals))
+	}
+	for i, v := range vals {
+		if got := string(d.Value(i)); got != v {
+			t.Fatalf("row %d decodes to %q, want %q", i, got, v)
+		}
+	}
+	if d.Card() != 6 {
+		t.Fatalf("card %d, want 6", d.Card())
+	}
+	// Sorted-dictionary invariant: codes ascend with byte order.
+	for c := 1; c < d.Card(); c++ {
+		if string(d.DictValue(int32(c-1))) >= string(d.DictValue(int32(c))) {
+			t.Fatalf("dictionary not sorted at %d: %q >= %q",
+				c, d.DictValue(int32(c-1)), d.DictValue(int32(c)))
+		}
+	}
+	for _, v := range vals {
+		code, ok := d.Code([]byte(v))
+		if !ok {
+			t.Fatalf("Code(%q) not found", v)
+		}
+		if got := string(d.DictValue(code)); got != v {
+			t.Fatalf("Code(%q) -> %d -> %q", v, code, got)
+		}
+	}
+	if _, ok := d.Code([]byte("ABSENT")); ok {
+		t.Fatal("Code found a value never appended")
+	}
+	if lb := d.LowerBound([]byte("")); lb != 0 {
+		t.Fatalf("LowerBound(\"\") = %d, want 0", lb)
+	}
+	if lb := d.LowerBound([]byte("ZZZ")); int(lb) != d.Card() {
+		t.Fatalf("LowerBound past end = %d, want %d", lb, d.Card())
+	}
+}
+
+// TestDictColumnAppendRecode exercises the O(n) re-code path: appending a
+// value that sorts before existing entries must shift every live code.
+func TestDictColumnAppendRecode(t *testing.T) {
+	d := NewDictColumn()
+	d.AppendString("M")
+	d.AppendString("Z")
+	d.AppendString("M")
+	// "A" sorts before both existing entries: codes for M and Z shift up.
+	d.AppendString("A")
+	want := []string{"M", "Z", "M", "A"}
+	for i, w := range want {
+		if got := string(d.Value(i)); got != w {
+			t.Fatalf("after recode, row %d = %q, want %q", i, got, w)
+		}
+	}
+	wantCodes := []int32{1, 2, 1, 0}
+	for i, w := range wantCodes {
+		if d.Codes[i] != w {
+			t.Fatalf("code[%d] = %d, want %d", i, d.Codes[i], w)
+		}
+	}
+}
+
+// TestDictColumnAppendFrom checks AppendFrom across both string
+// representations.
+func TestDictColumnAppendFrom(t *testing.T) {
+	src := NewStringColumn()
+	src.AppendString("b")
+	src.AppendString("a")
+	d := NewDictColumn()
+	d.AppendFrom(src, 0)
+	d.AppendFrom(src, 1)
+	if string(d.Value(0)) != "b" || string(d.Value(1)) != "a" {
+		t.Fatalf("AppendFrom(StringColumn) decoded %q,%q", d.Value(0), d.Value(1))
+	}
+	// And the reverse: a plain column appending from a dictionary column.
+	s2 := NewStringColumn()
+	s2.AppendFrom(d, 0)
+	if string(s2.Value(0)) != "b" {
+		t.Fatalf("StringColumn.AppendFrom(DictColumn) = %q", s2.Value(0))
+	}
+	// Dict from dict.
+	d2 := NewDictColumn()
+	d2.AppendFrom(d, 1)
+	if string(d2.Value(0)) != "a" {
+		t.Fatalf("DictColumn.AppendFrom(DictColumn) = %q", d2.Value(0))
+	}
+}
+
+// TestEncodeStrings checks the bulk encoder and its cardinality abort.
+func TestEncodeStrings(t *testing.T) {
+	col := NewStringColumn()
+	for i := 0; i < 1000; i++ {
+		col.AppendString(fmt.Sprintf("v%02d", i%7))
+	}
+	d, ok := EncodeStrings(col, 8)
+	if !ok {
+		t.Fatal("EncodeStrings rejected a 7-value column at maxCard 8")
+	}
+	if d.Card() != 7 {
+		t.Fatalf("card %d, want 7", d.Card())
+	}
+	for i := 0; i < col.Len(); i++ {
+		if string(d.Value(i)) != string(col.Value(i)) {
+			t.Fatalf("row %d: %q != %q", i, d.Value(i), col.Value(i))
+		}
+	}
+	if _, ok := EncodeStrings(col, 6); ok {
+		t.Fatal("EncodeStrings accepted a 7-value column at maxCard 6")
+	}
+}
+
+// TestTableDictEncode checks the post-load conversion pass and that the
+// generic StringCol accessor serves both representations.
+func TestTableDictEncode(t *testing.T) {
+	schema := NewSchema(
+		ColumnDef{Name: "low", Type: String, StrCap: 8},
+		ColumnDef{Name: "high", Type: String, StrCap: 8},
+		ColumnDef{Name: "k", Type: Int64},
+	)
+	tb := NewTable("t", schema, 100)
+	for i := 0; i < 100; i++ {
+		tb.StringCol("low").AppendString(fmt.Sprintf("s%d", i%3))
+		tb.StringCol("high").AppendString(fmt.Sprintf("u%03d", i))
+		tb.Cols[2].(*Int64Column).Values = append(tb.Cols[2].(*Int64Column).Values, int64(i))
+	}
+	converted := tb.DictEncode(10)
+	if len(converted) != 1 || converted[0] != "low" {
+		t.Fatalf("converted %v, want [low]", converted)
+	}
+	if _, ok := tb.ColByName("low").(*DictColumn); !ok {
+		t.Fatal("low not dictionary-encoded")
+	}
+	if _, ok := tb.ColByName("high").(*StringColumn); !ok {
+		t.Fatal("high should stay a plain string column")
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("Validate after DictEncode: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if got, want := string(tb.StringCol("low").Value(i)), fmt.Sprintf("s%d", i%3); got != want {
+			t.Fatalf("row %d: %q, want %q", i, got, want)
+		}
+	}
+}

@@ -1,13 +1,20 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Table is a named relation: a schema plus one column per definition. All
-// columns have equal length.
+// columns have equal length. Tables must not be copied once ZoneMap has been
+// called (the cache carries a mutex); they are shared by pointer everywhere.
 type Table struct {
 	Name   string
 	Schema Schema
 	Cols   []Column
+
+	zmu   sync.Mutex
+	zones map[zoneKey]*zoneEntry
 }
 
 // NewTable allocates an empty table for the schema with capacity hint n rows.
@@ -60,9 +67,10 @@ func (t *Table) Float64Col(name string) []float64 {
 	return t.ColByName(name).(*Float64Column).Values
 }
 
-// StringCol returns the named string column.
-func (t *Table) StringCol(name string) *StringColumn {
-	return t.ColByName(name).(*StringColumn)
+// StringCol returns the named string column in either representation (plain
+// arena or dictionary-encoded).
+func (t *Table) StringCol(name string) StrCol {
+	return t.ColByName(name).(StrCol)
 }
 
 // Validate checks that all columns have the same length and compatible types.
@@ -95,6 +103,9 @@ func (t *Table) ByteSize() int64 {
 			total += int64(len(col.Values)) * 8
 		case *StringColumn:
 			total += int64(len(col.Bytes)) + int64(len(col.Offsets))*4
+		case *DictColumn:
+			total += int64(len(col.Codes))*4 +
+				int64(len(col.Bytes)) + int64(len(col.Offsets))*4
 		}
 	}
 	return total

@@ -1,0 +1,143 @@
+package storage
+
+// ZoneMap summarizes one column in fixed-size row blocks: block b covers rows
+// [b*Block, min((b+1)*Block, rows)) and records the min and max value seen in
+// that range. Scans consult it to skip whole morsels and whole batches whose
+// value range provably misses a pushed predicate; the planner consults it to
+// tighten cardinality ceilings (a pruned block contributes exactly zero
+// rows, so subtracting it can never under-estimate).
+//
+// Integer-family columns (Int64/Date/Bool, Int32, and dictionary codes) fill
+// the I lanes; Float64 columns fill the F lanes. Plain string columns have no
+// zone map — their pushed predicates still prefilter rows, just without
+// block skipping.
+type ZoneMap struct {
+	Block      int
+	MinI, MaxI []int64
+	MinF, MaxF []float64
+}
+
+// NumBlocks returns the number of summarized blocks.
+func (z *ZoneMap) NumBlocks() int {
+	if len(z.MinI) > 0 {
+		return len(z.MinI)
+	}
+	return len(z.MinF)
+}
+
+// OverlapsI reports whether block b may contain a value in [lo, hi].
+func (z *ZoneMap) OverlapsI(b int, lo, hi int64) bool {
+	return lo <= z.MaxI[b] && z.MinI[b] <= hi
+}
+
+// OverlapsF reports whether block b may contain a value in the float interval
+// with the given bounds; loOpen/hiOpen exclude the endpoint.
+func (z *ZoneMap) OverlapsF(b int, lo, hi float64, loOpen, hiOpen bool) bool {
+	if loOpen {
+		if !(lo < z.MaxF[b]) {
+			return false
+		}
+	} else if !(lo <= z.MaxF[b]) {
+		return false
+	}
+	if hiOpen {
+		return z.MinF[b] < hi
+	}
+	return z.MinF[b] <= hi
+}
+
+// BuildZoneMap summarizes c in blocks of the given row count. Returns nil for
+// column kinds without a usable value order (plain string arenas).
+func BuildZoneMap(c Column, block int) *ZoneMap {
+	n := c.Len()
+	nb := (n + block - 1) / block
+	z := &ZoneMap{Block: block}
+	minmaxI := func(at func(i int) int64) {
+		z.MinI = make([]int64, nb)
+		z.MaxI = make([]int64, nb)
+		for b := 0; b < nb; b++ {
+			start, end := b*block, (b+1)*block
+			if end > n {
+				end = n
+			}
+			lo, hi := at(start), at(start)
+			for i := start + 1; i < end; i++ {
+				v := at(i)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			z.MinI[b], z.MaxI[b] = lo, hi
+		}
+	}
+	switch col := c.(type) {
+	case *Int64Column:
+		minmaxI(func(i int) int64 { return col.Values[i] })
+	case *Int32Column:
+		minmaxI(func(i int) int64 { return int64(col.Values[i]) })
+	case *DictColumn:
+		minmaxI(func(i int) int64 { return int64(col.Codes[i]) })
+	case *Float64Column:
+		z.MinF = make([]float64, nb)
+		z.MaxF = make([]float64, nb)
+		for b := 0; b < nb; b++ {
+			start, end := b*block, (b+1)*block
+			if end > n {
+				end = n
+			}
+			lo, hi := col.Values[start], col.Values[start]
+			for i := start + 1; i < end; i++ {
+				v := col.Values[i]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			z.MinF[b], z.MaxF[b] = lo, hi
+		}
+	default:
+		return nil
+	}
+	return z
+}
+
+type zoneKey struct{ col, block int }
+
+type zoneEntry struct {
+	rows int // column length when built; a mismatch invalidates the entry
+	zm   *ZoneMap
+}
+
+// ZoneMap returns the cached zone map for column ci at the given block size,
+// building it on first use. Entries are invalidated when the column length
+// changes (every mutation path appends rows) and by DictEncode (which swaps
+// the column representation, renumbering codes). Returns nil for columns
+// without zone-map support. Safe for concurrent use.
+func (t *Table) ZoneMap(ci, block int) *ZoneMap {
+	t.zmu.Lock()
+	defer t.zmu.Unlock()
+	if t.zones == nil {
+		t.zones = make(map[zoneKey]*zoneEntry)
+	}
+	key := zoneKey{ci, block}
+	c := t.Cols[ci]
+	if e, ok := t.zones[key]; ok && e.rows == c.Len() {
+		return e.zm
+	}
+	e := &zoneEntry{rows: c.Len(), zm: BuildZoneMap(c, block)}
+	t.zones[key] = e
+	return e.zm
+}
+
+// invalidateZones drops all cached zone maps; called when a column's
+// representation changes without changing its length.
+func (t *Table) invalidateZones() {
+	t.zmu.Lock()
+	t.zones = nil
+	t.zmu.Unlock()
+}

@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestZoneMapInvariant checks the defining property on random data: every
+// row's value lies within its block's [min, max], for every supported
+// column kind.
+func TestZoneMapInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n, block = 10_000, 256
+
+	ic := &Int64Column{}
+	fc := &Float64Column{}
+	dc := NewDictColumn()
+	mods := []string{"AIR", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"}
+	for i := 0; i < n; i++ {
+		ic.Values = append(ic.Values, r.Int63n(1_000_000)-500_000)
+		fc.Values = append(fc.Values, r.Float64()*100-50)
+		dc.AppendString(mods[r.Intn(len(mods))])
+	}
+
+	zi := BuildZoneMap(ic, block)
+	zf := BuildZoneMap(fc, block)
+	zd := BuildZoneMap(dc, block)
+	if zi == nil || zf == nil || zd == nil {
+		t.Fatal("zone map missing for a supported column kind")
+	}
+	for i := 0; i < n; i++ {
+		b := i / block
+		if v := ic.Values[i]; v < zi.MinI[b] || v > zi.MaxI[b] {
+			t.Fatalf("int row %d value %d outside zone [%d, %d]", i, v, zi.MinI[b], zi.MaxI[b])
+		}
+		if v := fc.Values[i]; v < zf.MinF[b] || v > zf.MaxF[b] {
+			t.Fatalf("float row %d value %g outside zone [%g, %g]", i, v, zf.MinF[b], zf.MaxF[b])
+		}
+		if c := int64(dc.Codes[i]); c < zd.MinI[b] || c > zd.MaxI[b] {
+			t.Fatalf("dict row %d code %d outside zone [%d, %d]", i, c, zd.MinI[b], zd.MaxI[b])
+		}
+	}
+
+	// Plain string columns have no zone map.
+	sc := NewStringColumn()
+	sc.AppendString("x")
+	if BuildZoneMap(sc, block) != nil {
+		t.Fatal("plain string column should have no zone map")
+	}
+}
+
+// TestZoneMapOverlap checks the block/predicate intersection tests.
+func TestZoneMapOverlap(t *testing.T) {
+	z := &ZoneMap{Block: 4, MinI: []int64{10}, MaxI: []int64{20}}
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 9, false}, {0, 10, true}, {15, 15, true}, {20, 99, true}, {21, 99, false},
+	}
+	for _, c := range cases {
+		if got := z.OverlapsI(0, c.lo, c.hi); got != c.want {
+			t.Fatalf("OverlapsI [%d,%d] = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	zf := &ZoneMap{Block: 4, MinF: []float64{1.5}, MaxF: []float64{2.5}}
+	if zf.OverlapsF(0, 2.5, 99, true, false) {
+		t.Fatal("strict lower bound at block max should not overlap")
+	}
+	if !zf.OverlapsF(0, 2.5, 99, false, false) {
+		t.Fatal("closed lower bound at block max should overlap")
+	}
+	if zf.OverlapsF(0, -99, 1.5, false, true) {
+		t.Fatal("strict upper bound at block min should not overlap")
+	}
+	if !zf.OverlapsF(0, -99, 1.5, false, false) {
+		t.Fatal("closed upper bound at block min should overlap")
+	}
+}
+
+// TestTableZoneMapCache checks caching and invalidation on append and on
+// DictEncode.
+func TestTableZoneMapCache(t *testing.T) {
+	schema := NewSchema(ColumnDef{Name: "k", Type: Int64})
+	tb := NewTable("t", schema, 8)
+	col := tb.Cols[0].(*Int64Column)
+	col.Values = append(col.Values, 1, 2, 3, 4)
+
+	z1 := tb.ZoneMap(0, 2)
+	if z1 == nil || len(z1.MinI) != 2 {
+		t.Fatalf("zone map blocks %v", z1)
+	}
+	if z2 := tb.ZoneMap(0, 2); z2 != z1 {
+		t.Fatal("unchanged column should return the cached zone map")
+	}
+	col.Values = append(col.Values, 99)
+	z3 := tb.ZoneMap(0, 2)
+	if z3 == z1 {
+		t.Fatal("append must invalidate the cached zone map")
+	}
+	if len(z3.MinI) != 3 || z3.MaxI[2] != 99 {
+		t.Fatalf("rebuilt zone map wrong: %+v", z3)
+	}
+}

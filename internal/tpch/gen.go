@@ -71,6 +71,16 @@ func Generate(sf float64, seed int64) *DB {
 	run(func() { db.PartSupp = genPartSupp(nPart, nSupp, seed+4) })
 	run(func() { db.Orders, db.Lineitem = genOrdersLineitem(nOrders, nCust, nPart, nSupp, seed+5) })
 	wg.Wait()
+	// Dictionary-encode the low-cardinality string columns (flags, status
+	// codes, modes, types, segments...) so scans compare codes instead of
+	// bytes and joins pack 4-byte codes instead of padded strings. The
+	// threshold admits every enumerated TPC-H domain (the largest, p_type,
+	// has 150 values) while rejecting free-text and key-derived columns,
+	// whose distinct scan aborts after dictMaxCard+1 values.
+	const dictMaxCard = 512
+	for _, t := range db.Tables() {
+		t.DictEncode(dictMaxCard)
+	}
 	return db
 }
 
