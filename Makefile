@@ -2,9 +2,9 @@
 # injection suite runs twice to catch armed-fault leakage across runs, and
 # the stress target hammers the spill and fault paths under the race
 # detector.
-.PHONY: check build test race faultinject vet bench bench-scan stress soak fmtcheck
+.PHONY: check build test race faultinject vet bench bench-scan stress soak serve-check fmtcheck
 
-check: vet build race faultinject stress soak
+check: vet build race faultinject stress soak serve-check
 
 vet:
 	go vet ./...
@@ -43,7 +43,15 @@ stress: fmtcheck
 
 # soak repeats the multi-query admission suite under the race detector:
 # concurrent queries contending for one broker must end correct, shed, or
-# watchdog-killed — never wrong, leaked, or deadlocked.
+# watchdog-killed — never wrong, leaked, or deadlocked. The server and
+# bench halves cover the query service: concurrent sessions streaming
+# against one tight broker, with sheds, disconnects, and watchdog kills.
 soak:
 	go test -race -count=2 -run 'Soak|Broker|Watchdog|ConcurrencySoak' \
-		./internal/admit/ ./internal/plan/ ./internal/bench/
+		./internal/admit/ ./internal/plan/ ./internal/bench/ ./internal/server/
+
+# serve-check boots joind on an ephemeral port, load-tests it with the
+# closed-loop generator, SIGTERMs it, and asserts a clean drain with a
+# balanced admission pool.
+serve-check:
+	sh scripts/serve_check.sh

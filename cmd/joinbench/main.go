@@ -13,13 +13,18 @@ import (
 
 	"partitionjoin/internal/bench"
 	"partitionjoin/internal/core"
+	"partitionjoin/internal/tpch"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,soak,scanprune,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,soak,scanprune,serve,all")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper (1 = 16M x 256M tuples)")
 	runs := flag.Int("runs", 3, "repetitions per measurement (median reported)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
+	addr := flag.String("addr", "", "serve experiment: target a running joind (e.g. http://127.0.0.1:7432) instead of an in-process server")
+	clients := flag.Int("clients", 4*runtime.GOMAXPROCS(0), "serve experiment: concurrent closed-loop clients")
+	iters := flag.Int("iters", 20, "serve experiment: queries per client")
+	sf := flag.Float64("sf", 0.005, "serve experiment: TPC-H scale factor of the in-process server")
 	flag.Parse()
 
 	bench.Runs = *runs
@@ -75,6 +80,18 @@ func main() {
 			rows = 1 << 18
 		}
 		return bench.ScanPrune(rows, []float64{0.01, 0.1, 0.5, 1}, cfg)
+	})
+	run("serve", func() (*bench.Table, error) {
+		scfg := bench.ServeConfig{
+			Queries: tpch.ServeQueries(),
+			Clients: *clients, Iters: *iters,
+			Addr: *addr, Core: cfg,
+		}
+		if *addr == "" {
+			scfg.Catalog = tpch.ServeCatalog(*sf)
+		}
+		t, _, err := bench.Serve(scfg)
+		return t, err
 	})
 }
 

@@ -1,0 +1,197 @@
+// Command joind is the query service daemon: it generates (or will later
+// load) a TPC-H database, then serves SQL over HTTP with sessions, a
+// prepared-plan cache, admission control, NDJSON streaming, and graceful
+// drain on SIGTERM/SIGINT.
+//
+//	joind -addr :7432 -sf 0.01 -global-mem 268435456 -spill-dir /tmp/joind-spill
+//	curl -s localhost:7432/query -d '{"sql":"SELECT count(*) AS n FROM lineitem"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"partitionjoin/internal/admit"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/server"
+	"partitionjoin/internal/spill"
+	"partitionjoin/internal/sql"
+	"partitionjoin/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7432", "listen address (port 0 picks an ephemeral port)")
+	portFile := flag.String("port-file", "", "write the bound host:port here once listening (for harnesses using port 0)")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor of the served database")
+	workers := flag.Int("workers", 0, "per-query pipeline workers (0 = GOMAXPROCS)")
+	algo := flag.String("algo", "bhj", "default join algorithm: bhj, rj, brj")
+	memBudget := flag.Int64("mem-budget", 0, "default per-query memory budget in bytes")
+	timeout := flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
+	globalMem := flag.Int64("global-mem", 0, "process-wide memory pool in bytes (0 = no admission control)")
+	maxConc := flag.Int("max-concurrency", 0, "maximum concurrently running queries (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue length before shedding (0 = default)")
+	maxWait := flag.Duration("max-wait", 0, "maximum admission queue wait before shedding (0 = default)")
+	stallWindow := flag.Duration("stall-window", 0, "watchdog no-progress window (0 = watchdog off)")
+	spillDir := flag.String("spill-dir", "", "spill parent directory; sessions get private subtrees")
+	sweepEvery := flag.Duration("sweep-interval", 5*time.Minute, "period of the spill janitor re-sweep (0 = startup sweep only)")
+	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "idle session expiry")
+	planCache := flag.Int("plan-cache", 128, "prepared-plan cache capacity")
+	drainGrace := flag.Duration("drain-grace", 15*time.Second, "how long in-flight queries may run after SIGTERM before being cancelled")
+	flag.Parse()
+
+	jAlgo, ok := parseAlgoFlag(*algo)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "joind: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	// Startup janitor: reclaim spill trees abandoned by crashed processes
+	// before this daemon starts writing its own.
+	if *spillDir != "" {
+		removed, err := spill.Sweep(*spillDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "joind: spill janitor: %v\n", err)
+			os.Exit(1)
+		}
+		for _, d := range removed {
+			fmt.Fprintf(os.Stderr, "joind: spill janitor removed stale %s\n", d)
+		}
+	}
+
+	var broker *admit.Broker
+	if *globalMem > 0 || *maxConc > 0 || *queueDepth > 0 {
+		broker = admit.NewBroker(admit.Config{
+			GlobalMem:      *globalMem,
+			MaxConcurrency: *maxConc,
+			QueueDepth:     *queueDepth,
+			MaxWait:        *maxWait,
+			StallWindow:    *stallWindow,
+		})
+		defer broker.Close()
+	}
+
+	fmt.Fprintf(os.Stderr, "joind: generating TPC-H at sf=%g...\n", *sf)
+	db := tpch.Generate(*sf, 1)
+	cat := sql.Catalog{}
+	for _, t := range db.Tables() {
+		cat[t.Name] = t
+	}
+
+	srv := server.New(server.Config{
+		Workers:       *workers,
+		Algo:          jAlgo,
+		Core:          core.DefaultConfig(),
+		MemBudget:     *memBudget,
+		Timeout:       *timeout,
+		SpillDir:      *spillDir,
+		PlanCacheSize: *planCache,
+		SessionTTL:    *sessionTTL,
+		Broker:        broker,
+	}, cat)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "joind: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "joind: write port file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "joind: serving %d tables on http://%s\n", len(cat), bound)
+
+	httpSrv := &http.Server{Handler: srv}
+
+	// Periodic re-sweep: a long-lived daemon outlives crashed siblings (or
+	// its own previous incarnation's sessions), so orphaned spill runs are
+	// reclaimed continuously, not only at boot.
+	sweepDone := make(chan struct{})
+	var sweepStop chan struct{}
+	if *spillDir != "" && *sweepEvery > 0 {
+		sweepStop = make(chan struct{})
+		go func() {
+			defer close(sweepDone)
+			t := time.NewTicker(*sweepEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-sweepStop:
+					return
+				case <-t.C:
+				}
+				removed, err := spill.Sweep(*spillDir)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "joind: spill re-sweep: %v\n", err)
+				}
+				for _, d := range removed {
+					fmt.Fprintf(os.Stderr, "joind: spill re-sweep removed stale %s\n", d)
+				}
+			}
+		}()
+	} else {
+		close(sweepDone)
+	}
+
+	// Serve until SIGTERM/SIGINT, then drain: stop accepting (healthz goes
+	// 503 first so load balancers shift traffic), let in-flight queries
+	// finish within the grace window, cancel-cause the rest.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "joind: %v received, draining (grace %v)...\n", sig, *drainGrace)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "joind: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv.SetKeepAlivesEnabled(false)
+	clean := srv.Drain(*drainGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "joind: shutdown: %v\n", err)
+	}
+	if sweepStop != nil {
+		close(sweepStop)
+	}
+	<-sweepDone
+	if broker != nil {
+		if inUse := broker.InUse(); inUse != 0 {
+			fmt.Fprintf(os.Stderr, "joind: WARNING: %d reserved bytes leaked at exit\n", inUse)
+			os.Exit(1)
+		}
+	}
+	if clean {
+		fmt.Fprintln(os.Stderr, "joind: drained cleanly")
+	} else {
+		fmt.Fprintln(os.Stderr, "joind: drain grace exceeded; stragglers were cancelled")
+	}
+}
+
+func parseAlgoFlag(s string) (plan.JoinAlgo, bool) {
+	switch strings.ToLower(s) {
+	case "bhj":
+		return plan.BHJ, true
+	case "rj":
+		return plan.RJ, true
+	case "brj":
+		return plan.BRJ, true
+	}
+	return plan.BHJ, false
+}

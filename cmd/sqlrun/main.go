@@ -11,16 +11,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"partitionjoin/internal/admit"
+	"partitionjoin/internal/meter"
 	"partitionjoin/internal/plan"
 	"partitionjoin/internal/spill"
 	"partitionjoin/internal/sql"
 	"partitionjoin/internal/storage"
 	"partitionjoin/internal/tpch"
 )
+
+// errInterrupted is the cancel cause installed by the SIGINT handler, so the
+// exit path can tell a ^C apart from a deadline or a watchdog kill.
+var errInterrupted = errors.New("interrupted (SIGINT)")
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
@@ -89,13 +96,34 @@ func main() {
 		opts.Broker = broker
 	}
 
+	// The query's meter is caller-owned: on cancellation RunCtx returns no
+	// result, but the scan counters accumulated so far survive on the meter
+	// and still make it into the partial summary.
+	opts.Meter = meter.New()
+
+	// ^C cancels the in-flight query via cancel-cause; the executor unwinds
+	// (releasing any admission reservation), and the exit path prints what
+	// the query had done so far. Installed before generation so an early ^C
+	// is caught too — it aborts the query at its first context check. A
+	// second ^C exits immediately.
+	ctx, cancelQuery := context.WithCancelCause(context.Background())
+	defer cancelQuery(nil)
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "sqlrun: SIGINT, cancelling query...")
+		cancelQuery(errInterrupted)
+		<-sigCh
+		os.Exit(130)
+	}()
+
 	db := tpch.Generate(*sf, 1)
 	cat := sql.Catalog{}
 	for _, t := range db.Tables() {
 		cat[t.Name] = t
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -109,8 +137,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "overloaded: retry after %v\n", oe.RetryAfter.Round(time.Millisecond))
 			os.Exit(75) // EX_TEMPFAIL: the query is retryable
 		}
+		if errors.Is(context.Cause(ctx), errInterrupted) {
+			printPartial(broker, opts.Meter)
+			os.Exit(130) // 128+SIGINT, the shell convention
+		}
 		os.Exit(1)
 	}
+	signal.Stop(sigCh)
 	printResult(res)
 	fmt.Printf("\n%d rows in %v (%.1fM source tuples/s, %v)\n",
 		res.Result.NumRows(), res.Duration.Round(1000), res.Throughput()/1e6, opts.Algo)
@@ -141,6 +174,20 @@ func main() {
 			res.Spill.Partitions, res.Spill.SpilledBytes, res.Spill.ReloadedBytes,
 			res.Spill.MaxReloadBytes, res.Spill.Recursed)
 	}
+}
+
+// printPartial reports what an interrupted query had done before the
+// cancellation unwound it: the admission picture from the broker and the
+// scan-layer counters off the caller-owned meter.
+func printPartial(broker *admit.Broker, m *meter.Meter) {
+	fmt.Fprintln(os.Stderr, "partial summary (query cancelled):")
+	if broker != nil {
+		fmt.Fprintf(os.Stderr, "  admission: %d admitted, %d shed, %d stall kills; %d B of %d B pool still reserved\n",
+			broker.Admits(), broker.Sheds(), broker.StallKills(), broker.InUse(), broker.Pool())
+	}
+	s := m.Scan()
+	fmt.Fprintf(os.Stderr, "  scan: %d morsels + %d batches pruned via zone maps, %d rows prefiltered by pushed predicates\n",
+		s.MorselsPruned, s.BatchesPruned, s.RowsPrefiltered)
 }
 
 func printResult(res *plan.ExecResult) {

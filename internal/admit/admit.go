@@ -410,6 +410,15 @@ func (b *Broker) Admit(ctx context.Context, want int64) (*Reservation, context.C
 	}
 }
 
+// RunCtx re-derives the cancellable query context the watchdog acts on.
+// Callers that obtained the reservation themselves (e.g. a server holding it
+// across result streaming) and then hand it to the executor through
+// plan.Options.Reservation must keep running under the context Admit
+// returned; the executor does not derive another one. RunCtx exists for
+// callers that need to rebind the watchdog's cancel to a fresh context —
+// the newest derivation wins.
+func (r *Reservation) RunCtx(ctx context.Context) context.Context { return r.runCtx(ctx) }
+
 // runCtx derives the cancellable query context the watchdog acts on.
 func (r *Reservation) runCtx(ctx context.Context) context.Context {
 	wctx, cancel := context.WithCancelCause(ctx)
@@ -592,3 +601,50 @@ func (b *Broker) StallKills() int64 {
 
 // Pool returns the configured pool size.
 func (b *Broker) Pool() int64 { return b.cfg.GlobalMem }
+
+// Stats is a single consistent snapshot of the broker's state, taken under
+// one lock acquisition — the introspection surface the query service's
+// /statsz endpoint exports. The per-field accessors remain for callers that
+// need only one number.
+type Stats struct {
+	// Pool is the configured shared memory pool in bytes (0 = memory not
+	// arbitrated).
+	Pool int64 `json:"pool_bytes"`
+	// Free is the pool headroom; InUse the bytes held by admitted
+	// reservations (nonzero after all queries end means a leak).
+	Free  int64 `json:"free_bytes"`
+	InUse int64 `json:"in_use_bytes"`
+	// Running and Queued are the instantaneous admitted / waiting counts.
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+	// Admits, Sheds, and StallKills are lifetime counters.
+	Admits     int64 `json:"admits"`
+	Sheds      int64 `json:"sheds"`
+	StallKills int64 `json:"stall_kills"`
+	// AvgHold is the smoothed reservation hold time the shed backoff is
+	// derived from.
+	AvgHold time.Duration `json:"avg_hold_ns"`
+	// MaxConcurrency and QueueDepth echo the configuration so dashboards
+	// can show utilization against the limits.
+	MaxConcurrency int `json:"max_concurrency"`
+	QueueDepth     int `json:"queue_depth"`
+}
+
+// Stats returns a consistent snapshot of pool, queue, and counter state.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		Pool:           b.cfg.GlobalMem,
+		Free:           b.free,
+		InUse:          b.inUse,
+		Running:        b.running,
+		Queued:         len(b.queue),
+		Admits:         b.admits,
+		Sheds:          b.sheds,
+		StallKills:     b.stallKill,
+		AvgHold:        b.ewmaHold,
+		MaxConcurrency: b.cfg.MaxConcurrency,
+		QueueDepth:     b.cfg.QueueDepth,
+	}
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"partitionjoin/internal/admit"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/server"
+	"partitionjoin/internal/sql"
+)
+
+// ServeConfig sizes the query-service load experiment. The generator is
+// workload-agnostic — callers (joinbench, tests) supply the catalog and the
+// statement mix, typically TPC-H via tpch.ServeCatalog/ServeQueries.
+type ServeConfig struct {
+	// Catalog is the served database (in-process runs only; ignored when
+	// Addr targets a running daemon).
+	Catalog sql.Catalog
+	// Queries is the statement mix every client cycles through. After the
+	// warmup pass the plan cache should serve (nearly) every request.
+	Queries []string
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// Iters is the number of queries each client issues.
+	Iters int
+	// Addr, when non-empty, targets a running joind (e.g.
+	// "http://127.0.0.1:7432") instead of booting an in-process server.
+	Addr string
+	// GlobalMem sizes the in-process broker pool; <= 0 uses a pool tight
+	// enough that admission queues under the client count.
+	GlobalMem int64
+	// MaxConcurrency caps concurrently running queries on the in-process
+	// broker (0 = unlimited); soak tests use it to force queueing.
+	MaxConcurrency int
+	// QueueDepth bounds the in-process admission queue (0 = Clients).
+	QueueDepth int
+	// MaxWait bounds admission queue waits before shedding (0 = 250ms,
+	// negative = shed whenever a query cannot be admitted on arrival);
+	// soak tests use it to keep shedding active under load.
+	MaxWait time.Duration
+	// Core tunes the in-process server's radix joins.
+	Core core.Config
+}
+
+// ServeOutcome is the measured result of a Serve run, for harnesses that
+// assert on it (the Table form is for humans).
+type ServeOutcome struct {
+	Completed   int
+	Sheds       int64
+	Retries     int64
+	QPS         float64
+	P50, P95    time.Duration
+	P99         time.Duration
+	CacheHits   int64
+	CacheMisses int64
+	HitRate     float64
+	WallClock   time.Duration
+}
+
+// Serve runs the closed-loop query-service load experiment: Clients
+// concurrent clients, each looping Iters times over mixed TPC-H statements
+// against the service, retrying with the server's suggested backoff when
+// shed. It measures end-to-end QPS and p50/p95/p99 latency and reads the
+// plan-cache hit rate from /statsz. With Addr empty it boots an in-process
+// server over an httptest listener, warms the plan cache with one pass, and
+// drains at the end (leak assertions belong to the test harness around it).
+func Serve(cfg ServeConfig) (*Table, *ServeOutcome, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 10
+	}
+	if len(cfg.Queries) == 0 {
+		return nil, nil, fmt.Errorf("bench serve: no queries configured")
+	}
+	base := cfg.Addr
+	var srv *server.Server
+	var ts *httptest.Server
+	var broker *admit.Broker
+	if base == "" {
+		if len(cfg.Catalog) == 0 {
+			return nil, nil, fmt.Errorf("bench serve: in-process run needs a catalog")
+		}
+		pool := cfg.GlobalMem
+		if pool <= 0 {
+			// Tight enough that a fleet of concurrent queries queues (and
+			// some shed under bursts), loose enough that progress is steady.
+			pool = 64 << 20
+		}
+		queueDepth := cfg.QueueDepth
+		if queueDepth <= 0 {
+			queueDepth = cfg.Clients
+		}
+		maxWait := cfg.MaxWait
+		if maxWait == 0 {
+			maxWait = 250 * time.Millisecond
+		}
+		broker = admit.NewBroker(admit.Config{
+			GlobalMem:       pool,
+			PerQueryDefault: pool / int64(max(2, cfg.Clients/2)),
+			MaxConcurrency:  cfg.MaxConcurrency,
+			QueueDepth:      queueDepth,
+			MaxWait:         maxWait,
+			StallWindow:     30 * time.Second,
+		})
+		defer broker.Close()
+		srv = server.New(server.Config{
+			Algo:   plan.BHJ,
+			Core:   cfg.Core,
+			Broker: broker,
+		}, cfg.Catalog)
+		ts = httptest.NewServer(srv)
+		defer ts.Close()
+		base = ts.URL
+	}
+
+	queries := cfg.Queries
+	warm := &server.Client{Base: base}
+	ctx := context.Background()
+	for _, q := range queries {
+		if _, err := warm.Query(ctx, q); err != nil {
+			if re, ok := err.(*server.RemoteError); ok && re.Overloaded() {
+				continue // warmup best-effort; the measured loop retries
+			}
+			return nil, nil, fmt.Errorf("bench serve: warmup %q: %w", q, err)
+		}
+	}
+
+	type clientTally struct {
+		latencies []time.Duration
+		sheds     int64
+		retries   int64
+		hits      int64
+		misses    int64
+		err       error
+	}
+	tallies := make([]clientTally, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			t := &tallies[ci]
+			cl := &server.Client{Base: base}
+			for it := 0; it < cfg.Iters; it++ {
+				q := queries[(ci+it)%len(queries)]
+				qs := time.Now()
+				for {
+					res, err := cl.Query(ctx, q)
+					if err != nil {
+						if re, ok := err.(*server.RemoteError); ok && re.Overloaded() {
+							t.sheds++
+							t.retries++
+							backoff := re.RetryAfter
+							if backoff <= 0 {
+								backoff = 10 * time.Millisecond
+							}
+							if backoff > time.Second {
+								backoff = time.Second
+							}
+							time.Sleep(backoff)
+							continue
+						}
+						t.err = fmt.Errorf("client %d iter %d: %w", ci, it, err)
+						return
+					}
+					if res.CacheHit() {
+						t.hits++
+					} else {
+						t.misses++
+					}
+					break
+				}
+				t.latencies = append(t.latencies, time.Since(qs))
+			}
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	out := &ServeOutcome{WallClock: wall}
+	var all []time.Duration
+	for i := range tallies {
+		t := &tallies[i]
+		if t.err != nil {
+			return nil, nil, fmt.Errorf("bench serve: %w", t.err)
+		}
+		all = append(all, t.latencies...)
+		out.Sheds += t.sheds
+		out.Retries += t.retries
+		out.CacheHits += t.hits
+		out.CacheMisses += t.misses
+	}
+	out.Completed = len(all)
+	if out.Completed > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		out.P50 = all[out.Completed/2]
+		out.P95 = all[out.Completed*95/100]
+		out.P99 = all[out.Completed*99/100]
+		out.QPS = float64(out.Completed) / wall.Seconds()
+	}
+	if hm := out.CacheHits + out.CacheMisses; hm > 0 {
+		out.HitRate = float64(out.CacheHits) / float64(hm)
+	}
+
+	// Server-side truth: the /statsz snapshot (covers warmup too).
+	st, err := (&server.Client{Base: base}).Statsz(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench serve: statsz: %w", err)
+	}
+
+	if srv != nil {
+		if clean := srv.Drain(10 * time.Second); !clean {
+			return nil, nil, fmt.Errorf("bench serve: drain grace exceeded with idle clients")
+		}
+		if inUse := broker.InUse(); inUse != 0 {
+			return nil, nil, fmt.Errorf("bench serve: broker leaked %d reserved bytes after drain", inUse)
+		}
+	}
+
+	tb := &Table{
+		Title: fmt.Sprintf("Query service: %d closed-loop clients x %d queries (mixed TPC-H traffic)",
+			cfg.Clients, cfg.Iters),
+		Header: []string{"metric", "value"},
+	}
+	tb.Add("completed", itoa(out.Completed))
+	tb.Add("QPS", fmt.Sprintf("%.1f", out.QPS))
+	tb.Add("p50 latency", fmt.Sprintf("%.2f ms", ms(out.P50)))
+	tb.Add("p95 latency", fmt.Sprintf("%.2f ms", ms(out.P95)))
+	tb.Add("p99 latency", fmt.Sprintf("%.2f ms", ms(out.P99)))
+	tb.Add("shed then retried", i64toa(out.Sheds))
+	tb.Add("plan cache hit rate (client view)", fmt.Sprintf("%.1f%%", out.HitRate*100))
+	tb.Add("plan cache hit rate (server lifetime)", fmt.Sprintf("%.1f%%", st.PlanCache.HitRate*100))
+	tb.Add("plan cache size", itoa(st.PlanCache.Size))
+	if st.Broker != nil {
+		tb.Add("admissions", i64toa(st.Broker.Admits))
+		tb.Add("sheds (server)", i64toa(st.Broker.Sheds))
+		tb.Add("stall kills", i64toa(st.Broker.StallKills))
+		tb.Add("pool in use after run", i64toa(st.Broker.InUse)+" B")
+	}
+	tb.Add("rows returned", i64toa(st.Meters.RowsReturned))
+	tb.Add("wall clock", fmt.Sprintf("%.2f s", wall.Seconds()))
+	return tb, out, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

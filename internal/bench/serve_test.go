@@ -1,0 +1,47 @@
+// The acceptance soak of the query service: 32 concurrent closed-loop
+// clients over mixed TPC-H traffic against a deliberately tight broker, so
+// shedding stays active throughout. Serve itself fails the run if the drain
+// is unclean or the broker pool does not balance to zero; the assertions
+// here cover completion, shedding, and the plan-cache hit rate. External
+// test package: bench cannot import tpch (tpch's experiments import bench).
+package bench_test
+
+import (
+	"testing"
+
+	"partitionjoin/internal/bench"
+	"partitionjoin/internal/tpch"
+)
+
+func TestServeSoak32Clients(t *testing.T) {
+	const clients, iters = 32, 5
+	_, out, err := bench.Serve(bench.ServeConfig{
+		Catalog: tpch.ServeCatalog(0.002),
+		Queries: tpch.ServeQueries(),
+		Clients: clients,
+		Iters:   iters,
+		// Two queries at a time with no queueing slack: any arrival that
+		// cannot run immediately is shed, so a 32-client burst keeps
+		// overload active and every shed client must recover by retrying
+		// with the server's suggested backoff.
+		GlobalMem:      32 << 20,
+		MaxConcurrency: 2,
+		MaxWait:        -1,
+	})
+	if err != nil {
+		t.Fatalf("serve soak: %v", err)
+	}
+	if want := clients * iters; out.Completed != want {
+		t.Fatalf("completed %d queries, want %d", out.Completed, want)
+	}
+	if out.Sheds == 0 {
+		t.Fatal("no sheds: the soak did not exercise overload")
+	}
+	// The warmup pass primes every distinct statement, so the measured loop
+	// must run almost entirely on cached plans.
+	if out.HitRate <= 0.9 {
+		t.Fatalf("plan-cache hit rate %.2f, want > 0.9", out.HitRate)
+	}
+	t.Logf("soak: %d completed, %d sheds (%d retries), %.1f QPS, p95 %v, hit rate %.1f%%",
+		out.Completed, out.Sheds, out.Retries, out.QPS, out.P95, out.HitRate*100)
+}

@@ -46,6 +46,15 @@ type Options struct {
 	// pool, so degradation and spill decisions consult it rather than the
 	// static MemBudget.
 	Broker *admit.Broker
+	// Reservation, when set, is an admission already granted by the caller:
+	// the executor uses it as the query's live budget (growable backing,
+	// watchdog progress counter) but neither admits nor releases — the
+	// caller owns the reservation's lifetime and must run the query under
+	// the context Broker.Admit returned, so the watchdog's cancel reaches
+	// the pipelines. This is how a server holds one reservation across
+	// execution AND result streaming, releasing only when the client has
+	// consumed (or abandoned) the rows. Takes precedence over Broker.
+	Reservation *admit.Reservation
 	// NoScanPushdown disables the filter-into-scan rewrite (zone-map
 	// pruning and raw-storage prefiltering); used by differential tests and
 	// A/B benchmarks. NoDictCodes likewise disables the dictionary

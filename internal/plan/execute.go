@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"time"
 
-	"partitionjoin/internal/admit"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/govern"
@@ -65,23 +64,42 @@ func (r *ExecResult) Throughput() float64 {
 // stuck-query watchdog; the reservation is released when the query ends on
 // any path.
 func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			res = nil
-			if e, ok := r.(error); ok {
-				err = fmt.Errorf("plan: %w", e)
-			} else {
-				err = fmt.Errorf("plan: %v", r)
-			}
+	defer recoverToErr(&res, &err)
+	p := Prepare(opts, root)
+	return p.run(ctx, opts)
+}
+
+// recoverToErr converts compile-time panics (unknown columns, malformed
+// trees) into errors; runtime worker panics are already contained by the
+// driver.
+func recoverToErr(res **ExecResult, err *error) {
+	if r := recover(); r != nil {
+		*res = nil
+		if e, ok := r.(error); ok {
+			*err = fmt.Errorf("plan: %w", e)
+		} else {
+			*err = fmt.Errorf("plan: %v", r)
 		}
-	}()
+	}
+}
+
+// run admits (or adopts the caller's reservation) and executes the prepared
+// tree. It is the shared core of ExecuteErr and Prepared.ExecuteErr; callers
+// must have a recoverToErr deferred.
+func (p *Prepared) run(ctx context.Context, opts Options) (*ExecResult, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var rsv *admit.Reservation
+	rsv := opts.Reservation
 	budget := opts.MemBudget
-	if opts.Broker != nil {
+	switch {
+	case rsv != nil:
+		// The caller admitted and keeps the reservation across whatever
+		// follows execution (e.g. streaming rows to a client); it runs us
+		// under the admitted context and releases when done.
+		budget = rsv.Bytes()
+	case opts.Broker != nil:
 		r, actx, aerr := opts.Broker.Admit(ctx, opts.MemBudget)
 		if aerr != nil {
 			return nil, fmt.Errorf("plan: %w", aerr)
@@ -101,16 +119,7 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 	if opts.Meter == nil {
 		opts.Meter = meter.New()
 	}
-	// Plan rewrites run before compilation: move pushable filter conjuncts
-	// into the scans (zone-map pruning + raw-storage prefiltering), then
-	// pack dictionary columns as codes through the join layers where that
-	// is provably transparent.
-	if !opts.NoScanPushdown {
-		root = pushdownFilters(root)
-	}
-	if !opts.NoDictCodes {
-		root = encodeDictCodes(root)
-	}
+	root := p.root
 	c := &compiler{opts: opts, gov: gov, workers: workers}
 	if opts.SpillDir != "" {
 		dir, derr := spill.NewDir(opts.SpillDir)
@@ -122,10 +131,10 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 		defer dir.Cleanup()
 		c.spillDir = dir
 	}
-	p := c.compile(root)
-	ts, caps := vecTypes(p.cols)
+	pp := c.compile(root)
+	ts, caps := vecTypes(pp.cols)
 	sink := &exec.CollectSink{Types: ts, Caps: caps, Gov: gov}
-	c.terminate(p, sink, "collect")
+	c.terminate(pp, sink, "collect")
 
 	d := exec.NewDriver(workers)
 	d.Meter = opts.Meter
@@ -143,7 +152,7 @@ func ExecuteErr(ctx context.Context, opts Options, root Node) (res *ExecResult, 
 	}
 	return &ExecResult{
 		Result:        sink.Result(),
-		Cols:          p.cols,
+		Cols:          pp.cols,
 		SourceRows:    d.SourceRows.Load(),
 		Duration:      time.Since(start),
 		Degraded:      gov.Events(),

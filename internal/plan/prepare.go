@@ -1,0 +1,75 @@
+package plan
+
+import "context"
+
+// Prepared is a reusable compiled plan: the plan rewrites (filter pushdown
+// into scans, dictionary code packing) run once at Prepare time, and the
+// rewritten tree is executed many times — the parse+plan-once-execute-many
+// contract behind the query service's plan cache. The rewrite passes copy
+// nodes rather than mutating them and execution builds all per-query state
+// (joins, pipelines, governors) inside the compiler, so one Prepared may be
+// executed from many goroutines concurrently.
+//
+// Which rewrites ran is snapshotted from the Options given to Prepare; the
+// NoScanPushdown/NoDictCodes gates of the per-execution Options are ignored
+// (the tree is already rewritten). Everything else — workers, algorithm,
+// memory budget, spill dir, broker or adopted reservation, meter — is an
+// execution-time choice and may differ per call.
+type Prepared struct {
+	root Node
+	cols []ColRef
+	// snapshot of the plan-shaping gates at Prepare time
+	scanPushdown bool
+	dictCodes    bool
+}
+
+// Prepare applies the plan rewrites under the given options and returns the
+// reusable plan. Malformed trees panic here (as Execute always has); callers
+// wanting an error instead use PrepareErr.
+func Prepare(opts Options, root Node) *Prepared {
+	if !opts.NoScanPushdown {
+		root = pushdownFilters(root)
+	}
+	if !opts.NoDictCodes {
+		root = encodeDictCodes(root)
+	}
+	return &Prepared{
+		root:         root,
+		cols:         root.Columns(),
+		scanPushdown: !opts.NoScanPushdown,
+		dictCodes:    !opts.NoDictCodes,
+	}
+}
+
+// PrepareErr is Prepare with compile-time panics (unknown columns, malformed
+// trees) converted to errors — the form servers use, where a bad query must
+// become a 4xx response rather than a crash.
+func PrepareErr(opts Options, root Node) (p *Prepared, err error) {
+	defer func() {
+		var sink *ExecResult
+		recoverToErr(&sink, &err)
+	}()
+	return Prepare(opts, root), nil
+}
+
+// Columns returns the output schema of the prepared plan.
+func (p *Prepared) Columns() []ColRef { return p.cols }
+
+// ScanPushdown reports whether the filter-into-scan rewrite ran at Prepare
+// time; DictCodes likewise for dictionary code packing. The plan cache keys
+// on these so an A/B-gated session never executes a differently-rewritten
+// plan than it asked for.
+func (p *Prepared) ScanPushdown() bool { return p.scanPushdown }
+
+// DictCodes reports whether the dictionary code-packing rewrite ran.
+func (p *Prepared) DictCodes() bool { return p.dictCodes }
+
+// ExecuteErr runs the prepared plan once under ctx. It has exactly the
+// semantics of the package-level ExecuteErr minus the rewrite passes:
+// admission (Options.Broker) or an adopted reservation
+// (Options.Reservation), governor, spill, cancellation, and panic
+// containment all apply per execution.
+func (p *Prepared) ExecuteErr(ctx context.Context, opts Options) (res *ExecResult, err error) {
+	defer recoverToErr(&res, &err)
+	return p.run(ctx, opts)
+}

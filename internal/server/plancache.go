@@ -1,0 +1,107 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"partitionjoin/internal/plan"
+)
+
+// PlanCache is a bounded LRU of prepared statements keyed on normalized SQL
+// (plus catalog version and rewrite gates — see Server.cacheKey). Parse and
+// plan run once per distinct statement; repeated traffic executes the cached
+// plan. Entries referencing re-registered tables become unreachable when the
+// catalog version bumps and age out of the LRU; Purge drops everything at
+// once (table reload).
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	byKey   map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type cacheEntry struct {
+	key string
+	p   *plan.Prepared
+}
+
+// NewPlanCache builds a cache holding at most capacity plans (<= 0 uses 128).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &PlanCache{cap: capacity, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns the cached plan for key, marking it most recently used.
+func (c *PlanCache) Get(key string) (*plan.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).p, true
+}
+
+// Put inserts (or refreshes) a plan, evicting the least recently used entry
+// past capacity. Concurrent fills of the same key keep the newest.
+func (c *PlanCache) Put(key string, p *plan.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).p = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, p: p})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// Purge empties the cache (table re-registration invalidates every plan that
+// might reference the replaced storage).
+func (c *PlanCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.byKey = make(map[string]*list.Element)
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// CacheStats is the snapshot exported by /statsz.
+type CacheStats struct {
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Evicted  int64   `json:"evicted"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// Stats returns hit/miss/eviction counters and the lifetime hit rate.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{Size: c.lru.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses, Evicted: c.evicted}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,741 @@
+// Package server is the query service layer of the engine: a long-lived,
+// concurrent SQL-over-HTTP daemon wrapping the single-process stack (SQL
+// frontend → plan → admission → governed execution → spill) the earlier
+// layers built. It owns what a network service needs and a one-shot CLI
+// never did:
+//
+//   - session lifecycle: clients create sessions carrying per-session
+//     defaults (memory budget, timeout, join algorithm, rewrite A/B gates)
+//     and a private spill directory, expired by a janitor when idle;
+//   - a bounded LRU prepared-statement cache keyed on normalized SQL —
+//     parse and plan once, execute many — invalidated when a table is
+//     re-registered;
+//   - chunked NDJSON row streaming with mid-stream client-disconnect
+//     cancellation through the request context, the admission reservation
+//     held until the last row is consumed;
+//   - typed error mapping: overload → 429 with Retry-After, deadline → 408,
+//     client cancel → 499, watchdog stall and contained panics → 5xx, every
+//     response naming the query ID;
+//   - graceful drain: stop accepting, let in-flight queries finish inside a
+//     grace window, then cancel-cause the stragglers;
+//   - introspection: /healthz flips during drain, /statsz exports broker
+//     pool state, queue depth, shed counts, plan-cache hit rate, session
+//     counts, and aggregated execution meters.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partitionjoin/internal/admit"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/sql"
+	"partitionjoin/internal/storage"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for "the client
+// went away before the response"; it can never reach that client, but it is
+// what the access log and the error counters record.
+const StatusClientClosedRequest = 499
+
+// Config sizes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the per-query pipeline parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Algo is the default join algorithm for sessions that do not choose.
+	Algo plan.JoinAlgo
+	// Core tunes the radix joins; the zero value uses core.DefaultConfig().
+	Core core.Config
+	// MemBudget is the default per-query budget request in bytes.
+	MemBudget int64
+	// Timeout is the default per-query deadline (0 = none).
+	Timeout time.Duration
+	// SpillDir, when set, arms spilling; sessions get private subtrees.
+	SpillDir string
+	// PlanCacheSize bounds the prepared-statement LRU (<= 0 uses 128).
+	PlanCacheSize int
+	// SessionTTL expires idle sessions (<= 0 uses 10 minutes).
+	SessionTTL time.Duration
+	// JanitorInterval is the session-expiry sweep period (<= 0 uses
+	// SessionTTL/4, min 100ms).
+	JanitorInterval time.Duration
+	// Broker routes queries through process-wide admission control; nil
+	// runs unarbitrated. The server does not close it — the owner does.
+	Broker *admit.Broker
+	// StreamChunk is the number of rows encoded between flush/cancellation
+	// checks while streaming (<= 0 uses 256).
+	StreamChunk int
+}
+
+// queryCounters aggregates lifetime outcomes for /statsz.
+type queryCounters struct {
+	Total      atomic.Int64
+	Active     atomic.Int64
+	OK         atomic.Int64
+	BadRequest atomic.Int64
+	Overloaded atomic.Int64
+	Timeout    atomic.Int64
+	Canceled   atomic.Int64
+	Stalled    atomic.Int64
+	Internal   atomic.Int64
+}
+
+// execMeters aggregates ExecResult meters across all queries.
+type execMeters struct {
+	RowsReturned    atomic.Int64
+	SourceRows      atomic.Int64
+	SpilledBytes    atomic.Int64
+	DegradedEvents  atomic.Int64
+	MorselsPruned   atomic.Int64
+	BatchesPruned   atomic.Int64
+	RowsPrefiltered atomic.Int64
+}
+
+// Server is the query service. Construct with New, serve it as an
+// http.Handler, and end it with Drain.
+type Server struct {
+	cfg   Config
+	cache *PlanCache
+	mux   *http.ServeMux
+
+	mu         sync.Mutex
+	cat        sql.Catalog // replaced wholesale on RegisterTable (copy-on-write)
+	catVersion int64
+	sessions   map[string]*session
+	draining   bool
+	inflightN  int
+	idleCh     chan struct{} // closed when draining && inflightN == 0
+
+	baseCtx    context.Context // cancelled to hard-stop in-flight queries
+	baseCancel context.CancelCauseFunc
+	bg         sync.WaitGroup // janitor and other background loops
+
+	sessionSeq      atomic.Int64
+	sessionsExpired atomic.Int64
+	queryID         atomic.Int64
+	counters        queryCounters
+	meters          execMeters
+	started         time.Time
+}
+
+// New builds a server over the given catalog. The catalog map is copied;
+// use RegisterTable to change it afterwards.
+func New(cfg Config, cat sql.Catalog) *Server {
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 10 * time.Minute
+	}
+	if cfg.JanitorInterval <= 0 {
+		cfg.JanitorInterval = cfg.SessionTTL / 4
+		if cfg.JanitorInterval < 100*time.Millisecond {
+			cfg.JanitorInterval = 100 * time.Millisecond
+		}
+	}
+	if cfg.StreamChunk <= 0 {
+		cfg.StreamChunk = 256
+	}
+	if cfg.Core == (core.Config{}) {
+		cfg.Core = core.DefaultConfig()
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewPlanCache(cfg.PlanCacheSize),
+		cat:      make(sql.Catalog, len(cat)),
+		sessions: make(map[string]*session),
+		idleCh:   make(chan struct{}),
+		started:  time.Now(),
+	}
+	for k, v := range cat {
+		s.cat[strings.ToLower(k)] = v
+	}
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/session", s.handleSession)
+	s.mux.HandleFunc("/session/", s.handleSession)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.bg.Add(1)
+	go s.sessionJanitor(cfg.JanitorInterval)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Broker exposes the admission broker (nil when unarbitrated) so harnesses
+// can assert pool balance after drain.
+func (s *Server) Broker() *admit.Broker { return s.cfg.Broker }
+
+// RegisterTable replaces (or adds) a table in the catalog and invalidates
+// the plan cache: every cached plan compiled against the previous storage
+// generation is unreachable afterwards — re-registration is how a table
+// reload becomes visible, and a stale plan must never read freed columns.
+func (s *Server) RegisterTable(t *storage.Table) {
+	s.mu.Lock()
+	next := make(sql.Catalog, len(s.cat)+1)
+	for k, v := range s.cat {
+		next[k] = v
+	}
+	next[strings.ToLower(t.Name)] = t
+	s.cat = next
+	s.catVersion++
+	s.mu.Unlock()
+	s.cache.Purge()
+}
+
+// catalog returns the current catalog generation and its version.
+func (s *Server) catalog() (sql.Catalog, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cat, s.catVersion
+}
+
+// ErrDraining is the cancel cause installed when the drain grace period
+// expires with queries still running.
+var ErrDraining = errors.New("server: draining, grace period exceeded")
+
+// Drain gracefully stops the server: new queries are refused with 503,
+// in-flight queries may finish within grace, and any still running after
+// that are cancelled through their contexts with ErrDraining as the cause.
+// It returns true when every query finished inside the grace window (a
+// "clean" drain) and false when stragglers had to be cancelled. Drain
+// blocks until the last handler has returned and background loops have
+// stopped; it is idempotent.
+func (s *Server) Drain(grace time.Duration) bool {
+	s.mu.Lock()
+	alreadyIdle := false
+	if !s.draining {
+		s.draining = true
+		if s.inflightN == 0 {
+			close(s.idleCh)
+			alreadyIdle = true
+		}
+	}
+	s.mu.Unlock()
+
+	clean := true
+	if !alreadyIdle {
+		timer := time.NewTimer(grace)
+		select {
+		case <-s.idleCh:
+			timer.Stop()
+		case <-timer.C:
+			clean = false
+			s.baseCancel(ErrDraining)
+			<-s.idleCh
+		}
+	}
+	s.baseCancel(ErrDraining) // stops the janitor; no-op if already cancelled
+	s.bg.Wait()
+	// Reclaim every session's spill tree on the way out.
+	s.mu.Lock()
+	sessions := s.sessions
+	s.sessions = map[string]*session{}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.destroy()
+	}
+	return clean
+}
+
+// enter registers an in-flight query; it fails when draining.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflightN++
+	return true
+}
+
+// leave balances enter and wakes Drain when the last query ends.
+func (s *Server) leave() {
+	s.mu.Lock()
+	s.inflightN--
+	if s.draining && s.inflightN == 0 {
+		close(s.idleCh)
+	}
+	s.mu.Unlock()
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL     string `json:"sql"`
+	Session string `json:"session,omitempty"`
+	// Overrides (optional; session defaults, then server defaults apply).
+	MemBudget int64 `json:"mem_budget,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Stream    bool  `json:"stream,omitempty"`
+}
+
+// colMeta describes one result column on the wire.
+type colMeta struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// queryStats is the per-query meter block of a response.
+type queryStats struct {
+	DurationMS   float64  `json:"duration_ms"`
+	SourceRows   int64    `json:"source_rows"`
+	Reserved     int64    `json:"reserved_bytes,omitempty"`
+	AdmitWaitMS  float64  `json:"admit_wait_ms,omitempty"`
+	MemPeak      int64    `json:"mem_peak_bytes,omitempty"`
+	Degraded     []string `json:"degraded,omitempty"`
+	SpilledBytes int64    `json:"spilled_bytes,omitempty"`
+	PlanCache    string   `json:"plan_cache"` // "hit" or "miss"
+}
+
+// errorBody is every non-2xx response.
+type errorBody struct {
+	Error        string `json:"error"`
+	QueryID      string `json:"query_id,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// writeError emits the JSON error body with the mapped status and counts it.
+func (s *Server) writeError(w http.ResponseWriter, qid string, status int, err error) {
+	body := errorBody{Error: err.Error(), QueryID: qid}
+	var oe *admit.OverloadError
+	if errors.As(err, &oe) {
+		body.RetryAfterMS = oe.RetryAfter.Milliseconds()
+		secs := int64(oe.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	switch status {
+	case http.StatusBadRequest:
+		s.counters.BadRequest.Add(1)
+	case http.StatusTooManyRequests:
+		s.counters.Overloaded.Add(1)
+	case http.StatusRequestTimeout:
+		s.counters.Timeout.Add(1)
+	case StatusClientClosedRequest:
+		s.counters.Canceled.Add(1)
+	default:
+		if errors.Is(err, admit.ErrStalled) {
+			s.counters.Stalled.Add(1)
+		} else {
+			s.counters.Internal.Add(1)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// statusFor maps an execution error onto its HTTP status. The qctx lets a
+// generic context error be attributed: a dead request context means the
+// client went away (499), a drain cancellation or watchdog kill is the
+// server's doing.
+func statusFor(err error, reqDone bool) int {
+	switch {
+	case errors.Is(err, admit.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	case errors.Is(err, admit.ErrStalled):
+		return http.StatusInternalServerError
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		if reqDone {
+			return StatusClientClosedRequest
+		}
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// cacheKey builds the plan-cache key: catalog generation, the two rewrite
+// gates that shape the prepared tree, and the normalized statement. The
+// join algorithm and all resource knobs are execution-time and deliberately
+// absent — sessions differing only in them share one plan.
+func cacheKey(catVersion int64, noPush, noDict bool, normalized string) string {
+	return fmt.Sprintf("v%d|p%t|d%t|%s", catVersion, noPush, noDict, normalized)
+}
+
+// handleQuery is POST /query: resolve session, prepare (or fetch) the plan,
+// admit, execute, and deliver rows as one JSON document or an NDJSON stream.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.enter() {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, "", http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	defer s.leave()
+	s.counters.Total.Add(1)
+	s.counters.Active.Add(1)
+	defer s.counters.Active.Add(-1)
+
+	qid := fmt.Sprintf("q%d", s.queryID.Add(1))
+	w.Header().Set("X-Query-ID", qid)
+
+	var req queryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, qid, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		s.writeError(w, qid, http.StatusBadRequest, errors.New("empty sql"))
+		return
+	}
+	if h := r.Header.Get("X-Session"); h != "" && req.Session == "" {
+		req.Session = h
+	}
+	stream := req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+
+	// Session resolution: defaults layer under per-request overrides.
+	var defaults SessionDefaults
+	var sess *session
+	if req.Session != "" {
+		var err error
+		sess, err = s.lookupSession(req.Session)
+		if err != nil {
+			s.writeError(w, qid, http.StatusBadRequest, err)
+			return
+		}
+		defaults = sess.defaults
+	}
+	budget := s.cfg.MemBudget
+	if defaults.MemBudget > 0 {
+		budget = defaults.MemBudget
+	}
+	if req.MemBudget > 0 {
+		budget = req.MemBudget
+	}
+	timeout := s.cfg.Timeout
+	if defaults.TimeoutMS > 0 {
+		timeout = time.Duration(defaults.TimeoutMS) * time.Millisecond
+	}
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	algo, _ := parseAlgo(defaults.Algo)
+
+	// Plan cache: normalized SQL + catalog generation + rewrite gates.
+	normalized, err := sql.Normalize(req.SQL)
+	if err != nil {
+		s.writeError(w, qid, http.StatusBadRequest, err)
+		return
+	}
+	cat, catVersion := s.catalog()
+	key := cacheKey(catVersion, defaults.NoScanPushdown, defaults.NoDictCodes, normalized)
+	gateOpts := plan.Options{NoScanPushdown: defaults.NoScanPushdown, NoDictCodes: defaults.NoDictCodes}
+	prepared, cached := s.cache.Get(key)
+	if !cached {
+		prepared, err = sql.Prepare(cat, req.SQL, gateOpts)
+		if err != nil {
+			s.writeError(w, qid, http.StatusBadRequest, err)
+			return
+		}
+		s.cache.Put(key, prepared)
+	}
+
+	// Query context: dies with the client (request context), the drain
+	// deadline (base context), or the per-query timeout.
+	qctx, qcancel := context.WithCancelCause(r.Context())
+	defer qcancel(nil)
+	stopDrainWatch := context.AfterFunc(s.baseCtx, func() {
+		qcancel(context.Cause(s.baseCtx))
+	})
+	defer stopDrainWatch()
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		qctx, tcancel = context.WithTimeout(qctx, timeout)
+		defer tcancel()
+	}
+
+	opts := plan.Options{
+		Workers: s.cfg.Workers, Algo: algo, Core: s.cfg.Core,
+		MemBudget:      budget,
+		NoScanPushdown: defaults.NoScanPushdown, NoDictCodes: defaults.NoDictCodes,
+	}
+	if s.cfg.SpillDir != "" {
+		opts.SpillDir = s.cfg.SpillDir
+		if sess != nil {
+			dir, derr := sess.spillParent(s.cfg.SpillDir)
+			if derr != nil {
+				s.writeError(w, qid, http.StatusInternalServerError, derr)
+				return
+			}
+			opts.SpillDir = dir
+		}
+	}
+
+	// Admission: the server holds the reservation itself so it spans both
+	// execution and row streaming — a client that disconnects mid-stream
+	// releases pool memory the moment the handler unwinds, not when some
+	// timeout fires.
+	if s.cfg.Broker != nil {
+		rsv, actx, aerr := s.cfg.Broker.Admit(qctx, budget)
+		if aerr != nil {
+			s.writeError(w, qid, statusFor(aerr, r.Context().Err() != nil), aerr)
+			return
+		}
+		defer rsv.Release()
+		opts.Reservation = rsv
+		qctx = actx
+	}
+
+	res, err := prepared.ExecuteErr(qctx, opts)
+	if err != nil {
+		s.writeError(w, qid, statusFor(err, r.Context().Err() != nil), err)
+		return
+	}
+	s.counters.OK.Add(1)
+	s.recordMeters(res)
+
+	stats := queryStats{
+		DurationMS:   float64(res.Duration.Microseconds()) / 1000,
+		SourceRows:   res.SourceRows,
+		Reserved:     res.Reserved,
+		AdmitWaitMS:  float64(res.AdmitWait.Microseconds()) / 1000,
+		MemPeak:      res.MemPeak,
+		Degraded:     res.Degraded,
+		SpilledBytes: res.Spill.SpilledBytes,
+		PlanCache:    map[bool]string{true: "hit", false: "miss"}[cached],
+	}
+	cols := make([]colMeta, len(res.Cols))
+	for i, c := range res.Cols {
+		cols[i] = colMeta{Name: c.Name, Type: res.Result.Vecs[i].T.String()}
+	}
+	if stream {
+		s.streamResult(qctx, w, qid, cols, res, stats)
+	} else {
+		s.writeResult(w, qid, cols, res, stats)
+	}
+}
+
+// recordMeters folds one query's ExecResult into the lifetime aggregates.
+func (s *Server) recordMeters(res *plan.ExecResult) {
+	s.meters.RowsReturned.Add(int64(res.Result.NumRows()))
+	s.meters.SourceRows.Add(res.SourceRows)
+	s.meters.SpilledBytes.Add(res.Spill.SpilledBytes)
+	s.meters.DegradedEvents.Add(int64(len(res.Degraded)) + res.DroppedEvents)
+	s.meters.MorselsPruned.Add(res.Scan.MorselsPruned)
+	s.meters.BatchesPruned.Add(res.Scan.BatchesPruned)
+	s.meters.RowsPrefiltered.Add(res.Scan.RowsPrefiltered)
+}
+
+// rowValue extracts row i of vector v as a JSON-encodable value.
+func rowValue(v *exec.Vector, i int) any {
+	switch v.T {
+	case storage.Float64:
+		return v.F64[i]
+	case storage.String:
+		return string(v.Str[i])
+	default:
+		return v.I64[i]
+	}
+}
+
+// writeResult delivers the whole result as one JSON document.
+func (s *Server) writeResult(w http.ResponseWriter, qid string, cols []colMeta, res *plan.ExecResult, stats queryStats) {
+	n := res.Result.NumRows()
+	rows := make([][]any, n)
+	for i := 0; i < n; i++ {
+		row := make([]any, len(res.Result.Vecs))
+		for c := range res.Result.Vecs {
+			row[c] = rowValue(&res.Result.Vecs[c], i)
+		}
+		rows[i] = row
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		QueryID  string     `json:"query_id"`
+		Cols     []colMeta  `json:"cols"`
+		Rows     [][]any    `json:"rows"`
+		RowCount int        `json:"row_count"`
+		Stats    queryStats `json:"stats"`
+	}{qid, cols, rows, n, stats})
+}
+
+// streamResult delivers rows as NDJSON: a header object, one JSON array per
+// row, then a trailer object with the row count and meters. Rows go out in
+// chunks of cfg.StreamChunk with a flush and a cancellation check between
+// chunks, so a disconnected client stops the stream (and releases the
+// admission reservation, held by the handler) within one chunk.
+func (s *Server) streamResult(ctx context.Context, w http.ResponseWriter, qid string, cols []colMeta, res *plan.ExecResult, stats queryStats) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(struct {
+		QueryID string    `json:"query_id"`
+		Cols    []colMeta `json:"cols"`
+	}{qid, cols}); err != nil {
+		return
+	}
+	n := res.Result.NumRows()
+	row := make([]any, len(res.Result.Vecs))
+	for i := 0; i < n; i++ {
+		for c := range res.Result.Vecs {
+			row[c] = rowValue(&res.Result.Vecs[c], i)
+		}
+		if err := enc.Encode(row); err != nil {
+			return // client went away; handler unwinds, reservation releases
+		}
+		if (i+1)%s.cfg.StreamChunk == 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ctx.Err() != nil {
+				s.counters.Canceled.Add(1)
+				return
+			}
+		}
+	}
+	enc.Encode(struct {
+		RowCount int        `json:"row_count"`
+		Stats    queryStats `json:"stats"`
+	}{n, stats})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// sessionResponse is the POST /session reply.
+type sessionResponse struct {
+	Session string `json:"session"`
+	TTLMS   int64  `json:"ttl_ms"`
+}
+
+// handleSession creates (POST /session) and deletes (DELETE /session/<id>).
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		if !s.enter() {
+			s.writeError(w, "", http.StatusServiceUnavailable, errors.New("server is draining"))
+			return
+		}
+		defer s.leave()
+		var d SessionDefaults
+		if r.Body != nil {
+			if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&d); err != nil && err != io.EOF {
+				s.writeError(w, "", http.StatusBadRequest, fmt.Errorf("bad session body: %w", err))
+				return
+			}
+		}
+		sess, err := s.createSession(d)
+		if err != nil {
+			s.writeError(w, "", http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(sessionResponse{Session: sess.id, TTLMS: s.cfg.SessionTTL.Milliseconds()})
+	case http.MethodDelete:
+		id := strings.TrimPrefix(r.URL.Path, "/session/")
+		if id == "" || id == "/session" {
+			id = r.URL.Query().Get("id")
+		}
+		if !s.dropSession(id) {
+			s.writeError(w, "", http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "POST or DELETE", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleHealthz is the load-balancer probe: 200 while serving, 503 while
+// draining so traffic shifts away before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// ServerStats is the /statsz document.
+type ServerStats struct {
+	UptimeSec       float64      `json:"uptime_sec"`
+	Draining        bool         `json:"draining"`
+	Sessions        int          `json:"sessions"`
+	SessionsExpired int64        `json:"sessions_expired"`
+	Broker          *admit.Stats `json:"broker,omitempty"`
+	PlanCache       CacheStats   `json:"plan_cache"`
+	Queries         struct {
+		Total      int64 `json:"total"`
+		Active     int64 `json:"active"`
+		OK         int64 `json:"ok"`
+		BadRequest int64 `json:"bad_request"`
+		Overloaded int64 `json:"overloaded"`
+		Timeout    int64 `json:"timeout"`
+		Canceled   int64 `json:"canceled"`
+		Stalled    int64 `json:"stalled"`
+		Internal   int64 `json:"internal"`
+	} `json:"queries"`
+	Meters struct {
+		RowsReturned    int64 `json:"rows_returned"`
+		SourceRows      int64 `json:"source_rows"`
+		SpilledBytes    int64 `json:"spilled_bytes"`
+		DegradedEvents  int64 `json:"degraded_events"`
+		MorselsPruned   int64 `json:"morsels_pruned"`
+		BatchesPruned   int64 `json:"batches_pruned"`
+		RowsPrefiltered int64 `json:"rows_prefiltered"`
+	} `json:"meters"`
+}
+
+// Stats snapshots the server's introspection surface (also available over
+// HTTP at /statsz).
+func (s *Server) Stats() ServerStats {
+	var st ServerStats
+	st.UptimeSec = time.Since(s.started).Seconds()
+	s.mu.Lock()
+	st.Draining = s.draining
+	st.Sessions = len(s.sessions)
+	s.mu.Unlock()
+	st.SessionsExpired = s.sessionsExpired.Load()
+	if s.cfg.Broker != nil {
+		bs := s.cfg.Broker.Stats()
+		st.Broker = &bs
+	}
+	st.PlanCache = s.cache.Stats()
+	st.Queries.Total = s.counters.Total.Load()
+	st.Queries.Active = s.counters.Active.Load()
+	st.Queries.OK = s.counters.OK.Load()
+	st.Queries.BadRequest = s.counters.BadRequest.Load()
+	st.Queries.Overloaded = s.counters.Overloaded.Load()
+	st.Queries.Timeout = s.counters.Timeout.Load()
+	st.Queries.Canceled = s.counters.Canceled.Load()
+	st.Queries.Stalled = s.counters.Stalled.Load()
+	st.Queries.Internal = s.counters.Internal.Load()
+	st.Meters.RowsReturned = s.meters.RowsReturned.Load()
+	st.Meters.SourceRows = s.meters.SourceRows.Load()
+	st.Meters.SpilledBytes = s.meters.SpilledBytes.Load()
+	st.Meters.DegradedEvents = s.meters.DegradedEvents.Load()
+	st.Meters.MorselsPruned = s.meters.MorselsPruned.Load()
+	st.Meters.BatchesPruned = s.meters.BatchesPruned.Load()
+	st.Meters.RowsPrefiltered = s.meters.RowsPrefiltered.Load()
+	return st
+}
+
+// handleStatsz serves the stats snapshot as JSON.
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}

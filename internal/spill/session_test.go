@@ -1,0 +1,123 @@
+package spill
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSessionParentLifecycle(t *testing.T) {
+	parent := t.TempDir()
+	dir, err := SessionParent(parent, "s1")
+	if err != nil {
+		t.Fatalf("SessionParent: %v", err)
+	}
+	if filepath.Base(dir) != "sess-s1" {
+		t.Fatalf("session dir = %s, want sess-s1", dir)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ownerFile)); err != nil {
+		t.Fatalf("owner marker missing: %v", err)
+	}
+	// Idempotent: a second call reuses the directory.
+	again, err := SessionParent(parent, "s1")
+	if err != nil || again != dir {
+		t.Fatalf("second SessionParent = %s, %v", again, err)
+	}
+
+	// A query spill dir nests inside and is reclaimed with the parent.
+	qd, err := NewDir(dir)
+	if err != nil {
+		t.Fatalf("NewDir under session: %v", err)
+	}
+	if err := RemoveSessionParent(dir); err != nil {
+		t.Fatalf("RemoveSessionParent: %v", err)
+	}
+	if _, err := os.Stat(qd.Path()); !os.IsNotExist(err) {
+		t.Fatalf("query spill dir survived session removal: %v", err)
+	}
+	// Missing directory is not an error.
+	if err := RemoveSessionParent(dir); err != nil {
+		t.Fatalf("repeat RemoveSessionParent: %v", err)
+	}
+}
+
+func TestSessionParentRejectsBadInput(t *testing.T) {
+	if _, err := SessionParent(t.TempDir(), ""); err == nil {
+		t.Fatal("empty session id accepted")
+	}
+	if _, err := SessionParent(t.TempDir(), "../evil"); err == nil {
+		t.Fatal("path traversal in session id accepted")
+	}
+	if err := RemoveSessionParent(filepath.Join(t.TempDir(), "not-a-session")); err == nil {
+		t.Fatal("RemoveSessionParent accepted a non-session directory")
+	}
+}
+
+// deadOwner overwrites a directory's owner marker with a pid that cannot be
+// running (pid_max on Linux is bounded well below 1<<30).
+func deadOwner(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, ownerFile), []byte("1073741823"), 0o600); err != nil {
+		t.Fatalf("write dead owner: %v", err)
+	}
+}
+
+func TestSweepSessionTrees(t *testing.T) {
+	parent := t.TempDir()
+
+	// A dead session: the whole tree goes.
+	deadSess, err := SessionParent(parent, "dead")
+	if err != nil {
+		t.Fatalf("SessionParent: %v", err)
+	}
+	if _, err := NewDir(deadSess); err != nil {
+		t.Fatalf("NewDir: %v", err)
+	}
+	deadOwner(t, deadSess)
+
+	// A live session holding one live and one orphaned query dir: only the
+	// orphan goes (recursive sweep).
+	liveSess, err := SessionParent(parent, "live")
+	if err != nil {
+		t.Fatalf("SessionParent: %v", err)
+	}
+	liveQ, err := NewDir(liveSess)
+	if err != nil {
+		t.Fatalf("NewDir: %v", err)
+	}
+	orphanQ, err := NewDir(liveSess)
+	if err != nil {
+		t.Fatalf("NewDir: %v", err)
+	}
+	deadOwner(t, orphanQ.Path())
+
+	// An unrelated directory must never be touched.
+	bystander := filepath.Join(parent, "keep-me")
+	if err := os.MkdirAll(bystander, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := Sweep(parent)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	got := map[string]bool{}
+	for _, r := range removed {
+		got[r] = true
+	}
+	if !got[deadSess] || !got[orphanQ.Path()] || len(removed) != 2 {
+		t.Fatalf("Sweep removed %v, want exactly [%s %s]", removed, deadSess, orphanQ.Path())
+	}
+	for _, keep := range []string{liveSess, liveQ.Path(), bystander} {
+		if _, err := os.Stat(keep); err != nil {
+			t.Fatalf("Sweep removed %s, which is live: %v", keep, err)
+		}
+	}
+	// The live session dir's name still carries the prefix the janitor keys
+	// on, so a daemon restart (same path, new pid) re-adopts it via
+	// SessionParent rather than colliding.
+	if !strings.HasPrefix(filepath.Base(liveSess), "sess-") {
+		t.Fatalf("live session dir lost its prefix: %s", liveSess)
+	}
+}

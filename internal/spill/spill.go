@@ -87,11 +87,52 @@ func NewDir(parent string) (*Dir, error) {
 	return &Dir{path: path, files: make(map[string]*File)}, nil
 }
 
+// sessPrefix names per-session spill parents (SessionParent) so the janitor
+// can recognize and recurse into them.
+const sessPrefix = "sess-"
+
+// SessionParent creates (or reuses) a per-session spill parent under parent:
+// a directory named sess-<id> carrying this process's owner marker. Queries
+// of the session use it as their Options.SpillDir, so each query's private
+// spill-* directory nests inside it; removing the session parent reclaims
+// every byte the session ever spilled in one call. Because it carries an
+// owner marker, Sweep reclaims the whole session tree when the owning
+// process crashes.
+func SessionParent(parent, id string) (string, error) {
+	if strings.ContainsAny(id, "/\\") || id == "" {
+		return "", fmt.Errorf("spill: invalid session id %q", id)
+	}
+	dir := filepath.Join(parent, sessPrefix+id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("spill: create session dir %s: %w", dir, err)
+	}
+	pid := []byte(strconv.Itoa(os.Getpid()))
+	if err := os.WriteFile(filepath.Join(dir, ownerFile), pid, 0o600); err != nil {
+		os.RemoveAll(dir)
+		return "", fmt.Errorf("spill: write owner marker: %w", err)
+	}
+	return dir, nil
+}
+
+// RemoveSessionParent deletes a session's spill parent and everything the
+// session spilled beneath it. A missing directory is not an error.
+func RemoveSessionParent(dir string) error {
+	base := filepath.Base(dir)
+	if !strings.HasPrefix(base, sessPrefix) {
+		return fmt.Errorf("spill: %s is not a session spill dir", dir)
+	}
+	return os.RemoveAll(dir)
+}
+
 // Sweep is the stale-spill janitor: it scans parent for spill directories
 // whose owning process no longer exists — leftovers of a crash, which the
-// normal deferred Cleanup can never reach — and removes them. Directories
-// owned by live processes (including this one) are untouched. It returns
-// the paths removed; a missing parent is not an error (nothing to clean).
+// normal deferred Cleanup can never reach — and removes them. Per-session
+// parents (SessionParent) are reclaimed whole when their owner is dead and
+// swept recursively when alive, so a live daemon's periodic re-sweep also
+// reclaims query dirs orphaned inside its own sessions by an earlier
+// incarnation. Directories owned by live processes (including this one)
+// are untouched. It returns the paths removed; a missing parent is not an
+// error (nothing to clean).
 func Sweep(parent string) ([]string, error) {
 	ents, err := os.ReadDir(parent)
 	if errors.Is(err, os.ErrNotExist) {
@@ -103,11 +144,27 @@ func Sweep(parent string) ([]string, error) {
 	var removed []string
 	var firstErr error
 	for _, ent := range ents {
-		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), dirPrefix) {
+		if !ent.IsDir() {
 			continue
 		}
 		dir := filepath.Join(parent, ent.Name())
-		if ownerAlive(dir) {
+		switch {
+		case strings.HasPrefix(ent.Name(), sessPrefix):
+			if ownerAlive(dir) {
+				// Live session: its query subdirectories may still be
+				// stale (a previous daemon's pid can recycle), so recurse.
+				sub, err := Sweep(dir)
+				removed = append(removed, sub...)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+		case strings.HasPrefix(ent.Name(), dirPrefix):
+			if ownerAlive(dir) {
+				continue
+			}
+		default:
 			continue
 		}
 		if err := os.RemoveAll(dir); err != nil {

@@ -1,0 +1,57 @@
+package sql
+
+import "strings"
+
+// Normalize canonicalizes a query's text for use as a plan-cache key:
+// whitespace collapses to single separators, identifiers and keywords fold
+// to lower case, and string literals are preserved byte-for-byte inside
+// their quotes. Two queries that normalize equally parse to the same AST,
+// so a cache keyed on the normalized text can serve either from one
+// prepared plan. Lexing errors surface so callers can reject the query
+// before touching the cache.
+//
+// Constants deliberately remain part of the key: this engine bakes literals
+// into the plan (scan predicates, dictionary code sets), so queries
+// differing only in a constant are genuinely different plans.
+func Normalize(src string) (string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	prev := token{kind: tokEOF}
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if needSpace(prev, t) {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokIdent:
+			b.WriteString(strings.ToLower(t.text))
+		case tokString:
+			b.WriteByte('\'')
+			b.WriteString(t.text)
+			b.WriteByte('\'')
+		default:
+			b.WriteString(t.text)
+		}
+		prev = t
+	}
+	return b.String(), nil
+}
+
+// needSpace keeps word-like tokens apart; punctuation and operators bind
+// tight so "l.l_orderkey = o.o_orderkey" renders as "l.l_orderkey=o.o_orderkey"
+// stably regardless of the input's spacing.
+func needSpace(prev, cur token) bool {
+	if prev.kind == tokEOF {
+		return false
+	}
+	wordy := func(t token) bool {
+		return t.kind == tokIdent || t.kind == tokNumber || t.kind == tokString
+	}
+	return wordy(prev) && wordy(cur)
+}

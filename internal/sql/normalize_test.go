@@ -1,0 +1,70 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeEquivalentSpellings(t *testing.T) {
+	variants := []string{
+		"SELECT count(*) FROM probe r, build s WHERE r.k = s.k",
+		"select COUNT(*) from probe r, build s where r.k=s.k",
+		"  SELECT\n\tcount( * )  FROM probe   r , build s\nWHERE r.k =\n s.k  ",
+	}
+	want, err := Normalize(variants[0])
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	for _, v := range variants[1:] {
+		got, err := Normalize(v)
+		if err != nil {
+			t.Fatalf("normalize %q: %v", v, err)
+		}
+		if got != want {
+			t.Fatalf("normalize %q = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestNormalizeDistinguishes(t *testing.T) {
+	pairs := [][2]string{
+		// Constants are part of the key: they are baked into plans.
+		{"SELECT count(*) FROM build WHERE pay < 24", "SELECT count(*) FROM build WHERE pay < 25"},
+		// String literals keep their case even though identifiers fold.
+		{"SELECT count(*) FROM build WHERE name = 'Even'", "SELECT count(*) FROM build WHERE name = 'even'"},
+		// Different shapes, obviously.
+		{"SELECT count(*) FROM build", "SELECT sum(pay) FROM build"},
+	}
+	for _, p := range pairs {
+		a, err := Normalize(p[0])
+		if err != nil {
+			t.Fatalf("normalize %q: %v", p[0], err)
+		}
+		b, err := Normalize(p[1])
+		if err != nil {
+			t.Fatalf("normalize %q: %v", p[1], err)
+		}
+		if a == b {
+			t.Fatalf("%q and %q normalize to the same key %q", p[0], p[1], a)
+		}
+	}
+}
+
+func TestNormalizePreservesLiteralCase(t *testing.T) {
+	got, err := Normalize("SELECT count(*) FROM Build WHERE Name = 'MiXeD'")
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if !strings.Contains(got, "'MiXeD'") {
+		t.Fatalf("literal case not preserved: %q", got)
+	}
+	if strings.Contains(got, "Build") || strings.Contains(got, "Name") {
+		t.Fatalf("identifiers not folded: %q", got)
+	}
+}
+
+func TestNormalizeRejectsLexErrors(t *testing.T) {
+	if _, err := Normalize("SELECT 'unterminated FROM t"); err == nil {
+		t.Fatal("unterminated literal normalized without error")
+	}
+}

@@ -44,6 +44,23 @@ func RunCtx(ctx context.Context, cat Catalog, query string, opts plan.Options) (
 	return plan.ExecuteErr(ctx, opts, root)
 }
 
+// Prepare parses, plans, and compiles a query into a reusable plan: the
+// expensive front half runs once and the returned Prepared executes many
+// times, concurrently — the unit the query service's plan cache stores.
+// Only the plan-shaping option gates (NoScanPushdown, NoDictCodes) matter
+// here; execution-time options are supplied per ExecuteErr call.
+func Prepare(cat Catalog, query string, opts plan.Options) (*plan.Prepared, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	root, err := Plan(cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return plan.PrepareErr(opts, root)
+}
+
 type tableInfo struct {
 	ref   TableRef
 	table *storage.Table

@@ -1,0 +1,35 @@
+package tpch
+
+import (
+	"fmt"
+
+	"partitionjoin/internal/sql"
+)
+
+// ServeCatalog generates a TPC-H database at sf and wraps it as the SQL
+// catalog the query service serves.
+func ServeCatalog(sf float64) sql.Catalog {
+	db := Generate(sf, 1)
+	cat := sql.Catalog{}
+	for _, t := range db.Tables() {
+		cat[t.Name] = t
+	}
+	return cat
+}
+
+// ServeQueries is the mixed traffic of the query-service load generator: a
+// join-heavy aggregate, two scan-shaped analytics (Q6- and Q1-style), and a
+// grouped rollup. Every client cycles through all of them, so after one
+// warm pass the plan cache should serve (nearly) every request.
+func ServeQueries() []string {
+	return []string{
+		`SELECT count(*) AS n FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey`,
+		fmt.Sprintf(`SELECT sum(l_extendedprice) AS rev, count(*) AS n FROM lineitem
+			WHERE l_shipdate BETWEEN %d AND %d AND l_discount BETWEEN 5 AND 7 AND l_quantity < 24`,
+			Date(1994, 1, 1), Date(1994, 12, 31)),
+		`SELECT l_returnflag, l_linestatus, sum(l_quantity) AS qty, count(*) AS n
+			FROM lineitem GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+		`SELECT o_orderpriority, count(*) AS n FROM orders
+			GROUP BY o_orderpriority ORDER BY o_orderpriority`,
+	}
+}

@@ -1,0 +1,53 @@
+#!/bin/sh
+# serve_check: boot joind on an ephemeral port, drive it with the
+# closed-loop load generator, SIGTERM it, and assert a clean drain.
+# Run from the repository root (make serve-check does).
+set -eu
+
+work=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$work/joind" ./cmd/joind
+
+"$work/joind" -addr 127.0.0.1:0 -port-file "$work/port" -sf 0.002 \
+	-global-mem 67108864 -spill-dir "$work/spill" -drain-grace 10s \
+	2>"$work/joind.log" &
+pid=$!
+
+i=0
+while [ ! -s "$work/port" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 300 ]; then
+		echo "serve-check: joind never wrote its port file" >&2
+		cat "$work/joind.log" >&2
+		exit 1
+	fi
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "serve-check: joind died during startup" >&2
+		cat "$work/joind.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$work/port")
+
+go run ./cmd/joinbench -exp serve -addr "http://$addr" -clients 8 -iters 5
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+	echo "serve-check: joind exited nonzero after SIGTERM" >&2
+	cat "$work/joind.log" >&2
+	exit 1
+fi
+pid=""
+if ! grep -q "drained cleanly" "$work/joind.log"; then
+	echo "serve-check: no clean drain in joind log" >&2
+	cat "$work/joind.log" >&2
+	exit 1
+fi
+echo "serve-check: clean drain confirmed"
