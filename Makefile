@@ -15,8 +15,10 @@ build:
 test:
 	go test ./...
 
+# The adaptive-join differential suite is CPU-hungry under the race
+# detector; raise the per-package timeout so single-core CI boxes pass.
 race:
-	go test -race ./...
+	go test -race -timeout 45m ./...
 
 faultinject:
 	go test -run TestFaultInjection -count=2 ./...
@@ -38,7 +40,7 @@ fmtcheck:
 # reruns, not just on a lucky first pass.
 stress: fmtcheck
 	go test -race -count=3 ./internal/spill/ ./internal/faultinject/
-	go test -race -count=3 -run 'Spill|FaultInjection' \
+	go test -race -timeout 45m -count=3 -run 'Spill|FaultInjection' \
 		./internal/plan/ ./internal/exec/
 
 # soak repeats the multi-query admission suite under the race detector:
@@ -47,7 +49,7 @@ stress: fmtcheck
 # bench halves cover the query service: concurrent sessions streaming
 # against one tight broker, with sheds, disconnects, and watchdog kills.
 soak:
-	go test -race -count=2 -run 'Soak|Broker|Watchdog|ConcurrencySoak' \
+	go test -race -timeout 45m -count=2 -run 'Soak|Broker|Watchdog|ConcurrencySoak' \
 		./internal/admit/ ./internal/plan/ ./internal/bench/ ./internal/server/
 
 # serve-check boots joind on an ephemeral port, load-tests it with the

@@ -17,10 +17,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,soak,scanprune,serve,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,adapt,soak,scanprune,serve,all")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper (1 = 16M x 256M tuples)")
 	runs := flag.Int("runs", 3, "repetitions per measurement (median reported)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
+	out := flag.String("out", ".", "directory for BENCH_<exp>.json trajectory files (empty disables persistence)")
 	addr := flag.String("addr", "", "serve experiment: target a running joind (e.g. http://127.0.0.1:7432) instead of an in-process server")
 	clients := flag.Int("clients", 4*runtime.GOMAXPROCS(0), "serve experiment: concurrent closed-loop clients")
 	iters := flag.Int("iters", 20, "serve experiment: queries per client")
@@ -51,6 +52,14 @@ func main() {
 		} else {
 			t.Print(printf)
 		}
+		if *out != "" {
+			path, err := bench.WriteTrajectory(*out, name, t)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: trajectory: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%s: appended to %s\n", name, path)
+		}
 		fmt.Println()
 	}
 
@@ -70,6 +79,9 @@ func main() {
 	run("fig18", func() (*bench.Table, error) { return bench.Fig18Micro(*scale, cfg) })
 	run("memladder", func() (*bench.Table, error) {
 		return bench.MemLadder(*scale, []int64{0, 8 << 20, 2 << 20, 512 << 10}, cfg)
+	})
+	run("adapt", func() (*bench.Table, error) {
+		return bench.AdaptSweep(*scale, []float64{1.0 / 16, 1.0 / 4, 1, 4, 16}, cfg)
 	})
 	run("soak", func() (*bench.Table, error) {
 		return bench.Soak(*scale, 4*runtime.GOMAXPROCS(0), 2, cfg)

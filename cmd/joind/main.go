@@ -41,6 +41,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "admission queue length before shedding (0 = default)")
 	maxWait := flag.Duration("max-wait", 0, "maximum admission queue wait before shedding (0 = default)")
 	stallWindow := flag.Duration("stall-window", 0, "watchdog no-progress window (0 = watchdog off)")
+	noAdapt := flag.Bool("no-adapt", false, "disable runtime adaptation (mid-build join migration, skew splits, reservation revision) server-wide")
 	spillDir := flag.String("spill-dir", "", "spill parent directory; sessions get private subtrees")
 	sweepEvery := flag.Duration("sweep-interval", 5*time.Minute, "period of the spill janitor re-sweep (0 = startup sweep only)")
 	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "idle session expiry")
@@ -95,6 +96,7 @@ func main() {
 		SpillDir:      *spillDir,
 		PlanCacheSize: *planCache,
 		SessionTTL:    *sessionTTL,
+		NoAdapt:       *noAdapt,
 		Broker:        broker,
 	}, cat)
 

@@ -40,6 +40,8 @@ func main() {
 	maxConc := flag.Int("max-concurrency", 0, "maximum queries running at once under admission control (0 = unlimited)")
 	queueDepth := flag.Int("queue-depth", 0, "admission queue length before arrivals are shed with an overload error (0 = default)")
 	stallWindow := flag.Duration("stall-window", 0, "watchdog: cancel an admitted query that makes no progress for this long (0 = watchdog off)")
+	noAdapt := flag.Bool("no-adapt", false, "disable runtime adaptation (mid-build join migration, skew splits, reservation revision) — the A/B gate against the static plan")
+	estScale := flag.Float64("estimate-scale", 0, "corrupt every plan-time cardinality estimate by this factor (0 or 1 = truth); for exercising the adaptation paths")
 	cleanSpill := flag.Bool("clean-spill", false, "sweep stale spill directories under -spill-dir and exit")
 	flag.Parse()
 
@@ -72,6 +74,8 @@ func main() {
 	opts.Workers = *workers
 	opts.MemBudget = *memBudget
 	opts.SpillDir = *spillDir
+	opts.NoAdapt = *noAdapt
+	opts.EstimateScale = *estScale
 	switch strings.ToLower(*algo) {
 	case "bhj":
 		opts.Algo = plan.BHJ
@@ -164,6 +168,13 @@ func main() {
 		fmt.Printf("admission: reserved %d B of %d B pool, waited %v (%d admitted, %d shed, %d stall kills)\n",
 			res.Reserved, broker.Pool(), res.AdmitWait.Round(time.Millisecond),
 			broker.Admits(), broker.Sheds(), broker.StallKills())
+	}
+	if a := res.Adapt; a.Any() {
+		fmt.Printf("adaptation: %d migrations, %d partition splits, %d sketch bits, %d reservation revisions (+%d B / -%d B)\n",
+			a.Migrations, a.Splits, a.SketchBits, a.Revisions(), a.GrownBytes, a.ShrunkBytes)
+		for _, ev := range a.Events {
+			fmt.Printf("adapt: %s\n", ev)
+		}
 	}
 	if s := res.Scan; s.MorselsPruned > 0 || s.BatchesPruned > 0 || s.RowsPrefiltered > 0 {
 		fmt.Printf("scan: %d morsels + %d batches pruned via zone maps, %d rows prefiltered by pushed predicates\n",

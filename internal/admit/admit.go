@@ -237,8 +237,12 @@ type Reservation struct {
 	lastMove time.Time
 }
 
-// Reservations back governors: growth draws from the shared pool.
-var _ govern.Backing = (*Reservation)(nil)
+// Reservations back governors: growth draws from the shared pool, and
+// shrink returns observed slack to it.
+var (
+	_ govern.Backing  = (*Reservation)(nil)
+	_ govern.Shrinker = (*Reservation)(nil)
+)
 
 // Bytes returns the reservation's current size (initial grant plus growth).
 // It stays readable after Release for summary reporting.
@@ -292,6 +296,39 @@ func (r *Reservation) TryGrow(n int64) int64 {
 	}
 	b.inUse += n
 	r.bytes += n
+	return n
+}
+
+// TryShrink implements govern.Shrinker: it returns up to n bytes of the
+// reservation to the pool (clamped to the reservation's current size) and
+// wakes queued queries that now fit — the adaptation controller's way of
+// letting a query that over-estimated hand its slack to waiting neighbours
+// without finishing first. Returns the bytes actually reclaimed.
+func (r *Reservation) TryShrink(n int64) int64 {
+	if r == nil || n <= 0 {
+		return 0
+	}
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r.mu.Lock()
+	if r.released {
+		r.mu.Unlock()
+		return 0
+	}
+	if n > r.bytes {
+		n = r.bytes
+	}
+	r.bytes -= n
+	r.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	if b.cfg.GlobalMem > 0 {
+		b.free += n
+	}
+	b.inUse -= n
+	b.pump()
 	return n
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"partitionjoin/internal/adapt"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/plan"
@@ -25,6 +26,11 @@ type Result struct {
 	// reported (median) run: fan-out bits shed, BHJ fallbacks, partitions
 	// spilled and reloaded. Empty for unbudgeted runs.
 	Degraded []string
+	// Adapt is the runtime adaptation summary of the reported run:
+	// mid-build migrations, partition splits, reservation revisions.
+	Adapt adapt.Stats
+	// MemPeak is the governor's high-water mark of the reported run.
+	MemPeak int64
 }
 
 // Runs is the number of repetitions per measurement; the median is
@@ -73,6 +79,11 @@ type DBMSOpts struct {
 	// spill-to-disk rung of the degradation ladder.
 	MemBudget int64
 	SpillDir  string
+	// NoAdapt disables runtime adaptation; EstimateScale corrupts every
+	// plan-time cardinality estimate by the given factor (the estimate-error
+	// sweep's independent variable).
+	NoAdapt       bool
+	EstimateScale float64
 }
 
 // joinQuery builds the microbenchmark query: the paper's
@@ -114,7 +125,8 @@ func joinQuery(build, probe *storage.Table, payNames []string, lm bool) plan.Nod
 func RunDBMS(build, probe *storage.Table, payNames []string, o DBMSOpts) (Result, error) {
 	return median(func() (Result, error) {
 		opts := plan.Options{Workers: o.Threads, Algo: o.Algo, Core: o.Core,
-			MemBudget: o.MemBudget, SpillDir: o.SpillDir}
+			MemBudget: o.MemBudget, SpillDir: o.SpillDir,
+			NoAdapt: o.NoAdapt, EstimateScale: o.EstimateScale}
 		root := joinQuery(build, probe, payNames, o.LM)
 		start := time.Now()
 		res, err := plan.ExecuteErr(context.Background(), opts, root)
@@ -135,6 +147,8 @@ func RunDBMS(build, probe *storage.Table, payNames []string, o DBMSOpts) (Result
 			Throughput: float64(tuples) / secs,
 			Checksum:   sum,
 			Degraded:   res.Degraded,
+			Adapt:      res.Adapt,
+			MemPeak:    res.MemPeak,
 		}, nil
 	})
 }

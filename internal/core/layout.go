@@ -92,6 +92,18 @@ func (l *Layout) Hash(row []byte) uint64 {
 	return binary.LittleEndian.Uint64(row)
 }
 
+// HasStringCols reports whether any materialized column is a string —
+// i.e. whether vectors decoded from this layout alias the row buffer
+// (AppendCol slices string bytes in place instead of copying).
+func (l *Layout) HasStringCols() bool {
+	for _, t := range l.Types {
+		if t == storage.String {
+			return true
+		}
+	}
+	return false
+}
+
 // PackRow serializes row i of the selected batch vectors into dst
 // (len >= l.Size), including the hash. Padding bytes are left untouched:
 // key comparison extracts column values, never raw row bytes.

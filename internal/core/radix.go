@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"partitionjoin/internal/adapt"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/faultinject"
 	"partitionjoin/internal/govern"
@@ -69,9 +70,26 @@ type RadixSink struct {
 	Side    string
 	Join    *RadixJoin
 	Meter   *meter.Meter
+	// Quiet suppresses the meter phase markers. An adaptively-wired radix
+	// sink sits inside (or alongside) another pipeline's phases; letting it
+	// push its own would corrupt the phase stack.
+	Quiet bool
 
 	workers []*pass1Worker
 	Out     *Partitions
+}
+
+// beginPhase / endPhase gate the meter phase markers behind Quiet.
+func (s *RadixSink) beginPhase(name string) {
+	if !s.Quiet {
+		s.Meter.BeginPhase(name)
+	}
+}
+
+func (s *RadixSink) endPhase() {
+	if !s.Quiet {
+		s.Meter.EndPhase()
+	}
 }
 
 // gov returns the owning join's memory governor (nil-safe).
@@ -165,7 +183,7 @@ func (s *RadixSink) spillPartition(w *pass1Worker, p1 int) {
 func (s *RadixSink) Open(workers int) {
 	s.workers = make([]*pass1Worker, workers)
 	s.Out = nil
-	s.Meter.BeginPhase("partition pass 1 (" + s.Side + ")")
+	s.beginPhase("partition pass 1 (" + s.Side + ")")
 }
 
 func (s *RadixSink) worker(ctx *exec.Ctx) *pass1Worker {
@@ -195,6 +213,9 @@ func (s *RadixSink) swwcbBytes() int {
 // streamed to the worker-local paged partition when the buffer fills.
 func (s *RadixSink) Consume(ctx *exec.Ctx, b *exec.Batch) {
 	faultinject.Hit(Pass1Site)
+	if st := s.adaptState(); st != nil {
+		s.sampleBatch(st, b)
+	}
 	w := s.worker(ctx)
 	gov := s.gov()
 	mask := uint64(1)<<s.Cfg.Pass1Bits - 1
@@ -260,6 +281,60 @@ func (s *RadixSink) Consume(ctx *exec.Ctx, b *exec.Batch) {
 	s.Meter.AddWrite(int64(b.N) * int64(rowSize))
 }
 
+// adaptState returns the key-correlation sketch this side feeds: the build
+// side of an adaptively-governed join, nil otherwise.
+func (s *RadixSink) adaptState() *adapt.JoinState {
+	if s.Join == nil || s.Join.Adapt == nil || s != s.Join.BuildSink {
+		return nil
+	}
+	return s.Join.Adapt
+}
+
+// sampleBatch feeds a strided sample of the batch's key hashes into the
+// sketch. The duplicate hash work is bounded by the stride (~1/64 rows), a
+// price the fan-out decision pays for seeing the real distribution.
+func (s *RadixSink) sampleBatch(st *adapt.JoinState, b *exec.Batch) {
+	stride := st.SampleEvery()
+	if stride <= 0 {
+		return
+	}
+	var hcol []int64
+	if s.HashCol >= 0 {
+		hcol = b.Vecs[s.HashCol].I64
+	}
+	for i := 0; i < b.N; i += stride {
+		if hcol != nil {
+			st.Sample(uint64(hcol[i]))
+		} else {
+			st.Sample(HashKeys(b, s.KeyCols, i))
+		}
+	}
+}
+
+// ConsumePacked ingests already-packed rows — the BHJ build arenas during
+// an adaptive migration. Every packed row carries its hash at offset 0, so
+// the rows re-scatter into pass-1 partitions without touching the key
+// columns or re-hashing, which is what makes the mid-build migration a
+// memory move rather than a restart.
+func (s *RadixSink) ConsumePacked(ctx *exec.Ctx, data []byte) {
+	w := s.worker(ctx)
+	gov := s.gov()
+	mask := uint64(1)<<s.Cfg.Pass1Bits - 1
+	rowSize := s.Layout.Size
+	pageBytes := s.Cfg.PageBytes
+	flush := func(p int, d []byte) {
+		s.maybeEvict(w, int64(len(d)))
+		gov.MustGrant(int64(len(d)))
+		w.parts[p].write(d, rowSize, pageBytes)
+	}
+	for off := 0; off+rowSize <= len(data); off += rowSize {
+		row := data[off : off+rowSize]
+		h := s.Layout.Hash(row)
+		copy(w.swwcb.slot(int(h&mask), flush), row)
+	}
+	s.Meter.AddWrite(int64(len(data)))
+}
+
 // Close implements exec.Sink: drains the buffers, builds the histograms
 // (the "scan" phase of Figure 10), computes the exchange prefix sums, and
 // runs partitioning pass 2 into the final contiguous buffer. The build side
@@ -284,7 +359,7 @@ func (s *RadixSink) Close() {
 		})
 		live = append(live, w)
 	}
-	s.Meter.EndPhase()
+	s.endPhase()
 
 	// Spilled pre-partitions flush their remaining resident pages before
 	// the histogram so they contribute nothing to pass 2: a partition is
@@ -315,7 +390,7 @@ func (s *RadixSink) Close() {
 	// target. One task per pre-partition keeps the counters private.
 	hist := make([][]int64, f1)
 	if f2 > 1 {
-		s.Meter.BeginPhase("scan (" + s.Side + ")")
+		s.beginPhase("scan (" + s.Side + ")")
 		workers := len(live)
 		parallelFor(f1, maxInt(workers, 1), func(p1 int) {
 			h := make([]int64, f2)
@@ -330,7 +405,7 @@ func (s *RadixSink) Close() {
 			hist[p1] = h
 		})
 		s.Meter.AddRead(residentRows * 8)
-		s.Meter.EndPhase()
+		s.endPhase()
 	} else {
 		for p1 := 0; p1 < f1; p1++ {
 			h := make([]int64, 1)
@@ -397,7 +472,7 @@ func (s *RadixSink) Close() {
 	// written by exactly one task, so no synchronization is needed. The
 	// BRJ fills the Bloom filter here: the filter's block index shares
 	// the partition's low bits, so tasks touch disjoint blocks.
-	s.Meter.BeginPhase("partition pass 2 (" + s.Side + ")")
+	s.beginPhase("partition pass 2 (" + s.Side + ")")
 	filter := s.Join.buildFilter(s, residentRows)
 	parallelFor(f1, maxInt(len(live), 1), func(p1 int) {
 		faultinject.Hit(Pass2Site)
@@ -432,7 +507,7 @@ func (s *RadixSink) Close() {
 	})
 	s.Meter.AddRead(residentRows * int64(rowSize))
 	s.Meter.AddWrite(residentRows * int64(rowSize))
-	s.Meter.EndPhase()
+	s.endPhase()
 
 	for _, w := range live {
 		gov.Release(int64(len(w.swwcb.buf)))

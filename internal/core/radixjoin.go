@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"partitionjoin/internal/adapt"
 	"partitionjoin/internal/bloom"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/faultinject"
@@ -52,6 +53,13 @@ type RadixJoin struct {
 	// and the join phase reloads them pair by pair. Set with Gov before the
 	// build pipeline runs; nil keeps the in-memory-only behavior.
 	Spill *JoinSpill
+
+	// Adapt, when non-nil, is this join's runtime adaptation state: the
+	// build sink feeds its key-correlation sketch, decideBits consults the
+	// sketch to widen the fan-out under observed skew, and the join phase
+	// re-partitions resident partitions past its split threshold. Nil keeps
+	// the static plan-time behavior exactly.
+	Adapt *adapt.JoinState
 
 	// StatProbeRows and StatMatches count probe tuples entering the
 	// join phase and key-matched pairs, for the per-join analysis
@@ -112,6 +120,12 @@ func (j *RadixJoin) decideBits(s *RadixSink, totalRows int64, workers int) int {
 		if b2 > j.Cfg.MaxPass2Bits {
 			b2 = j.Cfg.MaxPass2Bits
 		}
+		// Correlation-aware widening: the static formula divides total
+		// bytes by the fan-out, which under skew leaves the hot partition
+		// over the cache budget. The sketch sees the real distribution and
+		// only ever widens, so uniform workloads keep the static choice.
+		b2 = j.Adapt.ChooseBits(b2, j.Cfg.Pass1Bits, j.Cfg.MaxPass2Bits,
+			s.Layout.Size, totalRows, j.Cfg.CacheBudget)
 		if g := j.Gov; g.Budgeted() {
 			rowBytes := totalRows * int64(s.Layout.Size)
 			overhead := func(b2 int) int64 {
@@ -325,6 +339,10 @@ func (s *PartitionJoinSource) Emit(ctx *exec.Ctx, pid int, out exec.Operator) {
 	}
 	bpart := j.BuildSink.Out.Part(pid)
 	ppart := j.ProbeSink.Out.Part(pid)
+	if thr := j.Adapt.SplitThreshold(j.Cfg.CacheBudget); thr > 0 && int64(len(bpart)) > thr {
+		s.emitSplit(ctx, out, pid, bpart, ppart)
+		return
+	}
 	s.joinPartition(ctx, out, bpart, func(yield func(ppart []byte)) {
 		if len(ppart) > 0 {
 			yield(ppart)

@@ -228,6 +228,15 @@ type spillSrc struct {
 	file     *spill.File
 	resident [][]byte
 	rowSize  int
+	// copyFrames makes each hand out a private copy of every reloaded
+	// frame. Required on a probe side whose layout carries string columns:
+	// probe rows stream straight into the partition join, which emits
+	// string columns as zero-copy slices into the chunk — and the spill
+	// reader reuses its frame buffer, so an aliased string would be
+	// overwritten by the next frame. Numeric columns are decoded by value
+	// and build sides are always copied into a contiguous buffer first, so
+	// neither needs this.
+	copyFrames bool
 }
 
 // bytes returns the side's total payload bytes.
@@ -297,6 +306,9 @@ func (s *spillSrc) each(ctx *exec.Ctx, fn func(chunk []byte)) error {
 			return err
 		}
 		if len(chunk) > 0 {
+			if s.copyFrames {
+				chunk = append(make([]byte, 0, len(chunk)), chunk...)
+			}
 			fn(chunk)
 		}
 	}
@@ -342,9 +354,10 @@ func (s *PartitionJoinSource) emitSpilled(ctx *exec.Ctx, p1 int, out exec.Operat
 		rowSize:  j.BuildSink.Layout.Size,
 	}
 	psrc := &spillSrc{
-		file:     sp.lookup(p1, j.ProbeSink.Side),
-		resident: residentSubParts(j.ProbeSink.Out, p1),
-		rowSize:  j.ProbeSink.Layout.Size,
+		file:       sp.lookup(p1, j.ProbeSink.Side),
+		resident:   residentSubParts(j.ProbeSink.Out, p1),
+		rowSize:    j.ProbeSink.Layout.Size,
+		copyFrames: j.ProbeSink.Layout.HasStringCols(),
 	}
 	s.joinSpilledPair(ctx, out, p1, 0, bsrc, psrc)
 }
@@ -502,6 +515,7 @@ func (s *PartitionJoinSource) recurseSpilled(ctx *exec.Ctx, out exec.Operator, p
 		}
 		s.joinSpilledPair(ctx, out, p1, depth+1,
 			&spillSrc{file: bsub[sub], rowSize: j.BuildSink.Layout.Size},
-			&spillSrc{file: psub[sub], rowSize: j.ProbeSink.Layout.Size})
+			&spillSrc{file: psub[sub], rowSize: j.ProbeSink.Layout.Size,
+				copyFrames: j.ProbeSink.Layout.HasStringCols()})
 	}
 }

@@ -171,6 +171,49 @@ func (g *Governor) WouldExceed(extra int64) bool {
 	return true
 }
 
+// Shrinker is the optional Backing extension for returning budget: pools
+// that support reclaiming unused reservation bytes implement TryShrink,
+// which takes back up to n bytes and returns the bytes actually reclaimed.
+type Shrinker interface {
+	TryShrink(n int64) int64
+}
+
+// TryGrowBudget explicitly draws up to n more bytes from the backing pool
+// and raises the budget by what it got, returning that amount. Unlike
+// WouldExceed's implicit growth this is all-or-nothing at the pool's
+// discretion; the adaptation controller uses it to revise a reservation up
+// before degrading the join.
+func (g *Governor) TryGrowBudget(n int64) int64 {
+	if g == nil || n <= 0 || g.backing == nil {
+		return 0
+	}
+	got := g.backing.TryGrow(n)
+	if got > 0 {
+		g.budget.Add(got)
+	}
+	return got
+}
+
+// TryShrinkBudget returns up to n unused budget bytes to the backing pool
+// (when it supports reclaim), lowering the budget by the bytes the pool
+// took back. The adaptation controller calls it once a join's true
+// footprint is known, so queued neighbours admit against observed usage
+// rather than the plan's estimate.
+func (g *Governor) TryShrinkBudget(n int64) int64 {
+	if g == nil || n <= 0 {
+		return 0
+	}
+	sh, ok := g.backing.(Shrinker)
+	if !ok {
+		return 0
+	}
+	got := sh.TryShrink(n)
+	if got > 0 {
+		g.budget.Add(-got)
+	}
+	return got
+}
+
 // Note records a degradation decision (BHJ fallback, fan-out reduction,
 // partition spill/reload) so explain output and tests can see what the
 // governor did. The log is bounded: see EventsHead/EventsTail.

@@ -29,6 +29,11 @@ type Meter struct {
 	batchesPruned   atomic.Int64
 	rowsPrefiltered atomic.Int64
 
+	// Runtime adaptation counters (see AdaptStats).
+	adaptMigrations atomic.Int64
+	adaptSplits     atomic.Int64
+	adaptRevisions  atomic.Int64
+
 	mu     sync.Mutex
 	start  time.Time
 	phases []Phase
@@ -201,5 +206,54 @@ func (m *Meter) Scan() ScanStats {
 		MorselsPruned:   m.morselsPruned.Load(),
 		BatchesPruned:   m.batchesPruned.Load(),
 		RowsPrefiltered: m.rowsPrefiltered.Load(),
+	}
+}
+
+// AdaptStats aggregates the runtime adaptation counters: how often the
+// self-correcting join machinery actually fired.
+type AdaptStats struct {
+	// Migrations counts BHJ builds converted to radix partitions mid-build.
+	Migrations int64
+	// PartitionSplits counts skewed resident partitions re-partitioned at
+	// join time.
+	PartitionSplits int64
+	// ReservationRevisions counts grow/deny/shrink revisions of admission
+	// reservations driven by observed usage.
+	ReservationRevisions int64
+}
+
+// AddAdaptMigration records n mid-build BHJ→radix migrations.
+func (m *Meter) AddAdaptMigration(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.adaptMigrations.Add(n)
+}
+
+// AddAdaptSplit records n join-time partition splits.
+func (m *Meter) AddAdaptSplit(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.adaptSplits.Add(n)
+}
+
+// AddAdaptRevision records n reservation revisions.
+func (m *Meter) AddAdaptRevision(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.adaptRevisions.Add(n)
+}
+
+// Adapt returns the cumulative runtime adaptation counters.
+func (m *Meter) Adapt() AdaptStats {
+	if m == nil {
+		return AdaptStats{}
+	}
+	return AdaptStats{
+		Migrations:           m.adaptMigrations.Load(),
+		PartitionSplits:      m.adaptSplits.Load(),
+		ReservationRevisions: m.adaptRevisions.Load(),
 	}
 }

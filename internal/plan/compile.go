@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"partitionjoin/internal/adapt"
 	"partitionjoin/internal/admit"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
@@ -61,6 +62,16 @@ type Options struct {
 	// code-packing rewrite.
 	NoScanPushdown bool
 	NoDictCodes    bool
+	// NoAdapt disables runtime adaptation (mid-build BHJ→radix migration,
+	// sketch-driven fan-out, skewed-partition splits, reservation
+	// revision), freezing every join decision at plan time — the A/B gate
+	// for differential tests and the `-no-adapt` flags.
+	NoAdapt bool
+	// EstimateScale, when > 0 and != 1, multiplies every plan-time
+	// cardinality estimate — a test and benchmark knob simulating optimizer
+	// mis-estimation (16 = everything looks 16x bigger than it is). The
+	// executed data is untouched; only the planner's beliefs are corrupted.
+	EstimateScale float64
 }
 
 // DefaultOptions runs everything through the BHJ at full parallelism.
@@ -78,11 +89,14 @@ func (o Options) algoFor(id int) JoinAlgo {
 // opBuilder creates one per-worker operator feeding next.
 type opBuilder func(ctx *exec.Ctx, next exec.Operator) exec.Operator
 
-// sweep records a pending left-outer build sweep: the unmatched build rows
-// must flow through the chain suffix starting at opIdx into the pipeline's
-// final sink.
+// sweep records a pending extra pipeline sharing the main pipeline's sink:
+// a left-outer/semi/anti build sweep (join set), or any deferred source —
+// e.g. an adaptive join's partition-pair pipeline, which has zero tasks
+// unless the build migrated (src set). Rows flow through the chain suffix
+// starting at opIdx into the pipeline's final sink.
 type sweep struct {
 	join        *core.HashJoin
+	src         exec.Source // overrides join when set
 	opIdx       int
 	probeTypes  []storage.Type
 	wantMatched bool
@@ -99,11 +113,22 @@ type pipe struct {
 type compiler struct {
 	opts      Options
 	gov       *govern.Governor
-	spillDir  *spill.Dir // non-nil when Options.SpillDir is set
+	adapt     *adapt.Controller // nil when Options.NoAdapt
+	spillDir  *spill.Dir        // non-nil when Options.SpillDir is set
 	spills    []*core.JoinSpill
 	workers   int // resolved driver parallelism (never <= 0)
 	pipelines []*exec.Pipeline
 	harvests  []func()
+}
+
+// scaled applies the EstimateScale corruption knob to a cardinality
+// estimate (negative estimates mean "unknown" and pass through).
+func (c *compiler) scaled(rows int64) int64 {
+	s := c.opts.EstimateScale
+	if rows < 0 || s <= 0 || s == 1 {
+		return rows
+	}
+	return int64(float64(rows) * s)
 }
 
 // terminate closes a pipe with a breaker sink, emitting its pipeline and
@@ -136,10 +161,14 @@ func (c *compiler) terminate(p *pipe, sink exec.Sink, name string) {
 		SinkWorkers: c.workers,
 	})
 	for _, s := range p.sweeps {
-		c.pipelines = append(c.pipelines, &exec.Pipeline{
-			Source: &core.UnmatchedBuildSource{
+		src := s.src
+		if src == nil {
+			src = &core.UnmatchedBuildSource{
 				J: s.join, ProbeTypes: s.probeTypes, WantMatched: s.wantMatched,
-			},
+			}
+		}
+		c.pipelines = append(c.pipelines, &exec.Pipeline{
+			Source:      src,
 			NewChain:    mk(p.ops[s.opIdx:]),
 			Sink:        shared,
 			SinkWorkers: c.workers,

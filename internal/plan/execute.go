@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"partitionjoin/internal/adapt"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/govern"
@@ -42,6 +43,10 @@ type ExecResult struct {
 	// Scan aggregates the scan layer's zone-map pruning and pushed-predicate
 	// prefiltering counters for this query.
 	Scan meter.ScanStats
+	// Adapt is the runtime adaptation summary: mid-build migrations,
+	// partition splits, reservation revisions, and the decision event log.
+	// Zero when nothing adapted or Options.NoAdapt was set.
+	Adapt adapt.Stats
 }
 
 // Throughput returns source tuples per second.
@@ -121,6 +126,9 @@ func (p *Prepared) run(ctx context.Context, opts Options) (*ExecResult, error) {
 	}
 	root := p.root
 	c := &compiler{opts: opts, gov: gov, workers: workers}
+	if !opts.NoAdapt {
+		c.adapt = adapt.NewController(adapt.Config{}, gov, opts.Meter)
+	}
 	if opts.SpillDir != "" {
 		dir, derr := spill.NewDir(opts.SpillDir)
 		if derr != nil {
@@ -162,6 +170,7 @@ func (p *Prepared) run(ctx context.Context, opts Options) (*ExecResult, error) {
 		Reserved:      rsv.Bytes(),
 		AdmitWait:     rsv.Waited(),
 		Scan:          opts.Meter.Scan(),
+		Adapt:         c.adapt.Stats(),
 	}, nil
 }
 

@@ -88,6 +88,52 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 	// a radix join would write).
 	probeMatAll := matList(n.ProbeKeys, n.ProbePay, resProbe)
 	probeLayoutStat := layoutFor(pp.cols, probeMatAll, len(n.ProbeKeys))
+	probeColsAll := resolveAll(pp.cols, probeMatAll)
+	probeOutAll := positions(probeMatAll, n.ProbePay)
+	resProbePos := positions(probeMatAll, resProbe)
+
+	// Per-join runtime adaptation state (nil when disabled): the build side
+	// feeds its key-correlation sketch, and divergence from these plan-time
+	// estimates drives migration and reservation revision.
+	st := c.adapt.Join(n.ID)
+	bEst, pEst := c.scaled(estimateRows(n.Build)), c.scaled(estimateRows(n.Probe))
+	if st != nil {
+		var pBytes int64
+		if pEst > 0 {
+			pBytes = pEst * int64(probeLayoutStat.Size)
+		}
+		st.SetPlanEstimates(bEst, pBytes)
+	}
+
+	// mkRadix builds the radix join machinery shared by the static radix
+	// branch and the adaptive BHJ's runtime escape hatch.
+	mkRadix := func(bloom bool) *core.RadixJoin {
+		cfg := c.opts.Core
+		cfg.Bloom = bloom
+		j := core.NewRadixJoin(cfg, n.Kind, c.opts.Meter,
+			buildLayout, buildCols, buildKeyBatch, -1,
+			probeLayoutStat, probeColsAll, probeKeyBatch, -1,
+			buildOut, probeOutAll)
+		j.Gov = c.gov
+		j.Adapt = st
+		if c.spillDir != nil {
+			j.Spill = core.NewJoinSpill(c.spillDir, c.gov, c.opts.Meter, n.ID)
+			c.spills = append(c.spills, j.Spill)
+		}
+		if len(n.ResidualNe) > 0 {
+			bl, pl := buildLayout, probeLayoutStat
+			bpos, ppos := resBuildPos, resProbePos
+			j.Residual = func(brow, prow []byte) bool {
+				for k, bc := range bpos {
+					if bl.GetI64(brow, bc) == pl.GetI64(prow, ppos[k]) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return j
+	}
 
 	// Plan-time rung of the degradation ladder: when a budget is set and
 	// the radix join's projected partition footprint (both sides fully
@@ -98,7 +144,7 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 	// too; with a spill directory configured, keep the radix join and let
 	// it spill partitions to disk instead (the last rung).
 	if algo != BHJ && c.gov.Budgeted() {
-		bRows, pRows := estimateRows(n.Build), estimateRows(n.Probe)
+		bRows, pRows := bEst, pEst
 		if bRows >= 0 && pRows >= 0 {
 			projected := bRows*int64(buildLayout.Size) + pRows*int64(probeLayoutStat.Size)
 			buildOnly := bRows * int64(buildLayout.Size)
@@ -142,11 +188,33 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 				return true
 			}
 		}
-		c.terminate(bp, j.BuildSink(), "build")
+		// Runtime escape hatch: with adaptation on, a budget to respect, and
+		// a spill directory to escape to, wire the BHJ through the adaptive
+		// join so a build that outgrows the budget can migrate to radix
+		// partitions mid-build instead of blowing past it. The radix twin
+		// shares the build layout, so migration is a re-scatter of already
+		// packed rows; its sinks are Quiet (they run inside the BHJ's
+		// pipeline phases) and its join pipeline is a deferred sweep with
+		// zero tasks unless the migration actually happened.
+		var aj *core.AdaptiveJoin
+		if st != nil && c.gov.Budgeted() && c.spillDir != nil {
+			rj := mkRadix(false)
+			rj.BuildSink.Quiet = true
+			rj.ProbeSink.Quiet = true
+			aj = &core.AdaptiveJoin{BHJ: j, RJ: rj, St: st, MaxWorkers: c.workers}
+		}
 		opIdx := len(pp.ops)
-		pp.ops = append(pp.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
-			return j.ProbeOp(next)
-		})
+		if aj != nil {
+			c.terminate(bp, aj.BuildSink(), "build")
+			pp.ops = append(pp.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+				return aj.ProbeOp(next)
+			})
+		} else {
+			c.terminate(bp, j.BuildSink(), "build")
+			pp.ops = append(pp.ops, func(ctx *exec.Ctx, next exec.Operator) exec.Operator {
+				return j.ProbeOp(next)
+			})
+		}
 		switch n.Kind {
 		case core.LeftOuter:
 			var pts []storage.Type
@@ -159,13 +227,25 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 		case core.LeftAnti:
 			pp.sweeps = append(pp.sweeps, sweep{join: j, opIdx: opIdx + 1})
 		}
+		if aj != nil {
+			// The deferred radix join pipeline; the BHJ sweeps above remain
+			// correct after a migration because the BHJ table stays empty.
+			pp.sweeps = append(pp.sweeps, sweep{src: aj.JoinSource(), opIdx: opIdx + 1})
+		}
 		if c.opts.Stats != nil {
 			stat := &JoinStat{ID: n.ID, Algo: BHJ, Kind: n.Kind.String(),
 				BuildTupleBytes: buildLayout.Size, ProbeTupleBytes: probeLayoutStat.Size}
 			c.harvests = append(c.harvests, func() {
-				stat.BuildRows = int64(j.NumBuildRows())
-				stat.ProbeRows = j.StatProbeRows.Load()
-				stat.Matches = j.StatMatches.Load()
+				if aj != nil && aj.Migrated() {
+					stat.Adapted = true
+					stat.BuildRows = aj.RJ.BuildSink.Out.Rows
+					stat.ProbeRows = aj.RJ.StatProbeRows.Load()
+					stat.Matches = aj.RJ.StatMatches.Load()
+				} else {
+					stat.BuildRows = int64(j.NumBuildRows())
+					stat.ProbeRows = j.StatProbeRows.Load()
+					stat.Matches = j.StatMatches.Load()
+				}
 				c.opts.Stats.add(stat)
 			})
 		}
@@ -174,36 +254,8 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 	}
 
 	// Radix joins: both sides are materialized into partitions.
-	probeMat := probeMatAll
-	probeLayout := probeLayoutStat
-	probeCols := resolveAll(pp.cols, probeMat)
-	probeOut := positions(probeMat, n.ProbePay)
-	resProbePos := positions(probeMat, resProbe)
-
-	cfg := c.opts.Core
-	cfg.Bloom = algo == BRJ
 	probeHash := -1
-	j := core.NewRadixJoin(cfg, n.Kind, c.opts.Meter,
-		buildLayout, buildCols, buildKeyBatch, -1,
-		probeLayout, probeCols, probeKeyBatch, -1,
-		buildOut, probeOut)
-	j.Gov = c.gov
-	if c.spillDir != nil {
-		j.Spill = core.NewJoinSpill(c.spillDir, c.gov, c.opts.Meter, n.ID)
-		c.spills = append(c.spills, j.Spill)
-	}
-	if len(n.ResidualNe) > 0 {
-		bl, pl := buildLayout, probeLayout
-		bpos, ppos := resBuildPos, resProbePos
-		j.Residual = func(brow, prow []byte) bool {
-			for k, bc := range bpos {
-				if bl.GetI64(brow, bc) == pl.GetI64(prow, ppos[k]) {
-					return false
-				}
-			}
-			return true
-		}
-	}
+	j := mkRadix(algo == BRJ)
 	c.terminate(bp, j.BuildSink, "")
 
 	// The Bloom semi-join reducer may only drop probe tuples whose
@@ -231,7 +283,7 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 
 	if c.opts.Stats != nil {
 		stat := &JoinStat{ID: n.ID, Algo: algo, Kind: n.Kind.String(),
-			BuildTupleBytes: buildLayout.Size, ProbeTupleBytes: probeLayout.Size}
+			BuildTupleBytes: buildLayout.Size, ProbeTupleBytes: probeLayoutStat.Size}
 		c.harvests = append(c.harvests, func() {
 			stat.BuildRows = j.BuildSink.Out.Rows
 			stat.ProbeRows = j.StatProbeRows.Load()

@@ -3,6 +3,7 @@ package plan
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"runtime"
 	"strings"
@@ -258,4 +259,65 @@ func TestSpillCancellationMidReload(t *testing.T) {
 	}
 	requireEmptyDir(t, parent)
 	expectGoroutines(t, base)
+}
+
+// Regression: a spilled probe side whose layout carries string columns must
+// yield rows whose string bytes stay intact. The partition join emits
+// strings as zero-copy slices into the probe chunk, and the spill reader
+// reuses its frame buffer between frames — without a defensive copy,
+// reloaded rows' names are overwritten by the next frame and end up
+// attached to the wrong tuples. The name encodes the row's pval, so any
+// cross-tuple scramble is detected row by row.
+func TestSpillStringProbePayloadStable(t *testing.T) {
+	const nBuild, nProbe = 20000, 40000
+	bs := storage.NewSchema(
+		storage.ColumnDef{Name: "key", Type: storage.Int64},
+		storage.ColumnDef{Name: "bval", Type: storage.Int64},
+	)
+	build := storage.NewTable("build", bs, nBuild)
+	bkey := build.Cols[0].(*storage.Int64Column)
+	bval := build.Cols[1].(*storage.Int64Column)
+	for i := 0; i < nBuild; i++ {
+		bkey.Values = append(bkey.Values, int64(i%8000))
+		bval.Values = append(bval.Values, int64(i))
+	}
+	ps := storage.NewSchema(
+		storage.ColumnDef{Name: "fkey", Type: storage.Int64},
+		storage.ColumnDef{Name: "pname", Type: storage.String, StrCap: 12},
+		storage.ColumnDef{Name: "pval", Type: storage.Int64},
+	)
+	probe := storage.NewTable("probe", ps, nProbe)
+	pkey := probe.Cols[0].(*storage.Int64Column)
+	pname := probe.Cols[1].(*storage.StringColumn)
+	pval := probe.Cols[2].(*storage.Int64Column)
+	for i := 0; i < nProbe; i++ {
+		pkey.Values = append(pkey.Values, int64((i*7)%8000))
+		pname.AppendString(fmt.Sprintf("name-%06d", i))
+		pval.Values = append(pval.Values, int64(i))
+	}
+
+	node := &JoinNode{
+		ID: 1, Kind: core.Inner,
+		Build:     Scan(build, "key", "bval"),
+		Probe:     Scan(probe, "fkey", "pname", "pval"),
+		BuildKeys: []string{"key"}, ProbeKeys: []string{"fkey"},
+		BuildPay: []string{"bval"},
+		ProbePay: []string{"pname", "pval"},
+	}
+	parent := t.TempDir()
+	res, err := ExecuteErr(context.Background(), spillOpts(96<<10, parent), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spill.Partitions == 0 {
+		t.Fatal("workload did not spill; the test exercised nothing")
+	}
+	names, vals := res.Result.Vecs[1], res.Result.Vecs[2]
+	for i := 0; i < res.Result.NumRows(); i++ {
+		want := fmt.Sprintf("name-%06d", vals.I64[i])
+		if got := string(names.Str[i]); got != want {
+			t.Fatalf("row %d: string payload %q detached from its tuple (pval %d)", i, got, vals.I64[i])
+		}
+	}
+	requireEmptyDir(t, parent)
 }

@@ -18,6 +18,10 @@ type JoinStat struct {
 	ProbeRows int64
 	Matches   int64
 
+	// Adapted reports that this join changed its plan-time decision at
+	// runtime (a BHJ build migrated to radix partitions mid-build).
+	Adapted bool
+
 	// Tuple widths of the materialized row layouts (the BHJ streams its
 	// probe side, so ProbeTupleBytes reports what a radix join would
 	// have to materialize).

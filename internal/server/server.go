@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"partitionjoin/internal/adapt"
 	"partitionjoin/internal/admit"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
@@ -70,6 +71,10 @@ type Config struct {
 	// JanitorInterval is the session-expiry sweep period (<= 0 uses
 	// SessionTTL/4, min 100ms).
 	JanitorInterval time.Duration
+	// NoAdapt disables runtime adaptation (mid-build join migration, skew
+	// splits, reservation revision) server-wide; sessions can also opt out
+	// individually via SessionDefaults.
+	NoAdapt bool
 	// Broker routes queries through process-wide admission control; nil
 	// runs unarbitrated. The server does not close it — the owner does.
 	Broker *admit.Broker
@@ -100,6 +105,9 @@ type execMeters struct {
 	MorselsPruned   atomic.Int64
 	BatchesPruned   atomic.Int64
 	RowsPrefiltered atomic.Int64
+	AdaptMigrations atomic.Int64
+	AdaptSplits     atomic.Int64
+	AdaptRevisions  atomic.Int64
 }
 
 // Server is the query service. Construct with New, serve it as an
@@ -295,7 +303,10 @@ type queryStats struct {
 	MemPeak      int64    `json:"mem_peak_bytes,omitempty"`
 	Degraded     []string `json:"degraded,omitempty"`
 	SpilledBytes int64    `json:"spilled_bytes,omitempty"`
-	PlanCache    string   `json:"plan_cache"` // "hit" or "miss"
+	// Adapt carries the runtime adaptation summary when the query adapted
+	// (migrations, partition splits, reservation revisions, decision log).
+	Adapt     *adapt.Stats `json:"adapt,omitempty"`
+	PlanCache string       `json:"plan_cache"` // "hit" or "miss"
 }
 
 // errorBody is every non-2xx response.
@@ -469,6 +480,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Workers: s.cfg.Workers, Algo: algo, Core: s.cfg.Core,
 		MemBudget:      budget,
 		NoScanPushdown: defaults.NoScanPushdown, NoDictCodes: defaults.NoDictCodes,
+		NoAdapt: s.cfg.NoAdapt || defaults.NoAdapt,
 	}
 	if s.cfg.SpillDir != "" {
 		opts.SpillDir = s.cfg.SpillDir
@@ -515,6 +527,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SpilledBytes: res.Spill.SpilledBytes,
 		PlanCache:    map[bool]string{true: "hit", false: "miss"}[cached],
 	}
+	if res.Adapt.Any() {
+		a := res.Adapt
+		stats.Adapt = &a
+	}
 	cols := make([]colMeta, len(res.Cols))
 	for i, c := range res.Cols {
 		cols[i] = colMeta{Name: c.Name, Type: res.Result.Vecs[i].T.String()}
@@ -535,6 +551,9 @@ func (s *Server) recordMeters(res *plan.ExecResult) {
 	s.meters.MorselsPruned.Add(res.Scan.MorselsPruned)
 	s.meters.BatchesPruned.Add(res.Scan.BatchesPruned)
 	s.meters.RowsPrefiltered.Add(res.Scan.RowsPrefiltered)
+	s.meters.AdaptMigrations.Add(res.Adapt.Migrations)
+	s.meters.AdaptSplits.Add(res.Adapt.Splits)
+	s.meters.AdaptRevisions.Add(res.Adapt.Revisions())
 }
 
 // rowValue extracts row i of vector v as a JSON-encodable value.
@@ -697,6 +716,9 @@ type ServerStats struct {
 		MorselsPruned   int64 `json:"morsels_pruned"`
 		BatchesPruned   int64 `json:"batches_pruned"`
 		RowsPrefiltered int64 `json:"rows_prefiltered"`
+		AdaptMigrations int64 `json:"adapt_migrations"`
+		AdaptSplits     int64 `json:"adapt_partition_splits"`
+		AdaptRevisions  int64 `json:"adapt_reservation_revisions"`
 	} `json:"meters"`
 }
 
@@ -731,6 +753,9 @@ func (s *Server) Stats() ServerStats {
 	st.Meters.MorselsPruned = s.meters.MorselsPruned.Load()
 	st.Meters.BatchesPruned = s.meters.BatchesPruned.Load()
 	st.Meters.RowsPrefiltered = s.meters.RowsPrefiltered.Load()
+	st.Meters.AdaptMigrations = s.meters.AdaptMigrations.Load()
+	st.Meters.AdaptSplits = s.meters.AdaptSplits.Load()
+	st.Meters.AdaptRevisions = s.meters.AdaptRevisions.Load()
 	return st
 }
 

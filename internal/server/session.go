@@ -24,6 +24,10 @@ type SessionDefaults struct {
 	// rewrite variant of each statement the session compiles and caches.
 	NoScanPushdown bool `json:"no_scan_pushdown,omitempty"`
 	NoDictCodes    bool `json:"no_dict_codes,omitempty"`
+	// NoAdapt disables runtime adaptation for the session's queries. An
+	// execution-time knob (like the join algorithm), deliberately absent
+	// from the plan-cache key.
+	NoAdapt bool `json:"no_adapt,omitempty"`
 }
 
 // parseAlgo maps the wire name onto the plan enum.

@@ -1,0 +1,97 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/storage"
+)
+
+// canonRows flattens a result into sorted, type-tagged row strings so two
+// runs can be compared independently of output order. Floats are printed
+// at a precision loose enough to absorb summation-order noise but tight
+// enough to catch any real divergence.
+func canonRows(res *plan.ExecResult) []string {
+	n := res.Result.NumRows()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		for c := range res.Result.Vecs {
+			v := &res.Result.Vecs[c]
+			switch v.T {
+			case storage.Float64:
+				fmt.Fprintf(&sb, "%.4f|", v.F64[i])
+			case storage.String:
+				sb.Write(v.Str[i])
+				sb.WriteByte('|')
+			default:
+				fmt.Fprintf(&sb, "%d|", v.I64[i])
+			}
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The SQL-level differential of the adaptation ladder: full TPC-H queries
+// run with deliberately corrupted cardinality estimates under a tight
+// budget, where mid-build migration, reservation revision, and spill all
+// fire — and every answer must match the static (NoAdapt) plan's.
+func TestQueriesAdaptiveMatchesStatic(t *testing.T) {
+	queries := []int{3, 12, 18, 21}
+	scales := []float64{1.0 / 16, 16}
+
+	mkOpts := func() plan.Options {
+		opts := plan.DefaultOptions()
+		opts.Algo = plan.BHJ
+		opts.Workers = 2
+		// Tight enough that the larger build sides at sf 0.01 outgrow it
+		// mid-build and migrate.
+		opts.MemBudget = 64 << 10
+		opts.SpillDir = t.TempDir()
+		return opts
+	}
+
+	adapted := false
+	for _, q := range queries {
+		// The static reference ignores estimates entirely, so one run
+		// serves every corruption factor.
+		sopts := mkOpts()
+		sopts.NoAdapt = true
+		sr := &Runner{Opts: sopts}
+		want := canonRows(Queries[q](testDB, sr))
+		if sr.Err != nil {
+			t.Fatalf("Q%d static: %v", q, sr.Err)
+		}
+
+		for _, scale := range scales {
+			opts := mkOpts()
+			opts.EstimateScale = scale
+			r := &Runner{Opts: opts}
+			res := Queries[q](testDB, r)
+			if r.Err != nil {
+				t.Fatalf("Q%d adaptive (estimates x%g): %v", q, scale, r.Err)
+			}
+			if res.Adapt.Any() {
+				adapted = true
+			}
+			got := canonRows(res)
+			if len(got) != len(want) {
+				t.Fatalf("Q%d (estimates x%g): %d rows, want %d", q, scale, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Q%d (estimates x%g) row %d diverged:\n got %s\nwant %s",
+						q, scale, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if !adapted {
+		t.Fatal("no query adapted under corrupted estimates and a 64 KiB budget; the differential exercised nothing")
+	}
+}
