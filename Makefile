@@ -2,9 +2,9 @@
 # injection suite runs twice to catch armed-fault leakage across runs, and
 # the stress target hammers the spill and fault paths under the race
 # detector.
-.PHONY: check build test race faultinject vet bench bench-scan stress soak serve-check fmtcheck
+.PHONY: check build test race faultinject vet bench bench-scan stress soak serve-check cluster-check fmtcheck
 
-check: vet build race faultinject stress soak serve-check
+check: vet build race faultinject stress soak serve-check cluster-check
 
 vet:
 	go vet ./...
@@ -57,3 +57,9 @@ soak:
 # balanced admission pool.
 serve-check:
 	sh scripts/serve_check.sh
+
+# cluster-check boots a 3-shard fleet plus a coordinator on ephemeral
+# ports, runs a chaos smoke (armed connect fault, shard kill -> typed 503,
+# restart -> recovery), and asserts clean drains everywhere.
+cluster-check:
+	sh scripts/cluster_check.sh

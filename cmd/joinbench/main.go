@@ -12,12 +12,13 @@ import (
 	"runtime"
 
 	"partitionjoin/internal/bench"
+	"partitionjoin/internal/clusterbench"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/tpch"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,adapt,soak,scanprune,serve,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,adapt,soak,scanprune,serve,cluster,all")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper (1 = 16M x 256M tuples)")
 	runs := flag.Int("runs", 3, "repetitions per measurement (median reported)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
@@ -25,7 +26,7 @@ func main() {
 	addr := flag.String("addr", "", "serve experiment: target a running joind (e.g. http://127.0.0.1:7432) instead of an in-process server")
 	clients := flag.Int("clients", 4*runtime.GOMAXPROCS(0), "serve experiment: concurrent closed-loop clients")
 	iters := flag.Int("iters", 20, "serve experiment: queries per client")
-	sf := flag.Float64("sf", 0.005, "serve experiment: TPC-H scale factor of the in-process server")
+	sf := flag.Float64("sf", 0.005, "serve/cluster experiments: TPC-H scale factor of the in-process servers")
 	flag.Parse()
 
 	bench.Runs = *runs
@@ -92,6 +93,15 @@ func main() {
 			rows = 1 << 18
 		}
 		return bench.ScanPrune(rows, []float64{0.01, 0.1, 0.5, 1}, cfg)
+	})
+	run("cluster", func() (*bench.Table, error) {
+		t, _, err := clusterbench.Cluster(clusterbench.ClusterConfig{
+			Catalog: tpch.ServeCatalog(*sf),
+			Shards:  []int{1, 2, 4},
+			Chaos:   true,
+			Core:    cfg,
+		})
+		return t, err
 	})
 	run("serve", func() (*bench.Table, error) {
 		scfg := bench.ServeConfig{

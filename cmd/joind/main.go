@@ -1,10 +1,21 @@
-// Command joind is the query service daemon: it generates (or will later
-// load) a TPC-H database, then serves SQL over HTTP with sessions, a
-// prepared-plan cache, admission control, NDJSON streaming, and graceful
-// drain on SIGTERM/SIGINT.
+// Command joind is the query service daemon. It runs in one of three modes:
 //
-//	joind -addr :7432 -sf 0.01 -global-mem 268435456 -spill-dir /tmp/joind-spill
-//	curl -s localhost:7432/query -d '{"sql":"SELECT count(*) AS n FROM lineitem"}'
+//   - single node (default): generate a TPC-H database and serve SQL over
+//     HTTP with sessions, a prepared-plan cache, admission control, NDJSON
+//     streaming, and graceful drain on SIGTERM/SIGINT.
+//
+//   - shard (-shard-id/-shard-count): the same server over this shard's
+//     slice of the cluster's deterministic partitioning — every shard
+//     computes the same placement independently, no loader coordination.
+//
+//   - coordinator (-coordinator -cluster-shards=url,url,...): no data, only the
+//     distributed planner: routes, scatters, merges, and gathers over the
+//     shard fleet with retries, circuit breakers, and health probing.
+//
+//     joind -addr :7432 -sf 0.01 -global-mem 268435456 -spill-dir /tmp/joind-spill
+//     joind -addr :0 -port-file /tmp/s0.port -sf 0.01 -shard-id 0 -shard-count 3
+//     joind -coordinator -cluster-shards http://127.0.0.1:7001,http://127.0.0.1:7002
+//     curl -s localhost:7432/query -d '{"sql":"SELECT count(*) AS n FROM lineitem"}'
 package main
 
 import (
@@ -15,12 +26,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"partitionjoin/internal/admit"
+	"partitionjoin/internal/cluster"
 	"partitionjoin/internal/core"
+	"partitionjoin/internal/faultinject"
 	"partitionjoin/internal/plan"
 	"partitionjoin/internal/server"
 	"partitionjoin/internal/spill"
@@ -30,7 +44,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7432", "listen address (port 0 picks an ephemeral port)")
-	portFile := flag.String("port-file", "", "write the bound host:port here once listening (for harnesses using port 0)")
+	portFile := flag.String("port-file", "", "write the bound host:port here once the listener answers /healthz (for harnesses using port 0)")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor of the served database")
 	workers := flag.Int("workers", 0, "per-query pipeline workers (0 = GOMAXPROCS)")
 	algo := flag.String("algo", "bhj", "default join algorithm: bhj, rj, brj")
@@ -47,12 +61,45 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "idle session expiry")
 	planCache := flag.Int("plan-cache", 128, "prepared-plan cache capacity")
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "how long in-flight queries may run after SIGTERM before being cancelled")
+
+	shardID := flag.Int("shard-id", -1, "serve shard N of a -shard-count cluster (default: whole database)")
+	shardCount := flag.Int("shard-count", 0, "total shards in the cluster (required with -shard-id)")
+	coordinator := flag.Bool("coordinator", false, "run the distributed-join coordinator instead of a data node")
+	shardsFlag := flag.String("cluster-shards", "", "comma-separated shard base URLs, in shard-id order (coordinator mode)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+	fragTimeout := flag.Duration("fragment-timeout", 0, "coordinator per-fragment attempt deadline (0 = default)")
+	maxRetries := flag.Int("max-retries", 0, "coordinator fragment retry budget (0 = default, negative = none)")
+	probeEvery := flag.Duration("probe-interval", 0, "coordinator shard health probe period (0 = default, negative = off)")
+
+	var injects []string
+	flag.Func("inject", "arm a fault site: site=kind[:duration|:afterN|:once]... (repeatable; kinds: fail, stall, panic)", func(s string) error {
+		injects = append(injects, s)
+		return nil
+	})
 	flag.Parse()
 
 	jAlgo, ok := parseAlgoFlag(*algo)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "joind: unknown algorithm %q\n", *algo)
 		os.Exit(2)
+	}
+	if (*shardID >= 0) != (*shardCount > 0) {
+		fmt.Fprintln(os.Stderr, "joind: -shard-id and -shard-count must be set together")
+		os.Exit(2)
+	}
+	if *shardID >= 0 && *shardID >= *shardCount {
+		fmt.Fprintf(os.Stderr, "joind: -shard-id %d out of range for %d shards\n", *shardID, *shardCount)
+		os.Exit(2)
+	}
+
+	// Fault arming happens before any serving so chaos harnesses can
+	// pre-load failures; sites must already be linked in (Register runs from
+	// package init of the code under test).
+	for _, spec := range injects {
+		if err := armInject(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "joind: -inject %q: %v\n", spec, err)
+			os.Exit(2)
+		}
 	}
 
 	// Startup janitor: reclaim spill trees abandoned by crashed processes
@@ -80,25 +127,69 @@ func main() {
 		defer broker.Close()
 	}
 
-	fmt.Fprintf(os.Stderr, "joind: generating TPC-H at sf=%g...\n", *sf)
-	db := tpch.Generate(*sf, 1)
-	cat := sql.Catalog{}
-	for _, t := range db.Tables() {
-		cat[t.Name] = t
+	var svc drainableHandler
+	var label string
+	if *coordinator {
+		shards := splitShards(*shardsFlag)
+		if len(shards) == 0 {
+			fmt.Fprintln(os.Stderr, "joind: -coordinator requires -cluster-shards")
+			os.Exit(2)
+		}
+		// The spec needs only table schemas, which are scale-independent;
+		// generate the smallest database to derive them.
+		spec, err := cluster.TPCHSpec(tpchCatalog(0.001))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "joind: %v\n", err)
+			os.Exit(1)
+		}
+		coord, err := cluster.New(cluster.Config{
+			Shards:          shards,
+			Spec:            spec,
+			Vnodes:          *vnodes,
+			FragmentTimeout: *fragTimeout,
+			MaxRetries:      *maxRetries,
+			ProbeInterval:   *probeEvery,
+			Broker:          broker,
+			MemBudget:       *memBudget,
+			Timeout:         *timeout,
+			Workers:         *workers,
+			Core:            core.DefaultConfig(),
+			SpillDir:        *spillDir,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "joind: %v\n", err)
+			os.Exit(1)
+		}
+		svc = coord
+		label = fmt.Sprintf("coordinator over %d shards", len(shards))
+	} else {
+		fmt.Fprintf(os.Stderr, "joind: generating TPC-H at sf=%g...\n", *sf)
+		cat := tpchCatalog(*sf)
+		if *shardID >= 0 {
+			spec, err := cluster.TPCHSpec(cat)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "joind: %v\n", err)
+				os.Exit(1)
+			}
+			ring := cluster.NewRing(*shardCount, *vnodes)
+			cat = cluster.PartitionCatalog(cat, spec, ring, *shardID)
+			label = fmt.Sprintf("shard %d/%d", *shardID, *shardCount)
+		} else {
+			label = fmt.Sprintf("%d tables", len(cat))
+		}
+		svc = server.New(server.Config{
+			Workers:       *workers,
+			Algo:          jAlgo,
+			Core:          core.DefaultConfig(),
+			MemBudget:     *memBudget,
+			Timeout:       *timeout,
+			SpillDir:      *spillDir,
+			PlanCacheSize: *planCache,
+			SessionTTL:    *sessionTTL,
+			NoAdapt:       *noAdapt,
+			Broker:        broker,
+		}, cat)
 	}
-
-	srv := server.New(server.Config{
-		Workers:       *workers,
-		Algo:          jAlgo,
-		Core:          core.DefaultConfig(),
-		MemBudget:     *memBudget,
-		Timeout:       *timeout,
-		SpillDir:      *spillDir,
-		PlanCacheSize: *planCache,
-		SessionTTL:    *sessionTTL,
-		NoAdapt:       *noAdapt,
-		Broker:        broker,
-	}, cat)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -106,15 +197,7 @@ func main() {
 		os.Exit(1)
 	}
 	bound := ln.Addr().String()
-	if *portFile != "" {
-		if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "joind: write port file: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	fmt.Fprintf(os.Stderr, "joind: serving %d tables on http://%s\n", len(cat), bound)
-
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := &http.Server{Handler: svc}
 
 	// Periodic re-sweep: a long-lived daemon outlives crashed siblings (or
 	// its own previous incarnation's sessions), so orphaned spill runs are
@@ -154,6 +237,22 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// The port file is the readiness signal harnesses wait on, so it must
+	// not appear before the server answers: probe our own /healthz through
+	// the real listener first, then publish atomically (tmp + rename) so a
+	// reader never sees a partial write.
+	if *portFile != "" {
+		if err := awaitReady(bound, 10*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "joind: readiness probe: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writePortFile(*portFile, bound); err != nil {
+			fmt.Fprintf(os.Stderr, "joind: write port file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "joind: serving %s on http://%s\n", label, bound)
+
 	select {
 	case sig := <-sigCh:
 		fmt.Fprintf(os.Stderr, "joind: %v received, draining (grace %v)...\n", sig, *drainGrace)
@@ -163,7 +262,7 @@ func main() {
 	}
 
 	httpSrv.SetKeepAlivesEnabled(false)
-	clean := srv.Drain(*drainGrace)
+	clean := svc.Drain(*drainGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -184,6 +283,116 @@ func main() {
 	} else {
 		fmt.Fprintln(os.Stderr, "joind: drain grace exceeded; stragglers were cancelled")
 	}
+}
+
+// drainableHandler is what every joind mode serves: an HTTP front with a
+// graceful drain.
+type drainableHandler interface {
+	http.Handler
+	Drain(grace time.Duration) bool
+}
+
+func tpchCatalog(sf float64) sql.Catalog {
+	db := tpch.Generate(sf, 1)
+	cat := sql.Catalog{}
+	for _, t := range db.Tables() {
+		cat[t.Name] = t
+	}
+	return cat
+}
+
+func splitShards(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// awaitReady polls the daemon's own /healthz through the bound listener
+// until it answers, so readiness is observed, not assumed.
+func awaitReady(bound string, within time.Duration) error {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return err
+	}
+	// A wildcard listen address is not dialable; probe via loopback.
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	url := "http://" + net.JoinHostPort(host, port) + "/healthz"
+	cl := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := cl.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s not answering after %v: %w", url, within, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// writePortFile publishes the bound address atomically: a reader polling
+// for the file sees either nothing or the complete address, never a torn
+// write.
+func writePortFile(path, bound string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(bound), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// armInject parses one -inject spec (site=kind[:option]...) and arms it.
+// Options: a duration sets the stall time, "afterN" skips the first N
+// visits, "once" disarms after the first trigger.
+func armInject(spec string) error {
+	site, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("want site=kind[:option]...")
+	}
+	if !faultinject.Registered(site) {
+		return fmt.Errorf("unknown fault site %q", site)
+	}
+	parts := strings.Split(rest, ":")
+	var f faultinject.Fault
+	switch parts[0] {
+	case "fail":
+		f.Kind = faultinject.Fail
+	case "stall":
+		f.Kind = faultinject.Stall
+	case "panic":
+		f.Kind = faultinject.Panic
+	default:
+		return fmt.Errorf("unknown fault kind %q", parts[0])
+	}
+	for _, opt := range parts[1:] {
+		switch {
+		case opt == "once":
+			f.Once = true
+		case strings.HasPrefix(opt, "after"):
+			n, err := strconv.ParseInt(opt[len("after"):], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad after option %q", opt)
+			}
+			f.After = n
+		default:
+			d, err := time.ParseDuration(opt)
+			if err != nil {
+				return fmt.Errorf("unknown option %q", opt)
+			}
+			f.Stall = d
+		}
+	}
+	f.Message = "armed via -inject"
+	faultinject.Enable(site, f)
+	return nil
 }
 
 func parseAlgoFlag(s string) (plan.JoinAlgo, bool) {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,6 +43,7 @@ func main() {
 	stallWindow := flag.Duration("stall-window", 0, "watchdog: cancel an admitted query that makes no progress for this long (0 = watchdog off)")
 	noAdapt := flag.Bool("no-adapt", false, "disable runtime adaptation (mid-build join migration, skew splits, reservation revision) — the A/B gate against the static plan")
 	estScale := flag.Float64("estimate-scale", 0, "corrupt every plan-time cardinality estimate by this factor (0 or 1 = truth); for exercising the adaptation paths")
+	retries := flag.Int("retry", 0, "auto-retry a shed (overloaded) query up to N times, sleeping a jittered Retry-After between attempts; 0 exits 75 on the first shed")
 	cleanSpill := flag.Bool("clean-spill", false, "sweep stale spill directories under -spill-dir and exit")
 	flag.Parse()
 
@@ -133,7 +135,30 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := sql.RunCtx(ctx, cat, query, opts)
+	// Overload shedding is the server saying "come back later"; with -retry
+	// the client honors that contract itself — a jittered sleep around the
+	// broker's suggested Retry-After, then a fresh attempt. Exit 75 is
+	// reserved for a query that stayed shed through the whole budget.
+	var res *plan.ExecResult
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = sql.RunCtx(ctx, cat, query, opts)
+		var oe *admit.OverloadError
+		if err == nil || !errors.As(err, &oe) || attempt >= *retries {
+			break
+		}
+		d := oe.RetryAfter
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		d = d/2 + time.Duration(rand.Int63n(int64(d))) // ±50% jitter
+		fmt.Fprintf(os.Stderr, "sqlrun: overloaded, retry %d/%d in %v...\n",
+			attempt+1, *retries, d.Round(time.Millisecond))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		var oe *admit.OverloadError

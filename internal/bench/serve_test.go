@@ -7,6 +7,7 @@
 package bench_test
 
 import (
+	"runtime"
 	"testing"
 
 	"partitionjoin/internal/bench"
@@ -14,6 +15,14 @@ import (
 )
 
 func TestServeSoak32Clients(t *testing.T) {
+	// Shedding needs requests to genuinely interleave: with a single P and
+	// sub-millisecond queries, handler goroutines run back to back and no
+	// arrival ever finds both admission slots busy. Two Ps timeshare even a
+	// one-core host preemptively, which restores the overlap.
+	if runtime.GOMAXPROCS(0) < 2 {
+		old := runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(old)
+	}
 	const clients, iters = 32, 5
 	_, out, err := bench.Serve(bench.ServeConfig{
 		Catalog: tpch.ServeCatalog(0.002),

@@ -1,0 +1,662 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partitionjoin/internal/admit"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/sql"
+)
+
+// Config sizes a Coordinator. Zero values select the documented defaults.
+type Config struct {
+	// Shards are the shard node base URLs, indexed by shard id. Shard i
+	// must serve the catalog PartitionCatalog builds for id i under the
+	// same Spec and shard count.
+	Shards []string
+	// Spec is the cluster's partitioning scheme (BuildSpec/TPCHSpec).
+	Spec Spec
+	// Vnodes is the ring's virtual-node count per shard (0 = default).
+	Vnodes int
+	// HTTP is the fabric transport (nil uses a dedicated client).
+	HTTP *http.Client
+
+	// FragmentTimeout bounds one fragment attempt; a query deadline
+	// tighter than this wins, because the attempt context descends from
+	// the query context (0 = 30s).
+	FragmentTimeout time.Duration
+	// MaxRetries is how many times an idempotent fragment is re-dispatched
+	// after its first failure (0 = 3; negative = no retries).
+	MaxRetries int
+	// RetryBase/RetryCap shape the jittered exponential backoff between
+	// attempts (0 = 25ms base, 1s cap).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BreakerThreshold consecutive fragment failures open a shard's
+	// circuit breaker for BreakerCooloff (0 = 3 failures, 2s).
+	BreakerThreshold int
+	BreakerCooloff   time.Duration
+	// ProbeInterval is the health prober period (0 = 500ms; negative
+	// disables the prober — tests drive states directly).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe (0 = 500ms).
+	ProbeTimeout time.Duration
+	// DownAfter consecutive failed probes mark a shard Down (0 = 3).
+	DownAfter int
+
+	// Broker, when set, admits queries before any fragment is dispatched;
+	// the reservation is held until the merged result is delivered. The
+	// coordinator does not close it.
+	Broker *admit.Broker
+	// MemBudget is the default admission request in bytes.
+	MemBudget int64
+	// Timeout is the default per-query deadline (0 = none).
+	Timeout time.Duration
+	// Workers/Core/SpillDir configure local execution of the gather
+	// (shuffle) path, which joins fetched rows on the coordinator.
+	Workers  int
+	Core     core.Config
+	SpillDir string
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.FragmentTimeout == 0 {
+		cfg.FragmentTimeout = 30 * time.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 25 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooloff <= 0 {
+		cfg.BreakerCooloff = 2 * time.Second
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 500 * time.Millisecond
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.Core == (core.Config{}) {
+		cfg.Core = core.DefaultConfig()
+	}
+}
+
+// Mode classifies how a query was executed across the cluster.
+type Mode string
+
+const (
+	// ModeReplicated: every table is replicated; one healthy shard runs
+	// the whole query.
+	ModeReplicated Mode = "replicated"
+	// ModeColocated: every partitioned table hashes on the join key (or
+	// only one partitioned table is involved); the query scatters as-is
+	// and partials merge. Replicated sides join broadcast-style in place.
+	ModeColocated Mode = "colocated"
+	// ModeRouted: co-located plus a partition-key point/range predicate —
+	// the router pruned the scatter to the owning shard subset.
+	ModeRouted Mode = "routed"
+	// ModeGather: the shuffle regime — misaligned partitioned sides are
+	// fetched to the coordinator, which pays the network cost the paper's
+	// partitioning question becomes at cluster scale, and joined locally.
+	ModeGather Mode = "gather"
+)
+
+// ErrDraining is the cancel cause installed when the coordinator's drain
+// grace expires with queries still running.
+var ErrDraining = errors.New("cluster: coordinator draining")
+
+// Coordinator plans and executes distributed queries over the shard fleet.
+// Construct with New, serve it as an http.Handler (or call Query directly),
+// end it with Drain.
+type Coordinator struct {
+	cfg    Config
+	shards []*shard
+	ring   *Ring
+	mux    *http.ServeMux
+
+	mu        sync.Mutex
+	draining  bool
+	inflightN int
+	idleCh    chan struct{}
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+	bg         sync.WaitGroup
+
+	queryID  atomic.Int64
+	counters struct {
+		Total       atomic.Int64
+		OK          atomic.Int64
+		BadRequest  atomic.Int64
+		Unavailable atomic.Int64
+		Overloaded  atomic.Int64
+		Timeout     atomic.Int64
+		Canceled    atomic.Int64
+		Internal    atomic.Int64
+	}
+	retries      atomic.Int64
+	gatheredRows atomic.Int64
+	modeCounts   [4]atomic.Int64 // replicated, colocated, routed, gather
+}
+
+// New builds a coordinator over the configured shard fleet.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: no shards configured")
+	}
+	if len(cfg.Spec) == 0 {
+		return nil, errors.New("cluster: no partitioning spec configured")
+	}
+	cfg.applyDefaults()
+	c := &Coordinator{
+		cfg:    cfg,
+		ring:   NewRing(len(cfg.Shards), cfg.Vnodes),
+		idleCh: make(chan struct{}),
+	}
+	for i, addr := range cfg.Shards {
+		sh := &shard{id: i, addr: addr}
+		sh.breaker.threshold = cfg.BreakerThreshold
+		sh.breaker.cooloff = cfg.BreakerCooloff
+		c.shards = append(c.shards, sh)
+	}
+	c.baseCtx, c.baseCancel = context.WithCancelCause(context.Background())
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/query", c.handleQuery)
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/statsz", c.handleStatsz)
+	if cfg.ProbeInterval > 0 {
+		c.bg.Add(1)
+		go c.prober()
+	}
+	return c, nil
+}
+
+func (c *Coordinator) httpClient() *http.Client {
+	if c.cfg.HTTP != nil {
+		return c.cfg.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Ring exposes the router for harnesses asserting rebalance behaviour.
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Broker exposes the admission broker (nil when unarbitrated).
+func (c *Coordinator) Broker() *admit.Broker { return c.cfg.Broker }
+
+// Drain gracefully stops the coordinator exactly like server.Drain: refuse
+// new queries, give in-flight ones the grace window, cancel-cause the
+// stragglers, stop the prober, and return whether the drain was clean.
+func (c *Coordinator) Drain(grace time.Duration) bool {
+	c.mu.Lock()
+	alreadyIdle := false
+	if !c.draining {
+		c.draining = true
+		if c.inflightN == 0 {
+			close(c.idleCh)
+			alreadyIdle = true
+		}
+	}
+	c.mu.Unlock()
+
+	clean := true
+	if !alreadyIdle {
+		timer := time.NewTimer(grace)
+		select {
+		case <-c.idleCh:
+			timer.Stop()
+		case <-timer.C:
+			clean = false
+			c.baseCancel(ErrDraining)
+			<-c.idleCh
+		}
+	}
+	c.baseCancel(ErrDraining)
+	c.bg.Wait()
+	return clean
+}
+
+// enter registers an in-flight query; it fails while draining.
+func (c *Coordinator) enter() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return false
+	}
+	c.inflightN++
+	return true
+}
+
+// leave balances enter and wakes Drain when the last query ends.
+func (c *Coordinator) leave() {
+	c.mu.Lock()
+	c.inflightN--
+	if c.draining && c.inflightN == 0 {
+		close(c.idleCh)
+	}
+	c.mu.Unlock()
+}
+
+// Stats is one query's distributed-execution summary.
+type Stats struct {
+	Mode         Mode          `json:"mode"`
+	Shards       int           `json:"shards"`
+	Fragments    int           `json:"fragments"`
+	Retries      int           `json:"retries"`
+	GatheredRows int64         `json:"gathered_rows,omitempty"`
+	Duration     time.Duration `json:"-"`
+	DurationMS   float64       `json:"duration_ms"`
+}
+
+// ColMeta describes one result column.
+type ColMeta struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Result is a merged distributed query result. Row values are int64,
+// float64, or string by column type.
+type Result struct {
+	QueryID string
+	Cols    []ColMeta
+	Rows    [][]any
+	Stats   Stats
+}
+
+// aliasInfo resolves one FROM entry against the spec.
+type aliasInfo struct {
+	alias string
+	table string
+	dist  TableDist
+}
+
+// resolveAliases maps the statement's FROM list onto the spec.
+func (c *Coordinator) resolveAliases(stmt *sql.SelectStmt) (map[string]*aliasInfo, []*aliasInfo, error) {
+	byAlias := make(map[string]*aliasInfo, len(stmt.From))
+	var order []*aliasInfo
+	for _, f := range stmt.From {
+		d, ok := c.cfg.Spec[f.Table]
+		if !ok {
+			return nil, nil, fmt.Errorf("cluster: unknown table %q", f.Table)
+		}
+		ai := &aliasInfo{alias: f.Alias, table: f.Table, dist: d}
+		if _, dup := byAlias[f.Alias]; dup {
+			return nil, nil, fmt.Errorf("cluster: duplicate alias %q", f.Alias)
+		}
+		byAlias[f.Alias] = ai
+		order = append(order, ai)
+	}
+	return byAlias, order, nil
+}
+
+// resolveQualifier finds the alias a column reference belongs to: its
+// explicit qualifier, or the unique table whose schema carries the column.
+func resolveQualifier(col sql.ColRefAST, byAlias map[string]*aliasInfo) (*aliasInfo, error) {
+	if col.Qualifier != "" {
+		ai := byAlias[col.Qualifier]
+		if ai == nil {
+			return nil, fmt.Errorf("cluster: unknown alias %q", col.Qualifier)
+		}
+		return ai, nil
+	}
+	var found *aliasInfo
+	for _, ai := range byAlias {
+		for _, cn := range ai.dist.Cols {
+			if cn == col.Column {
+				if found != nil && found != ai {
+					return nil, fmt.Errorf("cluster: ambiguous column %q", col.Column)
+				}
+				found = ai
+			}
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("cluster: unknown column %q", col.Column)
+	}
+	return found, nil
+}
+
+// classify decides the distributed execution mode and, for scatter modes,
+// the shard subset to touch.
+func (c *Coordinator) classify(stmt *sql.SelectStmt) (Mode, []*shard, error) {
+	byAlias, order, err := c.resolveAliases(stmt)
+	if err != nil {
+		return "", nil, err
+	}
+	var parts []*aliasInfo
+	for _, ai := range order {
+		if !ai.dist.Replicated() {
+			parts = append(parts, ai)
+		}
+	}
+	if len(parts) == 0 {
+		sh := c.pickHealthy()
+		if sh == nil {
+			return ModeReplicated, nil, c.noShardErr()
+		}
+		return ModeReplicated, []*shard{sh}, nil
+	}
+
+	// Co-location: every partitioned alias's partition key must sit in one
+	// equivalence class of the equality join conditions. A single
+	// partitioned alias is trivially co-located; replicated sides join
+	// broadcast-style wherever the scatter lands.
+	if len(parts) > 1 {
+		uf := newUnionFind()
+		for _, cond := range stmt.Where {
+			if !cond.IsJoin || cond.Op != "=" {
+				continue
+			}
+			l, lerr := resolveQualifier(cond.Left, byAlias)
+			r, rerr := resolveQualifier(cond.Right, byAlias)
+			if lerr != nil || rerr != nil {
+				continue
+			}
+			uf.union(l.alias+"."+cond.Left.Column, r.alias+"."+cond.Right.Column)
+		}
+		root := uf.find(parts[0].alias + "." + parts[0].dist.Key)
+		for _, ai := range parts[1:] {
+			if uf.find(ai.alias+"."+ai.dist.Key) != root {
+				return ModeGather, nil, nil // misaligned: the shuffle regime
+			}
+		}
+	}
+
+	// Partition-key routing: an equality (or, for range-partitioned
+	// tables, a range) predicate on a partition key prunes the scatter.
+	targets := c.liveShards()
+	mode := ModeColocated
+	if sub := c.routedSubset(stmt, byAlias, parts); sub != nil {
+		targets = sub
+		mode = ModeRouted
+	}
+	if len(targets) == 0 {
+		return mode, nil, c.noShardErr()
+	}
+	return mode, targets, nil
+}
+
+// routedSubset returns the shard subset a partition-key predicate pins the
+// query to, or nil when no such predicate exists.
+func (c *Coordinator) routedSubset(stmt *sql.SelectStmt, byAlias map[string]*aliasInfo, parts []*aliasInfo) []*shard {
+	for _, cond := range stmt.Where {
+		if cond.IsJoin || cond.IsStr {
+			continue
+		}
+		ai, err := resolveQualifier(cond.Left, byAlias)
+		if err != nil || ai.dist.Replicated() || cond.Left.Column != ai.dist.Key {
+			continue
+		}
+		switch cond.Op {
+		case "=":
+			var id int
+			if len(ai.dist.Bounds) > 0 {
+				id = NewRangeRouter(ai.dist.Bounds).Owner(cond.Num)
+			} else {
+				id = c.ring.OwnerKey(cond.Num)
+			}
+			return []*shard{c.shards[id]}
+		case "between":
+			if len(ai.dist.Bounds) == 0 {
+				continue // hash placement cannot prune a range
+			}
+			ids := NewRangeRouter(ai.dist.Bounds).Owners(cond.Num, cond.Num2)
+			out := make([]*shard, len(ids))
+			for i, id := range ids {
+				out[i] = c.shards[id]
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// liveShards returns every shard the router may currently use; Down or
+// circuit-broken shards are excluded (their fragments would fail fast
+// anyway, and a partitioned fragment has nowhere else to go — the caller
+// surfaces ErrShardUnavailable when the owner is missing).
+func (c *Coordinator) liveShards() []*shard {
+	now := time.Now()
+	var out []*shard
+	for _, sh := range c.shards {
+		if sh.available(now) {
+			out = append(out, sh)
+		}
+	}
+	// Partitioned scatters need every shard: if any shard is unavailable
+	// the query cannot be answered completely, so return the full set and
+	// let the fragment layer fail fast with the typed error.
+	if len(out) != len(c.shards) {
+		return c.shards
+	}
+	return out
+}
+
+// pickHealthy chooses one shard for a replicated-only query, preferring Up
+// over Degraded and spreading load round-robin.
+func (c *Coordinator) pickHealthy() *shard {
+	now := time.Now()
+	start := int(c.queryID.Load())
+	var degraded *shard
+	for i := 0; i < len(c.shards); i++ {
+		sh := c.shards[(start+i)%len(c.shards)]
+		if !sh.available(now) {
+			continue
+		}
+		if sh.State() == Up {
+			return sh
+		}
+		if degraded == nil {
+			degraded = sh
+		}
+	}
+	return degraded
+}
+
+// noShardErr is the typed failure when routing finds no usable shard.
+func (c *Coordinator) noShardErr() error {
+	return &ShardUnavailableError{
+		Shard: -1, Addr: "(none)", RetryAfter: c.cfg.BreakerCooloff,
+		Err: errors.New("no healthy shard"),
+	}
+}
+
+// Query plans and executes one distributed query. qid may be empty (one is
+// generated); it is propagated to every fragment for cross-node log
+// correlation. Admission, when configured, spans the whole distributed
+// execution.
+func (c *Coordinator) Query(ctx context.Context, sqlText, qid string) (*Result, error) {
+	// Drain participation lives here, not only in the HTTP handler, so
+	// embedded (in-process) callers are counted in-flight and cancelled by
+	// an unclean drain too.
+	if !c.enter() {
+		return nil, ErrDraining
+	}
+	defer c.leave()
+	qctx, qcancel := context.WithCancelCause(ctx)
+	defer qcancel(nil)
+	stop := context.AfterFunc(c.baseCtx, func() { qcancel(context.Cause(c.baseCtx)) })
+	defer stop()
+	ctx = qctx
+
+	if qid == "" {
+		qid = fmt.Sprintf("c%d", c.queryID.Add(1))
+	} else {
+		c.queryID.Add(1)
+	}
+	start := time.Now()
+
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+	}
+
+	var rsv *admit.Reservation
+	if c.cfg.Broker != nil {
+		var actx context.Context
+		rsv, actx, err = c.cfg.Broker.Admit(ctx, c.cfg.MemBudget)
+		if err != nil {
+			return nil, err
+		}
+		defer rsv.Release()
+		ctx = actx
+	}
+
+	mode, targets, err := c.classify(stmt)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	switch {
+	case mode == ModeGather:
+		res, err = c.gatherExecute(ctx, stmt, qid, rsv)
+	case len(targets) == 1:
+		// One shard holds everything the query needs (all-replicated, or
+		// routed to the partition key's owner): run it whole, no merge.
+		res, err = c.passthrough(ctx, stmt, targets[0], qid)
+	default:
+		res, err = c.scatterMerge(ctx, stmt, targets, qid)
+		if errors.Is(err, errNotMergeable) {
+			// A shape the merge cannot reassemble (e.g. ORDER BY a column
+			// outside the output): fall back to fetching rows and executing
+			// locally, which supports everything single-node SQL does.
+			mode = ModeGather
+			res, err = c.gatherExecute(ctx, stmt, qid, rsv)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.QueryID = qid
+	res.Stats.Mode = mode
+	res.Stats.Duration = time.Since(start)
+	res.Stats.DurationMS = float64(res.Stats.Duration.Microseconds()) / 1000
+	c.modeCounts[modeIndex(mode)].Add(1)
+	return res, nil
+}
+
+func modeIndex(m Mode) int {
+	switch m {
+	case ModeReplicated:
+		return 0
+	case ModeColocated:
+		return 1
+	case ModeRouted:
+		return 2
+	}
+	return 3
+}
+
+// scatterMerge runs the co-located/broadcast/routed path: the (possibly
+// avg-rewritten) fragment statement goes to every target shard and the
+// partial results merge on the coordinator.
+func (c *Coordinator) scatterMerge(ctx context.Context, stmt *sql.SelectStmt, targets []*shard, qid string) (*Result, error) {
+	mp, err := buildMerge(stmt)
+	if err != nil {
+		return nil, err
+	}
+	frags, err := c.scatter(ctx, targets, mp.fragSQL, qid)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mp.merge(frags)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Shards = len(targets)
+	for _, fr := range frags {
+		res.Stats.Fragments += fr.tries
+		res.Stats.Retries += fr.tries - 1
+	}
+	return res, nil
+}
+
+// passthrough runs the whole statement on one shard and returns its rows
+// unmerged — correct whenever that shard holds every row the query can
+// touch. Printing from the AST (rather than echoing the client's text)
+// keeps the fragment layer the single wire entry point.
+func (c *Coordinator) passthrough(ctx context.Context, stmt *sql.SelectStmt, sh *shard, qid string) (*Result, error) {
+	fr, err := c.runFragment(ctx, sh, printStmt(stmt, fragOpts{}), qid)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]ColMeta, len(fr.cols))
+	for i, cm := range fr.cols {
+		cols[i] = ColMeta{Name: cm.Name, Type: cm.Type}
+	}
+	return &Result{Cols: cols, Rows: fr.rows, Stats: Stats{
+		Shards: 1, Fragments: fr.tries, Retries: fr.tries - 1,
+	}}, nil
+}
+
+// unionFind is a tiny union-find over qualified column names.
+type unionFind struct{ parent map[string]string }
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	r := u.find(p)
+	u.parent[x] = r
+	return r
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// execOpts builds the local-execution options of the gather path.
+func (c *Coordinator) execOpts(rsv *admit.Reservation) plan.Options {
+	return plan.Options{
+		Workers: c.cfg.Workers, Algo: plan.BHJ, Core: c.cfg.Core,
+		MemBudget: c.cfg.MemBudget, SpillDir: c.cfg.SpillDir,
+		Reservation: rsv,
+	}
+}
+
+// shardIDs names the target set for stats/logs.
+func shardIDs(shards []*shard) []int {
+	out := make([]int, len(shards))
+	for i, sh := range shards {
+		out[i] = sh.id
+	}
+	sort.Ints(out)
+	return out
+}

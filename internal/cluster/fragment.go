@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/storage"
+)
+
+// Fault sites of the inter-node fabric, armable by tests and by joind
+// -inject: a refused connection, a mid-stream hangup, a shard slow enough
+// to trip the fragment deadline, and a router acting on a stale ring after
+// a rebalance.
+var _ = faultinject.Register(
+	"cluster.fragment.connect",
+	"cluster.fragment.stream",
+	"cluster.fragment.slow",
+	"cluster.ring.stale",
+)
+
+// colMeta mirrors the server's column descriptor on the wire.
+type colMeta struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// fragResult is one fragment's fully collected rows. Values are decoded by
+// declared column type: INT64/INT32/DATE/BOOL → int64, FLOAT64 → float64,
+// STRING → string (json.Number parsing, so 64-bit keys survive).
+type fragResult struct {
+	shard *shard
+	cols  []colMeta
+	rows  [][]any
+	tries int
+}
+
+// retryableStatus reports whether an HTTP status is worth another attempt:
+// overload and drain (429/503) clear with backoff, timeouts (408) may be
+// transient load, and 5xx may be a shard mid-crash. 4xx means the fragment
+// itself is wrong and retrying cannot help.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusRequestTimeout ||
+		code >= 500
+}
+
+// fragError is an attempt failure plus its retry classification.
+type fragError struct {
+	err        error
+	retryable  bool
+	retryAfter time.Duration // server-suggested backoff floor, if any
+}
+
+func (e *fragError) Error() string { return e.err.Error() }
+
+// fragmentRequest mirrors the server's queryRequest body.
+type fragmentRequest struct {
+	SQL    string `json:"sql"`
+	Stream bool   `json:"stream"`
+}
+
+// attemptFragment issues one fragment RPC against addr and streams the
+// NDJSON response into memory. ctx must already carry the fragment
+// deadline. The error, when non-nil, is always a *fragError.
+func (c *Coordinator) attemptFragment(ctx context.Context, addr, fsql, qid string) ([]colMeta, [][]any, error) {
+	if err := faultinject.ErrAt("cluster.fragment.connect"); err != nil {
+		return nil, nil, &fragError{err: fmt.Errorf("connect %s: %w", addr, err), retryable: true}
+	}
+	faultinject.Hit("cluster.fragment.slow")
+	body, _ := json.Marshal(fragmentRequest{SQL: fsql, Stream: true})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, &fragError{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	req.Header.Set("X-Query-ID", qid)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Transport-level failure: refused, reset, or the fragment
+		// deadline. The parent query context deciding it is different —
+		// the caller checks that before classifying.
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: %w", addr, err), retryable: true}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		fe := &fragError{
+			err:       fmt.Errorf("fragment %s: HTTP %d: %s", addr, resp.StatusCode, bytes.TrimSpace(msg)),
+			retryable: retryableStatus(resp.StatusCode),
+		}
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil {
+			fe.retryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, nil, fe
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !sc.Scan() {
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: empty stream: %w", addr, sc.Err()), retryable: true}
+	}
+	var hdr struct {
+		Cols []colMeta `json:"cols"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: bad stream header: %w", addr, err)}
+	}
+	var rows [][]any
+	sawTrailer := false
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '{' {
+			sawTrailer = true
+			break
+		}
+		n++
+		if n%64 == 0 {
+			if err := faultinject.ErrAt("cluster.fragment.stream"); err != nil {
+				return nil, nil, &fragError{err: fmt.Errorf("fragment %s: %w", addr, err), retryable: true}
+			}
+		}
+		row, err := decodeRow(line, hdr.Cols)
+		if err != nil {
+			return nil, nil, &fragError{err: fmt.Errorf("fragment %s: %w", addr, err)}
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: mid-stream: %w", addr, err), retryable: true}
+	}
+	if !sawTrailer {
+		// The shard died between the last row and the trailer; without the
+		// trailer the row set cannot be trusted complete.
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: stream ended without trailer", addr), retryable: true}
+	}
+	return hdr.Cols, rows, nil
+}
+
+// decodeRow parses one NDJSON row array into typed values.
+func decodeRow(line []byte, cols []colMeta) ([]any, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.UseNumber()
+	var raw []any
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("bad stream row: %w", err)
+	}
+	if len(raw) != len(cols) {
+		return nil, fmt.Errorf("row has %d values, want %d", len(raw), len(cols))
+	}
+	row := make([]any, len(raw))
+	for i, v := range raw {
+		cv, err := coerce(v, cols[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", cols[i].Name, err)
+		}
+		row[i] = cv
+	}
+	return row, nil
+}
+
+// coerce converts a decoded JSON value to the column's Go representation.
+func coerce(v any, typ string) (any, error) {
+	switch typ {
+	case storage.Float64.String():
+		switch n := v.(type) {
+		case json.Number:
+			return n.Float64()
+		case float64:
+			return n, nil
+		}
+	case storage.String.String():
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	default: // INT64, INT32, DATE, BOOL
+		switch n := v.(type) {
+		case json.Number:
+			return n.Int64()
+		case float64:
+			return int64(n), nil
+		}
+	}
+	return nil, fmt.Errorf("unexpected %T for %s", v, typ)
+}
+
+// runFragment executes one fragment against its shard with the full
+// robustness ladder: per-attempt deadline, jittered exponential backoff,
+// breaker consultation, and health-state fail-fast. Fragments are read-only
+// and therefore always idempotent — every retryable failure may re-dispatch.
+// A nil error means the rows are complete; the typed alternative is
+// *ShardUnavailableError (or the parent context's cause).
+func (c *Coordinator) runFragment(ctx context.Context, sh *shard, fsql, qid string) (*fragResult, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
+		now := time.Now()
+		if sh.State() == Down || !sh.breaker.allow(now) {
+			sh.failures.Add(1)
+			if lastErr == nil {
+				lastErr = fmt.Errorf("shard %s, breaker open", sh.State())
+			}
+			return nil, &ShardUnavailableError{
+				Shard: sh.id, Addr: sh.Addr(), Attempts: attempt,
+				RetryAfter: c.cfg.BreakerCooloff, Err: lastErr,
+			}
+		}
+		addr := sh.Addr()
+		if faultinject.ErrAt("cluster.ring.stale") != nil {
+			// A router that missed a rebalance dispatches to the shard's
+			// previous address; the retry ladder re-resolves and recovers.
+			sh.mu.Lock()
+			if sh.prevAddr != "" {
+				addr = sh.prevAddr
+			}
+			sh.mu.Unlock()
+		}
+		sh.fragments.Add(1)
+		if attempt > 0 {
+			sh.retries.Add(1)
+			c.retries.Add(1)
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if c.cfg.FragmentTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, c.cfg.FragmentTimeout)
+		}
+		aqid := fmt.Sprintf("%s.s%d.a%d", qid, sh.id, attempt)
+		cols, rows, err := c.attemptFragment(actx, addr, fsql, aqid)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			sh.breaker.ok()
+			return &fragResult{shard: sh, cols: cols, rows: rows, tries: attempt + 1}, nil
+		}
+		if perr := context.Cause(ctx); perr != nil {
+			// The parent query died (client gone, drain, deadline) — not
+			// the shard's fault; don't punish the breaker.
+			return nil, perr
+		}
+		fe := &fragError{err: err}
+		errors.As(err, &fe)
+		lastErr = fe.err
+		sh.breaker.fail(time.Now())
+		if !fe.retryable {
+			sh.failures.Add(1)
+			return nil, fe.err
+		}
+		if attempt == c.cfg.MaxRetries {
+			break
+		}
+		if !c.sleepBackoff(ctx, attempt, fe.retryAfter) {
+			return nil, context.Cause(ctx)
+		}
+	}
+	sh.failures.Add(1)
+	return nil, &ShardUnavailableError{
+		Shard: sh.id, Addr: sh.Addr(), Attempts: c.cfg.MaxRetries + 1,
+		RetryAfter: c.cfg.BreakerCooloff, Err: lastErr,
+	}
+}
+
+// sleepBackoff waits base·2^attempt with ±50% jitter (capped, floored at a
+// server-suggested Retry-After). Returns false if the context died first.
+func (c *Coordinator) sleepBackoff(ctx context.Context, attempt int, floor time.Duration) bool {
+	d := c.cfg.RetryBase << uint(attempt)
+	if d > c.cfg.RetryCap {
+		d = c.cfg.RetryCap
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	if d < floor {
+		d = floor
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// scatter runs the same fragment on every listed shard concurrently. The
+// first fatal error cancel-causes the rest; the goroutines are always
+// joined before return, so a failed scatter leaks nothing.
+func (c *Coordinator) scatter(ctx context.Context, shards []*shard, fsql, qid string) ([]*fragResult, error) {
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	results := make([]*fragResult, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			fr, err := c.runFragment(sctx, sh, fsql, fmt.Sprintf("%s.f%d", qid, i))
+			if err != nil {
+				errs[i] = err
+				cancel(err)
+				return
+			}
+			results[i] = fr
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// A sibling may have been cancelled by the parent between our checks.
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"partitionjoin/internal/admit"
+	"partitionjoin/internal/sql"
+	"partitionjoin/internal/storage"
+)
+
+// The gather path is the cluster's shuffle regime: when the join keys do not
+// line up with the partitioning keys, rows must move. Rather than an N×N
+// repartitioning network, the coordinator fetches each table's (filtered)
+// rows over the same fragment fabric, rebuilds in-memory tables, and runs
+// the whole query locally — the paper's "to partition" cost made explicit as
+// network transfer, with every fabric robustness guarantee (retries,
+// breakers, typed unavailability) applying to the fetches.
+
+// gatherExecute fetches the base tables and executes the statement on the
+// coordinator, under the admission reservation held by Query.
+func (c *Coordinator) gatherExecute(ctx context.Context, stmt *sql.SelectStmt, qid string, rsv *admit.Reservation) (*Result, error) {
+	_, order, err := c.resolveAliases(stmt)
+	if err != nil {
+		return nil, err
+	}
+	// One fetch per table; a table referenced by several aliases is fetched
+	// once, unfiltered (its per-alias filters re-apply in local execution —
+	// they always do; pushing them into the fetch is only a size optimization).
+	aliasesOf := map[string][]*aliasInfo{}
+	var tables []string
+	for _, ai := range order {
+		if len(aliasesOf[ai.table]) == 0 {
+			tables = append(tables, ai.table)
+		}
+		aliasesOf[ai.table] = append(aliasesOf[ai.table], ai)
+	}
+
+	cat := make(sql.Catalog, len(tables))
+	st := Stats{Shards: len(c.shards)}
+	for _, name := range tables {
+		ais := aliasesOf[name]
+		fsql := fetchSQL(stmt, ais)
+		var targets []*shard
+		if ais[0].dist.Replicated() {
+			sh := c.pickHealthy()
+			if sh == nil {
+				return nil, c.noShardErr()
+			}
+			targets = []*shard{sh}
+		} else {
+			targets = c.shards
+		}
+		frags, err := c.scatter(ctx, targets, fsql, fmt.Sprintf("%s.g.%s", qid, name))
+		if err != nil {
+			return nil, err
+		}
+		t, err := rebuildTable(name, frags)
+		if err != nil {
+			return nil, err
+		}
+		cat[name] = t
+		for _, fr := range frags {
+			st.Fragments += fr.tries
+			st.Retries += fr.tries - 1
+			st.GatheredRows += int64(len(fr.rows))
+		}
+	}
+	c.gatheredRows.Add(st.GatheredRows)
+
+	res, err := sql.RunCtx(ctx, cat, printStmt(stmt, fragOpts{}), c.execOpts(rsv))
+	if err != nil {
+		return nil, err
+	}
+	out := execToResult(res)
+	out.Stats = st
+	return out, nil
+}
+
+// fetchSQL builds the per-table fetch statement: every column, the alias's
+// own filters when it is the table's only use.
+func fetchSQL(stmt *sql.SelectStmt, ais []*aliasInfo) string {
+	ai := ais[0]
+	fetch := &sql.SelectStmt{From: []sql.TableRef{{Table: ai.table, Alias: ai.alias}}}
+	for _, col := range ai.dist.Cols {
+		fetch.Items = append(fetch.Items, sql.SelectItem{
+			Col: sql.ColRefAST{Qualifier: ai.alias, Column: col},
+		})
+	}
+	if len(ais) == 1 {
+		for _, cond := range stmt.Where {
+			if ownsCond(ai, cond) {
+				fetch.Where = append(fetch.Where, cond)
+			}
+		}
+	}
+	return printStmt(fetch, fragOpts{})
+}
+
+// ownsCond reports whether a WHERE conjunct touches only this alias (by
+// explicit qualifier — unqualified references are left to local execution).
+func ownsCond(ai *aliasInfo, cond sql.Cond) bool {
+	if cond.Left.Qualifier != ai.alias {
+		return false
+	}
+	return !cond.IsJoin || cond.Right.Qualifier == ai.alias
+}
+
+// typeFromString parses a wire column type back into a storage type.
+func typeFromString(s string) (storage.Type, error) {
+	for _, t := range []storage.Type{
+		storage.Int64, storage.Int32, storage.Float64,
+		storage.String, storage.Date, storage.Bool,
+	} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown column type %q", s)
+}
+
+// rebuildTable reassembles a storage table from its fetched fragments. The
+// fragment columns arrive in the table's schema order (fetchSQL lists them
+// that way), so the reconstruction preserves the original layout.
+func rebuildTable(name string, frags []*fragResult) (*storage.Table, error) {
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("cluster: no fragments for table %s", name)
+	}
+	defs := make([]storage.ColumnDef, len(frags[0].cols))
+	for i, cm := range frags[0].cols {
+		t, err := typeFromString(cm.Type)
+		if err != nil {
+			return nil, err
+		}
+		// Fetch items print as "alias.col"; the rebuilt schema wants the
+		// bare column name.
+		colName := cm.Name
+		if dot := lastDot(colName); dot >= 0 {
+			colName = colName[dot+1:]
+		}
+		defs[i] = storage.ColumnDef{Name: colName, Type: t}
+	}
+	// StrCap is the declared maximum byte length; join tuple layouts
+	// truncate to it, so derive it from the actual fetched values.
+	for i, def := range defs {
+		if def.Type != storage.String {
+			continue
+		}
+		maxLen := 1
+		for _, fr := range frags {
+			for _, row := range fr.rows {
+				if s, ok := row[i].(string); ok && len(s) > maxLen {
+					maxLen = len(s)
+				}
+			}
+		}
+		defs[i].StrCap = maxLen
+	}
+	total := 0
+	for _, fr := range frags {
+		total += len(fr.rows)
+	}
+	t := storage.NewTable(name, storage.NewSchema(defs...), total)
+	for _, fr := range frags {
+		for _, row := range fr.rows {
+			for ci, v := range row {
+				if err := appendValue(t.Cols[ci], v); err != nil {
+					return nil, fmt.Errorf("cluster: table %s column %s: %w", name, defs[ci].Name, err)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// lastDot finds the final '.' of a qualified column name.
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// appendValue pushes one decoded wire value onto a storage column.
+func appendValue(col storage.Column, v any) error {
+	switch c := col.(type) {
+	case *storage.Int64Column:
+		n, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("got %T, want int64", v)
+		}
+		c.Values = append(c.Values, n)
+	case *storage.Int32Column:
+		n, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("got %T, want int64", v)
+		}
+		c.Values = append(c.Values, int32(n))
+	case *storage.Float64Column:
+		f, ok := v.(float64)
+		if !ok {
+			return fmt.Errorf("got %T, want float64", v)
+		}
+		c.Values = append(c.Values, f)
+	case *storage.StringColumn:
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("got %T, want string", v)
+		}
+		c.AppendString(s)
+	default:
+		return fmt.Errorf("unsupported column type %T", col)
+	}
+	return nil
+}

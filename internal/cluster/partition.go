@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+
+	"partitionjoin/internal/sql"
+	"partitionjoin/internal/storage"
+)
+
+// TableDist says how one table is distributed across the shards.
+type TableDist struct {
+	// Key is the hash-partition column; empty means the table is fully
+	// replicated on every shard (the broadcast side of joins).
+	Key string
+	// Bounds, when non-empty, switches the table to range partitioning:
+	// shard i holds keys in (Bounds[i-1], Bounds[i]]. Range-partitioned
+	// tables let the router prune whole shards on partition-key range
+	// predicates.
+	Bounds []int64
+	// Cols is the table's full column list in schema order; the gather
+	// (shuffle) path needs it to fetch whole rows over the SQL fabric.
+	Cols []string
+}
+
+// Replicated reports whether every shard holds the full table.
+func (d TableDist) Replicated() bool { return d.Key == "" }
+
+// Spec is the cluster's partitioning scheme: table name → distribution.
+// Every node (shards and coordinator) must hold the same spec; it plays the
+// role a catalog service would in a full system.
+type Spec map[string]TableDist
+
+// TPCHDist is the default TPC-H distribution: the two big join sides
+// (lineitem, orders) hash on the order key so their join is co-located;
+// customer hashes on its own key, which makes orders⨝customer deliberately
+// misaligned — the shuffle regime; everything else is replicated and joins
+// as a broadcast build side.
+func TPCHDist() map[string]TableDist {
+	return map[string]TableDist{
+		"lineitem": {Key: "l_orderkey"},
+		"orders":   {Key: "o_orderkey"},
+		"customer": {Key: "c_custkey"},
+		"part":     {},
+		"partsupp": {},
+		"supplier": {},
+		"nation":   {},
+		"region":   {},
+	}
+}
+
+// BuildSpec completes a distribution map into a Spec by filling each
+// table's column list from the catalog. Tables in the catalog but not in
+// dist default to replicated.
+func BuildSpec(cat sql.Catalog, dist map[string]TableDist) (Spec, error) {
+	spec := make(Spec, len(cat))
+	for name, t := range cat {
+		d := dist[name]
+		cols := make([]string, len(t.Schema.Cols))
+		for i, c := range t.Schema.Cols {
+			cols[i] = c.Name
+		}
+		d.Cols = cols
+		if d.Key != "" && t.Schema.ColIndex(d.Key) < 0 {
+			return nil, fmt.Errorf("cluster: table %s has no partition key column %s", name, d.Key)
+		}
+		spec[name] = d
+	}
+	return spec, nil
+}
+
+// TPCHSpec is BuildSpec over the default TPC-H distribution.
+func TPCHSpec(cat sql.Catalog) (Spec, error) { return BuildSpec(cat, TPCHDist()) }
+
+// keyOwner routes one partition-key value under the table's distribution.
+func (d TableDist) keyOwner(ring *Ring, rr *RangeRouter, key int64) int {
+	if len(d.Bounds) > 0 {
+		return rr.Owner(key)
+	}
+	return ring.OwnerKey(key)
+}
+
+// PartitionTable carves out shard `shard`'s slice of a table: the rows
+// whose partition key the ring (or the range bounds) assigns to it. The
+// result is a fresh table with the same name and schema. Replicated tables
+// are returned as-is (shared by pointer — they are immutable once built).
+func PartitionTable(t *storage.Table, d TableDist, ring *Ring, shard int) *storage.Table {
+	if d.Replicated() {
+		return t
+	}
+	keys := t.Int64Col(d.Key)
+	var rr *RangeRouter
+	if len(d.Bounds) > 0 {
+		rr = NewRangeRouter(d.Bounds)
+	}
+	n := t.NumRows()
+	out := storage.NewTable(t.Name, t.Schema, n/max(1, len(ring.Shards())))
+	for i := 0; i < n; i++ {
+		if d.keyOwner(ring, rr, keys[i]) != shard {
+			continue
+		}
+		for c := range t.Cols {
+			out.Cols[c].AppendFrom(t.Cols[c], i)
+		}
+	}
+	// A partitioned slice of a dictionary-encoded column materializes as a
+	// plain string column; re-encode so shard scans keep comparing codes.
+	maxCard := 0
+	for _, c := range t.Cols {
+		if dc, ok := c.(*storage.DictColumn); ok && dc.Card() > maxCard {
+			maxCard = dc.Card()
+		}
+	}
+	if maxCard > 0 {
+		out.DictEncode(maxCard)
+	}
+	return out
+}
+
+// PartitionCatalog builds shard `shard`'s catalog: partitioned tables are
+// sliced, replicated ones shared. Every shard calling this over the same
+// source catalog and shard count reconstructs the same global placement —
+// no coordination needed at load time.
+func PartitionCatalog(cat sql.Catalog, spec Spec, ring *Ring, shard int) sql.Catalog {
+	out := make(sql.Catalog, len(cat))
+	for name, t := range cat {
+		out[name] = PartitionTable(t, spec[name], ring, shard)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package cluster turns the single-process query service into a sharded
+// system: a shard router partitions TPC-H tables across N joind nodes, and a
+// coordinator plans distributed joins over the existing HTTP + NDJSON fabric
+// — co-located scatter when every partitioned side hashes on the join key,
+// broadcast against replicated dimensions, and a gather-side shuffle
+// otherwise. Robustness is the core of the design: every fragment RPC
+// carries a deadline, idempotent fragments retry with jittered exponential
+// backoff behind a per-shard circuit breaker, a health prober drives an
+// up→degraded→down shard state machine that feeds routing, and mid-stream
+// shard death either re-dispatches the fragment or surfaces a typed,
+// retryable ErrShardUnavailable with no leaked goroutines or reservations.
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"partitionjoin/internal/hashx"
+)
+
+// DefaultVnodes is the number of virtual nodes each shard contributes to
+// the ring. More vnodes smooth the key distribution; 64 keeps the maximum
+// shard imbalance under a few percent for small clusters.
+const DefaultVnodes = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is a consistent-hash ring over shard ids. It is deterministic: every
+// process that builds a ring over the same shard set routes identically,
+// which is what lets N independently booted joind shards agree on row
+// placement without talking to each other. Add/Remove rebalance the ring and
+// bump its version so routers can detect (and tests can inject) staleness.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []ringPoint
+	present map[int]bool
+	version int64
+}
+
+// NewRing builds a ring over shards 0..n-1 with the given virtual-node
+// count per shard (<= 0 uses DefaultVnodes).
+func NewRing(n, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{vnodes: vnodes, present: make(map[int]bool, n)}
+	for s := 0; s < n; s++ {
+		r.addLocked(s)
+	}
+	r.sortLocked()
+	return r
+}
+
+// vnodeHash places virtual node v of a shard on the circle. The double mix
+// keeps vnode points of one shard spread rather than clustered.
+func vnodeHash(shard, v int) uint64 {
+	return hashx.Combine(hashx.I64(int64(shard)+1), hashx.I64(int64(v)*0x9e3779b9+7))
+}
+
+func (r *Ring) addLocked(shard int) {
+	if r.present[shard] {
+		return
+	}
+	r.present[shard] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(shard, v), shard: shard})
+	}
+}
+
+func (r *Ring) sortLocked() {
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Add joins a shard to the ring (rebalance: ~1/n of the key space moves to
+// it). No-op if already present.
+func (r *Ring) Add(shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.present[shard] {
+		return
+	}
+	r.addLocked(shard)
+	r.sortLocked()
+	r.version++
+}
+
+// Remove drops a shard from the ring; its key ranges fall to the ring
+// successors.
+func (r *Ring) Remove(shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.present[shard] {
+		return
+	}
+	delete(r.present, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	r.version++
+}
+
+// Version counts rebalances; a router holding a routing decision across a
+// version bump is stale and must re-resolve.
+func (r *Ring) Version() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Shards returns the member shard ids, sorted.
+func (r *Ring) Shards() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int, 0, len(r.present))
+	for s := range r.present {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Owner maps a key hash to the shard owning it: the first virtual node at
+// or clockwise after the hash.
+func (r *Ring) Owner(h uint64) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return -1
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// OwnerKey routes an integer partition key (order keys, customer keys —
+// every TPC-H partition key is an int64).
+func (r *Ring) OwnerKey(key int64) int { return r.Owner(hashx.I64(key)) }
+
+// RangeRouter routes by key range instead of by hash: shard i owns keys in
+// (bounds[i-1], bounds[i]]. Range partitioning keeps key-adjacent rows on
+// one shard, so a range predicate on the partition key touches only the
+// overlapping shards — the router prunes fragments the way zone maps prune
+// morsels. The last bound is an inclusive maximum; keys above it still route
+// to the last shard (routing must be total).
+type RangeRouter struct {
+	bounds []int64 // inclusive upper bound per shard, ascending
+}
+
+// NewRangeRouter builds a range router from per-shard inclusive upper
+// bounds (ascending, one per shard).
+func NewRangeRouter(bounds []int64) *RangeRouter {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &RangeRouter{bounds: b}
+}
+
+// Shards returns the shard count.
+func (r *RangeRouter) Shards() int { return len(r.bounds) }
+
+// Owner returns the shard owning key k.
+func (r *RangeRouter) Owner(k int64) int {
+	i := sort.Search(len(r.bounds), func(i int) bool { return r.bounds[i] >= k })
+	if i == len(r.bounds) {
+		i = len(r.bounds) - 1
+	}
+	return i
+}
+
+// Owners returns the shards overlapping the inclusive key range [lo, hi] in
+// ascending order — the scatter set of a range predicate on the partition
+// key.
+func (r *RangeRouter) Owners(lo, hi int64) []int {
+	if hi < lo || len(r.bounds) == 0 {
+		return nil
+	}
+	first, last := r.Owner(lo), r.Owner(hi)
+	out := make([]int, 0, last-first+1)
+	for s := first; s <= last; s++ {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"strconv"
+	"strings"
+
+	"partitionjoin/internal/sql"
+)
+
+// fragOpts shape the fragment statement generated from a parsed query.
+type fragOpts struct {
+	// stripLimit removes LIMIT — a per-shard limit under aggregation or
+	// grouping would drop groups the merge still needs.
+	stripLimit bool
+	// stripOrder removes ORDER BY — useless work in fragments whose rows
+	// the coordinator re-aggregates anyway.
+	stripOrder bool
+	// avgToSum replaces avg(x) with sum(x) (same alias) and appends one
+	// `count(*) AS __cluster_cnt` item, because averages of averages are
+	// wrong; the coordinator divides the merged sums by the merged count.
+	avgToSum bool
+	// forceCnt appends the count item even without an avg: the merge uses
+	// it to ignore a global aggregate's default row from shards whose
+	// partition matched nothing (their min/max sentinels must not win).
+	forceCnt bool
+}
+
+// avgCntAlias is the helper column avg-rewritten fragments append; the
+// merge strips it from the final result.
+const avgCntAlias = "__cluster_cnt"
+
+// printStmt regenerates SQL for the supported subset from its AST, applying
+// the fragment rewrites. The output must re-parse to an equivalent
+// statement on the shard — round-trip tests pin that.
+func printStmt(stmt *sql.SelectStmt, o fragOpts) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	needCnt := o.forceCnt
+	for i, it := range stmt.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		agg := it.Agg
+		if o.avgToSum && agg == "avg" {
+			agg = "sum"
+			needCnt = true
+		}
+		switch {
+		case it.Star:
+			b.WriteString("count(*)")
+		case agg != "":
+			b.WriteString(agg)
+			b.WriteString("(")
+			b.WriteString(it.Col.String())
+			b.WriteString(")")
+		default:
+			b.WriteString(it.Col.String())
+		}
+		if it.As != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.As)
+		}
+	}
+	if needCnt {
+		b.WriteString(", count(*) AS ")
+		b.WriteString(avgCntAlias)
+	}
+	b.WriteString(" FROM ")
+	for i, t := range stmt.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+		if t.Alias != "" && t.Alias != t.Table {
+			b.WriteString(" ")
+			b.WriteString(t.Alias)
+		}
+	}
+	if len(stmt.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range stmt.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			printCond(&b, c)
+		}
+	}
+	if len(stmt.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range stmt.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if len(stmt.OrderBy) > 0 && !o.stripOrder {
+		b.WriteString(" ORDER BY ")
+		for i, oi := range stmt.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(oi.Col.String())
+			if oi.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if stmt.Limit > 0 && !o.stripLimit {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(stmt.Limit))
+	}
+	return b.String()
+}
+
+// printCond renders one WHERE conjunct.
+func printCond(b *strings.Builder, c sql.Cond) {
+	b.WriteString(c.Left.String())
+	switch c.Op {
+	case "like":
+		b.WriteString(" LIKE ")
+		printStr(b, c.Str)
+	case "notlike":
+		b.WriteString(" NOT LIKE ")
+		printStr(b, c.Str)
+	case "between":
+		b.WriteString(" BETWEEN ")
+		b.WriteString(strconv.FormatInt(c.Num, 10))
+		b.WriteString(" AND ")
+		b.WriteString(strconv.FormatInt(c.Num2, 10))
+	case "in":
+		b.WriteString(" IN (")
+		if c.IsStr {
+			for i, s := range c.StrList {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				printStr(b, s)
+			}
+		} else {
+			for i, n := range c.NumList {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(strconv.FormatInt(n, 10))
+			}
+		}
+		b.WriteString(")")
+	default: // comparison operators
+		b.WriteString(" ")
+		b.WriteString(c.Op)
+		b.WriteString(" ")
+		switch {
+		case c.IsJoin:
+			b.WriteString(c.Right.String())
+		case c.IsStr:
+			printStr(b, c.Str)
+		default:
+			b.WriteString(strconv.FormatInt(c.Num, 10))
+		}
+	}
+}
+
+// printStr renders a single-quoted SQL string literal.
+func printStr(b *strings.Builder, s string) {
+	b.WriteString("'")
+	b.WriteString(strings.ReplaceAll(s, "'", "''"))
+	b.WriteString("'")
+}

@@ -1,0 +1,309 @@
+// Package clusterbench holds the sharded-execution experiment. It lives
+// outside internal/bench so that bench (imported by tpch, whose catalogs
+// the cluster tests need) does not depend on internal/cluster.
+package clusterbench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"time"
+
+	"partitionjoin/internal/admit"
+	"partitionjoin/internal/bench"
+	"partitionjoin/internal/cluster"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/server"
+	"partitionjoin/internal/sql"
+)
+
+// ClusterConfig sizes the sharded-execution experiment.
+type ClusterConfig struct {
+	// Catalog is the full database the cluster partitions (tpch.ServeCatalog).
+	Catalog sql.Catalog
+	// Shards is the shard counts to sweep, e.g. {1, 2, 4}.
+	Shards []int
+	// Chaos adds the kill-and-restart variant on the largest shard count.
+	Chaos bool
+	// Core tunes shard-local execution.
+	Core core.Config
+}
+
+// ClusterOutcome is the measured result, for harnesses that assert on it.
+type ClusterOutcome struct {
+	// CriticalSpeedup maps workload name -> critical-path speedup of the
+	// largest shard count over one shard (max per-shard fragment time, the
+	// number a real multi-machine deployment scales by).
+	CriticalSpeedup map[string]float64
+	// ChaosTypedErrors counts queries that failed with the typed retryable
+	// ErrShardUnavailable while a shard was down.
+	ChaosTypedErrors int
+	// ChaosOK counts queries answered correctly during the chaos run
+	// (before the kill, via retry, and after the restart).
+	ChaosOK int
+	// ChaosRecovered reports whether the cluster answered correctly after
+	// the killed shard was restarted at a new address.
+	ChaosRecovered bool
+}
+
+// clusterWorkloads is the scan/join mix the sweep measures. Shuffle is
+// deliberately included without a scaling claim: its gather cost is the
+// paper's partitioning question at cluster scale — moving rows is the price
+// of misaligned keys, and the table shows it.
+var clusterWorkloads = []struct {
+	name  string
+	query string
+	// scales reports whether the workload's critical path shrinks with the
+	// shard count (scans and co-located joins do; gather does not).
+	scales bool
+}{
+	{"scan+agg", `SELECT l_returnflag, count(*) AS n, sum(l_quantity) AS sq, sum(l_extendedprice) AS se, avg(l_discount) AS ad FROM lineitem GROUP BY l_returnflag`, true},
+	{"colocated join", `SELECT count(*) AS n FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey`, true},
+	{"broadcast join", `SELECT count(*) AS n FROM lineitem l, part p WHERE l.l_partkey = p.p_partkey`, true},
+	{"shuffle join", `SELECT count(*) AS n FROM orders o, customer c WHERE o.o_custkey = c.c_custkey`, false},
+}
+
+// clusterHarness is one booted fleet: in-process shard servers behind real
+// HTTP listeners and a coordinator over them.
+type clusterFleet struct {
+	coord  *cluster.Coordinator
+	broker *admit.Broker
+	parts  []sql.Catalog
+	srvs   []*server.Server
+	ts     []*httptest.Server
+}
+
+func bootFleet(cat sql.Catalog, spec cluster.Spec, n int, cfg core.Config) (*clusterFleet, error) {
+	f := &clusterFleet{}
+	ring := cluster.NewRing(n, 0)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		part := cluster.PartitionCatalog(cat, spec, ring, i)
+		srv := server.New(server.Config{Workers: 1, Core: cfg}, part)
+		ts := httptest.NewServer(srv)
+		f.parts = append(f.parts, part)
+		f.srvs = append(f.srvs, srv)
+		f.ts = append(f.ts, ts)
+		addrs[i] = ts.URL
+	}
+	f.broker = admit.NewBroker(admit.Config{GlobalMem: 256 << 20})
+	coord, err := cluster.New(cluster.Config{
+		Shards:        addrs,
+		Spec:          spec,
+		ProbeInterval: -1,
+		MaxRetries:    3,
+		RetryBase:     5 * time.Millisecond,
+		RetryCap:      100 * time.Millisecond,
+		Broker:        f.broker,
+		MemBudget:     8 << 20,
+		Workers:       1,
+		Core:          cfg,
+	})
+	if err != nil {
+		f.close()
+		return nil, err
+	}
+	f.coord = coord
+	return f, nil
+}
+
+func (f *clusterFleet) close() {
+	if f.coord != nil {
+		f.coord.Drain(10 * time.Second)
+	}
+	for _, ts := range f.ts {
+		ts.Close()
+	}
+	for _, srv := range f.srvs {
+		srv.Drain(10 * time.Second)
+	}
+	if f.broker != nil {
+		f.broker.Close()
+	}
+}
+
+// criticalPath times the query on every shard's partition directly (one
+// worker each, exactly what the shard executes for this fragment shape) and
+// returns the slowest shard — the wall clock a multi-machine cluster pays,
+// where fragments genuinely overlap. On this harness's single host the
+// fragments share the cores instead, so end-to-end time cannot show the
+// overlap; the per-shard maximum can, honestly.
+func criticalPath(parts []sql.Catalog, query string, opts plan.Options) (time.Duration, error) {
+	var worst time.Duration
+	for _, part := range parts {
+		best := time.Duration(1<<62 - 1)
+		for r := 0; r < bench.Runs; r++ {
+			start := time.Now()
+			if _, err := sql.Run(part, query, opts); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst, nil
+}
+
+// Cluster runs the sharded-execution sweep: for each shard count, boot the
+// fleet, route every workload through the coordinator (correctness and
+// end-to-end fabric cost), and measure the critical path per workload. With
+// Chaos it re-runs the largest fleet while killing and restarting a shard
+// mid-stream.
+func Cluster(cfg ClusterConfig) (*bench.Table, *ClusterOutcome, error) {
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 2, 4}
+	}
+	sort.Ints(cfg.Shards)
+	spec, err := cluster.TPCHSpec(cfg.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := plan.Options{Workers: 1, Algo: plan.BHJ, Core: cfg.Core}
+	ctx := context.Background()
+
+	tb := &bench.Table{
+		Title: fmt.Sprintf("Sharded execution: TPC-H across %v joind shards (1 worker each, GOMAXPROCS=%d)",
+			cfg.Shards, runtime.GOMAXPROCS(0)),
+		Header: []string{"workload", "shards", "mode", "critical path", "speedup", "e2e via coordinator", "gathered rows"},
+	}
+	base := map[string]time.Duration{}
+	out := &ClusterOutcome{CriticalSpeedup: map[string]float64{}}
+
+	for _, n := range cfg.Shards {
+		fleet, err := bootFleet(cfg.Catalog, spec, n, cfg.Core)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, w := range clusterWorkloads {
+			// End-to-end through the real fabric: HTTP scatter, NDJSON
+			// decode, merge (or gather). Single-host, so fragments serialize.
+			var res *cluster.Result
+			e2e := time.Duration(1<<62 - 1)
+			for r := 0; r < bench.Runs; r++ {
+				start := time.Now()
+				res, err = fleet.coord.Query(ctx, w.query, "")
+				if err != nil {
+					fleet.close()
+					return nil, nil, fmt.Errorf("bench cluster: %s on %d shards: %w", w.name, n, err)
+				}
+				if d := time.Since(start); d < e2e {
+					e2e = d
+				}
+			}
+
+			crit := e2e // gather executes on the coordinator; its critical path IS end-to-end
+			if w.scales {
+				crit, err = criticalPath(fleet.parts, w.query, opts)
+				if err != nil {
+					fleet.close()
+					return nil, nil, err
+				}
+			}
+			speedup := "-"
+			if n == cfg.Shards[0] && base[w.name] == 0 {
+				base[w.name] = crit
+			} else if b := base[w.name]; b > 0 && crit > 0 {
+				s := float64(b) / float64(crit)
+				speedup = fmt.Sprintf("%.2fx", s)
+				if n == cfg.Shards[len(cfg.Shards)-1] {
+					out.CriticalSpeedup[w.name] = s
+				}
+			}
+			gathered := "-"
+			if res.Stats.GatheredRows > 0 {
+				gathered = i64toa(res.Stats.GatheredRows)
+			}
+			tb.Add(w.name, itoa(n), string(res.Stats.Mode),
+				fmt.Sprintf("%.2f ms", ms(crit)), speedup,
+				fmt.Sprintf("%.2f ms", ms(e2e)), gathered)
+		}
+		fleet.close()
+	}
+
+	if cfg.Chaos {
+		if err := clusterChaos(cfg, spec, tb, out); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tb, out, nil
+}
+
+// clusterChaos kills a shard under live queries, counts the typed retryable
+// failures, restarts the shard at a fresh address, and verifies the cluster
+// answers correctly again with nothing leaked.
+func clusterChaos(cfg ClusterConfig, spec cluster.Spec, tb *bench.Table, out *ClusterOutcome) error {
+	n := cfg.Shards[len(cfg.Shards)-1]
+	fleet, err := bootFleet(cfg.Catalog, spec, n, cfg.Core)
+	if err != nil {
+		return err
+	}
+	defer fleet.close()
+	ctx := context.Background()
+	query := clusterWorkloads[1].query // the co-located join touches every shard
+
+	want, err := fleet.coord.Query(ctx, query, "chaos-ref")
+	if err != nil {
+		return fmt.Errorf("bench cluster chaos: reference: %w", err)
+	}
+	out.ChaosOK++
+
+	// Kill shard n-1 abruptly: open connections reset, the address refuses.
+	victim := n - 1
+	fleet.ts[victim].CloseClientConnections()
+	fleet.ts[victim].Close()
+	fleet.srvs[victim].Drain(time.Second)
+
+	for i := 0; i < 3; i++ {
+		_, err := fleet.coord.Query(ctx, query, fmt.Sprintf("chaos-dead-%d", i))
+		if errors.Is(err, cluster.ErrShardUnavailable) {
+			out.ChaosTypedErrors++
+		} else if err != nil {
+			return fmt.Errorf("bench cluster chaos: untyped failure: %w", err)
+		} else {
+			out.ChaosOK++ // a retry inside the ladder won the race
+		}
+	}
+
+	// Restart at a new address (a rescheduled pod lands elsewhere); the
+	// coordinator is told, as a ring watcher would.
+	part := fleet.parts[victim]
+	srv := server.New(server.Config{Workers: 1, Core: cfg.Core}, part)
+	ts := httptest.NewServer(srv)
+	fleet.srvs[victim] = srv
+	fleet.ts[victim] = ts
+	if err := fleet.coord.SetShardAddr(victim, ts.URL); err != nil {
+		return fmt.Errorf("bench cluster chaos: %w", err)
+	}
+
+	got, err := fleet.coord.Query(ctx, query, "chaos-after")
+	if err != nil {
+		return fmt.Errorf("bench cluster chaos: after restart: %w", err)
+	}
+	out.ChaosOK++
+	out.ChaosRecovered = len(got.Rows) == len(want.Rows) &&
+		fmt.Sprint(got.Rows) == fmt.Sprint(want.Rows)
+	if !out.ChaosRecovered {
+		return fmt.Errorf("bench cluster chaos: wrong answer after restart: %v vs %v", got.Rows, want.Rows)
+	}
+	if inUse := fleet.broker.InUse(); inUse != 0 {
+		return fmt.Errorf("bench cluster chaos: %d reserved bytes leaked", inUse)
+	}
+
+	tb.Add("chaos kill+restart", itoa(n), "colocated",
+		"-", "-",
+		fmt.Sprintf("%d ok, %d typed retryable", out.ChaosOK, out.ChaosTypedErrors),
+		"recovered")
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+func itoa(v int) string          { return fmt.Sprintf("%d", v) }
+func i64toa(v int64) string      { return fmt.Sprintf("%d", v) }

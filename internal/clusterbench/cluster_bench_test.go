@@ -1,0 +1,47 @@
+// Smoke of the sharded-execution experiment: the fleet boots, every
+// workload answers through the coordinator, the chaos variant ends in a
+// typed-error-then-recovery arc, and nothing leaks. External test package:
+// clusterbench cannot be imported by bench/tpch, keeping the
+// bench <- tpch <- cluster-test import chain acyclic.
+package clusterbench_test
+
+import (
+	"testing"
+
+	"partitionjoin/internal/bench"
+	"partitionjoin/internal/clusterbench"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/tpch"
+)
+
+func TestClusterExperimentSmoke(t *testing.T) {
+	old := bench.Runs
+	bench.Runs = 1
+	defer func() { bench.Runs = old }()
+
+	const workloads = 4 // scan, colocated, broadcast, shuffle
+	tb, out, err := clusterbench.Cluster(clusterbench.ClusterConfig{
+		Catalog: tpch.ServeCatalog(0.005),
+		Shards:  []int{1, 2},
+		Chaos:   true,
+		Core:    core.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2*workloads+1 {
+		t.Fatalf("table has %d rows, want %d workloads x 2 shard counts + chaos",
+			len(tb.Rows), workloads)
+	}
+	if !out.ChaosRecovered {
+		t.Fatal("chaos run did not recover after the shard restart")
+	}
+	if out.ChaosTypedErrors == 0 && out.ChaosOK < 5 {
+		t.Fatalf("chaos outcome %+v: dead-shard queries neither failed typed nor succeeded via retry", out)
+	}
+	for _, name := range []string{"scan+agg", "colocated join", "broadcast join"} {
+		if s, ok := out.CriticalSpeedup[name]; !ok || s <= 0 {
+			t.Fatalf("no critical-path speedup recorded for %q (got %v)", name, out.CriticalSpeedup)
+		}
+	}
+}

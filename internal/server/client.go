@@ -22,6 +22,10 @@ type Client struct {
 	HTTP *http.Client
 	// Session, when non-empty, is sent with every query.
 	Session string
+	// QueryID, when non-empty, is sent as X-Query-ID with every query so
+	// server logs, error bodies, and stream trailers carry the caller's
+	// trace id instead of a server-minted one.
+	QueryID string
 }
 
 func (c *Client) hc() *http.Client {
@@ -158,6 +162,7 @@ type StreamHeader struct {
 
 // StreamTrailer is the last NDJSON line.
 type StreamTrailer struct {
+	QueryID  string     `json:"query_id"`
 	RowCount int        `json:"row_count"`
 	Stats    queryStats `json:"stats"`
 }
@@ -218,6 +223,9 @@ func (c *Client) post(ctx context.Context, sqlText string, stream bool) (*http.R
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.QueryID != "" {
+		req.Header.Set("X-Query-ID", c.QueryID)
+	}
 	if stream {
 		req.Header.Set("Accept", "application/x-ndjson")
 	}

@@ -398,7 +398,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.counters.Active.Add(1)
 	defer s.counters.Active.Add(-1)
 
-	qid := fmt.Sprintf("q%d", s.queryID.Add(1))
+	// A caller-supplied X-Query-ID (a coordinator's fragment id, a client's
+	// trace id) wins so one id follows the query through every log line,
+	// error body, and stream trailer it touches; otherwise one is minted.
+	qid := sanitizeQueryID(r.Header.Get("X-Query-ID"))
+	if qid == "" {
+		qid = fmt.Sprintf("q%d", s.queryID.Add(1))
+	} else {
+		s.queryID.Add(1)
+	}
 	w.Header().Set("X-Query-ID", qid)
 
 	var req queryRequest
@@ -624,12 +632,28 @@ func (s *Server) streamResult(ctx context.Context, w http.ResponseWriter, qid st
 		}
 	}
 	enc.Encode(struct {
+		QueryID  string     `json:"query_id"`
 		RowCount int        `json:"row_count"`
 		Stats    queryStats `json:"stats"`
-	}{n, stats})
+	}{qid, n, stats})
 	if flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// sanitizeQueryID keeps a caller-supplied query id loggable: printable
+// ASCII, bounded length.
+func sanitizeQueryID(s string) string {
+	if len(s) > 64 {
+		s = s[:64]
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if r > 0x20 && r < 0x7f {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // sessionResponse is the POST /session reply.

@@ -14,6 +14,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -651,4 +652,114 @@ func TestConcurrentSessionsSoak(t *testing.T) {
 	t.Logf("soak: %d queries (%d ok, %d shed server-side), cache %d/%d hits, %d retries client-side",
 		st.Queries.Total, st.Queries.OK, st.Queries.Overloaded,
 		st.PlanCache.Hits, st.PlanCache.Hits+st.PlanCache.Misses, retries)
+}
+
+// TestDrainWhileStreamingFinishesStream: SIGTERM's drain must not cut an
+// NDJSON stream mid-flight — the in-progress stream runs to its trailer
+// while new queries are refused with 503, and the drain reports clean.
+func TestDrainWhileStreamingFinishesStream(t *testing.T) {
+	h := newHarness(t, server.Config{Workers: 1, StreamChunk: 64}, wideCatalog())
+	cl := h.client()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	type streamOut struct {
+		tr  *server.StreamTrailer
+		n   int
+		err error
+	}
+	outCh := make(chan streamOut, 1)
+	go func() {
+		var out streamOut
+		var once sync.Once
+		out.tr, out.err = cl.QueryStream(context.Background(),
+			"SELECT k, pad FROM wide", func(row []any) error {
+				out.n++
+				once.Do(func() { close(started) })
+				if out.n == 1 {
+					<-release // hold the stream open until drain has begun
+				}
+				return nil
+			})
+		outCh <- out
+	}()
+	<-started
+
+	drainDone := make(chan bool, 1)
+	go func() { drainDone <- h.srv.Drain(30 * time.Second) }()
+
+	// The draining server refuses new work while the stream is still live.
+	refused := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, err := cl.Query(context.Background(), "SELECT count(*) AS n FROM wide")
+		var re *server.RemoteError
+		if errors.As(err, &re) && re.Status == http.StatusServiceUnavailable {
+			refused = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("draining server kept accepting new queries")
+	}
+
+	close(release)
+	if clean := <-drainDone; !clean {
+		t.Error("drain was not clean despite the stream finishing in grace")
+	}
+	out := <-outCh
+	if out.err != nil {
+		t.Fatalf("stream interrupted by drain: %v", out.err)
+	}
+	if out.tr == nil || out.tr.RowCount != 1<<16 || out.n != 1<<16 {
+		t.Fatalf("stream incomplete: trailer %+v, %d rows seen, want %d", out.tr, out.n, 1<<16)
+	}
+}
+
+// TestQueryIDPropagatesEndToEnd: a caller-supplied X-Query-ID comes back on
+// collected results, stream trailers, and error bodies, so one id follows
+// the query through every layer.
+func TestQueryIDPropagatesEndToEnd(t *testing.T) {
+	h := newHarness(t, server.Config{}, testCatalog())
+	cl := h.client()
+	cl.QueryID = "trace-abc"
+	ctx := context.Background()
+
+	res, err := cl.Query(ctx, joinCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryID != "trace-abc" {
+		t.Fatalf("collected QueryID = %q, want trace-abc", res.QueryID)
+	}
+
+	tr, err := cl.QueryStream(ctx, joinCount, func([]any) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.QueryID != "trace-abc" {
+		t.Fatalf("trailer QueryID = %q, want trace-abc", tr.QueryID)
+	}
+
+	_, err = cl.Query(ctx, "SELECT nope FROM nowhere")
+	var re *server.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RemoteError", err)
+	}
+	if re.QueryID != "trace-abc" {
+		t.Fatalf("error QueryID = %q, want trace-abc", re.QueryID)
+	}
+
+	// Hostile ids are sanitized, not echoed: spaces and non-ASCII drop,
+	// length is bounded to 64.
+	cl.QueryID = "evil id ☠ " + strings.Repeat("z", 80)
+	res, err = cl.Query(ctx, joinCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.QueryID) > 64 || strings.ContainsAny(res.QueryID, " ☠") ||
+		!strings.HasPrefix(res.QueryID, "evilid") {
+		t.Fatalf("sanitized QueryID = %q", res.QueryID)
+	}
 }
