@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,adapt,soak,scanprune,serve,cluster,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,adapt,soak,scanprune,serve,cluster,failover,all")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper (1 = 16M x 256M tuples)")
 	runs := flag.Int("runs", 3, "repetitions per measurement (median reported)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
@@ -99,6 +99,13 @@ func main() {
 			Catalog: tpch.ServeCatalog(*sf),
 			Shards:  []int{1, 2, 4},
 			Chaos:   true,
+			Core:    cfg,
+		})
+		return t, err
+	})
+	run("failover", func() (*bench.Table, error) {
+		t, _, err := clusterbench.Failover(clusterbench.FailoverConfig{
+			Catalog: tpch.ServeCatalog(*sf),
 			Core:    cfg,
 		})
 		return t, err

@@ -67,16 +67,30 @@ func main() {
 	coordinator := flag.Bool("coordinator", false, "run the distributed-join coordinator instead of a data node")
 	shardsFlag := flag.String("cluster-shards", "", "comma-separated shard base URLs, in shard-id order (coordinator mode)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+	replication := flag.Int("replication", 2, "copies of every partition across the shard fleet (1 = no replicas); every node and the coordinator must agree")
 	fragTimeout := flag.Duration("fragment-timeout", 0, "coordinator per-fragment attempt deadline (0 = default)")
 	maxRetries := flag.Int("max-retries", 0, "coordinator fragment retry budget (0 = default, negative = none)")
 	probeEvery := flag.Duration("probe-interval", 0, "coordinator shard health probe period (0 = default, negative = off)")
+	rereplAfter := flag.Duration("rereplicate-after", 0, "coordinator: grace a Down shard gets before its slices re-replicate to restore R (0 = never; needs probing and -replication > 1)")
 
 	var injects []string
-	flag.Func("inject", "arm a fault site: site=kind[:duration|:afterN|:once]... (repeatable; kinds: fail, stall, panic)", func(s string) error {
+	flag.Func("inject", "arm a fault site: site=kind[:duration|:afterN|:once]..., or 'list' to print registered sites (repeatable; kinds: fail, stall, panic)", func(s string) error {
 		injects = append(injects, s)
 		return nil
 	})
 	flag.Parse()
+
+	// `-inject list` prints the registered fault-site names and exits, so
+	// chaos scripts can discover (and validate) sites instead of hardcoding
+	// strings that drift from the code.
+	for _, spec := range injects {
+		if spec == "list" {
+			for _, site := range faultinject.Sites() {
+				fmt.Println(site)
+			}
+			return
+		}
+	}
 
 	jAlgo, ok := parseAlgoFlag(*algo)
 	if !ok {
@@ -143,41 +157,31 @@ func main() {
 			os.Exit(1)
 		}
 		coord, err := cluster.New(cluster.Config{
-			Shards:          shards,
-			Spec:            spec,
-			Vnodes:          *vnodes,
-			FragmentTimeout: *fragTimeout,
-			MaxRetries:      *maxRetries,
-			ProbeInterval:   *probeEvery,
-			Broker:          broker,
-			MemBudget:       *memBudget,
-			Timeout:         *timeout,
-			Workers:         *workers,
-			Core:            core.DefaultConfig(),
-			SpillDir:        *spillDir,
+			Shards:           shards,
+			Spec:             spec,
+			Vnodes:           *vnodes,
+			Replication:      *replication,
+			FragmentTimeout:  *fragTimeout,
+			MaxRetries:       *maxRetries,
+			ProbeInterval:    *probeEvery,
+			RereplicateAfter: *rereplAfter,
+			Broker:           broker,
+			MemBudget:        *memBudget,
+			Timeout:          *timeout,
+			Workers:          *workers,
+			Core:             core.DefaultConfig(),
+			SpillDir:         *spillDir,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "joind: %v\n", err)
 			os.Exit(1)
 		}
 		svc = coord
-		label = fmt.Sprintf("coordinator over %d shards", len(shards))
+		label = fmt.Sprintf("coordinator over %d shards (replication %d)", len(shards), *replication)
 	} else {
 		fmt.Fprintf(os.Stderr, "joind: generating TPC-H at sf=%g...\n", *sf)
 		cat := tpchCatalog(*sf)
-		if *shardID >= 0 {
-			spec, err := cluster.TPCHSpec(cat)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "joind: %v\n", err)
-				os.Exit(1)
-			}
-			ring := cluster.NewRing(*shardCount, *vnodes)
-			cat = cluster.PartitionCatalog(cat, spec, ring, *shardID)
-			label = fmt.Sprintf("shard %d/%d", *shardID, *shardCount)
-		} else {
-			label = fmt.Sprintf("%d tables", len(cat))
-		}
-		svc = server.New(server.Config{
+		scfg := server.Config{
 			Workers:       *workers,
 			Algo:          jAlgo,
 			Core:          core.DefaultConfig(),
@@ -188,7 +192,33 @@ func main() {
 			SessionTTL:    *sessionTTL,
 			NoAdapt:       *noAdapt,
 			Broker:        broker,
-		}, cat)
+		}
+		if *shardID >= 0 {
+			// A data node serves its primary slice at the root and its boot
+			// replica slices under /replica/<p>/ — all from the same
+			// deterministic placement every other process computes.
+			spec, err := cluster.TPCHSpec(cat)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "joind: %v\n", err)
+				os.Exit(1)
+			}
+			node, err := cluster.NewNode(cat, spec, cluster.NodeConfig{
+				ShardID:     *shardID,
+				ShardCount:  *shardCount,
+				Replication: *replication,
+				Vnodes:      *vnodes,
+				Server:      scfg,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "joind: %v\n", err)
+				os.Exit(1)
+			}
+			svc = node
+			label = fmt.Sprintf("shard %d/%d (+%d replica slices)", *shardID, *shardCount, len(node.ReplicaPrimaries()))
+		} else {
+			svc = server.New(scfg, cat)
+			label = fmt.Sprintf("%d tables", len(cat))
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

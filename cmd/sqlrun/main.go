@@ -7,10 +7,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -18,8 +20,10 @@ import (
 	"time"
 
 	"partitionjoin/internal/admit"
+	"partitionjoin/internal/cluster"
 	"partitionjoin/internal/meter"
 	"partitionjoin/internal/plan"
+	"partitionjoin/internal/server"
 	"partitionjoin/internal/spill"
 	"partitionjoin/internal/sql"
 	"partitionjoin/internal/storage"
@@ -44,6 +48,7 @@ func main() {
 	noAdapt := flag.Bool("no-adapt", false, "disable runtime adaptation (mid-build join migration, skew splits, reservation revision) — the A/B gate against the static plan")
 	estScale := flag.Float64("estimate-scale", 0, "corrupt every plan-time cardinality estimate by this factor (0 or 1 = truth); for exercising the adaptation paths")
 	retries := flag.Int("retry", 0, "auto-retry a shed (overloaded) query up to N times, sleeping a jittered Retry-After between attempts; 0 exits 75 on the first shed")
+	serverURL := flag.String("server", "", "execute against a remote joind (or coordinator) at this base URL instead of a local database; -retry then honors the server's Retry-After and each attempt logs the cluster's shard/breaker/failover state from /statsz")
 	cleanSpill := flag.Bool("clean-spill", false, "sweep stale spill directories under -spill-dir and exit")
 	flag.Parse()
 
@@ -123,6 +128,15 @@ func main() {
 		<-sigCh
 		os.Exit(130)
 	}()
+
+	if *serverURL != "" {
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		os.Exit(runRemote(ctx, *serverURL, query, *retries))
+	}
 
 	db := tpch.Generate(*sf, 1)
 	cat := sql.Catalog{}
@@ -209,6 +223,104 @@ func main() {
 		fmt.Printf("spill: %d partitions, %d B written, %d B reloaded (max working set %d B, %d recursive splits)\n",
 			res.Spill.Partitions, res.Spill.SpilledBytes, res.Spill.ReloadedBytes,
 			res.Spill.MaxReloadBytes, res.Spill.Recursed)
+	}
+}
+
+// runRemote executes the query against a joind (or coordinator) over HTTP.
+// Shed/unavailable responses are retried up to the -retry budget with a
+// jittered sleep around the server's own Retry-After; every attempt logs the
+// cluster picture from /statsz — shard health, breaker state, and the
+// failover/reroute counters — so a retrying operator can see whether the
+// fleet is rerouting around a fault or genuinely out of capacity.
+func runRemote(ctx context.Context, base, query string, retries int) int {
+	cl := &server.Client{Base: base}
+	var qr *server.QueryResult
+	var err error
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		qr, err = cl.Query(ctx, query)
+		var re *server.RemoteError
+		if err == nil || !errors.As(err, &re) || !re.Overloaded() || attempt >= retries {
+			break
+		}
+		d := re.RetryAfter
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		d = d/2 + time.Duration(rand.Int63n(int64(d))) // ±50% jitter
+		fmt.Fprintf(os.Stderr, "sqlrun: attempt %d/%d shed (HTTP %d: %s), retrying in %v...\n",
+			attempt+1, retries, re.Status, re.Message, d.Round(time.Millisecond))
+		logClusterHealth(ctx, base)
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		var re *server.RemoteError
+		if errors.As(err, &re) && re.Overloaded() {
+			logClusterHealth(ctx, base)
+			fmt.Fprintf(os.Stderr, "overloaded: retry after %v\n", re.RetryAfter.Round(time.Millisecond))
+			return 75 // EX_TEMPFAIL: the query is retryable
+		}
+		return 1
+	}
+	for _, c := range qr.Cols {
+		fmt.Printf("%s\t", c.Name)
+	}
+	fmt.Println()
+	n := len(qr.Rows)
+	if n > 50 {
+		n = 50
+	}
+	for _, row := range qr.Rows[:n] {
+		for _, v := range row {
+			fmt.Printf("%v\t", v)
+		}
+		fmt.Println()
+	}
+	if len(qr.Rows) > n {
+		fmt.Printf("... (%d more rows)\n", len(qr.Rows)-n)
+	}
+	fmt.Printf("\n%d rows in %v from %s (query %s)\n",
+		qr.RowCount, time.Since(start).Round(time.Millisecond), base, qr.QueryID)
+	return 0
+}
+
+// logClusterHealth prints one line per shard plus the coordinator's failover
+// counters from /statsz. A plain (non-coordinator) server reports no shards
+// and logs nothing extra.
+func logClusterHealth(ctx context.Context, base string) {
+	rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, base+"/statsz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sqlrun: statsz: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var st cluster.CoordStats
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return
+	}
+	for i, sh := range st.Shards {
+		breaker := "closed"
+		if sh.BreakerOpen {
+			breaker = "OPEN"
+		}
+		fmt.Fprintf(os.Stderr, "sqlrun:   shard %d %s: %s, breaker %s, %d probe fails, %d fragments (%d retries, %d failures), %d failovers served\n",
+			i, sh.Addr, sh.State, breaker, sh.ProbeFails,
+			sh.Fragments, sh.Retries, sh.Failures, sh.FailoversServed)
+	}
+	if len(st.Shards) > 0 {
+		fmt.Fprintf(os.Stderr, "sqlrun:   failover: %d attempts, %d succeeded, %d reroutes; %d re-replications, %d restores; ring v%d, replication %d\n",
+			st.FailoverAttempts, st.FailoverSuccess, st.Reroutes,
+			st.Rereplications, st.Restores, st.RingVersion, st.Replication)
 	}
 }
 

@@ -52,6 +52,17 @@ type Config struct {
 	// DownAfter consecutive failed probes mark a shard Down (0 = 3).
 	DownAfter int
 
+	// Replication is the partition placement factor R: each primary slice
+	// is also held by its R-1 id-successor shards, and fragments fail over
+	// down that chain transparently (0 or 1 = single-owner placement, no
+	// failover). The shard fleet must be booted with the same factor
+	// (cluster.NewNode / joind -replication).
+	Replication int
+	// RereplicateAfter is the grace window after which a shard still Down
+	// has its primary slices re-replicated onto new holders to restore R
+	// (0 = never; requires the prober and Replication > 1).
+	RereplicateAfter time.Duration
+
 	// Broker, when set, admits queries before any fragment is dispatched;
 	// the reservation is held until the merged result is delivered. The
 	// coordinator does not close it.
@@ -97,6 +108,12 @@ func (cfg *Config) applyDefaults() {
 	}
 	if cfg.DownAfter <= 0 {
 		cfg.DownAfter = 3
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > len(cfg.Shards) {
+		cfg.Replication = len(cfg.Shards)
 	}
 	if cfg.Core == (core.Config{}) {
 		cfg.Core = core.DefaultConfig()
@@ -159,6 +176,25 @@ type Coordinator struct {
 	retries      atomic.Int64
 	gatheredRows atomic.Int64
 	modeCounts   [4]atomic.Int64 // replicated, colocated, routed, gather
+
+	failoverAttempts atomic.Int64 // fragments moved to a later chain holder
+	failoverSuccess  atomic.Int64 // fragments completed on a non-primary holder
+	reroutes         atomic.Int64 // holders skipped without an attempt (Down/breaker/unmounted)
+	rereplications   atomic.Int64 // slices moved to new holders to restore R
+	restores         atomic.Int64 // compensating mounts dismantled after a rejoin
+
+	// placementMu guards extras: per primary slice, the re-replicated
+	// holders appended to the base chain, each tagged with the dead shard
+	// it compensates so a rejoin can dismantle exactly its mounts.
+	placementMu sync.Mutex
+	extras      map[int][]extraReplica
+}
+
+// extraReplica is one re-replicated mount: primary slice data held by a
+// shard outside the base chain, compensating for a dead chain member.
+type extraReplica struct {
+	shard    int // the holder
+	forShard int // the Down chain member it stands in for
 }
 
 // New builds a coordinator over the configured shard fleet.
@@ -174,6 +210,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:    cfg,
 		ring:   NewRing(len(cfg.Shards), cfg.Vnodes),
 		idleCh: make(chan struct{}),
+		extras: make(map[int][]extraReplica),
 	}
 	for i, addr := range cfg.Shards {
 		sh := &shard{id: i, addr: addr}
@@ -265,6 +302,7 @@ type Stats struct {
 	Shards       int           `json:"shards"`
 	Fragments    int           `json:"fragments"`
 	Retries      int           `json:"retries"`
+	Failovers    int           `json:"failovers,omitempty"`
 	GatheredRows int64         `json:"gathered_rows,omitempty"`
 	Duration     time.Duration `json:"-"`
 	DurationMS   float64       `json:"duration_ms"`
@@ -338,9 +376,63 @@ func resolveQualifier(col sql.ColRefAST, byAlias map[string]*aliasInfo) (*aliasI
 	return found, nil
 }
 
+// chainFor builds a fragment's failover chain for one primary slice: the
+// primary itself (served at its node's root /query), the R-1 ring-successor
+// replicas (served under /replica/<p>), then any re-replicated extras.
+func (c *Coordinator) chainFor(primary int) fragTarget {
+	base := ReplicaChain(primary, c.cfg.Replication, len(c.shards))
+	ft := fragTarget{primary: primary, holders: make([]holder, 0, len(base))}
+	for _, s := range base {
+		path := ""
+		if s != primary {
+			path = fmt.Sprintf("/replica/%d", primary)
+		}
+		ft.holders = append(ft.holders, holder{sh: c.shards[s], path: path})
+	}
+	c.placementMu.Lock()
+	for _, e := range c.extras[primary] {
+		ft.holders = append(ft.holders, holder{sh: c.shards[e.shard], path: fmt.Sprintf("/replica/%d", primary)})
+	}
+	c.placementMu.Unlock()
+	return ft
+}
+
+// allTargets is the partitioned scatter set: one failover chain per primary
+// slice. Liveness is the chain's problem now, not routing's — a scatter
+// always covers every slice, and a slice with no live holder surfaces the
+// typed double-fault.
+func (c *Coordinator) allTargets() []fragTarget {
+	out := make([]fragTarget, len(c.shards))
+	for i := range c.shards {
+		out[i] = c.chainFor(i)
+	}
+	return out
+}
+
+// replicatedTarget builds the chain of a replicated-only query: every shard
+// holds the full tables, so the preferred healthy pick leads and every
+// other shard is a fallback at its root path.
+func (c *Coordinator) replicatedTarget() fragTarget {
+	ft := fragTarget{primary: -1}
+	first := c.pickHealthy()
+	if first != nil {
+		ft.primary = first.id
+		ft.holders = append(ft.holders, holder{sh: first})
+	}
+	for _, sh := range c.shards {
+		if first == nil || sh.id != first.id {
+			ft.holders = append(ft.holders, holder{sh: sh})
+		}
+	}
+	if ft.primary < 0 && len(ft.holders) > 0 {
+		ft.primary = ft.holders[0].sh.id
+	}
+	return ft
+}
+
 // classify decides the distributed execution mode and, for scatter modes,
-// the shard subset to touch.
-func (c *Coordinator) classify(stmt *sql.SelectStmt) (Mode, []*shard, error) {
+// the per-slice failover chains to touch.
+func (c *Coordinator) classify(stmt *sql.SelectStmt) (Mode, []fragTarget, error) {
 	byAlias, order, err := c.resolveAliases(stmt)
 	if err != nil {
 		return "", nil, err
@@ -352,11 +444,11 @@ func (c *Coordinator) classify(stmt *sql.SelectStmt) (Mode, []*shard, error) {
 		}
 	}
 	if len(parts) == 0 {
-		sh := c.pickHealthy()
-		if sh == nil {
+		ft := c.replicatedTarget()
+		if len(ft.holders) == 0 {
 			return ModeReplicated, nil, c.noShardErr()
 		}
-		return ModeReplicated, []*shard{sh}, nil
+		return ModeReplicated, []fragTarget{ft}, nil
 	}
 
 	// Co-location: every partitioned alias's partition key must sit in one
@@ -386,7 +478,7 @@ func (c *Coordinator) classify(stmt *sql.SelectStmt) (Mode, []*shard, error) {
 
 	// Partition-key routing: an equality (or, for range-partitioned
 	// tables, a range) predicate on a partition key prunes the scatter.
-	targets := c.liveShards()
+	targets := c.allTargets()
 	mode := ModeColocated
 	if sub := c.routedSubset(stmt, byAlias, parts); sub != nil {
 		targets = sub
@@ -398,9 +490,9 @@ func (c *Coordinator) classify(stmt *sql.SelectStmt) (Mode, []*shard, error) {
 	return mode, targets, nil
 }
 
-// routedSubset returns the shard subset a partition-key predicate pins the
+// routedSubset returns the slice subset a partition-key predicate pins the
 // query to, or nil when no such predicate exists.
-func (c *Coordinator) routedSubset(stmt *sql.SelectStmt, byAlias map[string]*aliasInfo, parts []*aliasInfo) []*shard {
+func (c *Coordinator) routedSubset(stmt *sql.SelectStmt, byAlias map[string]*aliasInfo, parts []*aliasInfo) []fragTarget {
 	for _, cond := range stmt.Where {
 		if cond.IsJoin || cond.IsStr {
 			continue
@@ -417,41 +509,20 @@ func (c *Coordinator) routedSubset(stmt *sql.SelectStmt, byAlias map[string]*ali
 			} else {
 				id = c.ring.OwnerKey(cond.Num)
 			}
-			return []*shard{c.shards[id]}
+			return []fragTarget{c.chainFor(id)}
 		case "between":
 			if len(ai.dist.Bounds) == 0 {
 				continue // hash placement cannot prune a range
 			}
 			ids := NewRangeRouter(ai.dist.Bounds).Owners(cond.Num, cond.Num2)
-			out := make([]*shard, len(ids))
+			out := make([]fragTarget, len(ids))
 			for i, id := range ids {
-				out[i] = c.shards[id]
+				out[i] = c.chainFor(id)
 			}
 			return out
 		}
 	}
 	return nil
-}
-
-// liveShards returns every shard the router may currently use; Down or
-// circuit-broken shards are excluded (their fragments would fail fast
-// anyway, and a partitioned fragment has nowhere else to go — the caller
-// surfaces ErrShardUnavailable when the owner is missing).
-func (c *Coordinator) liveShards() []*shard {
-	now := time.Now()
-	var out []*shard
-	for _, sh := range c.shards {
-		if sh.available(now) {
-			out = append(out, sh)
-		}
-	}
-	// Partitioned scatters need every shard: if any shard is unavailable
-	// the query cannot be answered completely, so return the full set and
-	// let the fragment layer fail fast with the typed error.
-	if len(out) != len(c.shards) {
-		return c.shards
-	}
-	return out
 }
 
 // pickHealthy chooses one shard for a replicated-only query, preferring Up
@@ -478,9 +549,20 @@ func (c *Coordinator) pickHealthy() *shard {
 // noShardErr is the typed failure when routing finds no usable shard.
 func (c *Coordinator) noShardErr() error {
 	return &ShardUnavailableError{
-		Shard: -1, Addr: "(none)", RetryAfter: c.cfg.BreakerCooloff,
+		Shard: -1, Addr: "(none)", RetryAfter: c.unavailableRetryAfter(),
 		Err: errors.New("no healthy shard"),
 	}
+}
+
+// unavailableRetryAfter is the honest Retry-After of a double-fault: with
+// the prober running, a recovered shard is re-marked reachable within one
+// probe round plus its timeout — any sooner retry would hit the same Down
+// verdict. Without a prober the breaker cooloff is the recheck horizon.
+func (c *Coordinator) unavailableRetryAfter() time.Duration {
+	if c.cfg.ProbeInterval > 0 {
+		return c.cfg.ProbeInterval + c.cfg.ProbeTimeout
+	}
+	return c.cfg.BreakerCooloff
 }
 
 // Query plans and executes one distributed query. qid may be empty (one is
@@ -575,9 +657,9 @@ func modeIndex(m Mode) int {
 }
 
 // scatterMerge runs the co-located/broadcast/routed path: the (possibly
-// avg-rewritten) fragment statement goes to every target shard and the
-// partial results merge on the coordinator.
-func (c *Coordinator) scatterMerge(ctx context.Context, stmt *sql.SelectStmt, targets []*shard, qid string) (*Result, error) {
+// avg-rewritten) fragment statement goes to every target slice's chain and
+// the partial results merge on the coordinator.
+func (c *Coordinator) scatterMerge(ctx context.Context, stmt *sql.SelectStmt, targets []fragTarget, qid string) (*Result, error) {
 	mp, err := buildMerge(stmt)
 	if err != nil {
 		return nil, err
@@ -594,16 +676,19 @@ func (c *Coordinator) scatterMerge(ctx context.Context, stmt *sql.SelectStmt, ta
 	for _, fr := range frags {
 		res.Stats.Fragments += fr.tries
 		res.Stats.Retries += fr.tries - 1
+		if fr.failedOver {
+			res.Stats.Failovers++
+		}
 	}
 	return res, nil
 }
 
-// passthrough runs the whole statement on one shard and returns its rows
-// unmerged — correct whenever that shard holds every row the query can
+// passthrough runs the whole statement on one slice's chain and returns its
+// rows unmerged — correct whenever that slice holds every row the query can
 // touch. Printing from the AST (rather than echoing the client's text)
 // keeps the fragment layer the single wire entry point.
-func (c *Coordinator) passthrough(ctx context.Context, stmt *sql.SelectStmt, sh *shard, qid string) (*Result, error) {
-	fr, err := c.runFragment(ctx, sh, printStmt(stmt, fragOpts{}), qid)
+func (c *Coordinator) passthrough(ctx context.Context, stmt *sql.SelectStmt, ft fragTarget, qid string) (*Result, error) {
+	fr, err := c.runFragment(ctx, ft, printStmt(stmt, fragOpts{}), qid)
 	if err != nil {
 		return nil, err
 	}
@@ -611,9 +696,11 @@ func (c *Coordinator) passthrough(ctx context.Context, stmt *sql.SelectStmt, sh 
 	for i, cm := range fr.cols {
 		cols[i] = ColMeta{Name: cm.Name, Type: cm.Type}
 	}
-	return &Result{Cols: cols, Rows: fr.rows, Stats: Stats{
-		Shards: 1, Fragments: fr.tries, Retries: fr.tries - 1,
-	}}, nil
+	st := Stats{Shards: 1, Fragments: fr.tries, Retries: fr.tries - 1}
+	if fr.failedOver {
+		st.Failovers = 1
+	}
+	return &Result{Cols: cols, Rows: fr.rows, Stats: st}, nil
 }
 
 // unionFind is a tiny union-find over qualified column names.
@@ -651,11 +738,11 @@ func (c *Coordinator) execOpts(rsv *admit.Reservation) plan.Options {
 	}
 }
 
-// shardIDs names the target set for stats/logs.
-func shardIDs(shards []*shard) []int {
-	out := make([]int, len(shards))
-	for i, sh := range shards {
-		out[i] = sh.id
+// shardIDs names a target set for stats/logs.
+func shardIDs(targets []fragTarget) []int {
+	out := make([]int, len(targets))
+	for i, ft := range targets {
+		out[i] = ft.primary
 	}
 	sort.Ints(out)
 	return out

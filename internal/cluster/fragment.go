@@ -39,10 +39,30 @@ type colMeta struct {
 // declared column type: INT64/INT32/DATE/BOOL → int64, FLOAT64 → float64,
 // STRING → string (json.Number parsing, so 64-bit keys survive).
 type fragResult struct {
-	shard *shard
-	cols  []colMeta
-	rows  [][]any
-	tries int
+	shard      *shard
+	cols       []colMeta
+	rows       [][]any
+	tries      int
+	failedOver bool // completed on a holder other than the primary
+}
+
+// holder is one place a fragment's rows can be read: a shard plus the URL
+// path prefix selecting the right catalog on it — "" for the shard's own
+// primary slice, "/replica/<p>" for a replica it hosts.
+type holder struct {
+	sh   *shard
+	path string
+}
+
+// fragTarget is one fragment's full failover chain: the primary slice id
+// and every holder that can serve it, in preference order (primary first,
+// then ring-successor replicas, then any re-replicated extras). Fragments
+// are idempotent reads keyed by the primary slice id, so re-executing on a
+// later holder after discarding a partial stream cannot double-count rows —
+// exactly one holder's complete row set ever reaches the merge.
+type fragTarget struct {
+	primary int
+	holders []holder
 }
 
 // retryableStatus reports whether an HTTP status is worth another attempt:
@@ -61,6 +81,9 @@ type fragError struct {
 	err        error
 	retryable  bool
 	retryAfter time.Duration // server-suggested backoff floor, if any
+	skipHolder bool          // replica not mounted here: move down the chain, no breaker penalty
+	staleRing  bool          // node rejected our ring version as stale (409)
+	ringVer    int64         // the node's newer version, when staleRing
 }
 
 func (e *fragError) Error() string { return e.err.Error() }
@@ -71,38 +94,61 @@ type fragmentRequest struct {
 	Stream bool   `json:"stream"`
 }
 
-// attemptFragment issues one fragment RPC against addr and streams the
-// NDJSON response into memory. ctx must already carry the fragment
-// deadline. The error, when non-nil, is always a *fragError.
-func (c *Coordinator) attemptFragment(ctx context.Context, addr, fsql, qid string) ([]colMeta, [][]any, error) {
+// attemptFragment issues one fragment RPC against a holder (base address +
+// replica path) and streams the NDJSON response into memory. ctx must
+// already carry the fragment deadline. The error, when non-nil, is always a
+// *fragError.
+func (c *Coordinator) attemptFragment(ctx context.Context, addr, path, fsql, qid string) ([]colMeta, [][]any, error) {
 	if err := faultinject.ErrAt("cluster.fragment.connect"); err != nil {
 		return nil, nil, &fragError{err: fmt.Errorf("connect %s: %w", addr, err), retryable: true}
 	}
 	faultinject.Hit("cluster.fragment.slow")
 	body, _ := json.Marshal(fragmentRequest{SQL: fsql, Stream: true})
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/query", bytes.NewReader(body))
+	url := addr + path + "/query"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, &fragError{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Accept", "application/x-ndjson")
 	req.Header.Set("X-Query-ID", qid)
+	req.Header.Set("X-Ring-Version", strconv.FormatInt(c.ring.Version(), 10))
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		// Transport-level failure: refused, reset, or the fragment
 		// deadline. The parent query context deciding it is different —
 		// the caller checks that before classifying.
-		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: %w", addr, err), retryable: true}
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: %w", url, err), retryable: true}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 		fe := &fragError{
-			err:       fmt.Errorf("fragment %s: HTTP %d: %s", addr, resp.StatusCode, bytes.TrimSpace(msg)),
+			err:       fmt.Errorf("fragment %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg)),
 			retryable: retryableStatus(resp.StatusCode),
 		}
 		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil {
 			fe.retryAfter = time.Duration(secs) * time.Second
+		}
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			if path != "" {
+				// The replica is not mounted on this node — the chain is
+				// mid-re-replication or our view is behind. Not the shard's
+				// fault; skip down the chain without a breaker penalty.
+				fe.skipHolder = true
+			}
+		case http.StatusConflict:
+			// The node has seen a newer placement than the version we sent.
+			// Adopt it and retry immediately: the re-resolved chain is valid.
+			fe.retryable = true
+			fe.staleRing = true
+			var envelope struct {
+				RingVersion int64 `json:"ring_version"`
+			}
+			if json.Unmarshal(msg, &envelope) == nil {
+				fe.ringVer = envelope.RingVersion
+			}
 		}
 		return nil, nil, fe
 	}
@@ -110,13 +156,13 @@ func (c *Coordinator) attemptFragment(ctx context.Context, addr, fsql, qid strin
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	if !sc.Scan() {
-		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: empty stream: %w", addr, sc.Err()), retryable: true}
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: empty stream: %w", url, sc.Err()), retryable: true}
 	}
 	var hdr struct {
 		Cols []colMeta `json:"cols"`
 	}
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: bad stream header: %w", addr, err)}
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: bad stream header: %w", url, err)}
 	}
 	var rows [][]any
 	sawTrailer := false
@@ -133,22 +179,22 @@ func (c *Coordinator) attemptFragment(ctx context.Context, addr, fsql, qid strin
 		n++
 		if n%64 == 0 {
 			if err := faultinject.ErrAt("cluster.fragment.stream"); err != nil {
-				return nil, nil, &fragError{err: fmt.Errorf("fragment %s: %w", addr, err), retryable: true}
+				return nil, nil, &fragError{err: fmt.Errorf("fragment %s: %w", url, err), retryable: true}
 			}
 		}
 		row, err := decodeRow(line, hdr.Cols)
 		if err != nil {
-			return nil, nil, &fragError{err: fmt.Errorf("fragment %s: %w", addr, err)}
+			return nil, nil, &fragError{err: fmt.Errorf("fragment %s: %w", url, err)}
 		}
 		rows = append(rows, row)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: mid-stream: %w", addr, err), retryable: true}
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: mid-stream: %w", url, err), retryable: true}
 	}
 	if !sawTrailer {
 		// The shard died between the last row and the trailer; without the
 		// trailer the row set cannot be trusted complete.
-		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: stream ended without trailer", addr), retryable: true}
+		return nil, nil, &fragError{err: fmt.Errorf("fragment %s: stream ended without trailer", url), retryable: true}
 	}
 	return hdr.Cols, rows, nil
 }
@@ -200,28 +246,88 @@ func coerce(v any, typ string) (any, error) {
 	return nil, fmt.Errorf("unexpected %T for %s", v, typ)
 }
 
-// runFragment executes one fragment against its shard with the full
-// robustness ladder: per-attempt deadline, jittered exponential backoff,
-// breaker consultation, and health-state fail-fast. Fragments are read-only
-// and therefore always idempotent — every retryable failure may re-dispatch.
-// A nil error means the rows are complete; the typed alternative is
-// *ShardUnavailableError (or the parent context's cause).
-func (c *Coordinator) runFragment(ctx context.Context, sh *shard, fsql, qid string) (*fragResult, error) {
+// runFragment executes one fragment with the full robustness ladder across
+// its holder chain: per-attempt deadline, jittered exponential backoff, and
+// breaker consultation at each holder; when a holder is condemned (prober
+// Down, breaker open, replica unmounted) or exhausts its retry budget, the
+// partial stream is discarded and the fragment re-executes whole on the
+// next holder — transparent failover. Fragments are read-only and therefore
+// always idempotent; exactly one holder's complete rows are returned, so a
+// mid-stream death can never double-count. A nil error means the rows are
+// complete; the typed alternative is *ShardUnavailableError — every holder
+// down, the double-fault — or the parent context's cause.
+func (c *Coordinator) runFragment(ctx context.Context, ft fragTarget, fsql, qid string) (*fragResult, error) {
+	var lastErr error
+	tries := 0
+	for hi, h := range ft.holders {
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
+		sh := h.sh
+		if hi > 0 {
+			c.failoverAttempts.Add(1)
+		}
+		if sh.State() == Down || !sh.breaker.allow(time.Now()) {
+			// Fail-fast reroute: the prober or breaker already condemned
+			// this holder; don't burn the retry budget proving it again.
+			sh.failures.Add(1)
+			c.reroutes.Add(1)
+			if lastErr == nil {
+				lastErr = fmt.Errorf("shard %d %s, breaker open", sh.id, sh.State())
+			}
+			continue
+		}
+		fr, err := c.holderAttempts(ctx, sh, h.path, fsql, qid, &tries)
+		if err == nil {
+			fr.tries = tries
+			if hi > 0 {
+				c.failoverSuccess.Add(1)
+				sh.failoversServed.Add(1)
+				fr.failedOver = true
+			}
+			return fr, nil
+		}
+		var fe *fragError
+		if !errors.As(err, &fe) {
+			// Parent context cause (client gone, drain, deadline) — not a
+			// holder failure; no further holder can help.
+			return nil, err
+		}
+		lastErr = fe.err
+		if fe.skipHolder {
+			// Replica not mounted here: reroute down the chain, the holder
+			// itself is healthy.
+			c.reroutes.Add(1)
+			continue
+		}
+		if !fe.retryable {
+			sh.failures.Add(1)
+			return nil, fe.err
+		}
+		sh.failures.Add(1) // this holder exhausted its budget; fail over
+	}
+	return nil, &ShardUnavailableError{
+		Shard: ft.primary, Addr: c.shards[ft.primary].Addr(),
+		Attempts: tries, Replicas: len(ft.holders) - 1,
+		RetryAfter: c.unavailableRetryAfter(), Err: lastErr,
+	}
+}
+
+// holderAttempts runs the per-holder retry ladder: up to MaxRetries
+// re-dispatches with jittered backoff against one holder. The returned
+// error is a *fragError when the holder failed (retryable = budget
+// exhausted on transient errors; skipHolder = replica unmounted) and the
+// parent context's cause when the query itself died.
+func (c *Coordinator) holderAttempts(ctx context.Context, sh *shard, path, fsql, qid string, tries *int) (*fragResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if err := context.Cause(ctx); err != nil {
 			return nil, err
 		}
-		now := time.Now()
-		if sh.State() == Down || !sh.breaker.allow(now) {
-			sh.failures.Add(1)
-			if lastErr == nil {
-				lastErr = fmt.Errorf("shard %s, breaker open", sh.State())
-			}
-			return nil, &ShardUnavailableError{
-				Shard: sh.id, Addr: sh.Addr(), Attempts: attempt,
-				RetryAfter: c.cfg.BreakerCooloff, Err: lastErr,
-			}
+		if attempt > 0 && (sh.State() == Down || !sh.breaker.allow(time.Now())) {
+			// The holder was condemned mid-ladder; hand the fragment back so
+			// the chain can move on instead of sleeping out the budget here.
+			break
 		}
 		addr := sh.Addr()
 		if faultinject.ErrAt("cluster.ring.stale") != nil {
@@ -234,6 +340,7 @@ func (c *Coordinator) runFragment(ctx context.Context, sh *shard, fsql, qid stri
 			sh.mu.Unlock()
 		}
 		sh.fragments.Add(1)
+		*tries++
 		if attempt > 0 {
 			sh.retries.Add(1)
 			c.retries.Add(1)
@@ -244,26 +351,33 @@ func (c *Coordinator) runFragment(ctx context.Context, sh *shard, fsql, qid stri
 			actx, cancel = context.WithTimeout(ctx, c.cfg.FragmentTimeout)
 		}
 		aqid := fmt.Sprintf("%s.s%d.a%d", qid, sh.id, attempt)
-		cols, rows, err := c.attemptFragment(actx, addr, fsql, aqid)
+		cols, rows, err := c.attemptFragment(actx, addr, path, fsql, aqid)
 		if cancel != nil {
 			cancel()
 		}
 		if err == nil {
 			sh.breaker.ok()
-			return &fragResult{shard: sh, cols: cols, rows: rows, tries: attempt + 1}, nil
+			return &fragResult{shard: sh, cols: cols, rows: rows}, nil
 		}
 		if perr := context.Cause(ctx); perr != nil {
-			// The parent query died (client gone, drain, deadline) — not
-			// the shard's fault; don't punish the breaker.
+			// The parent query died — not the shard's fault; don't punish
+			// the breaker.
 			return nil, perr
 		}
 		fe := &fragError{err: err}
 		errors.As(err, &fe)
 		lastErr = fe.err
+		if fe.skipHolder {
+			return nil, fe
+		}
+		if fe.staleRing && fe.ringVer > 0 {
+			// Adopt the node's newer placement so the next attempt (and
+			// every later fragment) carries a current version.
+			c.ring.BumpTo(fe.ringVer)
+		}
 		sh.breaker.fail(time.Now())
 		if !fe.retryable {
-			sh.failures.Add(1)
-			return nil, fe.err
+			return nil, fe
 		}
 		if attempt == c.cfg.MaxRetries {
 			break
@@ -272,11 +386,10 @@ func (c *Coordinator) runFragment(ctx context.Context, sh *shard, fsql, qid stri
 			return nil, context.Cause(ctx)
 		}
 	}
-	sh.failures.Add(1)
-	return nil, &ShardUnavailableError{
-		Shard: sh.id, Addr: sh.Addr(), Attempts: c.cfg.MaxRetries + 1,
-		RetryAfter: c.cfg.BreakerCooloff, Err: lastErr,
+	if lastErr == nil {
+		lastErr = fmt.Errorf("shard %d %s, breaker open", sh.id, sh.State())
 	}
+	return nil, &fragError{err: lastErr, retryable: true}
 }
 
 // sleepBackoff waits base·2^attempt with ±50% jitter (capped, floored at a
@@ -300,27 +413,28 @@ func (c *Coordinator) sleepBackoff(ctx context.Context, attempt int, floor time.
 	}
 }
 
-// scatter runs the same fragment on every listed shard concurrently. The
-// first fatal error cancel-causes the rest; the goroutines are always
-// joined before return, so a failed scatter leaks nothing.
-func (c *Coordinator) scatter(ctx context.Context, shards []*shard, fsql, qid string) ([]*fragResult, error) {
+// scatter runs the same fragment on every listed target concurrently, each
+// walking its own failover chain. The first fatal error cancel-causes the
+// rest; the goroutines are always joined before return, so a failed scatter
+// leaks nothing.
+func (c *Coordinator) scatter(ctx context.Context, targets []fragTarget, fsql, qid string) ([]*fragResult, error) {
 	sctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
-	results := make([]*fragResult, len(shards))
-	errs := make([]error, len(shards))
+	results := make([]*fragResult, len(targets))
+	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
-	for i, sh := range shards {
+	for i, ft := range targets {
 		wg.Add(1)
-		go func(i int, sh *shard) {
+		go func(i int, ft fragTarget) {
 			defer wg.Done()
-			fr, err := c.runFragment(sctx, sh, fsql, fmt.Sprintf("%s.f%d", qid, i))
+			fr, err := c.runFragment(sctx, ft, fsql, fmt.Sprintf("%s.f%d", qid, i))
 			if err != nil {
 				errs[i] = err
 				cancel(err)
 				return
 			}
 			results[i] = fr
-		}(i, sh)
+		}(i, ft)
 	}
 	wg.Wait()
 	for _, err := range errs {

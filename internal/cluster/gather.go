@@ -41,15 +41,15 @@ func (c *Coordinator) gatherExecute(ctx context.Context, stmt *sql.SelectStmt, q
 	for _, name := range tables {
 		ais := aliasesOf[name]
 		fsql := fetchSQL(stmt, ais)
-		var targets []*shard
+		var targets []fragTarget
 		if ais[0].dist.Replicated() {
-			sh := c.pickHealthy()
-			if sh == nil {
+			ft := c.replicatedTarget()
+			if len(ft.holders) == 0 {
 				return nil, c.noShardErr()
 			}
-			targets = []*shard{sh}
+			targets = []fragTarget{ft}
 		} else {
-			targets = c.shards
+			targets = c.allTargets()
 		}
 		frags, err := c.scatter(ctx, targets, fsql, fmt.Sprintf("%s.g.%s", qid, name))
 		if err != nil {
@@ -64,6 +64,9 @@ func (c *Coordinator) gatherExecute(ctx context.Context, stmt *sql.SelectStmt, q
 			st.Fragments += fr.tries
 			st.Retries += fr.tries - 1
 			st.GatheredRows += int64(len(fr.rows))
+			if fr.failedOver {
+				st.Failovers++
+			}
 		}
 	}
 	c.gatheredRows.Add(st.GatheredRows)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"partitionjoin/internal/admit"
 	"partitionjoin/internal/exec"
@@ -243,47 +244,72 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{status, states})
 }
 
-// ShardStats is one shard's /statsz block.
+// ShardStats is one shard's /statsz block: routing counters plus the live
+// breaker and prober verdicts, so an operator (or sqlrun -retry) can see
+// exactly why fragments are avoiding a shard.
 type ShardStats struct {
-	Addr      string `json:"addr"`
-	State     string `json:"state"`
-	Fragments int64  `json:"fragments"`
-	Retries   int64  `json:"retries"`
-	Failures  int64  `json:"failures"`
-	Trips     int64  `json:"breaker_trips"`
+	Addr            string `json:"addr"`
+	State           string `json:"state"`
+	BreakerOpen     bool   `json:"breaker_open"`
+	ProbeFails      int    `json:"probe_fails"`
+	Fragments       int64  `json:"fragments"`
+	Retries         int64  `json:"retries"`
+	Failures        int64  `json:"failures"`
+	Trips           int64  `json:"breaker_trips"`
+	FailoversServed int64  `json:"failovers_served"`
 }
 
 // CoordStats is the /statsz snapshot.
 type CoordStats struct {
-	Queries      int64            `json:"queries"`
-	OK           int64            `json:"ok"`
-	BadRequest   int64            `json:"bad_request"`
-	Unavailable  int64            `json:"unavailable"`
-	Overloaded   int64            `json:"overloaded"`
-	Timeout      int64            `json:"timeout"`
-	Canceled     int64            `json:"canceled"`
-	Internal     int64            `json:"internal"`
-	Retries      int64            `json:"fragment_retries"`
-	GatheredRows int64            `json:"gathered_rows"`
-	RingVersion  int64            `json:"ring_version"`
-	Modes        map[string]int64 `json:"modes"`
-	Shards       []ShardStats     `json:"shards"`
+	Queries          int64            `json:"queries"`
+	OK               int64            `json:"ok"`
+	BadRequest       int64            `json:"bad_request"`
+	Unavailable      int64            `json:"unavailable"`
+	Overloaded       int64            `json:"overloaded"`
+	Timeout          int64            `json:"timeout"`
+	Canceled         int64            `json:"canceled"`
+	Internal         int64            `json:"internal"`
+	Retries          int64            `json:"fragment_retries"`
+	GatheredRows     int64            `json:"gathered_rows"`
+	RingVersion      int64            `json:"ring_version"`
+	Replication      int              `json:"replication"`
+	FailoverAttempts int64            `json:"failover_attempts"`
+	FailoverSuccess  int64            `json:"failover_success"`
+	Reroutes         int64            `json:"reroutes"`
+	Rereplications   int64            `json:"rereplications"`
+	Restores         int64            `json:"restores"`
+	Modes            map[string]int64 `json:"modes"`
+	Shards           []ShardStats     `json:"shards"`
 }
 
 // handleStatsz exports the coordinator counters.
 func (c *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	st := c.Statsz()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// Statsz snapshots the coordinator counters — the same picture /statsz
+// serves, for in-process harnesses.
+func (c *Coordinator) Statsz() CoordStats {
 	st := CoordStats{
-		Queries:      c.counters.Total.Load(),
-		OK:           c.counters.OK.Load(),
-		BadRequest:   c.counters.BadRequest.Load(),
-		Unavailable:  c.counters.Unavailable.Load(),
-		Overloaded:   c.counters.Overloaded.Load(),
-		Timeout:      c.counters.Timeout.Load(),
-		Canceled:     c.counters.Canceled.Load(),
-		Internal:     c.counters.Internal.Load(),
-		Retries:      c.retries.Load(),
-		GatheredRows: c.gatheredRows.Load(),
-		RingVersion:  c.ring.Version(),
+		Queries:          c.counters.Total.Load(),
+		OK:               c.counters.OK.Load(),
+		BadRequest:       c.counters.BadRequest.Load(),
+		Unavailable:      c.counters.Unavailable.Load(),
+		Overloaded:       c.counters.Overloaded.Load(),
+		Timeout:          c.counters.Timeout.Load(),
+		Canceled:         c.counters.Canceled.Load(),
+		Internal:         c.counters.Internal.Load(),
+		Retries:          c.retries.Load(),
+		GatheredRows:     c.gatheredRows.Load(),
+		RingVersion:      c.ring.Version(),
+		Replication:      c.cfg.Replication,
+		FailoverAttempts: c.failoverAttempts.Load(),
+		FailoverSuccess:  c.failoverSuccess.Load(),
+		Reroutes:         c.reroutes.Load(),
+		Rereplications:   c.rereplications.Load(),
+		Restores:         c.restores.Load(),
 		Modes: map[string]int64{
 			string(ModeReplicated): c.modeCounts[0].Load(),
 			string(ModeColocated):  c.modeCounts[1].Load(),
@@ -291,18 +317,23 @@ func (c *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			string(ModeGather):     c.modeCounts[3].Load(),
 		},
 	}
+	now := time.Now()
 	for _, sh := range c.shards {
 		sh.breaker.mu.Lock()
 		trips := sh.breaker.trips
 		sh.breaker.mu.Unlock()
+		sh.mu.Lock()
+		probeFails := sh.probeFails
+		sh.mu.Unlock()
 		st.Shards = append(st.Shards, ShardStats{
 			Addr: sh.Addr(), State: sh.State().String(),
+			BreakerOpen: sh.breaker.open(now), ProbeFails: probeFails,
 			Fragments: sh.fragments.Load(), Retries: sh.retries.Load(),
 			Failures: sh.failures.Load(), Trips: trips,
+			FailoversServed: sh.failoversServed.Load(),
 		})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(st)
+	return st
 }
 
 // execToResult converts a local ExecResult (the gather path's output) into

@@ -47,19 +47,30 @@ func (s HealthState) String() string {
 var ErrShardUnavailable = errors.New("cluster: shard unavailable")
 
 // ShardUnavailableError is the typed, retryable failure of a fragment whose
-// owning shard is dead, unreachable, persistently slow, or circuit-broken.
+// owning shard is dead, unreachable, persistently slow, or circuit-broken —
+// and, under replication, so is every replica in its chain (the
+// double-fault).
 type ShardUnavailableError struct {
 	Shard    int
 	Addr     string
 	Attempts int
+	// Replicas is how many fallback holders the failover chain offered
+	// beyond the primary; > 0 means the whole chain was exhausted.
+	Replicas int
 	// RetryAfter is the suggested client backoff before resubmitting the
-	// query (the shard may be restarting or the breaker cooling off).
+	// query. It is honest: with the prober running it is the time by which
+	// a recovered shard would be re-marked reachable (one probe round plus
+	// its timeout); otherwise the breaker cooloff.
 	RetryAfter time.Duration
 	Err        error
 }
 
 // Error implements error.
 func (e *ShardUnavailableError) Error() string {
+	if e.Replicas > 0 {
+		return fmt.Sprintf("cluster: shard %d (%s) and all %d replicas unavailable after %d attempts: %v",
+			e.Shard, e.Addr, e.Replicas, e.Attempts, e.Err)
+	}
 	return fmt.Sprintf("cluster: shard %d (%s) unavailable after %d attempts: %v",
 		e.Shard, e.Addr, e.Attempts, e.Err)
 }
@@ -131,12 +142,14 @@ type shard struct {
 
 	state      atomic.Int32 // HealthState
 	probeFails int          // consecutive, prober-owned
+	downSince  time.Time    // when the prober marked it Down; zero while reachable
 
 	breaker breaker
 
-	fragments atomic.Int64 // attempts issued
-	retries   atomic.Int64 // attempts beyond the first
-	failures  atomic.Int64 // fragments that exhausted retries
+	fragments       atomic.Int64 // attempts issued
+	retries         atomic.Int64 // attempts beyond the first
+	failures        atomic.Int64 // fragments that exhausted retries
+	failoversServed atomic.Int64 // fragments served here after another holder failed
 }
 
 // Addr returns the shard's current address.
@@ -166,6 +179,8 @@ func (c *Coordinator) SetShardAddr(id int, addr string) error {
 	sh.mu.Lock()
 	sh.prevAddr = sh.addr
 	sh.addr = addr
+	sh.probeFails = 0
+	sh.downSince = time.Time{}
 	sh.mu.Unlock()
 	sh.state.Store(int32(Degraded))
 	sh.breaker.ok()
@@ -195,13 +210,19 @@ func (c *Coordinator) probe(ctx context.Context, sh *shard) {
 		sh.probeFails++
 	}
 	fails := sh.probeFails
-	sh.mu.Unlock()
 	switch {
 	case fails == 0:
+		sh.downSince = time.Time{}
+		sh.mu.Unlock()
 		sh.state.Store(int32(Up))
 	case fails >= c.cfg.DownAfter:
+		if sh.downSince.IsZero() {
+			sh.downSince = time.Now()
+		}
+		sh.mu.Unlock()
 		sh.state.Store(int32(Down))
 	default:
+		sh.mu.Unlock()
 		sh.state.Store(int32(Degraded))
 	}
 }
@@ -226,5 +247,10 @@ func (c *Coordinator) prober() {
 			}(sh)
 		}
 		wg.Wait()
+		// Membership follow-up rides the probe round: a shard Down past the
+		// grace window loses its replicas to new holders (restoring R); one
+		// back Up gets the compensating mounts dismantled.
+		c.rereplicateCheck(c.baseCtx)
+		c.restoreCheck(c.baseCtx)
 	}
 }

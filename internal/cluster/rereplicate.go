@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Membership-change handling: the prober calls rereplicateCheck after every
+// round. A shard Down past the RereplicateAfter grace window has each of
+// its chain memberships re-replicated — a live holder of the slice streams
+// a partition transfer to a live shard outside the chain — so the fleet is
+// back at R copies of every slice and can absorb the *next* fault. The
+// grace window is what separates a crash from a blip: re-replicating on the
+// first failed probe would thrash data around every GC pause.
+//
+// When the dead shard rejoins (same address recovering or SetShardAddr to a
+// new one) and probes back to Up, restoreCheck dismantles exactly the
+// compensating mounts, returning to the boot placement. The rejoining node
+// itself rebuilds its catalogs at boot (deterministic placement), so no
+// transfer back is needed; only the extras are garbage.
+
+// rereplicateCheck restores R for every slice that lost a chain member to a
+// shard Down past the grace window.
+func (c *Coordinator) rereplicateCheck(ctx context.Context) {
+	if c.cfg.RereplicateAfter <= 0 || c.cfg.Replication <= 1 {
+		return
+	}
+	now := time.Now()
+	for _, sh := range c.shards {
+		if sh.State() != Down {
+			continue
+		}
+		sh.mu.Lock()
+		ds := sh.downSince
+		sh.mu.Unlock()
+		if ds.IsZero() || now.Sub(ds) < c.cfg.RereplicateAfter {
+			continue
+		}
+		c.rereplicateAround(ctx, sh.id)
+	}
+}
+
+// rereplicateAround moves every chain membership of the dead shard to a new
+// holder: for each primary slice p whose chain includes dead, a live holder
+// donates the slice to the first live shard outside p's chain. Idempotent
+// per (p, dead) — an already-recorded compensation is skipped, so repeated
+// probe rounds don't re-transfer.
+func (c *Coordinator) rereplicateAround(ctx context.Context, dead int) {
+	n := len(c.shards)
+	for p := 0; p < n; p++ {
+		chain := ReplicaChain(p, c.cfg.Replication, n)
+		inChain := false
+		for _, s := range chain {
+			if s == dead {
+				inChain = true
+				break
+			}
+		}
+		if !inChain || c.hasCompensation(p, dead) {
+			continue
+		}
+		donor := c.pickDonor(p, chain, dead)
+		target := c.pickTarget(p, chain)
+		if donor == nil || target < 0 {
+			continue // no live donor or no spare shard; retry next round
+		}
+		version := c.ring.Bump()
+		if err := c.postReplicate(ctx, target, p, donor, version); err != nil {
+			continue // transfer failed; retry next round
+		}
+		c.placementMu.Lock()
+		c.extras[p] = append(c.extras[p], extraReplica{shard: target, forShard: dead})
+		c.placementMu.Unlock()
+		c.rereplications.Add(1)
+	}
+}
+
+// hasCompensation reports whether slice p already has an extra standing in
+// for the dead shard.
+func (c *Coordinator) hasCompensation(p, dead int) bool {
+	c.placementMu.Lock()
+	defer c.placementMu.Unlock()
+	for _, e := range c.extras[p] {
+		if e.forShard == dead {
+			return true
+		}
+	}
+	return false
+}
+
+// pickDonor finds a live holder of slice p to stream the transfer from,
+// returning its full base URL (address + replica path).
+func (c *Coordinator) pickDonor(p int, chain []int, dead int) *string {
+	now := time.Now()
+	try := func(s int, path string) *string {
+		sh := c.shards[s]
+		if s == dead || !sh.available(now) {
+			return nil
+		}
+		u := sh.Addr() + path
+		return &u
+	}
+	for _, s := range chain {
+		path := ""
+		if s != p {
+			path = fmt.Sprintf("/replica/%d", p)
+		}
+		if u := try(s, path); u != nil {
+			return u
+		}
+	}
+	// Extras already standing in for another dead chain member can donate too.
+	c.placementMu.Lock()
+	extras := append([]extraReplica(nil), c.extras[p]...)
+	c.placementMu.Unlock()
+	for _, e := range extras {
+		if u := try(e.shard, fmt.Sprintf("/replica/%d", p)); u != nil {
+			return u
+		}
+	}
+	return nil
+}
+
+// pickTarget finds the first live shard not already holding slice p,
+// walking id-successors from the slice's primary — the same order boot
+// placement uses, so the compensated layout stays balanced.
+func (c *Coordinator) pickTarget(p int, chain []int) int {
+	holds := make(map[int]bool, len(chain))
+	for _, s := range chain {
+		holds[s] = true
+	}
+	c.placementMu.Lock()
+	for _, e := range c.extras[p] {
+		holds[e.shard] = true
+	}
+	c.placementMu.Unlock()
+	now := time.Now()
+	n := len(c.shards)
+	for i := 1; i < n; i++ {
+		s := (p + i) % n
+		if !holds[s] && c.shards[s].available(now) && c.shards[s].State() == Up {
+			return s
+		}
+	}
+	return -1
+}
+
+// postReplicate asks the target node to mount slice p, streaming from the
+// donor. Bounded by the fragment timeout — a transfer is a fragment-sized
+// unit of work on these catalogs.
+func (c *Coordinator) postReplicate(ctx context.Context, target, p int, donor *string, version int64) error {
+	timeout := c.cfg.FragmentTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	body, _ := json.Marshal(replicateRequest{Primary: p, From: *donor, Version: version})
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.shards[target].Addr()+"/replicate", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("cluster: replicate %d onto shard %d: HTTP %d: %s",
+			p, target, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// restoreCheck dismantles compensating mounts whose dead shard is back Up:
+// the rejoined node rebuilt its own catalogs at boot, so the extras are now
+// over-replication. Unmount failures are retried next round; the extra is
+// only forgotten once the holder confirms.
+func (c *Coordinator) restoreCheck(ctx context.Context) {
+	c.placementMu.Lock()
+	type pending struct {
+		p     int
+		extra extraReplica
+	}
+	var todo []pending
+	for p, list := range c.extras {
+		for _, e := range list {
+			if c.shards[e.forShard].State() == Up {
+				todo = append(todo, pending{p, e})
+			}
+		}
+	}
+	c.placementMu.Unlock()
+	if len(todo) == 0 {
+		return
+	}
+	bumped := false
+	for _, t := range todo {
+		if err := c.deleteReplica(ctx, t.extra.shard, t.p); err != nil {
+			continue
+		}
+		c.placementMu.Lock()
+		list := c.extras[t.p]
+		kept := list[:0]
+		for _, e := range list {
+			if e != t.extra {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.extras, t.p)
+		} else {
+			c.extras[t.p] = kept
+		}
+		c.placementMu.Unlock()
+		c.restores.Add(1)
+		bumped = true
+	}
+	if bumped {
+		c.ring.Bump()
+	}
+}
+
+// deleteReplica unmounts slice p from a holder (404 counts as done — the
+// holder restarted without it).
+func (c *Coordinator) deleteReplica(ctx context.Context, holder, p int) error {
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodDelete,
+		fmt.Sprintf("%s/replica/%d", c.shards[holder].Addr(), p), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("cluster: unmount replica %d from shard %d: HTTP %d", p, holder, resp.StatusCode)
+	}
+	return nil
+}

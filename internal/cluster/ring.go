@@ -116,6 +116,25 @@ func (r *Ring) Version() int64 {
 	return r.version
 }
 
+// BumpTo raises the version to at least v — adopting a newer placement
+// learned from a node's stale-ring redirect. No-op when already newer.
+func (r *Ring) BumpTo(v int64) {
+	r.mu.Lock()
+	if v > r.version {
+		r.version = v
+	}
+	r.mu.Unlock()
+}
+
+// Bump increments the version by one and returns the new value — the local
+// rebalance marker used when the coordinator itself changes placement.
+func (r *Ring) Bump() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.version++
+	return r.version
+}
+
 // Shards returns the member shard ids, sorted.
 func (r *Ring) Shards() []int {
 	r.mu.RLock()
@@ -146,6 +165,49 @@ func (r *Ring) Owner(h uint64) int {
 // OwnerKey routes an integer partition key (order keys, customer keys —
 // every TPC-H partition key is an int64).
 func (r *Ring) OwnerKey(key int64) int { return r.Owner(hashx.I64(key)) }
+
+// ReplicaChain lists the shards holding primary slice p under replication
+// factor r in failover-preference order: the primary first, then its r-1
+// id-successors. The replication unit is the whole primary slice (the union
+// of a shard's ring ranges), not an individual vnode range, so the successor
+// walk is over shard ids rather than ring points — every node and the
+// coordinator compute the same chain from (p, r, n) alone, which is what
+// lets replica catalogs load at shard boot with no catalog service. r is
+// clamped to the shard count; r <= 1 degenerates to single-owner placement.
+func ReplicaChain(primary, r, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	chain := make([]int, r)
+	for i := range chain {
+		chain[i] = (primary + i) % n
+	}
+	return chain
+}
+
+// BootReplicaPrimaries lists the primaries whose slices shard `shard` must
+// hold as replicas at boot: every p != shard whose ReplicaChain includes it.
+func BootReplicaPrimaries(shard, r, n int) []int {
+	var out []int
+	for p := 0; p < n; p++ {
+		if p == shard {
+			continue
+		}
+		for _, s := range ReplicaChain(p, r, n)[1:] {
+			if s == shard {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
 
 // RangeRouter routes by key range instead of by hash: shard i owns keys in
 // (bounds[i-1], bounds[i]]. Range partitioning keeps key-adjacent rows on

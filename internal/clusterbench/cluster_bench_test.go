@@ -45,3 +45,31 @@ func TestClusterExperimentSmoke(t *testing.T) {
 		}
 	}
 }
+
+// Smoke of the failover-latency experiment: replicated fleet, mid-stream
+// kill, zero client-visible errors, R restored.
+func TestFailoverExperimentSmoke(t *testing.T) {
+	tb, out, err := clusterbench.Failover(clusterbench.FailoverConfig{
+		Catalog: tpch.ServeCatalog(0.005),
+		Queries: 12,
+		Core:    core.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty failover table")
+	}
+	if out.Errors != 0 {
+		t.Fatalf("%d client-visible errors; transparent failover demands 0", out.Errors)
+	}
+	if out.OK != 12 {
+		t.Fatalf("%d/12 queries ok", out.OK)
+	}
+	if out.Failovers == 0 {
+		t.Fatal("no query crossed the fault; the experiment measured nothing")
+	}
+	if !out.RRestored {
+		t.Fatalf("R not restored (%d re-replications)", out.Rereplications)
+	}
+}

@@ -1,0 +1,226 @@
+package clusterbench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"partitionjoin/internal/admit"
+	"partitionjoin/internal/bench"
+	"partitionjoin/internal/cluster"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/server"
+	"partitionjoin/internal/sql"
+)
+
+// The failover experiment measures what the replication ladder costs the
+// client: a steady stream of partitioned joins, a node killed a third of the
+// way through, and the latency of the queries that crossed the fault
+// compared to the steady-state baseline. The contract under test is the
+// tentpole's — zero client-visible errors, identical answers, R restored by
+// re-replication — and the table reports the one number a capacity planner
+// needs: added latency per failed-over query.
+
+// FailoverConfig sizes the failover-latency experiment.
+type FailoverConfig struct {
+	// Catalog is the full database the fleet partitions.
+	Catalog sql.Catalog
+	// Nodes is the fleet size (default 3).
+	Nodes int
+	// Replication is the copies per partition (default 2).
+	Replication int
+	// Queries is the stream length; the kill lands a third of the way in
+	// (default 30).
+	Queries int
+	// Core tunes shard-local execution.
+	Core core.Config
+}
+
+// FailoverOutcome is the measured result, for harnesses that assert on it.
+type FailoverOutcome struct {
+	// OK counts queries that returned the correct rows (must be all).
+	OK int
+	// Failovers counts queries that crossed the fault and were served by a
+	// replica.
+	Failovers int
+	// Errors counts client-visible failures (the contract demands 0).
+	Errors int
+	// BaselineMS and FailoverMS are the median latencies of unaffected and
+	// failed-over queries; AddedMS is their difference — the transparent
+	// failover's price.
+	BaselineMS, FailoverMS, AddedMS float64
+	// Rereplications counts slice transfers that restored R after the kill.
+	Rereplications int64
+	// RRestored reports whether every slice was back at R copies.
+	RRestored bool
+}
+
+// failoverQueries is the Q3/Q12-shaped stream: partitioned co-located joins
+// with grouping, the paper's "not to partition" regime where every shard's
+// fragment matters and a dead shard would be client-visible without failover.
+var failoverQueries = []string{
+	`SELECT o_orderpriority, count(*) AS n FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey AND l.l_quantity < 30 GROUP BY o_orderpriority`,
+	`SELECT l_shipmode, count(*) AS n FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey AND l_shipmode IN ('MAIL', 'SHIP') GROUP BY l_shipmode`,
+}
+
+// Failover boots a replicated fleet, streams partitioned joins through it,
+// kills a node mid-stream, and reports the added latency per failed-over
+// query plus the re-replication that restored R.
+func Failover(cfg FailoverConfig) (*bench.Table, *FailoverOutcome, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 30
+	}
+	spec, err := cluster.TPCHSpec(cfg.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	nodes := make([]*cluster.Node, cfg.Nodes)
+	tss := make([]*httptest.Server, cfg.Nodes)
+	addrs := make([]string, cfg.Nodes)
+	for i := range nodes {
+		n, err := cluster.NewNode(cfg.Catalog, spec, cluster.NodeConfig{
+			ShardID: i, ShardCount: cfg.Nodes, Replication: cfg.Replication,
+			Server: server.Config{Workers: 1, Core: cfg.Core},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		nodes[i] = n
+		tss[i] = httptest.NewServer(n)
+		addrs[i] = tss[i].URL
+	}
+	broker := admit.NewBroker(admit.Config{GlobalMem: 256 << 20})
+	coord, err := cluster.New(cluster.Config{
+		Shards:      addrs,
+		Spec:        spec,
+		Replication: cfg.Replication,
+		// Fast detection, forgiving probe deadline: a dead node fails its
+		// probe on connection refusal instantly; a busy one must not be
+		// condemned by a short timeout.
+		ProbeInterval:    20 * time.Millisecond,
+		ProbeTimeout:     2 * time.Second,
+		DownAfter:        2,
+		RereplicateAfter: 100 * time.Millisecond,
+		MaxRetries:       1,
+		RetryBase:        5 * time.Millisecond,
+		RetryCap:         100 * time.Millisecond,
+		Broker:           broker,
+		MemBudget:        8 << 20,
+		Workers:          1,
+		Core:             cfg.Core,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		coord.Drain(10 * time.Second)
+		for _, ts := range tss {
+			ts.Close()
+		}
+		for _, n := range nodes {
+			n.Drain(10 * time.Second)
+		}
+		broker.Close()
+	}()
+	ctx := context.Background()
+
+	want := make([]string, len(failoverQueries))
+	for i, q := range failoverQueries {
+		res, err := coord.Query(ctx, q, fmt.Sprintf("failover-ref-%d", i))
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench failover: reference: %w", err)
+		}
+		want[i] = fmt.Sprint(res.Rows)
+	}
+
+	out := &FailoverOutcome{}
+	victim := cfg.Nodes - 1
+	killAt := cfg.Queries / 3
+	var normal, crossed []time.Duration
+	for i := 0; i < cfg.Queries; i++ {
+		if i == killAt {
+			// SIGKILL-equivalent: connections reset, the address refuses,
+			// the coordinator learns only by failing.
+			tss[victim].CloseClientConnections()
+			tss[victim].Close()
+			nodes[victim].Drain(time.Second)
+		}
+		qi := i % len(failoverQueries)
+		start := time.Now()
+		res, err := coord.Query(ctx, failoverQueries[qi], fmt.Sprintf("failover-%d", i))
+		d := time.Since(start)
+		if err != nil {
+			out.Errors++
+			return nil, nil, fmt.Errorf("bench failover: query %d client-visible error: %w", i, err)
+		}
+		if got := fmt.Sprint(res.Rows); got != want[qi] {
+			return nil, nil, fmt.Errorf("bench failover: query %d wrong rows: %s vs %s", i, got, want[qi])
+		}
+		out.OK++
+		if res.Stats.Failovers > 0 {
+			out.Failovers++
+			crossed = append(crossed, d)
+		} else {
+			normal = append(normal, d)
+		}
+	}
+
+	// R restored: every slice the victim held (its primary plus its boot
+	// replicas) must have been re-replicated onto survivors.
+	lost := int64(cfg.Replication)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := coord.Statsz()
+		out.Rereplications = st.Rereplications
+		if st.Rereplications >= lost {
+			out.RRestored = true
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !out.RRestored {
+		return nil, nil, fmt.Errorf("bench failover: only %d/%d re-replications; R not restored", out.Rereplications, lost)
+	}
+	if inUse := broker.InUse(); inUse != 0 {
+		return nil, nil, fmt.Errorf("bench failover: %d reserved bytes leaked", inUse)
+	}
+
+	out.BaselineMS = ms(median(normal))
+	out.FailoverMS = ms(median(crossed))
+	out.AddedMS = out.FailoverMS - out.BaselineMS
+
+	tb := &bench.Table{
+		Title: fmt.Sprintf("Transparent failover: %d nodes, replication %d, node killed at query %d/%d",
+			cfg.Nodes, cfg.Replication, killAt, cfg.Queries),
+		Header: []string{"metric", "value"},
+	}
+	tb.Add("queries ok", itoa(out.OK))
+	tb.Add("client-visible errors", itoa(out.Errors))
+	tb.Add("queries failed over", itoa(out.Failovers))
+	tb.Add("baseline latency (median)", fmt.Sprintf("%.2f ms", out.BaselineMS))
+	tb.Add("failed-over latency (median)", fmt.Sprintf("%.2f ms", out.FailoverMS))
+	tb.Add("added latency per failover", fmt.Sprintf("%.2f ms", out.AddedMS))
+	tb.Add("re-replications (R restored)", i64toa(out.Rereplications))
+	return tb, out, nil
+}
+
+// median returns the middle duration (0 for an empty set).
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}

@@ -118,6 +118,19 @@ func Registered(site string) bool {
 	return registry[site]
 }
 
+// Sites returns every registered site name, sorted — the authoritative list
+// chaos tooling prints so scripts can't silently arm a typo.
+func Sites() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(registry))
+	for s := range registry {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Enable arms a fault at the named call site, replacing any existing fault
 // for that site.
 func Enable(site string, f Fault) {

@@ -1,9 +1,11 @@
 #!/bin/sh
-# cluster_check: boot a 3-shard fleet plus a coordinator on ephemeral
-# ports, verify distributed answers against a chaos smoke (connect fault,
-# shard kill, shard restart at a new address), then SIGTERM everything and
-# assert clean drains all around. Run from the repository root (make
-# cluster-check does).
+# cluster_check: boot a 3-shard replicated fleet (R=2) plus a coordinator on
+# ephemeral ports and walk the full fault ladder end to end: connect-fault
+# retry, double fault (a slice's primary AND replica dead -> typed 503 with
+# Retry-After), SIGKILL during a partitioned query stream (zero failed
+# queries -- replicas serve transparently), re-replication restoring R,
+# rejoin dismantling the compensating mounts, and clean drains all around.
+# Run from the repository root (make cluster-check does).
 set -eu
 
 work=$(mktemp -d)
@@ -15,6 +17,18 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 go build -o "$work/joind" ./cmd/joind
+
+# Fault-site discovery: -inject list prints the registered names, so this
+# script (and any chaos harness) can verify its sites exist instead of
+# arming typos that silently never fire.
+for site in cluster.fragment.connect cluster.fragment.stream cluster.ring.stale; do
+	if ! "$work/joind" -inject list | grep -qx "$site"; then
+		echo "cluster-check: fault site $site missing from -inject list" >&2
+		"$work/joind" -inject list >&2
+		exit 1
+	fi
+done
+echo "cluster-check: -inject list knows the cluster fault sites"
 
 # await_port <file> <pid>: the port file appears only once the daemon's
 # listener answers /healthz, so its presence IS readiness.
@@ -41,11 +55,20 @@ query() {
 	curl -sf -m 30 "$1/query" -d "{\"sql\":\"$2\"}"
 }
 
+# statcount <counter>: read one integer counter off the coordinator's /statsz.
+statcount() {
+	curl -sf -m 10 "$coord/statsz" | sed "s/.*\"$1\":\([0-9]*\).*/\1/"
+}
+
 SF=0.005
+REPL=2
+start_shard() {
+	"$work/joind" -addr "${2:-127.0.0.1:0}" -port-file "$work/s$1.port" -sf "$SF" \
+		-shard-id "$1" -shard-count 3 -replication "$REPL" -workers 1 \
+		-drain-grace 10s 2>>"$work/s$1.log" &
+}
 for i in 0 1 2; do
-	"$work/joind" -addr 127.0.0.1:0 -port-file "$work/s$i.port" -sf "$SF" \
-		-shard-id "$i" -shard-count 3 -workers 1 -drain-grace 10s \
-		2>"$work/s$i.log" &
+	start_shard "$i"
 	eval "spid$i=$!"
 	pids="$pids $!"
 done
@@ -55,10 +78,11 @@ await_port "$work/s2.port" "$spid2"
 shards="http://$(cat "$work/s0.port"),http://$(cat "$work/s1.port"),http://$(cat "$work/s2.port")"
 
 # The coordinator starts with a one-shot connect fault armed: its very
-# first fragment dial fails and must be absorbed by a retry.
-"$work/joind" -coordinator -cluster-shards "$shards" \
+# first fragment dial fails and must be absorbed by a retry. Probing is on
+# and a Down shard gets a 2s grace before its slices re-replicate.
+"$work/joind" -coordinator -cluster-shards "$shards" -replication "$REPL" \
 	-addr 127.0.0.1:0 -port-file "$work/c.port" -workers 1 -drain-grace 10s \
-	-probe-interval 100ms \
+	-probe-interval 100ms -rereplicate-after 2s -max-retries 2 \
 	-inject "cluster.fragment.connect=fail:once" \
 	2>"$work/c.log" &
 cpid=$!
@@ -67,7 +91,7 @@ await_port "$work/c.port" "$cpid"
 coord="http://$(cat "$work/c.port")"
 
 # Reference answers from shard 0 alone are meaningless; the distributed
-# count must equal the sum over shards.
+# count must equal the sum over the primary slices.
 total=$(query "$coord" "SELECT count(*) AS n FROM lineitem" | sed 's/.*"rows":\[\[\([0-9]*\)\]\].*/\1/')
 parts=0
 for i in 0 1 2; do
@@ -80,18 +104,21 @@ if [ "$total" != "$parts" ]; then
 fi
 echo "cluster-check: distributed count $total matches shard sum (connect fault retried)"
 
-# A distributed join and a shuffle (gather) join both answer.
-query "$coord" "SELECT count(*) AS n FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey" >/dev/null
+# A distributed join and a shuffle (gather) join both answer; the join
+# count is the reference every chaos phase must keep reproducing.
+JOIN="SELECT count(*) AS n FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey"
+jref=$(query "$coord" "$JOIN" | sed 's/.*"rows":\[\[\([0-9]*\)\]\].*/\1/')
 query "$coord" "SELECT count(*) AS n FROM orders o, customer c WHERE o.o_custkey = c.c_custkey" >/dev/null
-echo "cluster-check: colocated and shuffle joins answered"
+echo "cluster-check: colocated and shuffle joins answered (join count $jref)"
 
-# Chaos: kill shard 2 outright. A join touching it must fail with the
-# typed retryable contract: HTTP 503 plus Retry-After.
-kill -KILL "$spid2"
+# Double fault: slice 1's chain is shards {1,2} under R=2 -- kill both and
+# the replicas are exhausted. The contract is a typed 503 with an honest
+# Retry-After, not a hang and not a wrong answer.
+kill -KILL "$spid1" "$spid2"
 code=$(curl -s -m 30 -o "$work/err.json" -w '%{http_code}' "$coord/query" \
-	-d '{"sql":"SELECT count(*) AS n FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey"}')
+	-d "{\"sql\":\"$JOIN\"}")
 if [ "$code" != "503" ]; then
-	echo "cluster-check: dead shard gave HTTP $code, want 503" >&2
+	echo "cluster-check: double fault gave HTTP $code, want 503" >&2
 	cat "$work/err.json" >&2
 	exit 1
 fi
@@ -100,49 +127,112 @@ if ! grep -q "retry_after_ms" "$work/err.json"; then
 	cat "$work/err.json" >&2
 	exit 1
 fi
-echo "cluster-check: shard kill surfaced 503 + Retry-After"
+echo "cluster-check: double fault surfaced 503 + Retry-After"
 
-# Replicated-only queries must keep answering around the corpse (the
-# prober needs a beat to mark it down).
-sleep 1
+# Replicated-only queries must keep answering around the corpses.
 query "$coord" "SELECT count(*) AS n FROM nation" >/dev/null
-echo "cluster-check: replicated queries survive the dead shard"
+echo "cluster-check: replicated queries survive the dead shards"
 
-# Restart shard 2 at a new address and point the coordinator at it via
-# /statsz-visible ring state... the coordinator relearns through retries
-# once the shard answers at the old id's new address. joind has no
-# reconfig endpoint, so the restart reuses the SAME address here: bind the
-# port the dead shard held.
+# Rejoin both shards at their old addresses (a rescheduled process binding
+# the same service address); the prober re-admits them and the join answers
+# again once the breakers close.
+for i in 1 2; do
+	old=$(cat "$work/s$i.port")
+	rm -f "$work/s$i.port"
+	start_shard "$i" "$old"
+	eval "spid$i=$!"
+	pids="$pids $(eval echo \$spid$i)"
+	await_port "$work/s$i.port" "$(eval echo \$spid$i)"
+done
+i=0
+until out=$(query "$coord" "$JOIN" 2>/dev/null) &&
+	[ "$(printf '%s' "$out" | sed 's/.*"rows":\[\[\([0-9]*\)\]\].*/\1/')" = "$jref" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "cluster-check: cluster never recovered after the double fault" >&2
+		cat "$work/c.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+echo "cluster-check: both shards rejoined, join count intact"
+
+# SIGKILL during a partitioned query stream: with R=2 a single dead shard
+# must be invisible -- every query in the stream succeeds with the right
+# answer, served by replicas (failover counters prove the fault was real).
+rebase=$(statcount rereplications)
+query "$coord" "$JOIN" >"$work/inflight.json" &
+qpid=$!
+kill -KILL "$spid2"
+failed=0
+for i in 1 2 3 4 5 6 7 8; do
+	out=$(query "$coord" "$JOIN" 2>/dev/null) || { failed=$((failed + 1)); continue; }
+	got=$(printf '%s' "$out" | sed 's/.*"rows":\[\[\([0-9]*\)\]\].*/\1/')
+	if [ "$got" != "$jref" ]; then
+		echo "cluster-check: mid-kill query $i answered $got, want $jref" >&2
+		exit 1
+	fi
+done
+wait "$qpid" || failed=$((failed + 1))
+if [ "$failed" != "0" ]; then
+	echo "cluster-check: $failed queries failed during the SIGKILL stream (want 0)" >&2
+	cat "$work/c.log" >&2
+	exit 1
+fi
+grep -q "\"rows\":\[\[$jref\]\]" "$work/inflight.json" || {
+	echo "cluster-check: in-flight query answered wrong across the kill" >&2
+	cat "$work/inflight.json" >&2
+	exit 1
+}
+fos=$(statcount failover_success)
+if [ "$fos" = "0" ]; then
+	echo "cluster-check: no failovers recorded; the kill tested nothing" >&2
+	exit 1
+fi
+echo "cluster-check: SIGKILL mid-stream: 0 failed queries, $fos transparent failovers"
+
+# R restored: the dead shard held 2 slice copies (its primary + 1 replica);
+# after the grace window both must re-replicate onto the survivors.
+i=0
+until [ "$(($(statcount rereplications) - rebase))" -ge 2 ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 150 ]; then
+		echo "cluster-check: re-replication never restored R" >&2
+		curl -s "$coord/statsz" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+echo "cluster-check: re-replication restored R=2 ($(($(statcount rereplications) - rebase)) slice transfers)"
+
+# Rejoin the shard; the compensating mounts are dismantled (restores) and
+# the count still holds.
+resbase=$(statcount restores)
 old2=$(cat "$work/s2.port")
 rm -f "$work/s2.port"
-"$work/joind" -addr "$old2" -port-file "$work/s2.port" -sf "$SF" \
-	-shard-id 2 -shard-count 3 -workers 1 -drain-grace 10s \
-	2>"$work/s2b.log" &
+start_shard 2 "$old2"
 spid2=$!
 pids="$pids $spid2"
 await_port "$work/s2.port" "$spid2"
-
-# The breaker may still be open from the kill; poll until the join
-# answers again.
 i=0
-until query "$coord" "SELECT count(*) AS n FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey" >/dev/null 2>&1; do
+until [ "$(($(statcount restores) - resbase))" -ge 2 ]; do
 	i=$((i + 1))
-	if [ "$i" -gt 100 ]; then
-		echo "cluster-check: cluster never recovered after shard restart" >&2
-		cat "$work/c.log" >&2
+	if [ "$i" -gt 150 ]; then
+		echo "cluster-check: rejoin never dismantled the compensating mounts" >&2
+		curl -s "$coord/statsz" >&2
 		exit 1
 	fi
 	sleep 0.2
 done
 total2=$(query "$coord" "SELECT count(*) AS n FROM lineitem" | sed 's/.*"rows":\[\[\([0-9]*\)\]\].*/\1/')
 if [ "$total2" != "$total" ]; then
-	echo "cluster-check: post-restart count $total2 != $total" >&2
+	echo "cluster-check: post-rejoin count $total2 != $total" >&2
 	exit 1
 fi
-echo "cluster-check: shard restart recovered, counts intact"
+echo "cluster-check: rejoin dismantled extras, counts intact"
 
-# Graceful shutdown: coordinator first, then the shards; every log must
-# end in a clean drain.
+# Graceful shutdown: coordinator first, then the shards; every live
+# daemon's log must end in a clean drain.
 kill -TERM "$cpid"
 wait "$cpid" || { echo "cluster-check: coordinator exited nonzero" >&2; cat "$work/c.log" >&2; exit 1; }
 for p in "$spid0" "$spid1" "$spid2"; do
@@ -150,7 +240,7 @@ for p in "$spid0" "$spid1" "$spid2"; do
 	wait "$p" || { echo "cluster-check: shard exited nonzero" >&2; cat "$work"/s*.log >&2; exit 1; }
 done
 pids=""
-for log in c s0 s1 s2b; do
+for log in c s0 s1 s2; do
 	if ! grep -q "drained cleanly" "$work/$log.log"; then
 		echo "cluster-check: no clean drain in $log.log" >&2
 		cat "$work/$log.log" >&2
