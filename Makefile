@@ -2,9 +2,16 @@
 # injection suite runs twice to catch armed-fault leakage across runs, and
 # the stress target hammers the spill and fault paths under the race
 # detector.
-.PHONY: check build test race faultinject vet bench bench-scan stress soak serve-check cluster-check fmtcheck
+.PHONY: check build test race faultinject vet bench bench-scan bench-join bench-guard stress soak serve-check cluster-check fmtcheck
 
 check: vet build race faultinject stress soak serve-check cluster-check
+
+# BENCH_GUARD=1 make check additionally compares the scan microbenchmarks
+# against the committed baseline and fails on a >10% regression. Off by
+# default: shared CI boxes are too noisy for a hard perf gate.
+ifeq ($(BENCH_GUARD),1)
+check: bench-guard
+endif
 
 vet:
 	go vet ./...
@@ -30,6 +37,18 @@ bench:
 # predicate pushdown) with a single iteration each.
 bench-scan:
 	go test -bench 'BenchmarkScan' -benchtime=1x -run '^$$' .
+
+# bench-join runs the join-path microbenchmarks with allocation reporting:
+# the end-to-end joins plus the staged-probe and SWWCB-scatter kernels. The
+# hot loops are expected to report 0 allocs/op at steady state.
+bench-join:
+	go test -bench 'BenchmarkJoin' -benchmem -benchtime=1x -run '^$$' .
+	go test -bench 'BenchmarkProbe|BenchmarkScatter' -benchmem -run '^$$' ./internal/core/
+
+# bench-guard fails when a BenchmarkScan* result regresses >10% against
+# scripts/bench_baseline.txt (best-of-3 comparison; see the script).
+bench-guard:
+	sh scripts/bench_guard.sh
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

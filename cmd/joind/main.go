@@ -60,6 +60,8 @@ func main() {
 	sweepEvery := flag.Duration("sweep-interval", 5*time.Minute, "period of the spill janitor re-sweep (0 = startup sweep only)")
 	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "idle session expiry")
 	planCache := flag.Int("plan-cache", 128, "prepared-plan cache capacity")
+	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "result-cache byte budget (0 = default 64 MiB)")
+	noResultCache := flag.Bool("no-result-cache", false, "disable the result cache server-wide")
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "how long in-flight queries may run after SIGTERM before being cancelled")
 
 	shardID := flag.Int("shard-id", -1, "serve shard N of a -shard-count cluster (default: whole database)")
@@ -192,6 +194,9 @@ func main() {
 			SessionTTL:    *sessionTTL,
 			NoAdapt:       *noAdapt,
 			Broker:        broker,
+
+			ResultCacheBytes: *resultCacheBytes,
+			NoResultCache:    *noResultCache,
 		}
 		if *shardID >= 0 {
 			// A data node serves its primary slice at the root and its boot

@@ -283,8 +283,15 @@ func runRemote(ctx context.Context, base, query string, retries int) int {
 	if len(qr.Rows) > n {
 		fmt.Printf("... (%d more rows)\n", len(qr.Rows)-n)
 	}
-	fmt.Printf("\n%d rows in %v from %s (query %s)\n",
-		qr.RowCount, time.Since(start).Round(time.Millisecond), base, qr.QueryID)
+	// X-Result-Cache tells a retrying operator whether the rows were
+	// replayed from the server's result cache or executed fresh; a plain
+	// server with the cache disabled sends no header and we print nothing.
+	cache := ""
+	if qr.ResultCache != "" {
+		cache = ", result cache " + qr.ResultCache
+	}
+	fmt.Printf("\n%d rows in %v from %s (query %s%s)\n",
+		qr.RowCount, time.Since(start).Round(time.Millisecond), base, qr.QueryID, cache)
 	return 0
 }
 

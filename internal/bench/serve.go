@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +47,13 @@ type ServeConfig struct {
 	MaxWait time.Duration
 	// Core tunes the in-process server's radix joins.
 	Core core.Config
+	// NoResultCache disables the in-process server's result cache. The
+	// overload soak sets it: cached replays bypass admission entirely, so
+	// with the cache on a warmed workload never queues and never sheds.
+	NoResultCache bool
+	// ResultCacheBytes sizes the in-process server's result cache
+	// (0 = the server default).
+	ResultCacheBytes int64
 }
 
 // ServeOutcome is the measured result of a Serve run, for harnesses that
@@ -61,6 +69,18 @@ type ServeOutcome struct {
 	CacheMisses int64
 	HitRate     float64
 	WallClock   time.Duration
+	// Result-cache view of the measured loop: a hit means the rows were
+	// replayed from the server's result cache without planning or
+	// execution; the hit rate is hits over cache-visible requests.
+	ResultCacheHits   int64
+	ResultCacheMisses int64
+	ResultCacheRate   float64
+	// Serve-process allocation costs of the measured loop (in-process runs
+	// only; zero when Addr targets a remote daemon, where the client and
+	// server heaps are different processes): heap objects and bytes
+	// allocated per completed query, from runtime.MemStats deltas.
+	AllocsPerQuery float64
+	BytesPerQuery  float64
 }
 
 // Serve runs the closed-loop query-service load experiment: Clients
@@ -112,9 +132,11 @@ func Serve(cfg ServeConfig) (*Table, *ServeOutcome, error) {
 		})
 		defer broker.Close()
 		srv = server.New(server.Config{
-			Algo:   plan.BHJ,
-			Core:   cfg.Core,
-			Broker: broker,
+			Algo:             plan.BHJ,
+			Core:             cfg.Core,
+			Broker:           broker,
+			NoResultCache:    cfg.NoResultCache,
+			ResultCacheBytes: cfg.ResultCacheBytes,
 		}, cfg.Catalog)
 		ts = httptest.NewServer(srv)
 		defer ts.Close()
@@ -139,9 +161,19 @@ func Serve(cfg ServeConfig) (*Table, *ServeOutcome, error) {
 		retries   int64
 		hits      int64
 		misses    int64
+		rcHits    int64
+		rcMisses  int64
 		err       error
 	}
 	tallies := make([]clientTally, cfg.Clients)
+	// Allocation baseline for the measured loop. Only meaningful for
+	// in-process runs, where client and server share one heap; a GC first
+	// so leftover warmup garbage does not inflate the deltas.
+	var memBefore runtime.MemStats
+	if srv != nil {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for ci := 0; ci < cfg.Clients; ci++ {
@@ -177,6 +209,12 @@ func Serve(cfg ServeConfig) (*Table, *ServeOutcome, error) {
 					} else {
 						t.misses++
 					}
+					switch res.ResultCache {
+					case "hit":
+						t.rcHits++
+					case "miss":
+						t.rcMisses++
+					}
 					break
 				}
 				t.latencies = append(t.latencies, time.Since(qs))
@@ -198,8 +236,16 @@ func Serve(cfg ServeConfig) (*Table, *ServeOutcome, error) {
 		out.Retries += t.retries
 		out.CacheHits += t.hits
 		out.CacheMisses += t.misses
+		out.ResultCacheHits += t.rcHits
+		out.ResultCacheMisses += t.rcMisses
 	}
 	out.Completed = len(all)
+	if srv != nil && out.Completed > 0 {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		out.AllocsPerQuery = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(out.Completed)
+		out.BytesPerQuery = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(out.Completed)
+	}
 	if out.Completed > 0 {
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 		out.P50 = all[out.Completed/2]
@@ -209,6 +255,9 @@ func Serve(cfg ServeConfig) (*Table, *ServeOutcome, error) {
 	}
 	if hm := out.CacheHits + out.CacheMisses; hm > 0 {
 		out.HitRate = float64(out.CacheHits) / float64(hm)
+	}
+	if rc := out.ResultCacheHits + out.ResultCacheMisses; rc > 0 {
+		out.ResultCacheRate = float64(out.ResultCacheHits) / float64(rc)
 	}
 
 	// Server-side truth: the /statsz snapshot (covers warmup too).
@@ -240,6 +289,16 @@ func Serve(cfg ServeConfig) (*Table, *ServeOutcome, error) {
 	tb.Add("plan cache hit rate (client view)", fmt.Sprintf("%.1f%%", out.HitRate*100))
 	tb.Add("plan cache hit rate (server lifetime)", fmt.Sprintf("%.1f%%", st.PlanCache.HitRate*100))
 	tb.Add("plan cache size", itoa(st.PlanCache.Size))
+	tb.Add("result cache hit rate (client view)", fmt.Sprintf("%.1f%%", out.ResultCacheRate*100))
+	if st.ResultCache != nil {
+		tb.Add("result cache hit rate (server lifetime)", fmt.Sprintf("%.1f%%", st.ResultCache.HitRate*100))
+		tb.Add("result cache occupancy", fmt.Sprintf("%d entries, %s B of %s B",
+			st.ResultCache.Entries, i64toa(st.ResultCache.Bytes), i64toa(st.ResultCache.CapBytes)))
+	}
+	if out.AllocsPerQuery > 0 {
+		tb.Add("allocs/query (serve process)", fmt.Sprintf("%.0f", out.AllocsPerQuery))
+		tb.Add("B/query (serve process)", fmt.Sprintf("%.0f", out.BytesPerQuery))
+	}
 	if st.Broker != nil {
 		tb.Add("admissions", i64toa(st.Broker.Admits))
 		tb.Add("sheds (server)", i64toa(st.Broker.Sheds))

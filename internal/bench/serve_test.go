@@ -36,6 +36,9 @@ func TestServeSoak32Clients(t *testing.T) {
 		GlobalMem:      32 << 20,
 		MaxConcurrency: 2,
 		MaxWait:        -1,
+		// The soak is about admission under load: cached replays skip the
+		// broker, so the result cache must be off for queries to contend.
+		NoResultCache: true,
 	})
 	if err != nil {
 		t.Fatalf("serve soak: %v", err)

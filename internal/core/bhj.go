@@ -50,6 +50,11 @@ type HashJoin struct {
 	// and the entry array are accounted against it. Nil means ungoverned.
 	Gov *govern.Governor
 
+	// Stage is the probe staging group size (Config.ProbeStage); 0 picks
+	// the default. Directory words for a group of probe hashes are loaded
+	// before any row's chain walk so their cache misses overlap.
+	Stage int
+
 	// StatProbeRows and StatMatches count probe tuples and key matches
 	// for the per-join analysis (Figures 1, 2 and 13).
 	StatProbeRows atomic.Int64
@@ -303,53 +308,80 @@ func (o *HashProbeOp) Process(ctx *exec.Ctx, b *exec.Batch) {
 	}
 	j.StatProbeRows.Add(int64(b.N))
 	var matches int64
-	for i := 0; i < b.N; i++ {
-		var h uint64
-		if hcol != nil {
-			h = uint64(hcol[i])
-		} else {
-			h = HashKeys(b, j.ProbeKeyCols, i)
+	// Stage the directory words for a group of rows before walking any
+	// chains: the group's loads are independent, so their cache misses
+	// overlap (Config.ProbeStage, same scheme as the radix join phase).
+	stage := j.Stage
+	if stage <= 0 {
+		stage = 16
+	}
+	if stage > probeStageMax {
+		stage = probeStageMax
+	}
+	var stH [probeStageMax]uint64
+	var stWord [probeStageMax]uint64
+	for base := 0; base < b.N; base += stage {
+		g := stage
+		if base+g > b.N {
+			g = b.N - base
 		}
-		word := j.dir[h&mask]
-		hit := false
-		if word&tagBit(h) != 0 {
-			idx := int32(word&bhjIdxMask) - 1
-			for idx >= 0 {
-				e := &j.entries[idx]
-				if e.hash == h {
-					brow := j.rows[int(idx)*size : (int(idx)+1)*size]
-					if j.Layout.KeyEqualBatch(brow, b, j.ProbeKeyCols, i) &&
-						(j.Residual == nil || j.Residual(brow, b, i)) {
-						hit = true
-						matches++
-						switch j.Kind {
-						case Inner, RightOuter:
-							emit(brow, i, 1)
-						case LeftOuter:
-							markBit(j.matched, idx)
-							emit(brow, i, 1)
-						case LeftSemi, LeftAnti:
-							markBit(j.matched, idx)
+		if hcol != nil {
+			for k := 0; k < g; k++ {
+				h := uint64(hcol[base+k])
+				stH[k] = h
+				stWord[k] = j.dir[h&mask]
+			}
+		} else {
+			for k := 0; k < g; k++ {
+				h := HashKeys(b, j.ProbeKeyCols, base+k)
+				stH[k] = h
+				stWord[k] = j.dir[h&mask]
+			}
+		}
+		for k := 0; k < g; k++ {
+			i := base + k
+			h := stH[k]
+			word := stWord[k]
+			hit := false
+			if word&tagBit(h) != 0 {
+				idx := int32(word&bhjIdxMask) - 1
+				for idx >= 0 {
+					e := &j.entries[idx]
+					if e.hash == h {
+						brow := j.rows[int(idx)*size : (int(idx)+1)*size]
+						if j.Layout.KeyEqualBatch(brow, b, j.ProbeKeyCols, i) &&
+							(j.Residual == nil || j.Residual(brow, b, i)) {
+							hit = true
+							matches++
+							switch j.Kind {
+							case Inner, RightOuter:
+								emit(brow, i, 1)
+							case LeftOuter:
+								markBit(j.matched, idx)
+								emit(brow, i, 1)
+							case LeftSemi, LeftAnti:
+								markBit(j.matched, idx)
+							}
 						}
 					}
+					idx = e.next
 				}
-				idx = e.next
 			}
-		}
-		switch j.Kind {
-		case Semi:
-			if hit {
-				emit(nil, i, 1)
-			}
-		case Anti:
-			if !hit {
-				emit(nil, i, 0)
-			}
-		case Mark:
-			emit(nil, i, boolToInt(hit))
-		case RightOuter:
-			if !hit {
-				emit(nil, i, 0)
+			switch j.Kind {
+			case Semi:
+				if hit {
+					emit(nil, i, 1)
+				}
+			case Anti:
+				if !hit {
+					emit(nil, i, 0)
+				}
+			case Mark:
+				emit(nil, i, boolToInt(hit))
+			case RightOuter:
+				if !hit {
+					emit(nil, i, 0)
+				}
 			}
 		}
 	}

@@ -83,19 +83,37 @@ func newSWWCBSet(fanout, bufBytes, rowSize int) *swwcbSet {
 	}
 }
 
-// slot returns the staging area for the next row of partition p, flushing
-// through flush(p, data) when the buffer is full. The caller packs the row
-// directly into the returned slice.
-func (s *swwcbSet) slot(p int, flush func(p int, data []byte)) []byte {
+// tryslot returns the staging area for the next row of partition p, or
+// nil when the buffer is full and must be flushed first (flushSlot). The
+// split keeps the common path free of the flush-closure argument so it
+// inlines into the scatter loops; the caller packs the row directly into
+// the returned slice.
+func (s *swwcbSet) tryslot(p int) []byte {
 	u := s.used[p]
 	if int(u)+s.rowSize > s.capBytes {
-		base := p * s.capBytes
-		flush(p, s.buf[base:base+int(u)])
-		u = 0
+		return nil
 	}
 	s.used[p] = u + int32(s.rowSize)
 	base := p*s.capBytes + int(u)
 	return s.buf[base : base+s.rowSize]
+}
+
+// flushSlot is tryslot's slow path: flushes partition p's full buffer
+// through flush(p, data) and returns a fresh staging area.
+func (s *swwcbSet) flushSlot(p int, flush func(p int, data []byte)) []byte {
+	base := p * s.capBytes
+	flush(p, s.buf[base:base+int(s.used[p])])
+	s.used[p] = int32(s.rowSize)
+	return s.buf[base : base+s.rowSize]
+}
+
+// slot returns the staging area for the next row of partition p, flushing
+// when the buffer is full — the fused form for non-critical callers.
+func (s *swwcbSet) slot(p int, flush func(p int, data []byte)) []byte {
+	if dst := s.tryslot(p); dst != nil {
+		return dst
+	}
+	return s.flushSlot(p, flush)
 }
 
 // drain flushes every non-empty buffer.

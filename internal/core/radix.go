@@ -275,7 +275,10 @@ func (s *RadixSink) Consume(ctx *exec.Ctx, b *exec.Batch) {
 			h = HashKeys(b, s.KeyCols, i)
 		}
 		p := int(h & mask)
-		dst := w.swwcb.slot(p, flush)
+		dst := w.swwcb.tryslot(p)
+		if dst == nil {
+			dst = w.swwcb.flushSlot(p, flush)
+		}
 		s.Layout.PackRow(dst, h, b, s.Cols, i)
 	}
 	s.Meter.AddWrite(int64(b.N) * int64(rowSize))
@@ -330,7 +333,12 @@ func (s *RadixSink) ConsumePacked(ctx *exec.Ctx, data []byte) {
 	for off := 0; off+rowSize <= len(data); off += rowSize {
 		row := data[off : off+rowSize]
 		h := s.Layout.Hash(row)
-		copy(w.swwcb.slot(int(h&mask), flush), row)
+		p := int(h & mask)
+		dst := w.swwcb.tryslot(p)
+		if dst == nil {
+			dst = w.swwcb.flushSlot(p, flush)
+		}
+		copy(dst, row)
 	}
 	s.Meter.AddWrite(int64(len(data)))
 }
@@ -496,7 +504,11 @@ func (s *RadixSink) Close() {
 						filter.Insert(hv)
 					}
 					p2 := int((hv >> shift) & maskF2)
-					copy(sw.slot(p2, flush), row)
+					dst := sw.tryslot(p2)
+					if dst == nil {
+						dst = sw.flushSlot(p2, flush)
+					}
+					copy(dst, row)
 				}
 			}
 			// Pages of this pre-partition are dead after the scan.

@@ -440,6 +440,16 @@ func (s *PartitionJoinSource) joinPartition(ctx *exec.Ctx, out exec.Operator, bp
 	bKeyOff := bl.Offs[bl.KeyCols[0]]
 	pKeyOff := pl.Offs[pl.KeyCols[0]]
 	cancelled := false
+	// Prefetch-distance staging (Cfg.ProbeStage): hash a group of probe
+	// rows and load each one's first hash-table entry before any row's
+	// probe walk begins. The staged loads are independent, so the group's
+	// random cache misses overlap — software memory-level parallelism in
+	// place of a prefetch intrinsic — and the walk then starts from the
+	// already-resident staged entry.
+	stage := j.Cfg.probeStage()
+	var stHash [probeStageMax]uint64
+	var stSlot [probeStageMax]uint32
+	var stEnt [probeStageMax]rhEntry
 	probe(func(ppart []byte) {
 		if cancelled {
 			return
@@ -447,75 +457,89 @@ func (s *PartitionJoinSource) joinPartition(ctx *exec.Ctx, out exec.Operator, bp
 		np := len(ppart) / pl.Size
 		j.StatProbeRows.Add(int64(np))
 		ctx.Meter.AddRead(int64(len(ppart)))
-		for i := 0; i < np; i++ {
-			// Poll cancellation between blocks of probe rows so a huge
-			// skewed partition cannot pin a worker past a deadline.
-			if i&8191 == 8191 && ctx.Err() != nil {
-				cancelled = true
-				return
+		for base := 0; base < np; base += stage {
+			g := stage
+			if base+g > np {
+				g = np - base
 			}
-			prow := ppart[i*pl.Size : (i+1)*pl.Size]
-			h := pl.Hash(prow)
-			hit := false
-			// Inlined robin-hood probe: the displacement invariant bounds
-			// the scan (see rhTable.probe); candidates verify key and
-			// residual before counting as matches.
-			slot := rhSlot(h) & mask
-			dist := uint32(0)
-			for {
-				e := &entries[slot]
-				idx := e.idx
-				if idx < 0 {
-					break
-				}
-				occDist := (slot - rhSlot(e.hash)) & mask
-				if occDist < dist {
-					break
-				}
-				if e.hash == h {
-					brow := bpart[int(idx)*bl.Size : (int(idx)+1)*bl.Size]
-					var ok bool
-					if fastKey {
-						ok = binary.LittleEndian.Uint64(brow[bKeyOff:]) ==
-							binary.LittleEndian.Uint64(prow[pKeyOff:])
-					} else {
-						ok = bl.KeyEqual(brow, pl, prow) &&
-							(j.Residual == nil || j.Residual(brow, prow))
+			for k := 0; k < g; k++ {
+				h := pl.Hash(ppart[(base+k)*pl.Size:])
+				slot := rhSlot(h) & mask
+				stHash[k], stSlot[k] = h, slot
+				stEnt[k] = entries[slot]
+			}
+			for k := 0; k < g; k++ {
+				i := base + k
+				prow := ppart[i*pl.Size : (i+1)*pl.Size]
+				h := stHash[k]
+				hit := false
+				// Inlined robin-hood probe: the displacement invariant
+				// bounds the scan (see rhTable.probe); candidates verify
+				// key and residual before counting as matches.
+				slot := stSlot[k]
+				e := stEnt[k]
+				dist := uint32(0)
+				for {
+					idx := e.idx
+					if idx < 0 {
+						break
 					}
-					if ok {
-						hit = true
-						matches++
-						switch j.Kind {
-						case Inner, RightOuter:
-							emitPair(brow, prow)
-						case LeftOuter:
-							w.matched[idx] = true
-							emitPair(brow, prow)
-						case LeftSemi, LeftAnti:
-							w.matched[idx] = true
-						case Semi, Anti, Mark:
-							// Presence is all that matters.
+					occDist := (slot - rhSlot(e.hash)) & mask
+					if occDist < dist {
+						break
+					}
+					if e.hash == h {
+						brow := bpart[int(idx)*bl.Size : (int(idx)+1)*bl.Size]
+						var ok bool
+						if fastKey {
+							ok = binary.LittleEndian.Uint64(brow[bKeyOff:]) ==
+								binary.LittleEndian.Uint64(prow[pKeyOff:])
+						} else {
+							ok = bl.KeyEqual(brow, pl, prow) &&
+								(j.Residual == nil || j.Residual(brow, prow))
+						}
+						if ok {
+							hit = true
+							matches++
+							switch j.Kind {
+							case Inner, RightOuter:
+								emitPair(brow, prow)
+							case LeftOuter:
+								w.matched[idx] = true
+								emitPair(brow, prow)
+							case LeftSemi, LeftAnti:
+								w.matched[idx] = true
+							case Semi, Anti, Mark:
+								// Presence is all that matters.
+							}
 						}
 					}
+					slot = (slot + 1) & mask
+					dist++
+					e = entries[slot]
 				}
-				slot = (slot + 1) & mask
-				dist++
+				switch j.Kind {
+				case Semi:
+					if hit {
+						emitPair(nil, prow)
+					}
+				case Anti:
+					if !hit {
+						emitPair(nil, prow)
+					}
+				case Mark:
+					emitMark(prow, hit)
+				case RightOuter:
+					if !hit {
+						emitPair(nil, prow)
+					}
+				}
 			}
-			switch j.Kind {
-			case Semi:
-				if hit {
-					emitPair(nil, prow)
-				}
-			case Anti:
-				if !hit {
-					emitPair(nil, prow)
-				}
-			case Mark:
-				emitMark(prow, hit)
-			case RightOuter:
-				if !hit {
-					emitPair(nil, prow)
-				}
+			// Poll cancellation roughly every 8K probe rows so a huge
+			// skewed partition cannot pin a worker past a deadline.
+			if base&^8191 != (base+g)&^8191 && ctx.Err() != nil {
+				cancelled = true
+				return
 			}
 		}
 	})

@@ -25,6 +25,64 @@ type Vector struct {
 	I64   []int64
 	F64   []float64
 	Str   [][]byte
+
+	// shared marks the active lane as a zero-copy alias of immutable
+	// storage (set by ShareI64/ShareF64 on the fully-kept scan fast path).
+	// Readers never notice; every mutating method first falls back to the
+	// vector's own buffers (ownI64/ownF64) so aliased storage is never
+	// written through.
+	shared bool
+	ownI64 []int64
+	ownF64 []float64
+}
+
+// ShareI64 aliases the vector's I64 lane to vals without copying. The
+// caller promises vals is immutable for the batch's lifetime (storage
+// column slices are). Reset, Resize, Compact and Gather transparently
+// fall back to owned buffers, so downstream operators may mutate freely.
+func (v *Vector) ShareI64(vals []int64) {
+	if !v.shared {
+		v.ownI64, v.ownF64 = v.I64[:0], v.F64[:0]
+	}
+	v.shared = true
+	v.I64 = vals
+}
+
+// ShareF64 aliases the vector's F64 lane to vals without copying.
+func (v *Vector) ShareF64(vals []float64) {
+	if !v.shared {
+		v.ownI64, v.ownF64 = v.I64[:0], v.F64[:0]
+	}
+	v.shared = true
+	v.F64 = vals
+}
+
+// Shared reports whether the vector currently aliases storage.
+func (v *Vector) Shared() bool { return v.shared }
+
+// unshare drops a storage alias, restoring the vector's own (empty)
+// buffers. Contents are discarded — callers that need them use
+// materialize instead.
+func (v *Vector) unshare() {
+	if !v.shared {
+		return
+	}
+	v.I64, v.F64 = v.ownI64[:0], v.ownF64[:0]
+	v.ownI64, v.ownF64 = nil, nil
+	v.shared = false
+}
+
+// materialize copies a storage alias into the vector's own buffers so it
+// can be appended to or mutated in place.
+func (v *Vector) materialize() {
+	if !v.shared {
+		return
+	}
+	s64, sF := v.I64, v.F64
+	v.shared = false
+	v.I64 = append(v.ownI64[:0], s64...)
+	v.F64 = append(v.ownF64[:0], sF...)
+	v.ownI64, v.ownF64 = nil, nil
 }
 
 // NewVector allocates a vector of logical type t with capacity BatchSize.
@@ -41,8 +99,10 @@ func NewVector(t storage.Type, strCap int) Vector {
 	return v
 }
 
-// Reset truncates the vector to length 0.
+// Reset truncates the vector to length 0 (restoring owned buffers first
+// when the vector aliases storage).
 func (v *Vector) Reset() {
+	v.unshare()
 	v.I64 = v.I64[:0]
 	v.F64 = v.F64[:0]
 	v.Str = v.Str[:0]
@@ -50,6 +110,7 @@ func (v *Vector) Reset() {
 
 // Resize sets the vector's length to n, growing capacity if needed.
 func (v *Vector) Resize(n int) {
+	v.unshare()
 	switch v.T {
 	case storage.Float64:
 		if cap(v.F64) < n {
@@ -85,6 +146,30 @@ func (v *Vector) Len() int {
 // Filters compact batches in place rather than carrying selection vectors,
 // which keeps every downstream kernel a dense loop.
 func (v *Vector) Compact(keep []bool) {
+	if v.shared {
+		// Compact out-of-place: read the storage alias, write the owned
+		// buffer. This is also where a filtered scan batch stops aliasing.
+		s64, sF := v.I64, v.F64
+		v.unshare()
+		if len(sF) > 0 {
+			out := v.F64
+			for i, k := range keep {
+				if k {
+					out = append(out, sF[i])
+				}
+			}
+			v.F64 = out
+			return
+		}
+		out := v.I64
+		for i, k := range keep {
+			if k {
+				out = append(out, s64[i])
+			}
+		}
+		v.I64 = out
+		return
+	}
 	switch v.T {
 	case storage.Float64:
 		out := v.F64[:0]
@@ -113,8 +198,55 @@ func (v *Vector) Compact(keep []bool) {
 	}
 }
 
+// CompactIdx keeps exactly the rows listed in idx (ascending row numbers):
+// the index-list form of Compact. One bool pass per batch builds idx, and
+// every vector then does len(idx) moves instead of a full-width flag walk —
+// at low selectivity that is the difference between O(kept) and O(rows)
+// per column. Shared vectors gather out-of-place into their own buffers.
+func (v *Vector) CompactIdx(idx []int32) {
+	if v.shared {
+		s64, sF := v.I64, v.F64
+		v.unshare()
+		if v.T == storage.Float64 {
+			out := v.F64
+			for _, i := range idx {
+				out = append(out, sF[i])
+			}
+			v.F64 = out
+			return
+		}
+		out := v.I64
+		for _, i := range idx {
+			out = append(out, s64[i])
+		}
+		v.I64 = out
+		return
+	}
+	switch v.T {
+	case storage.Float64:
+		a := v.F64
+		for j, i := range idx {
+			a[j] = a[i]
+		}
+		v.F64 = a[:len(idx)]
+	case storage.String:
+		a := v.Str
+		for j, i := range idx {
+			a[j] = a[i]
+		}
+		v.Str = a[:len(idx)]
+	default:
+		a := v.I64
+		for j, i := range idx {
+			a[j] = a[i]
+		}
+		v.I64 = a[:len(idx)]
+	}
+}
+
 // Gather appends src[idx[i]] for each index to the vector.
 func (v *Vector) Gather(src *Vector, idx []int32) {
+	v.materialize()
 	switch v.T {
 	case storage.Float64:
 		for _, i := range idx {
@@ -135,6 +267,9 @@ func (v *Vector) Gather(src *Vector, idx []int32) {
 type Batch struct {
 	Vecs []Vector
 	N    int
+
+	// idx is the reusable selection-index scratch for Compact.
+	idx []int32
 }
 
 // NewBatch allocates a batch with one vector per type.
@@ -158,7 +293,9 @@ func (b *Batch) Reset() {
 	b.N = 0
 }
 
-// Compact keeps only the rows whose keep flag is set and fixes N.
+// Compact keeps only the rows whose keep flag is set and fixes N. The
+// flags are translated once into a selection-index list so each vector
+// moves only the kept rows rather than re-walking the flag array.
 func (b *Batch) Compact(keep []bool) {
 	n := 0
 	for _, k := range keep[:b.N] {
@@ -169,8 +306,18 @@ func (b *Batch) Compact(keep []bool) {
 	if n == b.N {
 		return
 	}
+	if cap(b.idx) < n {
+		b.idx = make([]int32, 0, len(keep))
+	}
+	idx := b.idx[:0]
+	for i, k := range keep[:b.N] {
+		if k {
+			idx = append(idx, int32(i))
+		}
+	}
+	b.idx = idx
 	for i := range b.Vecs {
-		b.Vecs[i].Compact(keep[:b.N])
+		b.Vecs[i].CompactIdx(idx)
 	}
 	b.N = n
 }

@@ -66,6 +66,10 @@ type groupTable struct {
 	dist    []map[int64]struct{} // flattened: aggIdx*groups would waste; see distFor
 	distOf  map[int64]map[int64]struct{}
 	n       int32
+	// scratch is the worker-local key-packing buffer; keeping it on the
+	// table instead of allocating per Consume call keeps the hot path
+	// allocation-free.
+	scratch []byte
 }
 
 // GroupBySink hash-aggregates its input. Workers aggregate into private
@@ -250,12 +254,13 @@ func (g *GroupBySink) Consume(ctx *Ctx, b *Batch) {
 		g.consumeGlobal(t, b)
 		return
 	}
-	scratch := make([]byte, 0, 64)
+	scratch := t.scratch
 	var gid int32
 	for i := 0; i < b.N; i++ {
 		gid, scratch = g.group(t, b, i, scratch)
 		g.update(t, b, i, gid)
 	}
+	t.scratch = scratch
 }
 
 // consumeGlobal is the keyless fast path: a single accumulator per worker,

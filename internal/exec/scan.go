@@ -93,7 +93,7 @@ func (s *TableSource) emit(ctx *Ctx, task int, out Operator, b *Batch, withRowID
 		ctx.Meter.AddMorselsPruned(1)
 		return
 	}
-	var bytesRead, batchesPruned, prefiltered int64
+	var bytesRead, batchesPruned, prefiltered, fullMatch int64
 	for start := m.Start; start < m.End; start += BatchSize {
 		if ctx.Err() != nil {
 			break
@@ -110,14 +110,20 @@ func (s *TableSource) emit(ctx *Ctx, task int, out Operator, b *Batch, withRowID
 		var keep []bool
 		kept := n
 		if len(s.pushed) > 0 {
-			keep = ctx.KeepBuf(n)
-			kept = evalPushed(s.Table, s.pushed, keep, start, end, &bytesRead)
-			prefiltered += int64(n - kept)
-			if kept == 0 {
-				continue
-			}
-			if kept == n {
-				keep = nil // batch fully kept: use the bulk copy path
+			if s.pruner != nil && s.pruner.rangeAllMatch(start, end) {
+				// Zone blocks prove every row matches: skip per-row
+				// evaluation, emit on the fully-kept zero-copy path.
+				fullMatch++
+			} else {
+				keep = ctx.KeepBuf(n)
+				kept = evalPushed(s.Table, s.pushed, keep, start, end, &bytesRead)
+				prefiltered += int64(n - kept)
+				if kept == 0 {
+					continue
+				}
+				if kept == n {
+					keep = nil // batch fully kept: use the bulk copy path
+				}
 			}
 		}
 		b.Reset()
@@ -139,16 +145,20 @@ func (s *TableSource) emit(ctx *Ctx, task int, out Operator, b *Batch, withRowID
 	ctx.Meter.AddRead(bytesRead)
 	ctx.Meter.AddBatchesPruned(batchesPruned)
 	ctx.Meter.AddRowsPrefiltered(prefiltered)
+	ctx.Meter.AddBatchesFullMatch(fullMatch)
 }
 
 // appendCol widens rows [start, end) of storage column ci into v, keeping
-// only rows where keep is true (nil keep = all rows).
+// only rows where keep is true (nil keep = all rows). Fully-kept Int64 and
+// Float64 columns are zero-copy: the vector aliases the storage slice
+// (Vector.ShareI64/ShareF64) instead of memmoving 8 KiB per batch, and the
+// copy-on-write machinery in Vector keeps downstream mutation safe.
 func (s *TableSource) appendCol(v *Vector, ci, start, end int, keep []bool, code bool, bytesRead *int64) {
 	n := end - start
 	switch col := s.Table.Cols[ci].(type) {
 	case *storage.Int64Column:
 		if keep == nil {
-			v.I64 = append(v.I64, col.Values[start:end]...)
+			v.ShareI64(col.Values[start:end])
 		} else {
 			for i, x := range col.Values[start:end] {
 				if keep[i] {
@@ -158,15 +168,16 @@ func (s *TableSource) appendCol(v *Vector, ci, start, end int, keep []bool, code
 		}
 		*bytesRead += int64(n) * 8
 	case *storage.Int32Column:
-		for i, x := range col.Values[start:end] {
-			if keep == nil || keep[i] {
-				v.I64 = append(v.I64, int64(x))
-			}
+		vals := col.Values[start:end]
+		if keep == nil {
+			v.I64 = widenI32(v.I64, vals, nil)
+		} else {
+			v.I64 = widenI32(v.I64, vals, keep)
 		}
 		*bytesRead += int64(n) * 4
 	case *storage.Float64Column:
 		if keep == nil {
-			v.F64 = append(v.F64, col.Values[start:end]...)
+			v.ShareF64(col.Values[start:end])
 		} else {
 			for i, x := range col.Values[start:end] {
 				if keep[i] {
@@ -184,11 +195,7 @@ func (s *TableSource) appendCol(v *Vector, ci, start, end int, keep []bool, code
 		}
 	case *storage.DictColumn:
 		if code {
-			for i, c := range col.Codes[start:end] {
-				if keep == nil || keep[i] {
-					v.I64 = append(v.I64, int64(c))
-				}
-			}
+			v.I64 = widenI32(v.I64, col.Codes[start:end], keep)
 			*bytesRead += int64(n) * 4
 		} else {
 			for i := start; i < end; i++ {

@@ -1,0 +1,193 @@
+package exec
+
+// Monomorphized predicate kernels for the pushed-filter hot loop. Each
+// kernel instantiates per element type (int64 values, int32 values,
+// dictionary codes, float64 values), so the inner loop is a tight
+// compare-and-store with no interface dispatch, no per-row closure call,
+// and a single bounds check hoisted by the compiler. "First" kernels
+// overwrite the keep array (saving the init-to-true pass) and return the
+// kept count fused into the same loop; "And" kernels conjoin onto the
+// verdicts of earlier conjuncts.
+
+// ordered covers every lane a pushed range predicate can run on. NaN
+// float values fail both bound comparisons, matching SQL comparison
+// semantics for the predicates the planner pushes.
+type ordered interface {
+	~int32 | ~int64 | ~float64
+}
+
+// integer covers the lanes an IN-set predicate can run on.
+type integer interface {
+	~int32 | ~int64
+}
+
+func scanRangeFirst[T ordered](vals []T, lo, hi T, keep []bool) int {
+	kept := 0
+	keep = keep[:len(vals)]
+	for i, v := range vals {
+		k := v >= lo && v <= hi
+		keep[i] = k
+		if k {
+			kept++
+		}
+	}
+	return kept
+}
+
+func scanRangeAnd[T ordered](vals []T, lo, hi T, keep []bool) {
+	keep = keep[:len(vals)]
+	for i, v := range vals {
+		keep[i] = keep[i] && v >= lo && v <= hi
+	}
+}
+
+func scanGeFirst[T ordered](vals []T, lo T, keep []bool) int {
+	kept := 0
+	keep = keep[:len(vals)]
+	for i, v := range vals {
+		k := v >= lo
+		keep[i] = k
+		if k {
+			kept++
+		}
+	}
+	return kept
+}
+
+func scanGeAnd[T ordered](vals []T, lo T, keep []bool) {
+	keep = keep[:len(vals)]
+	for i, v := range vals {
+		keep[i] = keep[i] && v >= lo
+	}
+}
+
+func scanLeFirst[T ordered](vals []T, hi T, keep []bool) int {
+	kept := 0
+	keep = keep[:len(vals)]
+	for i, v := range vals {
+		k := v <= hi
+		keep[i] = k
+		if k {
+			kept++
+		}
+	}
+	return kept
+}
+
+func scanLeAnd[T ordered](vals []T, hi T, keep []bool) {
+	keep = keep[:len(vals)]
+	for i, v := range vals {
+		keep[i] = keep[i] && v <= hi
+	}
+}
+
+// applyRange dispatches a [lo, hi] range over vals to the tightest kernel.
+// loB/hiB say whether each bound actually constrains (an unbounded side is
+// dropped from the loop entirely). When first is true the keep array is
+// overwritten and the fused kept count returned; otherwise the verdicts
+// are conjoined and -1 returned.
+func applyRange[T ordered](vals []T, lo, hi T, loB, hiB bool, keep []bool, first bool) int {
+	switch {
+	case first && loB && hiB:
+		return scanRangeFirst(vals, lo, hi, keep)
+	case first && loB:
+		return scanGeFirst(vals, lo, keep)
+	case first && hiB:
+		return scanLeFirst(vals, hi, keep)
+	case first:
+		for i := range keep {
+			keep[i] = true
+		}
+		return len(vals)
+	case loB && hiB:
+		scanRangeAnd(vals, lo, hi, keep)
+	case loB:
+		scanGeAnd(vals, lo, keep)
+	case hiB:
+		scanLeAnd(vals, hi, keep)
+	}
+	return -1
+}
+
+func scanInFirst[T integer](vals []T, set map[int64]struct{}, keep []bool) int {
+	kept := 0
+	keep = keep[:len(vals)]
+	for i, v := range vals {
+		_, ok := set[int64(v)]
+		keep[i] = ok
+		if ok {
+			kept++
+		}
+	}
+	return kept
+}
+
+func scanInAnd[T integer](vals []T, set map[int64]struct{}, keep []bool) {
+	keep = keep[:len(vals)]
+	for i, v := range vals {
+		if keep[i] {
+			_, ok := set[int64(v)]
+			keep[i] = ok
+		}
+	}
+}
+
+func applyIn[T integer](vals []T, set map[int64]struct{}, keep []bool, first bool) int {
+	if first {
+		return scanInFirst(vals, set, keep)
+	}
+	scanInAnd(vals, set, keep)
+	return -1
+}
+
+// widenI32 appends vals widened to int64 onto dst, honoring keep (nil
+// keeps all rows). Shared by the Int32-column and dictionary-code scan
+// paths.
+func widenI32[T ~int32](dst []int64, vals []T, keep []bool) []int64 {
+	if keep == nil {
+		if free := cap(dst) - len(dst); free < len(vals) {
+			grown := make([]int64, len(dst), len(dst)+len(vals))
+			copy(grown, dst)
+			dst = grown
+		}
+		for _, x := range vals {
+			dst = append(dst, int64(x))
+		}
+		return dst
+	}
+	for i, x := range vals {
+		if keep[i] {
+			dst = append(dst, int64(x))
+		}
+	}
+	return dst
+}
+
+// countKeep tallies the surviving rows after a multi-conjunct evaluation.
+func countKeep(keep []bool) int {
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	return kept
+}
+
+// clampI32 narrows an int64 range to the int32 lane. never means the range
+// provably excludes every int32; loB/hiB say whether the narrowed bound
+// still constrains.
+func clampI32(lo, hi int64) (lo32, hi32 int32, loB, hiB, never bool) {
+	const minI32, maxI32 = -1 << 31, 1<<31 - 1
+	if lo > maxI32 || hi < minI32 || lo > hi {
+		return 0, 0, false, false, true
+	}
+	loB, hiB = lo > minI32, hi < maxI32
+	if loB {
+		lo32 = int32(lo)
+	}
+	if hiB {
+		hi32 = int32(hi)
+	}
+	return lo32, hi32, loB, hiB, false
+}

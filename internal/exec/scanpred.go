@@ -2,6 +2,7 @@ package exec
 
 import (
 	"bytes"
+	"math"
 
 	"partitionjoin/internal/storage"
 )
@@ -118,6 +119,36 @@ func (p *scanPruner) predPrunesBlock(i, b int) bool {
 	return false
 }
 
+// rangeAllMatch reports whether every row in [start, end) provably
+// satisfies every pushed predicate: each predicate's zone blocks for the
+// range sit fully inside its value range. The scan then skips per-row
+// predicate evaluation and emits the batch on the zero-copy fully-kept
+// path — the dual of pruning, and on clustered data the common case.
+// Only the integer lane participates: float zone maps are built with
+// ordinary comparisons, so a block holding NaNs could claim full
+// coverage while the row-level predicate would reject them.
+func (p *scanPruner) rangeAllMatch(start, end int) bool {
+	if p.never {
+		return false
+	}
+	for i := range p.preds {
+		pr := &p.preds[i]
+		if pr.Kind != ScanRangeI {
+			return false
+		}
+		z := p.zones[i]
+		if z == nil {
+			return false
+		}
+		for b := start / z.Block; b*z.Block < end; b++ {
+			if b >= z.NumBlocks() || z.MinI[b] < pr.Lo || z.MaxI[b] > pr.Hi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // rangePruned reports whether the row range [start, end) is provably empty:
 // some pushed predicate eliminates every zone block the range touches.
 func (p *scanPruner) rangePruned(start, end int) bool {
@@ -172,15 +203,23 @@ func PrunedRows(t *storage.Table, preds []ScanPred) int64 {
 // evalPushed applies every pushed predicate to rows [start, end) of the
 // table, writing per-row verdicts into keep (length end-start) and returning
 // the number of kept rows. bytesRead accumulates the storage bytes touched.
+//
+// Numeric and dictionary-code conjuncts run through the monomorphized
+// kernels in scan_kernels.go: the first conjunct overwrites keep (no
+// init-to-true pass) with the kept count fused into its loop, later
+// conjuncts conjoin, and open float bounds are converted to closed ones
+// once per batch (math.Nextafter) so the inner loop is a plain two-sided
+// compare for every lane.
 func evalPushed(t *storage.Table, preds []ScanPred, keep []bool, start, end int, bytesRead *int64) int {
 	n := end - start
-	for i := range keep[:n] {
-		keep[i] = true
-	}
+	keep = keep[:n]
+	inited := false // keep holds verdicts of the conjuncts applied so far
+	fused := -1     // kept count fused into a first-conjunct kernel
 	for pi := range preds {
 		p := &preds[pi]
+		first := !inited
 		if p.Kind == ScanNever {
-			for i := range keep[:n] {
+			for i := range keep {
 				keep[i] = false
 			}
 			return 0
@@ -191,16 +230,10 @@ func evalPushed(t *storage.Table, preds []ScanPred, keep []bool, start, end int,
 			*bytesRead += int64(n) * 8
 			switch p.Kind {
 			case ScanRangeI:
-				for i, v := range vals {
-					keep[i] = keep[i] && v >= p.Lo && v <= p.Hi
-				}
+				fused = applyRange(vals, p.Lo, p.Hi,
+					p.Lo != math.MinInt64, p.Hi != math.MaxInt64, keep, first)
 			case ScanInI:
-				for i, v := range vals {
-					if keep[i] {
-						_, ok := p.Set[v]
-						keep[i] = ok
-					}
-				}
+				fused = applyIn(vals, p.Set, keep, first)
 			default:
 				panic("exec: pushed predicate kind does not match int64 column")
 			}
@@ -209,16 +242,16 @@ func evalPushed(t *storage.Table, preds []ScanPred, keep []bool, start, end int,
 			*bytesRead += int64(n) * 4
 			switch p.Kind {
 			case ScanRangeI:
-				for i, v := range vals {
-					keep[i] = keep[i] && int64(v) >= p.Lo && int64(v) <= p.Hi
-				}
-			case ScanInI:
-				for i, v := range vals {
-					if keep[i] {
-						_, ok := p.Set[int64(v)]
-						keep[i] = ok
+				lo32, hi32, loB, hiB, never := clampI32(p.Lo, p.Hi)
+				if never {
+					for i := range keep {
+						keep[i] = false
 					}
+					return 0
 				}
+				fused = applyRange(vals, lo32, hi32, loB, hiB, keep, first)
+			case ScanInI:
+				fused = applyIn(vals, p.Set, keep, first)
 			default:
 				panic("exec: pushed predicate kind does not match int32 column")
 			}
@@ -227,16 +260,16 @@ func evalPushed(t *storage.Table, preds []ScanPred, keep []bool, start, end int,
 			*bytesRead += int64(n) * 4
 			switch p.Kind {
 			case ScanRangeI:
-				for i, c := range codes {
-					keep[i] = keep[i] && int64(c) >= p.Lo && int64(c) <= p.Hi
-				}
-			case ScanInI:
-				for i, c := range codes {
-					if keep[i] {
-						_, ok := p.Set[int64(c)]
-						keep[i] = ok
+				lo32, hi32, loB, hiB, never := clampI32(p.Lo, p.Hi)
+				if never {
+					for i := range keep {
+						keep[i] = false
 					}
+					return 0
 				}
+				fused = applyRange(codes, lo32, hi32, loB, hiB, keep, first)
+			case ScanInI:
+				fused = applyIn(codes, p.Set, keep, first)
 			default:
 				panic("exec: pushed predicate kind does not match dictionary column")
 			}
@@ -246,24 +279,36 @@ func evalPushed(t *storage.Table, preds []ScanPred, keep []bool, start, end int,
 			if p.Kind != ScanRangeF {
 				panic("exec: pushed predicate kind does not match float64 column")
 			}
-			for i, v := range vals {
-				if !keep[i] {
-					continue
-				}
-				if p.FLoOpen {
-					keep[i] = v > p.FLo
-				} else {
-					keep[i] = v >= p.FLo
-				}
-				if keep[i] {
-					if p.FHiOpen {
-						keep[i] = v < p.FHi
-					} else {
-						keep[i] = v <= p.FHi
+			lo, hi := p.FLo, p.FHi
+			if p.FLoOpen {
+				if math.IsInf(lo, 1) { // v > +Inf matches nothing
+					for i := range keep {
+						keep[i] = false
 					}
+					return 0
+				}
+				lo = math.Nextafter(lo, math.Inf(1))
+			}
+			if p.FHiOpen {
+				if math.IsInf(hi, -1) { // v < -Inf matches nothing
+					for i := range keep {
+						keep[i] = false
+					}
+					return 0
+				}
+				hi = math.Nextafter(hi, math.Inf(-1))
+			}
+			// Both bounds always constrain on the float lane: comparing
+			// against ±Inf is free and keeps NaN rows excluded exactly as
+			// the open/closed comparisons did.
+			fused = applyRange(vals, lo, hi, true, true, keep, first)
+		case *storage.StringColumn:
+			if first {
+				for i := range keep {
+					keep[i] = true
 				}
 			}
-		case *storage.StringColumn:
+			fused = -1
 			*bytesRead += int64(col.Offsets[end]-col.Offsets[start]) + int64(n)*4
 			switch p.Kind {
 			case ScanEqStr:
@@ -304,12 +349,10 @@ func evalPushed(t *storage.Table, preds []ScanPred, keep []bool, start, end int,
 		default:
 			panic("exec: pushed predicate on unsupported column type")
 		}
+		inited = true
 	}
-	kept := 0
-	for _, k := range keep[:n] {
-		if k {
-			kept++
-		}
+	if fused >= 0 && len(preds) == 1 {
+		return fused
 	}
-	return kept
+	return countKeep(keep)
 }

@@ -41,6 +41,9 @@ type Scalar struct {
 
 // --- integer predicates (Int64 lane: ints, dates, bools, scaled decimals) ---
 
+// cmpI remains the generic per-row fallback for callers building custom
+// integer predicates; the named constructors below compile direct
+// compare loops instead (no inner closure call per row).
 func cmpI(col string, f func(v int64) bool) Pred {
 	return Pred{Cols: []string{col}, Make: func(ix []int) PredFn {
 		c := ix[0]
@@ -53,40 +56,78 @@ func cmpI(col string, f func(v int64) bool) Pred {
 	}}
 }
 
+// predI builds a single-column Int64-lane predicate whose compiled form
+// runs loop (a tight monomorphic kernel) over the resolved vector.
+func predI(col string, loop func(v []int64, keep []bool)) Pred {
+	return Pred{Cols: []string{col}, Make: func(ix []int) PredFn {
+		c := ix[0]
+		return func(ctx *exec.Ctx, b *exec.Batch, keep []bool) {
+			loop(b.Vecs[c].I64[:b.N], keep[:b.N])
+		}
+	}}
+}
+
 // EqI keeps rows where col == x.
 func EqI(col string, x int64) Pred {
-	return withAtom(cmpI(col, func(v int64) bool { return v == x }), rangeAtom(col, x, x))
+	return withAtom(predI(col, func(v []int64, keep []bool) {
+		for i, val := range v {
+			keep[i] = val == x
+		}
+	}), rangeAtom(col, x, x))
 }
 
 // NeI keeps rows where col != x.
-func NeI(col string, x int64) Pred { return cmpI(col, func(v int64) bool { return v != x }) }
+func NeI(col string, x int64) Pred {
+	return predI(col, func(v []int64, keep []bool) {
+		for i, val := range v {
+			keep[i] = val != x
+		}
+	})
+}
 
 // LtI keeps rows where col < x.
 func LtI(col string, x int64) Pred {
-	return withAtom(cmpI(col, func(v int64) bool { return v < x }), ltAtom(col, x))
+	return withAtom(predI(col, func(v []int64, keep []bool) {
+		for i, val := range v {
+			keep[i] = val < x
+		}
+	}), ltAtom(col, x))
 }
 
 // LeI keeps rows where col <= x.
 func LeI(col string, x int64) Pred {
-	return withAtom(cmpI(col, func(v int64) bool { return v <= x }),
-		rangeAtom(col, math.MinInt64, x))
+	return withAtom(predI(col, func(v []int64, keep []bool) {
+		for i, val := range v {
+			keep[i] = val <= x
+		}
+	}), rangeAtom(col, math.MinInt64, x))
 }
 
 // GtI keeps rows where col > x.
 func GtI(col string, x int64) Pred {
-	return withAtom(cmpI(col, func(v int64) bool { return v > x }), gtAtom(col, x))
+	return withAtom(predI(col, func(v []int64, keep []bool) {
+		for i, val := range v {
+			keep[i] = val > x
+		}
+	}), gtAtom(col, x))
 }
 
 // GeI keeps rows where col >= x.
 func GeI(col string, x int64) Pred {
-	return withAtom(cmpI(col, func(v int64) bool { return v >= x }),
-		rangeAtom(col, x, math.MaxInt64))
+	return withAtom(predI(col, func(v []int64, keep []bool) {
+		for i, val := range v {
+			keep[i] = val >= x
+		}
+	}), rangeAtom(col, x, math.MaxInt64))
 }
 
 // BetweenI keeps rows where lo <= col <= hi.
 func BetweenI(col string, lo, hi int64) Pred {
-	return withAtom(cmpI(col, func(v int64) bool { return v >= lo && v <= hi }),
-		rangeAtom(col, lo, hi))
+	return withAtom(predI(col, func(v []int64, keep []bool) {
+		for i, val := range v {
+			keep[i] = val >= lo && val <= hi
+		}
+	}), rangeAtom(col, lo, hi))
 }
 
 // InI keeps rows whose col value is one of xs.
@@ -104,8 +145,12 @@ func InI(col string, xs ...int64) Pred {
 			hi = x
 		}
 	}
-	return withAtom(cmpI(col, func(v int64) bool { _, ok := set[v]; return ok }),
-		Atom{Kind: AtomInI, Col: col, Set: append([]int64(nil), xs...), Lo: lo, Hi: hi})
+	return withAtom(predI(col, func(v []int64, keep []bool) {
+		for i, val := range v {
+			_, ok := set[val]
+			keep[i] = ok
+		}
+	}), Atom{Kind: AtomInI, Col: col, Set: append([]int64(nil), xs...), Lo: lo, Hi: hi})
 }
 
 // EqCols keeps rows where a == b (both Int64-lane columns).

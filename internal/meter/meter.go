@@ -28,6 +28,7 @@ type Meter struct {
 	morselsPruned   atomic.Int64
 	batchesPruned   atomic.Int64
 	rowsPrefiltered atomic.Int64
+	batchesAllKept  atomic.Int64
 
 	// Runtime adaptation counters (see AdaptStats).
 	adaptMigrations atomic.Int64
@@ -168,6 +169,10 @@ type ScanStats struct {
 	// RowsPrefiltered counts rows eliminated by pushed predicates evaluated
 	// on raw storage (rows in pruned morsels/batches are not included).
 	RowsPrefiltered int64
+	// BatchesFullMatch counts batches whose zone blocks proved every row
+	// satisfies every pushed predicate, skipping per-row evaluation — the
+	// dual of BatchesPruned.
+	BatchesFullMatch int64
 }
 
 // Scan counters follow the read/write counters' pattern: nil-safe atomics
@@ -189,6 +194,15 @@ func (m *Meter) AddBatchesPruned(n int64) {
 	m.batchesPruned.Add(n)
 }
 
+// AddBatchesFullMatch records n batches whose zone maps proved every row
+// matches, skipping per-row predicate evaluation.
+func (m *Meter) AddBatchesFullMatch(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.batchesAllKept.Add(n)
+}
+
 // AddRowsPrefiltered records n rows removed by pushed predicates.
 func (m *Meter) AddRowsPrefiltered(n int64) {
 	if m == nil || n == 0 {
@@ -203,9 +217,10 @@ func (m *Meter) Scan() ScanStats {
 		return ScanStats{}
 	}
 	return ScanStats{
-		MorselsPruned:   m.morselsPruned.Load(),
-		BatchesPruned:   m.batchesPruned.Load(),
-		RowsPrefiltered: m.rowsPrefiltered.Load(),
+		MorselsPruned:    m.morselsPruned.Load(),
+		BatchesPruned:    m.batchesPruned.Load(),
+		RowsPrefiltered:  m.rowsPrefiltered.Load(),
+		BatchesFullMatch: m.batchesAllKept.Load(),
 	}
 }
 

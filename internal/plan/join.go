@@ -174,6 +174,7 @@ func (c *compiler) compileJoin(n *JoinNode) *pipe {
 			BuildOut:     buildOut,
 			Meter:        c.opts.Meter,
 			Gov:          c.gov,
+			Stage:        c.opts.Core.ProbeStage,
 		}
 		if len(n.ResidualNe) > 0 {
 			probeVecs := resolveAll(pp.cols, resProbe)

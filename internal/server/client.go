@@ -132,10 +132,17 @@ type QueryResult struct {
 	Rows     [][]any    `json:"rows"`
 	RowCount int        `json:"row_count"`
 	Stats    queryStats `json:"stats"`
+	// ResultCache echoes the X-Result-Cache response header: "hit" when
+	// the rows were replayed from the server's result cache, "miss" when
+	// this execution filled it, "" when the cache was bypassed.
+	ResultCache string `json:"-"`
 }
 
 // CacheHit reports whether the server executed a cached plan.
 func (r *QueryResult) CacheHit() bool { return r.Stats.PlanCache == "hit" }
+
+// ResultCacheHit reports whether the rows came from the result cache.
+func (r *QueryResult) ResultCacheHit() bool { return r.ResultCache == "hit" }
 
 // Query executes one statement and collects the whole result.
 func (c *Client) Query(ctx context.Context, sqlText string) (*QueryResult, error) {
@@ -151,6 +158,7 @@ func (c *Client) Query(ctx context.Context, sqlText string) (*QueryResult, error
 	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
 		return nil, fmt.Errorf("server: bad query response: %w", err)
 	}
+	qr.ResultCache = resp.Header.Get("X-Result-Cache")
 	return &qr, nil
 }
 

@@ -1,0 +1,283 @@
+// Result-cache tests: differential equality of cached vs uncached rows
+// over TPC-H-shaped statements across sessions and rewrite gates,
+// invalidation on table re-registration, mid-stream disconnect during a
+// cached replay, and bytes-bound eviction under concurrent traffic.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"partitionjoin/internal/server"
+	"partitionjoin/internal/sql"
+	"partitionjoin/internal/storage"
+	"partitionjoin/internal/tpch"
+)
+
+// tpchCat generates one small TPC-H database shared by the differential
+// tests (generation dominates their runtime).
+var tpchCat = sync.OnceValue(func() sql.Catalog { return tpch.ServeCatalog(0.01) })
+
+// tpchStatements are Q3-, Q12- and Q18-style statements: a filtered
+// three-way join rollup, a two-way join with IN and date-range predicates
+// over dictionary columns, and a large-volume join aggregate.
+func tpchStatements() []struct{ name, q string } {
+	return []struct{ name, q string }{
+		{"q3-style", fmt.Sprintf(
+			`SELECT o_orderkey, sum(l_extendedprice) AS rev
+			 FROM customer c, orders o, lineitem l
+			 WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+			   AND c.c_mktsegment = 'BUILDING'
+			   AND o.o_orderdate < %d AND l.l_shipdate > %d
+			 GROUP BY o_orderkey ORDER BY rev DESC, o_orderkey LIMIT 10`,
+			tpch.Date(1995, 3, 15), tpch.Date(1995, 3, 15))},
+		{"q12-style", fmt.Sprintf(
+			`SELECT l_shipmode, count(*) AS n
+			 FROM lineitem l, orders o
+			 WHERE l.l_orderkey = o.o_orderkey
+			   AND l_shipmode IN ('MAIL', 'SHIP')
+			   AND l_receiptdate >= %d AND l_receiptdate <= %d
+			 GROUP BY l_shipmode ORDER BY l_shipmode`,
+			tpch.Date(1994, 1, 1), tpch.Date(1994, 12, 31))},
+		{"q18-style",
+			`SELECT o_orderpriority, sum(l_quantity) AS qty, count(*) AS n
+			 FROM lineitem l, orders o
+			 WHERE l.l_orderkey = o.o_orderkey
+			 GROUP BY o_orderpriority ORDER BY o_orderpriority`},
+	}
+}
+
+// TestResultCacheDifferential requires byte-identical rows from the result
+// cache and from uncached execution, for every statement crossed with every
+// rewrite-gate session shape, on both the fill (miss) and the replay (hit)
+// request — and that opted-out sessions bypass the cache entirely.
+func TestResultCacheDifferential(t *testing.T) {
+	h := newHarness(t, server.Config{}, tpchCat())
+	ctx := context.Background()
+
+	gates := []struct {
+		name     string
+		defaults server.SessionDefaults
+	}{
+		{"default", server.SessionDefaults{}},
+		{"no-pushdown", server.SessionDefaults{NoScanPushdown: true}},
+		{"no-dict", server.SessionDefaults{NoDictCodes: true}},
+	}
+
+	for _, q := range tpchStatements() {
+		t.Run(q.name, func(t *testing.T) {
+			// Reference rows: an opted-out session, cache never involved.
+			ref := h.client()
+			if _, err := ref.NewSession(ctx, server.SessionDefaults{NoResultCache: true}); err != nil {
+				t.Fatalf("reference session: %v", err)
+			}
+			want, err := ref.Query(ctx, q.q)
+			if err != nil {
+				t.Fatalf("reference query: %v", err)
+			}
+			if want.ResultCache != "" {
+				t.Fatalf("opted-out session reported result_cache %q, want bypass", want.ResultCache)
+			}
+			for _, g := range gates {
+				cl := h.client()
+				if _, err := cl.NewSession(ctx, g.defaults); err != nil {
+					t.Fatalf("session %s: %v", g.name, err)
+				}
+				fill, err := cl.Query(ctx, q.q)
+				if err != nil {
+					t.Fatalf("%s fill: %v", g.name, err)
+				}
+				if fill.ResultCache != "miss" {
+					t.Fatalf("%s fill result_cache = %q, want miss", g.name, fill.ResultCache)
+				}
+				replay, err := cl.Query(ctx, q.q)
+				if err != nil {
+					t.Fatalf("%s replay: %v", g.name, err)
+				}
+				if !replay.ResultCacheHit() {
+					t.Fatalf("%s replay result_cache = %q, want hit", g.name, replay.ResultCache)
+				}
+				if !reflect.DeepEqual(fill.Rows, want.Rows) || !reflect.DeepEqual(replay.Rows, want.Rows) {
+					t.Fatalf("%s rows diverge: fill=%v replay=%v want=%v", g.name, fill.Rows, replay.Rows, want.Rows)
+				}
+				if replay.RowCount != want.RowCount {
+					t.Fatalf("%s replay row_count = %d, want %d", g.name, replay.RowCount, want.RowCount)
+				}
+			}
+		})
+	}
+
+	st := h.srv.Stats()
+	if st.ResultCache == nil || st.ResultCache.Hits == 0 || st.ResultCache.Entries == 0 {
+		t.Fatalf("result cache stats = %+v, want hits and entries", st.ResultCache)
+	}
+}
+
+// TestResultCacheStreamDifferential replays a cached result over the NDJSON
+// stream path and requires the same rows as the filling stream.
+func TestResultCacheStreamDifferential(t *testing.T) {
+	h := newHarness(t, server.Config{}, testCatalog())
+	cl := h.client()
+	ctx := context.Background()
+	const q = `SELECT r.v AS v, s.pay AS pay FROM probe r, build s WHERE r.k = s.k ORDER BY v`
+
+	collect := func() ([][]any, int) {
+		var rows [][]any
+		tr, err := cl.QueryStream(ctx, q, func(row []any) error {
+			rows = append(rows, row)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		return rows, tr.RowCount
+	}
+	fill, fillN := collect()
+	replay, replayN := collect()
+	if !reflect.DeepEqual(fill, replay) || fillN != replayN {
+		t.Fatalf("streamed replay diverges: %d vs %d rows", len(fill), len(replay))
+	}
+	if st := h.srv.Stats(); st.ResultCache == nil || st.ResultCache.Hits == 0 {
+		t.Fatalf("stream replay did not hit the result cache: %+v", st.ResultCache)
+	}
+}
+
+// TestResultCacheInvalidationOnRegisterTable reloads a table between two
+// executions of the same statement: the second must miss the cache and see
+// the new storage generation, never the cached old rows.
+func TestResultCacheInvalidationOnRegisterTable(t *testing.T) {
+	h := newHarness(t, server.Config{}, testCatalog())
+	cl := h.client()
+	ctx := context.Background()
+	const q = `SELECT sum(pay) AS s FROM build`
+
+	before, err := cl.Query(ctx, q)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if warm, err := cl.Query(ctx, q); err != nil || !warm.ResultCacheHit() {
+		t.Fatalf("warm repeat: err=%v result_cache=%v", err, warm != nil && warm.ResultCacheHit())
+	}
+
+	bs := storage.NewSchema(
+		storage.ColumnDef{Name: "k", Type: storage.Int64},
+		storage.ColumnDef{Name: "pay", Type: storage.Int64},
+	)
+	nb := storage.NewTable("build", bs, 100)
+	nk := nb.Cols[0].(*storage.Int64Column)
+	np := nb.Cols[1].(*storage.Int64Column)
+	for i := 0; i < 100; i++ {
+		nk.Values = append(nk.Values, int64(i))
+		np.Values = append(np.Values, int64(i)*20)
+	}
+	h.srv.RegisterTable(nb)
+
+	after, err := cl.Query(ctx, q)
+	if err != nil {
+		t.Fatalf("query after reload: %v", err)
+	}
+	if after.ResultCacheHit() {
+		t.Fatal("stale result served from cache after RegisterTable")
+	}
+	if b, a := before.Rows[0][0].(float64), after.Rows[0][0].(float64); a != 2*b {
+		t.Fatalf("after reload sum = %v, want %v", a, 2*b)
+	}
+}
+
+// TestResultCacheMidStreamDisconnect abandons a cached replay mid-stream:
+// the server must notice within one page, stay healthy, and keep serving
+// the full cached result to later clients.
+func TestResultCacheMidStreamDisconnect(t *testing.T) {
+	h := newHarness(t, server.Config{}, wideCatalog())
+	cl := h.client()
+	ctx := context.Background()
+	// ~64K rows x ~100 B spans many 64 KiB cache pages.
+	const q = `SELECT k, pad FROM wide`
+
+	var total int
+	if _, err := cl.QueryStream(ctx, q, func(row []any) error { total++; return nil }); err != nil {
+		t.Fatalf("fill stream: %v", err)
+	}
+
+	errStop := errors.New("client bails")
+	seen := 0
+	if _, err := cl.QueryStream(ctx, q, func(row []any) error {
+		seen++
+		if seen >= 100 {
+			return errStop
+		}
+		return nil
+	}); !errors.Is(err, errStop) {
+		t.Fatalf("disconnected replay: err=%v, want %v", err, errStop)
+	}
+
+	var again int
+	if _, err := cl.QueryStream(ctx, q, func(row []any) error { again++; return nil }); err != nil {
+		t.Fatalf("stream after disconnect: %v", err)
+	}
+	if again != total {
+		t.Fatalf("replay after disconnect returned %d rows, want %d", again, total)
+	}
+	if st := h.srv.Stats(); st.ResultCache == nil || st.ResultCache.Hits < 2 {
+		t.Fatalf("replays did not hit the result cache: %+v", st.ResultCache)
+	}
+}
+
+// TestResultCacheEviction bounds the cache tightly and issues more distinct
+// statements than fit — concurrently, so the LRU's locking is exercised
+// under -race. The byte bound must hold throughout and evictions occur.
+func TestResultCacheEviction(t *testing.T) {
+	h := newHarness(t, server.Config{
+		ResultCacheBytes:   1 << 15,
+		ResultCacheEntries: 64,
+	}, testCatalog())
+	ctx := context.Background()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := h.client()
+			for i := 0; i < 24; i++ {
+				q := fmt.Sprintf(`SELECT v FROM probe WHERE v < %d ORDER BY v`, 200+(w*24+i)%32*25)
+				if _, err := cl.Query(ctx, q); err != nil {
+					t.Errorf("worker %d query %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := h.srv.Stats()
+	rc := st.ResultCache
+	if rc == nil {
+		t.Fatal("result cache stats missing")
+	}
+	if rc.Bytes > rc.CapBytes {
+		t.Fatalf("cache bytes %d exceed bound %d", rc.Bytes, rc.CapBytes)
+	}
+	if rc.Entries > rc.CapEntries {
+		t.Fatalf("cache entries %d exceed bound %d", rc.Entries, rc.CapEntries)
+	}
+	if rc.Evicted == 0 {
+		t.Fatalf("no evictions under a %d-byte bound: %+v", rc.CapBytes, rc)
+	}
+
+	// The cache must still function after the churn: a small result fills
+	// and replays.
+	cl := h.client()
+	const q = `SELECT v FROM probe WHERE v < 200 ORDER BY v`
+	if _, err := cl.Query(ctx, q); err != nil {
+		t.Fatalf("post-churn fill: %v", err)
+	}
+	if res, err := cl.Query(ctx, q); err != nil || !res.ResultCacheHit() {
+		t.Fatalf("post-churn replay: err=%v hit=%v", err, res != nil && res.ResultCacheHit())
+	}
+}

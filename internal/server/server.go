@@ -10,6 +10,9 @@
 //   - a bounded LRU prepared-statement cache keyed on normalized SQL —
 //     parse and plan once, execute many — invalidated when a table is
 //     re-registered;
+//   - a bytes- and entry-bounded result cache above the plan cache: repeat
+//     statements replay pre-encoded row pages without planning, admission,
+//     or execution, with the X-Result-Cache header naming hit or miss;
 //   - chunked NDJSON row streaming with mid-stream client-disconnect
 //     cancellation through the request context, the admission reservation
 //     held until the last row is consumed;
@@ -24,6 +27,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -66,6 +70,13 @@ type Config struct {
 	SpillDir string
 	// PlanCacheSize bounds the prepared-statement LRU (<= 0 uses 128).
 	PlanCacheSize int
+	// ResultCacheBytes bounds the result cache (<= 0 uses 64 MiB) and
+	// ResultCacheEntries its entry count (<= 0 uses 256); NoResultCache
+	// disables result caching server-wide. Sessions opt out individually
+	// via SessionDefaults.NoResultCache.
+	ResultCacheBytes   int64
+	ResultCacheEntries int
+	NoResultCache      bool
 	// SessionTTL expires idle sessions (<= 0 uses 10 minutes).
 	SessionTTL time.Duration
 	// JanitorInterval is the session-expiry sweep period (<= 0 uses
@@ -113,9 +124,10 @@ type execMeters struct {
 // Server is the query service. Construct with New, serve it as an
 // http.Handler, and end it with Drain.
 type Server struct {
-	cfg   Config
-	cache *PlanCache
-	mux   *http.ServeMux
+	cfg    Config
+	cache  *PlanCache
+	rcache *ResultCache // nil when Config.NoResultCache
+	mux    *http.ServeMux
 
 	mu         sync.Mutex
 	cat        sql.Catalog // replaced wholesale on RegisterTable (copy-on-write)
@@ -163,6 +175,9 @@ func New(cfg Config, cat sql.Catalog) *Server {
 		idleCh:   make(chan struct{}),
 		started:  time.Now(),
 	}
+	if !cfg.NoResultCache {
+		s.rcache = NewResultCache(cfg.ResultCacheBytes, cfg.ResultCacheEntries)
+	}
 	for k, v := range cat {
 		s.cat[strings.ToLower(k)] = v
 	}
@@ -200,6 +215,9 @@ func (s *Server) RegisterTable(t *storage.Table) {
 	s.catVersion++
 	s.mu.Unlock()
 	s.cache.Purge()
+	if s.rcache != nil {
+		s.rcache.Purge()
+	}
 }
 
 // catalog returns the current catalog generation and its version.
@@ -307,6 +325,10 @@ type queryStats struct {
 	// (migrations, partition splits, reservation revisions, decision log).
 	Adapt     *adapt.Stats `json:"adapt,omitempty"`
 	PlanCache string       `json:"plan_cache"` // "hit" or "miss"
+	// ResultCache is "hit" when the response was replayed from the result
+	// cache and "miss" when this execution filled (or tried to fill) it;
+	// absent when the cache is off or the session opted out.
+	ResultCache string `json:"result_cache,omitempty"`
 }
 
 // errorBody is every non-2xx response.
@@ -459,6 +481,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	cat, catVersion := s.catalog()
 	key := cacheKey(catVersion, defaults.NoScanPushdown, defaults.NoDictCodes, normalized)
+
+	// Result cache: consulted before planning and before admission — a hit
+	// costs no broker reservation and no execution, just a page replay. The
+	// opt-out (server flag or session default) is an execution-time knob
+	// and deliberately not part of the key: an opted-out session bypasses
+	// the cache but does not fragment it.
+	useRC := s.rcache != nil && !defaults.NoResultCache
+	if useRC {
+		if ce, ok := s.rcache.Get(key); ok {
+			w.Header().Set("X-Result-Cache", "hit")
+			s.counters.OK.Add(1)
+			s.meters.RowsReturned.Add(int64(ce.rowCount))
+			stats := queryStats{SourceRows: ce.sourceRows, PlanCache: "hit", ResultCache: "hit"}
+			if stream {
+				s.streamCached(r.Context(), w, qid, ce, stats, time.Now())
+			} else {
+				s.writeCachedDoc(w, qid, ce, stats, time.Now())
+			}
+			return
+		}
+		w.Header().Set("X-Result-Cache", "miss")
+	}
+
 	gateOpts := plan.Options{NoScanPushdown: defaults.NoScanPushdown, NoDictCodes: defaults.NoDictCodes}
 	prepared, cached := s.cache.Get(key)
 	if !cached {
@@ -542,6 +587,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	cols := make([]colMeta, len(res.Cols))
 	for i, c := range res.Cols {
 		cols[i] = colMeta{Name: c.Name, Type: res.Result.Vecs[i].T.String()}
+	}
+	if useRC {
+		// Fill: encode the rows once into cache pages, insert, and serve
+		// this response from the same pages — the first execution pays the
+		// encoding exactly once. Oversized results are served through the
+		// uncached writers instead.
+		stats.ResultCache = "miss"
+		if ce := encodeResultEntry(key, cols, res, s.rcache.MaxEntry()); ce != nil {
+			s.rcache.Put(ce)
+			if stream {
+				s.streamCached(qctx, w, qid, ce, stats, time.Time{})
+			} else {
+				s.writeCachedDoc(w, qid, ce, stats, time.Time{})
+			}
+			return
+		}
+		s.rcache.noteRejected()
 	}
 	if stream {
 		s.streamResult(qctx, w, qid, cols, res, stats)
@@ -641,6 +703,64 @@ func (s *Server) streamResult(ctx context.Context, w http.ResponseWriter, qid st
 	}
 }
 
+// streamCached replays a cached result as NDJSON: header, then the cached
+// row pages verbatim (they are already '\n'-terminated row lines), then a
+// trailer. Pages are the flush unit, with a cancellation check between
+// them so a disconnected client abandons the replay within one page. A
+// non-zero start marks a cache hit: the trailer reports the replay time
+// instead of the (absent) execution time.
+func (s *Server) streamCached(ctx context.Context, w http.ResponseWriter, qid string, ce *resultEntry, stats queryStats, start time.Time) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(StreamHeader{QueryID: qid, Cols: ce.cols}); err != nil {
+		return
+	}
+	for _, pg := range ce.pages {
+		if _, err := w.Write(pg); err != nil {
+			return // client went away mid-replay
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if ctx.Err() != nil {
+			s.counters.Canceled.Add(1)
+			return
+		}
+	}
+	if !start.IsZero() {
+		stats.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	}
+	enc.Encode(StreamTrailer{QueryID: qid, RowCount: ce.rowCount, Stats: stats})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// writeCachedDoc replays a cached result as one JSON document, splicing
+// the NDJSON pages into the rows array by turning the '\n' row separators
+// into ',' — json encoding escapes newlines inside values, so '\n' occurs
+// only between rows.
+func (s *Server) writeCachedDoc(w http.ResponseWriter, qid string, ce *resultEntry, stats queryStats, start time.Time) {
+	if !start.IsZero() {
+		stats.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	}
+	colsJSON, _ := json.Marshal(ce.cols)
+	statsJSON, _ := json.Marshal(stats)
+	qidJSON, _ := json.Marshal(qid)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"query_id":%s,"cols":%s,"rows":[`, qidJSON, colsJSON)
+	for i, pg := range ce.pages {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		// Every page ends with '\n'; strip it, splice the inner row
+		// separators.
+		w.Write(bytes.ReplaceAll(pg[:len(pg)-1], []byte("\n"), []byte(",")))
+	}
+	fmt.Fprintf(w, "],\"row_count\":%d,\"stats\":%s}\n", ce.rowCount, statsJSON)
+}
+
 // sanitizeQueryID keeps a caller-supplied query id loggable: printable
 // ASCII, bounded length.
 func sanitizeQueryID(s string) string {
@@ -721,7 +841,9 @@ type ServerStats struct {
 	SessionsExpired int64        `json:"sessions_expired"`
 	Broker          *admit.Stats `json:"broker,omitempty"`
 	PlanCache       CacheStats   `json:"plan_cache"`
-	Queries         struct {
+	// ResultCache is absent when the result cache is disabled.
+	ResultCache *ResultCacheStats `json:"result_cache,omitempty"`
+	Queries     struct {
 		Total      int64 `json:"total"`
 		Active     int64 `json:"active"`
 		OK         int64 `json:"ok"`
@@ -761,6 +883,10 @@ func (s *Server) Stats() ServerStats {
 		st.Broker = &bs
 	}
 	st.PlanCache = s.cache.Stats()
+	if s.rcache != nil {
+		rs := s.rcache.Stats()
+		st.ResultCache = &rs
+	}
 	st.Queries.Total = s.counters.Total.Load()
 	st.Queries.Active = s.counters.Active.Load()
 	st.Queries.OK = s.counters.OK.Load()

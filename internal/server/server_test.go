@@ -164,7 +164,10 @@ func rawQuery(t *testing.T, h *harness, body map[string]any) (int, map[string]an
 const joinCount = "SELECT count(*) AS n FROM probe r, build s WHERE r.k = s.k"
 
 func TestQueryAndPlanCacheDifferential(t *testing.T) {
-	h := newHarness(t, server.Config{}, testCatalog())
+	// The result cache sits above the plan cache and would satisfy the
+	// repeats before planning; disable it so this test exercises the
+	// plan-cache layer itself.
+	h := newHarness(t, server.Config{NoResultCache: true}, testCatalog())
 	cl := h.client()
 	ctx := context.Background()
 
@@ -313,6 +316,37 @@ func TestSessionExpiry(t *testing.T) {
 	}
 	if _, err := cl.Query(ctx, joinCount); err == nil {
 		t.Fatal("query on expired session succeeded")
+	}
+}
+
+// TestResultCacheHeader asserts the X-Result-Cache response header at the
+// HTTP layer: "miss" on the filling execution, "hit" on the replay, absent
+// when the server runs without a result cache.
+func TestResultCacheHeader(t *testing.T) {
+	h := newHarness(t, server.Config{}, testCatalog())
+	post := func(base string) *http.Response {
+		t.Helper()
+		body := strings.NewReader(`{"sql": "SELECT count(*) AS n FROM probe"}`)
+		resp, err := http.Post(base+"/query", "application/json", body)
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		return resp
+	}
+	if got := post(h.base).Header.Get("X-Result-Cache"); got != "miss" {
+		t.Fatalf("first execution X-Result-Cache = %q, want miss", got)
+	}
+	if got := post(h.base).Header.Get("X-Result-Cache"); got != "hit" {
+		t.Fatalf("repeat X-Result-Cache = %q, want hit", got)
+	}
+
+	off := newHarness(t, server.Config{NoResultCache: true}, testCatalog())
+	if got, ok := post(off.base).Header["X-Result-Cache"]; ok {
+		t.Fatalf("cache-disabled server sent X-Result-Cache %v, want absent", got)
 	}
 }
 

@@ -28,6 +28,11 @@ type SessionDefaults struct {
 	// execution-time knob (like the join algorithm), deliberately absent
 	// from the plan-cache key.
 	NoAdapt bool `json:"no_adapt,omitempty"`
+	// NoResultCache bypasses the result cache for the session's queries:
+	// they neither read nor fill it. Like NoAdapt it is execution-time
+	// state, outside the plan-cache (and result-cache) key — opted-out
+	// sessions do not fragment either cache.
+	NoResultCache bool `json:"no_result_cache,omitempty"`
 }
 
 // parseAlgo maps the wire name onto the plan enum.

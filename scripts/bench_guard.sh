@@ -1,0 +1,65 @@
+#!/bin/sh
+# bench_guard: fail when a scan microbenchmark regresses more than 10%
+# against the committed baseline (scripts/bench_baseline.txt).
+#
+# Each benchmark runs -count reps and the fastest rep is compared: the
+# fastest run is the least-noisy estimate of the kernel's true cost, so a
+# regression must survive best-of-N to count — wall-clock jitter on a
+# loaded CI box does not fail the build, a real kernel slowdown does.
+#
+# Regenerate the baseline after an intentional perf change (run on the
+# machine whose numbers the baseline records):
+#
+#	BENCH_BASELINE_UPDATE=1 sh scripts/bench_guard.sh
+#
+# Run from the repository root (make bench-guard does).
+set -eu
+
+baseline=scripts/bench_baseline.txt
+tolerance=110 # percent of baseline ns/op allowed before failing
+
+out=$(go test -bench 'BenchmarkScan' -benchtime 3x -count 3 -run '^$' .)
+best=$(printf '%s\n' "$out" | awk '
+	/^BenchmarkScan/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+		ns = $3
+		if (!(name in b) || ns < b[name]) b[name] = ns
+	}
+	END { for (n in b) printf "%s %.0f\n", n, b[n] }' | sort)
+if [ -z "$best" ]; then
+	echo "bench-guard: no BenchmarkScan results parsed" >&2
+	printf '%s\n' "$out" >&2
+	exit 1
+fi
+
+if [ "${BENCH_BASELINE_UPDATE:-0}" = "1" ]; then
+	printf '%s\n' "$best" >"$baseline"
+	echo "bench-guard: baseline rewritten:"
+	cat "$baseline"
+	exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+	echo "bench-guard: $baseline missing; run BENCH_BASELINE_UPDATE=1 sh scripts/bench_guard.sh" >&2
+	exit 1
+fi
+
+fail=0
+while read -r name ns; do
+	base=$(awk -v n="$name" '$1 == n { print $2 }' "$baseline")
+	if [ -z "$base" ]; then
+		echo "bench-guard: $name not in baseline; rerun with BENCH_BASELINE_UPDATE=1" >&2
+		fail=1
+		continue
+	fi
+	if [ $((ns * 100)) -gt $((base * tolerance)) ]; then
+		echo "bench-guard: FAIL $name: $ns ns/op vs baseline $base ns/op (> ${tolerance}%)" >&2
+		fail=1
+	else
+		echo "bench-guard: ok   $name: $ns ns/op vs baseline $base ns/op"
+	fi
+done <<EOF
+$best
+EOF
+exit $fail
