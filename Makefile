@@ -2,9 +2,9 @@
 # injection suite runs twice to catch armed-fault leakage across runs, and
 # the stress target hammers the spill and fault paths under the race
 # detector.
-.PHONY: check build test race faultinject vet bench bench-scan bench-join bench-guard stress soak serve-check cluster-check fmtcheck
+.PHONY: check build test race faultinject vet bench bench-scan bench-join bench-guard stress soak serve-check cluster-check store-check fmtcheck
 
-check: vet build race faultinject stress soak serve-check cluster-check
+check: vet build race faultinject stress soak serve-check cluster-check store-check
 
 # BENCH_GUARD=1 make check additionally compares the scan microbenchmarks
 # against the committed baseline and fails on a >10% regression. Off by
@@ -82,3 +82,10 @@ serve-check:
 # restart -> recovery), and asserts clean drains everywhere.
 cluster-check:
 	sh scripts/cluster_check.sh
+
+# store-check is the persistence round trip: cold boot with -data-dir
+# (generate + background store write), clean drain, warm boot that must
+# open the column store instead of regenerating and answer the same
+# queries byte-identically through the buffer pool.
+store-check:
+	sh scripts/store_check.sh

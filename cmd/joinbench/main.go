@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,adapt,soak,scanprune,serve,cluster,failover,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig8,fig9,fig10,fig14,fig15,fig16,fig17,table3,table4,fig18,memladder,adapt,soak,scanprune,coldscan,serve,cluster,failover,all")
 	scale := flag.Float64("scale", 1.0/64, "workload scale relative to the paper (1 = 16M x 256M tuples)")
 	runs := flag.Int("runs", 3, "repetitions per measurement (median reported)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of aligned text")
@@ -93,6 +93,13 @@ func main() {
 			rows = 1 << 18
 		}
 		return bench.ScanPrune(rows, []float64{0.01, 0.1, 0.5, 1}, cfg)
+	})
+	run("coldscan", func() (*bench.Table, error) {
+		rows := int(4e6 * *scale)
+		if rows < 1<<18 {
+			rows = 1 << 18
+		}
+		return bench.ColdScan(rows, []float64{1, 0.5, 0.25, 0.125}, cfg)
 	})
 	run("cluster", func() (*bench.Table, error) {
 		t, _, err := clusterbench.Cluster(clusterbench.ClusterConfig{

@@ -33,6 +33,7 @@ import (
 
 	"partitionjoin/internal/admit"
 	"partitionjoin/internal/cluster"
+	"partitionjoin/internal/colstore"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/faultinject"
 	"partitionjoin/internal/plan"
@@ -57,6 +58,8 @@ func main() {
 	stallWindow := flag.Duration("stall-window", 0, "watchdog no-progress window (0 = watchdog off)")
 	noAdapt := flag.Bool("no-adapt", false, "disable runtime adaptation (mid-build join migration, skew splits, reservation revision) server-wide")
 	spillDir := flag.String("spill-dir", "", "spill parent directory; sessions get private subtrees")
+	dataDir := flag.String("data-dir", "", "column store directory (single-node mode): open it when it already holds the requested database, else generate, serve from RAM, and persist in the background for the next boot")
+	poolBytes := flag.Int64("pool-bytes", 0, "buffer-pool resident-bytes budget for -data-dir scans (0 = unbounded)")
 	sweepEvery := flag.Duration("sweep-interval", 5*time.Minute, "period of the spill janitor re-sweep (0 = startup sweep only)")
 	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "idle session expiry")
 	planCache := flag.Int("plan-cache", 128, "prepared-plan cache capacity")
@@ -118,16 +121,17 @@ func main() {
 		}
 	}
 
-	// Startup janitor: reclaim spill trees abandoned by crashed processes
-	// before this daemon starts writing its own.
-	if *spillDir != "" {
-		removed, err := spill.Sweep(*spillDir)
+	// Startup janitor: reclaim spill trees and half-written column-store
+	// staging directories abandoned by crashed processes before this daemon
+	// starts writing its own.
+	for _, dir := range sweepTargets(*spillDir, *dataDir) {
+		removed, err := spill.Sweep(dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "joind: spill janitor: %v\n", err)
+			fmt.Fprintf(os.Stderr, "joind: janitor: %v\n", err)
 			os.Exit(1)
 		}
 		for _, d := range removed {
-			fmt.Fprintf(os.Stderr, "joind: spill janitor removed stale %s\n", d)
+			fmt.Fprintf(os.Stderr, "joind: janitor removed stale %s\n", d)
 		}
 	}
 
@@ -145,6 +149,7 @@ func main() {
 
 	var svc drainableHandler
 	var label string
+	var store *colstore.Store
 	if *coordinator {
 		shards := splitShards(*shardsFlag)
 		if len(shards) == 0 {
@@ -181,8 +186,42 @@ func main() {
 		svc = coord
 		label = fmt.Sprintf("coordinator over %d shards (replication %d)", len(shards), *replication)
 	} else {
-		fmt.Fprintf(os.Stderr, "joind: generating TPC-H at sf=%g...\n", *sf)
-		cat := tpchCatalog(*sf)
+		if *dataDir != "" && *shardID >= 0 {
+			fmt.Fprintln(os.Stderr, "joind: -data-dir is single-node only (shards generate their slices)")
+			os.Exit(2)
+		}
+		var cat sql.Catalog
+		if *dataDir != "" {
+			db, st, fromDisk, err := tpch.OpenOrGenerate(*dataDir, *sf, 1, *poolBytes)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "joind: %v\n", err)
+				os.Exit(1)
+			}
+			if fromDisk {
+				store = st
+				fmt.Fprintf(os.Stderr, "joind: opened column store %s (sf=%g)\n", *dataDir, *sf)
+			} else {
+				// Cold boot: serve the freshly generated RAM tables now and
+				// persist them in the background; the next boot opens the
+				// store instead of regenerating. An interrupted write leaves
+				// only an owner-marked staging directory for the janitor.
+				fmt.Fprintf(os.Stderr, "joind: generated TPC-H at sf=%g; writing column store to %s in the background\n", *sf, *dataDir)
+				go func() {
+					if err := tpch.WriteStore(*dataDir, db, 1); err != nil {
+						fmt.Fprintf(os.Stderr, "joind: column store write failed: %v\n", err)
+						return
+					}
+					fmt.Fprintf(os.Stderr, "joind: column store written to %s\n", *dataDir)
+				}()
+			}
+			cat = sql.Catalog{}
+			for _, t := range db.Tables() {
+				cat[t.Name] = t
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "joind: generating TPC-H at sf=%g...\n", *sf)
+			cat = tpchCatalog(*sf)
+		}
 		scfg := server.Config{
 			Workers:       *workers,
 			Algo:          jAlgo,
@@ -190,6 +229,7 @@ func main() {
 			MemBudget:     *memBudget,
 			Timeout:       *timeout,
 			SpillDir:      *spillDir,
+			DataDir:       *dataDir,
 			PlanCacheSize: *planCache,
 			SessionTTL:    *sessionTTL,
 			NoAdapt:       *noAdapt,
@@ -197,6 +237,9 @@ func main() {
 
 			ResultCacheBytes: *resultCacheBytes,
 			NoResultCache:    *noResultCache,
+		}
+		if store != nil {
+			scfg.BufferPool = store.Pool()
 		}
 		if *shardID >= 0 {
 			// A data node serves its primary slice at the root and its boot
@@ -239,7 +282,7 @@ func main() {
 	// reclaimed continuously, not only at boot.
 	sweepDone := make(chan struct{})
 	var sweepStop chan struct{}
-	if *spillDir != "" && *sweepEvery > 0 {
+	if targets := sweepTargets(*spillDir, *dataDir); len(targets) > 0 && *sweepEvery > 0 {
 		sweepStop = make(chan struct{})
 		go func() {
 			defer close(sweepDone)
@@ -251,12 +294,14 @@ func main() {
 					return
 				case <-t.C:
 				}
-				removed, err := spill.Sweep(*spillDir)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "joind: spill re-sweep: %v\n", err)
-				}
-				for _, d := range removed {
-					fmt.Fprintf(os.Stderr, "joind: spill re-sweep removed stale %s\n", d)
+				for _, dir := range targets {
+					removed, err := spill.Sweep(dir)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "joind: re-sweep: %v\n", err)
+					}
+					for _, d := range removed {
+						fmt.Fprintf(os.Stderr, "joind: re-sweep removed stale %s\n", d)
+					}
 				}
 			}
 		}()
@@ -313,6 +358,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "joind: store close: %v\n", err)
+		}
+	}
 	if clean {
 		fmt.Fprintln(os.Stderr, "joind: drained cleanly")
 	} else {
@@ -325,6 +375,27 @@ func main() {
 type drainableHandler interface {
 	http.Handler
 	Drain(grace time.Duration) bool
+}
+
+// sweepTargets lists the distinct non-empty directories the janitor sweeps.
+func sweepTargets(dirs ...string) []string {
+	var out []string
+	for _, d := range dirs {
+		if d == "" {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 func tpchCatalog(sf float64) sql.Catalog {

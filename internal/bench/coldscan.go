@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"partitionjoin/internal/colstore"
+	"partitionjoin/internal/core"
+	"partitionjoin/internal/exec"
+	"partitionjoin/internal/expr"
+	"partitionjoin/internal/plan"
+	"partitionjoin/internal/storage"
+)
+
+// coldScanTable builds an n-row table with a shuffled int64 key, an int64
+// payload, and a ~48-byte string pad so the on-disk footprint is dominated
+// by real column bytes rather than metadata.
+func coldScanTable(n int) *storage.Table {
+	schema := storage.NewSchema(
+		storage.ColumnDef{Name: "k", Type: storage.Int64},
+		storage.ColumnDef{Name: "v", Type: storage.Int64},
+		storage.ColumnDef{Name: "pad", Type: storage.String, StrCap: 48},
+	)
+	t := storage.NewTable("coldscan", schema, n)
+	r := rand.New(rand.NewSource(11))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	r.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	t.Cols[0].(*storage.Int64Column).Values = keys
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 1009)
+	}
+	t.Cols[1].(*storage.Int64Column).Values = vals
+	pad := t.Cols[2].(storage.StrCol)
+	for i := 0; i < n; i++ {
+		pad.AppendString(fmt.Sprintf("pad-%011d-%016x-%016x", i, r.Int63(), r.Int63()))
+	}
+	return t
+}
+
+// coldScanResult is one timed out-of-core scan.
+type coldScanResult struct {
+	Throughput float64
+	Time       time.Duration
+	Sum        int64
+	Pool       *storage.PagerStats
+}
+
+// coldScanRun times SUM(v) + COUNT over all rows, scanning every column
+// (the pad column rides along so string lanes pay their I/O too).
+func coldScanRun(t *storage.Table, cfg core.Config) (coldScanResult, error) {
+	opts := plan.DefaultOptions()
+	opts.Core = cfg
+	root := plan.GroupBy(
+		plan.Filter(plan.Scan(t, "k", "v", "pad"), expr.LtI("k", int64(t.NumRows()))),
+		nil,
+		plan.AggExpr{Kind: exec.AggSumI, Col: "v", As: "sum_v"},
+		plan.AggExpr{Kind: exec.AggCount, As: "n"},
+	)
+	res, err := plan.ExecuteErr(context.Background(), opts, root)
+	if err != nil {
+		return coldScanResult{}, err
+	}
+	return coldScanResult{
+		Throughput: res.Throughput(),
+		Time:       res.Duration,
+		Sum:        res.Result.Vecs[0].I64[0],
+		Pool:       res.Pool,
+	}, nil
+}
+
+// dirBytes sums the file sizes under dir.
+func dirBytes(dir string) (int64, error) {
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return err
+	})
+	return total, err
+}
+
+// ColdScan measures out-of-core scans: the table is written to a column
+// store, then scanned through buffer pools sized at the given fractions of
+// its on-disk bytes (1 = everything fits; 1/4 and below force steady
+// eviction). A RAM-resident scan is the baseline. Each pool size opens a
+// fresh store, so the first run is genuinely cold (every page verifies in);
+// the warm number is the best of 3 repeats. The sweep fails if any
+// configuration's answer diverges from RAM or its high-water residency
+// exceeds the budget plus the pinned-working-set slack — the benchmark is
+// also the bounded-memory assertion.
+func ColdScan(rows int, fracs []float64, cfg core.Config) (*Table, error) {
+	dir, err := os.MkdirTemp("", "coldscan-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	tab := coldScanTable(rows)
+	w := &colstore.Writer{Dir: dir}
+	if err := w.WriteTable(tab); err != nil {
+		return nil, err
+	}
+	storeBytes, err := dirBytes(filepath.Join(dir, tab.Name))
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("coldscan: SUM over %d rows, %.1f MiB on disk", rows, float64(storeBytes)/(1<<20)),
+		Header: []string{"pool", "budget MiB", "cold scan", "warm scan",
+			"warm hit rate", "evictions", "max resident MiB"},
+	}
+
+	base, err := coldScanRun(tab, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("ram", "-", "-", mt(base.Throughput), "-", "-", "-")
+
+	// Pinned frames may overshoot the budget: each worker holds one
+	// morsel's pages across the scanned lanes, and overshoot is by design
+	// (the pool refuses to deadlock on its own budget).
+	slack := int64(runtime.GOMAXPROCS(0)+1) * 8 * colstore.DefaultPageSize
+
+	for _, frac := range fracs {
+		budget := int64(float64(storeBytes) * frac)
+		st, err := colstore.Open(dir, colstore.Options{PoolBytes: budget})
+		if err != nil {
+			return nil, err
+		}
+		dtab := st.Table(tab.Name)
+
+		cold, err := coldScanRun(dtab, cfg)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		warm := coldScanResult{Time: time.Duration(1<<62 - 1)}
+		var warmHit float64
+		for rep := 0; rep < 3; rep++ {
+			r, err := coldScanRun(dtab, cfg)
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			if r.Time < warm.Time {
+				warm = r
+				if r.Pool != nil && r.Pool.Pins > 0 {
+					warmHit = float64(r.Pool.Hits) / float64(r.Pool.Pins)
+				}
+			}
+		}
+		stats := st.Pool().Stats()
+		st.Close()
+
+		if cold.Sum != base.Sum || warm.Sum != base.Sum {
+			return nil, fmt.Errorf("coldscan: pool %.3g answer diverged from RAM", frac)
+		}
+		if budget > 0 && stats.MaxResidentBytes > budget+slack {
+			return nil, fmt.Errorf("coldscan: pool %.3g resident high-water %d exceeds budget %d + slack %d",
+				frac, stats.MaxResidentBytes, budget, slack)
+		}
+		t.Add(fmt.Sprintf("%.3gx", frac), f2(float64(budget)/(1<<20)),
+			mt(cold.Throughput), mt(warm.Throughput),
+			f2(warmHit), fmt.Sprintf("%d", stats.Evictions),
+			f2(float64(stats.MaxResidentBytes)/(1<<20)))
+	}
+	return t, nil
+}

@@ -1,0 +1,120 @@
+// Package colstore is the persistent column store: an on-disk columnar
+// table format plus a buffer pool that lets scans run out-of-core against
+// data that does not fit in RAM — the storage-based join regime the NOCAP
+// line of work targets, and the missing substrate under the memory
+// governor's budgets (a budget over warm slices says little; a budget over
+// genuinely cold pages is a real statement).
+//
+// # Format
+//
+// A table is a directory: one segment file per column plus a manifest.
+// A segment lays its lanes (the column's value arrays: values, string
+// offsets, string bytes, dictionary codes, dictionary arena) contiguously,
+// each lane aligned to the OS page size. Page frames are logical: page p of
+// a lane covers bytes [p*PageSize, min((p+1)*PageSize, laneLen)) and its
+// CRC32 lives in the footer's segment directory, not interleaved with the
+// data — so a lane is one contiguous, mmap-able array that casts directly
+// to the []int64/[]int32/[]byte slices the in-memory column types already
+// expose. Every scan kernel, zone map, and pushdown path runs unchanged and
+// zero-copy on the mapped data.
+//
+// The footer (JSON, CRC-guarded, found via a fixed-size trailer at the end
+// of the file) carries the lane directory, the per-page checksums, the
+// serialized zone map, and two stamps: Stamp summarizes the segment's data
+// (rows + page CRCs) and ZoneStamp records the data the zone map was built
+// from. A mismatch means the persisted zone map is stale — the loader
+// rebuilds it from data instead of pruning with lies.
+//
+// # Buffer pool
+//
+// Open mmaps each segment and registers its pages as frames in a
+// bytes-bounded Pool. Pinning a non-resident frame verifies its checksum
+// (faulting the bytes in), accounts it against the budget, and evicts
+// unpinned frames CLOCK-wise — eviction madvises the span away, so the next
+// pin re-reads from disk and re-verifies. Scans pin the pages behind each
+// morsel through storage.Pager and release them when the morsel is done;
+// resident bytes stay bounded by the budget plus the pinned working set.
+//
+// # Durability
+//
+// The writer stages a table into a spill.CSTmpPrefix temp directory
+// carrying an owner.pid liveness marker and renames it into place only when
+// complete; interrupted writes are reaped by the spill janitor
+// (spill.Sweep). Damage — bit rot, torn pages, truncated footers — is
+// detected by checksums at open or pin time and surfaced as a typed
+// *CorruptError that fails the query; it can never produce wrong rows.
+package colstore
+
+import (
+	"fmt"
+
+	"partitionjoin/internal/faultinject"
+)
+
+// Format constants.
+const (
+	// magic tags segment files ("PCS1" little-endian).
+	magic = 0x31534350
+	// FormatVersion is bumped on incompatible layout changes; the loader
+	// rejects mismatches rather than guessing.
+	FormatVersion = 1
+	// DefaultPageSize is the buffer-pool frame size. A multiple of the OS
+	// page size so frames madvise cleanly, large enough that per-page CRC
+	// verification amortizes, small enough that a tight pool still holds
+	// many frames.
+	DefaultPageSize = 256 << 10
+	// DefaultZoneBlock is the persisted zone-map block size in rows. It
+	// must equal exec.BatchSize so the scan pruner finds the seeded maps
+	// at the block size it asks for (pinned by a test).
+	DefaultZoneBlock = 1024
+	// laneAlign aligns every lane's file offset so mmap'd lanes cast to
+	// typed slices on any architecture and frames start madvise-aligned.
+	laneAlign = 4096
+	// ManifestName is the per-table manifest file.
+	ManifestName = "manifest.json"
+)
+
+// Fault-injection sites of the column store.
+const (
+	// WriteSite fails a segment write with the injected error.
+	WriteSite = "colstore.write"
+	// ReadSite fails a page verification at pin time — the torn-page /
+	// I/O-error case.
+	ReadSite = "colstore.read"
+	// CorruptSite flips one bit of a page as it is written while the
+	// footer records the clean page's checksum, so the first pin of that
+	// page fails verification (injected bit rot).
+	CorruptSite = "colstore.corrupt"
+	// FooterSite fails the footer read at segment open — the
+	// truncated-footer case.
+	FooterSite = "colstore.footer"
+)
+
+var _ = faultinject.Register(WriteSite, ReadSite, CorruptSite, FooterSite)
+
+// CorruptError reports damaged on-disk state: a checksum mismatch, a torn
+// page, a truncated or malformed footer. It is typed so tests and
+// containment layers can errors.As for it; a corrupt segment fails queries,
+// it never yields wrong rows.
+type CorruptError struct {
+	// Path is the damaged segment (or manifest) file.
+	Path string
+	// Page is the damaged page index within its lane, or -1 when the
+	// damage is not page-granular (footer, manifest).
+	Page int
+	// Detail says what check failed.
+	Detail string
+	// Err is the underlying cause, when any (injected faults, I/O errors).
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Page >= 0 {
+		return fmt.Sprintf("colstore: %s page %d: %s", e.Path, e.Page, e.Detail)
+	}
+	return fmt.Sprintf("colstore: %s: %s", e.Path, e.Detail)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *CorruptError) Unwrap() error { return e.Err }

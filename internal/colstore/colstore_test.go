@@ -1,0 +1,537 @@
+package colstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/spill"
+	"partitionjoin/internal/storage"
+)
+
+// testTable builds a table exercising every persistable column encoding:
+// int64, int32, float64, plain string (high cardinality), and dictionary
+// (low cardinality), with enough rows to span several small pages.
+func testTable(t *testing.T, rows int) *storage.Table {
+	t.Helper()
+	schema := storage.NewSchema(
+		storage.ColumnDef{Name: "k", Type: storage.Int64},
+		storage.ColumnDef{Name: "small", Type: storage.Int32},
+		storage.ColumnDef{Name: "price", Type: storage.Float64},
+		storage.ColumnDef{Name: "comment", Type: storage.String, StrCap: 40},
+		storage.ColumnDef{Name: "flag", Type: storage.String, StrCap: 8},
+	)
+	tab := storage.NewTable("things", schema, rows)
+	rng := rand.New(rand.NewSource(7))
+	flags := []string{"RED", "GREEN", "BLUE"}
+	for i := 0; i < rows; i++ {
+		tab.Cols[0].(*storage.Int64Column).Values = append(tab.Cols[0].(*storage.Int64Column).Values, int64(i)*3)
+		tab.Cols[1].(*storage.Int32Column).Values = append(tab.Cols[1].(*storage.Int32Column).Values, int32(rng.Intn(1000)))
+		tab.Cols[2].(*storage.Float64Column).Values = append(tab.Cols[2].(*storage.Float64Column).Values, rng.Float64()*100)
+		tab.Cols[3].(storage.StrCol).AppendString(fmt.Sprintf("comment-%d-%x", i, rng.Int63()))
+		tab.Cols[4].(storage.StrCol).AppendString(flags[rng.Intn(len(flags))])
+	}
+	if enc := tab.DictEncode(16); len(enc) != 1 || enc[0] != "flag" {
+		t.Fatalf("DictEncode picked %v, want [flag]", enc)
+	}
+	return tab
+}
+
+// smallWriter returns a writer with tiny pages so even small test tables
+// span many frames.
+func smallWriter(dir string) *Writer {
+	return &Writer{Dir: dir, PageSize: laneAlign, ZoneBlock: 64}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tab := testTable(t, 5000)
+	if err := smallWriter(dir).WriteTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := st.Table("things")
+	if got == nil {
+		t.Fatalf("table not found; have %v", st.Tables())
+	}
+	if got.NumRows() != tab.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), tab.NumRows())
+	}
+	if _, ok := got.Cols[4].(*storage.DictColumn); !ok {
+		t.Fatalf("flag column loaded as %T, want *DictColumn", got.Cols[4])
+	}
+	rel, err := got.Pager.PinRange([]int{0, 1, 2, 3, 4}, 0, got.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	for i := 0; i < tab.NumRows(); i++ {
+		if a, b := tab.Int64Col("k")[i], got.Int64Col("k")[i]; a != b {
+			t.Fatalf("k[%d] = %d, want %d", i, b, a)
+		}
+		if a, b := tab.Int32Col("small")[i], got.Int32Col("small")[i]; a != b {
+			t.Fatalf("small[%d] = %d, want %d", i, b, a)
+		}
+		if a, b := tab.Float64Col("price")[i], got.Float64Col("price")[i]; a != b {
+			t.Fatalf("price[%d] = %v, want %v", i, b, a)
+		}
+		if a, b := tab.StringCol("comment").Value(i), got.StringCol("comment").Value(i); !bytes.Equal(a, b) {
+			t.Fatalf("comment[%d] = %q, want %q", i, b, a)
+		}
+		if a, b := tab.StringCol("flag").Value(i), got.StringCol("flag").Value(i); !bytes.Equal(a, b) {
+			t.Fatalf("flag[%d] = %q, want %q", i, b, a)
+		}
+	}
+}
+
+func TestZoneBlockMatchesBatchSize(t *testing.T) {
+	// internal/exec asserts the other half (BatchSize == 1024); together the
+	// two pins keep the persisted zone maps usable by the scan pruner.
+	if DefaultZoneBlock != 1024 {
+		t.Fatalf("DefaultZoneBlock = %d; it must equal exec.BatchSize (1024)", DefaultZoneBlock)
+	}
+}
+
+func TestPersistedZoneMapSeedsCache(t *testing.T) {
+	dir := t.TempDir()
+	tab := testTable(t, 2000)
+	if err := smallWriter(dir).WriteTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := st.Table("things")
+	zm := got.ZoneMap(0, 64) // k column, the writer's zone block
+	if zm == nil {
+		t.Fatal("no zone map for k")
+	}
+	if zm.MinI[0] != 0 || zm.MaxI[0] != 63*3 {
+		t.Fatalf("block 0 = [%d,%d], want [0,189]", zm.MinI[0], zm.MaxI[0])
+	}
+	if n := st.Pool().Stats().ZoneMapRebuilds; n != 0 {
+		t.Fatalf("fresh store rebuilt %d zone maps, want 0", n)
+	}
+}
+
+// TestStaleZoneMapRebuilt is the red/green staleness pin: a persisted zone
+// map whose stamp does not match the data stamp must be rebuilt from data,
+// not trusted. Red half: seeding the tampered map directly would prune
+// wrongly. Green half: the loader detects the stamp mismatch and rebuilds.
+func TestStaleZoneMapRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	tab := testTable(t, 2000)
+	if err := smallWriter(dir).WriteTable(tab); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper with the k segment: keep the (lying) zone map but break its
+	// stamp linkage by rewriting the footer with ZoneStamp+1 and absurd
+	// bounds that would prune every block if trusted.
+	seg := filepath.Join(dir, "things", "k.seg")
+	f, err := os.OpenFile(seg, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := f.Stat()
+	foot, err := readFooter(f, seg, fi.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range foot.Zone.MinI {
+		foot.Zone.MinI[i], foot.Zone.MaxI[i] = 1<<40, 1<<40 // nothing overlaps
+	}
+	foot.ZoneStamp = foot.Stamp + 1 // stale: built from different data
+	laneEnd := foot.Lanes[len(foot.Lanes)-1].Off + foot.Lanes[len(foot.Lanes)-1].Len
+	tail, err := encodeFooter(foot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(laneEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(tail, laneEnd); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := st.Table("things")
+	zm := got.ZoneMap(0, 64)
+	if zm == nil {
+		t.Fatal("no zone map for k after rebuild")
+	}
+	// Green: rebuilt bounds reflect the data, not the tampered map.
+	if zm.MinI[0] != 0 || zm.MaxI[0] != 63*3 {
+		t.Fatalf("block 0 = [%d,%d] after rebuild, want [0,189] — stale map was trusted", zm.MinI[0], zm.MaxI[0])
+	}
+	if n := st.Pool().Stats().ZoneMapRebuilds; n != 1 {
+		t.Fatalf("zone_map_rebuilds = %d, want 1", n)
+	}
+}
+
+func TestAtomicWriteReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	tab := testTable(t, 500)
+	if err := smallWriter(dir).WriteTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with more rows; the rename must replace the old version.
+	tab2 := testTable(t, 800)
+	if err := smallWriter(dir).WriteTable(tab2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Table("things").NumRows(); got != 800 {
+		t.Fatalf("rows = %d, want 800", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if e.Name() != "things" {
+			t.Fatalf("leftover entry %s in store dir", e.Name())
+		}
+	}
+}
+
+// TestInterruptedWriteInvisibleAndSwept: a write that dies mid-flight leaves
+// only an owner-marked temp directory — Open ignores it and the spill
+// janitor reaps it once the owner is gone.
+func TestInterruptedWriteInvisibleAndSwept(t *testing.T) {
+	defer faultinject.FailOnLeak(t)
+	dir := t.TempDir()
+	tab := testTable(t, 500)
+	faultinject.Arm(t, WriteSite, faultinject.Fault{Kind: faultinject.Fail, After: 3, Once: true})
+	if err := smallWriter(dir).WriteTable(tab); err == nil {
+		t.Fatal("write survived injected failure")
+	}
+	// The failed writer cleaned its own staging dir already; simulate a
+	// crash (no cleanup, dead owner) by planting a staged dir by hand.
+	tmp, err := spill.NewOwnedTempDir(dir, spill.CSTmpPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "owner.pid"), []byte("999999999"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "partial.seg"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.Tables()); n != 0 {
+		t.Fatalf("open saw %d tables in a dir with only wreckage", n)
+	}
+	st.Close()
+
+	removed, err := spill.Sweep(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 {
+		t.Fatalf("sweep removed %d dirs, want 1", len(removed))
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("staged dir survived sweep: %v", err)
+	}
+}
+
+// corruptOpen writes a table, then damages it via fn, then opens+scans and
+// returns the error, asserting it is a typed *CorruptError.
+func corruptOpen(t *testing.T, fn func(dir string)) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := smallWriter(dir).WriteTable(testTable(t, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if fn != nil {
+		fn(dir)
+	}
+	st, err := Open(dir, Options{})
+	if err == nil {
+		// Damage may be page-granular: surfaces at pin time, not open.
+		tab := st.Table("things")
+		var rel func()
+		rel, err = tab.Pager.PinRange([]int{0, 1, 2, 3, 4}, 0, tab.NumRows())
+		if err == nil {
+			rel()
+			st.Close()
+			t.Fatal("corruption not detected")
+		}
+		st.Close()
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v (%T) is not a *CorruptError", err, err)
+	}
+}
+
+func TestCorruptionBitRot(t *testing.T) {
+	// Injected at write: footer records the clean CRC, disk has a flipped
+	// bit. Detection must happen at first pin.
+	defer faultinject.FailOnLeak(t)
+	dir := t.TempDir()
+	faultinject.Arm(t, CorruptSite, faultinject.Fault{Kind: faultinject.Fail, After: 2, Once: true})
+	if err := smallWriter(dir).WriteTable(testTable(t, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	corruptOpenDir(t, dir)
+}
+
+func corruptOpenDir(t *testing.T, dir string) {
+	t.Helper()
+	st, err := Open(dir, Options{})
+	if err == nil {
+		tab := st.Table("things")
+		var rel func()
+		rel, err = tab.Pager.PinRange([]int{0, 1, 2, 3, 4}, 0, tab.NumRows())
+		if err == nil {
+			rel()
+			st.Close()
+			t.Fatal("corruption not detected")
+		}
+		st.Close()
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v (%T) is not a *CorruptError", err, err)
+	}
+}
+
+func TestCorruptionTornPage(t *testing.T) {
+	// Physical damage: overwrite bytes in the middle of the first segment's
+	// first lane, after the file is fully written.
+	corruptOpen(t, func(dir string) {
+		seg := filepath.Join(dir, "things", "k.seg")
+		f, err := os.OpenFile(seg, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte("torn!torn!torn!!"), 64); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	})
+}
+
+func TestCorruptionTruncatedFooter(t *testing.T) {
+	corruptOpen(t, func(dir string) {
+		seg := filepath.Join(dir, "things", "price.seg")
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(seg, fi.Size()-7); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCorruptionInjectedReadFault(t *testing.T) {
+	defer faultinject.FailOnLeak(t)
+	faultinject.Arm(t, ReadSite, faultinject.Fault{Kind: faultinject.Fail, After: 1, Once: true})
+	corruptOpen(t, nil)
+}
+
+func TestCorruptionInjectedFooterFault(t *testing.T) {
+	defer faultinject.FailOnLeak(t)
+	faultinject.Arm(t, FooterSite, faultinject.Fault{Kind: faultinject.Fail, Once: true})
+	corruptOpen(t, nil)
+}
+
+func TestPoolBoundedResidency(t *testing.T) {
+	dir := t.TempDir()
+	tab := testTable(t, 20000)
+	if err := smallWriter(dir).WriteTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(8 * laneAlign)
+	st, err := Open(dir, Options{PoolBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := st.Table("things")
+	// Scan in morsels like the executor does; only a morsel's pages are
+	// pinned at once, so eviction can always make room.
+	const morsel = 256
+	var sum int64
+	for lo := 0; lo < got.NumRows(); lo += morsel {
+		hi := lo + morsel
+		if hi > got.NumRows() {
+			hi = got.NumRows()
+		}
+		rel, err := got.Pager.PinRange([]int{0, 3}, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := lo; i < hi; i++ {
+			sum += got.Int64Col("k")[i] + int64(len(got.StringCol("comment").Value(i)))
+		}
+		rel()
+	}
+	stats := st.Pool().Stats()
+	// The dict arena pins at open can push past budget; beyond that the
+	// high-water mark may exceed the budget only by one morsel's working
+	// set (pinned frames are unevictable).
+	slack := int64(6 * laneAlign)
+	if stats.MaxResidentBytes > budget+slack {
+		t.Fatalf("max resident %d exceeds budget %d + slack %d", stats.MaxResidentBytes, budget, slack)
+	}
+	if stats.Evictions == 0 {
+		t.Fatal("scan 5x the budget evicted nothing")
+	}
+	if stats.Misses <= stats.Hits/100 {
+		t.Logf("stats: %+v", stats)
+	}
+	if sum == 0 {
+		t.Fatal("scan read nothing")
+	}
+}
+
+// TestConcurrentScanVsEviction is the -race soak: many goroutines scan
+// overlapping ranges through a pool far smaller than the data, so pins,
+// verifications, and evictions interleave constantly.
+func TestConcurrentScanVsEviction(t *testing.T) {
+	dir := t.TempDir()
+	tab := testTable(t, 20000)
+	if err := smallWriter(dir).WriteTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{PoolBytes: 8 * laneAlign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := st.Table("things")
+	want := make([]int64, 0, got.NumRows())
+	for i := 0; i < tab.NumRows(); i++ {
+		want = append(want, tab.Int64Col("k")[i])
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 60; iter++ {
+				lo := rng.Intn(got.NumRows() - 512)
+				hi := lo + 256 + rng.Intn(256)
+				rel, err := got.Pager.PinRange([]int{0, 3, 4}, lo, hi)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := lo; i < hi; i++ {
+					if got.Int64Col("k")[i] != want[i] {
+						errs <- fmt.Errorf("row %d read %d want %d", i, got.Int64Col("k")[i], want[i])
+						rel()
+						return
+					}
+					_ = got.StringCol("comment").Value(i)
+					_ = got.StringCol("flag").Value(i)
+				}
+				rel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := st.Pool().Stats()
+	if stats.Evictions == 0 {
+		t.Fatal("soak never evicted; pool not under pressure")
+	}
+}
+
+func TestPinRowsGather(t *testing.T) {
+	dir := t.TempDir()
+	tab := testTable(t, 10000)
+	if err := smallWriter(dir).WriteTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{PoolBytes: 8 * laneAlign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := st.Table("things")
+	rng := rand.New(rand.NewSource(3))
+	ids := make([]int64, 200)
+	for i := range ids {
+		ids[i] = int64(rng.Intn(got.NumRows()))
+	}
+	rel, err := got.Pager.PinRows([]int{0, 3}, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	for _, id := range ids {
+		if a, b := tab.Int64Col("k")[id], got.Int64Col("k")[id]; a != b {
+			t.Fatalf("k[%d] = %d, want %d", id, b, a)
+		}
+		if a, b := tab.StringCol("comment").Value(int(id)), got.StringCol("comment").Value(int(id)); !bytes.Equal(a, b) {
+			t.Fatalf("comment[%d] = %q, want %q", id, b, a)
+		}
+	}
+}
+
+// TestNoPinnedLeakAfterError: a pin failure mid-range must unwind every pin
+// it took, leaving the pool evictable down to zero.
+func TestNoPinnedLeakAfterError(t *testing.T) {
+	defer faultinject.FailOnLeak(t)
+	dir := t.TempDir()
+	if err := smallWriter(dir).WriteTable(testTable(t, 10000)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := st.Table("things")
+	// Fail the 5th page verification of this range.
+	faultinject.Arm(t, ReadSite, faultinject.Fault{Kind: faultinject.Fail, After: 4, Once: true})
+	if _, err := got.Pager.PinRange([]int{0, 1, 2, 3}, 0, got.NumRows()); err == nil {
+		t.Fatal("pin survived injected read fault")
+	}
+	// Every non-permanent pin must be gone: evicting to zero must succeed
+	// except for the permanently pinned dictionary arena.
+	st.Pool().mu.Lock()
+	var pinnedBytes int64
+	for _, f := range st.Pool().frames {
+		if f.pins > 0 {
+			pinnedBytes += int64(len(f.data))
+		}
+	}
+	st.Pool().mu.Unlock()
+	if pinnedBytes > 2*laneAlign {
+		t.Fatalf("%d bytes still pinned after failed PinRange (want only the dict arena)", pinnedBytes)
+	}
+}

@@ -1,0 +1,191 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/storage"
+)
+
+// Column encodings. The encoding is the physical representation the writer
+// chose (it mirrors the in-memory column's concrete type); the logical
+// schema type lives in the manifest.
+const (
+	encI64  = "i64"  // one values lane, 8 bytes per row
+	encI32  = "i32"  // one values lane, 4 bytes per row
+	encF64  = "f64"  // one values lane, 8 bytes per row
+	encStr  = "str"  // offsets lane (4 bytes, rows+1 entries) + bytes lane
+	encDict = "dict" // codes lane (4 bytes) + dict offsets + dict bytes lanes
+)
+
+// Lane indices per encoding. Fixed-width encodings use only laneValues;
+// strings use laneValues (offsets) and laneStrBytes; dictionaries use
+// laneValues (codes), laneDictOffs and laneDictBytes.
+const (
+	laneValues    = 0
+	laneStrBytes  = 1
+	laneDictOffs  = 1
+	laneDictBytes = 2
+)
+
+// laneDir locates one lane inside a segment file. Pages are logical: page p
+// covers [Off + p*PageSize, Off + min((p+1)*PageSize, Len)) and PageCRCs[p]
+// is its checksum.
+type laneDir struct {
+	Name     string   `json:"name"`
+	Off      int64    `json:"off"`
+	Len      int64    `json:"len"`
+	PageCRCs []uint32 `json:"page_crcs"`
+}
+
+// zonePersist is the serialized zone map of a segment (nil for plain string
+// columns, which have no usable value order).
+type zonePersist struct {
+	MinI []int64   `json:"min_i,omitempty"`
+	MaxI []int64   `json:"max_i,omitempty"`
+	MinF []float64 `json:"min_f,omitempty"`
+	MaxF []float64 `json:"max_f,omitempty"`
+}
+
+// segFooter is the segment directory, serialized as CRC-guarded JSON
+// between the data lanes and the fixed trailer.
+type segFooter struct {
+	Version  int       `json:"version"`
+	Column   string    `json:"column"`
+	Encoding string    `json:"encoding"`
+	Rows     int       `json:"rows"`
+	PageSize int       `json:"page_size"`
+	Lanes    []laneDir `json:"lanes"`
+	// Stamp summarizes the segment's data: rows folded with every page
+	// CRC. Any change to the persisted bytes changes it.
+	Stamp uint32 `json:"stamp"`
+	// ZoneBlock/ZoneStamp/Zone persist the zone map. ZoneStamp records the
+	// Stamp of the data the map was built from; the loader trusts the map
+	// only when ZoneStamp == Stamp and rebuilds it from data otherwise.
+	ZoneBlock int          `json:"zone_block,omitempty"`
+	ZoneStamp uint32       `json:"zone_stamp,omitempty"`
+	Zone      *zonePersist `json:"zone,omitempty"`
+}
+
+// trailerSize is the fixed tail of every segment file:
+// [u32 footerLen][u32 footerCRC][u32 magic].
+const trailerSize = 12
+
+// stampOf folds the row count and every lane's page checksums into the
+// segment's data stamp.
+func stampOf(rows int, lanes []laneDir) uint32 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(rows))
+	s := crc32.ChecksumIEEE(buf[:])
+	for _, l := range lanes {
+		for _, c := range l.PageCRCs {
+			binary.LittleEndian.PutUint32(buf[:4], c)
+			s = crc32.Update(s, crc32.IEEETable, buf[:4])
+		}
+	}
+	return s
+}
+
+// encodeFooter serializes the footer plus trailer.
+func encodeFooter(f *segFooter) ([]byte, error) {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(body)+trailerSize)
+	copy(out, body)
+	binary.LittleEndian.PutUint32(out[len(body):], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[len(body)+4:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(out[len(body)+8:], magic)
+	return out, nil
+}
+
+// readFooter locates, validates, and decodes the footer of an open segment
+// file of the given size. Every malformation — short file, wrong magic,
+// out-of-range length, checksum mismatch, bad JSON — is a *CorruptError.
+func readFooter(f *os.File, path string, size int64) (*segFooter, error) {
+	corrupt := func(detail string, err error) error {
+		return &CorruptError{Path: path, Page: -1, Detail: detail, Err: err}
+	}
+	if err := faultinject.ErrAt(FooterSite); err != nil {
+		return nil, corrupt("footer read failed", err)
+	}
+	if size < trailerSize {
+		return nil, corrupt(fmt.Sprintf("file too short for trailer (%d bytes)", size), nil)
+	}
+	var tr [trailerSize]byte
+	if _, err := f.ReadAt(tr[:], size-trailerSize); err != nil {
+		return nil, corrupt("trailer read failed", err)
+	}
+	if got := binary.LittleEndian.Uint32(tr[8:]); got != magic {
+		return nil, corrupt(fmt.Sprintf("bad magic %08x", got), nil)
+	}
+	flen := int64(binary.LittleEndian.Uint32(tr[0:]))
+	want := binary.LittleEndian.Uint32(tr[4:])
+	if flen <= 0 || flen > size-trailerSize {
+		return nil, corrupt(fmt.Sprintf("footer length %d out of range (file %d bytes)", flen, size), nil)
+	}
+	body := make([]byte, flen)
+	if _, err := f.ReadAt(body, size-trailerSize-flen); err != nil {
+		return nil, corrupt("truncated footer", err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, corrupt(fmt.Sprintf("footer checksum mismatch (stored %08x, computed %08x)", want, got), nil)
+	}
+	var foot segFooter
+	if err := json.Unmarshal(body, &foot); err != nil {
+		return nil, corrupt("footer decode failed", err)
+	}
+	if foot.Version != FormatVersion {
+		return nil, fmt.Errorf("colstore: %s: format version %d, want %d", path, foot.Version, FormatVersion)
+	}
+	if foot.PageSize <= 0 || foot.Rows < 0 {
+		return nil, corrupt(fmt.Sprintf("implausible footer (page_size %d, rows %d)", foot.PageSize, foot.Rows), nil)
+	}
+	for _, l := range foot.Lanes {
+		if l.Off < 0 || l.Len < 0 || l.Off+l.Len > size-trailerSize-flen {
+			return nil, corrupt(fmt.Sprintf("lane %s [%d,+%d) outside data region", l.Name, l.Off, l.Len), nil)
+		}
+		if want := int((l.Len + int64(foot.PageSize) - 1) / int64(foot.PageSize)); want != len(l.PageCRCs) {
+			return nil, corrupt(fmt.Sprintf("lane %s has %d page checksums, want %d", l.Name, len(l.PageCRCs), want), nil)
+		}
+	}
+	return &foot, nil
+}
+
+// Manifest describes one stored table: the schema and the segment file per
+// column. It is written last, after every segment is durable, so its
+// presence is the commit record of the table.
+type Manifest struct {
+	Version int           `json:"version"`
+	Table   string        `json:"table"`
+	Rows    int           `json:"rows"`
+	Columns []ManifestCol `json:"columns"`
+}
+
+// ManifestCol is one column entry of a Manifest.
+type ManifestCol struct {
+	Name     string `json:"name"`
+	Type     string `json:"type"` // logical schema type (INT64, DATE, STRING...)
+	StrCap   int    `json:"str_cap,omitempty"`
+	Encoding string `json:"encoding"`
+	Segment  string `json:"segment"` // file name within the table directory
+}
+
+// typeName maps a logical type to its manifest string.
+func typeName(t storage.Type) string { return t.String() }
+
+// parseType maps a manifest type string back to the logical type.
+func parseType(s string) (storage.Type, error) {
+	for _, t := range []storage.Type{storage.Int64, storage.Int32, storage.Float64,
+		storage.String, storage.Date, storage.Bool} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("colstore: unknown column type %q", s)
+}

@@ -1,0 +1,25 @@
+//go:build !unix
+
+package colstore
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without mmap reads the whole file into memory: the
+// store still works, it just is not out-of-core (eviction becomes a no-op
+// on real residency; accounting still runs).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// munmapFile matches mmapFile; heap buffers need no release.
+func munmapFile(b []byte) error { return nil }
+
+// dropPages is advisory and has no heap equivalent.
+func dropPages(b []byte) {}

@@ -1,0 +1,39 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The mapping is shared: the file is
+// immutable once written, so readers always see the committed bytes, and
+// evicted pages refault from disk instead of swap.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping made by mmapFile.
+func munmapFile(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// dropPages tells the kernel the span's pages are no longer needed — the
+// eviction primitive. The address is frame-aligned by construction (lanes
+// start laneAlign-aligned, frames are OS-page multiples); the kernel drops
+// whole pages in the range, and any page touched again refaults cleanly
+// from the immutable file. A failure is ignored: eviction is advisory, the
+// worst case is that the page stays cached.
+func dropPages(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	_ = syscall.Madvise(b, syscall.MADV_DONTNEED)
+}

@@ -1,0 +1,177 @@
+package colstore
+
+import (
+	"hash/crc32"
+	"sync"
+
+	"partitionjoin/internal/faultinject"
+)
+
+// PoolStats is a snapshot of buffer-pool activity. Counters are cumulative
+// since Open; ResidentBytes is the current verified-resident footprint and
+// MaxResidentBytes its high-water mark.
+type PoolStats struct {
+	Pins             int64 `json:"pins"`
+	Hits             int64 `json:"hits"`
+	Misses           int64 `json:"misses"`
+	Evictions        int64 `json:"evictions"`
+	ResidentBytes    int64 `json:"resident_bytes"`
+	MaxResidentBytes int64 `json:"max_resident_bytes"`
+	ZoneMapRebuilds  int64 `json:"zone_map_rebuilds"`
+}
+
+// HitRate is the fraction of pins served by already-resident frames.
+func (s PoolStats) HitRate() float64 {
+	if s.Pins == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Pins)
+}
+
+// frame is one logical page of one lane: a fixed-size span of the lane's
+// mapping plus its expected checksum. Residency is the pool's notion — a
+// frame counts against the budget from first verification until eviction.
+// The kernel may cache more (read-ahead) or less (memory pressure) than the
+// pool accounts; the pool's invariant is that every byte a scan reads under
+// a pin has been checksum-verified since it last became resident.
+type frame struct {
+	path string // segment file, for error reports
+	page int    // page index within its lane
+	data []byte // the page's span of the mmap'd lane
+	crc  uint32 // expected checksum from the segment footer
+
+	pins     int  // active pins; >0 blocks eviction
+	resident bool // verified and accounted against the budget
+	loading  bool // a goroutine is verifying this frame outside the lock
+	ref      bool // CLOCK reference bit, set on every pin
+}
+
+// Pool is the bytes-bounded buffer pool shared by every segment of a store.
+// All state is guarded by mu; checksum verification — the expensive part
+// that also faults pages in — runs outside the lock under the frame's
+// loading flag, with waiters parked on cond.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	budget int64 // resident-bytes target; <=0 means unbounded
+	frames []*frame
+	hand   int // CLOCK hand over frames
+	stats  PoolStats
+}
+
+// NewPool creates a pool that evicts toward budget bytes of resident data.
+// A budget <= 0 disables eviction (the pool still verifies and accounts).
+func NewPool(budget int64) *Pool {
+	p := &Pool{budget: budget}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// register adds a lane's frames to the eviction ring.
+func (p *Pool) register(fs []*frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = append(p.frames, fs...)
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// noteZoneRebuild counts a stale persisted zone map rebuilt at open.
+func (p *Pool) noteZoneRebuild() {
+	p.mu.Lock()
+	p.stats.ZoneMapRebuilds++
+	p.mu.Unlock()
+}
+
+// pin makes the frame resident-and-verified and blocks its eviction until
+// the matching unpin. The first pin after eviction re-reads the page from
+// disk and re-verifies its checksum; damage surfaces as *CorruptError.
+func (p *Pool) pin(f *frame) error {
+	p.mu.Lock()
+	p.stats.Pins++
+	for f.loading {
+		p.cond.Wait()
+	}
+	if f.resident {
+		f.pins++
+		f.ref = true
+		p.stats.Hits++
+		p.mu.Unlock()
+		return nil
+	}
+	p.stats.Misses++
+	f.loading = true
+	p.mu.Unlock()
+
+	// Verify outside the lock: the checksum walk faults the page in, which
+	// can block on I/O, and other frames' pins must not stall behind it.
+	err := verifyFrame(f)
+
+	p.mu.Lock()
+	f.loading = false
+	if err == nil {
+		f.resident = true
+		f.pins++
+		f.ref = true
+		p.stats.ResidentBytes += int64(len(f.data))
+		if p.stats.ResidentBytes > p.stats.MaxResidentBytes {
+			p.stats.MaxResidentBytes = p.stats.ResidentBytes
+		}
+		p.evictLocked()
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return err
+}
+
+// unpin releases one pin; the frame stays resident until evicted.
+func (p *Pool) unpin(f *frame) {
+	p.mu.Lock()
+	f.pins--
+	p.mu.Unlock()
+}
+
+// evictLocked sweeps the CLOCK hand until resident bytes fit the budget.
+// Pinned and loading frames are skipped; a referenced frame gets a second
+// chance. Eviction drops the span's OS pages, so the next pin re-reads and
+// re-verifies from disk. Two full laps without progress means everything
+// left is pinned — the pool overshoots rather than deadlocks.
+func (p *Pool) evictLocked() {
+	if p.budget <= 0 || len(p.frames) == 0 {
+		return
+	}
+	scanned := 0
+	for p.stats.ResidentBytes > p.budget && scanned < 2*len(p.frames) {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % len(p.frames)
+		scanned++
+		if !f.resident || f.pins > 0 || f.loading {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		dropPages(f.data)
+		f.resident = false
+		p.stats.ResidentBytes -= int64(len(f.data))
+		p.stats.Evictions++
+	}
+}
+
+// verifyFrame checks the frame's bytes against its footer checksum.
+func verifyFrame(f *frame) error {
+	if err := faultinject.ErrAt(ReadSite); err != nil {
+		return &CorruptError{Path: f.path, Page: f.page, Detail: "page read failed", Err: err}
+	}
+	if got := crc32.ChecksumIEEE(f.data); got != f.crc {
+		return &CorruptError{Path: f.path, Page: f.page,
+			Detail: "page checksum mismatch (torn page or bit rot)"}
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+package colstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"partitionjoin/internal/storage"
+)
+
+// Options configures Open.
+type Options struct {
+	// PoolBytes bounds the buffer pool's resident bytes across every table
+	// of the store; <= 0 means unbounded (verify and account, never evict).
+	PoolBytes int64
+}
+
+// Store is an open column store: every table directory under its root,
+// mmap'd and served through one shared buffer pool.
+type Store struct {
+	dir    string
+	pool   *Pool
+	segs   []*segment
+	tables map[string]*storage.Table
+}
+
+// segment is one open segment file.
+type segment struct {
+	path   string
+	f      *os.File
+	m      []byte
+	foot   *segFooter
+	frames [][]*frame // per lane, per logical page
+}
+
+// Open opens every committed table under dir (committed = has a manifest;
+// staged temp directories and foreign files are ignored). The returned
+// tables carry a storage.Pager wired to the store's buffer pool and their
+// persisted zone maps, rebuilt from data when the stamp says they are stale.
+func Open(dir string, opts Options) (*Store, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, pool: NewPool(opts.PoolBytes), tables: make(map[string]*storage.Table)}
+	var names []string
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, ent.Name(), ManifestName)); err != nil {
+			continue
+		}
+		names = append(names, ent.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := s.openTable(name); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Pool returns the store's shared buffer pool.
+func (s *Store) Pool() *Pool { return s.pool }
+
+// Tables returns the open table names, sorted.
+func (s *Store) Tables() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table returns the named open table, or nil.
+func (s *Store) Table(name string) *storage.Table { return s.tables[name] }
+
+// Close unmaps every segment and closes the files. Tables obtained from the
+// store must not be used afterwards.
+func (s *Store) Close() error {
+	var first error
+	for _, seg := range s.segs {
+		if err := munmapFile(seg.m); err != nil && first == nil {
+			first = err
+		}
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segs = nil
+	s.tables = nil
+	return first
+}
+
+// openTable opens one table directory: manifest, then one segment per
+// column, reassembling ordinary storage columns over the mapped lanes.
+func (s *Store) openTable(name string) error {
+	tdir := filepath.Join(s.dir, name)
+	body, err := os.ReadFile(filepath.Join(tdir, ManifestName))
+	if err != nil {
+		return err
+	}
+	var man Manifest
+	if err := json.Unmarshal(body, &man); err != nil {
+		return &CorruptError{Path: filepath.Join(tdir, ManifestName), Page: -1,
+			Detail: "manifest decode failed", Err: err}
+	}
+	if man.Version != FormatVersion {
+		return fmt.Errorf("colstore: %s: format version %d, want %d", tdir, man.Version, FormatVersion)
+	}
+
+	t := &storage.Table{Name: man.Table}
+	pager := &tablePager{pool: s.pool}
+	for _, mc := range man.Columns {
+		typ, err := parseType(mc.Type)
+		if err != nil {
+			return err
+		}
+		t.Schema.Cols = append(t.Schema.Cols, storage.ColumnDef{Name: mc.Name, Type: typ, StrCap: mc.StrCap})
+		seg, err := s.openSegment(filepath.Join(tdir, mc.Segment))
+		if err != nil {
+			return err
+		}
+		col, cp, err := assemble(seg, mc, man.Rows)
+		if err != nil {
+			return err
+		}
+		// Dictionary arenas stay pinned for the table's lifetime: plan-time
+		// code lookups and decode paths touch them outside any morsel pin
+		// window, and they are tiny next to the code lanes.
+		if mc.Encoding == encDict {
+			for _, li := range []int{laneDictOffs, laneDictBytes} {
+				for _, fr := range seg.frames[li] {
+					if err := s.pool.pin(fr); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		t.Cols = append(t.Cols, col)
+		pager.cols = append(pager.cols, cp)
+		s.seedZones(t, len(t.Cols)-1, col, seg.foot)
+	}
+	t.Pager = pager
+	s.tables[man.Table] = t
+	return nil
+}
+
+// openSegment maps one segment file and registers its frames with the pool.
+func (s *Store) openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	foot, err := readFooter(f, path, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	m, err := mmapFile(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	seg := &segment{path: path, f: f, m: m, foot: foot}
+	for _, l := range foot.Lanes {
+		data := m[l.Off : l.Off+l.Len]
+		fs := make([]*frame, len(l.PageCRCs))
+		for p := range fs {
+			start := p * foot.PageSize
+			end := start + foot.PageSize
+			if end > len(data) {
+				end = len(data)
+			}
+			fs[p] = &frame{path: path, page: p, data: data[start:end], crc: l.PageCRCs[p]}
+		}
+		s.pool.register(fs)
+		seg.frames = append(seg.frames, fs)
+	}
+	s.segs = append(s.segs, seg)
+	return seg, nil
+}
+
+// assemble reconstructs the in-memory column over the segment's mapped
+// lanes and builds its pager entry. All casts are zero-copy: the column's
+// backing slices alias the file mapping.
+func assemble(seg *segment, mc ManifestCol, rows int) (storage.Column, *colPages, error) {
+	foot := seg.foot
+	malformed := func(detail string) error {
+		return &CorruptError{Path: seg.path, Page: -1, Detail: detail}
+	}
+	if foot.Rows != rows {
+		return nil, nil, malformed(fmt.Sprintf("segment has %d rows, manifest says %d", foot.Rows, rows))
+	}
+	if foot.Encoding != mc.Encoding {
+		return nil, nil, malformed(fmt.Sprintf("segment encoding %s, manifest says %s", foot.Encoding, mc.Encoding))
+	}
+	if len(foot.Lanes) == 0 {
+		return nil, nil, malformed("segment has no lanes")
+	}
+	lane := func(li int, wantLen int64) ([]byte, error) {
+		if li >= len(foot.Lanes) {
+			return nil, malformed(fmt.Sprintf("encoding %s needs lane %d, segment has %d", foot.Encoding, li, len(foot.Lanes)))
+		}
+		b := seg.m[foot.Lanes[li].Off : foot.Lanes[li].Off+foot.Lanes[li].Len]
+		if wantLen >= 0 && int64(len(b)) != wantLen {
+			return nil, malformed(fmt.Sprintf("lane %s is %d bytes, want %d", foot.Lanes[li].Name, len(b), wantLen))
+		}
+		return b, nil
+	}
+	cp := &colPages{pageSize: foot.PageSize, rowLane: seg.frames[laneValues]}
+	switch foot.Encoding {
+	case encI64, encF64:
+		b, err := lane(laneValues, int64(rows)*8)
+		if err != nil {
+			return nil, nil, err
+		}
+		cp.width = 8
+		if foot.Encoding == encI64 {
+			return &storage.Int64Column{Values: castI64(b)}, cp, nil
+		}
+		return &storage.Float64Column{Values: castF64(b)}, cp, nil
+	case encI32:
+		b, err := lane(laneValues, int64(rows)*4)
+		if err != nil {
+			return nil, nil, err
+		}
+		cp.width = 4
+		return &storage.Int32Column{Values: castI32(b)}, cp, nil
+	case encStr:
+		ob, err := lane(laneValues, int64(rows+1)*4)
+		if err != nil {
+			return nil, nil, err
+		}
+		bb, err := lane(laneStrBytes, -1)
+		if err != nil {
+			return nil, nil, err
+		}
+		offs := castI32(ob)
+		if int64(offs[rows]) != int64(len(bb)) {
+			return nil, nil, malformed(fmt.Sprintf("string arena is %d bytes, offsets end at %d", len(bb), offs[rows]))
+		}
+		cp.width = 4
+		cp.offsetted = true
+		cp.strOffs = offs
+		cp.byteLane = seg.frames[laneStrBytes]
+		return &storage.StringColumn{Offsets: offs, Bytes: bb}, cp, nil
+	case encDict:
+		cb, err := lane(laneValues, int64(rows)*4)
+		if err != nil {
+			return nil, nil, err
+		}
+		dob, err := lane(laneDictOffs, -1)
+		if err != nil {
+			return nil, nil, err
+		}
+		dbb, err := lane(laneDictBytes, -1)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(dob) < 4 || len(dob)%4 != 0 {
+			return nil, nil, malformed(fmt.Sprintf("dictionary offsets lane is %d bytes", len(dob)))
+		}
+		doffs := castI32(dob)
+		if int64(doffs[len(doffs)-1]) != int64(len(dbb)) {
+			return nil, nil, malformed(fmt.Sprintf("dictionary arena is %d bytes, offsets end at %d", len(dbb), doffs[len(doffs)-1]))
+		}
+		cp.width = 4
+		return &storage.DictColumn{Codes: castI32(cb), Offsets: doffs, Bytes: dbb}, cp, nil
+	}
+	return nil, nil, malformed(fmt.Sprintf("unknown encoding %q", foot.Encoding))
+}
+
+// seedZones installs the persisted zone map into the table's cache, or
+// rebuilds it from data when its stamp no longer matches the segment's.
+func (s *Store) seedZones(t *storage.Table, ci int, col storage.Column, foot *segFooter) {
+	if foot.ZoneBlock <= 0 {
+		return
+	}
+	if foot.Zone != nil && foot.ZoneStamp == foot.Stamp {
+		t.SeedZoneMap(ci, foot.ZoneBlock, &storage.ZoneMap{
+			Block: foot.ZoneBlock,
+			MinI:  foot.Zone.MinI, MaxI: foot.Zone.MaxI,
+			MinF: foot.Zone.MinF, MaxF: foot.Zone.MaxF,
+		})
+		return
+	}
+	// Stale (or missing) map under a zone-blocked segment: never prune with
+	// it. Rebuild from the mapped data — an unpinned read, correct by the
+	// pager contract — and seed the fresh map instead.
+	if zm := storage.BuildZoneMap(col, foot.ZoneBlock); zm != nil {
+		t.SeedZoneMap(ci, foot.ZoneBlock, zm)
+		s.pool.noteZoneRebuild()
+	}
+}
+
+// colPages is the pager's view of one table column: which frames back its
+// row-indexed lane, and for plain string columns, how to chase row spans
+// into the byte arena.
+type colPages struct {
+	width     int // bytes per row in the row-indexed lane
+	pageSize  int
+	rowLane   []*frame // frames of the row-indexed lane (values/offsets/codes)
+	offsetted bool     // plain string column: chase offsets into byteLane
+	strOffs   []int32
+	byteLane  []*frame
+}
+
+// tablePager implements storage.StatsPager for one stored table against the
+// store's shared pool.
+type tablePager struct {
+	pool *Pool
+	cols []*colPages
+}
+
+// PagerStats implements storage.StatsPager.
+func (p *tablePager) PagerStats() storage.PagerStats {
+	st := p.pool.Stats()
+	return storage.PagerStats{Pins: st.Pins, Hits: st.Hits, Misses: st.Misses,
+		Evictions: st.Evictions, ResidentBytes: st.ResidentBytes}
+}
+
+// pinSpan pins the frames covering byte range [lo, hi) of a lane, recording
+// them in *pinned. On error the caller unwinds via unpinAll(*pinned).
+func (p *tablePager) pinSpan(fs []*frame, pageSize int, lo, hi int64, pinned *[]*frame) error {
+	if lo >= hi {
+		return nil
+	}
+	last := int((hi - 1) / int64(pageSize))
+	if last >= len(fs) {
+		last = len(fs) - 1
+	}
+	for pg := int(lo / int64(pageSize)); pg <= last; pg++ {
+		if err := p.pool.pin(fs[pg]); err != nil {
+			return err
+		}
+		*pinned = append(*pinned, fs[pg])
+	}
+	return nil
+}
+
+// unpinAll releases every frame pinned so far.
+func (p *tablePager) unpinAll(pinned []*frame) {
+	for _, f := range pinned {
+		p.pool.unpin(f)
+	}
+}
+
+// PinRange implements storage.Pager.
+func (p *tablePager) PinRange(cols []int, start, end int) (func(), error) {
+	var pinned []*frame
+	for _, ci := range cols {
+		cp := p.cols[ci]
+		lo, hi := int64(start)*int64(cp.width), int64(end)*int64(cp.width)
+		if cp.offsetted {
+			hi += int64(cp.width) // rows [start,end) need offsets [start, end+1)
+		}
+		if err := p.pinSpan(cp.rowLane, cp.pageSize, lo, hi, &pinned); err != nil {
+			p.unpinAll(pinned)
+			return nil, err
+		}
+		if cp.offsetted && end > start {
+			// The offsets just pinned are trustworthy; follow them into the
+			// arena and pin the rows' byte span.
+			blo, bhi := int64(cp.strOffs[start]), int64(cp.strOffs[end])
+			if err := p.pinSpan(cp.byteLane, cp.pageSize, blo, bhi, &pinned); err != nil {
+				p.unpinAll(pinned)
+				return nil, err
+			}
+		}
+	}
+	return func() { p.unpinAll(pinned) }, nil
+}
+
+// PinRows implements storage.Pager.
+func (p *tablePager) PinRows(cols []int, ids []int64) (func(), error) {
+	var pinned []*frame
+	pinPage := func(fs []*frame, pg int, seen map[int]bool) error {
+		if seen[pg] || pg >= len(fs) {
+			return nil
+		}
+		if err := p.pool.pin(fs[pg]); err != nil {
+			return err
+		}
+		seen[pg] = true
+		pinned = append(pinned, fs[pg])
+		return nil
+	}
+	for _, ci := range cols {
+		cp := p.cols[ci]
+		rowSeen := make(map[int]bool)
+		byteSeen := make(map[int]bool)
+		for _, id := range ids {
+			lo := id * int64(cp.width)
+			if err := pinPage(cp.rowLane, int(lo/int64(cp.pageSize)), rowSeen); err != nil {
+				p.unpinAll(pinned)
+				return nil, err
+			}
+			if cp.offsetted {
+				// One row's offsets pair may straddle a page boundary.
+				if err := pinPage(cp.rowLane, int((lo+int64(cp.width))/int64(cp.pageSize)), rowSeen); err != nil {
+					p.unpinAll(pinned)
+					return nil, err
+				}
+				blo, bhi := int64(cp.strOffs[id]), int64(cp.strOffs[id+1])
+				for pg := int(blo / int64(cp.pageSize)); pg <= int((bhi-1)/int64(cp.pageSize)) && bhi > blo; pg++ {
+					if err := pinPage(cp.byteLane, pg, byteSeen); err != nil {
+						p.unpinAll(pinned)
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return func() { p.unpinAll(pinned) }, nil
+}

@@ -1,0 +1,51 @@
+package colstore
+
+import "unsafe"
+
+// Lane casts. A lane is one contiguous typed array stored as raw bytes;
+// because every lane starts laneAlign-aligned in the file and mmap returns
+// page-aligned bases, the byte spans are always aligned for their element
+// type and the casts are plain reinterpretations — the loaded columns index
+// the mapped file with zero copies, exactly like their RAM-resident twins.
+
+func castI64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func castI32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func castF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func bytesOfI64(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func bytesOfI32(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+}
+
+func bytesOfF64(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}

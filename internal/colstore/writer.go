@@ -1,0 +1,225 @@
+package colstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"partitionjoin/internal/faultinject"
+	"partitionjoin/internal/spill"
+	"partitionjoin/internal/storage"
+)
+
+// Writer converts in-memory tables into persistent column-store tables.
+type Writer struct {
+	// Dir is the store directory; table t lands in Dir/<t.Name>/.
+	Dir string
+	// PageSize is the buffer-pool frame size; 0 means DefaultPageSize.
+	// Must be a multiple of the OS page size for eviction to madvise
+	// cleanly.
+	PageSize int
+	// ZoneBlock is the persisted zone-map block size in rows; 0 means
+	// DefaultZoneBlock (= the executor batch size, the granularity the
+	// scan pruner asks for).
+	ZoneBlock int
+}
+
+// WriteTable persists t as Dir/<t.Name>/. The write is atomic: everything is
+// staged into an owner-marked temp directory (reaped by spill.Sweep if this
+// process dies mid-write), the manifest is written last as the commit
+// record, and the staged directory is renamed over any previous version of
+// the table only once fully durable.
+func (w *Writer) WriteTable(t *storage.Table) (err error) {
+	pageSize := w.PageSize
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize%laneAlign != 0 {
+		return fmt.Errorf("colstore: page size %d is not a multiple of %d", pageSize, laneAlign)
+	}
+	zoneBlock := w.ZoneBlock
+	if zoneBlock <= 0 {
+		zoneBlock = DefaultZoneBlock
+	}
+
+	tmp, err := spill.NewOwnedTempDir(w.Dir, spill.CSTmpPrefix)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			os.RemoveAll(tmp)
+		}
+	}()
+
+	man := &Manifest{Version: FormatVersion, Table: t.Name, Rows: t.NumRows()}
+	for i, def := range t.Schema.Cols {
+		seg := def.Name + ".seg"
+		enc, werr := writeSegment(filepath.Join(tmp, seg), def.Name, t.Cols[i], pageSize, zoneBlock)
+		if werr != nil {
+			return werr
+		}
+		man.Columns = append(man.Columns, ManifestCol{
+			Name: def.Name, Type: typeName(def.Type), StrCap: def.StrCap,
+			Encoding: enc, Segment: seg,
+		})
+	}
+
+	body, err := json.Marshal(man)
+	if err != nil {
+		return err
+	}
+	if err := writeFileSync(filepath.Join(tmp, ManifestName), body); err != nil {
+		return err
+	}
+	if err := syncDir(tmp); err != nil {
+		return err
+	}
+	if err := spill.ReleaseOwnedTempDir(tmp); err != nil {
+		return err
+	}
+
+	dest := filepath.Join(w.Dir, t.Name)
+	if err := os.RemoveAll(dest); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dest); err != nil {
+		return err
+	}
+	return syncDir(w.Dir)
+}
+
+// laneSrc is one lane's clean bytes about to be written.
+type laneSrc struct {
+	name string
+	data []byte
+}
+
+// lanesOf decomposes a column into its encoding and lanes. Lane order must
+// match the lane-index constants the loader uses.
+func lanesOf(c storage.Column) (string, []laneSrc, error) {
+	switch col := c.(type) {
+	case *storage.Int64Column:
+		return encI64, []laneSrc{{"values", bytesOfI64(col.Values)}}, nil
+	case *storage.Int32Column:
+		return encI32, []laneSrc{{"values", bytesOfI32(col.Values)}}, nil
+	case *storage.Float64Column:
+		return encF64, []laneSrc{{"values", bytesOfF64(col.Values)}}, nil
+	case *storage.StringColumn:
+		return encStr, []laneSrc{
+			{"offsets", bytesOfI32(col.Offsets)},
+			{"bytes", col.Bytes},
+		}, nil
+	case *storage.DictColumn:
+		return encDict, []laneSrc{
+			{"codes", bytesOfI32(col.Codes)},
+			{"dictoffs", bytesOfI32(col.Offsets)},
+			{"dictbytes", col.Bytes},
+		}, nil
+	}
+	return "", nil, fmt.Errorf("colstore: cannot persist column type %T", c)
+}
+
+// writeSegment writes one column's segment file: aligned lanes, then the
+// CRC-guarded footer and trailer, fsynced before return.
+func writeSegment(path, name string, c storage.Column, pageSize, zoneBlock int) (string, error) {
+	enc, lanes, err := lanesOf(c)
+	if err != nil {
+		return "", err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+
+	var off int64
+	dirs := make([]laneDir, 0, len(lanes))
+	for _, l := range lanes {
+		if pad := int(-off & (laneAlign - 1)); pad > 0 {
+			if _, err := f.Write(make([]byte, pad)); err != nil {
+				return "", err
+			}
+			off += int64(pad)
+		}
+		d := laneDir{Name: l.name, Off: off, Len: int64(len(l.data))}
+		for p := 0; p < len(l.data); p += pageSize {
+			end := p + pageSize
+			if end > len(l.data) {
+				end = len(l.data)
+			}
+			page := l.data[p:end]
+			if err := faultinject.ErrAt(WriteSite); err != nil {
+				return "", err
+			}
+			d.PageCRCs = append(d.PageCRCs, crc32.ChecksumIEEE(page))
+			if faultinject.ErrAt(CorruptSite) != nil {
+				// Injected bit rot: the directory keeps the clean page's
+				// checksum while one flipped bit reaches the disk, so the
+				// first pin of this page must fail verification.
+				rotted := append([]byte(nil), page...)
+				rotted[len(rotted)/2] ^= 0x40
+				page = rotted
+			}
+			if _, err := f.Write(page); err != nil {
+				return "", err
+			}
+		}
+		off += int64(len(l.data))
+		dirs = append(dirs, d)
+	}
+
+	foot := &segFooter{
+		Version: FormatVersion, Column: name, Encoding: enc,
+		Rows: c.Len(), PageSize: pageSize, Lanes: dirs,
+		Stamp: stampOf(c.Len(), dirs),
+	}
+	if zm := storage.BuildZoneMap(c, zoneBlock); zm != nil {
+		foot.ZoneBlock = zoneBlock
+		foot.ZoneStamp = foot.Stamp
+		foot.Zone = &zonePersist{MinI: zm.MinI, MaxI: zm.MaxI, MinF: zm.MinF, MaxF: zm.MaxF}
+	}
+	tail, err := encodeFooter(foot)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(tail); err != nil {
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		return "", err
+	}
+	return enc, f.Close()
+}
+
+// writeFileSync writes data to a new file and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and file creations within it are
+// durable. Sync errors are ignored: some filesystems refuse directory
+// fsync, and the data files themselves are already synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

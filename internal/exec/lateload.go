@@ -38,6 +38,15 @@ func (o *LateLoadOp) Process(ctx *Ctx, b *Batch) {
 		}
 	}
 	ids := b.Vecs[o.RowIDVec].I64
+	if o.Table.Pager != nil {
+		// Disk-backed table: pin the pages behind the gathered rows for the
+		// duration of the fetch (same protocol as TableSource.emit).
+		release, err := o.Table.Pager.PinRows(o.Cols, ids[:b.N])
+		if err != nil {
+			panic(err)
+		}
+		defer release()
+	}
 	var bytesRead int64
 	for i, ci := range o.Cols {
 		v := &o.vecs[i]

@@ -25,6 +25,11 @@ type TableSource struct {
 	pruner *scanPruner
 	// codeCols[i] means Cols[i] is a dictionary column emitted as codes.
 	codeCols []bool
+	// pinCols is the union of scanned and pushed-predicate storage columns:
+	// every column whose raw slices a morsel touches, and therefore the set
+	// pinned through Table.Pager while the morsel runs (disk-backed tables
+	// only; nil Pager skips pinning entirely).
+	pinCols []int
 }
 
 // NewTableSource builds a scan source over the named columns.
@@ -33,7 +38,8 @@ func NewTableSource(t *storage.Table, cols ...string) *TableSource {
 	for i, c := range cols {
 		idx[i] = t.Schema.MustCol(c)
 	}
-	return &TableSource{Table: t, Cols: idx, morsels: storage.Morsels(t.NumRows(), 0)}
+	return &TableSource{Table: t, Cols: idx, pinCols: append([]int(nil), idx...),
+		morsels: storage.Morsels(t.NumRows(), 0)}
 }
 
 // SetPushed installs pushed predicates and builds their zone maps. Call
@@ -41,6 +47,18 @@ func NewTableSource(t *storage.Table, cols ...string) *TableSource {
 func (s *TableSource) SetPushed(preds []ScanPred) {
 	s.pushed = preds
 	s.pruner = newScanPruner(s.Table, preds)
+	for _, p := range preds {
+		seen := false
+		for _, c := range s.pinCols {
+			if c == p.Col {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			s.pinCols = append(s.pinCols, p.Col)
+		}
+	}
 }
 
 // Pushed returns the installed pushed predicates.
@@ -92,6 +110,18 @@ func (s *TableSource) emit(ctx *Ctx, task int, out Operator, b *Batch, withRowID
 	if s.pruner != nil && s.pruner.rangePruned(m.Start, m.End) {
 		ctx.Meter.AddMorselsPruned(1)
 		return
+	}
+	if s.Table.Pager != nil {
+		// Disk-backed table: pin the pages behind this morsel's columns
+		// (scanned and predicate) before touching their slices. Pinning
+		// verifies checksums on first touch; damage surfaces as a typed
+		// error through the pipeline's panic containment, never as wrong
+		// rows. Zone-pruned morsels above never fault their pages in.
+		release, err := s.Table.Pager.PinRange(s.pinCols, m.Start, m.End)
+		if err != nil {
+			panic(err)
+		}
+		defer release()
 	}
 	var bytesRead, batchesPruned, prefiltered, fullMatch int64
 	for start := m.Start; start < m.End; start += BatchSize {

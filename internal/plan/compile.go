@@ -37,6 +37,13 @@ type Options struct {
 	// query ends, is cancelled, or panics. Only effective together with
 	// MemBudget — without a budget nothing ever spills.
 	SpillDir string
+	// DataDir, when non-empty, is the column store directory the query's
+	// tables were opened from. Its only planner-level effect is a default:
+	// when SpillDir is empty, spills go to <DataDir>/spill, so a server
+	// pointed at a data directory gets co-located spill space for free.
+	// Buffer-pool counters flow through the scanned tables' pagers
+	// regardless of this field (ExecResult.Pool).
+	DataDir string
 	// Broker, when set, routes the query through process-wide admission
 	// control: ExecuteErr reserves MemBudget bytes (or the broker's
 	// per-query default when MemBudget is 0) from the shared pool before
@@ -119,6 +126,24 @@ type compiler struct {
 	workers   int // resolved driver parallelism (never <= 0)
 	pipelines []*exec.Pipeline
 	harvests  []func()
+	// pagers are the distinct stats-capable pagers behind the plan's
+	// scanned tables; the executor reports their counter deltas as the
+	// query's buffer-pool activity (ExecResult.Pool).
+	pagers []storage.StatsPager
+}
+
+// notePager records a scanned table's pager once, when it can report stats.
+func (c *compiler) notePager(t *storage.Table) {
+	sp, ok := t.Pager.(storage.StatsPager)
+	if !ok {
+		return
+	}
+	for _, p := range c.pagers {
+		if p == sp {
+			return
+		}
+	}
+	c.pagers = append(c.pagers, sp)
 }
 
 // scaled applies the EstimateScale corruption knob to a cardinality
@@ -219,6 +244,7 @@ func vecTypes(cols []ColRef) ([]storage.Type, []int) {
 func (c *compiler) compile(n Node) *pipe {
 	switch n := n.(type) {
 	case *ScanNode:
+		c.notePager(n.Table)
 		var src exec.Source
 		var ts *exec.TableSource
 		if n.RowID != "" {

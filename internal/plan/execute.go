@@ -3,6 +3,7 @@ package plan
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -47,6 +48,12 @@ type ExecResult struct {
 	// partition splits, reservation revisions, and the decision event log.
 	// Zero when nothing adapted or Options.NoAdapt was set.
 	Adapt adapt.Stats
+	// Pool is the buffer-pool activity observed while this query ran, for
+	// plans that scanned disk-backed tables; nil for RAM-resident plans.
+	// Counters are deltas over the query (the pool is shared, so they
+	// include any concurrent traffic); ResidentBytes is the pool's
+	// residency as the query finished.
+	Pool *storage.PagerStats
 }
 
 // Throughput returns source tuples per second.
@@ -96,6 +103,9 @@ func (p *Prepared) run(ctx context.Context, opts Options) (*ExecResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.SpillDir == "" && opts.DataDir != "" {
+		opts.SpillDir = filepath.Join(opts.DataDir, "spill")
+	}
 	rsv := opts.Reservation
 	budget := opts.MemBudget
 	switch {
@@ -143,6 +153,7 @@ func (p *Prepared) run(ctx context.Context, opts Options) (*ExecResult, error) {
 	ts, caps := vecTypes(pp.cols)
 	sink := &exec.CollectSink{Types: ts, Caps: caps, Gov: gov}
 	c.terminate(pp, sink, "collect")
+	poolPre := sumPagerStats(c.pagers)
 
 	d := exec.NewDriver(workers)
 	d.Meter = opts.Meter
@@ -158,7 +169,19 @@ func (p *Prepared) run(ctx context.Context, opts Options) (*ExecResult, error) {
 	for _, sp := range c.spills {
 		spst.Add(sp.Stats())
 	}
+	var pool *storage.PagerStats
+	if len(c.pagers) > 0 {
+		post := sumPagerStats(c.pagers)
+		pool = &storage.PagerStats{
+			Pins:          post.Pins - poolPre.Pins,
+			Hits:          post.Hits - poolPre.Hits,
+			Misses:        post.Misses - poolPre.Misses,
+			Evictions:     post.Evictions - poolPre.Evictions,
+			ResidentBytes: post.ResidentBytes,
+		}
+	}
 	return &ExecResult{
+		Pool:          pool,
 		Result:        sink.Result(),
 		Cols:          pp.cols,
 		SourceRows:    d.SourceRows.Load(),
@@ -172,6 +195,20 @@ func (p *Prepared) run(ctx context.Context, opts Options) (*ExecResult, error) {
 		Scan:          opts.Meter.Scan(),
 		Adapt:         c.adapt.Stats(),
 	}, nil
+}
+
+// sumPagerStats adds up counter snapshots across the plan's distinct pagers.
+func sumPagerStats(pagers []storage.StatsPager) storage.PagerStats {
+	var s storage.PagerStats
+	for _, p := range pagers {
+		st := p.PagerStats()
+		s.Pins += st.Pins
+		s.Hits += st.Hits
+		s.Misses += st.Misses
+		s.Evictions += st.Evictions
+		s.ResidentBytes = st.ResidentBytes // shared pool: same value, not a sum
+	}
+	return s
 }
 
 // Execute is the historical API: ExecuteErr with a background context,

@@ -42,6 +42,7 @@ import (
 
 	"partitionjoin/internal/adapt"
 	"partitionjoin/internal/admit"
+	"partitionjoin/internal/colstore"
 	"partitionjoin/internal/core"
 	"partitionjoin/internal/exec"
 	"partitionjoin/internal/plan"
@@ -68,6 +69,13 @@ type Config struct {
 	Timeout time.Duration
 	// SpillDir, when set, arms spilling; sessions get private subtrees.
 	SpillDir string
+	// DataDir, when set, is the column store directory the served tables
+	// were opened from; queries default their spill space under it when
+	// SpillDir is empty (see plan.Options.DataDir).
+	DataDir string
+	// BufferPool, when set, is the column store's buffer pool backing the
+	// served tables; /statsz reports its counters under "buffer_pool".
+	BufferPool *colstore.Pool
 	// PlanCacheSize bounds the prepared-statement LRU (<= 0 uses 128).
 	PlanCacheSize int
 	// ResultCacheBytes bounds the result cache (<= 0 uses 64 MiB) and
@@ -532,6 +540,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	opts := plan.Options{
 		Workers: s.cfg.Workers, Algo: algo, Core: s.cfg.Core,
 		MemBudget:      budget,
+		DataDir:        s.cfg.DataDir,
 		NoScanPushdown: defaults.NoScanPushdown, NoDictCodes: defaults.NoDictCodes,
 		NoAdapt: s.cfg.NoAdapt || defaults.NoAdapt,
 	}
@@ -833,6 +842,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+// BufferPoolStats is the buffer-pool section of /statsz: the colstore
+// counters plus the derived hit rate.
+type BufferPoolStats struct {
+	colstore.PoolStats
+	HitRate float64 `json:"hit_rate"`
+}
+
 // ServerStats is the /statsz document.
 type ServerStats struct {
 	UptimeSec       float64      `json:"uptime_sec"`
@@ -843,7 +859,9 @@ type ServerStats struct {
 	PlanCache       CacheStats   `json:"plan_cache"`
 	// ResultCache is absent when the result cache is disabled.
 	ResultCache *ResultCacheStats `json:"result_cache,omitempty"`
-	Queries     struct {
+	// BufferPool is absent when the server is not backed by a column store.
+	BufferPool *BufferPoolStats `json:"buffer_pool,omitempty"`
+	Queries    struct {
 		Total      int64 `json:"total"`
 		Active     int64 `json:"active"`
 		OK         int64 `json:"ok"`
@@ -886,6 +904,10 @@ func (s *Server) Stats() ServerStats {
 	if s.rcache != nil {
 		rs := s.rcache.Stats()
 		st.ResultCache = &rs
+	}
+	if s.cfg.BufferPool != nil {
+		ps := s.cfg.BufferPool.Stats()
+		st.BufferPool = &BufferPoolStats{PoolStats: ps, HitRate: ps.HitRate()}
 	}
 	st.Queries.Total = s.counters.Total.Load()
 	st.Queries.Active = s.counters.Active.Load()

@@ -91,6 +91,40 @@ func NewDir(parent string) (*Dir, error) {
 // can recognize and recurse into them.
 const sessPrefix = "sess-"
 
+// CSTmpPrefix names the column store's background-write temp directories
+// (internal/colstore writes a table into one, then renames it into place).
+// A crash mid-write strands the directory; Sweep reaps it under the same
+// owner.pid liveness rule as spill directories.
+const CSTmpPrefix = "cstmp-"
+
+// NewOwnedTempDir creates a fresh prefix-named temp directory under parent
+// carrying this process's owner.pid liveness marker, so Sweep can reap it
+// if the process dies before the caller renames or removes it. The colstore
+// background writer stages table directories through it.
+func NewOwnedTempDir(parent, prefix string) (string, error) {
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return "", fmt.Errorf("spill: create parent %s: %w", parent, err)
+	}
+	path, err := os.MkdirTemp(parent, prefix)
+	if err != nil {
+		return "", fmt.Errorf("spill: create temp dir: %w", err)
+	}
+	pid := []byte(strconv.Itoa(os.Getpid()))
+	if err := os.WriteFile(filepath.Join(path, ownerFile), pid, 0o600); err != nil {
+		os.RemoveAll(path)
+		return "", fmt.Errorf("spill: write owner marker: %w", err)
+	}
+	return path, nil
+}
+
+// ReleaseOwnedTempDir removes the owner.pid marker from a NewOwnedTempDir
+// directory, declaring the contents complete: the caller is about to rename
+// the directory into its final place and the janitor must no longer
+// consider it reapable.
+func ReleaseOwnedTempDir(dir string) error {
+	return os.Remove(filepath.Join(dir, ownerFile))
+}
+
 // SessionParent creates (or reuses) a per-session spill parent under parent:
 // a directory named sess-<id> carrying this process's owner marker. Queries
 // of the session use it as their Options.SpillDir, so each query's private
@@ -125,8 +159,9 @@ func RemoveSessionParent(dir string) error {
 }
 
 // Sweep is the stale-spill janitor: it scans parent for spill directories
-// whose owning process no longer exists — leftovers of a crash, which the
-// normal deferred Cleanup can never reach — and removes them. Per-session
+// and colstore write-temp directories (CSTmpPrefix) whose owning process no
+// longer exists — leftovers of a crash, which the normal deferred Cleanup
+// can never reach — and removes them. Per-session
 // parents (SessionParent) are reclaimed whole when their owner is dead and
 // swept recursively when alive, so a live daemon's periodic re-sweep also
 // reclaims query dirs orphaned inside its own sessions by an earlier
@@ -160,7 +195,8 @@ func Sweep(parent string) ([]string, error) {
 				}
 				continue
 			}
-		case strings.HasPrefix(ent.Name(), dirPrefix):
+		case strings.HasPrefix(ent.Name(), dirPrefix),
+			strings.HasPrefix(ent.Name(), CSTmpPrefix):
 			if ownerAlive(dir) {
 				continue
 			}

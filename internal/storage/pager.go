@@ -1,0 +1,40 @@
+package storage
+
+// Pager is the paged backing a disk-resident table installs on Table.Pager:
+// the hook through which scans pin the buffer-pool pages behind the rows
+// they are about to touch. Implementations (internal/colstore) verify page
+// checksums on first touch, account resident bytes against the pool budget,
+// and keep pinned pages safe from eviction until the release function runs.
+//
+// Pinning is an accounting and integrity protocol, not a correctness
+// requirement: a paged column's backing slices always read valid file bytes
+// through the mapping, so code paths that skip pinning (zone-map rebuilds,
+// ad-hoc column access in tests) stay correct — they merely bypass checksum
+// verification and residency accounting.
+type Pager interface {
+	// PinRange pins the pages backing rows [start, end) of the given
+	// storage columns. The release function must be called exactly once;
+	// on error nothing stays pinned and release is nil.
+	PinRange(cols []int, start, end int) (release func(), err error)
+	// PinRows pins the pages backing the individual rows ids of the given
+	// storage columns — the late-materialization gather path. Same
+	// contract as PinRange.
+	PinRows(cols []int, ids []int64) (release func(), err error)
+}
+
+// PagerStats is the counter snapshot a stats-capable pager exposes; the
+// executor reports the delta observed during a query (the pool may be
+// shared across tables and queries, so deltas include concurrent traffic).
+type PagerStats struct {
+	Pins          int64
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	ResidentBytes int64
+}
+
+// StatsPager is a Pager that can report buffer-pool counters.
+type StatsPager interface {
+	Pager
+	PagerStats() PagerStats
+}

@@ -13,6 +13,12 @@ type Table struct {
 	Schema Schema
 	Cols   []Column
 
+	// Pager, when non-nil, is the table's paged backing: its column value
+	// arrays alias disk pages managed by a buffer pool, and scans pin the
+	// pages behind each morsel before touching them (see Pager). RAM
+	// resident tables leave it nil and every access path is unchanged.
+	Pager Pager
+
 	zmu   sync.Mutex
 	zones map[zoneKey]*zoneEntry
 }

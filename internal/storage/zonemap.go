@@ -134,6 +134,21 @@ func (t *Table) ZoneMap(ci, block int) *ZoneMap {
 	return e.zm
 }
 
+// SeedZoneMap installs a prebuilt zone map for column ci at the given block
+// size — the persistence path: a column store that serialized zone maps
+// alongside its segments seeds them here at open, so pruning works without
+// ever touching data pages. The entry is tagged with the column's current
+// length, so later appends invalidate it exactly like a built entry, and
+// DictEncode's invalidateZones drops it with the rest.
+func (t *Table) SeedZoneMap(ci, block int, zm *ZoneMap) {
+	t.zmu.Lock()
+	defer t.zmu.Unlock()
+	if t.zones == nil {
+		t.zones = make(map[zoneKey]*zoneEntry)
+	}
+	t.zones[zoneKey{ci, block}] = &zoneEntry{rows: t.Cols[ci].Len(), zm: zm}
+}
+
 // invalidateZones drops all cached zone maps; called when a column's
 // representation changes without changing its length.
 func (t *Table) invalidateZones() {

@@ -1,0 +1,103 @@
+package tpch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"partitionjoin/internal/colstore"
+	"partitionjoin/internal/storage"
+)
+
+// dbManifestName is the store-level manifest recording what data a column
+// store directory holds, so a warm boot can verify it serves the database
+// the caller asked for instead of silently mixing scale factors.
+const dbManifestName = "db.json"
+
+// dbManifest is the content of dbManifestName.
+type dbManifest struct {
+	SF     float64  `json:"sf"`
+	Seed   int64    `json:"seed"`
+	Tables []string `json:"tables"`
+}
+
+// WriteStore persists db into a column store at dir: every relation as one
+// table directory, then the database manifest as the commit record.
+func WriteStore(dir string, db *DB, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	w := &colstore.Writer{Dir: dir}
+	man := dbManifest{SF: db.SF, Seed: seed}
+	for _, t := range db.Tables() {
+		if err := w.WriteTable(t); err != nil {
+			return err
+		}
+		man.Tables = append(man.Tables, t.Name)
+	}
+	body, err := json.Marshal(man)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, dbManifestName+".tmp")
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, dbManifestName))
+}
+
+// OpenStore opens a previously written column store and assembles a DB whose
+// tables are disk-backed through the store's buffer pool. The caller owns
+// the returned store's lifetime (Close unmaps everything).
+func OpenStore(dir string, sf float64, seed int64, poolBytes int64) (*DB, *colstore.Store, error) {
+	body, err := os.ReadFile(filepath.Join(dir, dbManifestName))
+	if err != nil {
+		return nil, nil, err
+	}
+	var man dbManifest
+	if err := json.Unmarshal(body, &man); err != nil {
+		return nil, nil, fmt.Errorf("tpch: %s: %w", filepath.Join(dir, dbManifestName), err)
+	}
+	if man.SF != sf || man.Seed != seed {
+		return nil, nil, fmt.Errorf("tpch: store %s holds sf=%g seed=%d, want sf=%g seed=%d",
+			dir, man.SF, man.Seed, sf, seed)
+	}
+	st, err := colstore.Open(dir, colstore.Options{PoolBytes: poolBytes})
+	if err != nil {
+		return nil, nil, err
+	}
+	db := &DB{SF: man.SF}
+	for name, slot := range map[string]**storage.Table{
+		"region": &db.Region, "nation": &db.Nation, "supplier": &db.Supplier,
+		"customer": &db.Customer, "part": &db.Part, "partsupp": &db.PartSupp,
+		"orders": &db.Orders, "lineitem": &db.Lineitem,
+	} {
+		t := st.Table(name)
+		if t == nil {
+			st.Close()
+			return nil, nil, fmt.Errorf("tpch: store %s is missing table %s", dir, name)
+		}
+		*slot = t
+	}
+	return db, st, nil
+}
+
+// OpenOrGenerate opens the column store at dir when it already holds the
+// requested (sf, seed) database, and otherwise generates the data in RAM.
+// fromDisk reports which happened; when false the caller serves the RAM
+// tables and may persist them with WriteStore for the next boot (the
+// generate-once-then-open flow).
+func OpenOrGenerate(dir string, sf float64, seed int64, poolBytes int64) (db *DB, st *colstore.Store, fromDisk bool, err error) {
+	if _, serr := os.Stat(filepath.Join(dir, dbManifestName)); serr == nil {
+		db, st, err = OpenStore(dir, sf, seed, poolBytes)
+		if err == nil {
+			return db, st, true, nil
+		}
+		// A store that exists but does not match (or is damaged) is not
+		// fatal: regenerate and overwrite. Surface why via the error slot
+		// only if the caller cares to log it.
+		db, st = nil, nil
+	}
+	return Generate(sf, seed), nil, false, nil
+}

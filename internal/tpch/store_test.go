@@ -1,0 +1,157 @@
+package tpch
+
+import (
+	"path/filepath"
+	"testing"
+
+	"partitionjoin/internal/plan"
+)
+
+// TestStoreRoundTripDifferential is the acceptance differential for the
+// column store: every tier-1 TPC-H query must produce byte-identical rows
+// whether it scans the RAM-resident tables or the mmap-backed store — with
+// scan pushdown on and off — while a pool far smaller than the data forces
+// continuous eviction and re-verification underneath.
+func TestStoreRoundTripDifferential(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := WriteStore(dir, testDB, 1); err != nil {
+		t.Fatal(err)
+	}
+	// ~1 MiB pool vs a multi-MiB sf-0.01 database: scans must run
+	// out-of-core. (Pinned working sets may overshoot; the pool evicts
+	// everything else.)
+	diskDB, st, err := OpenStore(dir, testSF, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, tbl := range diskDB.Tables() {
+		if tbl.Pager == nil {
+			t.Fatalf("table %s has no pager", tbl.Name)
+		}
+	}
+
+	poolReports := 0
+	for _, pushdown := range []bool{true, false} {
+		for _, q := range QueryNumbers {
+			opts := plan.DefaultOptions()
+			opts.Workers = 2
+			opts.NoScanPushdown = !pushdown
+
+			ramR := &Runner{Opts: opts}
+			want := canonRows(Queries[q](testDB, ramR))
+			if ramR.Err != nil {
+				t.Fatalf("Q%d (pushdown=%v) RAM: %v", q, pushdown, ramR.Err)
+			}
+
+			diskR := &Runner{Opts: opts}
+			res := Queries[q](diskDB, diskR)
+			if diskR.Err != nil {
+				t.Fatalf("Q%d (pushdown=%v) store: %v", q, pushdown, diskR.Err)
+			}
+			got := canonRows(res)
+			if len(got) != len(want) {
+				t.Fatalf("Q%d (pushdown=%v): store returned %d rows, RAM %d", q, pushdown, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Q%d (pushdown=%v) row %d diverged:\nstore %s\n  ram %s", q, pushdown, i, got[i], want[i])
+				}
+			}
+			// Multi-stage queries return the last stage's result, which may
+			// scan only RAM-resident intermediates — but any query whose
+			// final stage touched a stored table must report pool activity.
+			if res.Pool != nil && res.Pool.Pins == 0 {
+				t.Fatalf("Q%d: disk-backed scan pinned nothing", q)
+			}
+			if res.Pool != nil {
+				poolReports++
+			}
+		}
+	}
+	if poolReports == 0 {
+		t.Fatal("no query reported buffer-pool stats")
+	}
+	stats := st.Pool().Stats()
+	if stats.Evictions == 0 {
+		t.Fatalf("pool never evicted across the full query suite (stats %+v); it was not under pressure", stats)
+	}
+	if stats.MaxResidentBytes < 1<<19 {
+		t.Fatalf("suspiciously low high-water mark %d; pool accounting broken?", stats.MaxResidentBytes)
+	}
+}
+
+// TestStoreLateMaterialization runs the late-materialization variants
+// against the store: the deferred-column gather goes through Pager.PinRows
+// (random access into evicted pages) and must still match the RAM answer.
+func TestStoreLateMaterialization(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := WriteStore(dir, testDB, 1); err != nil {
+		t.Fatal(err)
+	}
+	diskDB, st, err := OpenStore(dir, testSF, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	for _, q := range []int{3, 5, 8} {
+		opts := plan.DefaultOptions()
+		opts.Workers = 2
+		ramR := &Runner{Opts: opts, LM: true}
+		want := canonRows(Queries[q](testDB, ramR))
+		if ramR.Err != nil {
+			t.Fatalf("Q%d LM RAM: %v", q, ramR.Err)
+		}
+		diskR := &Runner{Opts: opts, LM: true}
+		got := canonRows(Queries[q](diskDB, diskR))
+		if diskR.Err != nil {
+			t.Fatalf("Q%d LM store: %v", q, diskR.Err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Q%d LM: store returned %d rows, RAM %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Q%d LM row %d diverged:\nstore %s\n  ram %s", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOpenOrGenerate pins the generate-once-then-open flow joind uses.
+func TestOpenOrGenerate(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+
+	db, st, fromDisk, err := OpenOrGenerate(dir, testSF, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDisk || st != nil {
+		t.Fatal("cold boot claimed to open a store from an empty dir")
+	}
+	if err := WriteStore(dir, db, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, st2, fromDisk, err := OpenOrGenerate(dir, testSF, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromDisk || st2 == nil {
+		t.Fatal("warm boot regenerated instead of opening the store")
+	}
+	defer st2.Close()
+	if db2.Lineitem.NumRows() != db.Lineitem.NumRows() {
+		t.Fatalf("reopened lineitem has %d rows, want %d", db2.Lineitem.NumRows(), db.Lineitem.NumRows())
+	}
+
+	// A store for a different (sf, seed) must not be served.
+	_, _, fromDisk, err = OpenOrGenerate(dir, testSF, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDisk {
+		t.Fatal("store written for seed 1 was served for seed 2")
+	}
+}
